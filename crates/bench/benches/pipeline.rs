@@ -1,0 +1,63 @@
+//! Criterion micro-benchmarks of the analysis pipeline: tracing
+//! throughput, DDG simplification, decomposition, and end-to-end pattern
+//! finding per benchmark — the cost centers behind Fig. 7.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use starbench::{all_benchmarks, Version};
+
+fn bench_tracing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tracing");
+    for bench in all_benchmarks() {
+        let program = bench.program(Version::Pthreads);
+        let cfg = (bench.analysis_input)();
+        group.bench_with_input(BenchmarkId::from_parameter(bench.name), &(), |b, ()| {
+            b.iter(|| trace::run(&program, &cfg).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_finder_phases(c: &mut Criterion) {
+    let bench = starbench::benchmark("streamcluster").unwrap();
+    let program = bench.program(Version::Pthreads);
+    let cfg = (bench.analysis_input)();
+    let raw = trace::run(&program, &cfg).unwrap().ddg.unwrap();
+
+    c.bench_function("simplify/streamcluster", |b| {
+        b.iter(|| discovery::simplify(&raw))
+    });
+    let (simplified, _, _) = discovery::simplify(&raw);
+    c.bench_function("decompose/streamcluster", |b| {
+        b.iter(|| discovery::decompose::decompose(&simplified))
+    });
+    c.bench_function("find_patterns/streamcluster", |b| {
+        b.iter(|| discovery::find_patterns(&raw, &discovery::FinderConfig::default()))
+    });
+}
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let mut group = c.benchmark_group("find_patterns");
+
+    for bench in all_benchmarks() {
+        for version in Version::BOTH {
+            let program = bench.program(version);
+            let cfg = (bench.analysis_input)();
+            let ddg = trace::run(&program, &cfg).unwrap().ddg.unwrap();
+            let id = format!("{}-{}", bench.name, version.name());
+            group.bench_with_input(BenchmarkId::from_parameter(id), &(), |b, ()| {
+                b.iter(|| discovery::find_patterns(&ddg, &discovery::FinderConfig::default()))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(20);
+    targets = bench_tracing, bench_finder_phases, bench_end_to_end
+}
+criterion_main!(benches);

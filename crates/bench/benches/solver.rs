@@ -1,0 +1,74 @@
+//! Criterion micro-benchmarks of the constraint-solver kernel (the
+//! Chuffed stand-in) and the skeleton backends.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cp::search::search_with;
+use cp::{AllDifferent, NotEqual, Propagator, VarId};
+use skeletons::ExecPlan;
+
+fn queens_search(n: u32) -> cp::Search {
+    search_with(|store| {
+        let qs: Vec<VarId> = (0..n).map(|_| store.new_var(0, n - 1)).collect();
+        let mut props: Vec<Box<dyn Propagator>> = vec![Box::new(AllDifferent::new(qs.clone()))];
+        for i in 0..n as usize {
+            for j in (i + 1)..n as usize {
+                let d = (j - i) as i64;
+                props.push(Box::new(NotEqual::with_offset(qs[i], qs[j], d)));
+                props.push(Box::new(NotEqual::with_offset(qs[i], qs[j], -d)));
+            }
+        }
+        props
+    })
+}
+
+fn bench_solver(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cp-queens");
+    for n in [8u32, 10, 12] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| queens_search(n).solve_first())
+        });
+    }
+    group.finish();
+}
+
+fn bench_skeletons(c: &mut Criterion) {
+    let input: Vec<f64> = (0..100_000).map(|i| (i as f64).sin()).collect();
+    let mut group = c.benchmark_group("skeleton-map-reduce");
+    for plan in [ExecPlan::Sequential, ExecPlan::CpuThreads(2), ExecPlan::cpu_auto()] {
+        group.bench_with_input(BenchmarkId::from_parameter(plan), &plan, |b, &plan| {
+            b.iter(|| {
+                skeletons::map_reduce(plan, &input, |x| x * x, 0.0, |a, b| a + b)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_native_streamcluster(c: &mut Criterion) {
+    let pts = starbench::native::Points::synthetic(50_000, 32, 3);
+    let weights: Vec<f64> = (0..pts.len()).map(|i| 1.0 + (i % 3) as f64 * 0.1).collect();
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let mut group = c.benchmark_group("streamcluster-hiz");
+    group.bench_function("sequential", |b| {
+        b.iter(|| starbench::native::hiz_sequential(&pts, &weights))
+    });
+    group.bench_function("legacy-pthreads", |b| {
+        b.iter(|| starbench::native::hiz_pthreads(&pts, &weights, cores))
+    });
+    group.bench_function("modernized-skeleton", |b| {
+        b.iter(|| {
+            starbench::native::hiz_modernized(&pts, &weights, ExecPlan::CpuThreads(cores))
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(20);
+    targets = bench_solver, bench_skeletons, bench_native_streamcluster
+}
+criterion_main!(benches);

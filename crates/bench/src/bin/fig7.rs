@@ -1,0 +1,132 @@
+//! Regenerates paper Fig. 7: pattern-finding time by DDG size, plus the
+//! §5/§6.2 companion statistics — the simplification reduction factor
+//! (paper: 3.82× average), the phase-time breakdown (paper: tracing ≈ 1%,
+//! matching ≈ 48%, other phases ≈ 51%), and the Pthreads-vs-sequential
+//! DDG size and time deltas (paper: +15% size, +28% time).
+
+use repro_bench::{analyze_scaled, render_table, write_record};
+use serde::Serialize;
+use starbench::{all_benchmarks, Version};
+
+#[derive(Serialize)]
+struct Point {
+    benchmark: String,
+    version: String,
+    factor: usize,
+    ddg_nodes: usize,
+    trace_seconds: f64,
+    find_seconds: f64,
+    reduction: f64,
+}
+
+fn main() {
+    let factors: Vec<usize> = std::env::args()
+        .nth(1)
+        .map(|s| s.split(',').map(|x| x.parse().expect("factor")).collect())
+        .unwrap_or_else(|| vec![1, 4, 16, 64]);
+    println!("Fig. 7: pattern finding time by DDG size (scale factors {factors:?}).\n");
+
+    let mut points: Vec<Point> = Vec::new();
+    let mut rows = Vec::new();
+    let mut reductions = Vec::new();
+    let mut phase = (0.0f64, 0.0f64, 0.0f64); // trace, match, other
+
+    for bench in all_benchmarks() {
+        for version in Version::BOTH {
+            for &factor in &factors {
+                eprintln!("... {} {} x{factor}", bench.name, version.name());
+                let (nodes, trace_s, find_s, result) = analyze_scaled(bench, version, factor);
+                let t = &result.phase_times;
+                phase.0 += trace_s;
+                phase.1 += t.matching.as_secs_f64();
+                phase.2 += t.simplify.as_secs_f64()
+                    + t.decompose.as_secs_f64()
+                    + t.combine.as_secs_f64()
+                    + t.merge.as_secs_f64();
+                reductions.push(result.simplify_stats.reduction());
+                rows.push(vec![
+                    bench.name.to_string(),
+                    version.name().to_string(),
+                    factor.to_string(),
+                    nodes.to_string(),
+                    format!("{:.4}", trace_s),
+                    format!("{:.4}", find_s),
+                ]);
+                points.push(Point {
+                    benchmark: bench.name.to_string(),
+                    version: version.name().to_string(),
+                    factor,
+                    ddg_nodes: nodes,
+                    trace_seconds: trace_s,
+                    find_seconds: find_s,
+                    reduction: result.simplify_stats.reduction(),
+                });
+            }
+        }
+    }
+
+    println!(
+        "{}",
+        render_table(
+            &["benchmark", "version", "factor", "DDG nodes", "trace (s)", "find (s)"],
+            &rows
+        )
+    );
+
+    // Scaling check: the paper reports linear scaling. Fit the log-log
+    // slope of total time vs size over the scaled series.
+    let slope = loglog_slope(
+        &points.iter().map(|p| p.ddg_nodes as f64).collect::<Vec<_>>(),
+        &points.iter().map(|p| (p.trace_seconds + p.find_seconds).max(1e-6)).collect::<Vec<_>>(),
+    );
+    println!("log-log slope of time vs DDG size: {slope:.2} (1.0 = linear; paper: linear)");
+
+    let avg_red: f64 = reductions.iter().sum::<f64>() / reductions.len() as f64;
+    println!("simplification reduces DDGs by {avg_red:.2}x on average (paper: 3.82x)");
+
+    let total = phase.0 + phase.1 + phase.2;
+    println!(
+        "phase breakdown: tracing {:.0}%, matching {:.0}%, other finder phases {:.0}% \
+         (paper: 1% / 48% / 51%)",
+        100.0 * phase.0 / total,
+        100.0 * phase.1 / total,
+        100.0 * phase.2 / total,
+    );
+
+    // Pthreads vs sequential deltas at the largest factor.
+    let last = *factors.last().unwrap();
+    let (mut size_ratio, mut time_ratio, mut n) = (0.0, 0.0, 0);
+    for bench in all_benchmarks() {
+        let seq = points
+            .iter()
+            .find(|p| p.benchmark == bench.name && p.version == "seq" && p.factor == last)
+            .unwrap();
+        let pthr = points
+            .iter()
+            .find(|p| p.benchmark == bench.name && p.version == "pthreads" && p.factor == last)
+            .unwrap();
+        size_ratio += pthr.ddg_nodes as f64 / seq.ddg_nodes as f64;
+        time_ratio += (pthr.trace_seconds + pthr.find_seconds).max(1e-6)
+            / (seq.trace_seconds + seq.find_seconds).max(1e-6);
+        n += 1;
+    }
+    println!(
+        "Pthreads DDGs are {:.0}% larger and {:.0}% slower to analyze than sequential \
+         (paper: +15% size, +28% time)",
+        100.0 * (size_ratio / n as f64 - 1.0),
+        100.0 * (time_ratio / n as f64 - 1.0),
+    );
+
+    write_record("fig7", &points);
+}
+
+/// Least-squares slope of ln(y) over ln(x).
+fn loglog_slope(x: &[f64], y: &[f64]) -> f64 {
+    let lx: Vec<f64> = x.iter().map(|v| v.ln()).collect();
+    let ly: Vec<f64> = y.iter().map(|v| v.ln()).collect();
+    let n = lx.len() as f64;
+    let (sx, sy) = (lx.iter().sum::<f64>(), ly.iter().sum::<f64>());
+    let sxy: f64 = lx.iter().zip(&ly).map(|(a, b)| a * b).sum();
+    let sxx: f64 = lx.iter().map(|a| a * a).sum();
+    (n * sxy - sx * sy) / (n * sxx - sx * sx)
+}

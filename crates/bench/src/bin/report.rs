@@ -1,0 +1,32 @@
+//! Regenerates paper Fig. 6: an HTML report highlighting the found
+//! patterns at their source lines.
+//!
+//! Usage: `report [benchmark] [seq|pthreads]` (default:
+//! `streamcluster pthreads`, the paper's screenshot subject). Writes
+//! `target/experiments/report-<benchmark>-<version>.html` and prints the
+//! text form.
+
+use starbench::Version;
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "streamcluster".into());
+    let version = match std::env::args().nth(2).as_deref() {
+        Some("seq") => Version::Seq,
+        _ => Version::Pthreads,
+    };
+    let bench = starbench::benchmark(&name)
+        .unwrap_or_else(|| panic!("unknown benchmark {name}"));
+    let program = bench.program(version);
+    let run = bench.run_analysis(version);
+    let result =
+        discovery::find_patterns(&run.ddg.unwrap(), &discovery::FinderConfig::default());
+
+    println!("{}", discovery::report::render_text(&result, &program));
+
+    let html = discovery::report::render_html(&result, &program);
+    let dir = std::path::Path::new("target/experiments");
+    std::fs::create_dir_all(dir).expect("create target/experiments");
+    let path = dir.join(format!("report-{}-{}.html", bench.name, version.name()));
+    std::fs::write(&path, html).expect("write report");
+    println!("HTML report written to {}", path.display());
+}

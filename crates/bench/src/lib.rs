@@ -1,0 +1,135 @@
+//! `repro-bench` — the experiment harness: one binary per table and
+//! figure of the paper's evaluation (§6), plus Criterion micro-benches.
+//!
+//! | paper artifact | binary | what it regenerates |
+//! |---|---|---|
+//! | Table 2 | `table2` | analysis vs reference input parameters |
+//! | Table 3 | `table3` | found/missed patterns per benchmark × version |
+//! | §6.1 accuracy | `accuracy` | additional patterns; the false maps via a second input |
+//! | Fig. 7 | `fig7` | finding time vs DDG size, phase breakdown, simplification stats |
+//! | Fig. 8 | `fig8` | portability speedups on the two modeled machines |
+//! | Fig. 6 | `report` | HTML report with highlighted source lines |
+//!
+//! Every binary prints a human-readable table and appends a JSON record
+//! under `target/experiments/` for EXPERIMENTS.md bookkeeping.
+
+use serde::Serialize;
+use starbench::{evaluate, Benchmark, Evaluation, Version};
+use std::io::Write as _;
+use std::time::Instant;
+
+/// One analysis run: trace, find patterns, evaluate against Table 3.
+pub struct AnalysisRun {
+    pub benchmark: &'static str,
+    pub version: Version,
+    pub trace_seconds: f64,
+    pub find_seconds: f64,
+    pub result: discovery::FinderResult,
+    pub evaluation: Evaluation,
+}
+
+/// Traces and analyzes one benchmark version on its analysis input.
+pub fn analyze(bench: &'static Benchmark, version: Version) -> AnalysisRun {
+    let program = bench.program(version);
+    let cfg = (bench.analysis_input)();
+    let t0 = Instant::now();
+    let run = trace::run(&program, &cfg)
+        .unwrap_or_else(|e| panic!("{} {}: {e}", bench.name, version.name()));
+    let trace_seconds = t0.elapsed().as_secs_f64();
+    (bench.verify)(&run)
+        .unwrap_or_else(|e| panic!("{} {} wrong result: {e}", bench.name, version.name()));
+    let ddg = run.ddg.expect("tracing enabled");
+    let t0 = Instant::now();
+    let result = discovery::find_patterns(&ddg, &discovery::FinderConfig::default());
+    let find_seconds = t0.elapsed().as_secs_f64();
+    let evaluation = evaluate(bench.name, version, &result);
+    AnalysisRun { benchmark: bench.name, version, trace_seconds, find_seconds, result, evaluation }
+}
+
+/// Traces and analyzes a scaled input (the Fig. 7 size series). Returns
+/// `(ddg size, trace seconds, find seconds, result)`.
+pub fn analyze_scaled(
+    bench: &'static Benchmark,
+    version: Version,
+    factor: usize,
+) -> (usize, f64, f64, discovery::FinderResult) {
+    let program = bench.program(version);
+    let cfg = (bench.scaled_input)(factor);
+    let t0 = Instant::now();
+    let run = trace::run(&program, &cfg)
+        .unwrap_or_else(|e| panic!("{} {} x{factor}: {e}", bench.name, version.name()));
+    let trace_seconds = t0.elapsed().as_secs_f64();
+    let ddg = run.ddg.expect("tracing enabled");
+    let size = ddg.len();
+    let t0 = Instant::now();
+    let result = discovery::find_patterns(&ddg, &discovery::FinderConfig::default());
+    (size, trace_seconds, t0.elapsed().as_secs_f64(), result)
+}
+
+/// Renders a simple aligned text table.
+pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        cells
+            .iter()
+            .zip(widths)
+            .map(|(c, w)| format!("{c:<w$}"))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    let head: Vec<String> = headers.iter().map(|h| h.to_string()).collect();
+    out.push_str(&fmt_row(&head, &widths));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row, &widths));
+        out.push('\n');
+    }
+    out
+}
+
+/// Writes an experiment record as JSON under `target/experiments/`.
+pub fn write_record<T: Serialize>(name: &str, record: &T) {
+    let dir = std::path::Path::new("target/experiments");
+    if std::fs::create_dir_all(dir).is_err() {
+        return;
+    }
+    let path = dir.join(format!("{name}.json"));
+    if let Ok(mut f) = std::fs::File::create(&path) {
+        let _ = writeln!(f, "{}", serde_json::to_string_pretty(record).unwrap());
+        eprintln!("(record written to {})", path.display());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn analyze_runs_end_to_end() {
+        let b = starbench::benchmark("rgbyuv").unwrap();
+        let run = analyze(b, Version::Seq);
+        assert!(run.evaluation.perfect());
+        assert!(run.result.ddg_size > 0);
+        assert!(run.find_seconds >= 0.0);
+    }
+
+    #[test]
+    fn table_rendering_aligns_columns() {
+        let t = render_table(
+            &["name", "value"],
+            &[vec!["a".into(), "1".into()], vec!["long-name".into(), "2".into()]],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[3].starts_with("long-name"));
+    }
+}

@@ -1,0 +1,203 @@
+//! DDG decomposition (paper §5, "DDG Decomposition").
+//!
+//! Splits the simplified DDG along two dimensions:
+//!
+//! * **Loop sub-DDGs** — for each static loop, the nodes executed within
+//!   its dynamic scope, across *all* dynamic instances and threads (the
+//!   worker loops of a Pthreads program contribute one instance per
+//!   thread, which is how a single loop sub-DDG spans the whole parallel
+//!   phase as in the paper's Fig. 5). Grouped per (instance, iteration)
+//!   for compaction.
+//! * **Associative-component sub-DDGs** — weakly connected components of
+//!   the subgraph induced by the nodes of one associative operation,
+//!   targeting linear and tiled reductions.
+
+use crate::subddg::{SubDdg, SubKind};
+use ddg::algo::weakly_connected_components;
+use ddg::{BitSet, Ddg, NodeId};
+use std::collections::HashMap;
+
+/// Decomposes the simplified DDG into the initial sub-DDG pool.
+pub fn decompose(g: &Ddg) -> Vec<SubDdg> {
+    let mut out = loop_subddgs(g);
+    out.extend(assoc_subddgs(g));
+    out
+}
+
+/// One sub-DDG per static loop that executed any node, compacted by
+/// (dynamic instance, iteration).
+pub fn loop_subddgs(g: &Ddg) -> Vec<SubDdg> {
+    // loop id -> (instance, iter) -> nodes
+    let mut per_loop: HashMap<u32, HashMap<(u32, u32), Vec<NodeId>>> = HashMap::new();
+    for id in g.node_ids() {
+        for entry in g.node(id).scope.iter() {
+            per_loop
+                .entry(entry.loop_id)
+                .or_default()
+                .entry((entry.instance, entry.iter))
+                .or_default()
+                .push(id);
+        }
+    }
+    let mut loops: Vec<u32> = per_loop.keys().copied().collect();
+    loops.sort_unstable();
+    loops
+        .into_iter()
+        .map(|loop_id| {
+            let mut groups: Vec<((u32, u32), Vec<NodeId>)> =
+                per_loop.remove(&loop_id).unwrap().into_iter().collect();
+            // Deterministic order: by (instance, iteration).
+            groups.sort_by_key(|(k, _)| *k);
+            let mut nodes = BitSet::new(g.len());
+            for (_, members) in &groups {
+                for n in members {
+                    nodes.insert(n.index());
+                }
+            }
+            SubDdg::grouped(
+                nodes,
+                groups.into_iter().map(|(_, m)| m).collect(),
+                SubKind::Loop { loop_id },
+            )
+        })
+        .collect()
+}
+
+/// Weakly connected components over each associative operation label,
+/// keeping only components with at least two nodes (a reduction needs a
+/// chain) that are *loop-carried*: a component confined to a single loop
+/// iteration is an expression tree (a dot product, say), not a reduction
+/// over data elements, and reporting it would bury the analysis in
+/// three-element "reductions".
+pub fn assoc_subddgs(g: &Ddg) -> Vec<SubDdg> {
+    // Group node sets by label.
+    let mut by_label: HashMap<u32, BitSet> = HashMap::new();
+    for id in g.node_ids() {
+        let l = g.node(id).label;
+        if g.label_is_associative(l) {
+            by_label.entry(l.0).or_insert_with(|| BitSet::new(g.len())).insert(id.index());
+        }
+    }
+    let mut labels: Vec<u32> = by_label.keys().copied().collect();
+    labels.sort_unstable();
+    let mut out = Vec::new();
+    for l in labels {
+        let subset = &by_label[&l];
+        for comp in weakly_connected_components(g, subset) {
+            if comp.len() >= 2 && spans_iterations(g, &comp) {
+                out.push(SubDdg::ungrouped(
+                    comp,
+                    SubKind::Assoc { label: g.label_str(ddg::LabelId(l)).to_string() },
+                ));
+            }
+        }
+    }
+    out
+}
+
+/// True when the component's nodes do not all share one dynamic loop
+/// iteration (same full scope stack).
+fn spans_iterations(g: &Ddg, comp: &BitSet) -> bool {
+    let mut iter = comp.iter();
+    let first = iter.next().expect("non-empty component");
+    let scope = &g.node(NodeId(first as u32)).scope;
+    iter.any(|n| g.node(NodeId(n as u32)).scope != *scope)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simplify::simplify;
+    use repro_ir::{BinOp, Expr, FnBuilder, ProgramBuilder, Type};
+    use trace::{run, RunConfig};
+
+    /// The motivating example in miniature: two "threads" — here two
+    /// dynamic instances of the same worker loop called twice — each
+    /// summing half of `in` into a partial, then a final loop reducing the
+    /// partials.
+    fn two_phase_reduction() -> Ddg {
+        let mut pb = ProgramBuilder::new("2phase");
+        let inp = pb.global("in", Type::F64, 4);
+        let partial = pb.global("partial", Type::F64, 2);
+        let out = pb.global("out", Type::F64, 1);
+        let worker = {
+            let mut w = pb.function("worker", vec![("t", Type::I64)], None);
+            let t = w.param(0);
+            let acc = w.local("acc", Type::F64);
+            w.assign(acc, Expr::Float(0.0));
+            let from = w.bin(BinOp::Mul, Expr::Var(t), Expr::Int(2));
+            let fvar = w.local("from", Type::I64);
+            w.assign(fvar, from);
+            let to = w.bin(BinOp::Add, Expr::Var(fvar), Expr::Int(2));
+            let tvar = w.local("to", Type::I64);
+            w.assign(tvar, to);
+            w.for_loop("k", Expr::Var(fvar), Expr::Var(tvar), |w, k| {
+                let ld = w.load(inp, Expr::Var(k));
+                let s = w.bin(BinOp::FAdd, Expr::Var(acc), ld);
+                vec![FnBuilder::stmt_assign(acc, s)]
+            });
+            w.store(partial, Expr::Var(t), Expr::Var(acc));
+            w.finish()
+        };
+        let mut f = pb.function("main", vec![], None);
+        f.push(repro_ir::Stmt::Expr { expr: Expr::Call { f: worker, args: vec![Expr::Int(0)], loc: repro_ir::Loc::NONE } });
+        f.push(repro_ir::Stmt::Expr { expr: Expr::Call { f: worker, args: vec![Expr::Int(1)], loc: repro_ir::Loc::NONE } });
+        let total = f.local("total", Type::F64);
+        f.assign(total, Expr::Float(0.0));
+        f.for_loop("i", Expr::Int(0), Expr::Int(2), |f, i| {
+            let ld = f.load(partial, Expr::Var(i));
+            let s = f.bin(BinOp::FAdd, Expr::Var(total), ld);
+            vec![FnBuilder::stmt_assign(total, s)]
+        });
+        f.store(out, Expr::Int(0), Expr::Var(total));
+        f.push(repro_ir::Stmt::Output { arr: out, loc: repro_ir::Loc::NONE });
+        let main = f.finish();
+        let p = pb.finish(main);
+        let r = run(&p, &RunConfig::default().with_f64("in", &[1.0, 2.0, 3.0, 4.0])).unwrap();
+        let (s, _, _) = simplify(&r.ddg.unwrap());
+        s
+    }
+
+    #[test]
+    fn loop_subddgs_aggregate_instances() {
+        let g = two_phase_reduction();
+        let subs = loop_subddgs(&g);
+        // Two static loops: the worker loop and the final loop.
+        assert_eq!(subs.len(), 2);
+        let worker_sub = subs
+            .iter()
+            .find(|s| s.groups.as_ref().unwrap().len() == 4)
+            .expect("worker loop has 4 iteration groups across 2 instances");
+        assert_eq!(worker_sub.nodes.len(), 4, "4 partial fadds");
+        let final_sub = subs.iter().find(|s| s.groups.as_ref().unwrap().len() == 2).unwrap();
+        assert_eq!(final_sub.nodes.len(), 2, "2 final fadds");
+    }
+
+    #[test]
+    fn assoc_component_spans_both_phases() {
+        let g = two_phase_reduction();
+        let subs = assoc_subddgs(&g);
+        // All six fadds are weakly connected (partials flow into finals).
+        assert_eq!(subs.len(), 1);
+        assert_eq!(subs[0].nodes.len(), 6);
+        assert_eq!(subs[0].kind, SubKind::Assoc { label: "fadd".into() });
+        assert!(subs[0].groups.is_none());
+    }
+
+    #[test]
+    fn singleton_assoc_components_are_dropped() {
+        // One lone fmul: not a reduction candidate.
+        let mut pb = ProgramBuilder::new("lone");
+        let inp = pb.global("in", Type::F64, 1);
+        let out = pb.global("out", Type::F64, 1);
+        let mut f = pb.function("main", vec![], None);
+        let ld = f.load(inp, Expr::Int(0));
+        let v = f.bin(BinOp::FMul, ld, Expr::Float(2.0));
+        f.store(out, Expr::Int(0), v);
+        let main = f.finish();
+        let p = pb.finish(main);
+        let r = run(&p, &RunConfig::default().with_f64("in", &[1.0])).unwrap();
+        let (g, _, _) = simplify(&r.ddg.unwrap());
+        assert!(assoc_subddgs(&g).is_empty());
+    }
+}

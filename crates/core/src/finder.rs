@@ -1,0 +1,412 @@
+//! The iterative pattern finder (paper §5, Fig. 4, Algorithm 1).
+//!
+//! Simplify → decompose (+ compact) → match, then repeat: *subtract*
+//! matched sub-DDGs from pool sub-DDGs (a reduction carved out of a loop
+//! exposes the map left behind) and *fuse* adjacent, compatible matched
+//! sub-DDGs (a map flowing into a reduction composes into a
+//! map-reduction), feeding the new sub-DDGs back to the matcher until no
+//! new ones appear. The pool rejects duplicates, which guarantees
+//! termination; in practice a fixpoint arrives within three iterations on
+//! every Starbench program, exactly as the paper reports.
+
+use crate::decompose::decompose;
+use crate::models::{match_subddg, MatchBudget};
+use crate::patterns::{Found, Pattern};
+use crate::simplify::{simplify, SimplifyStats};
+use crate::subddg::{SubDdg, SubKind};
+use ddg::Ddg;
+use std::collections::HashSet;
+use std::time::{Duration, Instant};
+
+/// Finder configuration.
+#[derive(Clone, Debug)]
+pub struct FinderConfig {
+    /// Per-sub-DDG matching budget (the paper uses 60 s per solver run).
+    pub budget: MatchBudget,
+    /// Iteration safety valve; the paper's benchmarks converge in ≤ 3.
+    pub max_iterations: usize,
+    /// DDG simplification (paper §5). Disabling it is the ablation the
+    /// paper discusses: address/traversal computation floods the
+    /// sub-DDGs, hiding patterns behind spurious dataflow.
+    pub enable_simplify: bool,
+}
+
+impl Default for FinderConfig {
+    fn default() -> Self {
+        FinderConfig {
+            budget: MatchBudget::default(),
+            max_iterations: 12,
+            enable_simplify: true,
+        }
+    }
+}
+
+/// Wall-clock time per finder phase (Fig. 7's cost breakdown).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PhaseTimes {
+    pub simplify: Duration,
+    pub decompose: Duration,
+    pub matching: Duration,
+    pub combine: Duration,
+    pub merge: Duration,
+}
+
+impl PhaseTimes {
+    pub fn total(&self) -> Duration {
+        self.simplify + self.decompose + self.matching + self.combine + self.merge
+    }
+}
+
+/// Everything the finder produced, plus the metrics the evaluation
+/// harness reports.
+#[derive(Debug)]
+pub struct FinderResult {
+    /// All matched patterns in match order, with iteration numbers;
+    /// `reported` marks the post-merge survivors.
+    pub found: Vec<Found>,
+    /// Original (traced) DDG size in nodes — the paper's x-axis in Fig. 7.
+    pub ddg_size: usize,
+    /// Size after simplification.
+    pub simplified_size: usize,
+    pub simplify_stats: SimplifyStats,
+    /// Algorithm-1 iterations until fixpoint.
+    pub iterations: usize,
+    /// Sub-DDGs examined by the matcher across all iterations.
+    pub subddgs_matched: usize,
+    pub phase_times: PhaseTimes,
+}
+
+impl FinderResult {
+    /// The post-merge (reported) patterns.
+    pub fn reported(&self) -> impl Iterator<Item = &Found> {
+        self.found.iter().filter(|f| f.reported)
+    }
+}
+
+struct PoolEntry {
+    sub: SubDdg,
+    matched: Option<Pattern>,
+}
+
+/// Runs the full pattern-finding pipeline on a traced DDG.
+pub fn find_patterns(raw: &Ddg, config: &FinderConfig) -> FinderResult {
+    let mut times = PhaseTimes::default();
+
+    let t0 = Instant::now();
+    let (g, _map, simplify_stats) = if config.enable_simplify {
+        simplify(raw)
+    } else {
+        let stats = SimplifyStats {
+            nodes_before: raw.len(),
+            nodes_after: raw.len(),
+            ..Default::default()
+        };
+        (raw.clone(), Vec::new(), stats)
+    };
+    times.simplify = t0.elapsed();
+
+    let t0 = Instant::now();
+    let initial = decompose(&g);
+    times.decompose = t0.elapsed();
+
+    let mut pool: Vec<PoolEntry> = Vec::new();
+    let mut keys: HashSet<(Vec<u64>, u8)> = HashSet::new();
+    let mut active: Vec<usize> = Vec::new();
+    for sub in initial {
+        if keys.insert(sub.pool_key()) {
+            active.push(pool.len());
+            pool.push(PoolEntry { sub, matched: None });
+        }
+    }
+
+    let mut found: Vec<Found> = Vec::new();
+    let mut iterations = 0;
+    let mut subddgs_matched = 0;
+
+    while !active.is_empty() && iterations < config.max_iterations {
+        iterations += 1;
+
+        // Match active sub-DDGs against their pattern models.
+        let t0 = Instant::now();
+        let mut matched_now: Vec<usize> = Vec::new();
+        for &i in &active {
+            subddgs_matched += 1;
+            if let Some(p) = match_subddg(&g, &pool[i].sub, &config.budget) {
+                pool[i].matched = Some(p.clone());
+                found.push(Found { pattern: p, iteration: iterations, reported: true });
+                matched_now.push(i);
+            }
+        }
+        times.matching += t0.elapsed();
+
+        // Generate new sub-DDGs by subtraction and fusion.
+        let t0 = Instant::now();
+        let mut fresh: Vec<SubDdg> = Vec::new();
+        for j in &matched_now {
+            let taken = pool[*j].sub.nodes.clone();
+            for (i, entry) in pool.iter().enumerate() {
+                if i != *j {
+                    if let Some(d) = entry.sub.subtract(&taken) {
+                        fresh.push(d);
+                    }
+                }
+            }
+        }
+        for &j in &matched_now {
+            for i in 0..pool.len() {
+                if i == j || pool[i].matched.is_none() {
+                    continue;
+                }
+                // Fuse in whichever direction a matched map flows into the
+                // other matched sub-DDG.
+                for (a, b) in [(i, j), (j, i)] {
+                    let (pa, pb) = (&pool[a], &pool[b]);
+                    let (Some(ma), Some(mb)) = (&pa.matched, &pb.matched) else { continue };
+                    if !ma.kind.is_map() {
+                        continue;
+                    }
+                    if !pa.sub.flows_into(&pb.sub, &g) {
+                        continue;
+                    }
+                    let kind = SubKind::Fused {
+                        map_part: pa.sub.nodes.clone(),
+                        other_part: pb.sub.nodes.clone(),
+                        other_kind: mb.kind,
+                    };
+                    fresh.push(pa.sub.fuse(&pb.sub, kind));
+                }
+            }
+        }
+        times.combine += t0.elapsed();
+
+        // Insert the genuinely new sub-DDGs and mark them active.
+        active.clear();
+        for sub in fresh {
+            if keys.insert(sub.pool_key()) {
+                active.push(pool.len());
+                pool.push(PoolEntry { sub, matched: None });
+            }
+        }
+    }
+
+    // Merge: drop exact duplicates, mark subsumed patterns unreported.
+    let t0 = Instant::now();
+    merge(&mut found);
+    times.merge = t0.elapsed();
+
+    FinderResult {
+        found,
+        ddg_size: raw.len(),
+        simplified_size: g.len(),
+        simplify_stats,
+        iterations,
+        subddgs_matched,
+        phase_times: times,
+    }
+}
+
+/// The merge phase: deduplicate identical matches (the same nodes can be
+/// reached through a loop view and an associative view) and discard
+/// patterns subsumed by larger ones (paper §5, "Pattern Merging").
+fn merge(found: &mut Vec<Found>) {
+    // Exact duplicates: same node set and same short kind — keep the
+    // earliest.
+    let mut seen: HashSet<(Vec<usize>, &'static str)> = HashSet::new();
+    found.retain(|f| {
+        let key = (f.pattern.nodes.iter().collect::<Vec<_>>(), f.pattern.kind.short());
+        seen.insert(key)
+    });
+    // Subsumption.
+    for i in 0..found.len() {
+        for j in 0..found.len() {
+            if i != j && found[i].pattern.subsumed_by(&found[j].pattern) {
+                found[i].reported = false;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::patterns::PatternKind;
+    use repro_ir::Program;
+    use trace::{run, RunConfig};
+
+    fn analyze(p: &Program, cfg: &RunConfig) -> FinderResult {
+        let r = run(p, cfg).unwrap();
+        find_patterns(&r.ddg.unwrap(), &FinderConfig::default())
+    }
+
+    /// The paper's full motivating example (Fig. 2), as minc source: two
+    /// worker threads compute partial distance sums; thread 0 folds them.
+    fn streamcluster_excerpt() -> (Program, RunConfig) {
+        let src = r#"
+float p[8];
+float hizs[2];
+float result[1];
+barrier b;
+
+float dist(float x, float y) {
+    float d = x - y;
+    return sqrt(d * d);
+}
+
+void pkmedian(int pid, int nproc) {
+    int k1 = pid * 4;
+    int k2 = k1 + 4;
+    float myhiz = 0.0;
+    int kk;
+    for (kk = k1; kk < k2; kk++) {
+        myhiz = myhiz + dist(p[kk], p[0]);
+    }
+    hizs[pid] = myhiz;
+    barrier_wait(b);
+    if (pid == 0) {
+        float hiz = 0.0;
+        int i;
+        for (i = 0; i < nproc; i++) {
+            hiz = hiz + hizs[i];
+        }
+        result[0] = hiz;
+    }
+}
+
+void main() {
+    int t0;
+    int t1;
+    t0 = spawn pkmedian(0, 2);
+    t1 = spawn pkmedian(1, 2);
+    join(t0);
+    join(t1);
+    output(result);
+}
+"#;
+        let p = minc::compile("streamcluster-excerpt", src).unwrap();
+        let cfg = RunConfig::default()
+            .with_f64("p", &[0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0])
+            .with_barrier_participants(2);
+        (p, cfg)
+    }
+
+    #[test]
+    fn motivating_example_finds_tiled_map_reduction_in_three_iterations() {
+        let (p, cfg) = streamcluster_excerpt();
+        let result = analyze(&p, &cfg);
+
+        // Iteration 1: the final loop is a linear reduction; the
+        // associative component over all adds is a tiled reduction.
+        let it1: Vec<_> =
+            result.found.iter().filter(|f| f.iteration == 1).map(|f| f.pattern.kind).collect();
+        assert!(it1.contains(&PatternKind::LinearReduction), "f: {it1:?}");
+        assert!(it1.contains(&PatternKind::TiledReduction), "r: {it1:?}");
+
+        // Iteration 2: subtracting the reduction from the worker loop
+        // exposes the dist map.
+        let it2: Vec<_> =
+            result.found.iter().filter(|f| f.iteration == 2).map(|f| f.pattern.kind).collect();
+        assert!(it2.contains(&PatternKind::Map), "m: {it2:?}");
+
+        // Iteration 3: fusing map and tiled reduction yields the tiled
+        // map-reduction.
+        let it3: Vec<_> =
+            result.found.iter().filter(|f| f.iteration == 3).map(|f| f.pattern.kind).collect();
+        assert!(it3.contains(&PatternKind::TiledMapReduction), "mr: {it3:?}");
+
+        // Merging reports the map-reduction and discards the subsumed
+        // reduction and map (paper Table 1).
+        let reported: Vec<_> = result.reported().map(|f| f.pattern.kind).collect();
+        assert!(reported.contains(&PatternKind::TiledMapReduction));
+        assert!(!reported.contains(&PatternKind::TiledReduction), "{reported:?}");
+        assert!(!reported.contains(&PatternKind::Map), "{reported:?}");
+    }
+
+    #[test]
+    fn sequential_version_finds_the_same_patterns() {
+        // The same computation, sequential: linear everything.
+        let src = r#"
+float p[8];
+float result[1];
+
+float dist(float x, float y) {
+    float d = x - y;
+    return sqrt(d * d);
+}
+
+void main() {
+    float hiz = 0.0;
+    int kk;
+    for (kk = 0; kk < 8; kk++) {
+        hiz = hiz + dist(p[kk], p[0]);
+    }
+    result[0] = hiz;
+    output(result);
+}
+"#;
+        let p = minc::compile("seq", src).unwrap();
+        let cfg = RunConfig::default().with_f64("p", &[0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0]);
+        let result = analyze(&p, &cfg);
+        let reported: Vec<_> = result.reported().map(|f| f.pattern.kind).collect();
+        assert!(
+            reported.contains(&PatternKind::LinearMapReduction),
+            "sequential code yields the linear map-reduction: {reported:?}"
+        );
+    }
+
+    #[test]
+    fn plain_map_is_found_in_iteration_one() {
+        let src = r#"
+float in[4];
+float out[4];
+
+void main() {
+    int i;
+    for (i = 0; i < 4; i++) {
+        out[i] = in[i] * 2.0 + 1.0;
+    }
+    output(out);
+}
+"#;
+        let p = minc::compile("map", src).unwrap();
+        let cfg = RunConfig::default().with_f64("in", &[1.0, 2.0, 3.0, 4.0]);
+        let result = analyze(&p, &cfg);
+        let reported: Vec<_> = result.reported().collect();
+        assert_eq!(reported.len(), 1);
+        assert_eq!(reported[0].pattern.kind, PatternKind::Map);
+        assert_eq!(reported[0].iteration, 1);
+        assert_eq!(reported[0].pattern.components, 4);
+    }
+
+    #[test]
+    fn conditional_map_from_guarded_stores() {
+        let src = r#"
+float in[6];
+float out[6];
+
+void main() {
+    int i;
+    for (i = 0; i < 6; i++) {
+        float v = in[i] * 3.0;
+        if (v < 10.0) {
+            out[i] = v;
+        }
+    }
+    output(out);
+}
+"#;
+        let p = minc::compile("cmap", src).unwrap();
+        let cfg = RunConfig::default().with_f64("in", &[1.0, 5.0, 2.0, 6.0, 3.0, 0.5]);
+        let result = analyze(&p, &cfg);
+        let kinds: Vec<_> = result.reported().map(|f| f.pattern.kind).collect();
+        assert_eq!(kinds, vec![PatternKind::ConditionalMap], "{kinds:?}");
+    }
+
+    #[test]
+    fn finder_terminates_on_empty_ddg() {
+        let src = "void main() { int x; x = 1; }";
+        let p = minc::compile("empty", src).unwrap();
+        let result = analyze(&p, &RunConfig::default());
+        assert_eq!(result.found.len(), 0);
+        assert_eq!(result.iterations, 0);
+    }
+}

@@ -1,0 +1,315 @@
+//! Map, conditional-map, and fused-map models (paper §4.2).
+//!
+//! After compaction, each candidate component is one quotient group (one
+//! loop iteration). The model requires (over the whole sub-DDG — patterns
+//! cover their sub-DDG, which is what makes `mp` in the paper's running
+//! example unmatched until subtraction strips the reduction out):
+//!
+//! * ≥ 2 components;
+//! * relaxed isomorphism: equal operation-label multisets (1c);
+//! * independence: no component reaches another, directly or through
+//!   nodes outside the pattern (2b + convexity 1e);
+//! * every component takes input (2c): an external in-arc or raw program
+//!   input;
+//! * components produce output (2d): all of them for a map, at least one
+//!   for a conditional map (whose other components' output is suppressed
+//!   by a condition).
+
+use crate::patterns::{Detail, Pattern, PatternKind};
+use crate::quotient::Quotient;
+use crate::subddg::SubDdg;
+use ddg::{BitSet, Ddg, NodeId};
+
+/// Matches a (conditional) map over the compacted sub-DDG.
+pub fn match_map(g: &Ddg, sub: &SubDdg, q: &Quotient) -> Option<Pattern> {
+    check_map_on_groups(g, sub, q, None)
+}
+
+/// Matches a fused map: first coarsen the quotient by weak connectivity
+/// (each fused component is a pipeline of iterations from the chained
+/// loops), then apply the map model to the coarsened components. Loops
+/// with mismatching iteration spaces produce non-isomorphic components and
+/// fail here — the paper's two missed `ray-rot` fused maps.
+pub fn match_fused(g: &Ddg, sub: &SubDdg, q: &Quotient) -> Option<Pattern> {
+    let coarse = coarsen_by_connectivity(q);
+    if coarse.iter().all(|c| c.len() <= 1) {
+        // Nothing actually fused together: not a fused map.
+        return None;
+    }
+    check_map_on_groups(g, sub, q, Some(&coarse)).map(|p| Pattern {
+        kind: PatternKind::FusedMap,
+        ..p
+    })
+}
+
+/// Weakly connected components of the quotient arc graph, as sorted group
+/// index lists.
+fn coarsen_by_connectivity(q: &Quotient) -> Vec<Vec<usize>> {
+    let n = q.len();
+    let mut comp = vec![usize::MAX; n];
+    let mut count = 0;
+    for start in 0..n {
+        if comp[start] != usize::MAX {
+            continue;
+        }
+        let c = count;
+        count += 1;
+        let mut stack = vec![start];
+        comp[start] = c;
+        while let Some(u) = stack.pop() {
+            for &v in q.succs[u].iter().chain(&q.preds[u]) {
+                if comp[v] == usize::MAX {
+                    comp[v] = c;
+                    stack.push(v);
+                }
+            }
+        }
+    }
+    let mut out = vec![Vec::new(); count];
+    for (gidx, &c) in comp.iter().enumerate() {
+        out[c].push(gidx);
+    }
+    out
+}
+
+/// The shared map check. `coarse` merges quotient groups into components;
+/// `None` means each group is its own component.
+fn check_map_on_groups(
+    g: &Ddg,
+    sub: &SubDdg,
+    q: &Quotient,
+    coarse: Option<&[Vec<usize>]>,
+) -> Option<Pattern> {
+    let singletons;
+    let comps: &[Vec<usize>] = match coarse {
+        Some(c) => c,
+        None => {
+            singletons = (0..q.len()).map(|i| vec![i]).collect::<Vec<_>>();
+            &singletons
+        }
+    };
+    let n = comps.len();
+    if n < 2 {
+        return None;
+    }
+
+    // (1c) relaxed isomorphism. Two levels of relaxation, both weaker than
+    // exact subgraph isomorphism as the paper prescribes:
+    // * plain loop iterations compare operation-label *sets* — iterations
+    //   of one loop legitimately differ in multiplicity when control flow
+    //   inside the body diverges (a ray hits two spheres instead of one);
+    // * coarsened fusion components compare label *multisets* — fusing
+    //   loops with mismatching iteration spaces yields components of
+    //   different sizes, which is exactly what must fail (the paper's
+    //   missed ray-rot fused maps).
+    let mut keys: Vec<Vec<u32>> = Vec::with_capacity(n);
+    for c in comps {
+        let mut key: Vec<u32> = c
+            .iter()
+            .flat_map(|&gi| q.groups[gi].label_key.iter().copied())
+            .collect();
+        key.sort_unstable();
+        if coarse.is_none() {
+            key.dedup();
+        }
+        keys.push(key);
+    }
+    if !keys.windows(2).all(|w| w[0] == w[1]) {
+        return None;
+    }
+
+    // Component index per group for the cross-component checks.
+    let mut comp_of = vec![usize::MAX; q.len()];
+    for (ci, c) in comps.iter().enumerate() {
+        for &gi in c {
+            comp_of[gi] = ci;
+        }
+    }
+
+    // (2b) no arcs between components.
+    for &(a, b) in &q.arcs {
+        if comp_of[a] != comp_of[b] {
+            return None;
+        }
+    }
+    // (2b)+(1e) no cross-component reachability, even through outside
+    // nodes.
+    for (gi, r) in q.reaches.iter().enumerate() {
+        for target in r.iter() {
+            if comp_of[target] != comp_of[gi] {
+                return None;
+            }
+        }
+    }
+
+    // (2c) every component takes input; (2d) output availability.
+    let mut outs = 0;
+    for c in comps {
+        let has_in = c.iter().any(|&gi| q.groups[gi].ext_in);
+        if !has_in {
+            return None;
+        }
+        if c.iter().any(|&gi| q.groups[gi].ext_out) {
+            outs += 1;
+        }
+    }
+    if outs == 0 {
+        return None;
+    }
+    let kind = if outs == n { PatternKind::Map } else { PatternKind::ConditionalMap };
+
+    let components: Vec<Vec<NodeId>> = comps
+        .iter()
+        .map(|c| c.iter().flat_map(|&gi| q.groups[gi].members.iter().copied()).collect())
+        .collect();
+    let mut nodes = BitSet::new(sub.nodes.capacity());
+    for c in &components {
+        for m in c {
+            nodes.insert(m.index());
+        }
+    }
+    // (1e) in full: no path may leave the pattern and re-enter it, even
+    // within one component.
+    if !crate::models::verify::is_convex(g, &nodes) {
+        return None;
+    }
+    Some(
+        Pattern::with_metadata(kind, nodes, n, g)
+            .with_detail(Detail::Map { components }),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::subddg::SubKind;
+    use ddg::DdgBuilder;
+
+    /// Builds `iters` iteration groups, each one `fmul` node; `chain`
+    /// links consecutive iterations (making it a non-map); `outputs`
+    /// selects which iterations write output.
+    fn loop_sub(iters: usize, chain: bool, outputs: &[bool]) -> (Ddg, SubDdg) {
+        let mut b = DdgBuilder::new();
+        let l = b.intern_label("fmul", true);
+        let nodes: Vec<NodeId> =
+            (0..iters).map(|_i| b.add_node(l, 0, 0, 4, 1, 0, vec![])).collect();
+        for (i, &n) in nodes.iter().enumerate() {
+            b.mark_reads_input(n);
+            if outputs[i] {
+                b.mark_writes_output(n);
+            }
+            if chain && i > 0 {
+                b.add_arc(nodes[i - 1], n);
+            }
+        }
+        let g = b.finish();
+        let sub = SubDdg::grouped(
+            BitSet::from_iter(g.len(), 0..iters),
+            nodes.iter().map(|&n| vec![n]).collect(),
+            SubKind::Loop { loop_id: 0 },
+        );
+        (g, sub)
+    }
+
+    #[test]
+    fn clean_map_matches() {
+        let (g, sub) = loop_sub(4, false, &[true; 4]);
+        let q = Quotient::build(&g, &sub);
+        let p = match_map(&g, &sub, &q).expect("map");
+        assert_eq!(p.kind, PatternKind::Map);
+        assert_eq!(p.components, 4);
+    }
+
+    #[test]
+    fn conditional_map_when_some_outputs_missing() {
+        let (g, sub) = loop_sub(4, false, &[true, false, true, false]);
+        let q = Quotient::build(&g, &sub);
+        let p = match_map(&g, &sub, &q).expect("conditional map");
+        assert_eq!(p.kind, PatternKind::ConditionalMap);
+    }
+
+    #[test]
+    fn chained_iterations_are_not_a_map() {
+        let (g, sub) = loop_sub(4, true, &[true; 4]);
+        let q = Quotient::build(&g, &sub);
+        assert!(match_map(&g, &sub, &q).is_none());
+    }
+
+    #[test]
+    fn no_output_anywhere_is_not_a_map() {
+        let (g, sub) = loop_sub(3, false, &[false; 3]);
+        let q = Quotient::build(&g, &sub);
+        assert!(match_map(&g, &sub, &q).is_none());
+    }
+
+    #[test]
+    fn single_component_is_not_a_map() {
+        let (g, sub) = loop_sub(1, false, &[true]);
+        let q = Quotient::build(&g, &sub);
+        assert!(match_map(&g, &sub, &q).is_none());
+    }
+
+    /// Two chained loops A and B, A_i -> B_i: a fused map.
+    fn fused_two_loops(iters: usize, skew: bool) -> (Ddg, SubDdg) {
+        let mut b = DdgBuilder::new();
+        let la = b.intern_label("fmul", true);
+        let lb = b.intern_label("fadd", true);
+        let a_nodes: Vec<NodeId> =
+            (0..iters).map(|_| b.add_node(la, 0, 0, 4, 1, 0, vec![])).collect();
+        let b_nodes: Vec<NodeId> =
+            (0..iters).map(|_| b.add_node(lb, 1, 0, 9, 1, 0, vec![])).collect();
+        for i in 0..iters {
+            b.mark_reads_input(a_nodes[i]);
+            b.mark_writes_output(b_nodes[i]);
+            // Skewed: B_i reads from two A's (mismatching spaces).
+            b.add_arc(a_nodes[i], b_nodes[i]);
+            if skew && i > 0 {
+                b.add_arc(a_nodes[i - 1], b_nodes[i]);
+            }
+        }
+        let g = b.finish();
+        let groups: Vec<Vec<NodeId>> = a_nodes
+            .iter()
+            .chain(&b_nodes)
+            .map(|&n| vec![n])
+            .collect();
+        let sub = SubDdg::grouped(
+            BitSet::from_iter(g.len(), 0..2 * iters),
+            groups,
+            SubKind::Fused {
+                map_part: BitSet::from_iter(g.len(), 0..iters),
+                other_part: BitSet::from_iter(g.len(), iters..2 * iters),
+                other_kind: PatternKind::Map,
+            },
+        );
+        (g, sub)
+    }
+
+    #[test]
+    fn fused_map_matches_one_to_one_loops() {
+        let (g, sub) = fused_two_loops(3, false);
+        let q = Quotient::build(&g, &sub);
+        let p = match_fused(&g, &sub, &q).expect("fused map");
+        assert_eq!(p.kind, PatternKind::FusedMap);
+        assert_eq!(p.components, 3);
+        assert_eq!(p.op_labels, vec!["fadd".to_string(), "fmul".to_string()]);
+    }
+
+    #[test]
+    fn mismatched_iteration_spaces_fail_fusion() {
+        // Skew makes one component {A0,B0,A1,B1,...} — non-isomorphic.
+        let (g, sub) = fused_two_loops(3, true);
+        let q = Quotient::build(&g, &sub);
+        assert!(
+            match_fused(&g, &sub, &q).is_none(),
+            "the paper's ray-rot fused maps are missed for exactly this reason"
+        );
+    }
+
+    #[test]
+    fn plain_map_model_rejects_fused_shape() {
+        let (g, sub) = fused_two_loops(3, false);
+        let q = Quotient::build(&g, &sub);
+        assert!(match_map(&g, &sub, &q).is_none(), "arcs between groups");
+    }
+}

@@ -1,0 +1,135 @@
+//! Linear and tiled map-reduction models (paper §4.4).
+//!
+//! A map-reduction fuses a matched map with a matched reduction under a
+//! consistency interface: each map component produces an output data
+//! element that is *only* taken as input by its corresponding reduction
+//! component (partial component, for the tiled form). The matcher
+//! re-derives the reduction structure on the reduction part, then checks
+//! that the map components and the (partial) reduction components are in
+//! arc-bijection.
+
+use crate::models::MatchBudget;
+use crate::patterns::{Detail, Pattern, PatternKind};
+use crate::quotient::Quotient;
+use crate::subddg::{SubDdg, SubKind};
+use ddg::{BitSet, Ddg, NodeId};
+use std::collections::HashMap;
+
+/// Matches a linear or tiled map-reduction over a fused sub-DDG.
+pub fn match_map_reduction(
+    g: &Ddg,
+    sub: &SubDdg,
+    _q: &Quotient,
+    map_part: &BitSet,
+    other_part: &BitSet,
+    budget: &MatchBudget,
+) -> Option<Pattern> {
+    // Re-derive the reduction structure on the reduction part.
+    let label = {
+        let first = other_part.first()?;
+        g.label_str(g.node(NodeId(first as u32)).label).to_string()
+    };
+    let red_sub = SubDdg::ungrouped(other_part.clone(), SubKind::Assoc { label });
+    let red_q = Quotient::build(g, &red_sub);
+    let (red_kind, red_detail) =
+        if let Some(p) = super::reduction::match_linear(g, &red_sub, &red_q) {
+            (PatternKind::LinearMapReduction, p.detail)
+        } else if let Some(p) = super::reduction::match_tiled(g, &red_sub, &red_q, budget) {
+            (PatternKind::TiledMapReduction, p.detail)
+        } else {
+            return None;
+        };
+
+    // The reduction components that must each consume one map component's
+    // output: all chain elements (linear), or all partial elements (tiled).
+    let consumers: Vec<NodeId> = match &red_detail {
+        Detail::Linear { chain } => chain.clone(),
+        Detail::Tiled { partials, .. } => partials.iter().flatten().copied().collect(),
+        _ => unreachable!("reduction match carries reduction detail"),
+    };
+    let consumer_set: HashMap<NodeId, usize> =
+        consumers.iter().enumerate().map(|(i, &n)| (n, i)).collect();
+
+    // Map components: the fused grouping restricted to the map part.
+    let groups = sub.groups.as_ref()?;
+    let map_components: Vec<Vec<NodeId>> = groups
+        .iter()
+        .filter(|c| c.iter().all(|n| map_part.contains(n.index())))
+        .cloned()
+        .collect();
+    if map_components.len() < 2 {
+        return None;
+    }
+
+    // Interface: each map component's external outputs all land in exactly
+    // one consumer; distinct components use distinct consumers; every
+    // consumer is used (bijection).
+    let mut used: Vec<bool> = vec![false; consumers.len()];
+    for comp in &map_components {
+        let members: BitSet =
+            BitSet::from_iter(sub.nodes.capacity(), comp.iter().map(|n| n.index()));
+        let mut target: Option<usize> = None;
+        for &m in comp {
+            for &s in g.succs(m) {
+                if members.contains(s.index()) {
+                    continue;
+                }
+                let Some(&ci) = consumer_set.get(&s) else {
+                    return None; // output leaks outside the reduction
+                };
+                if target.replace(ci).is_some_and(|prev| prev != ci) {
+                    return None; // feeds two reduction components
+                }
+            }
+        }
+        let t = target?;
+        if std::mem::replace(&mut used[t], true) {
+            return None; // two map components feed the same consumer
+        }
+    }
+    if !used.iter().all(|&u| u) {
+        return None;
+    }
+
+    let components = map_components.len() + consumers.len()
+        + match &red_detail {
+            Detail::Tiled { final_chain, .. } => final_chain.len(),
+            _ => 0,
+        };
+    Some(
+        Pattern::with_metadata(red_kind, sub.nodes.clone(), components, g)
+            .with_detail(red_detail),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models::reduction::tests::tiled_graph_with_map;
+
+    #[test]
+    fn streamcluster_shape_matches_tiled_map_reduction() {
+        let (g, sub) = tiled_graph_with_map(2);
+        let q = Quotient::build(&g, &sub);
+        let SubKind::Fused { map_part, other_part, .. } = &sub.kind else { panic!() };
+        let p = match_map_reduction(&g, &sub, &q, map_part, other_part, &MatchBudget::default())
+            .expect("tiled map-reduction");
+        assert_eq!(p.kind, PatternKind::TiledMapReduction);
+        assert_eq!(p.op_labels, vec!["call.sqrt".to_string(), "fadd".to_string()]);
+    }
+
+    #[test]
+    fn leaked_output_breaks_the_interface() {
+        let (g, sub) = tiled_graph_with_map(2);
+        // Attach one map node's output to a node outside the reduction:
+        // rebuild with an extra consumer.
+        let q = Quotient::build(&g, &sub);
+        let SubKind::Fused { map_part, other_part, .. } = &sub.kind else { panic!() };
+        // Shrink other_part so one map output leaks.
+        let mut small = other_part.clone();
+        let last = small.iter().last().unwrap();
+        small.remove(last);
+        assert!(match_map_reduction(&g, &sub, &q, map_part, &small, &MatchBudget::default())
+            .is_none());
+    }
+}

@@ -1,0 +1,84 @@
+//! The pattern models of paper §4, executed over sub-DDG quotient views.
+//!
+//! Each model enforces the constraints of its definition with the paper's
+//! stated relaxations: operation-label multisets approximate component
+//! isomorphism (1c/4c); reduction components are single nodes of a known
+//! associative operation (3b); convexity (1e) and independence (2b) are
+//! checked through full-graph group reachability. The genuinely
+//! combinatorial part — choosing the final chain of a tiled reduction —
+//! runs as a bounded search with the same time-budget discipline as the
+//! paper's 60-second solver runs, and every match is re-validated against
+//! the raw definitions by [`crate::models::verify`].
+
+pub mod map;
+pub mod mapred;
+pub mod reduction;
+pub mod verify;
+
+use crate::patterns::Pattern;
+use crate::quotient::Quotient;
+use crate::subddg::{SubDdg, SubKind};
+use ddg::Ddg;
+use std::time::Duration;
+
+/// Matching budget per sub-DDG (the paper's per-solver-run limit).
+#[derive(Clone, Copy, Debug)]
+pub struct MatchBudget {
+    pub time: Duration,
+}
+
+impl Default for MatchBudget {
+    fn default() -> Self {
+        MatchBudget { time: Duration::from_secs(60) }
+    }
+}
+
+/// Matches one sub-DDG against the models its provenance allows
+/// (paper §5: loop sub-DDGs target maps and single-loop reductions,
+/// associative components target reductions, fusions target fused maps and
+/// map-reductions). Returns the first — and in practice only — match.
+pub fn match_subddg(
+    g: &Ddg,
+    sub: &SubDdg,
+    budget: &MatchBudget,
+) -> Option<Pattern> {
+    let q = Quotient::build(g, sub);
+    let matched = match &sub.kind {
+        SubKind::Loop { .. } | SubKind::Derived { from_loop: Some(_) } => {
+            map::match_map(g, sub, &q)
+                .or_else(|| reduction::match_linear(g, sub, &q))
+        }
+        SubKind::Assoc { .. } | SubKind::Derived { from_loop: None } => {
+            reduction::match_linear(g, sub, &q)
+                .or_else(|| reduction::match_tiled(g, sub, &q, budget))
+        }
+        SubKind::Fused { map_part, other_part, other_kind } => {
+            if other_kind.is_map() {
+                map::match_fused(g, sub, &q)
+            } else {
+                mapred::match_map_reduction(g, sub, &q, map_part, other_part, budget)
+            }
+        }
+    }?;
+    // Defense in depth: every reported match must satisfy the raw
+    // definitions.
+    debug_assert!(
+        verify::check(g, &matched),
+        "matched pattern violates its definition: {} — {}",
+        matched.describe(),
+        verify::check_reason(g, &matched).unwrap_err()
+    );
+    Some(matched)
+}
+
+/// The models a kind of sub-DDG is matched against, for diagnostics.
+pub fn models_for(kind: &SubKind) -> &'static str {
+    match kind {
+        SubKind::Loop { .. } => "map, conditional-map, linear-reduction",
+        SubKind::Assoc { .. } => "linear-reduction, tiled-reduction",
+        SubKind::Derived { from_loop: Some(_) } => "map, conditional-map, linear-reduction",
+        SubKind::Derived { from_loop: None } => "linear-reduction, tiled-reduction",
+        SubKind::Fused { other_kind, .. } if other_kind.is_map() => "fused-map",
+        SubKind::Fused { .. } => "linear/tiled map-reduction",
+    }
+}

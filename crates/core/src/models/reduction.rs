@@ -1,0 +1,518 @@
+//! Linear- and tiled-reduction models (paper §4.3).
+//!
+//! Components are single nodes of one known-associative operation — the
+//! paper's under-approximation of the associativity constraint (3b).
+//! A linear reduction is a full chain over the sub-DDG: consecutive
+//! components joined by direct dataflow (3c/3d), every component fed from
+//! outside (3e), the last one producing output (3f).
+//!
+//! A tiled reduction additionally partitions the component set into m
+//! partial chains and one final chain of m components, with each partial's
+//! tail feeding a distinct final component (4d/4e). Choosing the final
+//! chain is genuinely combinatorial (a partial tail and a final-chain
+//! predecessor look alike locally), so the matcher runs a bounded
+//! backtracking search over final-chain extensions under the same time
+//! budget as the paper's solver runs.
+
+use crate::models::MatchBudget;
+use crate::patterns::{Detail, Pattern, PatternKind};
+use crate::quotient::Quotient;
+use crate::subddg::SubDdg;
+use ddg::{Ddg, NodeId};
+use std::time::Instant;
+
+/// Matches a linear reduction covering the whole sub-DDG.
+pub fn match_linear(g: &Ddg, sub: &SubDdg, q: &Quotient) -> Option<Pattern> {
+    let n = q.len();
+    if n < 2 {
+        return None;
+    }
+    // Single-node associative components, all the same operation.
+    let label = singleton_assoc_label(g, q)?;
+
+    // The chain: unique source, unique internal successor at each step.
+    let mut indeg = vec![0usize; n];
+    for &(_, b) in &q.arcs {
+        indeg[b] += 1;
+    }
+    if q.arcs.len() != n - 1 {
+        return None;
+    }
+    let mut current = {
+        let sources: Vec<usize> = (0..n).filter(|&i| indeg[i] == 0).collect();
+        if sources.len() != 1 {
+            return None;
+        }
+        sources[0]
+    };
+    let mut order = Vec::with_capacity(n);
+    loop {
+        order.push(current);
+        match q.succs[current].as_slice() {
+            [] => break,
+            [next] => current = *next,
+            _ => return None, // branching dataflow is not a chain
+        }
+    }
+    if order.len() != n {
+        return None;
+    }
+    // (3e) every component takes an input element; (3f) the last one
+    // produces output.
+    if !order.iter().all(|&i| q.groups[i].ext_in) {
+        return None;
+    }
+    if !q.groups[*order.last().unwrap()].ext_out {
+        return None;
+    }
+    let chain: Vec<NodeId> = order.iter().map(|&i| q.groups[i].members[0]).collect();
+    let _ = label;
+    if !same_static_op(g, chain.iter().copied()) {
+        return None;
+    }
+    if !crate::models::verify::is_convex(g, &sub.nodes) {
+        return None; // (1e)
+    }
+    Some(
+        Pattern::with_metadata(PatternKind::LinearReduction, sub.nodes.clone(), n, g)
+            .with_detail(Detail::Linear { chain }),
+    )
+}
+
+/// Matches a tiled reduction covering the whole sub-DDG.
+pub fn match_tiled(
+    g: &Ddg,
+    sub: &SubDdg,
+    q: &Quotient,
+    budget: &MatchBudget,
+) -> Option<Pattern> {
+    let n = q.len();
+    // Minimum: two partials of one component plus a final chain of two.
+    if n < 4 {
+        return None;
+    }
+    singleton_assoc_label(g, q)?;
+
+    // The final chain ends at the unique sink, which must emit output.
+    let sinks: Vec<usize> = (0..n).filter(|&i| q.succs[i].is_empty()).collect();
+    let [sink] = sinks.as_slice() else { return None };
+    if !q.groups[*sink].ext_out {
+        return None;
+    }
+
+    // Bounded backtracking over final-chain extensions, newest-first.
+    let deadline = Instant::now() + budget.time;
+    let mut rf_rev = vec![*sink];
+    if !crate::models::verify::is_convex(g, &sub.nodes) {
+        return None; // (1e)
+    }
+    search_final_chain(g, q, &mut rf_rev, &deadline).and_then(|rf| {
+        let partials = validate_split(g, q, &rf)?;
+        let final_chain: Vec<NodeId> = rf.iter().map(|&i| q.groups[i].members[0]).collect();
+        let partial_chains: Vec<Vec<NodeId>> = partials
+            .iter()
+            .map(|p| p.iter().map(|&i| q.groups[i].members[0]).collect())
+            .collect();
+        let comps = n;
+        Some(
+            Pattern::with_metadata(PatternKind::TiledReduction, sub.nodes.clone(), comps, g)
+                .with_detail(Detail::Tiled { partials: partial_chains, final_chain }),
+        )
+    })
+}
+
+/// Every node of a candidate chain executes the *same static operation*:
+/// a reduction repeats one operator over the data elements, whereas a
+/// coincidental multiply-into-multiply chain across program phases comes
+/// from distinct operations and must not match (the paper's reduction
+/// operators are "formed by a single operation").
+fn same_static_op(g: &Ddg, nodes: impl IntoIterator<Item = NodeId>) -> bool {
+    let mut iter = nodes.into_iter();
+    let Some(first) = iter.next() else { return true };
+    let op = g.node(first).static_op;
+    iter.all(|n| g.node(n).static_op == op)
+}
+
+/// All quotient groups are single nodes of one associative label; returns
+/// that label.
+fn singleton_assoc_label(g: &Ddg, q: &Quotient) -> Option<u32> {
+    let first = q.groups.first()?;
+    if first.label_key.len() != 1 {
+        return None;
+    }
+    let label = first.label_key[0];
+    if !g.label_is_associative(ddg::LabelId(label)) {
+        return None;
+    }
+    for gr in &q.groups {
+        if gr.label_key.as_slice() != [label] {
+            return None;
+        }
+    }
+    Some(label)
+}
+
+/// Extends the reversed final chain (`rf_rev[0]` is the sink) backwards.
+/// At each step, any internal predecessor of the chain head may continue
+/// the chain; the first extension whose remaining nodes split into valid
+/// partial chains wins. Returns the final chain in forward order.
+fn search_final_chain(
+    g: &Ddg,
+    q: &Quotient,
+    rf_rev: &mut Vec<usize>,
+    deadline: &Instant,
+) -> Option<Vec<usize>> {
+    if Instant::now() >= *deadline {
+        return None;
+    }
+    let head = *rf_rev.last().unwrap();
+    // Option A: stop here (head is RF_1) — valid when the split checks out.
+    if rf_rev.len() >= 2 {
+        let rf: Vec<usize> = rf_rev.iter().rev().copied().collect();
+        if validate_split(g, q, &rf).is_some() {
+            return Some(rf);
+        }
+    }
+    // Option B: extend through one of the head's predecessors.
+    for pi in 0..q.preds[head].len() {
+        let p = q.preds[head][pi];
+        if rf_rev.contains(&p) {
+            continue;
+        }
+        rf_rev.push(p);
+        if let Some(found) = search_final_chain(g, q, rf_rev, deadline) {
+            return Some(found);
+        }
+        rf_rev.pop();
+    }
+    None
+}
+
+/// Checks that removing the final chain leaves exactly m simple partial
+/// chains whose tails feed the m final components bijectively (4d/4e),
+/// each partial component taking external input (3e). Returns the partial
+/// chains, ordered by the final component they feed.
+fn validate_split(g: &Ddg, q: &Quotient, rf: &[usize]) -> Option<Vec<Vec<usize>>> {
+    let n = q.len();
+    // One static operation per final chain (see `same_static_op`).
+    if !same_static_op(g, rf.iter().map(|&i| q.groups[i].members[0])) {
+        return None;
+    }
+    let m = rf.len();
+    let mut in_rf = vec![false; n];
+    for &r in rf {
+        in_rf[r] = true;
+    }
+    // The final chain must be chain-connected with no skips, and each RF
+    // component's predecessors must be: the chain predecessor plus exactly
+    // one partial tail.
+    for (k, &r) in rf.iter().enumerate() {
+        let chain_pred = if k > 0 { Some(rf[k - 1]) } else { None };
+        let mut partial_preds = 0;
+        for &p in &q.preds[r] {
+            if Some(p) == chain_pred {
+                continue;
+            }
+            if in_rf[p] {
+                return None; // skip arc within the final chain
+            }
+            partial_preds += 1;
+        }
+        if partial_preds != 1 {
+            return None;
+        }
+        if let Some(cp) = chain_pred {
+            if !q.succs[cp].contains(&r) {
+                return None;
+            }
+        }
+    }
+
+    // Partition the rest into simple chains.
+    let remaining: Vec<usize> = (0..n).filter(|&i| !in_rf[i]).collect();
+    if remaining.is_empty() {
+        return None;
+    }
+    let mut internal_succ: Vec<Option<usize>> = vec![None; n];
+    let mut internal_pred: Vec<Option<usize>> = vec![None; n];
+    let mut rf_target: Vec<Option<usize>> = vec![None; n];
+    for &u in &remaining {
+        for &v in &q.succs[u] {
+            if in_rf[v] {
+                if rf_target[u].replace(v).is_some() {
+                    return None; // two arcs into the final chain (4e)
+                }
+            } else {
+                if internal_succ[u].replace(v).is_some() {
+                    return None; // branching partial
+                }
+                if internal_pred[v].replace(u).is_some() {
+                    return None; // joining partial
+                }
+            }
+        }
+    }
+    // Walk each partial chain from its head.
+    let mut partial_of_rf: Vec<Option<Vec<usize>>> = vec![None; m];
+    let rf_index: std::collections::HashMap<usize, usize> =
+        rf.iter().enumerate().map(|(k, &r)| (r, k)).collect();
+    let mut seen = 0usize;
+    for &u in &remaining {
+        if internal_pred[u].is_some() {
+            continue; // not a head
+        }
+        let mut chain = Vec::new();
+        let mut cur = u;
+        loop {
+            chain.push(cur);
+            seen += 1;
+            // Every component of a partial reduction takes external input.
+            if !q.groups[cur].ext_in {
+                return None;
+            }
+            match internal_succ[cur] {
+                Some(next) => {
+                    // Only the tail may feed the final chain.
+                    if rf_target[cur].is_some() {
+                        return None;
+                    }
+                    cur = next;
+                }
+                None => break,
+            }
+        }
+        // The tail feeds exactly one final component, not yet taken.
+        let target = rf_target[cur]?;
+        let k = rf_index[&target];
+        if partial_of_rf[k].replace(chain).is_some() {
+            return None;
+        }
+    }
+    if seen != remaining.len() {
+        return None; // leftover nodes in cycles or unreached
+    }
+    // Bijection: every final component has its partial; each partial
+    // repeats one static operation.
+    partial_of_rf
+        .into_iter()
+        .collect::<Option<Vec<_>>>()
+        .filter(|ps| ps.len() >= 2)
+        .filter(|ps| {
+            ps.iter().all(|p| same_static_op(g, p.iter().map(|&i| q.groups[i].members[0])))
+        })
+}
+
+#[cfg(test)]
+pub(crate) mod tests {
+    use super::*;
+    use crate::subddg::SubKind;
+    use ddg::{BitSet, DdgBuilder};
+
+    /// `tiled_graph` extended with a map: one `call.sqrt` node feeding each
+    /// partial add — the motivating example's dist() computations. Returns
+    /// a fused sub-DDG (map part + reduction part).
+    pub(crate) fn tiled_graph_with_map(per: usize) -> (Ddg, SubDdg) {
+        let mut b = DdgBuilder::new();
+        let fadd = b.intern_label("fadd", true);
+        let sqrt = b.intern_label("call.sqrt", false);
+        let mut map_nodes = Vec::new();
+        let mut red_nodes = Vec::new();
+        let mut tails = Vec::new();
+        for t in 0..2u16 {
+            let mut prev: Option<NodeId> = None;
+            for i in 0..per {
+                let m = b.add_node(sqrt, 100 + i as u32, 0, 3, 1, t + 1, vec![]);
+                b.mark_reads_input(m);
+                let a = b.add_node(fadd, 0, 0, 4, 1, t + 1, vec![]);
+                b.add_arc(m, a);
+                if let Some(p) = prev {
+                    b.add_arc(p, a);
+                }
+                prev = Some(a);
+                map_nodes.push(m);
+                red_nodes.push(a);
+            }
+            tails.push(prev.unwrap());
+        }
+        let f1 = b.add_node(fadd, 10, 0, 8, 1, 1, vec![]);
+        let f2 = b.add_node(fadd, 10, 0, 8, 1, 1, vec![]);
+        b.add_arc(tails[0], f1);
+        b.add_arc(f1, f2);
+        b.add_arc(tails[1], f2);
+        b.mark_writes_output(f2);
+        red_nodes.push(f1);
+        red_nodes.push(f2);
+        let g = b.finish();
+        let map_part = BitSet::from_iter(g.len(), map_nodes.iter().map(|n| n.index()));
+        let other_part = BitSet::from_iter(g.len(), red_nodes.iter().map(|n| n.index()));
+        let groups: Vec<Vec<NodeId>> = map_nodes
+            .iter()
+            .chain(&red_nodes)
+            .map(|&n| vec![n])
+            .collect();
+        let sub = SubDdg::grouped(
+            map_part.union(&other_part),
+            groups,
+            SubKind::Fused {
+                map_part,
+                other_part,
+                other_kind: crate::patterns::PatternKind::TiledReduction,
+            },
+        );
+        (g, sub)
+    }
+
+    /// A chain of `n` fadds, each fed from outside, last writing output.
+    fn chain_graph(n: usize) -> (Ddg, SubDdg) {
+        let mut b = DdgBuilder::new();
+        let l = b.intern_label("fadd", true);
+        let nodes: Vec<NodeId> = (0..n).map(|_| b.add_node(l, 0, 0, 1, 1, 0, vec![])).collect();
+        for i in 0..n {
+            b.mark_reads_input(nodes[i]);
+            if i > 0 {
+                b.add_arc(nodes[i - 1], nodes[i]);
+            }
+        }
+        b.mark_writes_output(nodes[n - 1]);
+        let g = b.finish();
+        let sub = SubDdg::ungrouped(
+            BitSet::from_iter(g.len(), 0..n),
+            SubKind::Assoc { label: "fadd".into() },
+        );
+        (g, sub)
+    }
+
+    #[test]
+    fn chain_matches_linear_reduction() {
+        let (g, sub) = chain_graph(4);
+        let q = Quotient::build(&g, &sub);
+        let p = match_linear(&g, &sub, &q).expect("linear reduction");
+        assert_eq!(p.kind, PatternKind::LinearReduction);
+        assert_eq!(p.components, 4);
+        let Detail::Linear { chain } = &p.detail else { panic!() };
+        assert_eq!(chain.len(), 4);
+        assert!(chain.windows(2).all(|w| w[0].0 < w[1].0));
+    }
+
+    #[test]
+    fn non_associative_or_branching_is_rejected() {
+        // Tree: two nodes feed one — not a chain.
+        let mut b = DdgBuilder::new();
+        let l = b.intern_label("fadd", true);
+        let x = b.add_node(l, 0, 0, 1, 1, 0, vec![]);
+        let y = b.add_node(l, 1, 0, 1, 1, 0, vec![]);
+        let z = b.add_node(l, 2, 0, 1, 1, 0, vec![]);
+        for n in [x, y, z] {
+            b.mark_reads_input(n);
+        }
+        b.add_arc(x, z);
+        b.add_arc(y, z);
+        b.mark_writes_output(z);
+        let g = b.finish();
+        let sub = SubDdg::ungrouped(
+            BitSet::from_iter(3, 0..3),
+            SubKind::Assoc { label: "fadd".into() },
+        );
+        let q = Quotient::build(&g, &sub);
+        assert!(match_linear(&g, &sub, &q).is_none());
+    }
+
+    #[test]
+    fn missing_final_output_rejected() {
+        let mut b = DdgBuilder::new();
+        let l = b.intern_label("fadd", true);
+        let x = b.add_node(l, 0, 0, 1, 1, 0, vec![]);
+        let y = b.add_node(l, 1, 0, 1, 1, 0, vec![]);
+        b.mark_reads_input(x);
+        b.mark_reads_input(y);
+        b.add_arc(x, y);
+        // no output mark on y
+        let g = b.finish();
+        let sub = SubDdg::ungrouped(
+            BitSet::from_iter(2, 0..2),
+            SubKind::Assoc { label: "fadd".into() },
+        );
+        let q = Quotient::build(&g, &sub);
+        assert!(match_linear(&g, &sub, &q).is_none());
+    }
+
+    /// The paper's Fig. 2c associative component: two partial chains of
+    /// `per` adds (threads) feeding a final chain of two adds.
+    pub(crate) fn tiled_graph(per: usize) -> (Ddg, SubDdg) {
+        let mut b = DdgBuilder::new();
+        let l = b.intern_label("fadd", true);
+        let mut all = Vec::new();
+        let mut tails = Vec::new();
+        for t in 0..2u16 {
+            let chain: Vec<NodeId> =
+                (0..per).map(|_| b.add_node(l, 0, 0, 1, 1, t + 1, vec![])).collect();
+            for i in 0..per {
+                b.mark_reads_input(chain[i]);
+                if i > 0 {
+                    b.add_arc(chain[i - 1], chain[i]);
+                }
+            }
+            tails.push(chain[per - 1]);
+            all.extend(chain);
+        }
+        let f1 = b.add_node(l, 10, 0, 2, 1, 1, vec![]);
+        let f2 = b.add_node(l, 10, 0, 2, 1, 1, vec![]);
+        b.add_arc(tails[0], f1);
+        b.add_arc(f1, f2);
+        b.add_arc(tails[1], f2);
+        b.mark_writes_output(f2);
+        all.push(f1);
+        all.push(f2);
+        let g = b.finish();
+        let sub = SubDdg::ungrouped(
+            BitSet::from_iter(g.len(), 0..g.len()),
+            SubKind::Assoc { label: "fadd".into() },
+        );
+        (g, sub)
+    }
+
+    #[test]
+    fn streamcluster_shape_matches_tiled() {
+        let (g, sub) = tiled_graph(2);
+        let q = Quotient::build(&g, &sub);
+        assert!(match_linear(&g, &sub, &q).is_none(), "a tree is not linear");
+        let p = match_tiled(&g, &sub, &q, &MatchBudget::default()).expect("tiled reduction");
+        assert_eq!(p.kind, PatternKind::TiledReduction);
+        let Detail::Tiled { partials, final_chain } = &p.detail else { panic!() };
+        assert_eq!(partials.len(), 2);
+        assert_eq!(final_chain.len(), 2);
+        assert!(partials.iter().all(|c| c.len() == 2));
+    }
+
+    #[test]
+    fn partials_only_do_not_match_tiled() {
+        // Two disjoint chains with no final: the `p` sub-DDG of Table 1.
+        let mut b = DdgBuilder::new();
+        let l = b.intern_label("fadd", true);
+        for _ in 0..2 {
+            let x = b.add_node(l, 0, 0, 1, 1, 0, vec![]);
+            let y = b.add_node(l, 0, 0, 1, 1, 0, vec![]);
+            b.mark_reads_input(x);
+            b.mark_reads_input(y);
+            b.add_arc(x, y);
+            b.mark_writes_output(y);
+        }
+        let g = b.finish();
+        let sub = SubDdg::ungrouped(
+            BitSet::from_iter(4, 0..4),
+            SubKind::Assoc { label: "fadd".into() },
+        );
+        let q = Quotient::build(&g, &sub);
+        assert!(match_linear(&g, &sub, &q).is_none());
+        assert!(match_tiled(&g, &sub, &q, &MatchBudget::default()).is_none());
+    }
+
+    #[test]
+    fn larger_tiled_configurations_match() {
+        let (g, sub) = tiled_graph(5);
+        let q = Quotient::build(&g, &sub);
+        let p = match_tiled(&g, &sub, &q, &MatchBudget::default()).expect("tiled");
+        let Detail::Tiled { partials, .. } = &p.detail else { panic!() };
+        assert!(partials.iter().all(|c| c.len() == 5));
+    }
+}

@@ -1,0 +1,176 @@
+//! Partial (input-dependent) pattern classification — the paper's §9
+//! future-work item "propose partial patterns (which only apply under
+//! certain execution conditions)", and the automation of its §6.1 manual
+//! accuracy analysis.
+//!
+//! A dynamic analysis only sees the executions it traced: a loop whose
+//! conditional cross-iteration dependence never fired looks like a map.
+//! Running the finder under several inputs and comparing, per static
+//! region (the loops a pattern touches), which patterns persist separates
+//! *stable* patterns (reported under every input — the 48 "true" patterns
+//! of the paper's study) from *partial* ones (reported under some inputs
+//! only — the paper's 2 false maps, reframed as patterns holding only
+//! under conditions the triggering input violates).
+
+use crate::finder::FinderResult;
+use crate::patterns::PatternKind;
+
+/// Identity of a pattern across runs: its kind, the static loops it
+/// covers (node ids are not comparable across traces; loop ids are), and
+/// the finder iteration it was matched at — a map matched directly on a
+/// loop and a map exposed by subtracting a reduction from that loop are
+/// different findings (the latter remains true when the former does not).
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct PatternSite {
+    pub kind: PatternKind,
+    pub loops: Vec<u32>,
+    pub iteration: usize,
+}
+
+/// Classification of one site across the provided runs.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Stability {
+    /// Reported in every run: evidence the pattern is input-independent.
+    Stable,
+    /// Reported in a strict subset of runs: a partial pattern — the list
+    /// holds the run indices where it appeared.
+    Partial(Vec<usize>),
+}
+
+/// One classified site.
+#[derive(Clone, Debug)]
+pub struct ClassifiedPattern {
+    pub site: PatternSite,
+    pub stability: Stability,
+}
+
+/// Compares finder results from the *same program* under different
+/// inputs and classifies every matched pattern site.
+pub fn classify_across_inputs(runs: &[FinderResult]) -> Vec<ClassifiedPattern> {
+    let mut sites: Vec<PatternSite> = Vec::new();
+    let mut seen_in: Vec<Vec<usize>> = Vec::new();
+    for (run_idx, run) in runs.iter().enumerate() {
+        for f in &run.found {
+            let site = PatternSite {
+                kind: f.pattern.kind,
+                loops: f.pattern.loops.clone(),
+                iteration: f.iteration,
+            };
+            match sites.iter().position(|s| *s == site) {
+                Some(i) => {
+                    if seen_in[i].last() != Some(&run_idx) {
+                        seen_in[i].push(run_idx);
+                    }
+                }
+                None => {
+                    sites.push(site);
+                    seen_in.push(vec![run_idx]);
+                }
+            }
+        }
+    }
+    sites
+        .into_iter()
+        .zip(seen_in)
+        .map(|(site, appearances)| ClassifiedPattern {
+            stability: if appearances.len() == runs.len() {
+                Stability::Stable
+            } else {
+                Stability::Partial(appearances)
+            },
+            site,
+        })
+        .collect()
+}
+
+/// The partial (input-dependent) sites only.
+pub fn partial_patterns(runs: &[FinderResult]) -> Vec<ClassifiedPattern> {
+    classify_across_inputs(runs)
+        .into_iter()
+        .filter(|c| matches!(c.stability, Stability::Partial(_)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::finder::{find_patterns, FinderConfig};
+    use trace::{run, RunConfig};
+
+    /// A loop that is a map only when the guard never fires.
+    const SRC: &str = r#"
+float in[8];
+float out[8];
+float errstat[1];
+
+void main() {
+    float err = 0.0;
+    int i;
+    for (i = 0; i < 8; i++) {
+        out[i] = in[i] * 2.0 + 1.0;
+        if (in[i] < 0.0) {
+            err = err + in[i];
+        }
+    }
+    errstat[0] = err;
+    output(out);
+    output(errstat);
+}
+"#;
+
+    fn finder_for(data: &[f64]) -> FinderResult {
+        let p = minc::compile("partial", SRC).unwrap();
+        let cfg = RunConfig::default().with_f64("in", data);
+        let r = run(&p, &cfg).unwrap();
+        find_patterns(&r.ddg.unwrap(), &FinderConfig::default())
+    }
+
+    #[test]
+    fn input_dependent_map_is_classified_partial() {
+        let benign = finder_for(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0]);
+        let trigger = finder_for(&[-1.0, 2.0, -3.0, 4.0, 5.0, 6.0, 7.0, 8.0]);
+        let classified = classify_across_inputs(&[benign, trigger]);
+        let partials = classified
+            .iter()
+            .filter(|c| matches!(c.stability, Stability::Partial(_)))
+            .collect::<Vec<_>>();
+        // Three partial sites tell the full §6.1 story: the direct
+        // (iteration-1) map holds only under the benign input; under the
+        // triggering input the error-accumulation reduction appears and
+        // the map re-emerges only after subtracting it (iteration 2).
+        assert_eq!(partials.len(), 3, "{classified:?}");
+        let direct_map = partials
+            .iter()
+            .find(|c| c.site.kind == PatternKind::Map && c.site.iteration == 1)
+            .unwrap();
+        assert_eq!(direct_map.stability, Stability::Partial(vec![0]));
+        let red = partials
+            .iter()
+            .find(|c| c.site.kind == PatternKind::LinearReduction)
+            .unwrap();
+        assert_eq!(red.stability, Stability::Partial(vec![1]));
+        let exposed_map = partials
+            .iter()
+            .find(|c| c.site.kind == PatternKind::Map && c.site.iteration == 2)
+            .unwrap();
+        assert_eq!(exposed_map.stability, Stability::Partial(vec![1]));
+    }
+
+    #[test]
+    fn stable_patterns_stay_stable() {
+        let a = finder_for(&[1.0; 8]);
+        let b = finder_for(&[2.0; 8]);
+        let partial = partial_patterns(&[a, b]);
+        assert!(partial.is_empty(), "{partial:?}");
+    }
+
+    #[test]
+    fn single_run_is_trivially_stable() {
+        let a = finder_for(&[1.0; 8]);
+        let classified = classify_across_inputs(&[a]);
+        assert!(classified
+            .iter()
+            .all(|c| c.stability == Stability::Stable));
+        assert!(!classified.is_empty());
+    }
+}

@@ -1,0 +1,200 @@
+//! Pattern kinds and matched-pattern records.
+
+use ddg::{BitSet, Ddg, NodeId};
+use serde::{Deserialize, Serialize};
+
+/// The patterns of paper §4 (plus the map variants of §4.2).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum PatternKind {
+    Map,
+    ConditionalMap,
+    FusedMap,
+    LinearReduction,
+    TiledReduction,
+    LinearMapReduction,
+    TiledMapReduction,
+}
+
+impl PatternKind {
+    /// Short name as used in the paper's Table 3 legend.
+    pub fn short(&self) -> &'static str {
+        match self {
+            PatternKind::Map => "m",
+            PatternKind::ConditionalMap => "cm",
+            PatternKind::FusedMap => "fm",
+            PatternKind::LinearReduction => "r",
+            PatternKind::TiledReduction => "r",
+            PatternKind::LinearMapReduction => "mr",
+            PatternKind::TiledMapReduction => "mr",
+        }
+    }
+
+    /// Full name as printed in reports (paper Fig. 6 style).
+    pub fn full(&self) -> &'static str {
+        match self {
+            PatternKind::Map => "map",
+            PatternKind::ConditionalMap => "conditional_map",
+            PatternKind::FusedMap => "fused_map",
+            PatternKind::LinearReduction => "linear_reduction",
+            PatternKind::TiledReduction => "tiled_reduction",
+            PatternKind::LinearMapReduction => "linear_map_reduction",
+            PatternKind::TiledMapReduction => "tiled_map_reduction",
+        }
+    }
+
+    /// True for the map family (fusion sources).
+    pub fn is_map(&self) -> bool {
+        matches!(self, PatternKind::Map | PatternKind::ConditionalMap | PatternKind::FusedMap)
+    }
+
+    /// True for the reduction family.
+    pub fn is_reduction(&self) -> bool {
+        matches!(self, PatternKind::LinearReduction | PatternKind::TiledReduction)
+    }
+}
+
+/// Structural detail of a match, consumed when patterns compose (the
+/// map-reduction models need the reduction's chain structure and the
+/// map's components).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub enum Detail {
+    #[default]
+    None,
+    /// Map-family: the member nodes of each component.
+    Map { components: Vec<Vec<NodeId>> },
+    /// Linear reduction: the chain, in reduction order.
+    Linear { chain: Vec<NodeId> },
+    /// Tiled reduction: the partial chains and the final chain, with
+    /// `partials[i]`'s tail feeding `final_chain[i]`.
+    Tiled { partials: Vec<Vec<NodeId>>, final_chain: Vec<NodeId> },
+}
+
+/// A matched pattern instance.
+#[derive(Clone, Debug)]
+pub struct Pattern {
+    pub kind: PatternKind,
+    /// Covered nodes (indices into the simplified DDG).
+    pub nodes: BitSet,
+    /// Number of components (map components, or reduction chain length;
+    /// for tiled reductions, partial components + final components).
+    pub components: usize,
+    /// Sorted unique operation labels of the member nodes, e.g.
+    /// `["fadd", "fmul"]` — shown as `tiled_map_reduction fadd,fmul`.
+    pub op_labels: Vec<String>,
+    /// Source lines covered, as (file index, line), sorted and deduped.
+    pub lines: Vec<(u16, u32)>,
+    /// Static loops whose scope the pattern touches.
+    pub loops: Vec<u32>,
+    /// Structural detail for composition.
+    pub detail: Detail,
+}
+
+impl Pattern {
+    /// Builds the metadata (labels, lines, loops) from covered nodes.
+    pub fn with_metadata(
+        kind: PatternKind,
+        nodes: BitSet,
+        components: usize,
+        g: &Ddg,
+    ) -> Pattern {
+        let mut labels: Vec<String> = Vec::new();
+        let mut lines: Vec<(u16, u32)> = Vec::new();
+        let mut loops: Vec<u32> = Vec::new();
+        for idx in nodes.iter() {
+            let node = g.node(ddg::NodeId(idx as u32));
+            let l = g.label_str(node.label).to_string();
+            if !labels.contains(&l) {
+                labels.push(l);
+            }
+            if node.line != 0 {
+                lines.push((node.file, node.line));
+            }
+            if let Some(scope) = node.scope.last() {
+                if !loops.contains(&scope.loop_id) {
+                    loops.push(scope.loop_id);
+                }
+            }
+        }
+        labels.sort();
+        lines.sort_unstable();
+        lines.dedup();
+        loops.sort_unstable();
+        Pattern { kind, nodes, components, op_labels: labels, lines, loops, detail: Detail::None }
+    }
+
+    /// Attaches structural detail.
+    pub fn with_detail(mut self, detail: Detail) -> Pattern {
+        self.detail = detail;
+        self
+    }
+
+    /// True when `self`'s nodes are contained in `other`'s (used by the
+    /// merge phase to discard subsumed patterns).
+    pub fn subsumed_by(&self, other: &Pattern) -> bool {
+        self.nodes.is_subset_of(&other.nodes) && self.nodes.len() < other.nodes.len()
+    }
+
+    /// One-line description, e.g. `tiled_map_reduction fadd,fmul (6 comps)`.
+    pub fn describe(&self) -> String {
+        format!("{} {} ({} comps)", self.kind.full(), self.op_labels.join(","), self.components)
+    }
+}
+
+/// A pattern found by the iterative finder, with the iteration at which
+/// the match happened (Table 3 reports patterns per iteration) and whether
+/// it survives merging.
+#[derive(Clone, Debug)]
+pub struct Found {
+    pub pattern: Pattern,
+    /// 1-based Algorithm-1 iteration of the match.
+    pub iteration: usize,
+    /// False when a later, larger pattern subsumes this one.
+    pub reported: bool,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn short_names_match_table3_legend() {
+        assert_eq!(PatternKind::Map.short(), "m");
+        assert_eq!(PatternKind::ConditionalMap.short(), "cm");
+        assert_eq!(PatternKind::FusedMap.short(), "fm");
+        assert_eq!(PatternKind::TiledReduction.short(), "r");
+        assert_eq!(PatternKind::TiledMapReduction.short(), "mr");
+    }
+
+    #[test]
+    fn families() {
+        assert!(PatternKind::FusedMap.is_map());
+        assert!(!PatternKind::LinearReduction.is_map());
+        assert!(PatternKind::TiledReduction.is_reduction());
+        assert!(!PatternKind::TiledMapReduction.is_reduction());
+    }
+
+    #[test]
+    fn subsumption_is_strict_subset() {
+        let small = Pattern {
+            kind: PatternKind::Map,
+            nodes: BitSet::from_iter(8, [1, 2]),
+            components: 2,
+            op_labels: vec![],
+            lines: vec![],
+            loops: vec![],
+            detail: Detail::None,
+        };
+        let big = Pattern {
+            kind: PatternKind::TiledMapReduction,
+            nodes: BitSet::from_iter(8, [1, 2, 3]),
+            components: 3,
+            op_labels: vec![],
+            lines: vec![],
+            loops: vec![],
+            detail: Detail::None,
+        };
+        assert!(small.subsumed_by(&big));
+        assert!(!big.subsumed_by(&small));
+        assert!(!big.subsumed_by(&big), "a pattern does not subsume itself");
+    }
+}

@@ -1,0 +1,252 @@
+//! Compaction: the quotient view of a sub-DDG (paper §5, "DDG
+//! Compaction").
+//!
+//! Each compaction group (one loop iteration, or a single node for
+//! ungrouped sub-DDGs) becomes one quotient node carrying the facts the
+//! pattern models consume: the multiset of member operation labels (for
+//! the relaxed isomorphism constraints 1c/4c), external input/output
+//! availability (constraints 2c/2d/3e/3f), and group-level reachability
+//! through the *full* simplified DDG (convexity 1e and chaining 3c).
+
+use crate::subddg::SubDdg;
+use ddg::graph::NodeFlags;
+use ddg::{BitSet, Ddg, NodeId};
+
+/// One quotient node.
+#[derive(Clone, Debug)]
+pub struct Group {
+    pub members: Vec<NodeId>,
+    /// Sorted member label ids — equal keys ⇔ operation-isomorphic.
+    pub label_key: Vec<u32>,
+    /// Has an in-arc from outside the sub-DDG, or a member reading raw
+    /// program input.
+    pub ext_in: bool,
+    /// Has an out-arc to outside the sub-DDG, or a member whose value
+    /// reaches program output.
+    pub ext_out: bool,
+    /// Has any incoming arc at all (external or from another group).
+    pub any_in: bool,
+    /// Has any outgoing arc at all (external or to another group).
+    pub any_out: bool,
+}
+
+/// The quotient graph of a sub-DDG.
+#[derive(Debug)]
+pub struct Quotient {
+    pub groups: Vec<Group>,
+    /// Arcs between distinct groups (deduplicated), index-based.
+    pub arcs: Vec<(usize, usize)>,
+    pub succs: Vec<Vec<usize>>,
+    pub preds: Vec<Vec<usize>>,
+    /// `reaches[i]` = groups reachable from group `i` via any path in the
+    /// full simplified DDG (≥ 1 arc), including paths through nodes
+    /// outside the sub-DDG.
+    pub reaches: Vec<BitSet>,
+}
+
+impl Quotient {
+    /// Builds the quotient view of `sub` within `g`.
+    pub fn build(g: &Ddg, sub: &SubDdg) -> Quotient {
+        let singleton_groups;
+        let groups_src: &[Vec<NodeId>] = match &sub.groups {
+            Some(gs) => gs,
+            None => {
+                singleton_groups =
+                    sub.nodes.iter().map(|n| vec![NodeId(n as u32)]).collect::<Vec<_>>();
+                &singleton_groups
+            }
+        };
+
+        // node -> group index (within the sub-DDG).
+        let mut group_of: Vec<Option<u32>> = vec![None; g.len()];
+        for (gi, members) in groups_src.iter().enumerate() {
+            for &m in members {
+                group_of[m.index()] = Some(gi as u32);
+            }
+        }
+
+        let n = groups_src.len();
+        let mut groups: Vec<Group> = groups_src
+            .iter()
+            .map(|members| {
+                let mut label_key: Vec<u32> =
+                    members.iter().map(|&m| g.node(m).label.0).collect();
+                label_key.sort_unstable();
+                let ext_in = members.iter().any(|&m| {
+                    g.node(m).flags.contains(NodeFlags::READS_INPUT)
+                        || g.preds(m).iter().any(|p| group_of[p.index()].is_none())
+                });
+                let ext_out = members.iter().any(|&m| {
+                    g.node(m).flags.contains(NodeFlags::WRITES_OUTPUT)
+                        || g.succs(m).iter().any(|s| group_of[s.index()].is_none())
+                });
+                Group { members: members.clone(), label_key, ext_in, ext_out, any_in: ext_in, any_out: ext_out }
+            })
+            .collect();
+
+        // Arcs between groups.
+        let mut succs = vec![Vec::new(); n];
+        let mut preds = vec![Vec::new(); n];
+        let mut arcs = Vec::new();
+        for (gi, members) in groups_src.iter().enumerate() {
+            for &m in members {
+                if !g.preds(m).is_empty() {
+                    groups[gi].any_in = true;
+                }
+                if !g.succs(m).is_empty() {
+                    groups[gi].any_out = true;
+                }
+                for &s in g.succs(m) {
+                    if let Some(ti) = group_of[s.index()] {
+                        let ti = ti as usize;
+                        if ti != gi {
+                            succs[gi].push(ti);
+                            preds[ti].push(gi);
+                        }
+                    }
+                }
+            }
+        }
+        for (gi, list) in succs.iter_mut().enumerate() {
+            list.sort_unstable();
+            list.dedup();
+            for &t in list.iter() {
+                arcs.push((gi, t));
+            }
+        }
+        for list in preds.iter_mut() {
+            list.sort_unstable();
+            list.dedup();
+        }
+
+        // Group-level reachability through the full graph: BFS from each
+        // group's members.
+        let mut reaches = Vec::with_capacity(n);
+        for members in groups_src {
+            let closure = ddg::algo::reachable_from(g, members.iter().copied());
+            let mut r = BitSet::new(n);
+            for x in closure.iter() {
+                if let Some(t) = group_of[x] {
+                    r.insert(t as usize);
+                }
+            }
+            // A group trivially "reaches itself" only via internal arcs;
+            // exclude self to keep the relation irreflexive for the
+            // independence checks.
+            reaches.push(r);
+        }
+        // Exclude self-reach introduced by internal arcs.
+        for (gi, r) in reaches.iter_mut().enumerate() {
+            r.remove(gi);
+        }
+
+        Quotient { groups, arcs, succs, preds, reaches }
+    }
+
+    /// Number of quotient nodes.
+    pub fn len(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// True when the quotient has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.groups.is_empty()
+    }
+
+    /// True when any two distinct groups can reach one another (used to
+    /// rule maps out fast).
+    pub fn has_inter_group_flow(&self) -> bool {
+        self.reaches.iter().any(|r| !r.is_empty())
+    }
+
+    /// All groups share one label multiset (relaxed op-isomorphism).
+    pub fn groups_isomorphic(&self) -> bool {
+        self.groups.windows(2).all(|w| w[0].label_key == w[1].label_key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::subddg::SubKind;
+    use ddg::DdgBuilder;
+
+    /// Two iteration groups {0,1} and {2,3}, with 1 -> 2 crossing and an
+    /// external node 4 fed by 3.
+    fn grouped_graph() -> (Ddg, SubDdg) {
+        let mut b = DdgBuilder::new();
+        let f = b.intern_label("fmul", true);
+        let a = b.intern_label("fadd", true);
+        let n: Vec<NodeId> = vec![
+            b.add_node(f, 0, 0, 1, 1, 0, vec![]),
+            b.add_node(a, 1, 0, 2, 1, 0, vec![]),
+            b.add_node(f, 0, 0, 1, 1, 0, vec![]),
+            b.add_node(a, 1, 0, 2, 1, 0, vec![]),
+            b.add_node(a, 2, 0, 9, 1, 0, vec![]),
+        ];
+        b.add_arc(n[0], n[1]);
+        b.add_arc(n[1], n[2]); // crosses groups
+        b.add_arc(n[2], n[3]);
+        b.add_arc(n[3], n[4]); // leaves the sub-DDG
+        b.mark_reads_input(n[0]);
+        let g = b.finish();
+        let sub = SubDdg::grouped(
+            BitSet::from_iter(g.len(), [0, 1, 2, 3]),
+            vec![vec![n[0], n[1]], vec![n[2], n[3]]],
+            SubKind::Loop { loop_id: 0 },
+        );
+        (g, sub)
+    }
+
+    #[test]
+    fn builds_groups_with_flags_and_arcs() {
+        let (g, sub) = grouped_graph();
+        let q = Quotient::build(&g, &sub);
+        assert_eq!(q.len(), 2);
+        assert!(q.groups_isomorphic(), "both groups are {{fmul, fadd}}");
+        assert!(q.groups[0].ext_in, "group 0 reads program input");
+        assert!(!q.groups[0].ext_out, "group 0 only feeds group 1");
+        assert!(q.groups[1].ext_out, "group 1 feeds the external node");
+        assert!(!q.groups[1].ext_in);
+        assert_eq!(q.arcs, vec![(0, 1)]);
+        assert!(q.reaches[0].contains(1));
+        assert!(!q.reaches[1].contains(0));
+        assert!(q.has_inter_group_flow());
+    }
+
+    #[test]
+    fn singleton_view_of_ungrouped_subddg() {
+        let (g, _) = grouped_graph();
+        let sub = SubDdg::ungrouped(
+            BitSet::from_iter(g.len(), [1, 3, 4]),
+            SubKind::Assoc { label: "fadd".into() },
+        );
+        let q = Quotient::build(&g, &sub);
+        assert_eq!(q.len(), 3);
+        // 1 reaches 3 through node 2, which is OUTSIDE the sub-DDG: the
+        // full-graph reachability must still see it.
+        assert!(q.reaches[0].contains(1));
+        // But there is no quotient arc 1->3 (no direct arc).
+        assert!(!q.arcs.contains(&(0, 1)));
+        assert!(q.arcs.contains(&(1, 2)), "3 -> 4 is direct");
+    }
+
+    #[test]
+    fn reach_through_outside_detected() {
+        // This is the convexity trap: two groups joined only through an
+        // external node still "reach" each other.
+        let mut b = DdgBuilder::new();
+        let l = b.intern_label("fadd", true);
+        let n: Vec<NodeId> = (0..3).map(|i| b.add_node(l, i, 0, 1, 1, 0, vec![])).collect();
+        b.add_arc(n[0], n[1]);
+        b.add_arc(n[1], n[2]);
+        let g = b.finish();
+        let sub = SubDdg::ungrouped(
+            BitSet::from_iter(g.len(), [0, 2]),
+            SubKind::Assoc { label: "fadd".into() },
+        );
+        let q = Quotient::build(&g, &sub);
+        assert!(q.reaches[0].contains(1), "0 reaches 2 via the outside node 1");
+        assert!(q.arcs.is_empty());
+    }
+}

@@ -1,0 +1,129 @@
+//! Pattern reports: plain text and HTML with highlighted source lines
+//! (paper Fig. 6).
+
+use crate::finder::FinderResult;
+use crate::patterns::Found;
+use repro_ir::Program;
+use std::fmt::Write;
+
+/// A plain-text report of the reported (post-merge) patterns, with their
+/// source lines.
+pub fn render_text(result: &FinderResult, program: &Program) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "pattern report for {}", program.name);
+    let _ = writeln!(
+        out,
+        "DDG: {} nodes ({} after simplification, {:.2}x reduction)",
+        result.ddg_size,
+        result.simplified_size,
+        result.simplify_stats.reduction()
+    );
+    let _ = writeln!(out, "iterations: {}", result.iterations);
+    for f in result.reported() {
+        let _ = writeln!(out, "- [it.{}] {}", f.iteration, f.pattern.describe());
+        for &(file, line) in &f.pattern.lines {
+            let loc = repro_ir::Loc::in_file(file, line, 1);
+            if let Some(text) = program.source_line(loc) {
+                let fname = program
+                    .files
+                    .get(file as usize)
+                    .map(|s| s.as_str())
+                    .unwrap_or("<unknown>");
+                let _ = writeln!(out, "    {fname}:{line}: {}", text.trim_end());
+            }
+        }
+    }
+    out
+}
+
+/// An HTML report: each source file rendered with pattern-annotated lines
+/// highlighted, in the spirit of the paper's Fig. 6 screenshot.
+pub fn render_html(result: &FinderResult, program: &Program) -> String {
+    let reported: Vec<&Found> = result.reported().collect();
+    let mut html = String::new();
+    html.push_str("<!DOCTYPE html>\n<html><head><meta charset=\"utf-8\">\n");
+    let _ = writeln!(html, "<title>patterns: {}</title>", escape(&program.name));
+    html.push_str(
+        "<style>\n\
+         body { font-family: monospace; background: #fff; }\n\
+         .line { white-space: pre; }\n\
+         .hit { background: #d9d9d9; }\n\
+         .tag { color: #804000; font-weight: bold; padding-left: 2em; }\n\
+         .lineno { color: #888; display: inline-block; width: 3em; }\n\
+         h2 { font-family: sans-serif; }\n\
+         </style></head><body>\n",
+    );
+    let _ = writeln!(html, "<h1>Patterns found in {}</h1>", escape(&program.name));
+    let _ = writeln!(
+        html,
+        "<p>{} pattern(s) reported after {} iteration(s).</p>",
+        reported.len(),
+        result.iterations
+    );
+
+    for (file_idx, (fname, source)) in
+        program.files.iter().zip(&program.sources).enumerate()
+    {
+        let _ = writeln!(html, "<h2>{}</h2>", escape(fname));
+        for (lineno0, line) in source.lines().enumerate() {
+            let line_no = lineno0 as u32 + 1;
+            // Patterns touching this line, annotated after it.
+            let tags: Vec<String> = reported
+                .iter()
+                .filter(|f| {
+                    f.pattern.lines.contains(&(file_idx as u16, line_no))
+                })
+                .map(|f| format!("{} {}", f.pattern.kind.full(), f.pattern.op_labels.join(",")))
+                .collect();
+            let class = if tags.is_empty() { "line" } else { "line hit" };
+            let _ = write!(
+                html,
+                "<div class=\"{class}\"><span class=\"lineno\">{line_no}</span>{}",
+                escape(line)
+            );
+            for t in &tags {
+                let _ = write!(html, "<span class=\"tag\">&larr; {}</span>", escape(t));
+            }
+            html.push_str("</div>\n");
+        }
+    }
+    html.push_str("</body></html>\n");
+    html
+}
+
+fn escape(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::finder::{find_patterns, FinderConfig};
+    use trace::{run, RunConfig};
+
+    fn map_result() -> (FinderResult, Program) {
+        let src = "float in[4];\nfloat out[4];\nvoid main() {\n  int i;\n  for (i = 0; i < 4; i++) {\n    out[i] = in[i] * 2.0;\n  }\n  output(out);\n}\n";
+        let p = minc::compile("demo", src).unwrap();
+        let cfg = RunConfig::default().with_f64("in", &[1.0, 2.0, 3.0, 4.0]);
+        let r = run(&p, &cfg).unwrap();
+        (find_patterns(&r.ddg.unwrap(), &FinderConfig::default()), p)
+    }
+
+    #[test]
+    fn text_report_names_pattern_and_line() {
+        let (result, p) = map_result();
+        let text = render_text(&result, &p);
+        assert!(text.contains("map"), "{text}");
+        assert!(text.contains("out[i] = in[i] * 2.0;"), "{text}");
+        assert!(text.contains("main.mc:6"), "{text}");
+    }
+
+    #[test]
+    fn html_report_highlights_the_map_line() {
+        let (result, p) = map_result();
+        let html = render_html(&result, &p);
+        assert!(html.contains("class=\"line hit\""));
+        assert!(html.contains("map fmul"), "{html}");
+        assert!(html.contains("&lt;"), "source is escaped");
+    }
+}

@@ -1,0 +1,229 @@
+//! DDG simplification (paper §5, "DDG Simplification").
+//!
+//! Removes the computation that "does not generally characterize a pattern":
+//!
+//! * **traversal bookkeeping** — nodes flagged by generalized iterator
+//!   recognition (induction updates and bound tests of non-counted loops);
+//! * **memory-address and branch-condition computation** — integer
+//!   arithmetic, comparisons, and selects whose values flow (transitively)
+//!   only into address operands or branch decisions, never into data that
+//!   reaches memory, floats, or program output.
+//!
+//! The address rule is deliberately *label-gated*: only "address-shaped"
+//! operations (integer arithmetic, `icmp`/`fcmp`, `select`) may join the
+//! removal cascade. Substantive integer computation (e.g. md5's mixing)
+//! always flows into stored data or output and is therefore kept, while a
+//! kmeans-style cluster index — consumed exclusively by subscript
+//! arithmetic — is stripped together with its `select` chain, removing the
+//! candidate map's outgoing arcs exactly as the paper describes for its
+//! two missed kmeans maps.
+
+use ddg::graph::NodeFlags;
+use ddg::{BitSet, Ddg, NodeId};
+
+/// Sizes before/after, for the paper's "3.82× average reduction" statistic.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SimplifyStats {
+    pub nodes_before: usize,
+    pub nodes_after: usize,
+    pub iterator_removed: usize,
+    pub address_removed: usize,
+}
+
+impl SimplifyStats {
+    /// The reduction factor (≥ 1.0).
+    pub fn reduction(&self) -> f64 {
+        if self.nodes_after == 0 {
+            self.nodes_before.max(1) as f64
+        } else {
+            self.nodes_before as f64 / self.nodes_after as f64
+        }
+    }
+}
+
+/// Labels allowed to join the address/control removal cascade.
+fn removable_label(label: &str) -> bool {
+    matches!(
+        label,
+        "add" | "sub" | "mul" | "sdiv" | "srem" | "shl" | "lshr" | "smin" | "smax" | "select"
+            | "neg" | "fptosi"
+    ) || label.starts_with("icmp.")
+        || label.starts_with("fcmp.")
+}
+
+/// Simplifies a DDG. Returns the reduced graph, the mapping from old node
+/// ids to new ones, and statistics.
+pub fn simplify(g: &Ddg) -> (Ddg, Vec<Option<NodeId>>, SimplifyStats) {
+    let n = g.len();
+    let mut removed = BitSet::new(n);
+    let mut stats = SimplifyStats { nodes_before: n, ..Default::default() };
+
+    // Phase 1: traversal bookkeeping.
+    for id in g.node_ids() {
+        if g.node(id).flags.contains(NodeFlags::ITERATOR) {
+            removed.insert(id.index());
+            stats.iterator_removed += 1;
+        }
+    }
+
+    // Phase 2: address/control cascade to fixpoint. A node joins when its
+    // label is address-shaped, it does not feed program output, and every
+    // value successor has already joined. This covers nodes whose only
+    // uses are addresses or branch decisions, and dead address-shaped
+    // computation (a coordinate conversion short-circuited past its bounds
+    // tests) — neither characterizes a pattern.
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for id in g.node_ids() {
+            if removed.contains(id.index()) {
+                continue;
+            }
+            let node = g.node(id);
+            if node.flags.contains(NodeFlags::WRITES_OUTPUT) {
+                continue;
+            }
+            if !removable_label(g.label_str(node.label)) {
+                continue;
+            }
+            let all_succs_removed =
+                g.succs(id).iter().all(|s| removed.contains(s.index()));
+            if all_succs_removed {
+                removed.insert(id.index());
+                stats.address_removed += 1;
+                changed = true;
+            }
+        }
+    }
+
+    let keep = BitSet::full(n).difference(&removed);
+    let (out, map) = g.induced(&keep);
+    stats.nodes_after = out.len();
+    (out, map, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use repro_ir::{BinOp, Expr, FnBuilder, ProgramBuilder, Type};
+    use trace::{run, RunConfig};
+
+    fn simplify_run(p: &repro_ir::Program, cfg: &RunConfig) -> (Ddg, SimplifyStats) {
+        let r = run(p, cfg).unwrap();
+        let g = r.ddg.unwrap();
+        let (s, _, stats) = simplify(&g);
+        (s, stats)
+    }
+
+    #[test]
+    fn strips_address_computation_keeps_data() {
+        // out[i*2] = in[i] * 3.0 : the i*2 mul must vanish, the fmul stays.
+        let mut pb = ProgramBuilder::new("addr");
+        let inp = pb.global("in", Type::F64, 3);
+        let out = pb.global("out", Type::F64, 6);
+        let mut f = pb.function("main", vec![], None);
+        f.for_loop("i", Expr::Int(0), Expr::Int(3), |f, i| {
+            let ld = f.load(inp, Expr::Var(i));
+            let v = f.bin(BinOp::FMul, ld, Expr::Float(3.0));
+            let idx = f.bin(BinOp::Mul, Expr::Var(i), Expr::Int(2));
+            vec![FnBuilder::stmt_store(out, idx, v)]
+        });
+        f.push(repro_ir::Stmt::Output { arr: out, loc: repro_ir::Loc::NONE });
+        let main = f.finish();
+        let p = pb.finish(main);
+        let (s, stats) = simplify_run(&p, &RunConfig::default().with_f64("in", &[1.0, 2.0, 3.0]));
+        assert_eq!(stats.nodes_before, 6); // 3 muls + 3 fmuls
+        assert_eq!(s.len(), 3);
+        assert_eq!(stats.address_removed, 3);
+        for id in s.node_ids() {
+            assert_eq!(s.label_str(s.node(id).label), "fmul");
+        }
+    }
+
+    #[test]
+    fn cascade_removes_transitive_address_chains() {
+        // idx = (i * 4) + 1 used as address: both int ops go.
+        let mut pb = ProgramBuilder::new("chain");
+        let inp = pb.global("in", Type::F64, 16);
+        let out = pb.global("out", Type::F64, 16);
+        let mut f = pb.function("main", vec![], None);
+        f.for_loop("i", Expr::Int(0), Expr::Int(2), |f, i| {
+            let i4 = f.bin(BinOp::Mul, Expr::Var(i), Expr::Int(4));
+            let idx = f.bin(BinOp::Add, i4, Expr::Int(1));
+            let ld = f.load(inp, idx.clone());
+            let v = f.bin(BinOp::FAdd, ld, Expr::Float(1.0));
+            vec![FnBuilder::stmt_store(out, idx, v)]
+        });
+        f.push(repro_ir::Stmt::Output { arr: out, loc: repro_ir::Loc::NONE });
+        let main = f.finish();
+        let p = pb.finish(main);
+        let (s, stats) = simplify_run(&p, &RunConfig::default().with_len("in", 16));
+        // Note idx is evaluated twice per iteration (load and store).
+        assert_eq!(s.len(), 2, "only the fadds survive");
+        assert_eq!(stats.address_removed, stats.nodes_before - 2);
+    }
+
+    #[test]
+    fn keeps_integer_data_computation() {
+        // md5-style: out[i] = (in[i] ^ 21) + 7 — integer ops stored as data.
+        let mut pb = ProgramBuilder::new("intdata");
+        let inp = pb.global("in", Type::I64, 4);
+        let out = pb.global("out", Type::I64, 4);
+        let mut f = pb.function("main", vec![], None);
+        f.for_loop("i", Expr::Int(0), Expr::Int(4), |f, i| {
+            let ld = f.load(inp, Expr::Var(i));
+            let x = f.bin(BinOp::Xor, ld, Expr::Int(21));
+            let v = f.bin(BinOp::Add, x, Expr::Int(7));
+            vec![FnBuilder::stmt_store(out, Expr::Var(i), v)]
+        });
+        f.push(repro_ir::Stmt::Output { arr: out, loc: repro_ir::Loc::NONE });
+        let main = f.finish();
+        let p = pb.finish(main);
+        let (s, stats) =
+            simplify_run(&p, &RunConfig::default().with_i64("in", &[1, 2, 3, 4]));
+        assert_eq!(stats.address_removed, 0, "data-producing int ops are kept");
+        assert_eq!(s.len(), 8);
+    }
+
+    #[test]
+    fn removes_branch_condition_computation() {
+        // if (in[i] > 0.5) out[i] = in[i] + 1.0 — the fcmp disappears, the
+        // conditional body computation stays.
+        let mut pb = ProgramBuilder::new("cond");
+        let inp = pb.global("in", Type::F64, 4);
+        let out = pb.global("out", Type::F64, 4);
+        let mut f = pb.function("main", vec![], None);
+        f.for_loop("i", Expr::Int(0), Expr::Int(4), |f, i| {
+            let ld = f.load(inp, Expr::Var(i));
+            let cond = f.bin(BinOp::FGt, ld.clone(), Expr::Float(0.5));
+            let v = f.bin(BinOp::FAdd, ld, Expr::Float(1.0));
+            vec![repro_ir::Stmt::If {
+                cond,
+                then_body: vec![FnBuilder::stmt_store(out, Expr::Var(i), v)],
+                else_body: vec![],
+                loc: repro_ir::Loc::NONE,
+            }]
+        });
+        f.push(repro_ir::Stmt::Output { arr: out, loc: repro_ir::Loc::NONE });
+        let main = f.finish();
+        let p = pb.finish(main);
+        let (s, _) =
+            simplify_run(&p, &RunConfig::default().with_f64("in", &[0.1, 0.9, 0.2, 0.8]));
+        // 4 fcmps removed; fadds: evaluated in all 4 iterations (the value
+        // is computed before the branch in this IR shape), all kept.
+        let labels: Vec<&str> =
+            s.node_ids().map(|n| s.label_str(s.node(n).label)).collect();
+        assert!(labels.iter().all(|&l| l == "fadd"));
+    }
+
+    #[test]
+    fn stats_reduction_factor() {
+        let s = SimplifyStats {
+            nodes_before: 382,
+            nodes_after: 100,
+            iterator_removed: 100,
+            address_removed: 182,
+        };
+        assert!((s.reduction() - 3.82).abs() < 1e-9);
+    }
+}

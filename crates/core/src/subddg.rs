@@ -1,0 +1,240 @@
+//! Sub-DDGs: the unit of work of the iterative finder.
+//!
+//! A sub-DDG is a subset of the simplified DDG's nodes, optionally
+//! *grouped* (the compaction structure: one group per loop iteration), and
+//! tagged with its provenance — which decides the pattern models it is
+//! matched against and how it combines with others (paper §5).
+
+use ddg::{BitSet, Ddg, NodeId};
+
+/// Provenance of a sub-DDG.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum SubKind {
+    /// The dynamic scope of one static loop (compacted per iteration).
+    /// Matched against map and reduction models.
+    Loop { loop_id: u32 },
+    /// A weakly connected component over one associative operation.
+    /// Matched against reduction models.
+    Assoc { label: String },
+    /// Subtraction result; inherits the matching behavior of its base.
+    /// `from_loop` keeps the loop id when the base was loop-shaped.
+    Derived { from_loop: Option<u32> },
+    /// Fusion of a matched map with another matched sub-DDG: the map part,
+    /// the other part, and what the other part matched — which decides
+    /// whether the fused-map or a map-reduction model applies.
+    Fused { map_part: BitSet, other_part: BitSet, other_kind: crate::patterns::PatternKind },
+}
+
+/// A sub-DDG in the pool.
+#[derive(Clone, Debug)]
+pub struct SubDdg {
+    /// Nodes, as indices into the *simplified* DDG.
+    pub nodes: BitSet,
+    /// Compaction groups (disjoint, covering `nodes`) — `None` for
+    /// ungrouped (associative-component) sub-DDGs.
+    pub groups: Option<Vec<Vec<NodeId>>>,
+    pub kind: SubKind,
+}
+
+impl SubDdg {
+    /// An ungrouped sub-DDG.
+    pub fn ungrouped(nodes: BitSet, kind: SubKind) -> Self {
+        SubDdg { nodes, groups: None, kind }
+    }
+
+    /// A grouped (compacted) sub-DDG; `groups` must partition `nodes`.
+    pub fn grouped(nodes: BitSet, groups: Vec<Vec<NodeId>>, kind: SubKind) -> Self {
+        debug_assert_eq!(groups.iter().map(|g| g.len()).sum::<usize>(), nodes.len());
+        SubDdg { nodes, groups: Some(groups), kind }
+    }
+
+    /// Pool identity: node set plus a structural-kind tag. A loop sub-DDG,
+    /// an associative sub-DDG, and a fusion over the same nodes are
+    /// distinct pool entries — they are matched against different models
+    /// (in a sequential map-reduction, the fused map∪reduction covers
+    /// exactly the original loop's nodes, yet is a new sub-DDG).
+    pub fn pool_key(&self) -> (Vec<u64>, u8) {
+        let words: Vec<u64> = {
+            let mut w = vec![0u64; self.nodes.capacity().div_ceil(64)];
+            for i in self.nodes.iter() {
+                w[i / 64] |= 1 << (i % 64);
+            }
+            w
+        };
+        let tag = match &self.kind {
+            SubKind::Loop { .. } => 0,
+            SubKind::Assoc { .. } => 1,
+            SubKind::Derived { from_loop: Some(_) } => 2,
+            SubKind::Derived { from_loop: None } => 3,
+            SubKind::Fused { other_kind, .. } if other_kind.is_map() => 4,
+            SubKind::Fused { .. } => 5,
+        };
+        (words, tag)
+    }
+
+    /// Subtraction: `self − other`, with grouping filtered (paper "DDG
+    /// Subtraction"). Returns `None` when nothing (or everything) remains.
+    pub fn subtract(&self, other: &BitSet) -> Option<SubDdg> {
+        if !self.nodes.intersects(other) {
+            return None;
+        }
+        let nodes = self.nodes.difference(other);
+        if nodes.is_empty() {
+            return None;
+        }
+        let groups = self.groups.as_ref().map(|gs| {
+            gs.iter()
+                .map(|g| {
+                    g.iter().copied().filter(|n| nodes.contains(n.index())).collect::<Vec<_>>()
+                })
+                .filter(|g| !g.is_empty())
+                .collect::<Vec<_>>()
+        });
+        let from_loop = match &self.kind {
+            SubKind::Loop { loop_id } => Some(*loop_id),
+            SubKind::Derived { from_loop } => *from_loop,
+            _ => None,
+        };
+        Some(SubDdg { nodes, groups, kind: SubKind::Derived { from_loop } })
+    }
+
+    /// True when every arc leaving `self` lands in `other` and at least
+    /// one such arc exists — the paper's *adjacency* precondition for
+    /// fusion ("all arcs from one flow into the other").
+    pub fn flows_into(&self, other: &SubDdg, g: &Ddg) -> bool {
+        let mut any = false;
+        for u in self.nodes.iter() {
+            for &v in g.succs(NodeId(u as u32)) {
+                if self.nodes.contains(v.index()) {
+                    continue;
+                }
+                if !other.nodes.contains(v.index()) {
+                    return false;
+                }
+                any = true;
+            }
+        }
+        any
+    }
+
+    /// Fusion: node-set union, concatenating groupings (ungrouped nodes
+    /// become singleton groups). The caller provides the result kind.
+    pub fn fuse(&self, other: &SubDdg, kind: SubKind) -> SubDdg {
+        let nodes = self.nodes.union(&other.nodes);
+        let mut groups: Vec<Vec<NodeId>> = Vec::new();
+        let mut seen = BitSet::new(nodes.capacity());
+        for part in [self, other] {
+            match &part.groups {
+                Some(gs) => {
+                    for gr in gs {
+                        let fresh: Vec<NodeId> =
+                            gr.iter().copied().filter(|n| seen.insert(n.index())).collect();
+                        if !fresh.is_empty() {
+                            groups.push(fresh);
+                        }
+                    }
+                }
+                None => {
+                    for n in part.nodes.iter() {
+                        if seen.insert(n) {
+                            groups.push(vec![NodeId(n as u32)]);
+                        }
+                    }
+                }
+            }
+        }
+        SubDdg { nodes, groups: Some(groups), kind }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ddg::DdgBuilder;
+
+    fn four_node_graph() -> Ddg {
+        let mut b = DdgBuilder::new();
+        let l = b.intern_label("fadd", true);
+        let n: Vec<NodeId> = (0..4).map(|i| b.add_node(l, i, 0, 1, 1, 0, vec![])).collect();
+        b.add_arc(n[0], n[2]);
+        b.add_arc(n[1], n[2]);
+        b.add_arc(n[2], n[3]);
+        b.finish()
+    }
+
+    #[test]
+    fn subtract_filters_groups() {
+        let g = four_node_graph();
+        let s = SubDdg::grouped(
+            BitSet::from_iter(g.len(), [0, 1, 2]),
+            vec![vec![NodeId(0), NodeId(1)], vec![NodeId(2)]],
+            SubKind::Loop { loop_id: 7 },
+        );
+        let taken = BitSet::from_iter(g.len(), [1, 2]);
+        let d = s.subtract(&taken).unwrap();
+        assert_eq!(d.nodes.iter().collect::<Vec<_>>(), vec![0]);
+        assert_eq!(d.groups.as_ref().unwrap().len(), 1);
+        assert_eq!(d.kind, SubKind::Derived { from_loop: Some(7) });
+        // Complete removal yields None.
+        assert!(s.subtract(&BitSet::from_iter(g.len(), [0, 1, 2])).is_none());
+        // Disjoint subtraction yields None (no new sub-DDG).
+        assert!(s.subtract(&BitSet::from_iter(g.len(), [3])).is_none());
+    }
+
+    #[test]
+    fn adjacency_requires_all_arcs_into_target() {
+        let g = four_node_graph();
+        let src = SubDdg::ungrouped(
+            BitSet::from_iter(g.len(), [0, 1]),
+            SubKind::Assoc { label: "fadd".into() },
+        );
+        let dst_all = SubDdg::ungrouped(
+            BitSet::from_iter(g.len(), [2, 3]),
+            SubKind::Assoc { label: "fadd".into() },
+        );
+        let dst_partial = SubDdg::ungrouped(
+            BitSet::from_iter(g.len(), [3]),
+            SubKind::Assoc { label: "fadd".into() },
+        );
+        assert!(src.flows_into(&dst_all, &g));
+        assert!(!src.flows_into(&dst_partial, &g), "arc 0->2 escapes the target");
+        assert!(!dst_all.flows_into(&src, &g), "no arcs flow back");
+    }
+
+    #[test]
+    fn fusion_unions_and_groups() {
+        let g = four_node_graph();
+        let a = SubDdg::grouped(
+            BitSet::from_iter(g.len(), [0, 1]),
+            vec![vec![NodeId(0)], vec![NodeId(1)]],
+            SubKind::Loop { loop_id: 0 },
+        );
+        let b = SubDdg::ungrouped(
+            BitSet::from_iter(g.len(), [2, 3]),
+            SubKind::Assoc { label: "fadd".into() },
+        );
+        let fused = a.fuse(
+            &b,
+            SubKind::Fused {
+                map_part: a.nodes.clone(),
+                other_part: b.nodes.clone(),
+                other_kind: crate::patterns::PatternKind::LinearReduction,
+            },
+        );
+        assert_eq!(fused.nodes.len(), 4);
+        assert_eq!(fused.groups.as_ref().unwrap().len(), 4);
+    }
+
+    #[test]
+    fn pool_keys_distinguish_grouping() {
+        let g = four_node_graph();
+        let nodes = BitSet::from_iter(g.len(), [0, 1]);
+        let a = SubDdg::ungrouped(nodes.clone(), SubKind::Assoc { label: "fadd".into() });
+        let b = SubDdg::grouped(
+            nodes,
+            vec![vec![NodeId(0)], vec![NodeId(1)]],
+            SubKind::Loop { loop_id: 0 },
+        );
+        assert_ne!(a.pool_key(), b.pool_key());
+    }
+}

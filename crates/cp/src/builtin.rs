@@ -1,0 +1,204 @@
+//! Generic constraints shipped with the solver.
+//!
+//! The pattern models in `discovery` define their own global constraints
+//! over DDG structure; these built-ins cover the generic parts (mutual
+//! distinctness of component indices, coverage lower bounds used by the
+//! branch-and-bound maximization) and give the test suite classic CSPs to
+//! validate the kernel on.
+
+use crate::propagator::{Propagation, Propagator};
+use crate::store::{Store, VarId};
+
+/// `x != y (+ offset)` — with value semantics `x ≠ y + offset`.
+pub struct NotEqual {
+    x: VarId,
+    y: VarId,
+    offset: i64,
+}
+
+impl NotEqual {
+    pub fn new(x: VarId, y: VarId) -> Self {
+        NotEqual { x, y, offset: 0 }
+    }
+
+    /// `x != y + offset` (n-queens diagonals, chain positions).
+    pub fn with_offset(x: VarId, y: VarId, offset: i64) -> Self {
+        NotEqual { x, y, offset }
+    }
+}
+
+impl Propagator for NotEqual {
+    fn watches(&self) -> Vec<VarId> {
+        vec![self.x, self.y]
+    }
+
+    fn propagate(&mut self, store: &mut Store) -> Propagation {
+        if store.dom(self.y).is_fixed() {
+            let forbidden = store.dom(self.y).value() as i64 + self.offset;
+            if forbidden >= 0 && !store.remove(self.x, forbidden as u32) {
+                return Propagation::Conflict;
+            }
+        }
+        if store.dom(self.x).is_fixed() {
+            let forbidden = store.dom(self.x).value() as i64 - self.offset;
+            if forbidden >= 0 && !store.remove(self.y, forbidden as u32) {
+                return Propagation::Conflict;
+            }
+        }
+        Propagation::Stable
+    }
+
+    fn name(&self) -> &str {
+        "not-equal"
+    }
+}
+
+/// All variables take pairwise distinct values, except those equal to the
+/// optional `except` value (the pattern models' "0 = excluded" sentinel).
+pub struct AllDifferent {
+    vars: Vec<VarId>,
+    except: Option<u32>,
+}
+
+impl AllDifferent {
+    pub fn new(vars: Vec<VarId>) -> Self {
+        AllDifferent { vars, except: None }
+    }
+
+    pub fn except(vars: Vec<VarId>, except: u32) -> Self {
+        AllDifferent { vars, except: Some(except) }
+    }
+}
+
+impl Propagator for AllDifferent {
+    fn watches(&self) -> Vec<VarId> {
+        self.vars.clone()
+    }
+
+    fn propagate(&mut self, store: &mut Store) -> Propagation {
+        // Value-based filtering: each fixed value is pruned elsewhere.
+        // (Arc-consistent matching filtering is overkill at our sizes.)
+        for i in 0..self.vars.len() {
+            let x = self.vars[i];
+            if !store.dom(x).is_fixed() {
+                continue;
+            }
+            let v = store.dom(x).value();
+            if self.except == Some(v) {
+                continue;
+            }
+            for &y in &self.vars {
+                if y != x && !store.remove(y, v) {
+                    return Propagation::Conflict;
+                }
+            }
+        }
+        Propagation::Stable
+    }
+
+    fn name(&self) -> &str {
+        "all-different"
+    }
+}
+
+/// At least `k` of the variables must end up non-zero. Used as the
+/// branch-and-bound cut when maximizing pattern coverage: after finding a
+/// solution with coverage `c`, the search raises the (shared) bound to
+/// `c + 1` and keeps going.
+pub struct NonZeroAtLeast {
+    vars: Vec<VarId>,
+    k: std::rc::Rc<std::cell::Cell<usize>>,
+}
+
+impl NonZeroAtLeast {
+    pub fn new(vars: Vec<VarId>, k: usize) -> Self {
+        NonZeroAtLeast { vars, k: std::rc::Rc::new(std::cell::Cell::new(k)) }
+    }
+
+    /// A propagator whose bound the search can raise mid-run.
+    pub fn with_shared_bound(vars: Vec<VarId>, k: std::rc::Rc<std::cell::Cell<usize>>) -> Self {
+        NonZeroAtLeast { vars, k }
+    }
+}
+
+impl Propagator for NonZeroAtLeast {
+    fn watches(&self) -> Vec<VarId> {
+        self.vars.clone()
+    }
+
+    fn propagate(&mut self, store: &mut Store) -> Propagation {
+        let k = self.k.get();
+        let possibly_nonzero = self
+            .vars
+            .iter()
+            .filter(|&&x| !(store.dom(x).is_fixed() && store.dom(x).value() == 0))
+            .count();
+        if possibly_nonzero < k {
+            return Propagation::Conflict;
+        }
+        // When the bound is tight, every still-free variable must be
+        // non-zero.
+        if possibly_nonzero == k {
+            for &x in &self.vars {
+                if !store.dom(x).is_fixed() && !store.remove(x, 0) {
+                    return Propagation::Conflict;
+                }
+            }
+        }
+        Propagation::Stable
+    }
+
+    fn name(&self) -> &str {
+        "nonzero-at-least"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::propagator::Engine;
+
+    #[test]
+    fn alldiff_prunes_fixed_values() {
+        let mut store = Store::new();
+        let a = store.new_var(1, 1);
+        let b = store.new_var(1, 2);
+        let c = store.new_var(1, 3);
+        let mut eng = Engine::new();
+        eng.post(&store, Box::new(AllDifferent::new(vec![a, b, c])));
+        assert!(eng.propagate(&mut store));
+        assert_eq!(store.dom(b).value(), 2);
+        assert_eq!(store.dom(c).value(), 3);
+    }
+
+    #[test]
+    fn alldiff_except_zero_allows_repeats_of_zero() {
+        let mut store = Store::new();
+        let a = store.new_var(0, 0);
+        let b = store.new_var(0, 0);
+        let c = store.new_var(0, 1);
+        let mut eng = Engine::new();
+        eng.post(&store, Box::new(AllDifferent::except(vec![a, b, c], 0)));
+        assert!(eng.propagate(&mut store));
+        // Two zeros coexist; c keeps both values.
+        assert_eq!(store.dom(c).size(), 2);
+    }
+
+    #[test]
+    fn nonzero_at_least_forces_and_fails() {
+        let mut store = Store::new();
+        let a = store.new_var(0, 2);
+        let b = store.new_var(0, 0);
+        let mut eng = Engine::new();
+        eng.post(&store, Box::new(NonZeroAtLeast::new(vec![a, b], 1)));
+        assert!(eng.propagate(&mut store));
+        assert!(!store.dom(a).contains(0), "a must become non-zero");
+
+        let mut store2 = Store::new();
+        let a2 = store2.new_var(0, 0);
+        let b2 = store2.new_var(0, 0);
+        let mut eng2 = Engine::new();
+        eng2.post(&store2, Box::new(NonZeroAtLeast::new(vec![a2, b2], 1)));
+        assert!(!eng2.propagate(&mut store2));
+    }
+}

@@ -1,0 +1,179 @@
+//! Bitset domains over small non-negative integer ranges.
+
+/// The set of values an integer variable may still take. Values are `u32`s
+/// bounded by the domain's initial range; pattern models use values
+/// `0..=n` where 0 conventionally means "excluded from the pattern".
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Domain {
+    words: Box<[u64]>,
+    /// Cached population count.
+    size: u32,
+}
+
+impl Domain {
+    /// The full range `lo..=hi`.
+    pub fn range(lo: u32, hi: u32) -> Domain {
+        assert!(lo <= hi, "empty initial domain");
+        let nwords = (hi as usize + 64) / 64;
+        let mut words = vec![0u64; nwords].into_boxed_slice();
+        for v in lo..=hi {
+            words[(v / 64) as usize] |= 1 << (v % 64);
+        }
+        Domain { words, size: hi - lo + 1 }
+    }
+
+    /// A singleton domain.
+    pub fn constant(v: u32) -> Domain {
+        let mut d = Domain::range(v, v);
+        d.size = 1;
+        d
+    }
+
+    /// Number of remaining values.
+    #[inline]
+    pub fn size(&self) -> u32 {
+        self.size
+    }
+
+    /// True when exactly one value remains.
+    #[inline]
+    pub fn is_fixed(&self) -> bool {
+        self.size == 1
+    }
+
+    /// True when no value remains (conflict).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.size == 0
+    }
+
+    /// Membership test.
+    #[inline]
+    pub fn contains(&self, v: u32) -> bool {
+        let w = (v / 64) as usize;
+        w < self.words.len() && self.words[w] & (1 << (v % 64)) != 0
+    }
+
+    /// The smallest remaining value. Panics when empty.
+    pub fn min(&self) -> u32 {
+        for (i, &w) in self.words.iter().enumerate() {
+            if w != 0 {
+                return i as u32 * 64 + w.trailing_zeros();
+            }
+        }
+        panic!("min of empty domain")
+    }
+
+    /// The largest remaining value. Panics when empty.
+    pub fn max(&self) -> u32 {
+        for (i, &w) in self.words.iter().enumerate().rev() {
+            if w != 0 {
+                return i as u32 * 64 + 63 - w.leading_zeros();
+            }
+        }
+        panic!("max of empty domain")
+    }
+
+    /// The fixed value; panics unless [`Self::is_fixed`].
+    pub fn value(&self) -> u32 {
+        assert!(self.is_fixed(), "value() on unfixed domain");
+        self.min()
+    }
+
+    /// Removes `v`; returns true when the domain changed.
+    pub fn remove(&mut self, v: u32) -> bool {
+        let w = (v / 64) as usize;
+        if w >= self.words.len() {
+            return false;
+        }
+        let mask = 1u64 << (v % 64);
+        if self.words[w] & mask != 0 {
+            self.words[w] &= !mask;
+            self.size -= 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Reduces to the singleton `{v}`; returns true when the domain
+    /// changed. The caller must ensure `v` is currently contained.
+    pub fn assign(&mut self, v: u32) -> bool {
+        debug_assert!(self.contains(v));
+        if self.is_fixed() {
+            return false;
+        }
+        for w in self.words.iter_mut() {
+            *w = 0;
+        }
+        self.words[(v / 64) as usize] = 1 << (v % 64);
+        self.size = 1;
+        true
+    }
+
+    /// Iterates over the remaining values in increasing order.
+    pub fn iter(&self) -> impl Iterator<Item = u32> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            let mut bits = w;
+            std::iter::from_fn(move || {
+                if bits == 0 {
+                    None
+                } else {
+                    let b = bits.trailing_zeros();
+                    bits &= bits - 1;
+                    Some(wi as u32 * 64 + b)
+                }
+            })
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn range_and_membership() {
+        let d = Domain::range(2, 6);
+        assert_eq!(d.size(), 5);
+        assert!(d.contains(2) && d.contains(6));
+        assert!(!d.contains(1) && !d.contains(7));
+        assert_eq!(d.min(), 2);
+        assert_eq!(d.max(), 6);
+    }
+
+    #[test]
+    fn remove_and_assign() {
+        let mut d = Domain::range(0, 70);
+        assert!(d.remove(64));
+        assert!(!d.remove(64));
+        assert_eq!(d.size(), 70);
+        assert!(d.assign(5));
+        assert!(d.is_fixed());
+        assert_eq!(d.value(), 5);
+        assert!(!d.assign(5), "assigning a fixed domain is a no-op");
+    }
+
+    #[test]
+    fn emptying_detected() {
+        let mut d = Domain::range(3, 3);
+        assert!(d.is_fixed());
+        assert!(d.remove(3));
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn iteration() {
+        let mut d = Domain::range(0, 5);
+        d.remove(1);
+        d.remove(4);
+        assert_eq!(d.iter().collect::<Vec<_>>(), vec![0, 2, 3, 5]);
+    }
+
+    #[test]
+    fn constant_domain() {
+        let d = Domain::constant(9);
+        assert!(d.is_fixed());
+        assert_eq!(d.value(), 9);
+    }
+}

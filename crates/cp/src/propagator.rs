@@ -1,0 +1,154 @@
+//! The propagator interface and the propagation engine.
+
+use crate::store::{Store, VarId};
+
+/// Result of one propagator invocation.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Propagation {
+    /// Domains are consistent as far as this propagator can tell.
+    Stable,
+    /// The constraint is violated: the search must backtrack.
+    Conflict,
+}
+
+/// A constraint's filtering algorithm. Implementations prune domains
+/// through the [`Store`] API; the engine re-invokes a propagator whenever
+/// one of its watched variables changes.
+pub trait Propagator {
+    /// Variables whose changes should wake this propagator. An empty list
+    /// means "wake on every change" (used by cheap global constraints).
+    fn watches(&self) -> Vec<VarId>;
+
+    /// Prunes; returns [`Propagation::Conflict`] when the constraint
+    /// cannot be satisfied. Pruning that empties a domain is also reported
+    /// by the store itself.
+    fn propagate(&mut self, store: &mut Store) -> Propagation;
+
+    /// A short name for diagnostics.
+    fn name(&self) -> &str {
+        "propagator"
+    }
+}
+
+/// The propagation engine: owns the propagators and their watch lists.
+#[derive(Default)]
+pub struct Engine {
+    propagators: Vec<Box<dyn Propagator>>,
+    /// watch_lists[var] = propagator indices.
+    watch_lists: Vec<Vec<u32>>,
+    /// Propagators woken by every change.
+    global_watchers: Vec<u32>,
+}
+
+impl Engine {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a propagator (after all its variables exist).
+    pub fn post(&mut self, store: &Store, p: Box<dyn Propagator>) {
+        let idx = self.propagators.len() as u32;
+        let watches = p.watches();
+        if watches.is_empty() {
+            self.global_watchers.push(idx);
+        } else {
+            if self.watch_lists.len() < store.len() {
+                self.watch_lists.resize(store.len(), Vec::new());
+            }
+            for w in watches {
+                self.watch_lists[w.index()].push(idx);
+            }
+        }
+        self.propagators.push(p);
+    }
+
+    /// Number of registered propagators.
+    pub fn len(&self) -> usize {
+        self.propagators.len()
+    }
+
+    /// True when no propagator is registered.
+    pub fn is_empty(&self) -> bool {
+        self.propagators.is_empty()
+    }
+
+    /// Runs propagation to a fixpoint. Returns false on conflict.
+    pub fn propagate(&mut self, store: &mut Store) -> bool {
+        // Seed: run everything once.
+        let mut queue: Vec<u32> = (0..self.propagators.len() as u32).collect();
+        let mut queued = vec![true; self.propagators.len()];
+        let mut qi = 0;
+        loop {
+            while qi < queue.len() {
+                let p = queue[qi];
+                qi += 1;
+                queued[p as usize] = false;
+                match self.propagators[p as usize].propagate(store) {
+                    Propagation::Conflict => return false,
+                    Propagation::Stable => {
+                        if store.failed() {
+                            return false;
+                        }
+                    }
+                }
+                // Wake watchers of everything this propagator changed.
+                for var in store.take_changed() {
+                    self.wake(var, &mut queue, &mut queued);
+                }
+            }
+            // External changes (e.g. a search decision) made before calling
+            // propagate() are consumed by the seed; drain any stragglers.
+            let stragglers = store.take_changed();
+            if stragglers.is_empty() {
+                return true;
+            }
+            for var in stragglers {
+                self.wake(var, &mut queue, &mut queued);
+            }
+        }
+    }
+
+    fn wake(&self, var: u32, queue: &mut Vec<u32>, queued: &mut [bool]) {
+        let lists: [&[u32]; 2] = [
+            self.watch_lists.get(var as usize).map(|v| v.as_slice()).unwrap_or(&[]),
+            &self.global_watchers,
+        ];
+        for &p in lists.into_iter().flatten() {
+            if !queued[p as usize] {
+                queued[p as usize] = true;
+                queue.push(p);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builtin::NotEqual;
+
+    #[test]
+    fn fixpoint_chains_inferences() {
+        // x != y, y != z with x fixed and 2-value domains forces z = x.
+        let mut store = Store::new();
+        let x = store.new_var(1, 1);
+        let y = store.new_var(1, 2);
+        let z = store.new_var(1, 2);
+        let mut eng = Engine::new();
+        eng.post(&store, Box::new(NotEqual::new(x, y)));
+        eng.post(&store, Box::new(NotEqual::new(y, z)));
+        assert!(eng.propagate(&mut store));
+        assert_eq!(store.dom(y).value(), 2);
+        assert_eq!(store.dom(z).value(), 1);
+    }
+
+    #[test]
+    fn conflict_is_reported() {
+        let mut store = Store::new();
+        let x = store.new_var(3, 3);
+        let y = store.new_var(3, 3);
+        let mut eng = Engine::new();
+        eng.post(&store, Box::new(NotEqual::new(x, y)));
+        assert!(!eng.propagate(&mut store));
+    }
+}

@@ -1,0 +1,324 @@
+//! Depth-first search with propagation, branch-and-bound maximization, and
+//! a time budget.
+
+use crate::builtin::NonZeroAtLeast;
+use crate::propagator::{Engine, Propagator};
+use crate::store::{Store, VarId};
+use std::cell::Cell;
+use std::rc::Rc;
+use std::time::{Duration, Instant};
+
+/// Search statistics (nodes = decisions taken).
+#[derive(Clone, Copy, Default, Debug)]
+pub struct SearchStats {
+    pub nodes: u64,
+    pub solutions: u64,
+    pub max_depth: u32,
+}
+
+/// Result of a search run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Outcome {
+    /// A (first or best) solution, as the values of all variables in
+    /// creation order, plus whether the search space was fully explored.
+    Solution { values: Vec<u32>, complete: bool },
+    /// No solution exists (fully explored).
+    Unsat,
+    /// Budget exhausted before any solution was found.
+    Exhausted,
+}
+
+impl Outcome {
+    /// The solution values, if any.
+    pub fn values(&self) -> Option<&[u32]> {
+        match self {
+            Outcome::Solution { values, .. } => Some(values),
+            _ => None,
+        }
+    }
+}
+
+enum Walk {
+    /// Subtree fully explored.
+    Done,
+    /// Stop everything (budget exhausted or callback stop).
+    Abort,
+}
+
+/// A configured solver run over one model.
+pub struct Search {
+    pub store: Store,
+    pub engine: Engine,
+    deadline: Option<Instant>,
+    node_limit: u64,
+    /// Branch on 0 (the "excluded" sentinel) only after all other values.
+    pub zero_last: bool,
+    stats: SearchStats,
+}
+
+impl Search {
+    pub fn new(store: Store, engine: Engine) -> Self {
+        Search {
+            store,
+            engine,
+            deadline: None,
+            node_limit: u64::MAX,
+            zero_last: true,
+            stats: SearchStats::default(),
+        }
+    }
+
+    /// Limits wall-clock time (the paper uses 60 s per solver run).
+    pub fn with_budget(mut self, budget: Duration) -> Self {
+        self.deadline = Some(Instant::now() + budget);
+        self
+    }
+
+    /// Limits the number of search nodes.
+    pub fn with_node_limit(mut self, limit: u64) -> Self {
+        self.node_limit = limit;
+        self
+    }
+
+    /// Statistics of the last run.
+    pub fn stats(&self) -> SearchStats {
+        self.stats
+    }
+
+    fn out_of_budget(&self) -> bool {
+        self.stats.nodes >= self.node_limit
+            || self.deadline.is_some_and(|d| Instant::now() >= d)
+    }
+
+    /// First-fail variable selection: smallest unfixed domain.
+    fn pick_var(&self) -> Option<VarId> {
+        let mut best: Option<(u32, VarId)> = None;
+        for x in self.store.vars() {
+            let d = self.store.dom(x);
+            if !d.is_fixed() {
+                let sz = d.size();
+                if best.is_none_or(|(bs, _)| sz < bs) {
+                    best = Some((sz, x));
+                }
+            }
+        }
+        best.map(|(_, x)| x)
+    }
+
+    fn value_order(&self, x: VarId) -> Vec<u32> {
+        let mut vals: Vec<u32> = self.store.dom(x).iter().collect();
+        if self.zero_last && vals.first() == Some(&0) {
+            vals.rotate_left(1);
+        }
+        vals
+    }
+
+    /// Finds the first solution.
+    pub fn solve_first(&mut self) -> Outcome {
+        let mut found: Option<Vec<u32>> = None;
+        let complete = {
+            let walk = self.dfs(&mut |sol| {
+                found = Some(sol.to_vec());
+                false // stop at first
+            });
+            matches!(walk, Walk::Done)
+        };
+        match found {
+            Some(values) => Outcome::Solution { values, complete },
+            None if complete => Outcome::Unsat,
+            None => Outcome::Exhausted,
+        }
+    }
+
+    /// Enumerates solutions until the callback returns `false` or the
+    /// budget runs out. Returns whether the space was fully explored.
+    pub fn solve_all(&mut self, mut on_solution: impl FnMut(&[u32]) -> bool) -> bool {
+        matches!(self.dfs(&mut |s| on_solution(s)), Walk::Done)
+    }
+
+    /// Maximizes the number of `objective` variables that end non-zero
+    /// (the coverage objective of every pattern model). Returns the best
+    /// solution found and whether optimality was proven.
+    pub fn maximize_nonzero(&mut self, objective: &[VarId], floor: usize) -> Outcome {
+        let bound = Rc::new(Cell::new(floor.max(1)));
+        self.engine.post(
+            &self.store,
+            Box::new(NonZeroAtLeast::with_shared_bound(objective.to_vec(), Rc::clone(&bound))),
+        );
+        let mut best: Option<Vec<u32>> = None;
+        let objective = objective.to_vec();
+        let complete = {
+            let walk = self.dfs(&mut |sol| {
+                let score = objective.iter().filter(|x| sol[x.index()] != 0).count();
+                bound.set(score + 1);
+                best = Some(sol.to_vec());
+                true // keep improving
+            });
+            matches!(walk, Walk::Done)
+        };
+        match best {
+            Some(values) => Outcome::Solution { values, complete },
+            None if complete => Outcome::Unsat,
+            None => Outcome::Exhausted,
+        }
+    }
+
+    /// The DFS core. `on_solution` returns false to stop the search.
+    fn dfs(&mut self, on_solution: &mut dyn FnMut(&[u32]) -> bool) -> Walk {
+        if !self.engine.propagate(&mut self.store) {
+            return Walk::Done;
+        }
+        self.walk(0, on_solution)
+    }
+
+    fn walk(&mut self, depth: u32, on_solution: &mut dyn FnMut(&[u32]) -> bool) -> Walk {
+        self.stats.max_depth = self.stats.max_depth.max(depth);
+        let Some(var) = self.pick_var() else {
+            self.stats.solutions += 1;
+            let sol = self.store.solution();
+            return if on_solution(&sol) { Walk::Done } else { Walk::Abort };
+        };
+        for v in self.value_order(var) {
+            if self.out_of_budget() {
+                return Walk::Abort;
+            }
+            self.stats.nodes += 1;
+            self.store.push_level();
+            let feasible = self.store.assign(var, v) && self.engine.propagate(&mut self.store);
+            if feasible {
+                if let Walk::Abort = self.walk(depth + 1, on_solution) {
+                    self.store.pop_level();
+                    return Walk::Abort;
+                }
+            }
+            self.store.pop_level();
+        }
+        Walk::Done
+    }
+}
+
+/// Convenience: builds a search from closures that construct the model.
+pub fn search_with(
+    build: impl FnOnce(&mut Store) -> Vec<Box<dyn Propagator>>,
+) -> Search {
+    let mut store = Store::new();
+    let props = build(&mut store);
+    let mut engine = Engine::new();
+    for p in props {
+        engine.post(&store, p);
+    }
+    Search::new(store, engine)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builtin::{AllDifferent, NotEqual};
+
+    /// n-queens: a classic kernel validation.
+    fn queens(n: u32) -> Search {
+        search_with(|store| {
+            let qs: Vec<VarId> = (0..n).map(|_| store.new_var(0, n - 1)).collect();
+            let mut props: Vec<Box<dyn Propagator>> = vec![Box::new(AllDifferent::new(qs.clone()))];
+            for i in 0..n as usize {
+                for j in (i + 1)..n as usize {
+                    let d = (j - i) as i64;
+                    props.push(Box::new(NotEqual::with_offset(qs[i], qs[j], d)));
+                    props.push(Box::new(NotEqual::with_offset(qs[i], qs[j], -d)));
+                }
+            }
+            props
+        })
+    }
+
+    fn is_valid_queens(sol: &[u32]) -> bool {
+        let n = sol.len();
+        for i in 0..n {
+            for j in (i + 1)..n {
+                if sol[i] == sol[j] {
+                    return false;
+                }
+                if (sol[i] as i64 - sol[j] as i64).abs() == (j - i) as i64 {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    #[test]
+    fn solves_eight_queens() {
+        let mut s = queens(8);
+        let out = s.solve_first();
+        let values = out.values().expect("8-queens is satisfiable");
+        assert!(is_valid_queens(values));
+    }
+
+    #[test]
+    fn proves_three_queens_unsat() {
+        let mut s = queens(3);
+        assert_eq!(s.solve_first(), Outcome::Unsat);
+    }
+
+    #[test]
+    fn counts_all_six_queens_solutions() {
+        let mut s = queens(6);
+        let mut count = 0;
+        let complete = s.solve_all(|sol| {
+            assert!(is_valid_queens(sol));
+            count += 1;
+            true
+        });
+        assert!(complete);
+        assert_eq!(count, 4, "6-queens has exactly 4 solutions");
+    }
+
+    #[test]
+    fn maximize_nonzero_finds_optimum() {
+        // Three 0/1 vars, x0 + x1 <= 1 via NotEqual on non-zero... encode:
+        // x0 != x1 when both non-zero is hard with these built-ins, so use
+        // a simpler model: x0 in {0,1}, x1 in {0}, x2 in {0,1}; maximum
+        // non-zero count is 2.
+        let mut s = search_with(|store| {
+            store.new_var(0, 1);
+            store.new_var(0, 0);
+            store.new_var(0, 1);
+            vec![]
+        });
+        let vars: Vec<VarId> = (0..3).map(VarId).collect();
+        match s.maximize_nonzero(&vars, 1) {
+            Outcome::Solution { values, complete } => {
+                assert!(complete);
+                assert_eq!(values.iter().filter(|&&v| v != 0).count(), 2);
+            }
+            other => panic!("expected solution, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn node_limit_aborts() {
+        let mut s = queens(10).with_node_limit(3);
+        // With only 3 nodes we cannot finish 10-queens.
+        let out = s.solve_first();
+        assert_eq!(out, Outcome::Exhausted);
+        assert!(s.stats().nodes <= 4);
+    }
+
+    #[test]
+    fn budget_zero_aborts_quickly() {
+        let mut s = queens(12).with_budget(Duration::from_millis(0));
+        let out = s.solve_first();
+        assert_eq!(out, Outcome::Exhausted);
+    }
+
+    #[test]
+    fn zero_last_value_ordering() {
+        let mut s = search_with(|store| {
+            store.new_var(0, 3);
+            vec![]
+        });
+        // First solution should pick a non-zero value first.
+        let out = s.solve_first();
+        assert_eq!(out.values().unwrap()[0], 1);
+    }
+}

@@ -1,0 +1,239 @@
+//! The variable store: domains plus a trail for backtracking.
+
+use crate::domain::Domain;
+
+/// Index of a decision variable.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct VarId(pub u32);
+
+impl VarId {
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Debug for VarId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "x{}", self.0)
+    }
+}
+
+/// Domains with copy-on-first-touch trailing per decision level.
+///
+/// Domains are small bitsets, so saving a whole domain the first time it is
+/// touched at each level is cheaper and far simpler than fine-grained
+/// deltas — the classic trade-off Chuffed-style solvers also exploit for
+/// set-like state.
+pub struct Store {
+    domains: Vec<Domain>,
+    /// Decision level at which each domain was last saved.
+    saved_at: Vec<u32>,
+    /// (var, previous domain, previous saved_at).
+    trail: Vec<(u32, Domain, u32)>,
+    /// Trail boundary per level.
+    trail_lim: Vec<usize>,
+    /// Variables whose domain changed since the queue was last drained.
+    changed: Vec<u32>,
+    /// Whether some domain was emptied (conflict).
+    failed: bool,
+}
+
+impl Default for Store {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Store {
+    pub fn new() -> Store {
+        Store {
+            domains: Vec::new(),
+            saved_at: Vec::new(),
+            trail: Vec::new(),
+            trail_lim: Vec::new(),
+            changed: Vec::new(),
+            failed: false,
+        }
+    }
+
+    /// Creates a variable with domain `lo..=hi`.
+    pub fn new_var(&mut self, lo: u32, hi: u32) -> VarId {
+        let id = VarId(self.domains.len() as u32);
+        self.domains.push(Domain::range(lo, hi));
+        self.saved_at.push(0);
+        id
+    }
+
+    /// Number of variables.
+    pub fn len(&self) -> usize {
+        self.domains.len()
+    }
+
+    /// True when no variable exists.
+    pub fn is_empty(&self) -> bool {
+        self.domains.is_empty()
+    }
+
+    /// Current decision level (0 = root).
+    pub fn level(&self) -> u32 {
+        self.trail_lim.len() as u32
+    }
+
+    /// The domain of `x`.
+    #[inline]
+    pub fn dom(&self, x: VarId) -> &Domain {
+        &self.domains[x.index()]
+    }
+
+    /// True when the store is in a failed state.
+    pub fn failed(&self) -> bool {
+        self.failed
+    }
+
+    /// Opens a new decision level.
+    pub fn push_level(&mut self) {
+        self.trail_lim.push(self.trail.len());
+    }
+
+    /// Undoes all changes of the current level.
+    pub fn pop_level(&mut self) {
+        let lim = self.trail_lim.pop().expect("pop at root level");
+        while self.trail.len() > lim {
+            let (var, dom, saved) = self.trail.pop().unwrap();
+            self.domains[var as usize] = dom;
+            self.saved_at[var as usize] = saved;
+        }
+        self.failed = false;
+        self.changed.clear();
+    }
+
+    fn save(&mut self, x: VarId) {
+        let level = self.level();
+        // Level 0 changes are permanent: no trailing needed.
+        if level > 0 && self.saved_at[x.index()] != level {
+            self.trail.push((x.0, self.domains[x.index()].clone(), self.saved_at[x.index()]));
+            self.saved_at[x.index()] = level;
+        }
+    }
+
+    /// Removes `v` from `x`'s domain. Returns false on conflict (domain
+    /// wiped out).
+    pub fn remove(&mut self, x: VarId, v: u32) -> bool {
+        if !self.dom(x).contains(v) {
+            return true;
+        }
+        self.save(x);
+        self.domains[x.index()].remove(v);
+        if self.domains[x.index()].is_empty() {
+            self.failed = true;
+            return false;
+        }
+        self.changed.push(x.0);
+        true
+    }
+
+    /// Fixes `x := v`. Returns false on conflict (`v` not in the domain).
+    pub fn assign(&mut self, x: VarId, v: u32) -> bool {
+        if !self.dom(x).contains(v) {
+            self.failed = true;
+            return false;
+        }
+        if self.dom(x).is_fixed() {
+            return true;
+        }
+        self.save(x);
+        self.domains[x.index()].assign(v);
+        self.changed.push(x.0);
+        true
+    }
+
+    /// Drains the queue of changed variables.
+    pub(crate) fn take_changed(&mut self) -> Vec<u32> {
+        std::mem::take(&mut self.changed)
+    }
+
+    /// All variables, in creation order.
+    pub fn vars(&self) -> impl Iterator<Item = VarId> {
+        (0..self.domains.len() as u32).map(VarId)
+    }
+
+    /// Snapshot of the current (fully fixed) assignment.
+    pub fn solution(&self) -> Vec<u32> {
+        self.domains.iter().map(|d| d.value()).collect()
+    }
+
+    /// True when every variable is fixed.
+    pub fn all_fixed(&self) -> bool {
+        self.domains.iter().all(|d| d.is_fixed())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trailing_restores_domains() {
+        let mut s = Store::new();
+        let x = s.new_var(0, 9);
+        let y = s.new_var(0, 3);
+        s.push_level();
+        assert!(s.remove(x, 5));
+        assert!(s.assign(y, 2));
+        assert_eq!(s.dom(x).size(), 9);
+        assert!(s.dom(y).is_fixed());
+        s.pop_level();
+        assert_eq!(s.dom(x).size(), 10);
+        assert_eq!(s.dom(y).size(), 4);
+    }
+
+    #[test]
+    fn nested_levels() {
+        let mut s = Store::new();
+        let x = s.new_var(0, 4);
+        s.push_level();
+        s.remove(x, 0);
+        s.push_level();
+        s.remove(x, 1);
+        s.remove(x, 2);
+        assert_eq!(s.dom(x).size(), 2);
+        s.pop_level();
+        assert_eq!(s.dom(x).size(), 4);
+        s.pop_level();
+        assert_eq!(s.dom(x).size(), 5);
+    }
+
+    #[test]
+    fn conflict_on_wipeout() {
+        let mut s = Store::new();
+        let x = s.new_var(1, 1);
+        s.push_level();
+        assert!(!s.remove(x, 1));
+        assert!(s.failed());
+        s.pop_level();
+        assert!(!s.failed());
+        assert_eq!(s.dom(x).value(), 1);
+    }
+
+    #[test]
+    fn root_level_changes_are_permanent() {
+        let mut s = Store::new();
+        let x = s.new_var(0, 5);
+        s.remove(x, 3); // at root
+        s.push_level();
+        s.remove(x, 4);
+        s.pop_level();
+        assert!(!s.dom(x).contains(3), "root change survives backtracking");
+        assert!(s.dom(x).contains(4));
+    }
+
+    #[test]
+    fn assign_outside_domain_fails() {
+        let mut s = Store::new();
+        let x = s.new_var(0, 2);
+        s.push_level();
+        assert!(!s.assign(x, 7));
+        assert!(s.failed());
+    }
+}

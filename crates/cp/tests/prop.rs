@@ -1,0 +1,152 @@
+//! Property-based tests: the solver against a brute-force oracle on
+//! random binary CSPs.
+
+use cp::search::search_with;
+use cp::{AllDifferent, NotEqual, Propagator, VarId};
+use proptest::prelude::*;
+
+/// A random CSP: `n` variables with domain `0..=max`, `NotEqual`
+/// constraints with offsets, optionally an all-different over everything.
+#[derive(Clone, Debug)]
+struct Csp {
+    n: usize,
+    max: u32,
+    neqs: Vec<(usize, usize, i64)>,
+    alldiff: bool,
+}
+
+fn csp_strategy() -> impl Strategy<Value = Csp> {
+    (2usize..5, 1u32..5, prop::collection::vec((0usize..5, 0usize..5, -3i64..4), 0..8), any::<bool>())
+        .prop_map(|(n, max, raw, alldiff)| Csp {
+            n,
+            max,
+            neqs: raw
+                .into_iter()
+                .map(|(a, b, o)| (a % n, b % n, o))
+                .filter(|(a, b, _)| a != b)
+                .collect(),
+            alldiff,
+        })
+}
+
+fn satisfies(csp: &Csp, assignment: &[u32]) -> bool {
+    for &(a, b, o) in &csp.neqs {
+        if assignment[a] as i64 == assignment[b] as i64 + o {
+            return false;
+        }
+    }
+    if csp.alldiff {
+        for i in 0..csp.n {
+            for j in (i + 1)..csp.n {
+                if assignment[i] == assignment[j] {
+                    return false;
+                }
+            }
+        }
+    }
+    true
+}
+
+/// Enumerates all assignments by brute force.
+fn brute_force(csp: &Csp) -> Vec<Vec<u32>> {
+    let mut out = Vec::new();
+    let mut cur = vec![0u32; csp.n];
+    fn rec(csp: &Csp, i: usize, cur: &mut Vec<u32>, out: &mut Vec<Vec<u32>>) {
+        if i == csp.n {
+            if satisfies(csp, cur) {
+                out.push(cur.clone());
+            }
+            return;
+        }
+        for v in 0..=csp.max {
+            cur[i] = v;
+            rec(csp, i + 1, cur, out);
+        }
+    }
+    rec(csp, 0, &mut cur, &mut out);
+    out
+}
+
+fn build_search(csp: &Csp) -> cp::Search {
+    let csp = csp.clone();
+    search_with(move |store| {
+        let vars: Vec<VarId> = (0..csp.n).map(|_| store.new_var(0, csp.max)).collect();
+        let mut props: Vec<Box<dyn Propagator>> = Vec::new();
+        for &(a, b, o) in &csp.neqs {
+            props.push(Box::new(NotEqual::with_offset(vars[a], vars[b], o)));
+        }
+        if csp.alldiff {
+            props.push(Box::new(AllDifferent::new(vars.clone())));
+        }
+        props
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Soundness + completeness: the solver finds a solution exactly when
+    /// brute force does, and the solution satisfies the constraints.
+    #[test]
+    fn solver_agrees_with_brute_force(csp in csp_strategy()) {
+        let oracle = brute_force(&csp);
+        let mut search = build_search(&csp);
+        match search.solve_first() {
+            cp::Outcome::Solution { values, complete } => {
+                // Stopping at the first solution is an early exit, so the
+                // space is reported as not fully explored.
+                prop_assert!(!complete || oracle.len() == 1);
+                prop_assert!(satisfies(&csp, &values), "solver produced {values:?}");
+                prop_assert!(!oracle.is_empty(), "oracle says UNSAT");
+            }
+            cp::Outcome::Unsat => {
+                prop_assert!(oracle.is_empty(), "oracle found {:?}", oracle.first());
+            }
+            cp::Outcome::Exhausted => prop_assert!(false, "no budget was set"),
+        }
+    }
+
+    /// Enumeration visits every solution exactly once.
+    #[test]
+    fn solver_enumerates_all_solutions(csp in csp_strategy()) {
+        let mut oracle = brute_force(&csp);
+        oracle.sort();
+        let mut found: Vec<Vec<u32>> = Vec::new();
+        let mut search = build_search(&csp);
+        let complete = search.solve_all(|sol| {
+            found.push(sol.to_vec());
+            true
+        });
+        prop_assert!(complete);
+        found.sort();
+        found.dedup();
+        prop_assert_eq!(found.len(), oracle.len());
+        prop_assert_eq!(found, oracle);
+    }
+
+    /// maximize_nonzero returns a solution with the maximal number of
+    /// non-zero variables among all solutions.
+    #[test]
+    fn maximize_nonzero_is_optimal(csp in csp_strategy()) {
+        let oracle = brute_force(&csp);
+        let best_oracle = oracle
+            .iter()
+            .map(|s| s.iter().filter(|&&v| v != 0).count())
+            .max();
+        let mut search = build_search(&csp);
+        let vars: Vec<VarId> = (0..csp.n).map(|i| VarId(i as u32)).collect();
+        match search.maximize_nonzero(&vars, 0) {
+            cp::Outcome::Solution { values, complete } => {
+                prop_assert!(complete);
+                let score = values.iter().filter(|&&v| v != 0).count();
+                // The floor is max(1, _): solutions with zero non-zeros are
+                // only reported when some variable can be non-zero.
+                prop_assert_eq!(Some(score), best_oracle.filter(|&b| b >= 1));
+            }
+            cp::Outcome::Unsat => {
+                prop_assert!(best_oracle.unwrap_or(0) == 0, "{best_oracle:?}");
+            }
+            cp::Outcome::Exhausted => prop_assert!(false),
+        }
+    }
+}

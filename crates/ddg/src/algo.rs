@@ -1,0 +1,258 @@
+//! Graph algorithms over DDGs and node subsets.
+//!
+//! The pattern definitions are phrased in terms of three graph properties
+//! (paper §4): *reachability* (convexity 1e, reduction chaining 3c, tiled
+//! channeling 4d), *weak connectivity* (1d), and arcs between node sets
+//! (2b, 3d, 4e). These helpers implement them over [`Ddg`]s restricted to
+//! [`BitSet`] subsets, which is how the finder manipulates sub-DDGs.
+
+use crate::bitset::BitSet;
+use crate::graph::{Ddg, NodeId};
+
+/// A topological order of the DAG (sources first).
+///
+/// DDGs are acyclic by construction (a use can only refer to an earlier
+/// definition), so this always succeeds for tracer-produced graphs; cycles
+/// introduced by hand-built test graphs panic.
+pub fn topo_order(g: &Ddg) -> Vec<NodeId> {
+    let n = g.len();
+    let mut indeg: Vec<u32> = vec![0; n];
+    for (_, v) in g.arcs() {
+        indeg[v.index()] += 1;
+    }
+    let mut queue: std::collections::VecDeque<NodeId> = g
+        .node_ids()
+        .filter(|id| indeg[id.index()] == 0)
+        .collect();
+    let mut order = Vec::with_capacity(n);
+    while let Some(u) = queue.pop_front() {
+        order.push(u);
+        for &v in g.succs(u) {
+            indeg[v.index()] -= 1;
+            if indeg[v.index()] == 0 {
+                queue.push_back(v);
+            }
+        }
+    }
+    assert_eq!(order.len(), n, "DDG contains a cycle");
+    order
+}
+
+/// The set of nodes reachable from `sources` (excluding the sources
+/// themselves unless re-reached) following arcs forward.
+pub fn reachable_from(g: &Ddg, sources: impl IntoIterator<Item = NodeId>) -> BitSet {
+    let mut seen = BitSet::new(g.len());
+    let mut stack: Vec<NodeId> = Vec::new();
+    for s in sources {
+        for &v in g.succs(s) {
+            if seen.insert(v.index()) {
+                stack.push(v);
+            }
+        }
+    }
+    while let Some(u) = stack.pop() {
+        for &v in g.succs(u) {
+            if seen.insert(v.index()) {
+                stack.push(v);
+            }
+        }
+    }
+    seen
+}
+
+/// True when the subgraph induced by `subset` is weakly connected
+/// (its undirected version is connected). The empty set is not connected;
+/// singletons are.
+pub fn is_weakly_connected(g: &Ddg, subset: &BitSet) -> bool {
+    let Some(start) = subset.first() else { return false };
+    let mut seen = BitSet::new(g.len());
+    seen.insert(start);
+    let mut stack = vec![NodeId(start as u32)];
+    let mut count = 1;
+    while let Some(u) = stack.pop() {
+        for &v in g.succs(u).iter().chain(g.preds(u)) {
+            if subset.contains(v.index()) && seen.insert(v.index()) {
+                stack.push(v);
+                count += 1;
+            }
+        }
+    }
+    count == subset.len()
+}
+
+/// Splits `subset` into its weakly connected components.
+pub fn weakly_connected_components(g: &Ddg, subset: &BitSet) -> Vec<BitSet> {
+    let mut remaining = subset.clone();
+    let mut comps = Vec::new();
+    while let Some(start) = remaining.first() {
+        let mut comp = BitSet::new(g.len());
+        comp.insert(start);
+        remaining.remove(start);
+        let mut stack = vec![NodeId(start as u32)];
+        while let Some(u) = stack.pop() {
+            for &v in g.succs(u).iter().chain(g.preds(u)) {
+                if remaining.contains(v.index()) {
+                    remaining.remove(v.index());
+                    comp.insert(v.index());
+                    stack.push(v);
+                }
+            }
+        }
+        comps.push(comp);
+    }
+    comps
+}
+
+/// Precomputed all-pairs reachability over a (small) graph, stored as one
+/// forward-closure bitset per node. Used by the matcher's convexity and
+/// chaining constraints, where the graphs in play are compacted sub-DDGs
+/// of at most a few thousand nodes.
+pub struct Reachability {
+    closure: Vec<BitSet>,
+}
+
+impl Reachability {
+    /// Computes the transitive closure in reverse topological order.
+    pub fn compute(g: &Ddg) -> Self {
+        let order = topo_order(g);
+        let mut closure: Vec<BitSet> = (0..g.len()).map(|_| BitSet::new(g.len())).collect();
+        for &u in order.iter().rev() {
+            // closure(u) = union over succs v of {v} ∪ closure(v)
+            let mut acc = BitSet::new(g.len());
+            for &v in g.succs(u) {
+                acc.insert(v.index());
+                acc.union_with(&closure[v.index()]);
+            }
+            closure[u.index()] = acc;
+        }
+        Reachability { closure }
+    }
+
+    /// True when a path `u ⇝ v` of length ≥ 1 exists.
+    #[inline]
+    pub fn reaches(&self, u: NodeId, v: NodeId) -> bool {
+        self.closure[u.index()].contains(v.index())
+    }
+
+    /// The forward closure of `u` (nodes reachable via ≥ 1 arc).
+    pub fn closure_of(&self, u: NodeId) -> &BitSet {
+        &self.closure[u.index()]
+    }
+
+    /// Checks pattern convexity (paper constraint 1e) for the node set
+    /// `pattern`: no path may leave the pattern and re-enter it. Returns
+    /// `true` when convex.
+    pub fn is_convex(&self, g: &Ddg, pattern: &BitSet) -> bool {
+        // For every arc u->x with u ∈ P, x ∉ P: x must not reach any node
+        // of P (otherwise some u ⇝ x ⇝ w with u, w ∈ P, x ∉ P exists).
+        for u in pattern.iter() {
+            for &x in g.succs(NodeId(u as u32)) {
+                if !pattern.contains(x.index()) && self.closure_of(x).intersects(pattern) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::DdgBuilder;
+
+    /// chain 0 -> 1 -> 2 -> 3, plus a detour 1 -> 4 -> 3.
+    fn chain_with_detour() -> Ddg {
+        let mut b = DdgBuilder::new();
+        let l = b.intern_label("fadd", true);
+        let n: Vec<NodeId> = (0..5).map(|i| b.add_node(l, i, 0, 1, 1, 0, vec![])).collect();
+        b.add_arc(n[0], n[1]);
+        b.add_arc(n[1], n[2]);
+        b.add_arc(n[2], n[3]);
+        b.add_arc(n[1], n[4]);
+        b.add_arc(n[4], n[3]);
+        b.finish()
+    }
+
+    #[test]
+    fn topo_order_respects_arcs() {
+        let g = chain_with_detour();
+        let order = topo_order(&g);
+        let pos: Vec<usize> = {
+            let mut p = vec![0; g.len()];
+            for (i, id) in order.iter().enumerate() {
+                p[id.index()] = i;
+            }
+            p
+        };
+        for (u, v) in g.arcs() {
+            assert!(pos[u.index()] < pos[v.index()]);
+        }
+    }
+
+    #[test]
+    fn reachability_closure() {
+        let g = chain_with_detour();
+        let r = Reachability::compute(&g);
+        assert!(r.reaches(NodeId(0), NodeId(3)));
+        assert!(r.reaches(NodeId(1), NodeId(4)));
+        assert!(!r.reaches(NodeId(3), NodeId(0)));
+        assert!(!r.reaches(NodeId(2), NodeId(4)));
+        // No self-reachability in a DAG.
+        assert!(!r.reaches(NodeId(2), NodeId(2)));
+    }
+
+    #[test]
+    fn reachable_from_multiple_sources() {
+        let g = chain_with_detour();
+        let reach = reachable_from(&g, [NodeId(2), NodeId(4)]);
+        assert_eq!(reach.iter().collect::<Vec<_>>(), vec![3]);
+    }
+
+    #[test]
+    fn weak_connectivity() {
+        let g = chain_with_detour();
+        assert!(is_weakly_connected(&g, &BitSet::from_iter(5, [0, 1, 2])));
+        // {0, 3} are only connected through nodes outside the subset.
+        assert!(!is_weakly_connected(&g, &BitSet::from_iter(5, [0, 3])));
+        assert!(is_weakly_connected(&g, &BitSet::from_iter(5, [2])));
+        assert!(!is_weakly_connected(&g, &BitSet::new(5)));
+    }
+
+    #[test]
+    fn connected_components_split() {
+        let g = chain_with_detour();
+        let comps = weakly_connected_components(&g, &BitSet::from_iter(5, [0, 2, 3]));
+        // {0} alone; {2,3} joined by the arc 2->3.
+        assert_eq!(comps.len(), 2);
+        let sizes: Vec<usize> = comps.iter().map(|c| c.len()).collect();
+        assert!(sizes.contains(&1) && sizes.contains(&2));
+    }
+
+    #[test]
+    fn convexity_detects_escaping_paths() {
+        let g = chain_with_detour();
+        let r = Reachability::compute(&g);
+        // {1, 3}: path 1 -> 2 -> 3 exits through 2 — not convex.
+        assert!(!r.is_convex(&g, &BitSet::from_iter(5, [1, 3])));
+        // {1, 2, 3}: path through 4 still escapes and re-enters — not convex.
+        assert!(!r.is_convex(&g, &BitSet::from_iter(5, [1, 2, 3])));
+        // {1, 2, 3, 4} closes both paths — convex.
+        assert!(r.is_convex(&g, &BitSet::from_iter(5, [1, 2, 3, 4])));
+        // {0, 1} prefix — convex.
+        assert!(r.is_convex(&g, &BitSet::from_iter(5, [0, 1])));
+    }
+
+    #[test]
+    #[should_panic(expected = "cycle")]
+    fn topo_order_panics_on_cycle() {
+        let mut b = DdgBuilder::new();
+        let l = b.intern_label("add", true);
+        let a = b.add_node(l, 0, 0, 1, 1, 0, vec![]);
+        let c = b.add_node(l, 1, 0, 2, 1, 0, vec![]);
+        b.add_arc(a, c);
+        b.add_arc(c, a);
+        let g = b.finish();
+        topo_order(&g);
+    }
+}

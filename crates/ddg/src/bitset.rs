@@ -1,0 +1,235 @@
+//! A dense, fixed-capacity bit set over node indices.
+//!
+//! Node sets are the currency of the pattern finder: sub-DDGs, pattern
+//! components, subtraction and fusion are all set operations over the nodes
+//! of one traced DDG. A word-packed bitset keeps them cheap — the paper's
+//! finder routinely manipulates tens of thousands of nodes.
+
+use serde::{Deserialize, Serialize};
+
+/// A set of `usize` indices below a fixed capacity.
+#[derive(Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct BitSet {
+    words: Vec<u64>,
+    capacity: usize,
+}
+
+impl BitSet {
+    /// An empty set able to hold indices `0..capacity`.
+    pub fn new(capacity: usize) -> Self {
+        BitSet { words: vec![0; capacity.div_ceil(64)], capacity }
+    }
+
+    /// A set containing every index in `0..capacity`.
+    pub fn full(capacity: usize) -> Self {
+        let mut s = Self::new(capacity);
+        for i in 0..capacity {
+            s.insert(i);
+        }
+        s
+    }
+
+    /// Builds a set from an iterator of indices.
+    pub fn from_iter(capacity: usize, iter: impl IntoIterator<Item = usize>) -> Self {
+        let mut s = Self::new(capacity);
+        for i in iter {
+            s.insert(i);
+        }
+        s
+    }
+
+    /// The capacity (exclusive upper bound of indices).
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Adds `i`; returns whether it was newly inserted.
+    #[inline]
+    pub fn insert(&mut self, i: usize) -> bool {
+        debug_assert!(i < self.capacity, "index {i} out of capacity {}", self.capacity);
+        let w = &mut self.words[i / 64];
+        let mask = 1u64 << (i % 64);
+        let fresh = *w & mask == 0;
+        *w |= mask;
+        fresh
+    }
+
+    /// Removes `i`; returns whether it was present.
+    #[inline]
+    pub fn remove(&mut self, i: usize) -> bool {
+        let w = &mut self.words[i / 64];
+        let mask = 1u64 << (i % 64);
+        let present = *w & mask != 0;
+        *w &= !mask;
+        present
+    }
+
+    /// Membership test.
+    #[inline]
+    pub fn contains(&self, i: usize) -> bool {
+        i < self.capacity && self.words[i / 64] & (1u64 << (i % 64)) != 0
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// True when no element is present.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// In-place union.
+    pub fn union_with(&mut self, other: &BitSet) {
+        assert_eq!(self.capacity, other.capacity);
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= b;
+        }
+    }
+
+    /// In-place set difference (`self -= other`).
+    pub fn subtract(&mut self, other: &BitSet) {
+        assert_eq!(self.capacity, other.capacity);
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= !b;
+        }
+    }
+
+    /// In-place intersection.
+    pub fn intersect_with(&mut self, other: &BitSet) {
+        assert_eq!(self.capacity, other.capacity);
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= b;
+        }
+    }
+
+    /// New set: union.
+    pub fn union(&self, other: &BitSet) -> BitSet {
+        let mut s = self.clone();
+        s.union_with(other);
+        s
+    }
+
+    /// New set: difference.
+    pub fn difference(&self, other: &BitSet) -> BitSet {
+        let mut s = self.clone();
+        s.subtract(other);
+        s
+    }
+
+    /// New set: intersection.
+    pub fn intersection(&self, other: &BitSet) -> BitSet {
+        let mut s = self.clone();
+        s.intersect_with(other);
+        s
+    }
+
+    /// True when the two sets share at least one element.
+    pub fn intersects(&self, other: &BitSet) -> bool {
+        self.words.iter().zip(&other.words).any(|(a, b)| a & b != 0)
+    }
+
+    /// True when every element of `self` is in `other`.
+    pub fn is_subset_of(&self, other: &BitSet) -> bool {
+        self.words.iter().zip(&other.words).all(|(a, b)| a & !b == 0)
+    }
+
+    /// Iterates over the elements in increasing order.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            let mut bits = w;
+            std::iter::from_fn(move || {
+                if bits == 0 {
+                    None
+                } else {
+                    let b = bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    Some(wi * 64 + b)
+                }
+            })
+        })
+    }
+
+    /// The smallest element, if any.
+    pub fn first(&self) -> Option<usize> {
+        self.iter().next()
+    }
+
+    /// Clears all elements.
+    pub fn clear(&mut self) {
+        for w in &mut self.words {
+            *w = 0;
+        }
+    }
+}
+
+impl std::fmt::Debug for BitSet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_set().entries(self.iter()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut s = BitSet::new(130);
+        assert!(s.insert(0));
+        assert!(s.insert(64));
+        assert!(s.insert(129));
+        assert!(!s.insert(64), "second insert reports already present");
+        assert!(s.contains(0) && s.contains(64) && s.contains(129));
+        assert!(!s.contains(1));
+        assert_eq!(s.len(), 3);
+        assert!(s.remove(64));
+        assert!(!s.remove(64));
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn set_operations() {
+        let a = BitSet::from_iter(100, [1, 2, 3, 70]);
+        let b = BitSet::from_iter(100, [2, 3, 4, 99]);
+        assert_eq!(a.union(&b).len(), 6);
+        assert_eq!(a.intersection(&b).len(), 2);
+        let d = a.difference(&b);
+        assert_eq!(d.iter().collect::<Vec<_>>(), vec![1, 70]);
+        assert!(a.intersects(&b));
+        assert!(!BitSet::from_iter(100, [5]).intersects(&b));
+    }
+
+    #[test]
+    fn subset_relation() {
+        let a = BitSet::from_iter(64, [1, 2]);
+        let b = BitSet::from_iter(64, [1, 2, 3]);
+        assert!(a.is_subset_of(&b));
+        assert!(!b.is_subset_of(&a));
+        assert!(a.is_subset_of(&a));
+    }
+
+    #[test]
+    fn iteration_order_is_increasing() {
+        let s = BitSet::from_iter(200, [199, 0, 63, 64, 65]);
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![0, 63, 64, 65, 199]);
+        assert_eq!(s.first(), Some(0));
+        assert_eq!(BitSet::new(10).first(), None);
+    }
+
+    #[test]
+    fn full_and_clear() {
+        let mut s = BitSet::full(70);
+        assert_eq!(s.len(), 70);
+        s.clear();
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn empty_capacity_zero() {
+        let s = BitSet::new(0);
+        assert!(s.is_empty());
+        assert_eq!(s.iter().count(), 0);
+    }
+}

@@ -1,0 +1,112 @@
+//! Graphviz (DOT) export of DDGs — the tool behind figures like the
+//! paper's Fig. 2c and Fig. 5.
+
+use crate::bitset::BitSet;
+use crate::graph::{Ddg, NodeId};
+use std::fmt::Write;
+
+/// Renders the whole graph, nodes labeled `op@thread`.
+pub fn to_dot(g: &Ddg) -> String {
+    to_dot_highlighted(g, &[])
+}
+
+/// Renders the graph with each set in `highlight` drawn as a filled
+/// cluster (pattern components, sub-DDGs, …), in grayscale like the
+/// paper's figures.
+pub fn to_dot_highlighted(g: &Ddg, highlight: &[&BitSet]) -> String {
+    let mut out = String::from("digraph ddg {\n  rankdir=TB;\n  node [shape=circle, fontsize=10];\n");
+    let shade = |i: usize| match i % 3 {
+        0 => "lightgray",
+        1 => "gray",
+        _ => "darkgray",
+    };
+    let mut colored: Vec<Option<usize>> = vec![None; g.len()];
+    for (hi, set) in highlight.iter().enumerate() {
+        for n in set.iter() {
+            colored[n] = Some(hi);
+        }
+    }
+    for id in g.node_ids() {
+        let node = g.node(id);
+        let style = match colored[id.index()] {
+            Some(hi) => format!(", style=filled, fillcolor={}", shade(hi)),
+            None => String::new(),
+        };
+        let _ = writeln!(
+            out,
+            "  n{} [label=\"{}\\nt{}\"{}];",
+            id.0,
+            g.label_str(node.label),
+            node.thread,
+            style
+        );
+    }
+    for (u, v) in g.arcs() {
+        let _ = writeln!(out, "  n{} -> n{};", u.0, v.0);
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Renders only the subgraph induced by `nodes` (plus one-hop context).
+pub fn subgraph_to_dot(g: &Ddg, nodes: &BitSet) -> String {
+    let mut context = nodes.clone();
+    for n in nodes.iter() {
+        for &s in g.succs(NodeId(n as u32)).iter().chain(g.preds(NodeId(n as u32))) {
+            context.insert(s.index());
+        }
+    }
+    let (sub, map) = g.induced(&context);
+    // Re-map the highlight set into the new index space.
+    let mut hl = BitSet::new(sub.len());
+    for n in nodes.iter() {
+        if let Some(new) = map[n] {
+            hl.insert(new.index());
+        }
+    }
+    to_dot_highlighted(&sub, &[&hl])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::DdgBuilder;
+
+    fn tiny() -> Ddg {
+        let mut b = DdgBuilder::new();
+        let add = b.intern_label("fadd", true);
+        let mul = b.intern_label("fmul", true);
+        let a = b.add_node(mul, 0, 0, 1, 1, 0, vec![]);
+        let c = b.add_node(add, 1, 0, 2, 1, 1, vec![]);
+        b.add_arc(a, c);
+        b.finish()
+    }
+
+    #[test]
+    fn dot_contains_nodes_and_arcs() {
+        let g = tiny();
+        let dot = to_dot(&g);
+        assert!(dot.contains("digraph ddg"));
+        assert!(dot.contains("n0 [label=\"fmul\\nt0\"]"));
+        assert!(dot.contains("n0 -> n1;"));
+    }
+
+    #[test]
+    fn highlighting_fills_members() {
+        let g = tiny();
+        let set = BitSet::from_iter(2, [1]);
+        let dot = to_dot_highlighted(&g, &[&set]);
+        assert!(dot.contains("fillcolor=lightgray"));
+        assert!(!dot.contains("n0 [label=\"fmul\\nt0\", style=filled"));
+    }
+
+    #[test]
+    fn subgraph_adds_one_hop_context() {
+        let g = tiny();
+        let set = BitSet::from_iter(2, [1]);
+        let dot = subgraph_to_dot(&g, &set);
+        // Node 0 appears as context of node 1.
+        assert!(dot.contains("fmul"));
+        assert!(dot.contains("fadd"));
+    }
+}

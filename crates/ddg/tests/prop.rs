@@ -1,0 +1,162 @@
+//! Property-based tests of the graph algorithms against naive oracles.
+
+use ddg::{BitSet, Ddg, DdgBuilder, NodeId};
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+/// Builds a random DAG with `n` nodes; arcs only go from lower to higher
+/// indices (acyclic by construction).
+fn random_dag(n: usize, arcs: &[(usize, usize)]) -> Ddg {
+    let mut b = DdgBuilder::new();
+    let l = b.intern_label("fadd", true);
+    let ids: Vec<NodeId> = (0..n).map(|i| b.add_node(l, i as u32, 0, 1, 1, 0, vec![])).collect();
+    for &(u, v) in arcs {
+        let (u, v) = (u % n, v % n);
+        if u < v {
+            b.add_arc(ids[u], ids[v]);
+        }
+    }
+    b.finish()
+}
+
+/// Naive O(V·E) reachability oracle.
+fn naive_reach(g: &Ddg) -> Vec<HashSet<usize>> {
+    let n = g.len();
+    let mut reach: Vec<HashSet<usize>> = vec![HashSet::new(); n];
+    for u in (0..n).rev() {
+        let mut r = HashSet::new();
+        for &v in g.succs(NodeId(u as u32)) {
+            r.insert(v.index());
+            r.extend(reach[v.index()].iter().copied());
+        }
+        reach[u] = r;
+    }
+    reach
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn reachability_matches_naive(
+        n in 1usize..40,
+        arcs in prop::collection::vec((0usize..40, 0usize..40), 0..120),
+    ) {
+        let g = random_dag(n, &arcs);
+        let oracle = naive_reach(&g);
+        let fast = ddg::Reachability::compute(&g);
+        for (u, reach_u) in oracle.iter().enumerate() {
+            for v in 0..n {
+                prop_assert_eq!(
+                    fast.reaches(NodeId(u as u32), NodeId(v as u32)),
+                    reach_u.contains(&v),
+                    "reach({}, {})", u, v
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn topo_order_is_consistent(
+        n in 1usize..40,
+        arcs in prop::collection::vec((0usize..40, 0usize..40), 0..120),
+    ) {
+        let g = random_dag(n, &arcs);
+        let order = ddg::topo_order(&g);
+        prop_assert_eq!(order.len(), n);
+        let mut pos = vec![0usize; n];
+        for (i, id) in order.iter().enumerate() {
+            pos[id.index()] = i;
+        }
+        for (u, v) in g.arcs() {
+            prop_assert!(pos[u.index()] < pos[v.index()]);
+        }
+    }
+
+    #[test]
+    fn connected_components_partition(
+        n in 1usize..40,
+        arcs in prop::collection::vec((0usize..40, 0usize..40), 0..100),
+        subset_bits in prop::collection::vec(any::<bool>(), 40),
+    ) {
+        let g = random_dag(n, &arcs);
+        let subset = BitSet::from_iter(
+            n,
+            (0..n).filter(|&i| subset_bits[i]),
+        );
+        let comps = ddg::algo::weakly_connected_components(&g, &subset);
+        // Partition: disjoint union equals the subset.
+        let mut union = BitSet::new(n);
+        for c in &comps {
+            prop_assert!(!union.intersects(c), "components overlap");
+            union.union_with(c);
+            prop_assert!(ddg::is_weakly_connected(&g, c), "component not connected");
+        }
+        prop_assert_eq!(union, subset);
+    }
+
+    #[test]
+    fn induced_subgraph_preserves_internal_arcs(
+        n in 1usize..30,
+        arcs in prop::collection::vec((0usize..30, 0usize..30), 0..80),
+        keep_bits in prop::collection::vec(any::<bool>(), 30),
+    ) {
+        let g = random_dag(n, &arcs);
+        let keep = BitSet::from_iter(n, (0..n).filter(|&i| keep_bits[i]));
+        let (sub, map) = g.induced(&keep);
+        prop_assert_eq!(sub.len(), keep.len());
+        // Arc count in the subgraph = arcs of g with both ends kept.
+        let expected = g
+            .arcs()
+            .filter(|(u, v)| keep.contains(u.index()) && keep.contains(v.index()))
+            .count();
+        prop_assert_eq!(sub.arc_count(), expected);
+        // Mapping is a bijection onto the new index space.
+        let mapped: HashSet<u32> =
+            map.iter().flatten().map(|id| id.0).collect();
+        prop_assert_eq!(mapped.len(), keep.len());
+    }
+
+    #[test]
+    fn bitset_behaves_like_hashset(
+        ops in prop::collection::vec((0usize..3, 0usize..64), 0..200),
+    ) {
+        let mut bs = BitSet::new(64);
+        let mut hs: HashSet<usize> = HashSet::new();
+        for (op, v) in ops {
+            match op {
+                0 => {
+                    prop_assert_eq!(bs.insert(v), hs.insert(v));
+                }
+                1 => {
+                    prop_assert_eq!(bs.remove(v), hs.remove(&v));
+                }
+                _ => {
+                    prop_assert_eq!(bs.contains(v), hs.contains(&v));
+                }
+            }
+            prop_assert_eq!(bs.len(), hs.len());
+        }
+        let from_iter: HashSet<usize> = bs.iter().collect();
+        prop_assert_eq!(from_iter, hs);
+    }
+
+    #[test]
+    fn bitset_algebra_laws(
+        a_bits in prop::collection::vec(any::<bool>(), 70),
+        b_bits in prop::collection::vec(any::<bool>(), 70),
+    ) {
+        let a = BitSet::from_iter(70, (0..70).filter(|&i| a_bits[i]));
+        let b = BitSet::from_iter(70, (0..70).filter(|&i| b_bits[i]));
+        // |A ∪ B| + |A ∩ B| = |A| + |B|
+        prop_assert_eq!(
+            a.union(&b).len() + a.intersection(&b).len(),
+            a.len() + b.len()
+        );
+        // A − B ⊆ A; (A − B) ∩ B = ∅
+        prop_assert!(a.difference(&b).is_subset_of(&a));
+        prop_assert!(!a.difference(&b).intersects(&b) || b.is_empty());
+        // De Morgan-ish: (A ∪ B) − B = A − B
+        prop_assert_eq!(a.union(&b).difference(&b), a.difference(&b));
+    }
+}

@@ -1,0 +1,49 @@
+//! Serialization round trips: DDGs survive JSON (de)serialization intact —
+//! the harness persists graphs and experiment records this way.
+
+use ddg::{Ddg, DdgBuilder, ScopeEntry};
+
+fn sample() -> Ddg {
+    let mut b = DdgBuilder::new();
+    let add = b.intern_label("fadd", true);
+    let sqrt = b.intern_label("call.sqrt", false);
+    let n0 = b.add_node(add, 0, 0, 3, 7, 1, vec![ScopeEntry { loop_id: 2, instance: 0, iter: 5 }]);
+    let n1 = b.add_node(sqrt, 1, 1, 9, 2, 2, vec![]);
+    b.add_arc(n0, n1);
+    b.mark_reads_input(n0);
+    b.mark_writes_output(n1);
+    b.mark_address_use(n0);
+    b.finish()
+}
+
+#[test]
+fn json_round_trip_preserves_everything() {
+    let g = sample();
+    let json = serde_json::to_string(&g).expect("serializes");
+    let back: Ddg = serde_json::from_str(&json).expect("deserializes");
+    assert_eq!(back.len(), g.len());
+    assert_eq!(back.arc_count(), g.arc_count());
+    for (a, b) in g.node_ids().zip(back.node_ids()) {
+        let (na, nb) = (g.node(a), back.node(b));
+        assert_eq!(na.static_op, nb.static_op);
+        assert_eq!(na.thread, nb.thread);
+        assert_eq!(na.flags, nb.flags);
+        assert_eq!(na.scope, nb.scope);
+        assert_eq!(g.label_str(na.label), back.label_str(nb.label));
+    }
+    assert_eq!(
+        g.arcs().collect::<Vec<_>>(),
+        back.arcs().collect::<Vec<_>>()
+    );
+}
+
+#[test]
+fn associativity_facts_survive() {
+    let g = sample();
+    let json = serde_json::to_string(&g).unwrap();
+    let back: Ddg = serde_json::from_str(&json).unwrap();
+    let fadd = back.find_label("fadd").unwrap();
+    let sqrt = back.find_label("call.sqrt").unwrap();
+    assert!(back.label_is_associative(fadd));
+    assert!(!back.label_is_associative(sqrt));
+}

@@ -1,0 +1,377 @@
+//! Programmatic IR construction.
+//!
+//! [`ProgramBuilder`] owns program-wide id allocation ([`OpId`]s and
+//! [`LoopId`]s are dense across the whole program, which the tracer and the
+//! finder's tables rely on); [`FnBuilder`] builds one function at a time.
+//! The `minc` frontend lowers through these builders, and tests and
+//! synthetic workloads use them directly.
+
+use crate::expr::Expr;
+use crate::func::{Function, GlobalArray, Local, Param, Program};
+use crate::ids::{ArrId, FnId, LoopId, OpId, VarId};
+use crate::loc::Loc;
+use crate::ops::{BinOp, Intrinsic, UnOp};
+use crate::stmt::Stmt;
+use crate::types::Type;
+
+/// Builds a [`Program`], allocating all program-global ids.
+pub struct ProgramBuilder {
+    name: String,
+    functions: Vec<Function>,
+    globals: Vec<GlobalArray>,
+    n_mutexes: usize,
+    n_barriers: usize,
+    next_op: u32,
+    next_loop: u32,
+    files: Vec<String>,
+    sources: Vec<String>,
+}
+
+impl ProgramBuilder {
+    /// Starts a new program.
+    pub fn new(name: impl Into<String>) -> Self {
+        ProgramBuilder {
+            name: name.into(),
+            functions: Vec::new(),
+            globals: Vec::new(),
+            n_mutexes: 0,
+            n_barriers: 0,
+            next_op: 0,
+            next_loop: 0,
+            files: vec!["<builder>".into()],
+            sources: vec![String::new()],
+        }
+    }
+
+    /// Registers a source file; returns its index for [`Loc::in_file`].
+    pub fn add_file(&mut self, name: impl Into<String>, source: impl Into<String>) -> u16 {
+        // Slot 0 is the synthetic "<builder>" file; replace it on first use.
+        if self.files.len() == 1 && self.files[0] == "<builder>" && self.sources[0].is_empty() {
+            self.files[0] = name.into();
+            self.sources[0] = source.into();
+            0
+        } else {
+            self.files.push(name.into());
+            self.sources.push(source.into());
+            (self.files.len() - 1) as u16
+        }
+    }
+
+    /// Declares a global array.
+    pub fn global(&mut self, name: impl Into<String>, elem: Type, len: usize) -> ArrId {
+        let id = ArrId(self.globals.len() as u32);
+        self.globals.push(GlobalArray { id, name: name.into(), elem, len });
+        id
+    }
+
+    /// Declares a mutex object; returns its index.
+    pub fn mutex(&mut self) -> usize {
+        self.n_mutexes += 1;
+        self.n_mutexes - 1
+    }
+
+    /// Declares a barrier object; returns its index.
+    pub fn barrier(&mut self) -> usize {
+        self.n_barriers += 1;
+        self.n_barriers - 1
+    }
+
+    /// Allocates a fresh operation id.
+    pub fn fresh_op(&mut self) -> OpId {
+        let id = OpId(self.next_op);
+        self.next_op += 1;
+        id
+    }
+
+    /// Allocates a fresh loop id.
+    pub fn fresh_loop(&mut self) -> LoopId {
+        let id = LoopId(self.next_loop);
+        self.next_loop += 1;
+        id
+    }
+
+    /// The id the next declared function will get (for forward references —
+    /// spawning a worker that is defined later).
+    pub fn next_fn_id(&self) -> FnId {
+        FnId(self.functions.len() as u32)
+    }
+
+    /// Opens a function builder. Finish it with [`FnBuilder::finish`].
+    pub fn function(
+        &mut self,
+        name: impl Into<String>,
+        params: Vec<(&str, Type)>,
+        ret: Option<Type>,
+    ) -> FnBuilder<'_> {
+        let id = self.next_fn_id();
+        FnBuilder {
+            pb: self,
+            id,
+            name: name.into(),
+            params: params
+                .into_iter()
+                .map(|(n, t)| Param { name: n.to_string(), ty: t })
+                .collect(),
+            locals: Vec::new(),
+            ret,
+            body: Vec::new(),
+            loc: Loc::NONE,
+        }
+    }
+
+    /// Finalizes the program with `entry` as the start function.
+    pub fn finish(self, entry: FnId) -> Program {
+        Program {
+            name: self.name,
+            functions: self.functions,
+            globals: self.globals,
+            n_mutexes: self.n_mutexes,
+            n_barriers: self.n_barriers,
+            entry,
+            op_count: self.next_op,
+            loop_count: self.next_loop,
+            files: self.files,
+            sources: self.sources,
+        }
+    }
+}
+
+/// Builds one [`Function`]. Expression helpers allocate fresh [`OpId`]s from
+/// the parent [`ProgramBuilder`].
+pub struct FnBuilder<'p> {
+    pb: &'p mut ProgramBuilder,
+    id: FnId,
+    name: String,
+    params: Vec<Param>,
+    locals: Vec<Local>,
+    ret: Option<Type>,
+    body: Vec<Stmt>,
+    loc: Loc,
+}
+
+impl<'p> FnBuilder<'p> {
+    /// This function's id (equal to what the program will record).
+    pub fn id(&self) -> FnId {
+        self.id
+    }
+
+    /// The slot of parameter `i`.
+    pub fn param(&self, i: usize) -> VarId {
+        assert!(i < self.params.len(), "no parameter {i}");
+        VarId(i as u32)
+    }
+
+    /// Allocates a fresh loop id (for hand-assembled `Stmt::For`/`While`).
+    pub fn fresh_loop(&mut self) -> LoopId {
+        self.pb.fresh_loop()
+    }
+
+    /// Declares a local variable.
+    pub fn local(&mut self, name: impl Into<String>, ty: Type) -> VarId {
+        let id = VarId((self.params.len() + self.locals.len()) as u32);
+        self.locals.push(Local { name: name.into(), ty });
+        id
+    }
+
+    // ---- expression helpers (fresh OpIds) ----
+
+    /// `a <op> b` with a fresh op id.
+    pub fn bin(&mut self, op: BinOp, a: Expr, b: Expr) -> Expr {
+        let id = self.pb.fresh_op();
+        Expr::bin(op, a, b, id, Loc::NONE)
+    }
+
+    /// `a <op> b` at a source location.
+    pub fn bin_at(&mut self, op: BinOp, a: Expr, b: Expr, loc: Loc) -> Expr {
+        let id = self.pb.fresh_op();
+        Expr::bin(op, a, b, id, loc)
+    }
+
+    /// `<op> a` with a fresh op id.
+    pub fn un(&mut self, op: UnOp, a: Expr) -> Expr {
+        let id = self.pb.fresh_op();
+        Expr::un(op, a, id, Loc::NONE)
+    }
+
+    /// Intrinsic call with a fresh op id.
+    pub fn intr(&mut self, op: Intrinsic, args: Vec<Expr>) -> Expr {
+        let id = self.pb.fresh_op();
+        Expr::Intr { op, args, id, loc: Loc::NONE }
+    }
+
+    /// User-function call (no op id — see [`Expr::Call`]).
+    pub fn call(&mut self, f: FnId, args: Vec<Expr>) -> Expr {
+        Expr::Call { f, args, loc: Loc::NONE }
+    }
+
+    /// Array load.
+    pub fn load(&mut self, arr: ArrId, idx: Expr) -> Expr {
+        Expr::load(arr, idx, Loc::NONE)
+    }
+
+    // ---- statement helpers ----
+
+    /// Appends a raw statement.
+    pub fn push(&mut self, s: Stmt) {
+        self.body.push(s);
+    }
+
+    /// `var = value`.
+    pub fn assign(&mut self, var: VarId, value: Expr) {
+        self.body.push(Stmt::Assign { var, value, loc: Loc::NONE });
+    }
+
+    /// `arr[idx] = value`.
+    pub fn store(&mut self, arr: ArrId, idx: Expr, value: Expr) {
+        self.body.push(Stmt::Store { arr, idx, value, loc: Loc::NONE });
+    }
+
+    /// `return value`.
+    pub fn ret(&mut self, value: Option<Expr>) {
+        self.body.push(Stmt::Return { value, loc: Loc::NONE });
+    }
+
+    /// Builds a counted loop; `body` receives the builder and the loop
+    /// variable and returns the loop body.
+    pub fn for_loop(
+        &mut self,
+        var_name: &str,
+        from: Expr,
+        to: Expr,
+        body: impl FnOnce(&mut Self, VarId) -> Vec<Stmt>,
+    ) {
+        let var = self.local(var_name, Type::I64);
+        let id = self.pb.fresh_loop();
+        let stmts = body(self, var);
+        self.body.push(Stmt::For { id, var, from, to, step: 1, body: stmts, loc: Loc::NONE });
+    }
+
+    /// Builds an `if` with no else branch.
+    pub fn if_then(&mut self, cond: Expr, then_body: Vec<Stmt>) {
+        self.body.push(Stmt::If { cond, then_body, else_body: vec![], loc: Loc::NONE });
+    }
+
+    /// Statement constructors that do not push (for nested blocks).
+    pub fn stmt_assign(var: VarId, value: Expr) -> Stmt {
+        Stmt::Assign { var, value, loc: Loc::NONE }
+    }
+
+    /// `arr[idx] = value` as a value (for nested blocks).
+    pub fn stmt_store(arr: ArrId, idx: Expr, value: Expr) -> Stmt {
+        Stmt::Store { arr, idx, value, loc: Loc::NONE }
+    }
+
+    /// Finishes the function, registering it with the program builder.
+    pub fn finish(self) -> FnId {
+        let f = Function {
+            id: self.id,
+            name: self.name,
+            params: self.params,
+            locals: self.locals,
+            ret: self.ret,
+            body: self.body,
+            loc: self.loc,
+        };
+        let id = f.id;
+        self.pb.functions.push(f);
+        id
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_a_sum_program() {
+        let mut pb = ProgramBuilder::new("sum");
+        let data = pb.global("data", Type::F64, 8);
+        let mut f = pb.function("main", vec![("n", Type::I64)], None);
+        let n = f.param(0);
+        let acc = f.local("acc", Type::F64);
+        f.assign(acc, Expr::Float(0.0));
+        let idx_expr = Expr::Var(n);
+        let load = f.load(data, idx_expr);
+        let add = f.bin(BinOp::FAdd, Expr::Var(acc), load);
+        f.assign(acc, add);
+        let main = f.finish();
+        let p = pb.finish(main);
+
+        assert_eq!(p.functions.len(), 1);
+        assert_eq!(p.op_count, 1); // one fadd
+        assert_eq!(p.function(main).slot_count(), 2); // n, acc
+        assert_eq!(p.global(data).name, "data");
+    }
+
+    #[test]
+    fn for_loop_allocates_loop_id_and_var() {
+        let mut pb = ProgramBuilder::new("loop");
+        let out = pb.global("out", Type::I64, 4);
+        let mut f = pb.function("main", vec![], None);
+        f.for_loop("i", Expr::Int(0), Expr::Int(4), |f, i| {
+            let v = f.bin(BinOp::Mul, Expr::Var(i), Expr::Int(2));
+            vec![FnBuilder::stmt_store(out, Expr::Var(i), v)]
+        });
+        let main = f.finish();
+        let p = pb.finish(main);
+        assert_eq!(p.loop_count, 1);
+        assert_eq!(p.op_count, 1);
+        match &p.function(main).body[0] {
+            Stmt::For { id, step, .. } => {
+                assert_eq!(*id, LoopId(0));
+                assert_eq!(*step, 1);
+            }
+            other => panic!("expected For, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn forward_reference_for_spawn() {
+        let mut pb = ProgramBuilder::new("threads");
+        let worker_id = {
+            let mut main = pb.function("main", vec![], None);
+            // main is fn0, the worker will be fn1.
+            let h = main.local("h", Type::I64);
+            let worker_id = FnId(1);
+            main.push(Stmt::Spawn {
+                func: worker_id,
+                args: vec![Expr::Int(0)],
+                handle: h,
+                loc: Loc::NONE,
+            });
+            main.push(Stmt::Join { handle: Expr::Var(h), loc: Loc::NONE });
+            main.finish();
+            worker_id
+        };
+        let w = pb.function("worker", vec![("tid", Type::I64)], None);
+        assert_eq!(w.id(), worker_id);
+        w.finish();
+        let p = pb.finish(FnId(0));
+        assert_eq!(p.functions.len(), 2);
+    }
+
+    #[test]
+    fn sync_object_declaration() {
+        let mut pb = ProgramBuilder::new("sync");
+        assert_eq!(pb.mutex(), 0);
+        assert_eq!(pb.mutex(), 1);
+        assert_eq!(pb.barrier(), 0);
+        let f = pb.function("main", vec![], None);
+        let main = f.finish();
+        let p = pb.finish(main);
+        assert_eq!(p.n_mutexes, 2);
+        assert_eq!(p.n_barriers, 1);
+    }
+
+    #[test]
+    fn add_file_replaces_placeholder_then_appends() {
+        let mut pb = ProgramBuilder::new("files");
+        let f0 = pb.add_file("a.mc", "src a");
+        let f1 = pb.add_file("b.mc", "src b");
+        assert_eq!((f0, f1), (0, 1));
+        let f = pb.function("main", vec![], None);
+        let main = f.finish();
+        let p = pb.finish(main);
+        assert_eq!(p.files, vec!["a.mc".to_string(), "b.mc".to_string()]);
+    }
+}

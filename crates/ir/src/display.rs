@@ -1,0 +1,219 @@
+//! Human-readable pretty printing of IR programs.
+//!
+//! Useful when debugging lowering and when inspecting the synthetic
+//! Starbench ports; the format is close to the `minc` surface syntax.
+
+use crate::expr::Expr;
+use crate::func::{Function, Program};
+use crate::stmt::Stmt;
+use std::fmt::Write;
+
+/// Renders a whole program.
+pub fn program_to_string(p: &Program) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "// program {}", p.name);
+    for g in &p.globals {
+        let _ = writeln!(out, "global {} {}[{}];", g.elem, g.name, g.len);
+    }
+    if p.n_mutexes > 0 {
+        let _ = writeln!(out, "// {} mutex(es)", p.n_mutexes);
+    }
+    if p.n_barriers > 0 {
+        let _ = writeln!(out, "// {} barrier(s)", p.n_barriers);
+    }
+    for f in &p.functions {
+        out.push('\n');
+        out.push_str(&function_to_string(p, f));
+    }
+    out
+}
+
+/// Renders one function.
+pub fn function_to_string(p: &Program, f: &Function) -> String {
+    let mut out = String::new();
+    let ret = f.ret.map(|t| t.to_string()).unwrap_or_else(|| "void".into());
+    let params: Vec<String> =
+        f.params.iter().map(|pa| format!("{} {}", pa.ty, pa.name)).collect();
+    let _ = writeln!(out, "{} {}({}) {{", ret, f.name, params.join(", "));
+    for s in &f.body {
+        write_stmt(p, f, s, 1, &mut out);
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn indent(out: &mut String, depth: usize) {
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+}
+
+fn write_stmt(p: &Program, f: &Function, s: &Stmt, depth: usize, out: &mut String) {
+    indent(out, depth);
+    match s {
+        Stmt::Assign { var, value, .. } => {
+            let _ = writeln!(out, "{} = {};", f.slot(*var).0, expr_str(p, f, value));
+        }
+        Stmt::Store { arr, idx, value, .. } => {
+            let _ = writeln!(
+                out,
+                "{}[{}] = {};",
+                p.global(*arr).name,
+                expr_str(p, f, idx),
+                expr_str(p, f, value)
+            );
+        }
+        Stmt::If { cond, then_body, else_body, .. } => {
+            let _ = writeln!(out, "if ({}) {{", expr_str(p, f, cond));
+            for s in then_body {
+                write_stmt(p, f, s, depth + 1, out);
+            }
+            if !else_body.is_empty() {
+                indent(out, depth);
+                out.push_str("} else {\n");
+                for s in else_body {
+                    write_stmt(p, f, s, depth + 1, out);
+                }
+            }
+            indent(out, depth);
+            out.push_str("}\n");
+        }
+        Stmt::For { id, var, from, to, step, body, .. } => {
+            let v = f.slot(*var).0;
+            let _ = writeln!(
+                out,
+                "for ({v} = {}; {v} < {}; {v} += {step}) {{ // {id}",
+                expr_str(p, f, from),
+                expr_str(p, f, to)
+            );
+            for s in body {
+                write_stmt(p, f, s, depth + 1, out);
+            }
+            indent(out, depth);
+            out.push_str("}\n");
+        }
+        Stmt::While { id, cond, body, .. } => {
+            let _ = writeln!(out, "while ({}) {{ // {id}", expr_str(p, f, cond));
+            for s in body {
+                write_stmt(p, f, s, depth + 1, out);
+            }
+            indent(out, depth);
+            out.push_str("}\n");
+        }
+        Stmt::Expr { expr } => {
+            let _ = writeln!(out, "{};", expr_str(p, f, expr));
+        }
+        Stmt::Return { value, .. } => match value {
+            Some(e) => {
+                let _ = writeln!(out, "return {};", expr_str(p, f, e));
+            }
+            None => out.push_str("return;\n"),
+        },
+        Stmt::Spawn { func, args, handle, .. } => {
+            let args: Vec<String> = args.iter().map(|a| expr_str(p, f, a)).collect();
+            let _ = writeln!(
+                out,
+                "{} = spawn {}({});",
+                f.slot(*handle).0,
+                p.function(*func).name,
+                args.join(", ")
+            );
+        }
+        Stmt::Join { handle, .. } => {
+            let _ = writeln!(out, "join {};", expr_str(p, f, handle));
+        }
+        Stmt::Barrier { bar, .. } => {
+            let _ = writeln!(out, "barrier({bar});");
+        }
+        Stmt::Lock { mutex, .. } => {
+            let _ = writeln!(out, "lock({mutex});");
+        }
+        Stmt::Unlock { mutex, .. } => {
+            let _ = writeln!(out, "unlock({mutex});");
+        }
+        Stmt::Output { arr, .. } => {
+            let _ = writeln!(out, "output({});", p.global(*arr).name);
+        }
+    }
+}
+
+/// Renders one expression.
+pub fn expr_str(p: &Program, f: &Function, e: &Expr) -> String {
+    match e {
+        Expr::Int(v) => v.to_string(),
+        Expr::Float(v) => {
+            if v.fract() == 0.0 && v.is_finite() {
+                format!("{v:.1}")
+            } else {
+                v.to_string()
+            }
+        }
+        Expr::Bool(v) => v.to_string(),
+        Expr::Var(v) => f.slot(*v).0.to_string(),
+        Expr::Load { arr, idx, .. } => {
+            format!("{}[{}]", p.global(*arr).name, expr_str(p, f, idx))
+        }
+        Expr::Un { op, a, .. } => format!("{}({})", op.label(), expr_str(p, f, a)),
+        Expr::Bin { op, a, b, .. } => {
+            format!("({} {} {})", expr_str(p, f, a), op.label(), expr_str(p, f, b))
+        }
+        Expr::Intr { op, args, .. } => {
+            let args: Vec<String> = args.iter().map(|a| expr_str(p, f, a)).collect();
+            format!("{}({})", op.label(), args.join(", "))
+        }
+        Expr::Call { f: callee, args, .. } => {
+            let args: Vec<String> = args.iter().map(|a| expr_str(p, f, a)).collect();
+            format!("{}({})", p.function(*callee).name, args.join(", "))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{FnBuilder, ProgramBuilder};
+    use crate::ops::BinOp;
+    use crate::types::Type;
+
+    #[test]
+    fn renders_a_loop_program() {
+        let mut pb = ProgramBuilder::new("demo");
+        let out_arr = pb.global("out", Type::F64, 4);
+        let mut f = pb.function("main", vec![("n", Type::I64)], None);
+        f.for_loop("i", Expr::Int(0), Expr::Var(VarId(0)), |f, i| {
+            let v = f.bin(BinOp::FMul, Expr::Float(2.0), Expr::Float(3.0));
+            vec![FnBuilder::stmt_store(out_arr, Expr::Var(i), v)]
+        });
+        let main = f.finish();
+        let p = pb.finish(main);
+        let text = program_to_string(&p);
+        assert!(text.contains("global f64 out[4];"));
+        assert!(text.contains("void main(i64 n)"));
+        assert!(text.contains("for (i = 0; i < n; i += 1)"));
+        assert!(text.contains("out[i] = (2.0 fmul 3.0);"));
+    }
+
+    use crate::ids::VarId;
+
+    #[test]
+    fn renders_threading() {
+        let mut pb = ProgramBuilder::new("thr");
+        let worker = crate::ids::FnId(1);
+        let mut main = pb.function("main", vec![], None);
+        let h = main.local("h", Type::I64);
+        main.push(Stmt::Spawn {
+            func: worker,
+            args: vec![Expr::Int(0)],
+            handle: h,
+            loc: crate::loc::Loc::NONE,
+        });
+        main.push(Stmt::Join { handle: Expr::Var(h), loc: crate::loc::Loc::NONE });
+        let main_id = main.finish();
+        let w = pb.function("worker", vec![("tid", Type::I64)], None);
+        w.finish();
+        let p = pb.finish(main_id);
+        let text = program_to_string(&p);
+        assert!(text.contains("h = spawn worker(0);"));
+        assert!(text.contains("join h;"));
+    }
+}

@@ -1,0 +1,140 @@
+//! Expressions.
+//!
+//! Only *computation* gets an [`OpId`] (and hence DDG nodes): arithmetic,
+//! comparisons, conversions, and intrinsic calls. Reads of variables and
+//! array loads are pure data transfer — the paper's DDG "by construction
+//! does not contain any notion of data location, and hence abstracts away
+//! data transferring" (§3) — so they carry no `OpId` and the tracer simply
+//! forwards the defining node through them. Array *subscript* expressions,
+//! in contrast, are ordinary integer computation whose result is consumed at
+//! an *address* use; the tracer records that consumption so the finder's
+//! simplification phase can strip memory address calculations (§5).
+
+use crate::ids::{ArrId, FnId, OpId, VarId};
+use crate::loc::Loc;
+use crate::ops::{BinOp, Intrinsic, UnOp};
+use serde::{Deserialize, Serialize};
+
+/// An IR expression tree.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum Expr {
+    /// Integer literal. Constants define no node (paper Fig. 2c draws the
+    /// additive identity as a sourceless arc).
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// Boolean literal.
+    Bool(bool),
+    /// Read of a local variable or parameter: pure data transfer.
+    Var(VarId),
+    /// Array load `arr[idx]`: data transfer for the element value, plus an
+    /// *address use* of the `idx` computation.
+    Load { arr: ArrId, idx: Box<Expr>, loc: Loc },
+    /// Unary operation — one DDG node per execution.
+    Un { op: UnOp, a: Box<Expr>, id: OpId, loc: Loc },
+    /// Binary operation — one DDG node per execution.
+    Bin { op: BinOp, a: Box<Expr>, b: Box<Expr>, id: OpId, loc: Loc },
+    /// Intrinsic call — one DDG node per execution, labeled `call.<name>`.
+    Intr { op: Intrinsic, args: Vec<Expr>, id: OpId, loc: Loc },
+    /// Call of a user function. The callee's operations are traced
+    /// individually (whole-program tracing is what lets the paper find
+    /// patterns spanning translation units — challenge 4 of §2), so the
+    /// call itself is not a node; the return value's defining node flows
+    /// through to the caller.
+    Call { f: FnId, args: Vec<Expr>, loc: Loc },
+}
+
+impl Expr {
+    /// Convenience constructor for a binary operation.
+    pub fn bin(op: BinOp, a: Expr, b: Expr, id: OpId, loc: Loc) -> Expr {
+        Expr::Bin { op, a: Box::new(a), b: Box::new(b), id, loc }
+    }
+
+    /// Convenience constructor for a unary operation.
+    pub fn un(op: UnOp, a: Expr, id: OpId, loc: Loc) -> Expr {
+        Expr::Un { op, a: Box::new(a), id, loc }
+    }
+
+    /// Convenience constructor for an array load.
+    pub fn load(arr: ArrId, idx: Expr, loc: Loc) -> Expr {
+        Expr::Load { arr, idx: Box::new(idx), loc }
+    }
+
+    /// The source location of the outermost construct, if any.
+    pub fn loc(&self) -> Loc {
+        match self {
+            Expr::Int(_) | Expr::Float(_) | Expr::Bool(_) | Expr::Var(_) => Loc::NONE,
+            Expr::Load { loc, .. }
+            | Expr::Un { loc, .. }
+            | Expr::Bin { loc, .. }
+            | Expr::Intr { loc, .. }
+            | Expr::Call { loc, .. } => *loc,
+        }
+    }
+
+    /// Iterates over the direct subexpressions.
+    pub fn children(&self) -> Vec<&Expr> {
+        match self {
+            Expr::Int(_) | Expr::Float(_) | Expr::Bool(_) | Expr::Var(_) => vec![],
+            Expr::Load { idx, .. } => vec![idx],
+            Expr::Un { a, .. } => vec![a],
+            Expr::Bin { a, b, .. } => vec![a, b],
+            Expr::Intr { args, .. } => args.iter().collect(),
+            Expr::Call { args, .. } => args.iter().collect(),
+        }
+    }
+
+    /// Number of value-producing operations (`OpId`s) in this subtree.
+    pub fn op_count(&self) -> usize {
+        let own = matches!(self, Expr::Un { .. } | Expr::Bin { .. } | Expr::Intr { .. }) as usize;
+        own + self.children().iter().map(|c| c.op_count()).sum::<usize>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Expr {
+        // (v0 + arr0[v1]) * 2.0
+        Expr::bin(
+            BinOp::FMul,
+            Expr::bin(
+                BinOp::FAdd,
+                Expr::Var(VarId(0)),
+                Expr::load(ArrId(0), Expr::Var(VarId(1)), Loc::new(2, 10)),
+                OpId(0),
+                Loc::new(2, 5),
+            ),
+            Expr::Float(2.0),
+            OpId(1),
+            Loc::new(2, 3),
+        )
+    }
+
+    #[test]
+    fn op_count_skips_transfers_and_constants() {
+        // Only the fadd and fmul are operations; Var/Load/Float are not.
+        assert_eq!(sample().op_count(), 2);
+    }
+
+    #[test]
+    fn children_cover_all_subtrees() {
+        let e = sample();
+        assert_eq!(e.children().len(), 2);
+        assert_eq!(e.loc(), Loc::new(2, 3));
+        assert_eq!(Expr::Var(VarId(0)).loc(), Loc::NONE);
+    }
+
+    #[test]
+    fn intrinsic_children() {
+        let e = Expr::Intr {
+            op: Intrinsic::Select,
+            args: vec![Expr::Bool(true), Expr::Int(1), Expr::Int(2)],
+            id: OpId(9),
+            loc: Loc::NONE,
+        };
+        assert_eq!(e.children().len(), 3);
+        assert_eq!(e.op_count(), 1);
+    }
+}

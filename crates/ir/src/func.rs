@@ -1,0 +1,190 @@
+//! Functions, global storage, and whole programs.
+
+use crate::ids::{ArrId, FnId, LoopId, VarId};
+use crate::loc::Loc;
+use crate::stmt::Stmt;
+use crate::types::Type;
+use serde::{Deserialize, Serialize};
+
+/// A function parameter.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Param {
+    pub name: String,
+    pub ty: Type,
+}
+
+/// A local variable declaration. Variable slots within a frame are numbered
+/// params-first, locals-after, so [`VarId`] indexes directly into the frame.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Local {
+    pub name: String,
+    pub ty: Type,
+}
+
+/// A function definition.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Function {
+    pub id: FnId,
+    pub name: String,
+    pub params: Vec<Param>,
+    pub locals: Vec<Local>,
+    pub ret: Option<Type>,
+    pub body: Vec<Stmt>,
+    pub loc: Loc,
+}
+
+impl Function {
+    /// Total number of variable slots in a frame of this function.
+    pub fn slot_count(&self) -> usize {
+        self.params.len() + self.locals.len()
+    }
+
+    /// Name and type of a variable slot.
+    pub fn slot(&self, var: VarId) -> (&str, Type) {
+        let i = var.index();
+        if i < self.params.len() {
+            (&self.params[i].name, self.params[i].ty)
+        } else {
+            let l = &self.locals[i - self.params.len()];
+            (&l.name, l.ty)
+        }
+    }
+}
+
+/// A global array — the IR's only shared mutable storage, standing in for
+/// the heap and globals of the legacy C programs. Element type is uniform;
+/// multidimensional data is index-flattened exactly as the C sources do,
+/// which is what makes subscript arithmetic visible to the DDG as *memory
+/// address calculation*.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct GlobalArray {
+    pub id: ArrId,
+    pub name: String,
+    pub elem: Type,
+    /// Default length; the host can resize before a run (program inputs).
+    pub len: usize,
+}
+
+/// A whole program: the unit of instrumentation and tracing.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Program {
+    pub name: String,
+    pub functions: Vec<Function>,
+    pub globals: Vec<GlobalArray>,
+    /// Number of mutex objects.
+    pub n_mutexes: usize,
+    /// Number of barrier objects; participant counts are a run-time
+    /// configuration (legacy code sizes barriers by `nproc`).
+    pub n_barriers: usize,
+    /// Entry point.
+    pub entry: FnId,
+    /// Total number of static operations ([`crate::OpId`]s assigned).
+    pub op_count: u32,
+    /// Total number of static loops ([`LoopId`]s assigned).
+    pub loop_count: u32,
+    /// Source file names (index = `Loc::file`).
+    pub files: Vec<String>,
+    /// Full source text per file, for pattern reports (paper Fig. 6).
+    pub sources: Vec<String>,
+}
+
+impl Program {
+    /// Looks up a function by id.
+    pub fn function(&self, id: FnId) -> &Function {
+        &self.functions[id.index()]
+    }
+
+    /// Looks up a function by name.
+    pub fn function_by_name(&self, name: &str) -> Option<&Function> {
+        self.functions.iter().find(|f| f.name == name)
+    }
+
+    /// Looks up a global array by id.
+    pub fn global(&self, id: ArrId) -> &GlobalArray {
+        &self.globals[id.index()]
+    }
+
+    /// Looks up a global array by name.
+    pub fn global_by_name(&self, name: &str) -> Option<&GlobalArray> {
+        self.globals.iter().find(|g| g.name == name)
+    }
+
+    /// All loop ids in the program (dense `0..loop_count`).
+    pub fn loops(&self) -> impl Iterator<Item = LoopId> {
+        (0..self.loop_count).map(LoopId)
+    }
+
+    /// The source line for a location, if available (for reports).
+    pub fn source_line(&self, loc: Loc) -> Option<&str> {
+        if !loc.is_some() {
+            return None;
+        }
+        let src = self.sources.get(loc.file as usize)?;
+        src.lines().nth(loc.line as usize - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_program() -> Program {
+        Program {
+            name: "tiny".into(),
+            functions: vec![Function {
+                id: FnId(0),
+                name: "main".into(),
+                params: vec![Param { name: "n".into(), ty: Type::I64 }],
+                locals: vec![Local { name: "x".into(), ty: Type::F64 }],
+                ret: None,
+                body: vec![],
+                loc: Loc::new(1, 1),
+            }],
+            globals: vec![GlobalArray {
+                id: ArrId(0),
+                name: "data".into(),
+                elem: Type::F64,
+                len: 16,
+            }],
+            n_mutexes: 0,
+            n_barriers: 0,
+            entry: FnId(0),
+            op_count: 0,
+            loop_count: 2,
+            files: vec!["tiny.mc".into()],
+            sources: vec!["line one\nline two\n".into()],
+        }
+    }
+
+    #[test]
+    fn slot_numbering_params_first() {
+        let p = tiny_program();
+        let f = p.function(FnId(0));
+        assert_eq!(f.slot_count(), 2);
+        assert_eq!(f.slot(VarId(0)), ("n", Type::I64));
+        assert_eq!(f.slot(VarId(1)), ("x", Type::F64));
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        let p = tiny_program();
+        assert!(p.function_by_name("main").is_some());
+        assert!(p.function_by_name("absent").is_none());
+        assert_eq!(p.global_by_name("data").unwrap().len, 16);
+    }
+
+    #[test]
+    fn loops_iterates_dense_ids() {
+        let p = tiny_program();
+        let ids: Vec<_> = p.loops().collect();
+        assert_eq!(ids, vec![LoopId(0), LoopId(1)]);
+    }
+
+    #[test]
+    fn source_line_lookup() {
+        let p = tiny_program();
+        assert_eq!(p.source_line(Loc::new(2, 1)), Some("line two"));
+        assert_eq!(p.source_line(Loc::NONE), None);
+        assert_eq!(p.source_line(Loc::new(9, 1)), None);
+    }
+}

@@ -1,0 +1,97 @@
+//! Stable identifiers for static IR entities.
+//!
+//! The tracer keys DDG nodes by the [`OpId`] of the operation they execute,
+//! loop-scope decomposition keys on [`LoopId`], and the interpreter resolves
+//! variables, arrays, and functions through the remaining id types. All ids
+//! are dense `u32` indices assigned by [`crate::builder::ProgramBuilder`] (or
+//! the `minc` lowering), so they can index straight into side tables.
+
+use serde::{Deserialize, Serialize};
+
+macro_rules! define_id {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(
+            Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+        )]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// Returns the raw index.
+            #[inline]
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl std::fmt::Debug for $name {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl std::fmt::Display for $name {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+    };
+}
+
+define_id!(
+    /// Identity of a static value-producing IR operation.
+    ///
+    /// Every execution of the operation becomes one DDG node labeled with
+    /// this id (plus thread and loop-scope context), mirroring how the
+    /// paper's instrumentation pass tags each LLVM IR instruction.
+    OpId,
+    "op"
+);
+
+define_id!(
+    /// Identity of a static loop (`for` or `while`).
+    ///
+    /// The dynamic scope of each loop — the set of DDG nodes executed within
+    /// it, per iteration — drives the finder's *decomposition* and
+    /// *compaction* phases.
+    LoopId,
+    "loop"
+);
+
+define_id!(
+    /// A local variable or parameter slot within a function frame.
+    VarId,
+    "v"
+);
+
+define_id!(
+    /// A global array (the only heap-like storage in the IR).
+    ArrId,
+    "arr"
+);
+
+define_id!(
+    /// A function within a [`crate::Program`].
+    FnId,
+    "fn"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_format_with_prefix() {
+        assert_eq!(format!("{}", OpId(3)), "op3");
+        assert_eq!(format!("{:?}", LoopId(7)), "loop7");
+        assert_eq!(format!("{}", VarId(0)), "v0");
+        assert_eq!(format!("{}", ArrId(2)), "arr2");
+        assert_eq!(format!("{}", FnId(1)), "fn1");
+    }
+
+    #[test]
+    fn ids_are_ordered_by_index() {
+        assert!(OpId(1) < OpId(2));
+        assert_eq!(OpId(5).index(), 5);
+    }
+}

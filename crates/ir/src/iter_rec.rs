@@ -1,0 +1,194 @@
+//! Generalized iterator recognition.
+//!
+//! The paper strips *data-structure traversals* from DDGs using the
+//! generalized iterator-recognition analysis of Manilov, Vasiladiotis &
+//! Franke (CC '18): the operations that merely walk a data structure (update
+//! an induction variable, test the loop bound) do not characterize a pattern
+//! and would otherwise chain loop iterations together, hiding maps.
+//!
+//! In this IR, counted [`crate::Stmt::For`] loops already keep their
+//! traversal bookkeeping implicit, so the analysis concerns general
+//! [`crate::Stmt::While`] loops: it recognizes the classic iterator shape —
+//! a local updated as `v = v ⊕ step` inside the loop and consumed by the
+//! loop condition or by address computation — and returns the [`OpId`]s of
+//! those update and test operations so the simplification phase can drop
+//! their DDG nodes.
+
+use crate::expr::Expr;
+use crate::func::Program;
+use crate::ids::{LoopId, OpId, VarId};
+use crate::stmt::Stmt;
+use crate::visit::{walk_expr, walk_stmts};
+use std::collections::HashSet;
+
+/// Result of iterator recognition over a whole program.
+#[derive(Clone, Debug, Default)]
+pub struct IteratorInfo {
+    /// Operations that implement loop traversal (induction updates and
+    /// bound tests). Their dynamic executions are removed by DDG
+    /// simplification.
+    pub iterator_ops: HashSet<OpId>,
+    /// The loops in which each iterator variable was recognized, for
+    /// diagnostics.
+    pub loops_with_iterators: HashSet<LoopId>,
+}
+
+/// Runs iterator recognition over every `while` loop of the program.
+pub fn analyze(p: &Program) -> IteratorInfo {
+    let mut info = IteratorInfo::default();
+    for f in &p.functions {
+        walk_stmts(&f.body, &mut |s| {
+            if let Stmt::While { id, cond, body, .. } = s {
+                analyze_while(*id, cond, body, &mut info);
+            }
+        });
+    }
+    info
+}
+
+/// Recognizes iterator variables within one `while` loop.
+fn analyze_while(id: LoopId, cond: &Expr, body: &[Stmt], info: &mut IteratorInfo) {
+    // Variables read by the loop condition.
+    let mut cond_vars: HashSet<VarId> = HashSet::new();
+    walk_expr(cond, &mut |e| {
+        if let Expr::Var(v) = e {
+            cond_vars.insert(*v);
+        }
+    });
+
+    // Find self-updates `v = v ⊕ e` (or `v = e ⊕ v`) at the top level or
+    // inside nested blocks of the loop body.
+    let mut found_any = false;
+    walk_stmts(body, &mut |s| {
+        if let Stmt::Assign { var, value, .. } = s {
+            if let Some(op_id) = self_update_op(*var, value) {
+                if cond_vars.contains(var) {
+                    info.iterator_ops.insert(op_id);
+                    found_any = true;
+                }
+            }
+        }
+    });
+
+    // If the loop has a recognized iterator, its bound test is traversal
+    // bookkeeping too: mark every operation in the condition.
+    if found_any {
+        info.loops_with_iterators.insert(id);
+        walk_expr(cond, &mut |e| {
+            if let Expr::Bin { id, .. } | Expr::Un { id, .. } | Expr::Intr { id, .. } = e {
+                info.iterator_ops.insert(*id);
+            }
+        });
+    }
+}
+
+/// If `value` is `var ⊕ e` or `e ⊕ var` with an additive/multiplicative
+/// operator — the generalized iterator update shape — returns the update's
+/// op id.
+fn self_update_op(var: VarId, value: &Expr) -> Option<OpId> {
+    if let Expr::Bin { op, a, b, id, .. } = value {
+        use crate::ops::BinOp::*;
+        if matches!(op, Add | Sub | Mul | Shl | Shr) {
+            let reads_var =
+                |e: &Expr| matches!(e, Expr::Var(v) if *v == var);
+            if reads_var(a) || reads_var(b) {
+                return Some(*id);
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ProgramBuilder;
+    use crate::loc::Loc;
+    use crate::ops::BinOp;
+    use crate::types::Type;
+
+    /// Builds `while (i < n) { acc = acc + data[i]; i = i + 1; }`.
+    fn while_sum_program() -> (Program, OpId, OpId, OpId) {
+        let mut pb = ProgramBuilder::new("wsum");
+        let data = pb.global("data", Type::F64, 8);
+        let mut f = pb.function("main", vec![("n", Type::I64)], None);
+        let n = f.param(0);
+        let i = f.local("i", Type::I64);
+        let acc = f.local("acc", Type::F64);
+        f.assign(i, Expr::Int(0));
+        f.assign(acc, Expr::Float(0.0));
+        let cond = f.bin(BinOp::Lt, Expr::Var(i), Expr::Var(n));
+        let cmp_id = match &cond {
+            Expr::Bin { id, .. } => *id,
+            _ => unreachable!(),
+        };
+        let ld = f.load(data, Expr::Var(i));
+        let add = f.bin(BinOp::FAdd, Expr::Var(acc), ld);
+        let add_id = match &add {
+            Expr::Bin { id, .. } => *id,
+            _ => unreachable!(),
+        };
+        let inc = f.bin(BinOp::Add, Expr::Var(i), Expr::Int(1));
+        let inc_id = match &inc {
+            Expr::Bin { id, .. } => *id,
+            _ => unreachable!(),
+        };
+        let loop_id = {
+            
+            LoopId(0)
+        };
+        let body = vec![
+            Stmt::Assign { var: acc, value: add, loc: Loc::NONE },
+            Stmt::Assign { var: i, value: inc, loc: Loc::NONE },
+        ];
+        f.push(Stmt::While { id: loop_id, cond, body, loc: Loc::NONE });
+        let main = f.finish();
+        (pb.finish(main), cmp_id, add_id, inc_id)
+    }
+
+    #[test]
+    fn recognizes_induction_update_and_test() {
+        let (p, cmp_id, add_id, inc_id) = while_sum_program();
+        let info = analyze(&p);
+        assert!(info.iterator_ops.contains(&inc_id), "i = i + 1 is an iterator op");
+        assert!(info.iterator_ops.contains(&cmp_id), "loop test is an iterator op");
+        assert!(!info.iterator_ops.contains(&add_id), "the reduction add is NOT traversal");
+        assert_eq!(info.loops_with_iterators.len(), 1);
+    }
+
+    #[test]
+    fn non_induction_updates_are_kept() {
+        // while (flag) { x = x * x; }  — x not in the condition: not an iterator.
+        let mut pb = ProgramBuilder::new("nind");
+        let mut f = pb.function("main", vec![("flag", Type::Bool)], None);
+        let flag = f.param(0);
+        let x = f.local("x", Type::I64);
+        let sq = f.bin(BinOp::Mul, Expr::Var(x), Expr::Var(x));
+        f.push(Stmt::While {
+            id: LoopId(0),
+            cond: Expr::Var(flag),
+            body: vec![Stmt::Assign { var: x, value: sq, loc: Loc::NONE }],
+            loc: Loc::NONE,
+        });
+        let main = f.finish();
+        let p = pb.finish(main);
+        let info = analyze(&p);
+        assert!(info.iterator_ops.is_empty());
+        assert!(info.loops_with_iterators.is_empty());
+    }
+
+    #[test]
+    fn for_loops_need_no_recognition() {
+        let mut pb = ProgramBuilder::new("forloop");
+        let out = pb.global("out", Type::I64, 4);
+        let mut f = pb.function("main", vec![], None);
+        f.for_loop("i", Expr::Int(0), Expr::Int(4), |f, i| {
+            let v = f.bin(BinOp::Add, Expr::Var(i), Expr::Int(1));
+            vec![crate::builder::FnBuilder::stmt_store(out, Expr::Var(i), v)]
+        });
+        let main = f.finish();
+        let p = pb.finish(main);
+        let info = analyze(&p);
+        assert!(info.iterator_ops.is_empty());
+    }
+}

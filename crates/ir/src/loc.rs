@@ -1,0 +1,82 @@
+//! Source locations.
+//!
+//! The pattern finder reports every found pattern back at its exact source
+//! position (paper §5, Fig. 6), so each IR operation carries the location of
+//! the surface-syntax construct it was lowered from.
+
+use serde::{Deserialize, Serialize};
+
+/// A position in a source file: 1-based line and column plus a file index.
+///
+/// Files are interned by the frontend; index 0 conventionally names the main
+/// translation unit. `Loc::NONE` marks synthesized operations with no
+/// surface counterpart (e.g. implicit widening inserted by lowering).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Loc {
+    /// Index of the source file in the program's file table.
+    pub file: u16,
+    /// 1-based line; 0 means "no location".
+    pub line: u32,
+    /// 1-based column; 0 means "no location".
+    pub col: u32,
+}
+
+impl Loc {
+    /// The absent location.
+    pub const NONE: Loc = Loc { file: 0, line: 0, col: 0 };
+
+    /// Creates a location in file 0.
+    pub fn new(line: u32, col: u32) -> Self {
+        Loc { file: 0, line, col }
+    }
+
+    /// Creates a location in an explicit file.
+    pub fn in_file(file: u16, line: u32, col: u32) -> Self {
+        Loc { file, line, col }
+    }
+
+    /// True when this location refers to actual source text.
+    pub fn is_some(self) -> bool {
+        self.line != 0
+    }
+}
+
+impl std::fmt::Debug for Loc {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.is_some() {
+            write!(f, "{}:{}:{}", self.file, self.line, self.col)
+        } else {
+            write!(f, "<none>")
+        }
+    }
+}
+
+impl std::fmt::Display for Loc {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{self:?}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_is_not_some() {
+        assert!(!Loc::NONE.is_some());
+        assert!(Loc::new(3, 1).is_some());
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Loc::new(12, 5).to_string(), "0:12:5");
+        assert_eq!(Loc::NONE.to_string(), "<none>");
+        assert_eq!(Loc::in_file(2, 7, 1).to_string(), "2:7:1");
+    }
+
+    #[test]
+    fn locations_order_by_file_then_line() {
+        assert!(Loc::in_file(0, 9, 9) < Loc::in_file(1, 1, 1));
+        assert!(Loc::new(3, 1) < Loc::new(3, 2));
+    }
+}

@@ -1,0 +1,309 @@
+//! Operation kinds and their DDG labels.
+//!
+//! DDG nodes are labeled with the operation they execute; the pattern
+//! definitions compare these labels for the (relaxed) isomorphism
+//! constraints (paper constraints 1c and 4c), and the reduction model only
+//! admits components whose single operation is *known to be associative*
+//! (the paper's under-approximation of constraint 3b). The label strings
+//! deliberately mimic LLVM mnemonics (`fadd`, `fmul`, `icmp`, …) as seen in
+//! the paper's Fig. 6 report (`tiled_map_reduction fadd,fmul`).
+
+use crate::types::Type;
+use serde::{Deserialize, Serialize};
+
+/// Binary operations.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum BinOp {
+    /// Integer add — associative.
+    Add,
+    /// Integer subtract.
+    Sub,
+    /// Integer multiply — associative.
+    Mul,
+    /// Integer division (truncating, like C).
+    Div,
+    /// Integer remainder.
+    Rem,
+    /// Float add — treated as associative for reduction purposes, exactly as
+    /// the paper (and every parallelizing compiler flag like `-ffast-math`)
+    /// does when re-associating parallel reductions.
+    FAdd,
+    /// Float subtract.
+    FSub,
+    /// Float multiply — treated as associative (see [`BinOp::FAdd`]).
+    FMul,
+    /// Float division.
+    FDiv,
+    /// Bitwise and — associative.
+    And,
+    /// Bitwise or — associative.
+    Or,
+    /// Bitwise xor — associative.
+    Xor,
+    /// Logical shift left.
+    Shl,
+    /// Logical shift right.
+    Shr,
+    /// Integer comparisons.
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    /// Float comparisons.
+    FEq,
+    FNe,
+    FLt,
+    FLe,
+    FGt,
+    FGe,
+    /// Integer minimum / maximum — associative. Lowered from the
+    /// `min`/`max` intrinsics of the surface language; kept as first-class
+    /// ops so reductions over them are recognizable (the paper lists
+    /// min/max-via-branches as a current limitation, which if-conversion
+    /// into these ops mitigates).
+    Min,
+    Max,
+    /// Float minimum / maximum — associative.
+    FMin,
+    FMax,
+}
+
+impl BinOp {
+    /// The DDG node label, styled after LLVM mnemonics.
+    pub fn label(self) -> &'static str {
+        match self {
+            BinOp::Add => "add",
+            BinOp::Sub => "sub",
+            BinOp::Mul => "mul",
+            BinOp::Div => "sdiv",
+            BinOp::Rem => "srem",
+            BinOp::FAdd => "fadd",
+            BinOp::FSub => "fsub",
+            BinOp::FMul => "fmul",
+            BinOp::FDiv => "fdiv",
+            BinOp::And => "and",
+            BinOp::Or => "or",
+            BinOp::Xor => "xor",
+            BinOp::Shl => "shl",
+            BinOp::Shr => "lshr",
+            BinOp::Eq => "icmp.eq",
+            BinOp::Ne => "icmp.ne",
+            BinOp::Lt => "icmp.slt",
+            BinOp::Le => "icmp.sle",
+            BinOp::Gt => "icmp.sgt",
+            BinOp::Ge => "icmp.sge",
+            BinOp::FEq => "fcmp.oeq",
+            BinOp::FNe => "fcmp.one",
+            BinOp::FLt => "fcmp.olt",
+            BinOp::FLe => "fcmp.ole",
+            BinOp::FGt => "fcmp.ogt",
+            BinOp::FGe => "fcmp.oge",
+            BinOp::Min => "smin",
+            BinOp::Max => "smax",
+            BinOp::FMin => "fmin",
+            BinOp::FMax => "fmax",
+        }
+    }
+
+    /// Whether this operation is known to be associative — the set of
+    /// operators the reduction model admits as single-node components
+    /// (paper §5, "Pattern Matching").
+    pub fn is_associative(self) -> bool {
+        matches!(
+            self,
+            BinOp::Add
+                | BinOp::Mul
+                | BinOp::FAdd
+                | BinOp::FMul
+                | BinOp::And
+                | BinOp::Or
+                | BinOp::Xor
+                | BinOp::Min
+                | BinOp::Max
+                | BinOp::FMin
+                | BinOp::FMax
+        )
+    }
+
+    /// True for (integer or float) comparison operators, whose results feed
+    /// control flow rather than data flow most of the time.
+    pub fn is_comparison(self) -> bool {
+        matches!(
+            self,
+            BinOp::Eq
+                | BinOp::Ne
+                | BinOp::Lt
+                | BinOp::Le
+                | BinOp::Gt
+                | BinOp::Ge
+                | BinOp::FEq
+                | BinOp::FNe
+                | BinOp::FLt
+                | BinOp::FLe
+                | BinOp::FGt
+                | BinOp::FGe
+        )
+    }
+
+    /// Result type given the (already checked) operand type.
+    pub fn result_type(self, operand: Type) -> Type {
+        if self.is_comparison() {
+            Type::Bool
+        } else {
+            operand
+        }
+    }
+
+    /// The operand type this operator expects, or `None` when polymorphic
+    /// (boolean `And`/`Or`/`Xor` also accept `Bool`).
+    pub fn operand_type(self) -> Option<Type> {
+        use BinOp::*;
+        match self {
+            Add | Sub | Mul | Div | Rem | Shl | Shr | Eq | Ne | Lt | Le | Gt | Ge | Min | Max => {
+                Some(Type::I64)
+            }
+            FAdd | FSub | FMul | FDiv | FEq | FNe | FLt | FLe | FGt | FGe | FMin | FMax => {
+                Some(Type::F64)
+            }
+            And | Or | Xor => None,
+        }
+    }
+}
+
+/// Unary operations.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum UnOp {
+    /// Integer negation.
+    Neg,
+    /// Float negation.
+    FNeg,
+    /// Logical not.
+    Not,
+    /// i64 → f64 conversion (LLVM `sitofp`).
+    IntToFloat,
+    /// f64 → i64 truncation (LLVM `fptosi`).
+    FloatToInt,
+}
+
+impl UnOp {
+    /// The DDG node label.
+    pub fn label(self) -> &'static str {
+        match self {
+            UnOp::Neg => "neg",
+            UnOp::FNeg => "fneg",
+            UnOp::Not => "not",
+            UnOp::IntToFloat => "sitofp",
+            UnOp::FloatToInt => "fptosi",
+        }
+    }
+
+    /// (operand, result) types.
+    pub fn signature(self) -> (Type, Type) {
+        match self {
+            UnOp::Neg => (Type::I64, Type::I64),
+            UnOp::FNeg => (Type::F64, Type::F64),
+            UnOp::Not => (Type::Bool, Type::Bool),
+            UnOp::IntToFloat => (Type::I64, Type::F64),
+            UnOp::FloatToInt => (Type::F64, Type::I64),
+        }
+    }
+}
+
+/// Opaque math intrinsics, traced as single `call`-style DDG nodes — the
+/// same granularity at which the paper's Fig. 2c draws `dist()` nodes.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum Intrinsic {
+    Sqrt,
+    Abs,
+    FAbs,
+    Floor,
+    Sin,
+    Cos,
+    Exp,
+    Log,
+    /// Select (`cond ? a : b`), i.e. if-converted conditional data transfer.
+    Select,
+}
+
+impl Intrinsic {
+    /// The DDG node label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Intrinsic::Sqrt => "call.sqrt",
+            Intrinsic::Abs => "call.abs",
+            Intrinsic::FAbs => "call.fabs",
+            Intrinsic::Floor => "call.floor",
+            Intrinsic::Sin => "call.sin",
+            Intrinsic::Cos => "call.cos",
+            Intrinsic::Exp => "call.exp",
+            Intrinsic::Log => "call.log",
+            Intrinsic::Select => "select",
+        }
+    }
+
+    /// Number of arguments.
+    pub fn arity(self) -> usize {
+        match self {
+            Intrinsic::Select => 3,
+            _ => 1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn associative_set_matches_paper() {
+        // The operators the paper's reductions actually use.
+        assert!(BinOp::FAdd.is_associative());
+        assert!(BinOp::Add.is_associative());
+        assert!(BinOp::FMul.is_associative());
+        assert!(BinOp::Min.is_associative());
+        // Non-associative ops must stay out of reduction components.
+        assert!(!BinOp::Sub.is_associative());
+        assert!(!BinOp::FDiv.is_associative());
+        assert!(!BinOp::Shl.is_associative());
+        assert!(!BinOp::FLt.is_associative());
+    }
+
+    #[test]
+    fn comparisons_produce_bool() {
+        assert_eq!(BinOp::FLt.result_type(Type::F64), Type::Bool);
+        assert_eq!(BinOp::Add.result_type(Type::I64), Type::I64);
+        assert!(BinOp::FGe.is_comparison());
+        assert!(!BinOp::FAdd.is_comparison());
+    }
+
+    #[test]
+    fn labels_are_llvm_style() {
+        assert_eq!(BinOp::FAdd.label(), "fadd");
+        assert_eq!(BinOp::FMul.label(), "fmul");
+        assert_eq!(BinOp::Lt.label(), "icmp.slt");
+        assert_eq!(UnOp::IntToFloat.label(), "sitofp");
+        assert_eq!(Intrinsic::Sqrt.label(), "call.sqrt");
+    }
+
+    #[test]
+    fn unop_signatures() {
+        assert_eq!(UnOp::Neg.signature(), (Type::I64, Type::I64));
+        assert_eq!(UnOp::IntToFloat.signature(), (Type::I64, Type::F64));
+        assert_eq!(UnOp::FloatToInt.signature(), (Type::F64, Type::I64));
+    }
+
+    #[test]
+    fn operand_types() {
+        assert_eq!(BinOp::Add.operand_type(), Some(Type::I64));
+        assert_eq!(BinOp::FMin.operand_type(), Some(Type::F64));
+        assert_eq!(BinOp::And.operand_type(), None);
+    }
+
+    #[test]
+    fn intrinsic_arity() {
+        assert_eq!(Intrinsic::Select.arity(), 3);
+        assert_eq!(Intrinsic::Sqrt.arity(), 1);
+    }
+}

@@ -1,0 +1,166 @@
+//! Statements.
+//!
+//! The statement level carries the two pieces of structure the pattern
+//! finder depends on: **loops** (whose dynamic scopes drive decomposition
+//! and compaction, paper §5) and **threading primitives** mirroring the
+//! Pthreads calls of the legacy benchmarks (`pthread_create`, `join`,
+//! `barrier_wait`, `mutex_lock`). Assignments and stores are data transfer
+//! and create no DDG nodes of their own.
+
+use crate::expr::Expr;
+use crate::ids::{ArrId, FnId, LoopId, VarId};
+use crate::loc::Loc;
+use serde::{Deserialize, Serialize};
+
+/// An IR statement.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum Stmt {
+    /// `var = value` — assignment to a local; pure data transfer.
+    Assign { var: VarId, value: Expr, loc: Loc },
+    /// `arr[idx] = value` — store to a global array; data transfer for the
+    /// value, *address use* for `idx`.
+    Store { arr: ArrId, idx: Expr, value: Expr, loc: Loc },
+    /// Two-way branch. The condition's defining node is a *control use*;
+    /// it does not extend the dataflow, matching DDGs' lack of control-flow
+    /// information (paper §3).
+    If { cond: Expr, then_body: Vec<Stmt>, else_body: Vec<Stmt>, loc: Loc },
+    /// Counted loop `for (var = from; var < to; var += step)`.
+    ///
+    /// The induction-variable update and bound test are implicit: a counted
+    /// loop is the canonical case that generalized iterator recognition
+    /// identifies, so lowering already separates this traversal bookkeeping
+    /// from the loop body's computation.
+    For {
+        id: LoopId,
+        var: VarId,
+        from: Expr,
+        to: Expr,
+        step: i64,
+        body: Vec<Stmt>,
+        loc: Loc,
+    },
+    /// General loop with a traced condition. Iterator recognition
+    /// ([`crate::iter_rec`]) later classifies its induction updates.
+    While { id: LoopId, cond: Expr, body: Vec<Stmt>, loc: Loc },
+    /// Expression evaluated for its effects (i.e. a call).
+    Expr { expr: Expr },
+    /// Return from the current function.
+    Return { value: Option<Expr>, loc: Loc },
+    /// `pthread_create`: start `func(args…)` on a new thread and store the
+    /// thread handle into `handle`.
+    Spawn { func: FnId, args: Vec<Expr>, handle: VarId, loc: Loc },
+    /// `pthread_join` on a handle produced by [`Stmt::Spawn`].
+    Join { handle: Expr, loc: Loc },
+    /// `pthread_barrier_wait` on barrier object `bar`.
+    Barrier { bar: usize, loc: Loc },
+    /// `pthread_mutex_lock` on mutex object `mutex`.
+    Lock { mutex: usize, loc: Loc },
+    /// `pthread_mutex_unlock`.
+    Unlock { mutex: usize, loc: Loc },
+    /// Emit a whole array as program output (the benchmarks' `fwrite` of a
+    /// result buffer). The tracer marks the defining node of every emitted
+    /// cell as output-consumed, giving result-producing computation its
+    /// outgoing dataflow without fabricating arcs.
+    Output { arr: ArrId, loc: Loc },
+}
+
+impl Stmt {
+    /// The source location of the statement, when it has one.
+    pub fn loc(&self) -> Loc {
+        match self {
+            Stmt::Assign { loc, .. }
+            | Stmt::Store { loc, .. }
+            | Stmt::If { loc, .. }
+            | Stmt::For { loc, .. }
+            | Stmt::While { loc, .. }
+            | Stmt::Return { loc, .. }
+            | Stmt::Spawn { loc, .. }
+            | Stmt::Join { loc, .. }
+            | Stmt::Barrier { loc, .. }
+            | Stmt::Lock { loc, .. }
+            | Stmt::Unlock { loc, .. }
+            | Stmt::Output { loc, .. } => *loc,
+            Stmt::Expr { expr } => expr.loc(),
+        }
+    }
+
+    /// Nested statement blocks (for structural traversals).
+    pub fn blocks(&self) -> Vec<&[Stmt]> {
+        match self {
+            Stmt::If { then_body, else_body, .. } => vec![then_body, else_body],
+            Stmt::For { body, .. } | Stmt::While { body, .. } => vec![body],
+            _ => vec![],
+        }
+    }
+
+    /// Direct subexpressions of this statement.
+    pub fn exprs(&self) -> Vec<&Expr> {
+        match self {
+            Stmt::Assign { value, .. } => vec![value],
+            Stmt::Store { idx, value, .. } => vec![idx, value],
+            Stmt::If { cond, .. } => vec![cond],
+            Stmt::For { from, to, .. } => vec![from, to],
+            Stmt::While { cond, .. } => vec![cond],
+            Stmt::Expr { expr } => vec![expr],
+            Stmt::Return { value, .. } => value.iter().collect(),
+            Stmt::Spawn { args, .. } => args.iter().collect(),
+            Stmt::Join { handle, .. } => vec![handle],
+            Stmt::Barrier { .. }
+            | Stmt::Lock { .. }
+            | Stmt::Unlock { .. }
+            | Stmt::Output { .. } => vec![],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::OpId;
+    use crate::ops::BinOp;
+
+    #[test]
+    fn loop_statement_exposes_body() {
+        let body = vec![Stmt::Assign {
+            var: VarId(0),
+            value: Expr::Int(1),
+            loc: Loc::new(3, 1),
+        }];
+        let s = Stmt::For {
+            id: LoopId(0),
+            var: VarId(1),
+            from: Expr::Int(0),
+            to: Expr::Int(10),
+            step: 1,
+            body,
+            loc: Loc::new(2, 1),
+        };
+        assert_eq!(s.blocks().len(), 1);
+        assert_eq!(s.blocks()[0].len(), 1);
+        assert_eq!(s.loc(), Loc::new(2, 1));
+    }
+
+    #[test]
+    fn if_statement_has_two_blocks() {
+        let s = Stmt::If {
+            cond: Expr::bin(BinOp::Lt, Expr::Var(VarId(0)), Expr::Int(4), OpId(0), Loc::NONE),
+            then_body: vec![],
+            else_body: vec![],
+            loc: Loc::new(5, 1),
+        };
+        assert_eq!(s.blocks().len(), 2);
+        assert_eq!(s.exprs().len(), 1);
+    }
+
+    #[test]
+    fn expr_stmt_loc_comes_from_expr() {
+        let e = Expr::Call { f: FnId(0), args: vec![], loc: Loc::new(7, 2) };
+        assert_eq!(Stmt::Expr { expr: e }.loc(), Loc::new(7, 2));
+    }
+
+    #[test]
+    fn sync_statements_have_no_exprs() {
+        assert!(Stmt::Barrier { bar: 0, loc: Loc::NONE }.exprs().is_empty());
+        assert!(Stmt::Lock { mutex: 0, loc: Loc::NONE }.exprs().is_empty());
+    }
+}

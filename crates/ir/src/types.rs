@@ -1,0 +1,152 @@
+//! Value types of the IR.
+//!
+//! The IR is deliberately small: 64-bit integers, 64-bit floats, and
+//! booleans. This covers every computation in the analysed Starbench
+//! benchmarks (pixel arithmetic, distance computation, digest mixing) while
+//! keeping the tracer's shadow memory a simple dense map.
+
+use serde::{Deserialize, Serialize};
+
+/// Static type of an IR value.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum Type {
+    /// 64-bit signed integer (also used for thread handles and indices).
+    I64,
+    /// 64-bit IEEE-754 float.
+    F64,
+    /// Boolean (result of comparisons and logical ops).
+    Bool,
+}
+
+impl std::fmt::Display for Type {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Type::I64 => write!(f, "i64"),
+            Type::F64 => write!(f, "f64"),
+            Type::Bool => write!(f, "bool"),
+        }
+    }
+}
+
+/// A runtime value.
+#[derive(Clone, Copy, PartialEq, Debug, Serialize, Deserialize)]
+pub enum Value {
+    I64(i64),
+    F64(f64),
+    Bool(bool),
+}
+
+impl Value {
+    /// The static type of this value.
+    pub fn ty(self) -> Type {
+        match self {
+            Value::I64(_) => Type::I64,
+            Value::F64(_) => Type::F64,
+            Value::Bool(_) => Type::Bool,
+        }
+    }
+
+    /// The all-zeros value of a type, used to initialize arrays and locals —
+    /// matching C's zero-initialized statics, which the benchmarks rely on.
+    pub fn zero(ty: Type) -> Value {
+        match ty {
+            Type::I64 => Value::I64(0),
+            Type::F64 => Value::F64(0.0),
+            Type::Bool => Value::Bool(false),
+        }
+    }
+
+    /// Integer content, or an error message naming `ctx`.
+    pub fn as_i64(self, ctx: &str) -> Result<i64, String> {
+        match self {
+            Value::I64(v) => Ok(v),
+            other => Err(format!("{ctx}: expected i64, got {other:?}")),
+        }
+    }
+
+    /// Float content, or an error message naming `ctx`.
+    pub fn as_f64(self, ctx: &str) -> Result<f64, String> {
+        match self {
+            Value::F64(v) => Ok(v),
+            other => Err(format!("{ctx}: expected f64, got {other:?}")),
+        }
+    }
+
+    /// Boolean content, or an error message naming `ctx`.
+    pub fn as_bool(self, ctx: &str) -> Result<bool, String> {
+        match self {
+            Value::Bool(v) => Ok(v),
+            other => Err(format!("{ctx}: expected bool, got {other:?}")),
+        }
+    }
+}
+
+impl std::fmt::Display for Value {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Value::I64(v) => write!(f, "{v}"),
+            Value::F64(v) => write!(f, "{v}"),
+            Value::Bool(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::I64(v)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::F64(v)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_reports_its_type() {
+        assert_eq!(Value::I64(4).ty(), Type::I64);
+        assert_eq!(Value::F64(1.5).ty(), Type::F64);
+        assert_eq!(Value::Bool(true).ty(), Type::Bool);
+    }
+
+    #[test]
+    fn zero_matches_type() {
+        assert_eq!(Value::zero(Type::I64), Value::I64(0));
+        assert_eq!(Value::zero(Type::F64), Value::F64(0.0));
+        assert_eq!(Value::zero(Type::Bool), Value::Bool(false));
+    }
+
+    #[test]
+    fn accessors_check_types() {
+        assert_eq!(Value::I64(7).as_i64("t"), Ok(7));
+        assert!(Value::I64(7).as_f64("t").is_err());
+        assert!(Value::Bool(true).as_i64("t").is_err());
+        assert_eq!(Value::Bool(true).as_bool("t"), Ok(true));
+        let err = Value::F64(1.0).as_bool("ctx-name").unwrap_err();
+        assert!(err.contains("ctx-name"));
+    }
+
+    #[test]
+    fn conversions_from_rust_types() {
+        assert_eq!(Value::from(3i64), Value::I64(3));
+        assert_eq!(Value::from(2.5f64), Value::F64(2.5));
+        assert_eq!(Value::from(false), Value::Bool(false));
+    }
+
+    #[test]
+    fn display_is_compact() {
+        assert_eq!(Value::I64(-2).to_string(), "-2");
+        assert_eq!(Type::F64.to_string(), "f64");
+    }
+}

@@ -1,0 +1,416 @@
+//! Static well-formedness and type checking.
+//!
+//! Programs produced by the builder or by the `minc` lowering are validated
+//! before tracing: a malformed program would otherwise surface as a cryptic
+//! interpreter error mid-run. The validator checks variable/array/function
+//! references, operand types, call signatures, and the structural rules the
+//! tracer relies on (`For` steps non-zero, entry function parameterless or
+//! all-i64 so the host can supply inputs).
+
+use crate::expr::Expr;
+use crate::func::{Function, Program};
+use crate::ops::BinOp;
+use crate::stmt::Stmt;
+use crate::types::Type;
+
+/// A validation failure, with enough context to locate the offender.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ValidationError {
+    pub function: String,
+    pub message: String,
+}
+
+impl std::fmt::Display for ValidationError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "in {}: {}", self.function, self.message)
+    }
+}
+
+impl std::error::Error for ValidationError {}
+
+/// Validates a whole program. Returns all errors found (empty = valid).
+pub fn validate(p: &Program) -> Result<(), Vec<ValidationError>> {
+    let mut errors = Vec::new();
+    if p.entry.index() >= p.functions.len() {
+        errors.push(ValidationError {
+            function: "<program>".into(),
+            message: format!("entry {:?} out of range", p.entry),
+        });
+    }
+    for f in &p.functions {
+        let mut cx = Ctx { p, f, errors: &mut errors };
+        cx.check_body(&f.body);
+    }
+    if errors.is_empty() {
+        Ok(())
+    } else {
+        Err(errors)
+    }
+}
+
+struct Ctx<'a> {
+    p: &'a Program,
+    f: &'a Function,
+    errors: &'a mut Vec<ValidationError>,
+}
+
+impl<'a> Ctx<'a> {
+    fn err(&mut self, message: String) {
+        self.errors.push(ValidationError { function: self.f.name.clone(), message });
+    }
+
+    fn var_type(&mut self, var: crate::VarId) -> Option<Type> {
+        if var.index() < self.f.slot_count() {
+            Some(self.f.slot(var).1)
+        } else {
+            self.err(format!("{var} out of range"));
+            None
+        }
+    }
+
+    fn check_body(&mut self, body: &[Stmt]) {
+        for s in body {
+            self.check_stmt(s);
+        }
+    }
+
+    fn check_stmt(&mut self, s: &Stmt) {
+        match s {
+            Stmt::Assign { var, value, .. } => {
+                let vt = self.var_type(*var);
+                let et = self.type_of(value);
+                if let (Some(vt), Some(et)) = (vt, et) {
+                    if vt != et {
+                        self.err(format!("assign {var}: variable is {vt}, value is {et}"));
+                    }
+                }
+            }
+            Stmt::Store { arr, idx, value, .. } => {
+                if arr.index() >= self.p.globals.len() {
+                    self.err(format!("{arr} out of range"));
+                    return;
+                }
+                let elem = self.p.global(*arr).elem;
+                if self.type_of(idx) != Some(Type::I64) && self.type_of(idx).is_some() {
+                    self.err(format!("store to {arr}: index must be i64"));
+                }
+                if let Some(vt) = self.type_of(value) {
+                    if vt != elem {
+                        self.err(format!("store to {arr}: element is {elem}, value is {vt}"));
+                    }
+                }
+            }
+            Stmt::If { cond, then_body, else_body, .. } => {
+                if self.type_of(cond).is_some_and(|t| t != Type::Bool) {
+                    self.err("if condition must be bool".into());
+                }
+                self.check_body(then_body);
+                self.check_body(else_body);
+            }
+            Stmt::For { var, from, to, step, body, .. } => {
+                if self.var_type(*var).is_some_and(|t| t != Type::I64) {
+                    self.err(format!("for variable {var} must be i64"));
+                }
+                for (what, e) in [("from", from), ("to", to)] {
+                    if self.type_of(e).is_some_and(|t| t != Type::I64) {
+                        self.err(format!("for {what} bound must be i64"));
+                    }
+                }
+                if *step == 0 {
+                    self.err("for step must be non-zero".into());
+                }
+                self.check_body(body);
+            }
+            Stmt::While { cond, body, .. } => {
+                if self.type_of(cond).is_some_and(|t| t != Type::Bool) {
+                    self.err("while condition must be bool".into());
+                }
+                self.check_body(body);
+            }
+            Stmt::Expr { expr } => {
+                self.type_of(expr);
+            }
+            Stmt::Return { value, .. } => match (&self.f.ret, value) {
+                (Some(rt), Some(e)) => {
+                    if self.type_of(e).is_some_and(|t| t != *rt) {
+                        self.err(format!("return type mismatch (expected {rt})"));
+                    }
+                }
+                (Some(rt), None) => self.err(format!("missing return value of type {rt}")),
+                (None, Some(_)) => self.err("return with value in void function".into()),
+                (None, None) => {}
+            },
+            Stmt::Spawn { func, args, handle, .. } => {
+                if func.index() >= self.p.functions.len() {
+                    self.err(format!("spawn of unknown {func}"));
+                    return;
+                }
+                let callee = self.p.function(*func);
+                if callee.params.len() != args.len() {
+                    self.err(format!(
+                        "spawn {}: expected {} args, got {}",
+                        callee.name,
+                        callee.params.len(),
+                        args.len()
+                    ));
+                }
+                let expected: Vec<Type> = callee.params.iter().map(|p| p.ty).collect();
+                for (i, (a, et)) in args.iter().zip(expected).enumerate() {
+                    if self.type_of(a).is_some_and(|t| t != et) {
+                        self.err(format!("spawn arg {i}: expected {et}"));
+                    }
+                }
+                if self.var_type(*handle).is_some_and(|t| t != Type::I64) {
+                    self.err("spawn handle must be i64".into());
+                }
+            }
+            Stmt::Join { handle, .. } => {
+                if self.type_of(handle).is_some_and(|t| t != Type::I64) {
+                    self.err("join handle must be i64".into());
+                }
+            }
+            Stmt::Barrier { bar, .. } => {
+                if *bar >= self.p.n_barriers {
+                    self.err(format!("barrier {bar} out of range"));
+                }
+            }
+            Stmt::Lock { mutex, .. } | Stmt::Unlock { mutex, .. } => {
+                if *mutex >= self.p.n_mutexes {
+                    self.err(format!("mutex {mutex} out of range"));
+                }
+            }
+            Stmt::Output { arr, .. } => {
+                if arr.index() >= self.p.globals.len() {
+                    self.err(format!("{arr} out of range"));
+                }
+            }
+        }
+    }
+
+    /// Infers the type of an expression, reporting mismatches along the way.
+    fn type_of(&mut self, e: &Expr) -> Option<Type> {
+        match e {
+            Expr::Int(_) => Some(Type::I64),
+            Expr::Float(_) => Some(Type::F64),
+            Expr::Bool(_) => Some(Type::Bool),
+            Expr::Var(v) => self.var_type(*v),
+            Expr::Load { arr, idx, .. } => {
+                if arr.index() >= self.p.globals.len() {
+                    self.err(format!("{arr} out of range"));
+                    return None;
+                }
+                if self.type_of(idx).is_some_and(|t| t != Type::I64) {
+                    self.err(format!("load from {arr}: index must be i64"));
+                }
+                Some(self.p.global(*arr).elem)
+            }
+            Expr::Un { op, a, .. } => {
+                let (at, rt) = op.signature();
+                if self.type_of(a).is_some_and(|t| t != at) {
+                    self.err(format!("{}: operand must be {at}", op.label()));
+                }
+                Some(rt)
+            }
+            Expr::Bin { op, a, b, .. } => {
+                let at = self.type_of(a);
+                let bt = self.type_of(b);
+                if let (Some(at), Some(bt)) = (at, bt) {
+                    if at != bt {
+                        self.err(format!("{}: operand types differ ({at} vs {bt})", op.label()));
+                    }
+                    if let Some(expected) = op.operand_type() {
+                        if at != expected {
+                            self.err(format!("{}: operands must be {expected}", op.label()));
+                        }
+                    } else if at != Type::Bool && !matches!(op, BinOp::And | BinOp::Or | BinOp::Xor)
+                    {
+                        self.err(format!("{}: unsupported operand type {at}", op.label()));
+                    } else if matches!(op, BinOp::And | BinOp::Or | BinOp::Xor)
+                        && at != Type::Bool
+                        && at != Type::I64
+                    {
+                        self.err(format!("{}: operands must be bool or i64", op.label()));
+                    }
+                    Some(op.result_type(at))
+                } else {
+                    None
+                }
+            }
+            Expr::Intr { op, args, .. } => {
+                if args.len() != op.arity() {
+                    self.err(format!("{}: expected {} args", op.label(), op.arity()));
+                    return None;
+                }
+                match op {
+                    crate::ops::Intrinsic::Select => {
+                        if self.type_of(&args[0]).is_some_and(|t| t != Type::Bool) {
+                            self.err("select: condition must be bool".into());
+                        }
+                        let t1 = self.type_of(&args[1]);
+                        let t2 = self.type_of(&args[2]);
+                        if let (Some(t1), Some(t2)) = (t1, t2) {
+                            if t1 != t2 {
+                                self.err("select: branch types differ".into());
+                            }
+                        }
+                        t1
+                    }
+                    crate::ops::Intrinsic::Abs => {
+                        if self.type_of(&args[0]).is_some_and(|t| t != Type::I64) {
+                            self.err("abs: operand must be i64".into());
+                        }
+                        Some(Type::I64)
+                    }
+                    _ => {
+                        if self.type_of(&args[0]).is_some_and(|t| t != Type::F64) {
+                            self.err(format!("{}: operand must be f64", op.label()));
+                        }
+                        Some(Type::F64)
+                    }
+                }
+            }
+            Expr::Call { f, args, .. } => {
+                if f.index() >= self.p.functions.len() {
+                    self.err(format!("call of unknown {f}"));
+                    return None;
+                }
+                let callee = self.p.function(*f);
+                if callee.params.len() != args.len() {
+                    self.err(format!(
+                        "call {}: expected {} args, got {}",
+                        callee.name,
+                        callee.params.len(),
+                        args.len()
+                    ));
+                }
+                let expected: Vec<Type> = callee.params.iter().map(|p| p.ty).collect();
+                for (i, (a, et)) in args.iter().zip(expected).enumerate() {
+                    if self.type_of(a).is_some_and(|t| t != et) {
+                        self.err(format!("call {} arg {i}: expected {et}", callee.name));
+                    }
+                }
+                callee.ret
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ProgramBuilder;
+    use crate::ids::{ArrId, FnId, VarId};
+    use crate::loc::Loc;
+
+    #[test]
+    fn valid_program_passes() {
+        let mut pb = ProgramBuilder::new("ok");
+        let data = pb.global("data", Type::F64, 4);
+        let mut f = pb.function("main", vec![], None);
+        let acc = f.local("acc", Type::F64);
+        let ld = f.load(data, Expr::Int(0));
+        let sum = f.bin(BinOp::FAdd, Expr::Var(acc), ld);
+        f.assign(acc, sum);
+        let main = f.finish();
+        let p = pb.finish(main);
+        assert!(validate(&p).is_ok());
+    }
+
+    #[test]
+    fn type_mismatch_is_reported() {
+        let mut pb = ProgramBuilder::new("bad");
+        let mut f = pb.function("main", vec![], None);
+        let x = f.local("x", Type::I64);
+        f.assign(x, Expr::Float(1.0)); // i64 := f64
+        let main = f.finish();
+        let p = pb.finish(main);
+        let errs = validate(&p).unwrap_err();
+        assert_eq!(errs.len(), 1);
+        assert!(errs[0].message.contains("variable is i64"));
+    }
+
+    #[test]
+    fn mixed_operand_types_rejected() {
+        let mut pb = ProgramBuilder::new("bad2");
+        let mut f = pb.function("main", vec![], None);
+        let x = f.local("x", Type::F64);
+        let e = f.bin(BinOp::FAdd, Expr::Float(1.0), Expr::Int(2));
+        f.assign(x, e);
+        let main = f.finish();
+        let p = pb.finish(main);
+        assert!(validate(&p).is_err());
+    }
+
+    #[test]
+    fn unknown_references_rejected() {
+        let mut pb = ProgramBuilder::new("bad3");
+        let mut f = pb.function("main", vec![], None);
+        f.assign(VarId(7), Expr::Int(0)); // no such slot
+        f.push(Stmt::Store {
+            arr: ArrId(3),
+            idx: Expr::Int(0),
+            value: Expr::Int(0),
+            loc: Loc::NONE,
+        });
+        f.push(Stmt::Barrier { bar: 0, loc: Loc::NONE }); // no barriers declared
+        let main = f.finish();
+        let p = pb.finish(main);
+        let errs = validate(&p).unwrap_err();
+        assert_eq!(errs.len(), 3);
+    }
+
+    #[test]
+    fn call_signature_checked() {
+        let mut pb = ProgramBuilder::new("bad4");
+        let callee = {
+            let f = pb.function("callee", vec![("a", Type::F64)], Some(Type::F64));
+            f.finish()
+        };
+        let mut f = pb.function("main", vec![], None);
+        let x = f.local("x", Type::F64);
+        let c = f.call(callee, vec![Expr::Int(1)]); // wrong arg type
+        f.assign(x, c);
+        let main = f.finish();
+        let p = pb.finish(main);
+        let errs = validate(&p).unwrap_err();
+        assert!(errs.iter().any(|e| e.message.contains("expected f64")));
+    }
+
+    #[test]
+    fn return_rules() {
+        let mut pb = ProgramBuilder::new("bad5");
+        let mut f = pb.function("f", vec![], Some(Type::I64));
+        f.ret(None); // missing value
+        let fid = f.finish();
+        let p = pb.finish(fid);
+        let errs = validate(&p).unwrap_err();
+        assert!(errs[0].message.contains("missing return value"));
+    }
+
+    #[test]
+    fn spawn_signature_checked() {
+        let mut pb = ProgramBuilder::new("bad6");
+        let worker = FnId(1);
+        let mut main = pb.function("main", vec![], None);
+        let h = main.local("h", Type::I64);
+        main.push(Stmt::Spawn {
+            func: worker,
+            args: vec![],
+            handle: h,
+            loc: Loc::NONE,
+        });
+        let main_id = main.finish();
+        let w = pb.function("worker", vec![("tid", Type::I64)], None);
+        w.finish();
+        let p = pb.finish(main_id);
+        let errs = validate(&p).unwrap_err();
+        assert!(errs[0].message.contains("expected 1 args"));
+    }
+
+    #[test]
+    fn bad_entry_rejected() {
+        let pb = ProgramBuilder::new("noentry");
+        let p = pb.finish(FnId(5));
+        assert!(validate(&p).is_err());
+    }
+}

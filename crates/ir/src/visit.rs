@@ -1,0 +1,78 @@
+//! Structural traversal helpers over statements and expressions.
+
+use crate::expr::Expr;
+use crate::func::{Function, Program};
+use crate::stmt::Stmt;
+
+/// Calls `f` on every statement in `stmts`, pre-order, recursing into
+/// nested blocks.
+pub fn walk_stmts<'a>(stmts: &'a [Stmt], f: &mut impl FnMut(&'a Stmt)) {
+    for s in stmts {
+        f(s);
+        for block in s.blocks() {
+            walk_stmts(block, f);
+        }
+    }
+}
+
+/// Calls `f` on every expression in `e`'s subtree, pre-order.
+pub fn walk_expr<'a>(e: &'a Expr, f: &mut impl FnMut(&'a Expr)) {
+    f(e);
+    for c in e.children() {
+        walk_expr(c, f);
+    }
+}
+
+/// Calls `f` on every expression reachable from `stmts` (including within
+/// nested blocks), pre-order.
+pub fn walk_all_exprs<'a>(stmts: &'a [Stmt], f: &mut impl FnMut(&'a Expr)) {
+    walk_stmts(stmts, &mut |s| {
+        for e in s.exprs() {
+            walk_expr(e, f);
+        }
+    });
+}
+
+/// Calls `f` on every statement of every function of the program.
+pub fn walk_program<'a>(p: &'a Program, f: &mut impl FnMut(&'a Function, &'a Stmt)) {
+    for func in &p.functions {
+        walk_stmts(&func.body, &mut |s| f(func, s));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{FnBuilder, ProgramBuilder};
+    use crate::ops::BinOp;
+    use crate::types::Type;
+
+    #[test]
+    fn walks_nested_blocks_and_exprs() {
+        let mut pb = ProgramBuilder::new("walk");
+        let out = pb.global("out", Type::I64, 8);
+        let mut f = pb.function("main", vec![], None);
+        f.for_loop("i", Expr::Int(0), Expr::Int(8), |f, i| {
+            let v = f.bin(BinOp::Add, Expr::Var(i), Expr::Int(1));
+            vec![FnBuilder::stmt_store(out, Expr::Var(i), v)]
+        });
+        let main = f.finish();
+        let p = pb.finish(main);
+
+        let mut stmt_count = 0;
+        walk_stmts(&p.function(main).body, &mut |_| stmt_count += 1);
+        assert_eq!(stmt_count, 2); // For + Store
+
+        let mut op_count = 0;
+        walk_all_exprs(&p.function(main).body, &mut |e| {
+            if matches!(e, Expr::Bin { .. }) {
+                op_count += 1;
+            }
+        });
+        assert_eq!(op_count, 1);
+
+        let mut total = 0;
+        walk_program(&p, &mut |_, _| total += 1);
+        assert_eq!(total, 2);
+    }
+}

@@ -1,0 +1,138 @@
+//! Abstract syntax of `minc`.
+
+/// Scalar types of the surface language.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Ty {
+    Int,
+    Float,
+    Bool,
+}
+
+/// A source position.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Pos {
+    pub line: u32,
+    pub col: u32,
+}
+
+/// Binary operators (C-level; lowering picks int/float IR ops by type).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Bin {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Rem,
+    BitAnd,
+    BitOr,
+    BitXor,
+    Shl,
+    Shr,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    And,
+    Or,
+}
+
+/// Unary operators.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Un {
+    Neg,
+    Not,
+    CastInt,
+    CastFloat,
+}
+
+/// Expressions.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Expr {
+    Int(i64, Pos),
+    Float(f64, Pos),
+    Bool(bool, Pos),
+    /// Variable or global-array reference (resolved during lowering).
+    Name(String, Pos),
+    Index { base: String, index: Box<Expr>, pos: Pos },
+    Un { op: Un, arg: Box<Expr>, pos: Pos },
+    Bin { op: Bin, lhs: Box<Expr>, rhs: Box<Expr>, pos: Pos },
+    /// Function or intrinsic call.
+    Call { name: String, args: Vec<Expr>, pos: Pos },
+}
+
+impl Expr {
+    pub fn pos(&self) -> Pos {
+        match self {
+            Expr::Int(_, p)
+            | Expr::Float(_, p)
+            | Expr::Bool(_, p)
+            | Expr::Name(_, p) => *p,
+            Expr::Index { pos, .. }
+            | Expr::Un { pos, .. }
+            | Expr::Bin { pos, .. }
+            | Expr::Call { pos, .. } => *pos,
+        }
+    }
+}
+
+/// Statements.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Stmt {
+    /// `int x;` / `float x = e;`
+    Decl { ty: Ty, name: String, init: Option<Expr>, pos: Pos },
+    /// `x = e;`
+    Assign { name: String, value: Expr, pos: Pos },
+    /// `a[i] = e;`
+    Store { base: String, index: Expr, value: Expr, pos: Pos },
+    If { cond: Expr, then_body: Vec<Stmt>, else_body: Vec<Stmt>, pos: Pos },
+    /// `for (init; cond; update)`. Lowering recognizes the canonical
+    /// counted shape (`x = e1; x < e2; x = x + C`) and emits an IR `For`;
+    /// anything else becomes a `while` whose induction arithmetic is traced
+    /// (and later removed by iterator recognition).
+    For { init: Box<Stmt>, cond: Expr, update: Box<Stmt>, body: Vec<Stmt>, pos: Pos },
+    While { cond: Expr, body: Vec<Stmt>, pos: Pos },
+    Return { value: Option<Expr>, pos: Pos },
+    /// `h = spawn f(args);` (h must be a declared int)
+    Spawn { handle: String, func: String, args: Vec<Expr>, pos: Pos },
+    /// `join(h);`
+    Join { handle: Expr, pos: Pos },
+    /// `barrier_wait(name);`
+    BarrierWait { name: String, pos: Pos },
+    /// `lock(name);` / `unlock(name);`
+    Lock { name: String, pos: Pos },
+    Unlock { name: String, pos: Pos },
+    /// `output(arr);`
+    Output { name: String, pos: Pos },
+    /// expression statement (void call)
+    Expr { expr: Expr },
+}
+
+/// A function definition.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FunDef {
+    pub name: String,
+    pub params: Vec<(String, Ty)>,
+    pub ret: Option<Ty>,
+    pub body: Vec<Stmt>,
+    pub pos: Pos,
+}
+
+/// A top-level item.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Item {
+    /// `float data[64];`
+    GlobalArray { name: String, ty: Ty, len: usize, pos: Pos },
+    /// `mutex m;`
+    Mutex { name: String, pos: Pos },
+    /// `barrier b;`
+    Barrier { name: String, pos: Pos },
+    Fun(FunDef),
+}
+
+/// One parsed translation unit.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Unit {
+    pub items: Vec<Item>,
+}

@@ -1,0 +1,318 @@
+//! Tokenizer with line/column tracking.
+
+/// Kinds of tokens.
+#[derive(Clone, Debug, PartialEq)]
+pub enum TokenKind {
+    // Literals and names
+    Int(i64),
+    Float(f64),
+    Ident(String),
+    // Keywords
+    KwInt,
+    KwFloat,
+    KwBool,
+    KwVoid,
+    KwIf,
+    KwElse,
+    KwFor,
+    KwWhile,
+    KwReturn,
+    KwTrue,
+    KwFalse,
+    KwSpawn,
+    KwJoin,
+    KwBarrierWait,
+    KwLock,
+    KwUnlock,
+    KwOutput,
+    KwMutex,
+    KwBarrier,
+    // Punctuation
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    LBracket,
+    RBracket,
+    Comma,
+    Semi,
+    Assign,
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Percent,
+    Amp,
+    Pipe,
+    Caret,
+    Shl,
+    Shr,
+    AndAnd,
+    OrOr,
+    Bang,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    PlusPlus,
+    MinusMinus,
+    Eof,
+}
+
+/// A token with its source position (1-based).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Token {
+    pub kind: TokenKind,
+    pub line: u32,
+    pub col: u32,
+}
+
+/// A lexical error.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LexError {
+    pub message: String,
+    pub line: u32,
+    pub col: u32,
+}
+
+/// Tokenizes a source string. `//` and `/* */` comments are skipped.
+pub fn lex(source: &str) -> Result<Vec<Token>, LexError> {
+    let mut tokens = Vec::new();
+    let bytes = source.as_bytes();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let mut col = 1u32;
+
+    macro_rules! bump {
+        () => {{
+            if bytes[i] == b'\n' {
+                line += 1;
+                col = 1;
+            } else {
+                col += 1;
+            }
+            i += 1;
+        }};
+    }
+
+    while i < bytes.len() {
+        let c = bytes[i];
+        let (tline, tcol) = (line, col);
+        match c {
+            b' ' | b'\t' | b'\r' | b'\n' => {
+                bump!();
+            }
+            b'/' if i + 1 < bytes.len() && bytes[i + 1] == b'/' => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    bump!();
+                }
+            }
+            b'/' if i + 1 < bytes.len() && bytes[i + 1] == b'*' => {
+                bump!();
+                bump!();
+                while i + 1 < bytes.len() && !(bytes[i] == b'*' && bytes[i + 1] == b'/') {
+                    bump!();
+                }
+                if i + 1 >= bytes.len() {
+                    return Err(LexError {
+                        message: "unterminated block comment".into(),
+                        line: tline,
+                        col: tcol,
+                    });
+                }
+                bump!();
+                bump!();
+            }
+            b'0'..=b'9' => {
+                let start = i;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    bump!();
+                }
+                let mut is_float = false;
+                if i < bytes.len() && bytes[i] == b'.' {
+                    is_float = true;
+                    bump!();
+                    while i < bytes.len() && bytes[i].is_ascii_digit() {
+                        bump!();
+                    }
+                }
+                if i < bytes.len() && (bytes[i] == b'e' || bytes[i] == b'E') {
+                    is_float = true;
+                    bump!();
+                    if i < bytes.len() && (bytes[i] == b'+' || bytes[i] == b'-') {
+                        bump!();
+                    }
+                    while i < bytes.len() && bytes[i].is_ascii_digit() {
+                        bump!();
+                    }
+                }
+                let text = &source[start..i];
+                let kind = if is_float {
+                    TokenKind::Float(text.parse().map_err(|_| LexError {
+                        message: format!("bad float literal {text}"),
+                        line: tline,
+                        col: tcol,
+                    })?)
+                } else {
+                    TokenKind::Int(text.parse().map_err(|_| LexError {
+                        message: format!("bad int literal {text}"),
+                        line: tline,
+                        col: tcol,
+                    })?)
+                };
+                tokens.push(Token { kind, line: tline, col: tcol });
+            }
+            b'a'..=b'z' | b'A'..=b'Z' | b'_' => {
+                let start = i;
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    bump!();
+                }
+                let text = &source[start..i];
+                let kind = match text {
+                    "int" => TokenKind::KwInt,
+                    "float" => TokenKind::KwFloat,
+                    "bool" => TokenKind::KwBool,
+                    "void" => TokenKind::KwVoid,
+                    "if" => TokenKind::KwIf,
+                    "else" => TokenKind::KwElse,
+                    "for" => TokenKind::KwFor,
+                    "while" => TokenKind::KwWhile,
+                    "return" => TokenKind::KwReturn,
+                    "true" => TokenKind::KwTrue,
+                    "false" => TokenKind::KwFalse,
+                    "spawn" => TokenKind::KwSpawn,
+                    "join" => TokenKind::KwJoin,
+                    "barrier_wait" => TokenKind::KwBarrierWait,
+                    "lock" => TokenKind::KwLock,
+                    "unlock" => TokenKind::KwUnlock,
+                    "output" => TokenKind::KwOutput,
+                    "mutex" => TokenKind::KwMutex,
+                    "barrier" => TokenKind::KwBarrier,
+                    _ => TokenKind::Ident(text.to_string()),
+                };
+                tokens.push(Token { kind, line: tline, col: tcol });
+            }
+            _ => {
+                let two = if i + 1 < bytes.len() { &source[i..i + 2] } else { "" };
+                let (kind, len) = match two {
+                    "==" => (TokenKind::Eq, 2),
+                    "!=" => (TokenKind::Ne, 2),
+                    "<=" => (TokenKind::Le, 2),
+                    ">=" => (TokenKind::Ge, 2),
+                    "&&" => (TokenKind::AndAnd, 2),
+                    "||" => (TokenKind::OrOr, 2),
+                    "<<" => (TokenKind::Shl, 2),
+                    ">>" => (TokenKind::Shr, 2),
+                    "++" => (TokenKind::PlusPlus, 2),
+                    "--" => (TokenKind::MinusMinus, 2),
+                    _ => match c {
+                        b'(' => (TokenKind::LParen, 1),
+                        b')' => (TokenKind::RParen, 1),
+                        b'{' => (TokenKind::LBrace, 1),
+                        b'}' => (TokenKind::RBrace, 1),
+                        b'[' => (TokenKind::LBracket, 1),
+                        b']' => (TokenKind::RBracket, 1),
+                        b',' => (TokenKind::Comma, 1),
+                        b';' => (TokenKind::Semi, 1),
+                        b'=' => (TokenKind::Assign, 1),
+                        b'+' => (TokenKind::Plus, 1),
+                        b'-' => (TokenKind::Minus, 1),
+                        b'*' => (TokenKind::Star, 1),
+                        b'/' => (TokenKind::Slash, 1),
+                        b'%' => (TokenKind::Percent, 1),
+                        b'&' => (TokenKind::Amp, 1),
+                        b'|' => (TokenKind::Pipe, 1),
+                        b'^' => (TokenKind::Caret, 1),
+                        b'!' => (TokenKind::Bang, 1),
+                        b'<' => (TokenKind::Lt, 1),
+                        b'>' => (TokenKind::Gt, 1),
+                        other => {
+                            return Err(LexError {
+                                message: format!("unexpected character {:?}", other as char),
+                                line: tline,
+                                col: tcol,
+                            })
+                        }
+                    },
+                };
+                for _ in 0..len {
+                    bump!();
+                }
+                tokens.push(Token { kind, line: tline, col: tcol });
+            }
+        }
+    }
+    tokens.push(Token { kind: TokenKind::Eof, line, col });
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_declaration() {
+        assert_eq!(
+            kinds("float x = 1.5;"),
+            vec![
+                TokenKind::KwFloat,
+                TokenKind::Ident("x".into()),
+                TokenKind::Assign,
+                TokenKind::Float(1.5),
+                TokenKind::Semi,
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_operators_and_comments() {
+        assert_eq!(
+            kinds("a<=b // c\n!= /* block */ d++"),
+            vec![
+                TokenKind::Ident("a".into()),
+                TokenKind::Le,
+                TokenKind::Ident("b".into()),
+                TokenKind::Ne,
+                TokenKind::Ident("d".into()),
+                TokenKind::PlusPlus,
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn tracks_positions() {
+        let toks = lex("x\n  y").unwrap();
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        assert_eq!((toks[1].line, toks[1].col), (2, 3));
+    }
+
+    #[test]
+    fn scientific_notation() {
+        assert_eq!(kinds("1e3")[0], TokenKind::Float(1000.0));
+        assert_eq!(kinds("2.5e-1")[0], TokenKind::Float(0.25));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        let err = lex("a @ b").unwrap_err();
+        assert!(err.message.contains("unexpected character"));
+        assert_eq!(err.col, 3);
+    }
+
+    #[test]
+    fn keywords_vs_identifiers() {
+        assert_eq!(kinds("forx")[0], TokenKind::Ident("forx".into()));
+        assert_eq!(kinds("for")[0], TokenKind::KwFor);
+        assert_eq!(kinds("barrier_wait")[0], TokenKind::KwBarrierWait);
+    }
+}

@@ -1,0 +1,72 @@
+//! `minc` — a mini-C frontend for the pattern-analysis reproduction.
+//!
+//! The paper analyses legacy Pthreaded C programs. This crate provides the
+//! closest practical equivalent for the reproduction: a C-flavored surface
+//! language with Pthreads-style threading (`spawn`/`join`,
+//! `barrier_wait`, `lock`/`unlock`) that compiles to `repro-ir`. The
+//! Starbench ports in the `starbench` crate are written in it, so the
+//! pattern finder's reports can point at real source lines (paper Fig. 6)
+//! and fused patterns can genuinely span *translation units* (separate
+//! `minc` files compiled into one program — paper §2, challenge 4).
+//!
+//! The language, in brief:
+//!
+//! ```c
+//! float data[64];            // global arrays (host-resizable inputs)
+//! mutex m; barrier b;        // sync objects
+//!
+//! float dist(float x, float y) { float d = x - y; return d * d; }
+//!
+//! void worker(int pid, int nproc) {
+//!     int k; float acc = 0.0;
+//!     for (k = pid; k < 64; k = k + nproc) { acc = acc + dist(data[k], data[0]); }
+//!     barrier_wait(b);
+//! }
+//!
+//! void main() {
+//!     int t0 = spawn worker(0, 2); int t1 = spawn worker(1, 2);
+//!     join(t0); join(t1);
+//!     output(data);          // fwrite-style result emission
+//! }
+//! ```
+//!
+//! Types are `int` (i64), `float` (f64), and `bool`, with explicit casts
+//! (`(int)x`, `(float)n`) and no implicit conversions. `for` loops in the
+//! canonical C shape lower to counted IR loops; anything else is a `while`.
+
+pub mod ast;
+pub mod lexer;
+pub mod lower;
+pub mod parser;
+
+pub use lexer::{LexError, Token, TokenKind};
+pub use lower::{lower, CompileError};
+pub use parser::parse;
+
+/// Compiles one translation unit into an IR program.
+pub fn compile(name: &str, source: &str) -> Result<repro_ir::Program, CompileError> {
+    compile_files(name, &[("main.mc", source)])
+}
+
+/// Compiles several translation units (shared global namespace) into one
+/// program — the moral equivalent of linking objects into a binary.
+pub fn compile_files(
+    program_name: &str,
+    files: &[(&str, &str)],
+) -> Result<repro_ir::Program, CompileError> {
+    let mut units = Vec::new();
+    for (file_idx, (file_name, source)) in files.iter().enumerate() {
+        let tokens = lexer::lex(source).map_err(|e| CompileError {
+            message: format!("{file_name}: {}", e.message),
+            line: e.line,
+            col: e.col,
+        })?;
+        let unit = parser::parse(&tokens).map_err(|e| CompileError {
+            message: format!("{file_name}: {}", e.message),
+            line: e.line,
+            col: e.col,
+        })?;
+        units.push((file_idx as u16, file_name.to_string(), source.to_string(), unit));
+    }
+    lower::lower(program_name, &units)
+}

@@ -1,0 +1,793 @@
+//! Lowering from `minc` AST to `repro-ir`, with full type checking.
+//!
+//! The lowering mirrors what Clang does for the constructs the analysis
+//! cares about: canonical counted `for` loops become IR `For` statements
+//! (traversal bookkeeping kept out of the DDG by construction), any other
+//! loop becomes a `while` whose induction arithmetic is traced and later
+//! classified by iterator recognition; `a[i*dim+j]` subscripts stay as
+//! explicit integer arithmetic feeding address uses — exactly the shape
+//! DDG simplification must strip.
+
+use crate::ast::{Bin, Expr as AExpr, FunDef, Item, Pos, Stmt as AStmt, Ty, Un, Unit};
+use repro_ir::{
+    ArrId, BinOp, Expr, FnId, Function, GlobalArray, Intrinsic, Loc, LoopId, OpId, Param, Program,
+    Stmt, Type, UnOp, VarId,
+};
+use std::collections::HashMap;
+
+/// A semantic (type/resolution) error.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CompileError {
+    pub message: String,
+    pub line: u32,
+    pub col: u32,
+}
+
+impl std::fmt::Display for CompileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}:{}: {}", self.line, self.col, self.message)
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+fn ty_to_ir(t: Ty) -> Type {
+    match t {
+        Ty::Int => Type::I64,
+        Ty::Float => Type::F64,
+        Ty::Bool => Type::Bool,
+    }
+}
+
+/// Lowers parsed translation units (file index, file name, source, unit)
+/// into one IR program.
+pub fn lower(
+    program_name: &str,
+    units: &[(u16, String, String, Unit)],
+) -> Result<Program, CompileError> {
+    let mut lw = Lowerer::default();
+
+    // Pass 1: collect globals, sync objects, and function signatures.
+    for (_file, _name, _src, unit) in units {
+        for item in &unit.items {
+            match item {
+                Item::GlobalArray { name, ty, len, pos } => {
+                    let id = ArrId(lw.globals.len() as u32);
+                    if lw.arrays.insert(name.clone(), (id, ty_to_ir(*ty))).is_some() {
+                        return err(pos, format!("duplicate global {name}"));
+                    }
+                    lw.globals.push(GlobalArray {
+                        id,
+                        name: name.clone(),
+                        elem: ty_to_ir(*ty),
+                        len: *len,
+                    });
+                }
+                Item::Mutex { name, pos } => {
+                    let id = lw.n_mutexes;
+                    lw.n_mutexes += 1;
+                    if lw.mutexes.insert(name.clone(), id).is_some() {
+                        return err(pos, format!("duplicate mutex {name}"));
+                    }
+                }
+                Item::Barrier { name, pos } => {
+                    let id = lw.n_barriers;
+                    lw.n_barriers += 1;
+                    if lw.barriers.insert(name.clone(), id).is_some() {
+                        return err(pos, format!("duplicate barrier {name}"));
+                    }
+                }
+                Item::Fun(f) => {
+                    let id = FnId(lw.fn_order.len() as u32);
+                    let sig = (
+                        id,
+                        f.params.iter().map(|(_, t)| ty_to_ir(*t)).collect::<Vec<_>>(),
+                        f.ret.map(ty_to_ir),
+                    );
+                    if lw.fns.insert(f.name.clone(), sig).is_some() {
+                        return err(&f.pos, format!("duplicate function {}", f.name));
+                    }
+                    lw.fn_order.push(f.name.clone());
+                }
+            }
+        }
+    }
+
+    let Some(&(entry, ref entry_params, _)) = lw.fns.get("main") else {
+        return Err(CompileError { message: "no main function".into(), line: 1, col: 1 });
+    };
+    if !entry_params.is_empty() && entry_params.iter().any(|&t| t != Type::I64) {
+        return Err(CompileError {
+            message: "main parameters must be int".into(),
+            line: 1,
+            col: 1,
+        });
+    }
+
+    // Pass 2: lower every function, in declaration order.
+    let mut functions: Vec<Option<Function>> = vec![None; lw.fn_order.len()];
+    for (file, _name, _src, unit) in units {
+        for item in &unit.items {
+            if let Item::Fun(f) = item {
+                let lowered = lw.lower_fn(*file, f)?;
+                let idx = lowered.id.index();
+                functions[idx] = Some(lowered);
+            }
+        }
+    }
+
+    Ok(Program {
+        name: program_name.to_string(),
+        functions: functions.into_iter().map(|f| f.unwrap()).collect(),
+        globals: lw.globals,
+        n_mutexes: lw.n_mutexes,
+        n_barriers: lw.n_barriers,
+        entry,
+        op_count: lw.next_op,
+        loop_count: lw.next_loop,
+        files: units.iter().map(|(_, n, _, _)| n.clone()).collect(),
+        sources: units.iter().map(|(_, _, s, _)| s.clone()).collect(),
+    })
+}
+
+fn err<V>(pos: &Pos, message: String) -> Result<V, CompileError> {
+    Err(CompileError { message, line: pos.line, col: pos.col })
+}
+
+#[derive(Default)]
+struct Lowerer {
+    arrays: HashMap<String, (ArrId, Type)>,
+    mutexes: HashMap<String, usize>,
+    barriers: HashMap<String, usize>,
+    fns: HashMap<String, (FnId, Vec<Type>, Option<Type>)>,
+    fn_order: Vec<String>,
+    globals: Vec<GlobalArray>,
+    n_mutexes: usize,
+    n_barriers: usize,
+    next_op: u32,
+    next_loop: u32,
+}
+
+impl Lowerer {
+    fn fresh_op(&mut self) -> OpId {
+        let id = OpId(self.next_op);
+        self.next_op += 1;
+        id
+    }
+
+    fn fresh_loop(&mut self) -> LoopId {
+        let id = LoopId(self.next_loop);
+        self.next_loop += 1;
+        id
+    }
+
+    fn lower_fn(&mut self, file: u16, f: &FunDef) -> Result<Function, CompileError> {
+        let (id, _, ret) = self.fns[&f.name].clone();
+        let mut cx = FnCx {
+            lw: self,
+            file,
+            params: f
+                .params
+                .iter()
+                .map(|(n, t)| Param { name: n.clone(), ty: ty_to_ir(*t) })
+                .collect(),
+            locals: Vec::new(),
+            scopes: vec![HashMap::new()],
+            ret,
+        };
+        for (i, (n, t)) in f.params.iter().enumerate() {
+            cx.scopes[0].insert(n.clone(), (VarId(i as u32), ty_to_ir(*t)));
+        }
+        let body = cx.block(&f.body)?;
+        Ok(Function {
+            id,
+            name: f.name.clone(),
+            params: cx.params,
+            locals: cx.locals,
+            ret,
+            body,
+            loc: Loc::in_file(file, f.pos.line, f.pos.col),
+        })
+    }
+}
+
+struct FnCx<'l> {
+    lw: &'l mut Lowerer,
+    file: u16,
+    params: Vec<Param>,
+    locals: Vec<repro_ir::func::Local>,
+    /// Lexical scopes: name → (slot, type).
+    scopes: Vec<HashMap<String, (VarId, Type)>>,
+    ret: Option<Type>,
+}
+
+impl FnCx<'_> {
+    fn loc(&self, pos: Pos) -> Loc {
+        Loc::in_file(self.file, pos.line, pos.col)
+    }
+
+    fn lookup(&self, name: &str) -> Option<(VarId, Type)> {
+        self.scopes.iter().rev().find_map(|s| s.get(name).copied())
+    }
+
+    fn declare(&mut self, name: &str, ty: Type, pos: &Pos) -> Result<VarId, CompileError> {
+        if self.scopes.last().unwrap().contains_key(name) {
+            return err(pos, format!("redeclaration of {name} in the same scope"));
+        }
+        let id = VarId((self.params.len() + self.locals.len()) as u32);
+        self.locals.push(repro_ir::func::Local { name: name.to_string(), ty });
+        self.scopes.last_mut().unwrap().insert(name.to_string(), (id, ty));
+        Ok(id)
+    }
+
+    fn block(&mut self, stmts: &[AStmt]) -> Result<Vec<Stmt>, CompileError> {
+        self.scopes.push(HashMap::new());
+        let out = self.stmts(stmts);
+        self.scopes.pop();
+        out
+    }
+
+    fn stmts(&mut self, stmts: &[AStmt]) -> Result<Vec<Stmt>, CompileError> {
+        let mut out = Vec::with_capacity(stmts.len());
+        for s in stmts {
+            self.stmt(s, &mut out)?;
+        }
+        Ok(out)
+    }
+
+    fn stmt(&mut self, s: &AStmt, out: &mut Vec<Stmt>) -> Result<(), CompileError> {
+        match s {
+            AStmt::Decl { ty, name, init, pos } => {
+                let irty = ty_to_ir(*ty);
+                let var = self.declare(name, irty, pos)?;
+                if let Some(e) = init {
+                    let (value, vt) = self.expr(e)?;
+                    self.check(vt, irty, &e.pos(), "initializer")?;
+                    out.push(Stmt::Assign { var, value, loc: self.loc(*pos) });
+                }
+            }
+            AStmt::Assign { name, value, pos } => {
+                let Some((var, ty)) = self.lookup(name) else {
+                    return err(pos, format!("unknown variable {name}"));
+                };
+                let (value, vt) = self.expr(value)?;
+                self.check(vt, ty, pos, "assignment")?;
+                out.push(Stmt::Assign { var, value, loc: self.loc(*pos) });
+            }
+            AStmt::Store { base, index, value, pos } => {
+                let Some(&(arr, elem)) = self.lw.arrays.get(base) else {
+                    return err(pos, format!("unknown array {base}"));
+                };
+                let (idx, it) = self.expr(index)?;
+                self.check(it, Type::I64, pos, "array index")?;
+                let (value, vt) = self.expr(value)?;
+                self.check(vt, elem, pos, "stored value")?;
+                out.push(Stmt::Store { arr, idx, value, loc: self.loc(*pos) });
+            }
+            AStmt::If { cond, then_body, else_body, pos } => {
+                let (cond, ct) = self.expr(cond)?;
+                self.check(ct, Type::Bool, pos, "if condition")?;
+                let then_body = self.block(then_body)?;
+                let else_body = self.block(else_body)?;
+                out.push(Stmt::If { cond, then_body, else_body, loc: self.loc(*pos) });
+            }
+            AStmt::For { init, cond, update, body, pos } => {
+                self.lower_for(init, cond, update, body, pos, out)?;
+            }
+            AStmt::While { cond, body, pos } => {
+                let id = self.lw.fresh_loop();
+                let (cond, ct) = self.expr(cond)?;
+                self.check(ct, Type::Bool, pos, "while condition")?;
+                let body = self.block(body)?;
+                out.push(Stmt::While { id, cond, body, loc: self.loc(*pos) });
+            }
+            AStmt::Return { value, pos } => {
+                let value = match (value, self.ret) {
+                    (Some(e), Some(rt)) => {
+                        let (v, vt) = self.expr(e)?;
+                        self.check(vt, rt, pos, "return value")?;
+                        Some(v)
+                    }
+                    (None, None) => None,
+                    (Some(_), None) => return err(pos, "return with value in void function".into()),
+                    (None, Some(_)) => return err(pos, "missing return value".into()),
+                };
+                out.push(Stmt::Return { value, loc: self.loc(*pos) });
+            }
+            AStmt::Spawn { handle, func, args, pos } => {
+                let Some((hvar, hty)) = self.lookup(handle) else {
+                    return err(pos, format!("unknown handle variable {handle}"));
+                };
+                self.check(hty, Type::I64, pos, "spawn handle")?;
+                let Some((fid, ptys, _)) = self.lw.fns.get(func).cloned() else {
+                    return err(pos, format!("unknown function {func}"));
+                };
+                if ptys.len() != args.len() {
+                    return err(pos, format!("{func} takes {} args", ptys.len()));
+                }
+                let mut irargs = Vec::with_capacity(args.len());
+                for (a, want) in args.iter().zip(ptys) {
+                    let (v, vt) = self.expr(a)?;
+                    self.check(vt, want, &a.pos(), "spawn argument")?;
+                    irargs.push(v);
+                }
+                out.push(Stmt::Spawn { func: fid, args: irargs, handle: hvar, loc: self.loc(*pos) });
+            }
+            AStmt::Join { handle, pos } => {
+                let (h, ht) = self.expr(handle)?;
+                self.check(ht, Type::I64, pos, "join handle")?;
+                out.push(Stmt::Join { handle: h, loc: self.loc(*pos) });
+            }
+            AStmt::BarrierWait { name, pos } => {
+                let Some(&bar) = self.lw.barriers.get(name) else {
+                    return err(pos, format!("unknown barrier {name}"));
+                };
+                out.push(Stmt::Barrier { bar, loc: self.loc(*pos) });
+            }
+            AStmt::Lock { name, pos } => {
+                let Some(&mutex) = self.lw.mutexes.get(name) else {
+                    return err(pos, format!("unknown mutex {name}"));
+                };
+                out.push(Stmt::Lock { mutex, loc: self.loc(*pos) });
+            }
+            AStmt::Unlock { name, pos } => {
+                let Some(&mutex) = self.lw.mutexes.get(name) else {
+                    return err(pos, format!("unknown mutex {name}"));
+                };
+                out.push(Stmt::Unlock { mutex, loc: self.loc(*pos) });
+            }
+            AStmt::Output { name, pos } => {
+                let Some(&(arr, _)) = self.lw.arrays.get(name) else {
+                    return err(pos, format!("unknown array {name}"));
+                };
+                out.push(Stmt::Output { arr, loc: self.loc(*pos) });
+            }
+            AStmt::Expr { expr } => {
+                let pos = expr.pos();
+                let (e, t) = self.expr(expr)?;
+                if !matches!(e, Expr::Call { .. }) {
+                    return err(&pos, "expression statement must be a call".into());
+                }
+                let _ = t;
+                out.push(Stmt::Expr { expr: e });
+            }
+        }
+        Ok(())
+    }
+
+    /// Lowers `for (init; cond; update)`. The canonical counted shape
+    /// becomes an IR `For`; anything else desugars to init + while.
+    fn lower_for(
+        &mut self,
+        init: &AStmt,
+        cond: &AExpr,
+        update: &AStmt,
+        body: &[AStmt],
+        pos: &Pos,
+        out: &mut Vec<Stmt>,
+    ) -> Result<(), CompileError> {
+        // Canonical: init `v = e1`; cond `v < e2` or `v > e2`;
+        // update `v = v + c` or `v = v - c` with integer literal c.
+        if let (
+            AStmt::Assign { name: v1, value: from, .. },
+            AExpr::Bin { op: rel @ (Bin::Lt | Bin::Gt), lhs, rhs: bound, .. },
+            AStmt::Assign { name: v3, value: upd, .. },
+        ) = (init, cond, update)
+        {
+            let cond_on_var = matches!(&**lhs, AExpr::Name(n, _) if n == v1);
+            let step = match upd {
+                AExpr::Bin { op: Bin::Add, lhs, rhs, .. } => match (&**lhs, &**rhs) {
+                    (AExpr::Name(n, _), AExpr::Int(c, _)) if n == v1 => Some(*c),
+                    (AExpr::Int(c, _), AExpr::Name(n, _)) if n == v1 => Some(*c),
+                    _ => None,
+                },
+                AExpr::Bin { op: Bin::Sub, lhs, rhs, .. } => match (&**lhs, &**rhs) {
+                    (AExpr::Name(n, _), AExpr::Int(c, _)) if n == v1 => Some(-*c),
+                    _ => None,
+                },
+                _ => None,
+            };
+            if v1 == v3 && cond_on_var {
+                if let Some(step) = step {
+                    let dir_ok = (*rel == Bin::Lt && step > 0) || (*rel == Bin::Gt && step < 0);
+                    if dir_ok {
+                        let Some((var, vt)) = self.lookup(v1) else {
+                            return err(pos, format!("unknown loop variable {v1}"));
+                        };
+                        self.check(vt, Type::I64, pos, "loop variable")?;
+                        let (from, ft) = self.expr(from)?;
+                        self.check(ft, Type::I64, pos, "loop start")?;
+                        let (to, tt) = self.expr(bound)?;
+                        self.check(tt, Type::I64, pos, "loop bound")?;
+                        let id = self.lw.fresh_loop();
+                        let body = self.block(body)?;
+                        out.push(Stmt::For {
+                            id,
+                            var,
+                            from,
+                            to,
+                            step,
+                            body,
+                            loc: self.loc(*pos),
+                        });
+                        return Ok(());
+                    }
+                }
+            }
+        }
+
+        // General shape: init; while (cond) { body; update; }
+        self.stmt(init, out)?;
+        let id = self.lw.fresh_loop();
+        let (cond, ct) = self.expr(cond)?;
+        self.check(ct, Type::Bool, pos, "for condition")?;
+        let mut wbody = self.block(body)?;
+        self.stmt(update, &mut wbody)?;
+        out.push(Stmt::While { id, cond, body: wbody, loc: self.loc(*pos) });
+        Ok(())
+    }
+
+    fn check(&self, got: Type, want: Type, pos: &Pos, what: &str) -> Result<(), CompileError> {
+        if got != want {
+            return err(pos, format!("{what}: expected {want}, got {got}"));
+        }
+        Ok(())
+    }
+
+    /// Lowers an expression, returning its IR form and type.
+    fn expr(&mut self, e: &AExpr) -> Result<(Expr, Type), CompileError> {
+        match e {
+            AExpr::Int(v, _) => Ok((Expr::Int(*v), Type::I64)),
+            AExpr::Float(v, _) => Ok((Expr::Float(*v), Type::F64)),
+            AExpr::Bool(v, _) => Ok((Expr::Bool(*v), Type::Bool)),
+            AExpr::Name(n, pos) => {
+                let Some((var, ty)) = self.lookup(n) else {
+                    return err(pos, format!("unknown variable {n}"));
+                };
+                Ok((Expr::Var(var), ty))
+            }
+            AExpr::Index { base, index, pos } => {
+                let Some(&(arr, elem)) = self.lw.arrays.get(base) else {
+                    return err(pos, format!("unknown array {base}"));
+                };
+                let (idx, it) = self.expr(index)?;
+                self.check(it, Type::I64, pos, "array index")?;
+                Ok((Expr::Load { arr, idx: Box::new(idx), loc: self.loc(*pos) }, elem))
+            }
+            AExpr::Un { op, arg, pos } => {
+                let (a, at) = self.expr(arg)?;
+                let loc = self.loc(*pos);
+                match op {
+                    Un::Neg => {
+                        let irop = match at {
+                            Type::I64 => UnOp::Neg,
+                            Type::F64 => UnOp::FNeg,
+                            Type::Bool => return err(pos, "cannot negate a bool".into()),
+                        };
+                        Ok((Expr::un(irop, a, self.lw.fresh_op(), loc), at))
+                    }
+                    Un::Not => {
+                        self.check(at, Type::Bool, pos, "logical not")?;
+                        Ok((Expr::un(UnOp::Not, a, self.lw.fresh_op(), loc), Type::Bool))
+                    }
+                    Un::CastInt => match at {
+                        Type::I64 => Ok((a, Type::I64)),
+                        Type::F64 => {
+                            Ok((Expr::un(UnOp::FloatToInt, a, self.lw.fresh_op(), loc), Type::I64))
+                        }
+                        Type::Bool => err(pos, "cannot cast bool to int".into()),
+                    },
+                    Un::CastFloat => match at {
+                        Type::F64 => Ok((a, Type::F64)),
+                        Type::I64 => {
+                            Ok((Expr::un(UnOp::IntToFloat, a, self.lw.fresh_op(), loc), Type::F64))
+                        }
+                        Type::Bool => err(pos, "cannot cast bool to float".into()),
+                    },
+                }
+            }
+            AExpr::Bin { op, lhs, rhs, pos } => {
+                let (a, at) = self.expr(lhs)?;
+                let (b, bt) = self.expr(rhs)?;
+                if at != bt {
+                    return err(pos, format!("operand types differ: {at} vs {bt}"));
+                }
+                let loc = self.loc(*pos);
+                let (irop, rt) = self.pick_binop(*op, at, pos)?;
+                Ok((Expr::bin(irop, a, b, self.lw.fresh_op(), loc), rt))
+            }
+            AExpr::Call { name, args, pos } => self.call(name, args, pos),
+        }
+    }
+
+    fn pick_binop(&self, op: Bin, t: Type, pos: &Pos) -> Result<(BinOp, Type), CompileError> {
+        use Bin::*;
+        let bad = |what: &str| err::<(BinOp, Type)>(pos, format!("{what} not defined on {t}"));
+        Ok(match (op, t) {
+            (Add, Type::I64) => (BinOp::Add, Type::I64),
+            (Add, Type::F64) => (BinOp::FAdd, Type::F64),
+            (Sub, Type::I64) => (BinOp::Sub, Type::I64),
+            (Sub, Type::F64) => (BinOp::FSub, Type::F64),
+            (Mul, Type::I64) => (BinOp::Mul, Type::I64),
+            (Mul, Type::F64) => (BinOp::FMul, Type::F64),
+            (Div, Type::I64) => (BinOp::Div, Type::I64),
+            (Div, Type::F64) => (BinOp::FDiv, Type::F64),
+            (Rem, Type::I64) => (BinOp::Rem, Type::I64),
+            (BitAnd, Type::I64) => (BinOp::And, Type::I64),
+            (BitOr, Type::I64) => (BinOp::Or, Type::I64),
+            (BitXor, Type::I64) => (BinOp::Xor, Type::I64),
+            (Shl, Type::I64) => (BinOp::Shl, Type::I64),
+            (Shr, Type::I64) => (BinOp::Shr, Type::I64),
+            (Eq, Type::I64) => (BinOp::Eq, Type::Bool),
+            (Ne, Type::I64) => (BinOp::Ne, Type::Bool),
+            (Lt, Type::I64) => (BinOp::Lt, Type::Bool),
+            (Le, Type::I64) => (BinOp::Le, Type::Bool),
+            (Gt, Type::I64) => (BinOp::Gt, Type::Bool),
+            (Ge, Type::I64) => (BinOp::Ge, Type::Bool),
+            (Eq, Type::F64) => (BinOp::FEq, Type::Bool),
+            (Ne, Type::F64) => (BinOp::FNe, Type::Bool),
+            (Lt, Type::F64) => (BinOp::FLt, Type::Bool),
+            (Le, Type::F64) => (BinOp::FLe, Type::Bool),
+            (Gt, Type::F64) => (BinOp::FGt, Type::Bool),
+            (Ge, Type::F64) => (BinOp::FGe, Type::Bool),
+            (And, Type::Bool) => (BinOp::And, Type::Bool),
+            (Or, Type::Bool) => (BinOp::Or, Type::Bool),
+            (BitXor, Type::Bool) => (BinOp::Xor, Type::Bool),
+            (Add | Sub | Mul | Div, Type::Bool) => return bad("arithmetic"),
+            (Rem | BitAnd | BitOr | Shl | Shr, _) => return bad("integer op"),
+            (And | Or, _) => return bad("logical op"),
+            (Eq | Ne | Lt | Le | Gt | Ge, Type::Bool) => return bad("comparison"),
+            (BitXor, Type::F64) => return bad("xor"),
+        })
+    }
+
+    fn call(&mut self, name: &str, args: &[AExpr], pos: &Pos) -> Result<(Expr, Type), CompileError> {
+        let loc = self.loc(*pos);
+        // Intrinsics first.
+        let unary_f64 = |this: &mut Self, op: Intrinsic, args: &[AExpr]| -> Result<(Expr, Type), CompileError> {
+            if args.len() != 1 {
+                return err(pos, format!("{name} takes 1 argument"));
+            }
+            let (a, at) = this.expr(&args[0])?;
+            this.check(at, Type::F64, pos, name)?;
+            let id = this.lw.fresh_op();
+            Ok((Expr::Intr { op, args: vec![a], id, loc }, Type::F64))
+        };
+        match name {
+            "sqrt" => return unary_f64(self, Intrinsic::Sqrt, args),
+            "fabs" => return unary_f64(self, Intrinsic::FAbs, args),
+            "floor" => return unary_f64(self, Intrinsic::Floor, args),
+            "sin" => return unary_f64(self, Intrinsic::Sin, args),
+            "cos" => return unary_f64(self, Intrinsic::Cos, args),
+            "exp" => return unary_f64(self, Intrinsic::Exp, args),
+            "log" => return unary_f64(self, Intrinsic::Log, args),
+            "abs" => {
+                if args.len() != 1 {
+                    return err(pos, "abs takes 1 argument".into());
+                }
+                let (a, at) = self.expr(&args[0])?;
+                self.check(at, Type::I64, pos, "abs")?;
+                let id = self.lw.fresh_op();
+                return Ok((Expr::Intr { op: Intrinsic::Abs, args: vec![a], id, loc }, Type::I64));
+            }
+            "min" | "max" => {
+                if args.len() != 2 {
+                    return err(pos, format!("{name} takes 2 arguments"));
+                }
+                let (a, at) = self.expr(&args[0])?;
+                let (b, bt) = self.expr(&args[1])?;
+                if at != bt {
+                    return err(pos, format!("{name}: operand types differ"));
+                }
+                let op = match (name, at) {
+                    ("min", Type::I64) => BinOp::Min,
+                    ("max", Type::I64) => BinOp::Max,
+                    ("min", Type::F64) => BinOp::FMin,
+                    ("max", Type::F64) => BinOp::FMax,
+                    _ => return err(pos, format!("{name} not defined on {at}")),
+                };
+                return Ok((Expr::bin(op, a, b, self.lw.fresh_op(), loc), at));
+            }
+            "select" => {
+                if args.len() != 3 {
+                    return err(pos, "select takes 3 arguments".into());
+                }
+                let (c, ct) = self.expr(&args[0])?;
+                self.check(ct, Type::Bool, pos, "select condition")?;
+                let (a, at) = self.expr(&args[1])?;
+                let (b, bt) = self.expr(&args[2])?;
+                if at != bt {
+                    return err(pos, "select: branch types differ".into());
+                }
+                let id = self.lw.fresh_op();
+                return Ok((
+                    Expr::Intr { op: Intrinsic::Select, args: vec![c, a, b], id, loc },
+                    at,
+                ));
+            }
+            _ => {}
+        }
+        // User function.
+        let Some((fid, ptys, ret)) = self.lw.fns.get(name).cloned() else {
+            return err(pos, format!("unknown function {name}"));
+        };
+        if ptys.len() != args.len() {
+            return err(pos, format!("{name} takes {} args", ptys.len()));
+        }
+        let mut irargs = Vec::with_capacity(args.len());
+        for (a, want) in args.iter().zip(ptys) {
+            let (v, vt) = self.expr(a)?;
+            self.check(vt, want, &a.pos(), "argument")?;
+            irargs.push(v);
+        }
+        let Some(ret) = ret else {
+            // Void calls are only legal in statement position; the caller
+            // (stmt) accepts them, expression contexts reject via check().
+            return Ok((Expr::Call { f: fid, args: irargs, loc }, Type::Bool));
+        };
+        Ok((Expr::Call { f: fid, args: irargs, loc }, ret))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile;
+
+    #[test]
+    fn lowers_and_validates_a_full_program() {
+        let src = r#"
+float data[8];
+float out[1];
+
+float square(float x) {
+    return x * x;
+}
+
+void main() {
+    int i;
+    float acc = 0.0;
+    for (i = 0; i < 8; i++) {
+        acc = acc + square(data[i]);
+    }
+    out[0] = acc;
+    output(out);
+}
+"#;
+        let p = compile("sq", src).unwrap();
+        assert!(repro_ir::validate(&p).is_ok());
+        assert_eq!(p.functions.len(), 2);
+        assert_eq!(p.loop_count, 1);
+        // The for loop is canonical: lowered to Stmt::For.
+        let main = p.function_by_name("main").unwrap();
+        assert!(main.body.iter().any(|s| matches!(s, Stmt::For { step: 1, .. })));
+    }
+
+    #[test]
+    fn non_canonical_for_becomes_while() {
+        let src = r#"
+void main(int nproc) {
+    int k;
+    int s = 0;
+    for (k = 0; k < 16; k = k + nproc) {
+        s = s + k;
+    }
+}
+"#;
+        let p = compile("cyclic", src).unwrap();
+        assert!(repro_ir::validate(&p).is_ok());
+        let main = p.function_by_name("main").unwrap();
+        assert!(
+            main.body.iter().any(|s| matches!(s, Stmt::While { .. })),
+            "variable-step loop lowers to while"
+        );
+        // Iterator recognition must classify the k update.
+        let info = repro_ir::iter_rec::analyze(&p);
+        assert!(!info.iterator_ops.is_empty());
+    }
+
+    #[test]
+    fn downward_loops_lower_to_negative_step() {
+        let src = "void main() { int i; int s = 0; for (i = 7; i > 0; i--) { s = s + i; } }";
+        let p = compile("down", src).unwrap();
+        let main = p.function_by_name("main").unwrap();
+        assert!(main.body.iter().any(|s| matches!(s, Stmt::For { step: -1, .. })));
+    }
+
+    #[test]
+    fn threads_and_sync_lower() {
+        let src = r#"
+float buf[4];
+mutex m;
+barrier b;
+
+void worker(int tid) {
+    lock(m);
+    buf[tid] = 1.0;
+    unlock(m);
+    barrier_wait(b);
+}
+
+void main() {
+    int h0;
+    int h1;
+    h0 = spawn worker(0);
+    h1 = spawn worker(1);
+    join(h0);
+    join(h1);
+}
+"#;
+        let p = compile("thr", src).unwrap();
+        assert!(repro_ir::validate(&p).is_ok());
+        assert_eq!(p.n_mutexes, 1);
+        assert_eq!(p.n_barriers, 1);
+    }
+
+    #[test]
+    fn cross_unit_calls_work() {
+        let a = "float helper(float x) { return x + 1.0; }";
+        let b = r#"
+float out[1];
+void main() {
+    out[0] = helper(1.0);
+    output(out);
+}
+"#;
+        let p = crate::compile_files("multi", &[("a.mc", a), ("b.mc", b)]).unwrap();
+        assert!(repro_ir::validate(&p).is_ok());
+        assert_eq!(p.files.len(), 2);
+        // helper's ops carry file index 0, main's file index 1.
+        let helper = p.function_by_name("helper").unwrap();
+        assert_eq!(helper.loc.file, 0);
+        let main = p.function_by_name("main").unwrap();
+        assert_eq!(main.loc.file, 1);
+    }
+
+    #[test]
+    fn type_errors_are_caught() {
+        let src = "void main() { int x; x = 1.5; }";
+        let e = compile("bad", src).unwrap_err();
+        assert!(e.message.contains("expected i64"), "{e}");
+
+        let src2 = "void main() { float x; x = sqrt(2); }";
+        let e2 = compile("bad2", src2).unwrap_err();
+        assert!(e2.message.contains("sqrt"), "{e2}");
+    }
+
+    #[test]
+    fn scoping_allows_shadowing_in_inner_blocks() {
+        let src = r#"
+void main() {
+    int i;
+    for (i = 0; i < 2; i++) {
+        float x = 1.0;
+        x = x + 1.0;
+    }
+    if (true) {
+        float x = 2.0;
+        x = x * 2.0;
+    }
+}
+"#;
+        let p = compile("scope", src).unwrap();
+        assert!(repro_ir::validate(&p).is_ok());
+    }
+
+    #[test]
+    fn unknown_names_are_rejected() {
+        assert!(compile("u1", "void main() { x = 1; }").is_err());
+        assert!(compile("u2", "void main() { unknown_fn(); }").is_err());
+        assert!(compile("u3", "void main() { barrier_wait(nope); }").is_err());
+    }
+
+    #[test]
+    fn locations_point_into_source() {
+        let src = "float d[2];\nvoid main() {\n  d[0] = d[1] * 2.0;\n}\n";
+        let p = compile("loc", src).unwrap();
+        let main = p.function_by_name("main").unwrap();
+        let Stmt::Store { value, .. } = &main.body[0] else { panic!() };
+        let Expr::Bin { loc, .. } = value else { panic!() };
+        assert_eq!(loc.line, 3);
+        assert_eq!(p.source_line(*loc).unwrap().trim(), "d[0] = d[1] * 2.0;");
+    }
+}

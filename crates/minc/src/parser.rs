@@ -1,0 +1,563 @@
+//! Recursive-descent parser with precedence climbing.
+
+use crate::ast::*;
+use crate::lexer::{Token, TokenKind as T};
+
+/// A syntax error.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ParseError {
+    pub message: String,
+    pub line: u32,
+    pub col: u32,
+}
+
+/// Parses one translation unit.
+pub fn parse(tokens: &[Token]) -> Result<Unit, ParseError> {
+    let mut p = Parser { tokens, i: 0 };
+    let mut items = Vec::new();
+    while !p.at(&T::Eof) {
+        items.push(p.item()?);
+    }
+    Ok(Unit { items })
+}
+
+struct Parser<'t> {
+    tokens: &'t [Token],
+    i: usize,
+}
+
+impl<'t> Parser<'t> {
+    fn peek(&self) -> &T {
+        &self.tokens[self.i].kind
+    }
+
+    fn peek2(&self) -> &T {
+        &self.tokens[(self.i + 1).min(self.tokens.len() - 1)].kind
+    }
+
+    fn pos(&self) -> Pos {
+        Pos { line: self.tokens[self.i].line, col: self.tokens[self.i].col }
+    }
+
+    fn at(&self, k: &T) -> bool {
+        self.peek() == k
+    }
+
+    fn bump(&mut self) -> &Token {
+        let t = &self.tokens[self.i];
+        if self.i + 1 < self.tokens.len() {
+            self.i += 1;
+        }
+        t
+    }
+
+    fn err<V>(&self, message: impl Into<String>) -> Result<V, ParseError> {
+        Err(ParseError {
+            message: message.into(),
+            line: self.tokens[self.i].line,
+            col: self.tokens[self.i].col,
+        })
+    }
+
+    fn expect(&mut self, k: T, what: &str) -> Result<(), ParseError> {
+        if self.peek() == &k {
+            self.bump();
+            Ok(())
+        } else {
+            self.err(format!("expected {what}, found {:?}", self.peek()))
+        }
+    }
+
+    fn ident(&mut self, what: &str) -> Result<String, ParseError> {
+        match self.peek().clone() {
+            T::Ident(s) => {
+                self.bump();
+                Ok(s)
+            }
+            other => self.err(format!("expected {what}, found {other:?}")),
+        }
+    }
+
+    fn scalar_ty(&mut self) -> Result<Ty, ParseError> {
+        let t = match self.peek() {
+            T::KwInt => Ty::Int,
+            T::KwFloat => Ty::Float,
+            T::KwBool => Ty::Bool,
+            other => return self.err(format!("expected a type, found {other:?}")),
+        };
+        self.bump();
+        Ok(t)
+    }
+
+    // ---- items ----
+
+    fn item(&mut self) -> Result<Item, ParseError> {
+        let pos = self.pos();
+        match self.peek() {
+            T::KwMutex => {
+                self.bump();
+                let name = self.ident("mutex name")?;
+                self.expect(T::Semi, ";")?;
+                Ok(Item::Mutex { name, pos })
+            }
+            T::KwBarrier => {
+                self.bump();
+                let name = self.ident("barrier name")?;
+                self.expect(T::Semi, ";")?;
+                Ok(Item::Barrier { name, pos })
+            }
+            T::KwVoid => {
+                self.bump();
+                let name = self.ident("function name")?;
+                self.fun(name, None, pos)
+            }
+            T::KwInt | T::KwFloat | T::KwBool => {
+                let ty = self.scalar_ty()?;
+                let name = self.ident("name")?;
+                match self.peek() {
+                    T::LBracket => {
+                        self.bump();
+                        let len = match self.peek().clone() {
+                            T::Int(n) if n >= 0 => {
+                                self.bump();
+                                n as usize
+                            }
+                            _ => return self.err("expected array length literal"),
+                        };
+                        self.expect(T::RBracket, "]")?;
+                        self.expect(T::Semi, ";")?;
+                        Ok(Item::GlobalArray { name, ty, len, pos })
+                    }
+                    T::LParen => self.fun(name, Some(ty), pos),
+                    other => self.err(format!(
+                        "expected array or function declaration, found {other:?}"
+                    )),
+                }
+            }
+            other => self.err(format!("expected a top-level item, found {other:?}")),
+        }
+    }
+
+    fn fun(&mut self, name: String, ret: Option<Ty>, pos: Pos) -> Result<Item, ParseError> {
+        self.expect(T::LParen, "(")?;
+        let mut params = Vec::new();
+        if !self.at(&T::RParen) {
+            loop {
+                let ty = self.scalar_ty()?;
+                let pname = self.ident("parameter name")?;
+                params.push((pname, ty));
+                if self.at(&T::Comma) {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+        }
+        self.expect(T::RParen, ")")?;
+        let body = self.block()?;
+        Ok(Item::Fun(FunDef { name, params, ret, body, pos }))
+    }
+
+    // ---- statements ----
+
+    fn block(&mut self) -> Result<Vec<Stmt>, ParseError> {
+        self.expect(T::LBrace, "{")?;
+        let mut stmts = Vec::new();
+        while !self.at(&T::RBrace) {
+            if self.at(&T::Eof) {
+                return self.err("unterminated block");
+            }
+            stmts.push(self.stmt()?);
+        }
+        self.bump();
+        Ok(stmts)
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, ParseError> {
+        let pos = self.pos();
+        match self.peek().clone() {
+            T::KwInt | T::KwFloat | T::KwBool => {
+                let ty = self.scalar_ty()?;
+                let name = self.ident("variable name")?;
+                if self.at(&T::Assign) && self.peek2() == &T::KwSpawn {
+                    // Declare first, then `h = spawn f(...)` — keeps the
+                    // statement model flat.
+                    return self.err("declare the handle first: `int h; h = spawn f(...);`");
+                }
+                let init = if self.at(&T::Assign) {
+                    self.bump();
+                    Some(self.expr()?)
+                } else {
+                    None
+                };
+                self.expect(T::Semi, ";")?;
+                Ok(Stmt::Decl { ty, name, init, pos })
+            }
+            T::KwIf => {
+                self.bump();
+                self.expect(T::LParen, "(")?;
+                let cond = self.expr()?;
+                self.expect(T::RParen, ")")?;
+                let then_body = self.block()?;
+                let else_body = if self.at(&T::KwElse) {
+                    self.bump();
+                    if self.at(&T::KwIf) {
+                        vec![self.stmt()?]
+                    } else {
+                        self.block()?
+                    }
+                } else {
+                    vec![]
+                };
+                Ok(Stmt::If { cond, then_body, else_body, pos })
+            }
+            T::KwFor => {
+                self.bump();
+                self.expect(T::LParen, "(")?;
+                let init = Box::new(self.simple_stmt()?);
+                self.expect(T::Semi, ";")?;
+                let cond = self.expr()?;
+                self.expect(T::Semi, ";")?;
+                let update = Box::new(self.simple_stmt()?);
+                self.expect(T::RParen, ")")?;
+                let body = self.block()?;
+                Ok(Stmt::For { init, cond, update, body, pos })
+            }
+            T::KwWhile => {
+                self.bump();
+                self.expect(T::LParen, "(")?;
+                let cond = self.expr()?;
+                self.expect(T::RParen, ")")?;
+                let body = self.block()?;
+                Ok(Stmt::While { cond, body, pos })
+            }
+            T::KwReturn => {
+                self.bump();
+                let value = if self.at(&T::Semi) { None } else { Some(self.expr()?) };
+                self.expect(T::Semi, ";")?;
+                Ok(Stmt::Return { value, pos })
+            }
+            T::KwJoin => {
+                self.bump();
+                self.expect(T::LParen, "(")?;
+                let handle = self.expr()?;
+                self.expect(T::RParen, ")")?;
+                self.expect(T::Semi, ";")?;
+                Ok(Stmt::Join { handle, pos })
+            }
+            T::KwBarrierWait => {
+                self.bump();
+                self.expect(T::LParen, "(")?;
+                let name = self.ident("barrier name")?;
+                self.expect(T::RParen, ")")?;
+                self.expect(T::Semi, ";")?;
+                Ok(Stmt::BarrierWait { name, pos })
+            }
+            T::KwLock => {
+                self.bump();
+                self.expect(T::LParen, "(")?;
+                let name = self.ident("mutex name")?;
+                self.expect(T::RParen, ")")?;
+                self.expect(T::Semi, ";")?;
+                Ok(Stmt::Lock { name, pos })
+            }
+            T::KwUnlock => {
+                self.bump();
+                self.expect(T::LParen, "(")?;
+                let name = self.ident("mutex name")?;
+                self.expect(T::RParen, ")")?;
+                self.expect(T::Semi, ";")?;
+                Ok(Stmt::Unlock { name, pos })
+            }
+            T::KwOutput => {
+                self.bump();
+                self.expect(T::LParen, "(")?;
+                let name = self.ident("array name")?;
+                self.expect(T::RParen, ")")?;
+                self.expect(T::Semi, ";")?;
+                Ok(Stmt::Output { name, pos })
+            }
+            _ => {
+                let s = self.simple_stmt()?;
+                self.expect(T::Semi, ";")?;
+                Ok(s)
+            }
+        }
+    }
+
+    /// Assignment, store, increment, spawn-assign, or expression — the
+    /// statement forms legal in `for` headers.
+    fn simple_stmt(&mut self) -> Result<Stmt, ParseError> {
+        let pos = self.pos();
+        if let T::Ident(name) = self.peek().clone() {
+            match self.peek2().clone() {
+                T::Assign => {
+                    self.bump();
+                    self.bump();
+                    if self.at(&T::KwSpawn) {
+                        self.bump();
+                        let (func, args) = self.call_tail()?;
+                        return Ok(Stmt::Spawn { handle: name, func, args, pos });
+                    }
+                    let value = self.expr()?;
+                    return Ok(Stmt::Assign { name, value, pos });
+                }
+                T::PlusPlus | T::MinusMinus => {
+                    let down = self.peek2() == &T::MinusMinus;
+                    self.bump();
+                    self.bump();
+                    let op = if down { Bin::Sub } else { Bin::Add };
+                    return Ok(Stmt::Assign {
+                        name: name.clone(),
+                        value: Expr::Bin {
+                            op,
+                            lhs: Box::new(Expr::Name(name, pos)),
+                            rhs: Box::new(Expr::Int(1, pos)),
+                            pos,
+                        },
+                        pos,
+                    });
+                }
+                T::LBracket => {
+                    self.bump();
+                    self.bump();
+                    let index = self.expr()?;
+                    self.expect(T::RBracket, "]")?;
+                    self.expect(T::Assign, "=")?;
+                    let value = self.expr()?;
+                    return Ok(Stmt::Store { base: name, index, value, pos });
+                }
+                _ => {}
+            }
+        }
+        let expr = self.expr()?;
+        Ok(Stmt::Expr { expr })
+    }
+
+    fn call_tail(&mut self) -> Result<(String, Vec<Expr>), ParseError> {
+        let func = self.ident("function name")?;
+        self.expect(T::LParen, "(")?;
+        let mut args = Vec::new();
+        if !self.at(&T::RParen) {
+            loop {
+                args.push(self.expr()?);
+                if self.at(&T::Comma) {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+        }
+        self.expect(T::RParen, ")")?;
+        Ok((func, args))
+    }
+
+    // ---- expressions (precedence climbing) ----
+
+    fn expr(&mut self) -> Result<Expr, ParseError> {
+        self.bin_expr(0)
+    }
+
+    fn bin_expr(&mut self, min_prec: u8) -> Result<Expr, ParseError> {
+        let mut lhs = self.unary()?;
+        loop {
+            let (op, prec) = match self.peek() {
+                T::OrOr => (Bin::Or, 1),
+                T::AndAnd => (Bin::And, 2),
+                T::Pipe => (Bin::BitOr, 3),
+                T::Caret => (Bin::BitXor, 4),
+                T::Amp => (Bin::BitAnd, 5),
+                T::Eq => (Bin::Eq, 6),
+                T::Ne => (Bin::Ne, 6),
+                T::Lt => (Bin::Lt, 7),
+                T::Le => (Bin::Le, 7),
+                T::Gt => (Bin::Gt, 7),
+                T::Ge => (Bin::Ge, 7),
+                T::Shl => (Bin::Shl, 8),
+                T::Shr => (Bin::Shr, 8),
+                T::Plus => (Bin::Add, 9),
+                T::Minus => (Bin::Sub, 9),
+                T::Star => (Bin::Mul, 10),
+                T::Slash => (Bin::Div, 10),
+                T::Percent => (Bin::Rem, 10),
+                _ => break,
+            };
+            if prec < min_prec {
+                break;
+            }
+            let pos = self.pos();
+            self.bump();
+            let rhs = self.bin_expr(prec + 1)?;
+            lhs = Expr::Bin { op, lhs: Box::new(lhs), rhs: Box::new(rhs), pos };
+        }
+        Ok(lhs)
+    }
+
+    fn unary(&mut self) -> Result<Expr, ParseError> {
+        let pos = self.pos();
+        match self.peek().clone() {
+            T::Minus => {
+                self.bump();
+                let arg = self.unary()?;
+                Ok(Expr::Un { op: Un::Neg, arg: Box::new(arg), pos })
+            }
+            T::Bang => {
+                self.bump();
+                let arg = self.unary()?;
+                Ok(Expr::Un { op: Un::Not, arg: Box::new(arg), pos })
+            }
+            // Casts: `(int) e`, `(float) e`.
+            T::LParen if matches!(self.peek2(), T::KwInt | T::KwFloat) => {
+                self.bump();
+                let op = if self.at(&T::KwInt) { Un::CastInt } else { Un::CastFloat };
+                self.bump();
+                self.expect(T::RParen, ")")?;
+                let arg = self.unary()?;
+                Ok(Expr::Un { op, arg: Box::new(arg), pos })
+            }
+            _ => self.postfix(),
+        }
+    }
+
+    fn postfix(&mut self) -> Result<Expr, ParseError> {
+        let pos = self.pos();
+        match self.peek().clone() {
+            T::Int(v) => {
+                self.bump();
+                Ok(Expr::Int(v, pos))
+            }
+            T::Float(v) => {
+                self.bump();
+                Ok(Expr::Float(v, pos))
+            }
+            T::KwTrue => {
+                self.bump();
+                Ok(Expr::Bool(true, pos))
+            }
+            T::KwFalse => {
+                self.bump();
+                Ok(Expr::Bool(false, pos))
+            }
+            T::LParen => {
+                self.bump();
+                let e = self.expr()?;
+                self.expect(T::RParen, ")")?;
+                Ok(e)
+            }
+            T::Ident(name) => {
+                self.bump();
+                match self.peek() {
+                    T::LParen => {
+                        self.bump();
+                        let mut args = Vec::new();
+                        if !self.at(&T::RParen) {
+                            loop {
+                                args.push(self.expr()?);
+                                if self.at(&T::Comma) {
+                                    self.bump();
+                                } else {
+                                    break;
+                                }
+                            }
+                        }
+                        self.expect(T::RParen, ")")?;
+                        Ok(Expr::Call { name, args, pos })
+                    }
+                    T::LBracket => {
+                        self.bump();
+                        let index = self.expr()?;
+                        self.expect(T::RBracket, "]")?;
+                        Ok(Expr::Index { base: name, index: Box::new(index), pos })
+                    }
+                    _ => Ok(Expr::Name(name, pos)),
+                }
+            }
+            other => self.err(format!("expected an expression, found {other:?}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn parse_src(src: &str) -> Unit {
+        parse(&lex(src).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn parses_globals_and_sync_objects() {
+        let u = parse_src("float data[64];\nmutex m;\nbarrier b;\n");
+        assert_eq!(u.items.len(), 3);
+        assert!(matches!(
+            &u.items[0],
+            Item::GlobalArray { name, ty: Ty::Float, len: 64, .. } if name == "data"
+        ));
+        assert!(matches!(&u.items[1], Item::Mutex { name, .. } if name == "m"));
+        assert!(matches!(&u.items[2], Item::Barrier { name, .. } if name == "b"));
+    }
+
+    #[test]
+    fn parses_function_with_loop() {
+        let u = parse_src(
+            "void main() {\n  int i;\n  for (i = 0; i < 10; i++) {\n    i = i;\n  }\n}\n",
+        );
+        let Item::Fun(f) = &u.items[0] else { panic!() };
+        assert_eq!(f.name, "main");
+        assert!(f.ret.is_none());
+        assert!(matches!(&f.body[1], Stmt::For { .. }));
+    }
+
+    #[test]
+    fn precedence_is_c_like() {
+        let u = parse_src("void f() { int x; x = 1 + 2 * 3 < 4 & 5; }");
+        let Item::Fun(f) = &u.items[0] else { panic!() };
+        let Stmt::Assign { value, .. } = &f.body[1] else { panic!() };
+        // & binds loosest: (1+2*3 < 4) & 5
+        let Expr::Bin { op: Bin::BitAnd, lhs, .. } = value else {
+            panic!("expected & at top, got {value:?}")
+        };
+        assert!(matches!(**lhs, Expr::Bin { op: Bin::Lt, .. }));
+    }
+
+    #[test]
+    fn parses_spawn_join_and_casts() {
+        let u = parse_src(
+            "void main() { int h; h = spawn worker(1, (float)2); join(h); }",
+        );
+        let Item::Fun(f) = &u.items[0] else { panic!() };
+        assert!(matches!(&f.body[1], Stmt::Spawn { handle, func, args, .. }
+            if handle == "h" && func == "worker" && args.len() == 2));
+        assert!(matches!(&f.body[2], Stmt::Join { .. }));
+    }
+
+    #[test]
+    fn parses_if_else_chain() {
+        let u = parse_src("void f(int x) { if (x < 0) { x = 0; } else if (x > 9) { x = 9; } }");
+        let Item::Fun(f) = &u.items[0] else { panic!() };
+        let Stmt::If { else_body, .. } = &f.body[0] else { panic!() };
+        assert!(matches!(&else_body[0], Stmt::If { .. }));
+    }
+
+    #[test]
+    fn parses_store_and_index() {
+        let u = parse_src("void f() { a[i * 2] = b[i] + 1.0; }");
+        let Item::Fun(f) = &u.items[0] else { panic!() };
+        assert!(matches!(&f.body[0], Stmt::Store { base, .. } if base == "a"));
+    }
+
+    #[test]
+    fn rejects_bad_syntax() {
+        let toks = lex("void f() { int ; }").unwrap();
+        assert!(parse(&toks).is_err());
+    }
+
+    #[test]
+    fn parenthesized_casts_vs_grouping() {
+        let u = parse_src("void f() { float x; x = (float)(1 + 2); }");
+        let Item::Fun(f) = &u.items[0] else { panic!() };
+        let Stmt::Assign { value, .. } = &f.body[1] else { panic!() };
+        assert!(matches!(value, Expr::Un { op: Un::CastFloat, .. }));
+    }
+}

@@ -1,0 +1,90 @@
+//! Hybrid backend selection.
+//!
+//! SkePU's hybrid execution support (Öhberg et al. 2019) dispatches each
+//! skeleton call to the backend the cost model predicts fastest — that is
+//! what lets one modernized source exploit whichever resource a platform
+//! is rich in. This module exposes the same decision for both the model
+//! (Fig. 8) and real execution plans.
+
+use crate::machine::Machine;
+use crate::model::KernelProfile;
+use crate::plan::ExecPlan;
+
+/// The backend the dispatcher would choose on `machine` for `profile`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Chosen {
+    Cpu,
+    Gpu,
+}
+
+/// Picks the backend with the lower predicted time.
+pub fn choose_backend(machine: &Machine, profile: &KernelProfile) -> Chosen {
+    let cpu = profile.parallel_flops / (machine.cpu_parallel_gflops() * 1e9);
+    let gpu = machine
+        .gpu
+        .map(|g| {
+            profile.kernel_launches * g.launch_us * 1e-6
+                + profile.transfer_bytes / (g.transfer_gbps * 1e9)
+                + profile.parallel_flops / (g.gflops * g.portable_utilization * 1e9)
+        })
+        .unwrap_or(f64::INFINITY);
+    if cpu <= gpu {
+        Chosen::Cpu
+    } else {
+        Chosen::Gpu
+    }
+}
+
+/// Translates the decision into a runnable [`ExecPlan`] on the host:
+/// CPU → real threads (the machine's core count), GPU → the simulated
+/// device backend.
+pub fn plan_for(machine: &Machine, profile: &KernelProfile) -> ExecPlan {
+    match choose_backend(machine, profile) {
+        Chosen::Cpu => ExecPlan::CpuThreads(machine.cpu.cores),
+        Chosen::Gpu => ExecPlan::SimGpu,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dispatch_follows_the_platform() {
+        let p = KernelProfile::streamcluster_reference();
+        assert_eq!(
+            choose_backend(&Machine::cpu_centric(), &p),
+            Chosen::Cpu,
+            "a 12-core CPU beats a display GPU"
+        );
+        assert_eq!(
+            choose_backend(&Machine::gpu_centric(), &p),
+            Chosen::Gpu,
+            "a Titan beats 4 cores"
+        );
+    }
+
+    #[test]
+    fn no_gpu_means_cpu() {
+        let mut m = Machine::gpu_centric();
+        m.gpu = None;
+        assert_eq!(choose_backend(&m, &KernelProfile::streamcluster_reference()), Chosen::Cpu);
+        assert_eq!(
+            plan_for(&m, &KernelProfile::streamcluster_reference()),
+            ExecPlan::CpuThreads(4)
+        );
+    }
+
+    #[test]
+    fn tiny_kernels_stay_on_cpu() {
+        // Launch + transfer overheads dominate small work: the dispatcher
+        // must keep it on the CPU even next to a big GPU.
+        let p = KernelProfile {
+            parallel_flops: 1e6,
+            serial_flops: 0.0,
+            transfer_bytes: 1e6,
+            kernel_launches: 10.0,
+        };
+        assert_eq!(choose_backend(&Machine::gpu_centric(), &p), Chosen::Cpu);
+    }
+}

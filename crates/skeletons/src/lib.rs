@@ -1,0 +1,33 @@
+//! `skeletons` — a SkePU-2-style parallel pattern library (Ernstsson,
+//! Li & Kessler 2018), the modernization target of the analysis.
+//!
+//! The paper's §6.3 portability study replaces streamcluster's ad-hoc
+//! Pthreads code with SkePU `Map`/`MapReduce` calls and shows the same
+//! source running competitively on a CPU-centric and a GPU-centric
+//! machine. This crate provides:
+//!
+//! * **skeletons** ([`map`], [`reduce`], [`map_reduce`]) with pluggable
+//!   execution plans — [`ExecPlan::Sequential`], a real multi-threaded
+//!   [`ExecPlan::CpuThreads`] backend (crossbeam scoped threads over
+//!   chunked slices), and a deterministic [`ExecPlan::SimGpu`] backend
+//!   that *executes* on the host but *accounts* like a GPU;
+//! * a **machine model** ([`machine`]) describing the paper's two
+//!   evaluation platforms (12-core Xeon + NVS 310 vs. 4-core i7 + GTX
+//!   Titan), and a **cost model** ([`model`]) that predicts kernel
+//!   runtimes from a work profile — the substitute for hardware we do not
+//!   have, calibrated so the paper's Fig. 8 speedup *shape* reproduces;
+//! * a **hybrid dispatcher** ([`hybrid`]) that picks the backend with the
+//!   lowest predicted cost, which is how the modernized code "seamlessly
+//!   capitalizes on the strengths of different hardware".
+
+pub mod hybrid;
+pub mod machine;
+pub mod model;
+pub mod plan;
+pub mod skeleton;
+
+pub use hybrid::choose_backend;
+pub use machine::{CpuSpec, GpuSpec, Machine};
+pub use model::{estimate, KernelProfile};
+pub use plan::ExecPlan;
+pub use skeleton::{map, map_reduce, reduce};

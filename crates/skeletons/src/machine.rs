@@ -1,0 +1,114 @@
+//! Machine descriptions: the paper's two evaluation platforms.
+//!
+//! Absolute hardware numbers are stand-ins (we have neither machine nor a
+//! GPU); what matters for reproducing Fig. 8 is the *relative* capability
+//! of each platform's CPU and GPU, which these specs encode: a 12-core
+//! server CPU next to a display-class GPU, versus a 4-core desktop CPU
+//! next to a flagship compute GPU.
+
+/// A multicore CPU.
+#[derive(Clone, Copy, Debug)]
+pub struct CpuSpec {
+    pub name: &'static str,
+    pub cores: usize,
+    /// Per-core throughput in GFLOP/s (clock × typical IPC × SIMD width
+    /// for this workload class).
+    pub core_gflops: f64,
+    /// Fraction of linear scaling retained at full core count (barrier
+    /// and memory contention).
+    pub parallel_efficiency: f64,
+}
+
+/// A discrete GPU.
+#[derive(Clone, Copy, Debug)]
+pub struct GpuSpec {
+    pub name: &'static str,
+    /// Aggregate throughput in GFLOP/s at perfect utilization.
+    pub gflops: f64,
+    /// Host↔device bandwidth in GB/s (PCIe).
+    pub transfer_gbps: f64,
+    /// Per-kernel launch overhead in microseconds.
+    pub launch_us: f64,
+    /// Utilization a well-tuned portable kernel achieves on this device.
+    pub portable_utilization: f64,
+}
+
+/// A platform: one CPU and at most one GPU.
+#[derive(Clone, Copy, Debug)]
+pub struct Machine {
+    pub name: &'static str,
+    pub cpu: CpuSpec,
+    pub gpu: Option<GpuSpec>,
+}
+
+impl Machine {
+    /// The paper's CPU-centric platform: 12-core Xeon E5-2680 v3 with a
+    /// low-end NVIDIA NVS 310.
+    pub fn cpu_centric() -> Machine {
+        Machine {
+            name: "CPU-centric (12-core Xeon E5-2680v3 + NVS 310)",
+            cpu: CpuSpec {
+                name: "Xeon E5-2680 v3",
+                cores: 12,
+                core_gflops: 9.9,
+                parallel_efficiency: 0.86,
+            },
+            gpu: Some(GpuSpec {
+                name: "NVS 310",
+                gflops: 400.0,
+                transfer_gbps: 4.8,
+                launch_us: 8.0,
+                portable_utilization: 0.55,
+            }),
+        }
+    }
+
+    /// The paper's GPU-centric platform: 4-core i7-4770 with a high-end
+    /// NVIDIA GeForce GTX Titan.
+    pub fn gpu_centric() -> Machine {
+        Machine {
+            name: "GPU-centric (4-core i7-4770 + GTX Titan)",
+            cpu: CpuSpec {
+                name: "Core i7-4770",
+                cores: 4,
+                core_gflops: 13.4,
+                parallel_efficiency: 0.79,
+            },
+            gpu: Some(GpuSpec {
+                name: "GTX Titan",
+                gflops: 4960.0,
+                transfer_gbps: 11.4,
+                launch_us: 8.0,
+                portable_utilization: 0.43,
+            }),
+        }
+    }
+
+    /// Effective parallel CPU throughput (GFLOP/s) at full core count.
+    pub fn cpu_parallel_gflops(&self) -> f64 {
+        self.cpu.core_gflops * self.cpu.cores as f64 * self.cpu.parallel_efficiency
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn platform_contrast_matches_the_paper() {
+        let c = Machine::cpu_centric();
+        let g = Machine::gpu_centric();
+        assert!(c.cpu.cores > g.cpu.cores, "CPU-centric has more cores");
+        let (cg, gg) = (c.gpu.unwrap(), g.gpu.unwrap());
+        assert!(
+            gg.gflops * gg.portable_utilization > 8.0 * cg.gflops * cg.portable_utilization,
+            "GPU-centric GPU sustains roughly an order more throughput"
+        );
+        // The GPU-centric platform's device out-muscles its 4 cores by a
+        // wide margin; the CPU-centric platform's 12 cores are within
+        // reach of its display GPU's compute (transfers settle the race —
+        // see the hybrid dispatcher tests).
+        assert!(g.cpu_parallel_gflops() * 10.0 < gg.gflops * gg.portable_utilization);
+        assert!(c.cpu_parallel_gflops() * 4.0 > cg.gflops * cg.portable_utilization);
+    }
+}

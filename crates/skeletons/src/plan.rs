@@ -1,0 +1,61 @@
+//! Execution plans: where a skeleton call runs.
+
+/// The backend a skeleton executes on. SkePU calls this the execution
+/// plan; the modernized code leaves the choice to the hybrid dispatcher.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ExecPlan {
+    /// Single-threaded reference execution.
+    Sequential,
+    /// Real data parallelism over `n` OS threads (chunked, crossbeam
+    /// scoped threads).
+    CpuThreads(usize),
+    /// The simulated GPU: executes on the host (deterministically equal
+    /// results), accounted by the cost model as a device offload.
+    SimGpu,
+}
+
+impl ExecPlan {
+    /// A CPU plan using all available parallelism.
+    pub fn cpu_auto() -> ExecPlan {
+        ExecPlan::CpuThreads(
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+        )
+    }
+
+    /// Worker count for bookkeeping (1 for sequential and the device).
+    pub fn width(&self) -> usize {
+        match self {
+            ExecPlan::Sequential | ExecPlan::SimGpu => 1,
+            ExecPlan::CpuThreads(n) => (*n).max(1),
+        }
+    }
+}
+
+impl std::fmt::Display for ExecPlan {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExecPlan::Sequential => write!(f, "sequential"),
+            ExecPlan::CpuThreads(n) => write!(f, "cpu[{n}]"),
+            ExecPlan::SimGpu => write!(f, "sim-gpu"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn widths() {
+        assert_eq!(ExecPlan::Sequential.width(), 1);
+        assert_eq!(ExecPlan::CpuThreads(8).width(), 8);
+        assert_eq!(ExecPlan::CpuThreads(0).width(), 1);
+        assert!(ExecPlan::cpu_auto().width() >= 1);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(ExecPlan::CpuThreads(4).to_string(), "cpu[4]");
+        assert_eq!(ExecPlan::SimGpu.to_string(), "sim-gpu");
+    }
+}

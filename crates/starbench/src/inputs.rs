@@ -1,0 +1,76 @@
+//! Input parameters (paper Table 2): the analysis-scale and
+//! reference-scale inputs of every benchmark.
+//!
+//! Analysis inputs exercise each benchmark's main computation while
+//! keeping DDGs small — the paper picks them roughly three orders of
+//! magnitude below the reference inputs.
+
+/// One Table 2 row.
+#[derive(Clone, Copy, Debug)]
+pub struct InputParams {
+    pub benchmark: &'static str,
+    pub analysis: &'static str,
+    pub reference: &'static str,
+}
+
+/// The rows of paper Table 2.
+pub const TABLE2: &[InputParams] = &[
+    InputParams {
+        benchmark: "c-ray",
+        analysis: "7 objects, 8x4 pixels",
+        reference: "192 objects, 1920x1080 pixels",
+    },
+    InputParams {
+        benchmark: "ray-rot",
+        analysis: "7 objects, 8x4 pixels",
+        reference: "192 objects, 1920x1080 pixels",
+    },
+    InputParams {
+        benchmark: "md5",
+        analysis: "4 buffers, 2x2 B/buffer",
+        reference: "128 buffers, 1024x4096 B/buffer",
+    },
+    InputParams {
+        benchmark: "rgbyuv",
+        analysis: "4x4 pixels",
+        reference: "8141x2943 pixels",
+    },
+    InputParams {
+        benchmark: "rotate",
+        analysis: "4x4 pixels",
+        reference: "8141x2943 pixels",
+    },
+    InputParams {
+        benchmark: "rot-cc",
+        analysis: "4x4 pixels",
+        reference: "8141x2943 pixels",
+    },
+    InputParams {
+        benchmark: "kmeans",
+        analysis: "8 pt., 2 dim., 2 clusters",
+        reference: "17695 pt., 18 dim., 2000 clusters",
+    },
+    InputParams {
+        benchmark: "streamcluster",
+        analysis: "4 pt., 2 dim., 2 clusters",
+        reference: "200000 pt., 128 dim., 20 clusters",
+    },
+];
+
+/// Looks up the Table 2 row of a benchmark.
+pub fn params_for(benchmark: &str) -> Option<&'static InputParams> {
+    TABLE2.iter().find(|p| p.benchmark == benchmark)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_covers_the_whole_suite() {
+        for b in crate::suite::all_benchmarks() {
+            assert!(params_for(b.name).is_some(), "{} missing from Table 2", b.name);
+        }
+        assert_eq!(TABLE2.len(), 8);
+    }
+}

@@ -1,0 +1,27 @@
+//! `starbench` — the benchmark suite of the evaluation (paper §6),
+//! rewritten in `minc`.
+//!
+//! Starbench (Andersch et al., 2012) is a parallel C/C++ suite whose
+//! benchmarks exist in a sequential and an optimized Pthreads version;
+//! the paper analyses all of them except the two pipeline benchmarks
+//! (`bodytrack`, `h264dec`), which are out of the patterns' scope. This
+//! crate provides the same eight benchmarks — `c-ray`, `ray-rot`, `md5`,
+//! `rgbyuv`, `rotate`, `rot-cc`, `kmeans`, `streamcluster` — as `minc`
+//! translation units faithful to the originals' loop, threading, and
+//! dataflow structure, together with:
+//!
+//! * the analysis and reference input parameters of paper Table 2
+//!   ([`inputs`]);
+//! * the per-version expected-pattern ground truth of paper Table 3
+//!   ([`ground_truth`]), evaluated against a finder run;
+//! * correctness oracles (each benchmark is cross-checked against a plain
+//!   Rust implementation of the same computation).
+
+pub mod ground_truth;
+pub mod inputs;
+pub mod native;
+pub mod suite;
+
+pub use ground_truth::{evaluate, Evaluation, Expectation};
+pub use inputs::InputParams;
+pub use suite::{all_benchmarks, benchmark, Benchmark, Version};

@@ -1,0 +1,144 @@
+//! Native (host-Rust) streamcluster kernels for the portability study
+//! (paper §6.3).
+//!
+//! Three implementations of the hiz computation — the pattern the paper's
+//! analysis finds and modernizes:
+//!
+//! * [`hiz_sequential`] — the baseline;
+//! * [`hiz_pthreads`] — the legacy structure: manual thread spawning,
+//!   explicit chunking, a partial-sum table, and a final merge loop
+//!   (exactly the code of paper Fig. 2a, in Rust clothes);
+//! * [`hiz_modernized`] — the post-analysis form: one `map_reduce`
+//!   skeleton call (paper Fig. 2b), freely retargetable through
+//!   [`skeletons::ExecPlan`].
+//!
+//! These run for real on the host (the benches measure genuine CPU
+//! scaling); Fig. 8's cross-architecture bars come from the calibrated
+//! model in `skeletons::model`.
+
+use skeletons::ExecPlan;
+
+/// A point set: `n` points of `dim` coordinates, row-major.
+#[derive(Clone, Debug)]
+pub struct Points {
+    pub dim: usize,
+    pub coords: Vec<f64>,
+}
+
+impl Points {
+    /// Deterministic synthetic point set (stand-in for the paper's
+    /// reference input stream).
+    pub fn synthetic(n: usize, dim: usize, seed: u64) -> Points {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        Points { dim, coords: (0..n * dim).map(|_| rng.gen::<f64>() * 10.0).collect() }
+    }
+
+    pub fn len(&self) -> usize {
+        self.coords.len() / self.dim
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.coords.is_empty()
+    }
+
+    fn point(&self, i: usize) -> &[f64] {
+        &self.coords[i * self.dim..(i + 1) * self.dim]
+    }
+}
+
+/// Euclidean distance between point `i` and point 0 (the computation the
+/// paper's map components perform).
+fn dist_to_first(pts: &Points, i: usize) -> f64 {
+    let a = pts.point(i);
+    let b = pts.point(0);
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum::<f64>().sqrt()
+}
+
+/// Sequential baseline: a single fused loop.
+pub fn hiz_sequential(pts: &Points, weights: &[f64]) -> f64 {
+    (0..pts.len()).map(|i| dist_to_first(pts, i) * weights[i]).sum()
+}
+
+/// The legacy Pthreads structure: explicit threads, chunking, a partial
+/// table sized by thread count, and a final merge — the shape the
+/// analysis recognizes as a tiled map-reduction.
+pub fn hiz_pthreads(pts: &Points, weights: &[f64], nproc: usize) -> f64 {
+    let n = pts.len();
+    let nproc = nproc.clamp(1, n.max(1));
+    let mut hizs = vec![0.0f64; nproc];
+    let chunk = n.div_ceil(nproc);
+    std::thread::scope(|s| {
+        for (pid, slot) in hizs.iter_mut().enumerate() {
+            s.spawn(move || {
+                let k1 = pid * chunk;
+                let k2 = (k1 + chunk).min(n);
+                let mut myhiz = 0.0;
+                for (kk, w) in weights.iter().enumerate().take(k2).skip(k1) {
+                    myhiz += dist_to_first(pts, kk) * w;
+                }
+                *slot = myhiz;
+            });
+        }
+    });
+    let mut hiz = 0.0;
+    for partial in hizs {
+        hiz += partial;
+    }
+    hiz
+}
+
+/// The modernized form: the found tiled map-reduction re-expressed as one
+/// skeleton call (paper Fig. 2b).
+pub fn hiz_modernized(pts: &Points, weights: &[f64], plan: ExecPlan) -> f64 {
+    let indices: Vec<usize> = (0..pts.len()).collect();
+    skeletons::map_reduce(
+        plan,
+        &indices,
+        |&i| dist_to_first(pts, i) * weights[i],
+        0.0,
+        |a, b| a + b,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup(n: usize) -> (Points, Vec<f64>) {
+        let pts = Points::synthetic(n, 8, 99);
+        let weights: Vec<f64> = (0..n).map(|i| 1.0 + (i % 5) as f64 * 0.1).collect();
+        (pts, weights)
+    }
+
+    #[test]
+    fn all_three_implementations_agree() {
+        let (pts, w) = setup(1000);
+        let seq = hiz_sequential(&pts, &w);
+        for nproc in [1, 2, 7, 12] {
+            let p = hiz_pthreads(&pts, &w, nproc);
+            assert!((p - seq).abs() < 1e-6, "pthreads[{nproc}]: {p} vs {seq}");
+        }
+        for plan in [ExecPlan::Sequential, ExecPlan::CpuThreads(4), ExecPlan::SimGpu] {
+            let m = hiz_modernized(&pts, &w, plan);
+            assert!((m - seq).abs() < 1e-6, "{plan}: {m} vs {seq}");
+        }
+    }
+
+    #[test]
+    fn handles_degenerate_sizes() {
+        let (pts, w) = setup(1);
+        let seq = hiz_sequential(&pts, &w);
+        assert_eq!(seq, 0.0, "distance of the first point to itself");
+        assert_eq!(hiz_pthreads(&pts, &w, 8), seq);
+        assert_eq!(hiz_modernized(&pts, &w, ExecPlan::CpuThreads(8)), seq);
+    }
+
+    #[test]
+    fn synthetic_points_are_deterministic() {
+        let a = Points::synthetic(10, 3, 5);
+        let b = Points::synthetic(10, 3, 5);
+        assert_eq!(a.coords, b.coords);
+        assert_eq!(a.len(), 10);
+    }
+}

@@ -1,0 +1,239 @@
+//! `c-ray` — a small ray tracer over a sphere scene.
+//!
+//! Per-pixel: build a normalized ray, intersect against every sphere,
+//! shade the nearest hit. Pixels are independent, so the pixel loop is the
+//! expected map (Table 3: m). The nearest-hit logic uses the classic
+//! conditional-transfer idiom (`if (t < best)`), which the paper lists as
+//! unmatched by design (§8) — the inner object loop therefore reports
+//! nothing, and the scene includes an enclosing background sphere so every
+//! pixel hits at least one object (keeping the per-pixel components
+//! operation-isomorphic).
+
+use super::Benchmark;
+use trace::{RunConfig, RunResult};
+
+pub(crate) const KERNEL: &str = r#"
+float sph[40];
+float img[32];
+float outm[32];
+float post[2];
+int cfg[4];
+
+void trace_range(int from, int to) {
+    int w = cfg[0];
+    int h = cfg[1];
+    int nobj = cfg[2];
+    int i;
+    for (i = from; i < to; i++) {
+        int px = i % w;
+        int py = i / w;
+        float dx = ((float)px + 0.5) / (float)w - 0.5;
+        float dy = ((float)py + 0.5) / (float)h - 0.5;
+        float dz = 1.0;
+        float len = sqrt(dx * dx + dy * dy + dz * dz);
+        float ux = dx / len;
+        float uy = dy / len;
+        float uz = dz / len;
+        float best = 1000000.0;
+        float shade = 0.0;
+        int o;
+        for (o = 0; o < nobj; o++) {
+            float cx = sph[o * 5];
+            float cy = sph[o * 5 + 1];
+            float cz = sph[o * 5 + 2];
+            float rad = sph[o * 5 + 3];
+            float col = sph[o * 5 + 4];
+            float bq = ux * cx + uy * cy + uz * cz;
+            float cq = cx * cx + cy * cy + cz * cz - rad * rad;
+            float disc = bq * bq - cq;
+            if (disc > 0.0) {
+                float tq = bq - sqrt(disc);
+                if (tq > 0.001) {
+                    if (tq < best) {
+                        best = tq;
+                        shade = col * (1.0 - tq * 0.02);
+                    }
+                }
+            }
+        }
+        img[i] = shade;
+    }
+}
+"#;
+
+const SEQ_MAIN: &str = r#"
+void expose_range(int from, int to) {
+    int i;
+    for (i = from; i < to; i++) {
+        outm[i] = img[i] * post[0] + img[0] * post[1];
+    }
+}
+
+void main() {
+    trace_range(0, cfg[0] * cfg[1]);
+    expose_range(0, cfg[0] * cfg[1]);
+    output(img);
+    output(outm);
+}
+"#;
+
+const PTHR_MAIN: &str = r#"
+int handles[64];
+barrier bar;
+
+void expose_range(int from, int to) {
+    int i;
+    for (i = from; i < to; i++) {
+        outm[i] = img[i] * post[0] + img[0] * post[1];
+    }
+}
+
+void worker(int pid, int nproc) {
+    int npix = cfg[0] * cfg[1];
+    int chunk = npix / nproc;
+    int from = pid * chunk;
+    trace_range(from, from + chunk);
+    barrier_wait(bar);
+    expose_range(from, from + chunk);
+}
+
+void main() {
+    int nproc = cfg[3];
+    int t;
+    for (t = 0; t < nproc; t++) {
+        int h;
+        h = spawn worker(t, nproc);
+        handles[t] = h;
+    }
+    for (t = 0; t < nproc; t++) {
+        join(handles[t]);
+    }
+    output(img);
+    output(outm);
+}
+"#;
+
+/// Builds a scene of `nobj` spheres (the last is an enclosing background
+/// sphere) in front of a `w`×`h` viewport.
+pub(crate) fn scene(nobj: usize) -> Vec<f64> {
+    let mut sph = Vec::with_capacity(nobj * 5);
+    for k in 0..nobj - 1 {
+        let fk = k as f64;
+        // Spread spheres across depth and the viewport.
+        sph.extend_from_slice(&[
+            (fk * 0.37).sin() * 0.8,     // cx
+            (fk * 0.53).cos() * 0.5,     // cy
+            4.0 + fk * 1.3,              // cz
+            0.6 + 0.1 * (fk % 3.0),      // radius
+            0.3 + 0.08 * (fk % 7.0),     // color
+        ]);
+    }
+    // Background: a huge sphere behind everything, hit by every ray.
+    sph.extend_from_slice(&[0.0, 0.0, 60.0, 30.0, 0.1]);
+    sph
+}
+
+pub(crate) fn input(w: usize, h: usize, nobj: usize, nproc: i64) -> RunConfig {
+    RunConfig::default()
+        .with_f64("sph", &scene(nobj))
+        .with_len("img", w * h)
+        .with_len("outm", w * h)
+        .with_f64("post", &[1.0, 0.0])
+        .with_i64("cfg", &[w as i64, h as i64, nobj as i64, nproc])
+        .with_barrier_participants(nproc as usize)
+}
+
+/// Rust oracle of the same tracer.
+pub(crate) fn oracle(w: i64, h: i64, sph: &[f64]) -> Vec<f64> {
+    let nobj = sph.len() / 5;
+    let mut img = vec![0.0; (w * h) as usize];
+    for i in 0..w * h {
+        let (px, py) = (i % w, i / w);
+        let dx = (px as f64 + 0.5) / w as f64 - 0.5;
+        let dy = (py as f64 + 0.5) / h as f64 - 0.5;
+        let dz = 1.0;
+        let len = (dx * dx + dy * dy + dz * dz).sqrt();
+        let (ux, uy, uz) = (dx / len, dy / len, dz / len);
+        let mut best = 1_000_000.0;
+        let mut shade = 0.0;
+        for o in 0..nobj {
+            let s = &sph[o * 5..o * 5 + 5];
+            let bq = ux * s[0] + uy * s[1] + uz * s[2];
+            let cq = s[0] * s[0] + s[1] * s[1] + s[2] * s[2] - s[3] * s[3];
+            let disc = bq * bq - cq;
+            if disc > 0.0 {
+                let tq = bq - disc.sqrt();
+                if tq > 0.001 && tq < best {
+                    best = tq;
+                    shade = s[4] * (1.0 - tq * 0.02);
+                }
+            }
+        }
+        img[i as usize] = shade;
+    }
+    img
+}
+
+fn verify(r: &RunResult) -> Result<(), String> {
+    let cfg = r.i64s("cfg");
+    let expected = oracle(cfg[0], cfg[1], &r.f64s("sph"));
+    let img = r.f64s("img");
+    if img.iter().zip(&expected).any(|(a, b)| (a - b).abs() > 1e-9) {
+        return Err("image mismatch".into());
+    }
+    if img.contains(&0.0) {
+        return Err("a pixel hit nothing; the background sphere must cover the view".into());
+    }
+    Ok(())
+}
+
+pub static BENCH: Benchmark = Benchmark {
+    name: "c-ray",
+    seq_files: &[("c-ray.mc", KERNEL), ("main_seq.mc", SEQ_MAIN)],
+    pthr_files: &[("c-ray.mc", KERNEL), ("main_pthr.mc", PTHR_MAIN)],
+    // Paper Table 2: 7 objects, 8×4 pixels.
+    analysis_input: || input(8, 4, 7, 2),
+    scaled_input: |f| input(8 * f, 4, 7, 2),
+    verify,
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use discovery::{find_patterns, FinderConfig, PatternKind};
+    use crate::suite::Version;
+
+    #[test]
+    fn versions_agree() {
+        let seq = BENCH.run_analysis(Version::Seq);
+        let pthr = BENCH.run_analysis(Version::Pthreads);
+        assert_eq!(seq.f64s("img"), pthr.f64s("img"));
+    }
+
+    #[test]
+    fn finder_reports_the_pixel_map() {
+        for v in Version::BOTH {
+            let r = BENCH.run_analysis(v);
+            let res = find_patterns(&r.ddg.unwrap(), &FinderConfig::default());
+            let eval = crate::ground_truth::evaluate("c-ray", v, &res);
+            assert!(eval.perfect(), "{}: {:?}", v.name(), eval.hits);
+            // The exposure pass is an additional true map.
+            assert!(
+                eval.extras.iter().any(|f| f.pattern.kind == PatternKind::Map),
+                "{}: {:?}",
+                v.name(),
+                eval.extras
+            );
+            let maps: Vec<_> = res
+                .found
+                .iter()
+                .filter(|f| f.pattern.kind == PatternKind::Map && f.pattern.components == 32)
+                .collect();
+            assert_eq!(maps.len(), 2, "{}: pixel map + exposure map", v.name());
+            assert!(maps.iter().all(|m| m.iteration == 1));
+            // The conditional-transfer min idiom must not fake a pattern
+            // out of the object loop.
+            assert!(res.reported().all(|f| !f.pattern.kind.is_reduction()));
+        }
+    }
+}

@@ -1,0 +1,262 @@
+//! `kmeans` — k-means clustering (one assignment + update round).
+//!
+//! The assignment loop computes each point's nearest cluster. The index is
+//! produced by an if-converted `select` chain and consumed *only* by the
+//! subscript arithmetic of the update phase, so simplification strips it —
+//! removing the candidate map's outgoing arcs and reproducing the paper's
+//! two missed kmeans maps (Table 3, footnote 1) and, with them, the missed
+//! encompassing map-reductions (footnote 2). The center-accumulation
+//! chains are the reductions the paper *does* find: linear in the
+//! sequential version, tiled (per-thread partials merged by thread 0) in
+//! the Pthreads version.
+
+use super::{gen_f64, Benchmark};
+use trace::{RunConfig, RunResult};
+
+/// Shared distance + assignment kernel. `select` if-conversion keeps the
+/// index in dataflow (so its address-only consumption is visible), while
+/// the running minimum uses a plain conditional transfer.
+const KERNEL: &str = r#"
+float pts[16];
+float ptsn[16];
+float scale[1];
+float cent[4];
+float newc[4];
+int cfg[4];
+
+void normalize_range(int from, int to) {
+    int i;
+    for (i = from; i < to; i++) {
+        ptsn[i] = pts[i] * scale[0];
+    }
+}
+
+int assign_point(int i) {
+    int dim = cfg[1];
+    int k = cfg[2];
+    float mind = 1000000.0;
+    int bestc = 0;
+    int c;
+    for (c = 0; c < k; c++) {
+        float d = 0.0;
+        int j;
+        for (j = 0; j < dim; j++) {
+            float t = ptsn[i * dim + j] - cent[c * dim + j];
+            d = d + t * t;
+        }
+        bool closer = d < mind;
+        bestc = select(closer, c, bestc);
+        if (closer) {
+            mind = d;
+        }
+    }
+    return bestc;
+}
+"#;
+
+const SEQ_MAIN: &str = r#"
+void main() {
+    int n = cfg[0];
+    int dim = cfg[1];
+    normalize_range(0, n * dim);
+    int i;
+    for (i = 0; i < n; i++) {
+        int bc = assign_point(i);
+        int j;
+        for (j = 0; j < dim; j++) {
+            newc[bc * dim + j] = newc[bc * dim + j] + ptsn[i * dim + j];
+        }
+    }
+    output(newc);
+}
+"#;
+
+const PTHR_MAIN: &str = r#"
+float partc[16];
+int handles[64];
+barrier bar;
+
+void worker(int pid, int nproc) {
+    int n = cfg[0];
+    int dim = cfg[1];
+    int k = cfg[2];
+    int chunk = n / nproc;
+    int from = pid * chunk;
+    int to = from + chunk;
+    normalize_range(from * dim, to * dim);
+    barrier_wait(bar);
+    int i;
+    for (i = from; i < to; i++) {
+        int bc = assign_point(i);
+        int j;
+        for (j = 0; j < dim; j++) {
+            partc[pid * k * dim + bc * dim + j] =
+                partc[pid * k * dim + bc * dim + j] + ptsn[i * dim + j];
+        }
+    }
+    barrier_wait(bar);
+    if (pid == 0) {
+        int cell;
+        for (cell = 0; cell < k * dim; cell++) {
+            int t;
+            for (t = 0; t < nproc; t++) {
+                newc[cell] = newc[cell] + partc[t * k * dim + cell];
+            }
+        }
+    }
+}
+
+void main() {
+    int nproc = cfg[3];
+    int t;
+    for (t = 0; t < nproc; t++) {
+        int h;
+        h = spawn worker(t, nproc);
+        handles[t] = h;
+    }
+    for (t = 0; t < nproc; t++) {
+        join(handles[t]);
+    }
+    output(newc);
+}
+"#;
+
+/// Points clustered around `k` centers so that every (thread, cluster)
+/// pair receives at least one point — the tiled reduction needs one
+/// partial chain per thread and cluster.
+pub(crate) fn points(n: usize, dim: usize, k: usize) -> Vec<f64> {
+    let noise = gen_f64(41, n * dim);
+    let mut pts = Vec::with_capacity(n * dim);
+    for i in 0..n {
+        let cluster = i % k; // alternating: every chunk covers every cluster
+        for j in 0..dim {
+            pts.push(cluster as f64 * 10.0 + noise[i * dim + j]);
+        }
+    }
+    pts
+}
+
+pub(crate) fn centers(dim: usize, k: usize) -> Vec<f64> {
+    let mut cent = Vec::with_capacity(k * dim);
+    for c in 0..k {
+        for _ in 0..dim {
+            cent.push(c as f64 * 10.0 + 0.5);
+        }
+    }
+    cent
+}
+
+fn input(n: usize, dim: usize, k: usize, nproc: i64) -> RunConfig {
+    RunConfig::default()
+        .with_f64("pts", &points(n, dim, k))
+        .with_len("ptsn", n * dim)
+        .with_f64("scale", &[1.0])
+        .with_f64("cent", &centers(dim, k))
+        .with_len("newc", k * dim)
+        .with_len("partc", (nproc as usize) * k * dim)
+        .with_i64("cfg", &[n as i64, dim as i64, k as i64, nproc])
+        .with_barrier_participants(nproc as usize)
+}
+
+/// Rust oracle: assignment plus center accumulation.
+pub(crate) fn oracle(pts: &[f64], cent: &[f64], dim: usize, k: usize) -> Vec<f64> {
+    let n = pts.len() / dim;
+    let mut newc = vec![0.0; k * dim];
+    for i in 0..n {
+        let mut mind = 1_000_000.0;
+        let mut best = 0;
+        for c in 0..k {
+            let d: f64 = (0..dim)
+                .map(|j| {
+                    let t = pts[i * dim + j] - cent[c * dim + j];
+                    t * t
+                })
+                .sum();
+            if d < mind {
+                mind = d;
+                best = c;
+            }
+        }
+        for j in 0..dim {
+            newc[best * dim + j] += pts[i * dim + j];
+        }
+    }
+    newc
+}
+
+fn verify(r: &RunResult) -> Result<(), String> {
+    let cfg = r.i64s("cfg");
+    let (dim, k) = (cfg[1] as usize, cfg[2] as usize);
+    let expected = oracle(&r.f64s("pts"), &r.f64s("cent"), dim, k);
+    let got = r.f64s("newc");
+    for (i, (a, b)) in got.iter().zip(&expected).enumerate() {
+        if (a - b).abs() > 1e-9 {
+            return Err(format!("center cell {i}: got {a}, expected {b}"));
+        }
+    }
+    Ok(())
+}
+
+pub static BENCH: Benchmark = Benchmark {
+    name: "kmeans",
+    seq_files: &[("kmeans.mc", KERNEL), ("main_seq.mc", SEQ_MAIN)],
+    pthr_files: &[("kmeans.mc", KERNEL), ("main_pthr.mc", PTHR_MAIN)],
+    // Paper Table 2: 8 points, 2 dims, 2 clusters.
+    analysis_input: || input(8, 2, 2, 2),
+    scaled_input: |f| input(8 * f, 2, 2, 2),
+    verify,
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use discovery::{find_patterns, FinderConfig, PatternKind};
+    use crate::suite::Version;
+
+    #[test]
+    fn versions_agree() {
+        let seq = BENCH.run_analysis(Version::Seq);
+        let pthr = BENCH.run_analysis(Version::Pthreads);
+        for (a, b) in seq.f64s("newc").iter().zip(pthr.f64s("newc")) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn reductions_found_maps_missed() {
+        for v in Version::BOTH {
+            let r = BENCH.run_analysis(v);
+            let res = find_patterns(&r.ddg.unwrap(), &FinderConfig::default());
+            let kinds: Vec<_> = res.found.iter().map(|f| f.pattern.kind).collect();
+            // The center accumulations are found (linear for seq, tiled for
+            // pthreads) — the paper's found `r`.
+            let expected_red = match v {
+                Version::Seq => PatternKind::LinearReduction,
+                Version::Pthreads => PatternKind::TiledReduction,
+            };
+            assert!(kinds.contains(&expected_red), "{}: {kinds:?}", v.name());
+            // The assignment map is missed: the cluster index feeds only
+            // subscript arithmetic, so after simplification the assignment
+            // components have no outputs. Any map that *is* found (the
+            // Pthreads merge loop over center cells) involves only the
+            // accumulation adds — never the distance computation.
+            for f in &res.found {
+                if f.pattern.kind.is_map() {
+                    assert!(
+                        !f.pattern.op_labels.iter().any(|l| l == "fsub"),
+                        "{}: an assignment-phase map leaked: {}",
+                        v.name(),
+                        f.pattern.describe()
+                    );
+                }
+            }
+            // With the map missed, the encompassing map-reduction is too.
+            assert!(
+                !kinds.contains(&PatternKind::LinearMapReduction)
+                    && !kinds.contains(&PatternKind::TiledMapReduction),
+                "{}: {kinds:?}",
+                v.name()
+            );
+        }
+    }
+}

@@ -1,0 +1,142 @@
+//! `md5` — digest of independent buffers.
+//!
+//! Starbench's md5 hashes many buffers; buffers are independent, so the
+//! buffer loop is the expected map (paper Table 3: m). The per-buffer
+//! digest chain is an ad-hoc mixing function with the structure of an md5
+//! round (add, xor, rotate-by-or-of-shifts), kept deliberately
+//! multi-operator so its chains never masquerade as reductions.
+
+use super::{gen_i64, Benchmark};
+use trace::{RunConfig, RunResult};
+
+const KERNEL: &str = r#"
+int buf[16];
+int digest[4];
+int cfg[3];
+
+int mix(int h, int w, int k) {
+    int a = h + w;
+    int b = a ^ k;
+    int c = ((b << 3) | (b >> 29)) & 1073741823;
+    return c;
+}
+
+void hash_range(int from, int to) {
+    int nb = cfg[1];
+    int i;
+    for (i = from; i < to; i++) {
+        int h = 1732584193;
+        int j;
+        for (j = 0; j < nb; j++) {
+            h = mix(h, buf[i * nb + j], j * 7 + 3);
+        }
+        digest[i] = h;
+    }
+}
+"#;
+
+const SEQ_MAIN: &str = r#"
+void main() {
+    hash_range(0, cfg[0]);
+    output(digest);
+}
+"#;
+
+const PTHR_MAIN: &str = r#"
+int handles[64];
+
+void worker(int pid, int nproc) {
+    int chunk = cfg[0] / nproc;
+    int from = pid * chunk;
+    hash_range(from, from + chunk);
+}
+
+void main() {
+    int nproc = cfg[2];
+    int t;
+    for (t = 0; t < nproc; t++) {
+        int h;
+        h = spawn worker(t, nproc);
+        handles[t] = h;
+    }
+    for (t = 0; t < nproc; t++) {
+        join(handles[t]);
+    }
+    output(digest);
+}
+"#;
+
+fn input(nbuf: usize, buflen: usize, nproc: i64) -> RunConfig {
+    RunConfig::default()
+        .with_i64("buf", &gen_i64(21, nbuf * buflen, 256))
+        .with_len("digest", nbuf)
+        .with_i64("cfg", &[nbuf as i64, buflen as i64, nproc])
+}
+
+/// The Rust oracle of the same mixing function.
+fn mix(h: i64, w: i64, k: i64) -> i64 {
+    let a = h.wrapping_add(w);
+    let b = a ^ k;
+    ((b.wrapping_shl(3)) | ((b as u64 >> 29) as i64)) & 1073741823
+}
+
+fn verify(r: &RunResult) -> Result<(), String> {
+    let buf = r.i64s("buf");
+    let digest = r.i64s("digest");
+    let nb = buf.len() / digest.len();
+    for (i, &d) in digest.iter().enumerate() {
+        let mut h = 1732584193i64;
+        for j in 0..nb {
+            h = mix(h, buf[i * nb + j], (j as i64) * 7 + 3);
+        }
+        if h != d {
+            return Err(format!("buffer {i}: expected {h}, got {d}"));
+        }
+    }
+    Ok(())
+}
+
+pub static BENCH: Benchmark = Benchmark {
+    name: "md5",
+    seq_files: &[("md5.mc", KERNEL), ("main_seq.mc", SEQ_MAIN)],
+    pthr_files: &[("md5.mc", KERNEL), ("main_pthr.mc", PTHR_MAIN)],
+    // Paper Table 2: 4 buffers, 2×2 B each.
+    analysis_input: || input(4, 4, 2),
+    scaled_input: |f| input(4 * f, 4, 2),
+    verify,
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use discovery::{find_patterns, FinderConfig, PatternKind};
+    use crate::suite::Version;
+
+    #[test]
+    fn versions_agree_on_digests() {
+        let seq = BENCH.run_analysis(Version::Seq);
+        let pthr = BENCH.run_analysis(Version::Pthreads);
+        assert_eq!(seq.i64s("digest"), pthr.i64s("digest"));
+    }
+
+    #[test]
+    fn finder_reports_one_map_over_buffers() {
+        for v in Version::BOTH {
+            let r = BENCH.run_analysis(v);
+            let res = find_patterns(&r.ddg.unwrap(), &FinderConfig::default());
+            let kinds: Vec<_> = res.reported().map(|f| f.pattern.kind).collect();
+            assert_eq!(kinds, vec![PatternKind::Map], "{}: {kinds:?}", v.name());
+            assert_eq!(res.reported().next().unwrap().pattern.components, 4);
+        }
+    }
+
+    #[test]
+    fn no_spurious_reductions_from_the_mixing_chain() {
+        let r = BENCH.run_analysis(Version::Seq);
+        let res = find_patterns(&r.ddg.unwrap(), &FinderConfig::default());
+        assert!(
+            res.found.iter().all(|f| !f.pattern.kind.is_reduction()),
+            "mixing chains must not look like reductions"
+        );
+    }
+}

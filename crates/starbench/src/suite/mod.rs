@@ -1,0 +1,155 @@
+//! The benchmark registry.
+
+pub mod c_ray;
+pub mod kmeans;
+pub mod md5;
+pub mod ray_rot;
+pub mod rgbyuv;
+pub mod rot_cc;
+pub mod rotate;
+pub mod streamcluster;
+
+use repro_ir::Program;
+use trace::RunConfig;
+
+/// Sequential or Pthreads flavor (every Starbench benchmark ships both).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Version {
+    Seq,
+    Pthreads,
+}
+
+impl Version {
+    pub fn name(self) -> &'static str {
+        match self {
+            Version::Seq => "seq",
+            Version::Pthreads => "pthreads",
+        }
+    }
+
+    pub const BOTH: [Version; 2] = [Version::Seq, Version::Pthreads];
+}
+
+/// A benchmark: `minc` sources for both versions plus input builders.
+pub struct Benchmark {
+    pub name: &'static str,
+    /// Translation units for the sequential version.
+    pub seq_files: &'static [(&'static str, &'static str)],
+    /// Translation units for the Pthreads version.
+    pthr_files: &'static [(&'static str, &'static str)],
+    /// Builds the analysis-scale input (paper Table 2, "analysis").
+    pub analysis_input: fn() -> RunConfig,
+    /// Builds an input scaled by a factor ≥ 1 (the Fig. 7 size series;
+    /// factor 1 equals the analysis input).
+    pub scaled_input: fn(usize) -> RunConfig,
+    /// Checks a finished run against a plain-Rust oracle.
+    pub verify: fn(&trace::RunResult) -> Result<(), String>,
+}
+
+impl Benchmark {
+    /// The translation units of a version.
+    pub fn files(&self, v: Version) -> &'static [(&'static str, &'static str)] {
+        match v {
+            Version::Seq => self.seq_files,
+            Version::Pthreads => self.pthr_files,
+        }
+    }
+
+    /// Compiles a version to IR.
+    pub fn program(&self, v: Version) -> Program {
+        minc::compile_files(&format!("{}-{}", self.name, v.name()), self.files(v))
+            .unwrap_or_else(|e| panic!("{} {} does not compile: {e}", self.name, v.name()))
+    }
+
+    /// Runs a version with the analysis input, returning the run result
+    /// (with a traced DDG).
+    pub fn run_analysis(&self, v: Version) -> trace::RunResult {
+        let p = self.program(v);
+        let cfg = (self.analysis_input)();
+        let r = trace::run(&p, &cfg)
+            .unwrap_or_else(|e| panic!("{} {} failed: {e}", self.name, v.name()));
+        (self.verify)(&r).unwrap_or_else(|e| panic!("{} {} wrong result: {e}", self.name, v.name()));
+        r
+    }
+}
+
+/// All eight analysed benchmarks, in the paper's Table 2 order.
+pub fn all_benchmarks() -> Vec<&'static Benchmark> {
+    vec![
+        &c_ray::BENCH,
+        &ray_rot::BENCH,
+        &md5::BENCH,
+        &rgbyuv::BENCH,
+        &rotate::BENCH,
+        &rot_cc::BENCH,
+        &kmeans::BENCH,
+        &streamcluster::BENCH,
+    ]
+}
+
+/// Looks a benchmark up by name.
+pub fn benchmark(name: &str) -> Option<&'static Benchmark> {
+    all_benchmarks().into_iter().find(|b| b.name == name)
+}
+
+/// Shared helper: deterministic pseudo-random f64s in [0, 1).
+pub(crate) fn gen_f64(seed: u64, n: usize) -> Vec<f64> {
+    use rand::{Rng, SeedableRng};
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    (0..n).map(|_| rng.gen::<f64>()).collect()
+}
+
+/// Shared helper: deterministic pseudo-random i64s in [0, bound).
+pub(crate) fn gen_i64(seed: u64, n: usize, bound: i64) -> Vec<i64> {
+    use rand::{Rng, SeedableRng};
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    (0..n).map(|_| rng.gen_range(0..bound)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_contains_all_eight() {
+        let names: Vec<&str> = all_benchmarks().iter().map(|b| b.name).collect();
+        assert_eq!(
+            names,
+            vec!["c-ray", "ray-rot", "md5", "rgbyuv", "rotate", "rot-cc", "kmeans", "streamcluster"]
+        );
+        assert!(benchmark("md5").is_some());
+        assert!(benchmark("bodytrack").is_none(), "pipelines are out of scope");
+    }
+
+    #[test]
+    fn every_version_compiles_and_validates() {
+        for b in all_benchmarks() {
+            for v in Version::BOTH {
+                let p = b.program(v);
+                assert!(
+                    repro_ir::validate(&p).is_ok(),
+                    "{} {} fails validation",
+                    b.name,
+                    v.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn every_version_runs_correctly_on_analysis_input() {
+        for b in all_benchmarks() {
+            for v in Version::BOTH {
+                let r = b.run_analysis(v);
+                assert!(r.ddg.is_some(), "{} {}", b.name, v.name());
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_generators() {
+        assert_eq!(gen_f64(1, 4), gen_f64(1, 4));
+        assert_ne!(gen_f64(1, 4), gen_f64(2, 4));
+        assert!(gen_i64(3, 10, 100).iter().all(|&v| (0..100).contains(&v)));
+    }
+}

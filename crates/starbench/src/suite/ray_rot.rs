@@ -1,0 +1,266 @@
+//! `ray-rot` — ray tracing followed by rotation onto a larger canvas.
+//!
+//! The two phases are the paper's two expected patterns: the ray loop (a
+//! map) and the rotation loop (a conditional map). Their fusion is the
+//! suite's *missed* fused map: the rotation loop ranges over the rotated
+//! image's (larger) dimensions, so the fused components have mismatching
+//! sizes and the fused-map model rejects them (Table 3, footnote 3).
+//!
+//! The Pthreads version folds a per-thread image checksum into the ray
+//! worker loop — an ad-hoc accumulation idiom of legacy parallel code —
+//! which chains the loop's iterations: the ray map only surfaces in
+//! iteration 2, after the checksum reduction is subtracted (the paper's
+//! "maps in ray-rot … that result from subtracting first-iteration
+//! reductions to loop DDGs").
+
+use super::Benchmark;
+use trace::{RunConfig, RunResult};
+
+const KERNEL: &str = r#"
+float sph[40];
+float img[32];
+float rimg[64];
+float trig[2];
+int cfg[7];
+
+float trace_pixel(int i) {
+    int w = cfg[0];
+    int h = cfg[1];
+    int nobj = cfg[2];
+    int px = i % w;
+    int py = i / w;
+    float dx = ((float)px + 0.5) / (float)w - 0.5;
+    float dy = ((float)py + 0.5) / (float)h - 0.5;
+    float dz = 1.0;
+    float len = sqrt(dx * dx + dy * dy + dz * dz);
+    float ux = dx / len;
+    float uy = dy / len;
+    float uz = dz / len;
+    float best = 1000000.0;
+    float shade = 0.0;
+    int o;
+    for (o = 0; o < nobj; o++) {
+        float cx = sph[o * 5];
+        float cy = sph[o * 5 + 1];
+        float cz = sph[o * 5 + 2];
+        float rad = sph[o * 5 + 3];
+        float col = sph[o * 5 + 4];
+        float bq = ux * cx + uy * cy + uz * cz;
+        float cq = cx * cx + cy * cy + cz * cz - rad * rad;
+        float disc = bq * bq - cq;
+        if (disc > 0.0) {
+            float tq = bq - sqrt(disc);
+            if (tq > 0.001) {
+                if (tq < best) {
+                    best = tq;
+                    shade = col * (1.0 - tq * 0.02);
+                }
+            }
+        }
+    }
+    return shade;
+}
+
+void rotate_range(int from, int to) {
+    int w = cfg[0];
+    int h = cfg[1];
+    int w2 = cfg[3];
+    int h2 = cfg[4];
+    int j;
+    for (j = from; j < to; j++) {
+        int cx = j % w2;
+        int cy = j / w2;
+        float ox = (float)cx - (float)w2 / 2.0;
+        float oy = (float)cy - (float)h2 / 2.0;
+        float sx = ox * trig[0] + oy * trig[1] + (float)w / 2.0;
+        float sy = 0.0 - ox * trig[1] + oy * trig[0] + (float)h / 2.0;
+        if (sx >= 0.0) {
+            if (sx < (float)w) {
+                if (sy >= 0.0) {
+                    if (sy < (float)h) {
+                        rimg[j] = img[(int)sy * w + (int)sx] * 0.95;
+                    }
+                }
+            }
+        }
+    }
+}
+"#;
+
+const SEQ_MAIN: &str = r#"
+void main() {
+    int npix = cfg[0] * cfg[1];
+    int i;
+    for (i = 0; i < npix; i++) {
+        img[i] = trace_pixel(i);
+    }
+    rotate_range(0, cfg[3] * cfg[4]);
+    output(img);
+    output(rimg);
+}
+"#;
+
+const PTHR_MAIN: &str = r#"
+float chks[2];
+float chkstat[1];
+int handles[64];
+barrier bar;
+
+void worker(int pid, int nproc) {
+    int npix = cfg[0] * cfg[1];
+    int chunk = npix / nproc;
+    int from = pid * chunk;
+    int to = from + chunk;
+    float chk = 0.0;
+    int i;
+    for (i = from; i < to; i++) {
+        float v = trace_pixel(i);
+        img[i] = v;
+        chk = chk + v;
+    }
+    chks[pid] = chk;
+    barrier_wait(bar);
+    int cpix = cfg[3] * cfg[4];
+    int rchunk = cpix / nproc;
+    int rfrom = pid * rchunk;
+    rotate_range(rfrom, rfrom + rchunk);
+    barrier_wait(bar);
+    if (pid == 0) {
+        float total = 0.0;
+        int t;
+        for (t = 0; t < nproc; t++) {
+            total = total + chks[t];
+        }
+        chkstat[0] = total;
+    }
+}
+
+void main() {
+    int nproc = cfg[5];
+    int t;
+    for (t = 0; t < nproc; t++) {
+        int h;
+        h = spawn worker(t, nproc);
+        handles[t] = h;
+    }
+    for (t = 0; t < nproc; t++) {
+        join(handles[t]);
+    }
+    output(img);
+    output(rimg);
+    output(chkstat);
+}
+"#;
+
+/// Rotation angle shared with the oracle.
+const ANGLE: f64 = 0.4;
+
+fn canvas(w: usize, h: usize) -> (usize, usize) {
+    let (c, s) = (ANGLE.cos(), ANGLE.sin());
+    let w2 = (w as f64 * c + h as f64 * s).ceil() as usize + 1;
+    let h2 = (w as f64 * s + h as f64 * c).ceil() as usize + 1;
+    (w2, h2)
+}
+
+fn input(w: usize, h: usize, nobj: usize, nproc: i64) -> RunConfig {
+    let (w2, h2) = canvas(w, h);
+    // Keep canvas splittable across workers.
+    let cpix = (w2 * h2).next_multiple_of(nproc as usize);
+    RunConfig::default()
+        .with_f64("sph", &super::c_ray::scene(nobj))
+        .with_len("img", w * h)
+        .with_len("rimg", cpix)
+        .with_f64("trig", &[ANGLE.cos(), ANGLE.sin()])
+        .with_len("chks", nproc as usize)
+        .with_i64(
+            "cfg",
+            &[w as i64, h as i64, nobj as i64, w2 as i64, (cpix / w2) as i64, nproc, 0],
+        )
+        .with_barrier_participants(nproc as usize)
+}
+
+fn oracle_rimg(w: i64, h: i64, w2: i64, h2: i64, img: &[f64]) -> Vec<f64> {
+    let (c, s) = (ANGLE.cos(), ANGLE.sin());
+    let mut rimg = vec![0.0; (w2 * h2) as usize];
+    for j in 0..w2 * h2 {
+        let (cx, cy) = (j % w2, j / w2);
+        let ox = cx as f64 - w2 as f64 / 2.0;
+        let oy = cy as f64 - h2 as f64 / 2.0;
+        let sx = ox * c + oy * s + w as f64 / 2.0;
+        let sy = -ox * s + oy * c + h as f64 / 2.0;
+        if sx >= 0.0 && sx < w as f64 && sy >= 0.0 && sy < h as f64 {
+            rimg[j as usize] = img[(sy as i64 * w + sx as i64) as usize] * 0.95;
+        }
+    }
+    rimg
+}
+
+fn verify(r: &RunResult) -> Result<(), String> {
+    let cfg = r.i64s("cfg");
+    let img = super::c_ray::oracle(cfg[0], cfg[1], &r.f64s("sph"));
+    let expected = oracle_rimg(cfg[0], cfg[1], cfg[3], cfg[4], &img);
+    let rimg = r.f64s("rimg");
+    if rimg.iter().zip(&expected).any(|(a, b)| (a - b).abs() > 1e-9) {
+        return Err("rotated image mismatch".into());
+    }
+    let written = expected.iter().filter(|&&v| v != 0.0).count();
+    if written == 0 || written == expected.len() {
+        return Err(format!("degenerate rotation ({written} written)"));
+    }
+    Ok(())
+}
+
+pub static BENCH: Benchmark = Benchmark {
+    name: "ray-rot",
+    seq_files: &[("ray-rot.mc", KERNEL), ("main_seq.mc", SEQ_MAIN)],
+    pthr_files: &[("ray-rot.mc", KERNEL), ("main_pthr.mc", PTHR_MAIN)],
+    // Paper Table 2: 192 objects at 1920×1080 reference; analysis uses the
+    // c-ray analysis scale (7 objects, 8×4 pixels).
+    analysis_input: || input(8, 4, 7, 2),
+    scaled_input: |f| input(8 * f, 4, 7, 2),
+    verify,
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use discovery::{find_patterns, FinderConfig, PatternKind};
+    use crate::suite::Version;
+
+    #[test]
+    fn versions_agree() {
+        let seq = BENCH.run_analysis(Version::Seq);
+        let pthr = BENCH.run_analysis(Version::Pthreads);
+        assert_eq!(seq.f64s("rimg"), pthr.f64s("rimg"));
+    }
+
+    #[test]
+    fn seq_finds_map_and_conditional_map_in_iteration_one() {
+        let r = BENCH.run_analysis(Version::Seq);
+        let res = find_patterns(&r.ddg.unwrap(), &FinderConfig::default());
+        let it1: Vec<_> =
+            res.found.iter().filter(|f| f.iteration == 1).map(|f| f.pattern.kind).collect();
+        assert!(it1.contains(&PatternKind::Map), "{it1:?}");
+        assert!(it1.contains(&PatternKind::ConditionalMap), "{it1:?}");
+        // The fused map is missed: mismatching iteration spaces.
+        assert!(res.found.iter().all(|f| f.pattern.kind != PatternKind::FusedMap));
+    }
+
+    #[test]
+    fn pthreads_map_surfaces_in_iteration_two() {
+        let r = BENCH.run_analysis(Version::Pthreads);
+        let res = find_patterns(&r.ddg.unwrap(), &FinderConfig::default());
+        let it1: Vec<_> =
+            res.found.iter().filter(|f| f.iteration == 1).map(|f| f.pattern.kind).collect();
+        assert!(
+            !it1.contains(&PatternKind::Map),
+            "checksum chains block the ray map at it.1: {it1:?}"
+        );
+        assert!(it1.contains(&PatternKind::ConditionalMap), "{it1:?}");
+        assert!(it1.contains(&PatternKind::TiledReduction), "checksum reduction: {it1:?}");
+        let it2: Vec<_> =
+            res.found.iter().filter(|f| f.iteration == 2).map(|f| f.pattern.kind).collect();
+        assert!(it2.contains(&PatternKind::Map), "{it2:?}");
+        assert!(res.found.iter().all(|f| f.pattern.kind != PatternKind::FusedMap));
+    }
+}

@@ -1,0 +1,155 @@
+//! `rgbyuv` — per-pixel RGB → YUV color conversion.
+//!
+//! The conversion kernel is shared between versions (one translation
+//! unit); the Pthreads version splits the pixel range across workers, the
+//! classic Starbench structure. Expected pattern (paper Table 3): one map.
+
+use super::{gen_f64, Benchmark};
+use trace::{RunConfig, RunResult};
+
+const KERNEL: &str = r#"
+float r[16];
+float g[16];
+float b[16];
+float yp[16];
+float up[16];
+float vp[16];
+float gp[16];
+float gamma[2];
+int cfg[2];
+
+void convert(int from, int to) {
+    int i;
+    for (i = from; i < to; i++) {
+        float rr = r[i];
+        float gg = g[i];
+        float bb = b[i];
+        float yy = 0.299 * rr + 0.587 * gg + 0.114 * bb;
+        yp[i] = yy;
+        up[i] = 0.492 * (bb - yy);
+        vp[i] = 0.877 * (rr - yy);
+    }
+}
+
+void gamma_pass(int from, int to) {
+    int i;
+    for (i = from; i < to; i++) {
+        gp[i] = yp[i] * gamma[0] + yp[0] * gamma[1];
+    }
+}
+"#;
+
+const SEQ_MAIN: &str = r#"
+void main() {
+    convert(0, cfg[0]);
+    gamma_pass(0, cfg[0]);
+    output(gp);
+    output(yp);
+    output(up);
+    output(vp);
+}
+"#;
+
+const PTHR_MAIN: &str = r#"
+int handles[64];
+barrier bar;
+
+void worker(int pid, int nproc) {
+    int chunk = cfg[0] / nproc;
+    int from = pid * chunk;
+    convert(from, from + chunk);
+    barrier_wait(bar);
+    gamma_pass(from, from + chunk);
+}
+
+void main() {
+    int nproc = cfg[1];
+    int t;
+    for (t = 0; t < nproc; t++) {
+        int h;
+        h = spawn worker(t, nproc);
+        handles[t] = h;
+    }
+    for (t = 0; t < nproc; t++) {
+        join(handles[t]);
+    }
+    output(gp);
+    output(yp);
+    output(up);
+    output(vp);
+}
+"#;
+
+/// Builds the input for `npix` pixels and `nproc` workers.
+fn input(npix: usize, nproc: i64) -> RunConfig {
+    RunConfig::default()
+        .with_f64("r", &gen_f64(11, npix))
+        .with_f64("g", &gen_f64(12, npix))
+        .with_f64("b", &gen_f64(13, npix))
+        .with_len("yp", npix)
+        .with_len("up", npix)
+        .with_len("vp", npix)
+        .with_len("gp", npix)
+        .with_f64("gamma", &[1.0, 0.0])
+        .with_i64("cfg", &[npix as i64, nproc])
+        .with_barrier_participants(nproc as usize)
+}
+
+fn verify(r: &RunResult) -> Result<(), String> {
+    let (rr, gg, bb) = (r.f64s("r"), r.f64s("g"), r.f64s("b"));
+    let (y, u, v) = (r.f64s("yp"), r.f64s("up"), r.f64s("vp"));
+    for i in 0..rr.len() {
+        let ey = 0.299 * rr[i] + 0.587 * gg[i] + 0.114 * bb[i];
+        let eu = 0.492 * (bb[i] - ey);
+        let ev = 0.877 * (rr[i] - ey);
+        if (y[i] - ey).abs() > 1e-9 || (u[i] - eu).abs() > 1e-9 || (v[i] - ev).abs() > 1e-9 {
+            return Err(format!("pixel {i}: got ({}, {}, {})", y[i], u[i], v[i]));
+        }
+    }
+    // The gamma pass with identity coefficients mirrors the luma plane.
+    if r.f64s("gp").iter().zip(&y).any(|(a, b)| (a - b).abs() > 1e-9) {
+        return Err("gamma pass mismatch".into());
+    }
+    Ok(())
+}
+
+pub static BENCH: Benchmark = Benchmark {
+    name: "rgbyuv",
+    seq_files: &[("rgbyuv.mc", KERNEL), ("main_seq.mc", SEQ_MAIN)],
+    pthr_files: &[("rgbyuv.mc", KERNEL), ("main_pthr.mc", PTHR_MAIN)],
+    // Paper Table 2: 4×4 pixels for analysis.
+    analysis_input: || input(16, 2),
+    scaled_input: |f| input(16 * f, 2),
+    verify,
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use discovery::{find_patterns, FinderConfig, PatternKind};
+    use crate::suite::Version;
+
+    #[test]
+    fn both_versions_compute_the_same_result() {
+        let seq = BENCH.run_analysis(Version::Seq);
+        let pthr = BENCH.run_analysis(Version::Pthreads);
+        assert_eq!(seq.f64s("yp"), pthr.f64s("yp"));
+        assert_eq!(seq.f64s("vp"), pthr.f64s("vp"));
+    }
+
+    #[test]
+    fn finder_reports_the_conversion_map_plus_the_gamma_extra() {
+        for v in Version::BOTH {
+            let r = BENCH.run_analysis(v);
+            let res = find_patterns(&r.ddg.unwrap(), &FinderConfig::default());
+            let eval = crate::ground_truth::evaluate("rgbyuv", v, &res);
+            assert!(eval.perfect(), "{}: {:?}", v.name(), eval.hits);
+            // The gamma pass is an additional true map (accuracy study).
+            assert_eq!(eval.extras.len(), 1, "{}", v.name());
+            assert_eq!(eval.extras[0].pattern.kind, PatternKind::Map);
+            let m = res.reported().next().unwrap();
+            assert_eq!(m.pattern.components, 16);
+            assert_eq!(m.iteration, 1);
+        }
+    }
+}

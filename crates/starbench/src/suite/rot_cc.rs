@@ -1,0 +1,227 @@
+//! `rot-cc` — rotation followed by two-pass color conversion.
+//!
+//! Three loops: rotation (conditional map), luma scaling (map), and
+//! quantization (map). The two conversion passes run over the same pixel
+//! space with the intermediate consumed exclusively by the second pass, so
+//! their fusion is recognized — the paper's fused map "combining loops
+//! located in different translation units": the passes live in separate
+//! `minc` files. The rotation cannot fuse with the conversion (its
+//! conditional output breaks component uniformity), which matches the
+//! paper's inventory of exactly one fused map per version.
+
+use super::{gen_f64, Benchmark};
+use trace::{RunConfig, RunResult};
+
+/// Translation unit 1: the rotation (forward mapping, arbitrary angle).
+const ROTATE_TU: &str = r#"
+float src[16];
+float srcb[16];
+float bright[2];
+float rbuf[16];
+float trig[2];
+int cfg[3];
+
+void brighten_range(int from, int to) {
+    int i;
+    for (i = from; i < to; i++) {
+        srcb[i] = src[i] * bright[0] + bright[1];
+    }
+}
+
+void rotate_range(int from, int to) {
+    int w = cfg[0];
+    int h = cfg[1];
+    int i;
+    for (i = from; i < to; i++) {
+        int x = i % w;
+        int y = i / w;
+        float fx = (float)x - (float)w / 2.0;
+        float fy = (float)y - (float)h / 2.0;
+        float rx = fx * trig[0] - fy * trig[1];
+        float ry = fx * trig[1] + fy * trig[0];
+        int tx = (int)(rx + (float)w / 2.0 + 0.5);
+        int ty = (int)(ry + (float)h / 2.0 + 0.5);
+        float v = srcb[i] * 0.9 + 0.05;
+        if (tx >= 0) {
+            if (tx < w) {
+                if (ty >= 0) {
+                    if (ty < h) {
+                        rbuf[ty * w + tx] = v;
+                    }
+                }
+            }
+        }
+    }
+}
+"#;
+
+/// Translation unit 2: first conversion pass (luma scale).
+const CC_TU: &str = r#"
+float ybuf[16];
+
+void luma_range(int from, int to) {
+    int i;
+    for (i = from; i < to; i++) {
+        ybuf[i] = rbuf[i] * 0.7 + 0.2;
+    }
+}
+"#;
+
+/// Translation unit 3 (the mains): second conversion pass (quantization).
+const SEQ_MAIN: &str = r#"
+float qbuf[16];
+
+void quant_range(int from, int to) {
+    int i;
+    for (i = from; i < to; i++) {
+        qbuf[i] = ybuf[i] * 16.0 + 1.0;
+    }
+}
+
+void main() {
+    int npix = cfg[0] * cfg[1];
+    brighten_range(0, npix);
+    rotate_range(0, npix);
+    luma_range(0, npix);
+    quant_range(0, npix);
+    output(qbuf);
+}
+"#;
+
+const PTHR_MAIN: &str = r#"
+float qbuf[16];
+int handles[64];
+barrier bar;
+
+void quant_range(int from, int to) {
+    int i;
+    for (i = from; i < to; i++) {
+        qbuf[i] = ybuf[i] * 16.0 + 1.0;
+    }
+}
+
+void worker(int pid, int nproc) {
+    int npix = cfg[0] * cfg[1];
+    int chunk = npix / nproc;
+    int from = pid * chunk;
+    int to = from + chunk;
+    brighten_range(from, to);
+    rotate_range(from, to);
+    barrier_wait(bar);
+    luma_range(from, to);
+    quant_range(from, to);
+}
+
+void main() {
+    int nproc = cfg[2];
+    int t;
+    for (t = 0; t < nproc; t++) {
+        int h;
+        h = spawn worker(t, nproc);
+        handles[t] = h;
+    }
+    for (t = 0; t < nproc; t++) {
+        join(handles[t]);
+    }
+    output(qbuf);
+}
+"#;
+
+const ANGLE: f64 = 0.4;
+
+fn input(w: usize, h: usize, nproc: i64) -> RunConfig {
+    RunConfig::default()
+        .with_f64("src", &gen_f64(51, w * h))
+        .with_len("srcb", w * h)
+        .with_f64("bright", &[1.0, 0.0])
+        .with_len("rbuf", w * h)
+        .with_len("ybuf", w * h)
+        .with_len("qbuf", w * h)
+        .with_f64("trig", &[ANGLE.cos(), ANGLE.sin()])
+        .with_i64("cfg", &[w as i64, h as i64, nproc])
+        .with_barrier_participants(nproc as usize)
+}
+
+fn verify(r: &RunResult) -> Result<(), String> {
+    let cfg = r.i64s("cfg");
+    let rbuf =
+        super::rotate::oracle(&r.f64s("src"), cfg[0], cfg[1], ANGLE.cos(), ANGLE.sin());
+    let qbuf = r.f64s("qbuf");
+    for (i, &rb) in rbuf.iter().enumerate() {
+        let expected = (rb * 0.7 + 0.2) * 16.0 + 1.0;
+        if (qbuf[i] - expected).abs() > 1e-9 {
+            return Err(format!("pixel {i}: got {}, expected {expected}", qbuf[i]));
+        }
+    }
+    Ok(())
+}
+
+pub static BENCH: Benchmark = Benchmark {
+    name: "rot-cc",
+    seq_files: &[
+        ("rotate.mc", ROTATE_TU),
+        ("cc.mc", CC_TU),
+        ("main_seq.mc", SEQ_MAIN),
+    ],
+    pthr_files: &[
+        ("rotate.mc", ROTATE_TU),
+        ("cc.mc", CC_TU),
+        ("main_pthr.mc", PTHR_MAIN),
+    ],
+    // Paper Table 2: 4×4 pixels for analysis.
+    analysis_input: || input(4, 4, 2),
+    scaled_input: |f| {
+        let side = 4 * (f as f64).sqrt().ceil() as usize;
+        input(side, side, 2)
+    },
+    verify,
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use discovery::{find_patterns, FinderConfig, PatternKind};
+    use crate::suite::Version;
+
+    #[test]
+    fn versions_agree() {
+        let seq = BENCH.run_analysis(Version::Seq);
+        let pthr = BENCH.run_analysis(Version::Pthreads);
+        assert_eq!(seq.f64s("qbuf"), pthr.f64s("qbuf"));
+    }
+
+    #[test]
+    fn fused_map_spans_translation_units() {
+        for v in Version::BOTH {
+            let r = BENCH.run_analysis(v);
+            let res = find_patterns(&r.ddg.unwrap(), &FinderConfig::default());
+            let it1: Vec<_> =
+                res.found.iter().filter(|f| f.iteration == 1).map(|f| f.pattern.kind).collect();
+            assert!(it1.contains(&PatternKind::ConditionalMap), "{}: {it1:?}", v.name());
+            assert!(it1.contains(&PatternKind::Map), "{}: {it1:?}", v.name());
+            let fms: Vec<_> = res
+                .found
+                .iter()
+                .filter(|f| f.pattern.kind == PatternKind::FusedMap)
+                .collect();
+            // The conversion-pass fusion (expected) plus the
+            // brighten∘rotate conditional fusion (an extra).
+            assert_eq!(fms.len(), 2, "{}: {fms:?}", v.name());
+            assert!(fms.iter().all(|f| f.iteration == 2), "{}", v.name());
+            // The conversion fused map spans translation units.
+            assert!(
+                fms.iter().any(|fm| {
+                    let files: std::collections::HashSet<u16> =
+                        fm.pattern.lines.iter().map(|&(f, _)| f).collect();
+                    files.len() >= 2
+                }),
+                "{}: no fused map crosses a TU boundary",
+                v.name()
+            );
+            // Merging keeps the fused map and subsumes the pass maps.
+            let reported: Vec<_> = res.reported().map(|f| f.pattern.kind).collect();
+            assert!(reported.contains(&PatternKind::FusedMap));
+            assert!(!reported.contains(&PatternKind::Map), "{}: {reported:?}", v.name());
+        }
+    }
+}

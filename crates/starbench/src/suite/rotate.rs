@@ -1,0 +1,184 @@
+//! `rotate` — image rotation by an arbitrary angle within the same frame.
+//!
+//! Forward mapping: every input pixel is transformed; pixels whose target
+//! falls outside the frame are dropped, making the pixel loop the paper's
+//! *conditional map* (Table 3: cm). The rotation math itself (float ops on
+//! the trig coefficients) stays in the DDG; the integer target-coordinate
+//! conversion feeds only subscripts and branch tests and is stripped by
+//! simplification, exactly as the paper's address-calculation rule
+//! prescribes.
+
+use super::{gen_f64, Benchmark};
+use trace::{RunConfig, RunResult};
+
+const KERNEL: &str = r#"
+float src[16];
+float srcb[16];
+float bright[2];
+float dst[16];
+float trig[2];
+int cfg[3];
+
+void brighten_range(int from, int to) {
+    int i;
+    for (i = from; i < to; i++) {
+        srcb[i] = src[i] * bright[0] + bright[1];
+    }
+}
+
+void rotate_range(int from, int to) {
+    int w = cfg[0];
+    int h = cfg[1];
+    int i;
+    for (i = from; i < to; i++) {
+        int x = i % w;
+        int y = i / w;
+        float fx = (float)x - (float)w / 2.0;
+        float fy = (float)y - (float)h / 2.0;
+        float rx = fx * trig[0] - fy * trig[1];
+        float ry = fx * trig[1] + fy * trig[0];
+        int tx = (int)(rx + (float)w / 2.0 + 0.5);
+        int ty = (int)(ry + (float)h / 2.0 + 0.5);
+        float v = srcb[i] * 0.9 + 0.05;
+        if (tx >= 0) {
+            if (tx < w) {
+                if (ty >= 0) {
+                    if (ty < h) {
+                        dst[ty * w + tx] = v;
+                    }
+                }
+            }
+        }
+    }
+}
+"#;
+
+const SEQ_MAIN: &str = r#"
+void main() {
+    brighten_range(0, cfg[0] * cfg[1]);
+    rotate_range(0, cfg[0] * cfg[1]);
+    output(dst);
+}
+"#;
+
+const PTHR_MAIN: &str = r#"
+int handles[64];
+
+void worker(int pid, int nproc) {
+    int npix = cfg[0] * cfg[1];
+    int chunk = npix / nproc;
+    int from = pid * chunk;
+    brighten_range(from, from + chunk);
+    rotate_range(from, from + chunk);
+}
+
+void main() {
+    int nproc = cfg[2];
+    int t;
+    for (t = 0; t < nproc; t++) {
+        int h;
+        h = spawn worker(t, nproc);
+        handles[t] = h;
+    }
+    for (t = 0; t < nproc; t++) {
+        join(handles[t]);
+    }
+    output(dst);
+}
+"#;
+
+/// Rotation angle: ~23°, enough to push frame corners out of bounds.
+pub const ANGLE: f64 = 0.4;
+
+fn input(w: usize, h: usize, nproc: i64) -> RunConfig {
+    RunConfig::default()
+        .with_f64("src", &gen_f64(31, w * h))
+        .with_len("srcb", w * h)
+        .with_f64("bright", &[1.0, 0.0])
+        .with_len("dst", w * h)
+        .with_f64("trig", &[ANGLE.cos(), ANGLE.sin()])
+        .with_i64("cfg", &[w as i64, h as i64, nproc])
+}
+
+/// Rust oracle of the same forward mapping.
+pub(crate) fn oracle(src: &[f64], w: i64, h: i64, cos_t: f64, sin_t: f64) -> Vec<f64> {
+    let mut dst = vec![0.0; (w * h) as usize];
+    for i in 0..w * h {
+        let x = i % w;
+        let y = i / w;
+        let fx = x as f64 - w as f64 / 2.0;
+        let fy = y as f64 - h as f64 / 2.0;
+        let rx = fx * cos_t - fy * sin_t;
+        let ry = fx * sin_t + fy * cos_t;
+        let tx = (rx + w as f64 / 2.0 + 0.5) as i64;
+        let ty = (ry + h as f64 / 2.0 + 0.5) as i64;
+        if tx >= 0 && tx < w && ty >= 0 && ty < h {
+            dst[(ty * w + tx) as usize] = src[i as usize] * 0.9 + 0.05;
+        }
+    }
+    dst
+}
+
+fn verify(r: &RunResult) -> Result<(), String> {
+    let src = r.f64s("src");
+    let cfg = r.i64s("cfg");
+    let expected = oracle(&src, cfg[0], cfg[1], ANGLE.cos(), ANGLE.sin());
+    let dst = r.f64s("dst");
+    if dst
+        .iter()
+        .zip(&expected)
+        .any(|(a, b)| (a - b).abs() > 1e-9)
+    {
+        return Err("rotated image mismatch".into());
+    }
+    // The conditional map needs both productive and dropped pixels.
+    let written = expected.iter().filter(|&&v| v != 0.0).count();
+    if written == 0 || written == expected.len() {
+        return Err(format!("degenerate rotation: {written} written"));
+    }
+    Ok(())
+}
+
+pub static BENCH: Benchmark = Benchmark {
+    name: "rotate",
+    seq_files: &[("rotate.mc", KERNEL), ("main_seq.mc", SEQ_MAIN)],
+    pthr_files: &[("rotate.mc", KERNEL), ("main_pthr.mc", PTHR_MAIN)],
+    // Paper Table 2: 4×4 pixels for analysis.
+    analysis_input: || input(4, 4, 2),
+    scaled_input: |f| {
+        // Grow the frame, keeping it square-ish.
+        let side = 4 * (f as f64).sqrt().ceil() as usize;
+        input(side, side, 2)
+    },
+    verify,
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use discovery::{find_patterns, FinderConfig, PatternKind};
+    use crate::suite::Version;
+
+    #[test]
+    fn versions_agree() {
+        let seq = BENCH.run_analysis(Version::Seq);
+        let pthr = BENCH.run_analysis(Version::Pthreads);
+        assert_eq!(seq.f64s("dst"), pthr.f64s("dst"));
+    }
+
+    #[test]
+    fn finder_reports_one_conditional_map() {
+        for v in Version::BOTH {
+            let r = BENCH.run_analysis(v);
+            let res = find_patterns(&r.ddg.unwrap(), &FinderConfig::default());
+            let eval = crate::ground_truth::evaluate("rotate", v, &res);
+            assert!(eval.perfect(), "{}: {:?}", v.name(), eval.hits);
+            // The brightness pre-pass is an additional true map, and its
+            // composition with the rotation is an additional (conditional)
+            // fused map.
+            let kinds: Vec<_> = eval.extras.iter().map(|f| f.pattern.kind).collect();
+            assert!(kinds.contains(&PatternKind::Map), "{}: {kinds:?}", v.name());
+            assert!(kinds.contains(&PatternKind::FusedMap), "{}: {kinds:?}", v.name());
+        }
+    }
+}

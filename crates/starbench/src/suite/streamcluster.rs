@@ -1,0 +1,460 @@
+//! `streamcluster` — the paper's flagship benchmark (its §2 motivating
+//! example is this code's hiz computation).
+//!
+//! The port reproduces the published pattern inventory exactly
+//! (Table 3): a weight-scaling **map** and three compute-then-
+//! conditionally-store **conditional maps** in iteration 1, together with
+//! the hiz **reduction** (tiled across threads, linear sequentially); two
+//! further **maps** in iteration 2 (the dist computations exposed by
+//! subtracting the hiz and gain reductions from their loops); and the
+//! **map-reduction** composed in iteration 3. The gain phase's map cannot
+//! fuse with its reduction — its outputs are also consumed by the
+//! reassignment pass — so only one map-reduction is reported, as in the
+//! paper.
+//!
+//! The suite's two *false* maps live here as well: the `fmout` loop
+//! carries a conditional error-accumulation that the analysis input never
+//! triggers, so the loop is reported as a map even though the pattern does
+//! not hold for all inputs (paper §6.1, accuracy).
+
+use super::Benchmark;
+use trace::{RunConfig, RunResult};
+
+/// Shared kernels: the unrolled 2-d distance and the phase ranges.
+const KERNEL: &str = r#"
+float pts[8];
+float wtab[4];
+float cand[4];
+float opn[4];
+float reas[4];
+float lower[4];
+float fmout[4];
+float negstat[1];
+float gstat[1];
+float ssstat[1];
+float result[1];
+int cfg[3];
+
+float dist(int i, int j) {
+    float t0 = pts[i * 2] - pts[j * 2];
+    float t1 = pts[i * 2 + 1] - pts[j * 2 + 1];
+    return sqrt(t0 * t0 + t1 * t1);
+}
+
+void weigh_range(int from, int to) {
+    int i;
+    for (i = from; i < to; i++) {
+        wtab[i] = (pts[i * 2] + pts[i * 2 + 1]) * 0.25 + 1.0;
+    }
+}
+
+float check_range(int from, int to) {
+    float neg = 0.0;
+    int i;
+    for (i = from; i < to; i++) {
+        fmout[i] = pts[i * 2] * 2.0 + 0.5;
+        if (pts[i * 2] < 0.0) {
+            neg = neg + pts[i * 2];
+        }
+    }
+    return neg;
+}
+
+void select_range(int from, int to) {
+    int i;
+    for (i = from; i < to; i++) {
+        float t1 = wtab[i] * 0.8;
+        if (t1 > 1.5) {
+            cand[i] = t1;
+        }
+    }
+}
+
+void open_range(int from, int to) {
+    int i;
+    for (i = from; i < to; i++) {
+        float t2 = cand[i] + wtab[i];
+        if (t2 > 3.52) {
+            opn[i] = t2;
+        }
+    }
+}
+
+float gain_range(int from, int to) {
+    float gl = 0.0;
+    int i;
+    for (i = from; i < to; i++) {
+        lower[i] = dist(i, 0) * wtab[i];
+        gl = gl + lower[i];
+    }
+    return gl;
+}
+
+float wnorm_range(int from, int to) {
+    float ss = 0.0;
+    int i;
+    for (i = from; i < to; i++) {
+        ss = ss + wtab[i] * wtab[i];
+    }
+    return ss;
+}
+
+void reassign_range(int from, int to) {
+    int i;
+    for (i = from; i < to; i++) {
+        float t3 = lower[i] * 0.5;
+        if (t3 > 0.8) {
+            reas[i] = t3;
+        }
+    }
+}
+"#;
+
+const SEQ_MAIN: &str = r#"
+void main() {
+    int n = cfg[0];
+    weigh_range(0, n);
+    float neg = check_range(0, n);
+    negstat[0] = neg;
+    select_range(0, n);
+    open_range(0, n);
+    float gl = gain_range(0, n);
+    gstat[0] = gl;
+    float ss = wnorm_range(0, n);
+    ssstat[0] = ss;
+    reassign_range(0, n);
+    float hiz = 0.0;
+    int kk;
+    for (kk = 0; kk < n; kk++) {
+        hiz = hiz + dist(kk, 0) * wtab[kk];
+    }
+    result[0] = hiz;
+    output(result);
+    output(cand);
+    output(opn);
+    output(reas);
+    output(fmout);
+    output(negstat);
+    output(gstat);
+    output(ssstat);
+}
+"#;
+
+const PTHR_MAIN: &str = r#"
+float hizs[2];
+float gtot[2];
+float sstot[2];
+int handles[64];
+barrier bar;
+mutex neglock;
+
+void pkmedian(int pid, int nproc) {
+    int n = cfg[0];
+    int chunk = n / nproc;
+    int k1 = pid * chunk;
+    int k2 = k1 + chunk;
+    weigh_range(k1, k2);
+    float neg = check_range(k1, k2);
+    lock(neglock);
+    negstat[0] = negstat[0] + neg;
+    unlock(neglock);
+    barrier_wait(bar);
+    select_range(k1, k2);
+    open_range(k1, k2);
+    float gl = gain_range(k1, k2);
+    gtot[pid] = gl;
+    float ss = wnorm_range(k1, k2);
+    sstot[pid] = ss;
+    reassign_range(k1, k2);
+    float myhiz = 0.0;
+    int kk;
+    for (kk = k1; kk < k2; kk++) {
+        myhiz = myhiz + dist(kk, 0) * wtab[kk];
+    }
+    hizs[pid] = myhiz;
+    barrier_wait(bar);
+    if (pid == 0) {
+        float hiz = 0.0;
+        float gs = 0.0;
+        int t;
+        for (t = 0; t < nproc; t++) {
+            hiz = hiz + hizs[t];
+        }
+        int u;
+        for (u = 0; u < nproc; u++) {
+            gs = gs + gtot[u];
+        }
+        float sst = 0.0;
+        int q;
+        for (q = 0; q < nproc; q++) {
+            sst = sst + sstot[q];
+        }
+        result[0] = hiz;
+        gstat[0] = gs;
+        ssstat[0] = sst;
+    }
+}
+
+void main() {
+    int nproc = cfg[2];
+    int t;
+    for (t = 0; t < nproc; t++) {
+        int h;
+        h = spawn pkmedian(t, nproc);
+        handles[t] = h;
+    }
+    for (t = 0; t < nproc; t++) {
+        join(handles[t]);
+    }
+    output(result);
+    output(cand);
+    output(opn);
+    output(reas);
+    output(fmout);
+    output(negstat);
+    output(gstat);
+    output(ssstat);
+}
+"#;
+
+/// The analysis points (paper Table 2: 4 points, 2 dims); all coordinates
+/// positive so the conditional error accumulation never fires.
+pub(crate) const ANALYSIS_PTS: [f64; 8] = [1.5, 2.0, 0.5, 1.0, 3.0, 0.8, 2.2, 1.7];
+
+/// The analysis input's raw point coordinates (for harnesses that build
+/// variant inputs, e.g. the accuracy study's trigger input).
+pub fn analysis_points() -> [f64; 8] {
+    ANALYSIS_PTS
+}
+
+/// Builds a run configuration for arbitrary points (the accuracy study
+/// perturbs the analysis points to trigger the conditional reduction).
+pub fn input_for_points(pts: &[f64], nproc: i64) -> RunConfig {
+    input_with_points(pts, nproc)
+}
+
+pub(crate) fn input_with_points(pts: &[f64], nproc: i64) -> RunConfig {
+    let n = pts.len() / 2;
+    RunConfig::default()
+        .with_f64("pts", pts)
+        .with_len("wtab", n)
+        .with_len("cand", n)
+        .with_len("opn", n)
+        .with_len("reas", n)
+        .with_len("lower", n)
+        .with_len("fmout", n)
+        .with_len("hizs", nproc as usize)
+        .with_len("gtot", nproc as usize)
+        .with_len("sstot", nproc as usize)
+        .with_i64("cfg", &[n as i64, 2, nproc])
+        .with_barrier_participants(nproc as usize)
+}
+
+fn input(n: usize, nproc: i64) -> RunConfig {
+    let mut pts = Vec::with_capacity(n * 2);
+    for i in 0..n {
+        if i < 4 {
+            pts.extend_from_slice(&ANALYSIS_PTS[i * 2..i * 2 + 2]);
+        } else {
+            // Scaled runs: keep everything positive and varied.
+            pts.push(0.3 + (i as f64 * 0.7).sin().abs() * 3.0);
+            pts.push(0.2 + (i as f64 * 0.3).cos().abs() * 2.0);
+        }
+    }
+    input_with_points(&pts, nproc)
+}
+
+/// Rust oracle of every phase.
+pub(crate) struct Oracle {
+    #[allow(dead_code)] // exposed for future phase-level checks
+    pub wtab: Vec<f64>,
+    pub cand: Vec<f64>,
+    pub opn: Vec<f64>,
+    pub reas: Vec<f64>,
+    pub fmout: Vec<f64>,
+    pub neg: f64,
+    pub gtotal: f64,
+    pub ssnorm: f64,
+    pub hiz: f64,
+}
+
+pub(crate) fn oracle(pts: &[f64]) -> Oracle {
+    let n = pts.len() / 2;
+    let dist = |i: usize, j: usize| -> f64 {
+        let t0 = pts[i * 2] - pts[j * 2];
+        let t1 = pts[i * 2 + 1] - pts[j * 2 + 1];
+        (t0 * t0 + t1 * t1).sqrt()
+    };
+    let wtab: Vec<f64> =
+        (0..n).map(|i| (pts[i * 2] + pts[i * 2 + 1]) * 0.25 + 1.0).collect();
+    let mut cand = vec![0.0; n];
+    let mut opn = vec![0.0; n];
+    let mut reas = vec![0.0; n];
+    let mut fmout = vec![0.0; n];
+    let mut lower = vec![0.0; n];
+    let mut neg = 0.0;
+    let mut gtotal = 0.0;
+    let mut ssnorm = 0.0;
+    let mut hiz = 0.0;
+    for i in 0..n {
+        fmout[i] = pts[i * 2] * 2.0 + 0.5;
+        if pts[i * 2] < 0.0 {
+            neg += pts[i * 2];
+        }
+        let t1 = wtab[i] * 0.8;
+        if t1 > 1.5 {
+            cand[i] = t1;
+        }
+        let t2 = cand[i] + wtab[i];
+        if t2 > 3.52 {
+            opn[i] = t2;
+        }
+        lower[i] = dist(i, 0) * wtab[i];
+        gtotal += lower[i];
+        let t3 = lower[i] * 0.5;
+        if t3 > 0.8 {
+            reas[i] = t3;
+        }
+        ssnorm += wtab[i] * wtab[i];
+        hiz += dist(i, 0) * wtab[i];
+    }
+    Oracle { wtab, cand, opn, reas, fmout, neg, gtotal, ssnorm, hiz }
+}
+
+fn verify(r: &RunResult) -> Result<(), String> {
+    let o = oracle(&r.f64s("pts"));
+    let close = |a: f64, b: f64| (a - b).abs() < 1e-9;
+    if !close(r.f64s("result")[0], o.hiz) {
+        return Err(format!("hiz: got {}, expected {}", r.f64s("result")[0], o.hiz));
+    }
+    if !close(r.f64s("gstat")[0], o.gtotal) {
+        return Err("gain total mismatch".into());
+    }
+    if !close(r.f64s("negstat")[0], o.neg) {
+        return Err("neg stat mismatch".into());
+    }
+    if !close(r.f64s("ssstat")[0], o.ssnorm) {
+        return Err("weight-norm mismatch".into());
+    }
+    for (name, expected) in
+        [("cand", &o.cand), ("opn", &o.opn), ("reas", &o.reas), ("fmout", &o.fmout)]
+    {
+        let got = r.f64s(name);
+        if got.iter().zip(expected).any(|(a, b)| !close(*a, *b)) {
+            return Err(format!("{name} mismatch"));
+        }
+    }
+    // The conditional maps need mixed outcomes on this input.
+    for (name, vals) in [("cand", &o.cand), ("opn", &o.opn), ("reas", &o.reas)] {
+        let produced = vals.iter().filter(|&&v| v != 0.0).count();
+        if produced == 0 || produced == vals.len() {
+            return Err(format!("{name}: degenerate conditional map ({produced})"));
+        }
+    }
+    Ok(())
+}
+
+pub static BENCH: Benchmark = Benchmark {
+    name: "streamcluster",
+    seq_files: &[("streamcluster.mc", KERNEL), ("main_seq.mc", SEQ_MAIN)],
+    pthr_files: &[("streamcluster.mc", KERNEL), ("main_pthr.mc", PTHR_MAIN)],
+    // Paper Table 2: 4 points, 2 dims, 2 clusters.
+    analysis_input: || input(4, 2),
+    scaled_input: |f| input(4 * f, 2),
+    verify,
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use discovery::{find_patterns, FinderConfig, PatternKind};
+    use crate::suite::Version;
+
+    #[test]
+    fn versions_agree() {
+        let seq = BENCH.run_analysis(Version::Seq);
+        let pthr = BENCH.run_analysis(Version::Pthreads);
+        assert!((seq.f64s("result")[0] - pthr.f64s("result")[0]).abs() < 1e-9);
+        assert_eq!(seq.f64s("reas"), pthr.f64s("reas"));
+    }
+
+    #[test]
+    fn full_pattern_inventory_matches_table3() {
+        for v in Version::BOTH {
+            let r = BENCH.run_analysis(v);
+            let res = find_patterns(&r.ddg.unwrap(), &FinderConfig::default());
+            let by_iter = |it: usize| -> Vec<PatternKind> {
+                res.found.iter().filter(|f| f.iteration == it).map(|f| f.pattern.kind).collect()
+            };
+            let it1 = by_iter(1);
+            let maps1 = it1.iter().filter(|k| **k == PatternKind::Map).count();
+            let cms1 = it1.iter().filter(|k| **k == PatternKind::ConditionalMap).count();
+            let tiled1 = it1.iter().filter(|k| **k == PatternKind::TiledReduction).count();
+            let linear1 = it1.iter().filter(|k| **k == PatternKind::LinearReduction).count();
+            // m (weights) + false m (fmout) at it.1; cm x3; r (hiz) + r
+            // (gain). In the Pthreads version the pid-0 merge loops also
+            // match linear reductions — the paper's Table 1 `f` — before
+            // being subsumed by the tiled forms.
+            assert_eq!(maps1, 2, "{}: it1 {it1:?}", v.name());
+            assert_eq!(cms1, 3, "{}: it1 {it1:?}", v.name());
+            // Reductions at it.1: hiz + gain + the weight-norm extra; in
+            // the Pthreads version the pid-0 merge loops additionally
+            // match linear reductions (Table 1's `f`) before subsumption.
+            match v {
+                Version::Seq => {
+                    assert_eq!((linear1, tiled1), (3, 0), "{}: it1 {it1:?}", v.name())
+                }
+                Version::Pthreads => {
+                    assert_eq!((linear1, tiled1), (3, 3), "{}: it1 {it1:?}", v.name())
+                }
+            }
+
+            let it2 = by_iter(2);
+            let maps2 = it2.iter().filter(|k| **k == PatternKind::Map).count();
+            // hiz-dist, gain-dist, and the weight-norm extra.
+            assert_eq!(maps2, 3, "{}: it2 {it2:?}", v.name());
+
+            let it3 = by_iter(3);
+            let mrs: Vec<_> = it3
+                .iter()
+                .filter(|k| {
+                    matches!(
+                        k,
+                        PatternKind::LinearMapReduction | PatternKind::TiledMapReduction
+                    )
+                })
+                .collect();
+            // The hiz map-reduction plus the weight-norm extra (the
+            // accuracy study's one additional map-reduction).
+            assert_eq!(mrs.len(), 2, "{}: it3 {it3:?}", v.name());
+            let expected_mr = match v {
+                Version::Seq => PatternKind::LinearMapReduction,
+                Version::Pthreads => PatternKind::TiledMapReduction,
+            };
+            assert!(mrs.iter().all(|k| **k == expected_mr), "{}", v.name());
+        }
+    }
+
+    #[test]
+    fn false_map_disappears_with_a_triggering_input() {
+        // Negative coordinates activate the conditional reduction in the
+        // check loop; with two triggers the accumulator chains the
+        // affected iterations together, so the "map" was input-dependent
+        // (a false pattern).
+        let mut pts = ANALYSIS_PTS.to_vec();
+        // Both negatives inside thread 0's chunk, so the accumulator chain
+        // appears within one loop instance in the Pthreads version too.
+        pts[0] = -1.5;
+        pts[2] = -2.5;
+        let p = BENCH.program(Version::Seq);
+        let cfg = input_with_points(&pts, 2);
+        let r = trace::run(&p, &cfg).unwrap();
+        let res = find_patterns(&r.ddg.unwrap(), &FinderConfig::default());
+        let it1_maps = res
+            .found
+            .iter()
+            .filter(|f| f.iteration == 1 && f.pattern.kind == PatternKind::Map)
+            .count();
+        assert_eq!(it1_maps, 1, "only the weight map remains a plain map");
+    }
+}

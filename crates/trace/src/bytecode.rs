@@ -1,0 +1,120 @@
+//! The bytecode that IR programs compile to — the "instrumented binary".
+//!
+//! Each function becomes a flat instruction sequence operating on a
+//! per-frame operand stack. Every instruction that defines a value carries
+//! the static [`OpId`] and source location needed to label DDG nodes; loop
+//! boundaries are explicit instructions so the machine can maintain dynamic
+//! loop scopes (the paper's "runtime calls … on loop boundaries").
+
+use repro_ir::{ArrId, BinOp, FnId, Intrinsic, LoopId, OpId, UnOp, VarId};
+
+/// Source position carried by value-defining instructions.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Pos {
+    pub file: u16,
+    pub line: u32,
+    pub col: u32,
+}
+
+impl Pos {
+    pub const NONE: Pos = Pos { file: 0, line: 0, col: 0 };
+
+    pub fn from_loc(loc: repro_ir::Loc) -> Pos {
+        Pos { file: loc.file, line: loc.line, col: loc.col }
+    }
+}
+
+/// A bytecode instruction.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Inst {
+    /// Push a constant (no DDG node; constants are sourceless).
+    Const(repro_ir::Value),
+    /// Push the value (and defining node) of a variable slot.
+    LoadVar(VarId),
+    /// Pop into a variable slot (data transfer: taint flows through).
+    StoreVar(VarId),
+    /// Pop an index, push `arr[index]`; the index's defining node is
+    /// recorded as *address-used*.
+    LoadArr(ArrId),
+    /// Pop a value then an index; store into `arr[index]` (shadow memory
+    /// records the value's defining node; the index is address-used).
+    StoreArr(ArrId),
+    /// Pop two operands, push the result; defines one DDG node.
+    Bin { op: BinOp, id: OpId, pos: Pos },
+    /// Pop one operand, push the result; defines one DDG node.
+    Un { op: UnOp, id: OpId, pos: Pos },
+    /// Pop `arity` operands, push the result; defines one DDG node.
+    Intr { op: Intrinsic, id: OpId, pos: Pos },
+    /// Call a user function: pops its arguments (last on top), pushes a
+    /// frame. Not a DDG node — callee internals are traced individually.
+    Call(FnId),
+    /// Return, optionally carrying the top-of-stack to the caller.
+    Ret { has_value: bool },
+    /// Discard the top of stack (expression statements).
+    Pop,
+    /// Unconditional jump to an instruction index.
+    Jump(usize),
+    /// Pop a boolean; jump when false. The condition's defining node is
+    /// marked *control-used* (control does not extend the dataflow).
+    JumpIfFalse(usize),
+    /// Pop an i64 into `var` untainted: loop-variable initialization
+    /// (traversal bookkeeping, kept out of the DDG by construction).
+    ForInit { var: VarId },
+    /// Pop an i64 into a hidden bound slot, untainted.
+    StoreBound { slot: VarId },
+    /// Enter a counted loop: push a scope frame (fresh dynamic instance).
+    LoopEnter { id: LoopId },
+    /// Counted-loop head: test `var` against the bound slot; on success
+    /// advance the iteration counter, otherwise jump to `exit`.
+    ForTest { var: VarId, bound: VarId, step: i64, exit: usize, id: LoopId },
+    /// Counted-loop latch: `var += step`, untainted.
+    ForStep { var: VarId, step: i64 },
+    /// General-loop head: advance the iteration counter (the condition is
+    /// evaluated by ordinary traced instructions that follow).
+    WhileIter { id: LoopId },
+    /// Leave a loop: pop the scope frame.
+    LoopExit { id: LoopId },
+    /// Pop `nargs` arguments and start `func` on a fresh thread; store the
+    /// thread handle into `handle`.
+    Spawn { func: FnId, nargs: usize, handle: VarId },
+    /// Pop a thread handle; block until that thread finishes.
+    Join,
+    /// Block on barrier object `bar` until all participants arrive.
+    Barrier { bar: usize },
+    /// Acquire mutex `m` (blocking).
+    Lock { m: usize },
+    /// Release mutex `m`.
+    Unlock { m: usize },
+    /// Emit array `arr` as program output: mark the defining node of every
+    /// cell as output-consumed.
+    Output { arr: ArrId },
+}
+
+/// A compiled function.
+#[derive(Clone, Debug)]
+pub struct CompiledFn {
+    pub name: String,
+    /// Number of declared parameter slots.
+    pub n_params: usize,
+    /// Total value slots in a frame (params + locals + hidden bound slots).
+    pub n_slots: usize,
+    pub code: Vec<Inst>,
+}
+
+/// A compiled program.
+#[derive(Clone, Debug)]
+pub struct CompiledProgram {
+    pub functions: Vec<CompiledFn>,
+    pub entry: FnId,
+}
+
+impl CompiledProgram {
+    pub fn function(&self, id: FnId) -> &CompiledFn {
+        &self.functions[id.index()]
+    }
+
+    /// Total instruction count (for diagnostics).
+    pub fn code_size(&self) -> usize {
+        self.functions.iter().map(|f| f.code.len()).sum()
+    }
+}

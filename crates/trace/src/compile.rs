@@ -1,0 +1,261 @@
+//! Compilation from `repro-ir` to bytecode.
+//!
+//! The compiler is the moral equivalent of the paper's instrumentation
+//! pass: it flattens structured statements into jumps, makes loop
+//! boundaries explicit ([`Inst::LoopEnter`] / [`Inst::LoopExit`] /
+//! iteration advances), and keeps counted-loop traversal bookkeeping in
+//! dedicated untraced instructions. Hidden per-loop bound slots are
+//! appended after the function's declared slots.
+
+use crate::bytecode::{CompiledFn, CompiledProgram, Inst, Pos};
+use repro_ir::{Expr, Function, Program, Stmt, VarId};
+
+/// Compiles a validated program.
+pub fn compile_program(p: &Program) -> CompiledProgram {
+    CompiledProgram {
+        functions: p.functions.iter().map(|f| compile_function(p, f)).collect(),
+        entry: p.entry,
+    }
+}
+
+fn compile_function(p: &Program, f: &Function) -> CompiledFn {
+    let mut cx = FnCx { p, code: Vec::new(), extra_slots: 0, base_slots: f.slot_count() };
+    cx.block(&f.body);
+    // Implicit return for void fall-through.
+    cx.code.push(Inst::Ret { has_value: false });
+    CompiledFn {
+        name: f.name.clone(),
+        n_params: f.params.len(),
+        n_slots: cx.base_slots + cx.extra_slots,
+        code: cx.code,
+    }
+}
+
+struct FnCx<'p> {
+    p: &'p Program,
+    code: Vec<Inst>,
+    extra_slots: usize,
+    base_slots: usize,
+}
+
+impl FnCx<'_> {
+    fn hidden_slot(&mut self) -> VarId {
+        let v = VarId((self.base_slots + self.extra_slots) as u32);
+        self.extra_slots += 1;
+        v
+    }
+
+    fn block(&mut self, stmts: &[Stmt]) {
+        for s in stmts {
+            self.stmt(s);
+        }
+    }
+
+    fn stmt(&mut self, s: &Stmt) {
+        match s {
+            Stmt::Assign { var, value, .. } => {
+                self.expr(value);
+                self.code.push(Inst::StoreVar(*var));
+            }
+            Stmt::Store { arr, idx, value, .. } => {
+                self.expr(idx);
+                self.expr(value);
+                self.code.push(Inst::StoreArr(*arr));
+            }
+            Stmt::If { cond, then_body, else_body, .. } => {
+                self.expr(cond);
+                let jf = self.code.len();
+                self.code.push(Inst::JumpIfFalse(usize::MAX));
+                self.block(then_body);
+                if else_body.is_empty() {
+                    let end = self.code.len();
+                    self.code[jf] = Inst::JumpIfFalse(end);
+                } else {
+                    let jend = self.code.len();
+                    self.code.push(Inst::Jump(usize::MAX));
+                    let else_start = self.code.len();
+                    self.code[jf] = Inst::JumpIfFalse(else_start);
+                    self.block(else_body);
+                    let end = self.code.len();
+                    self.code[jend] = Inst::Jump(end);
+                }
+            }
+            Stmt::For { id, var, from, to, step, body, .. } => {
+                let bound = self.hidden_slot();
+                self.expr(from);
+                self.code.push(Inst::ForInit { var: *var });
+                self.expr(to);
+                self.code.push(Inst::StoreBound { slot: bound });
+                self.code.push(Inst::LoopEnter { id: *id });
+                let head = self.code.len();
+                self.code.push(Inst::ForTest {
+                    var: *var,
+                    bound,
+                    step: *step,
+                    exit: usize::MAX,
+                    id: *id,
+                });
+                self.block(body);
+                self.code.push(Inst::ForStep { var: *var, step: *step });
+                self.code.push(Inst::Jump(head));
+                let exit = self.code.len();
+                if let Inst::ForTest { exit: e, .. } = &mut self.code[head] {
+                    *e = exit;
+                }
+                self.code.push(Inst::LoopExit { id: *id });
+            }
+            Stmt::While { id, cond, body, .. } => {
+                self.code.push(Inst::LoopEnter { id: *id });
+                let head = self.code.len();
+                self.code.push(Inst::WhileIter { id: *id });
+                self.expr(cond);
+                let jf = self.code.len();
+                self.code.push(Inst::JumpIfFalse(usize::MAX));
+                self.block(body);
+                self.code.push(Inst::Jump(head));
+                let exit = self.code.len();
+                self.code[jf] = Inst::JumpIfFalse(exit);
+                self.code.push(Inst::LoopExit { id: *id });
+            }
+            Stmt::Expr { expr } => {
+                let pushes = self.expr(expr);
+                if pushes {
+                    self.code.push(Inst::Pop);
+                }
+            }
+            Stmt::Return { value, .. } => {
+                match value {
+                    Some(e) => {
+                        self.expr(e);
+                        self.code.push(Inst::Ret { has_value: true });
+                    }
+                    None => self.code.push(Inst::Ret { has_value: false }),
+                }
+            }
+            Stmt::Spawn { func, args, handle, .. } => {
+                for a in args {
+                    self.expr(a);
+                }
+                self.code.push(Inst::Spawn { func: *func, nargs: args.len(), handle: *handle });
+            }
+            Stmt::Join { handle, .. } => {
+                self.expr(handle);
+                self.code.push(Inst::Join);
+            }
+            Stmt::Barrier { bar, .. } => self.code.push(Inst::Barrier { bar: *bar }),
+            Stmt::Lock { mutex, .. } => self.code.push(Inst::Lock { m: *mutex }),
+            Stmt::Unlock { mutex, .. } => self.code.push(Inst::Unlock { m: *mutex }),
+            Stmt::Output { arr, .. } => self.code.push(Inst::Output { arr: *arr }),
+        }
+    }
+
+    /// Emits code that leaves the expression's value on the stack. Returns
+    /// `false` only for void calls (nothing pushed).
+    fn expr(&mut self, e: &Expr) -> bool {
+        match e {
+            Expr::Int(v) => self.code.push(Inst::Const(repro_ir::Value::I64(*v))),
+            Expr::Float(v) => self.code.push(Inst::Const(repro_ir::Value::F64(*v))),
+            Expr::Bool(v) => self.code.push(Inst::Const(repro_ir::Value::Bool(*v))),
+            Expr::Var(v) => self.code.push(Inst::LoadVar(*v)),
+            Expr::Load { arr, idx, .. } => {
+                self.expr(idx);
+                self.code.push(Inst::LoadArr(*arr));
+            }
+            Expr::Un { op, a, id, loc } => {
+                self.expr(a);
+                self.code.push(Inst::Un { op: *op, id: *id, pos: Pos::from_loc(*loc) });
+            }
+            Expr::Bin { op, a, b, id, loc } => {
+                self.expr(a);
+                self.expr(b);
+                self.code.push(Inst::Bin { op: *op, id: *id, pos: Pos::from_loc(*loc) });
+            }
+            Expr::Intr { op, args, id, loc } => {
+                for a in args {
+                    self.expr(a);
+                }
+                self.code.push(Inst::Intr { op: *op, id: *id, pos: Pos::from_loc(*loc) });
+            }
+            Expr::Call { f, args, .. } => {
+                for a in args {
+                    self.expr(a);
+                }
+                self.code.push(Inst::Call(*f));
+                // The machine pushes a value only when the callee returns
+                // one, so `Stmt::Expr` must emit Pop exactly for non-void
+                // callees.
+                return self.p.function(*f).ret.is_some();
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use repro_ir::{BinOp, FnBuilder, ProgramBuilder, Type};
+
+    #[test]
+    fn compiles_loop_with_hidden_bound_slot() {
+        let mut pb = ProgramBuilder::new("t");
+        let out = pb.global("out", Type::I64, 4);
+        let mut f = pb.function("main", vec![], None);
+        f.for_loop("i", Expr::Int(0), Expr::Int(4), |f, i| {
+            let v = f.bin(BinOp::Mul, Expr::Var(i), Expr::Var(i));
+            vec![FnBuilder::stmt_store(out, Expr::Var(i), v)]
+        });
+        let main = f.finish();
+        let p = pb.finish(main);
+        let c = compile_program(&p);
+        let cf = c.function(main);
+        // one declared local (i) + one hidden bound slot
+        assert_eq!(cf.n_slots, 2);
+        assert!(cf.code.iter().any(|i| matches!(i, Inst::ForTest { .. })));
+        assert!(cf.code.iter().any(|i| matches!(i, Inst::LoopEnter { .. })));
+        assert!(cf.code.iter().any(|i| matches!(i, Inst::LoopExit { .. })));
+        // Jump targets patched (no usize::MAX remains).
+        for inst in &cf.code {
+            match inst {
+                Inst::Jump(t) | Inst::JumpIfFalse(t) => assert_ne!(*t, usize::MAX),
+                Inst::ForTest { exit, .. } => assert_ne!(*exit, usize::MAX),
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn compiles_if_else_with_patched_targets() {
+        let mut pb = ProgramBuilder::new("t2");
+        let mut f = pb.function("main", vec![("c", Type::Bool)], None);
+        let x = f.local("x", Type::I64);
+        let c = f.param(0);
+        f.push(Stmt::If {
+            cond: Expr::Var(c),
+            then_body: vec![FnBuilder::stmt_assign(x, Expr::Int(1))],
+            else_body: vec![FnBuilder::stmt_assign(x, Expr::Int(2))],
+            loc: repro_ir::Loc::NONE,
+        });
+        let main = f.finish();
+        let p = pb.finish(main);
+        let cpp = compile_program(&p);
+        let code = &cpp.function(main).code;
+        let jf = code
+            .iter()
+            .find_map(|i| if let Inst::JumpIfFalse(t) = i { Some(*t) } else { None })
+            .unwrap();
+        assert!(jf < code.len());
+        // The instruction at the else target must store 2.
+        assert!(matches!(code[jf], Inst::Const(repro_ir::Value::I64(2))));
+    }
+
+    #[test]
+    fn ends_with_implicit_return() {
+        let mut pb = ProgramBuilder::new("t3");
+        let f = pb.function("main", vec![], None);
+        let main = f.finish();
+        let p = pb.finish(main);
+        let c = compile_program(&p);
+        assert_eq!(c.function(main).code.last(), Some(&Inst::Ret { has_value: false }));
+    }
+}

@@ -1,0 +1,65 @@
+//! Analyze any Starbench benchmark and compare against the paper's
+//! Table 3 ground truth.
+//!
+//! ```sh
+//! cargo run --example analyze_starbench -- streamcluster pthreads
+//! cargo run --example analyze_starbench -- kmeans seq
+//! ```
+
+use starbench::Version;
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "streamcluster".into());
+    let version = match std::env::args().nth(2).as_deref() {
+        Some("seq") => Version::Seq,
+        _ => Version::Pthreads,
+    };
+    let Some(bench) = starbench::benchmark(&name) else {
+        eprintln!(
+            "unknown benchmark {name}; available: {}",
+            starbench::all_benchmarks()
+                .iter()
+                .map(|b| b.name)
+                .collect::<Vec<_>>()
+                .join(", ")
+        );
+        std::process::exit(1);
+    };
+
+    println!("=== {} ({}) ===", bench.name, version.name());
+    let program = bench.program(version);
+    let run = bench.run_analysis(version);
+    let ddg = run.ddg.expect("traced");
+    println!("DDG: {} nodes, {} arcs\n", ddg.len(), ddg.arc_count());
+
+    let result = discovery::find_patterns(&ddg, &discovery::FinderConfig::default());
+    println!("{}", discovery::report::render_text(&result, &program));
+
+    println!("all matches by iteration:");
+    for f in &result.found {
+        println!(
+            "  it.{} {}{}",
+            f.iteration,
+            f.pattern.describe(),
+            if f.reported { "" } else { "  (subsumed)" }
+        );
+    }
+
+    let eval = starbench::evaluate(bench.name, version, &result);
+    println!(
+        "\nTable 3 check: {}/{} expected found, {} known-missed confirmed, {} additional",
+        eval.found_count(),
+        eval.expected_count(),
+        eval.missed_confirmed(),
+        eval.extras.len()
+    );
+    for (e, ok) in &eval.hits {
+        let status = match (e.found, ok) {
+            (true, true) => "found as expected",
+            (true, false) => "MISSING",
+            (false, true) => "missed as the paper does",
+            (false, false) => "FOUND BUT PAPER MISSES IT",
+        };
+        println!("  {} (it.{}): {}", e.kind, e.iteration, status);
+    }
+}

@@ -1,0 +1,75 @@
+//! The paper's full §2 + §6.3 story on one screen: find the tiled
+//! map-reduction in Pthreaded streamcluster, re-express it as a skeleton
+//! call, and show where each implementation wins across architectures.
+//!
+//! ```sh
+//! cargo run --release --example modernize_streamcluster
+//! ```
+
+use skeletons::model::{speedup, Impl, KernelProfile};
+use skeletons::{ExecPlan, Machine};
+use starbench::native::{hiz_modernized, hiz_pthreads, hiz_sequential, Points};
+use starbench::Version;
+
+fn main() {
+    // --- Act 1: the analysis (paper Fig. 2) ---
+    println!("1. Analyzing Pthreaded streamcluster...\n");
+    let bench = starbench::benchmark("streamcluster").unwrap();
+    let program = bench.program(Version::Pthreads);
+    let run = bench.run_analysis(Version::Pthreads);
+    let result =
+        discovery::find_patterns(&run.ddg.unwrap(), &discovery::FinderConfig::default());
+
+    let mr = result
+        .reported()
+        .find(|f| {
+            f.pattern.kind == discovery::PatternKind::TiledMapReduction
+                && f.pattern.op_labels.iter().any(|l| l.contains("sqrt"))
+        })
+        .expect("the hiz tiled map-reduction");
+    println!(
+        "found after {} finder iterations: {} across source lines:",
+        mr.iteration,
+        mr.pattern.describe()
+    );
+    for &(file, line) in &mr.pattern.lines {
+        if let Some(text) = program.source_line(repro_ir::Loc::in_file(file, line, 1)) {
+            println!("    {}:{}: {}", program.files[file as usize], line, text.trim());
+        }
+    }
+
+    // --- Act 2: the modernization (paper Fig. 2b) ---
+    println!("\n2. The found pattern as one skeleton call:\n");
+    let pts = Points::synthetic(100_000, 32, 11);
+    let weights: Vec<f64> = (0..pts.len()).map(|i| 1.0 + (i % 4) as f64 * 0.1).collect();
+    let legacy = hiz_pthreads(&pts, &weights, 4);
+    for plan in [ExecPlan::Sequential, ExecPlan::cpu_auto(), ExecPlan::SimGpu] {
+        let modern = hiz_modernized(&pts, &weights, plan);
+        assert!((modern - legacy).abs() < 1e-6);
+        println!("   hiz_modernized({plan}) = {modern:.3}  (legacy pthreads: {legacy:.3})");
+    }
+    let seq = hiz_sequential(&pts, &weights);
+    assert!((seq - legacy).abs() < 1e-6);
+
+    // --- Act 3: the portability payoff (paper Fig. 8) ---
+    println!("\n3. Modeled speedups on the paper's two machines:\n");
+    let baseline = Machine::cpu_centric();
+    let profile = KernelProfile::streamcluster_reference();
+    for machine in [Machine::cpu_centric(), Machine::gpu_centric()] {
+        println!("   {}", machine.name);
+        for imp in [Impl::LegacyPthreads, Impl::Modernized, Impl::RodiniaCuda] {
+            println!(
+                "     {:<34} {:>5.1}x",
+                imp.label(),
+                speedup(imp, &machine, &baseline, &profile)
+            );
+        }
+        let chosen = skeletons::choose_backend(&machine, &profile);
+        println!("     (hybrid dispatcher picks: {chosen:?})\n");
+    }
+    println!(
+        "The same modernized source is within 4% of hand-written Pthreads on the\n\
+         12-core machine and 3.6x faster than it on the GPU-centric machine — the\n\
+         paper's portability argument."
+    );
+}

@@ -1,0 +1,66 @@
+//! Partial-pattern classification (the paper's §9 future-work item):
+//! run the finder under several inputs and separate stable patterns from
+//! input-dependent ones.
+//!
+//! ```sh
+//! cargo run --example partial_patterns
+//! ```
+
+use discovery::{find_patterns, FinderConfig, Stability};
+use trace::RunConfig;
+
+const SRC: &str = r#"
+float readings[16];
+float smoothed[16];
+float alarms[1];
+
+void main() {
+    float alarm = 0.0;
+    int i;
+    for (i = 0; i < 16; i++) {
+        smoothed[i] = readings[i] * 0.8 + 0.1;
+        if (readings[i] > 100.0) {
+            alarm = alarm + readings[i];
+        }
+    }
+    alarms[0] = alarm;
+    output(smoothed);
+    output(alarms);
+}
+"#;
+
+fn main() {
+    let program = minc::compile("sensor", SRC).expect("compiles");
+    let analyze = |data: &[f64]| {
+        let cfg = RunConfig::default().with_f64("readings", data);
+        let r = trace::run(&program, &cfg).expect("runs");
+        find_patterns(&r.ddg.expect("traced"), &FinderConfig::default())
+    };
+
+    // Input 1: calm readings — the alarm accumulation never fires.
+    let calm: Vec<f64> = (0..16).map(|i| 20.0 + i as f64).collect();
+    // Input 2: two spikes — the conditional reduction now chains
+    // iterations together.
+    let mut spiky = calm.clone();
+    spiky[3] = 150.0;
+    spiky[7] = 180.0;
+
+    let runs = vec![analyze(&calm), analyze(&spiky)];
+    println!("patterns under {} inputs:\n", runs.len());
+    for c in discovery::classify_across_inputs(&runs) {
+        match c.stability {
+            Stability::Stable => {
+                println!("  stable : {:?} over loops {:?}", c.site.kind, c.site.loops)
+            }
+            Stability::Partial(in_runs) => println!(
+                "  PARTIAL: {:?} over loops {:?} (it.{}) — holds only under input(s) {:?}",
+                c.site.kind, c.site.loops, c.site.iteration, in_runs
+            ),
+        }
+    }
+    println!(
+        "\nA deployment would show partial patterns to the programmer with their\n\
+         triggering condition — the paper's 'partial patterns (which only apply\n\
+         under certain execution conditions)'."
+    );
+}

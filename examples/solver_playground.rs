@@ -1,0 +1,71 @@
+//! The constraint-solver kernel on its own: the finite-domain engine that
+//! matches pattern models (the reproduction's MiniZinc/Chuffed stand-in),
+//! demonstrated on classic CSPs.
+//!
+//! ```sh
+//! cargo run --example solver_playground -- 10
+//! ```
+
+use cp::search::search_with;
+use cp::{AllDifferent, NotEqual, Outcome, Propagator, VarId};
+use std::time::Duration;
+
+fn main() {
+    let n: u32 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(8);
+
+    // n-queens.
+    let mut search = search_with(|store| {
+        let qs: Vec<VarId> = (0..n).map(|_| store.new_var(0, n - 1)).collect();
+        let mut props: Vec<Box<dyn Propagator>> =
+            vec![Box::new(AllDifferent::new(qs.clone()))];
+        for i in 0..n as usize {
+            for j in (i + 1)..n as usize {
+                let d = (j - i) as i64;
+                props.push(Box::new(NotEqual::with_offset(qs[i], qs[j], d)));
+                props.push(Box::new(NotEqual::with_offset(qs[i], qs[j], -d)));
+            }
+        }
+        props
+    })
+    .with_budget(Duration::from_secs(60));
+
+    match search.solve_first() {
+        Outcome::Solution { values, .. } => {
+            println!("{n}-queens solution (column per row): {values:?}");
+            for &val in values.iter().take(n as usize) {
+                let col = val as usize;
+                let line: String = (0..n as usize)
+                    .map(|c| if c == col { " Q" } else { " ." })
+                    .collect();
+                println!("{line}");
+            }
+        }
+        Outcome::Unsat => println!("{n}-queens is unsatisfiable"),
+        Outcome::Exhausted => println!("budget exhausted"),
+    }
+    let stats = search.stats();
+    println!(
+        "search: {} nodes, {} solution(s), max depth {}",
+        stats.nodes, stats.solutions, stats.max_depth
+    );
+
+    // Graph coloring of a wheel graph: hub + even cycle (3-colorable;
+    // an odd cycle would need four colors).
+    let spokes = 6u32;
+    let mut coloring = search_with(|store| {
+        let hub = store.new_var(0, 2);
+        let rim: Vec<VarId> = (0..spokes).map(|_| store.new_var(0, 2)).collect();
+        let mut props: Vec<Box<dyn Propagator>> = Vec::new();
+        for (i, &r) in rim.iter().enumerate() {
+            props.push(Box::new(NotEqual::new(hub, r)));
+            props.push(Box::new(NotEqual::new(r, rim[(i + 1) % spokes as usize])));
+        }
+        props
+    });
+    match coloring.solve_first() {
+        Outcome::Solution { values, .. } => {
+            println!("\nwheel W{spokes} 3-coloring: hub={} rim={:?}", values[0], &values[1..]);
+        }
+        other => println!("\nwheel coloring: {other:?}"),
+    }
+}

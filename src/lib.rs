@@ -1,0 +1,1 @@
+pub use discovery; pub use ddg; pub use minc; pub use repro_ir; pub use trace; pub use cp; pub use skeletons; pub use starbench;

@@ -1,0 +1,173 @@
+//! Cross-crate integration tests: the full pipeline from `minc` source
+//! through tracing to pattern finding and reporting.
+
+use discovery::{find_patterns, FinderConfig, PatternKind};
+use starbench::Version;
+use trace::{run, RunConfig};
+
+fn analyze(src: &str, cfg: RunConfig) -> (repro_ir::Program, discovery::FinderResult) {
+    let program = minc::compile("test", src).expect("compiles");
+    let r = run(&program, &cfg).expect("runs");
+    let result = find_patterns(&r.ddg.expect("traced"), &FinderConfig::default());
+    (program, result)
+}
+
+/// The paper's §6.1 observation, "the same patterns are found in both
+/// versions of all benchmarks": every Table 3 pattern found in the
+/// sequential version is found in the Pthreads version and vice versa
+/// (as kinds — the reduction legend switches between linear and tiled).
+#[test]
+fn analysis_is_oblivious_to_parallelism() {
+    for bench in starbench::all_benchmarks() {
+        let mut kinds_by_version = Vec::new();
+        for v in Version::BOTH {
+            let r = bench.run_analysis(v);
+            let result = find_patterns(&r.ddg.unwrap(), &FinderConfig::default());
+            let eval = starbench::evaluate(bench.name, v, &result);
+            let mut satisfied: Vec<&str> = eval
+                .hits
+                .iter()
+                .filter(|(e, ok)| e.found && *ok)
+                .map(|(e, _)| e.kind)
+                .collect();
+            satisfied.sort_unstable();
+            kinds_by_version.push(satisfied);
+        }
+        assert_eq!(
+            kinds_by_version[0], kinds_by_version[1],
+            "{}: same expected patterns found in both versions",
+            bench.name
+        );
+    }
+}
+
+/// Tracing is deterministic: two runs produce identical DDGs.
+#[test]
+fn tracing_is_deterministic() {
+    let bench = starbench::benchmark("md5").unwrap();
+    let program = bench.program(Version::Pthreads);
+    let cfg = (bench.analysis_input)();
+    let a = run(&program, &cfg).unwrap().ddg.unwrap();
+    let b = run(&program, &cfg).unwrap().ddg.unwrap();
+    assert_eq!(a.len(), b.len());
+    assert_eq!(a.arcs().collect::<Vec<_>>(), b.arcs().collect::<Vec<_>>());
+    for (x, y) in a.node_ids().zip(b.node_ids()) {
+        assert_eq!(a.node(x).static_op, b.node(y).static_op);
+        assert_eq!(a.node(x).thread, b.node(y).thread);
+    }
+}
+
+/// A pipeline of maps over linked computations fuses into one fused map,
+/// regardless of how many stages there are.
+#[test]
+fn map_pipelines_fuse_across_stages() {
+    let src = r#"
+float a[8];
+float b[8];
+float c[8];
+float d[8];
+
+void main() {
+    int i;
+    for (i = 0; i < 8; i++) {
+        b[i] = a[i] * 2.0;
+    }
+    int j;
+    for (j = 0; j < 8; j++) {
+        c[j] = b[j] + 1.0;
+    }
+    int k;
+    for (k = 0; k < 8; k++) {
+        d[k] = c[k] * c[k];
+    }
+    output(d);
+}
+"#;
+    let cfg = RunConfig::default().with_f64("a", &[0.5; 8]);
+    let (_, result) = analyze(src, cfg);
+    let fused: Vec<_> = result
+        .found
+        .iter()
+        .filter(|f| f.pattern.kind == PatternKind::FusedMap)
+        .collect();
+    assert!(!fused.is_empty(), "chained maps must fuse");
+    // The largest fusion covers all three stages (24 nodes: 8 per stage).
+    let biggest = fused.iter().map(|f| f.pattern.nodes.len()).max().unwrap();
+    assert_eq!(biggest, 24, "three-stage fusion");
+    // Merging reports only the largest composition.
+    let reported: Vec<_> = result.reported().collect();
+    assert!(reported
+        .iter()
+        .all(|f| f.pattern.kind == PatternKind::FusedMap && f.pattern.nodes.len() == 24));
+}
+
+/// Mutex-protected accumulation across threads still yields the reduction:
+/// the DDG sees dataflow, not synchronization.
+#[test]
+fn mutex_guarded_reduction_is_found() {
+    let src = r#"
+float data[8];
+float total[1];
+int handles[2];
+mutex m;
+
+void worker(int pid) {
+    float acc = 0.0;
+    int i;
+    for (i = pid * 4; i < pid * 4 + 4; i++) {
+        acc = acc + data[i];
+    }
+    lock(m);
+    total[0] = total[0] + acc;
+    unlock(m);
+}
+
+void main() {
+    int t;
+    for (t = 0; t < 2; t++) {
+        int h;
+        h = spawn worker(t);
+        handles[t] = h;
+    }
+    for (t = 0; t < 2; t++) {
+        join(handles[t]);
+    }
+    output(total);
+}
+"#;
+    let cfg = RunConfig::default().with_f64("data", &[1.0; 8]);
+    let (_, result) = analyze(src, cfg);
+    assert!(
+        result.found.iter().any(|f| f.pattern.kind == PatternKind::TiledReduction),
+        "{:?}",
+        result.found.iter().map(|f| f.pattern.describe()).collect::<Vec<_>>()
+    );
+}
+
+/// The reports point at real source lines.
+#[test]
+fn reports_reference_source_lines() {
+    let src = "float a[4];\nfloat b[4];\nvoid main() {\n  int i;\n  for (i = 0; i < 4; i++) {\n    b[i] = a[i] * 3.0;\n  }\n  output(b);\n}\n";
+    let (program, result) =
+        analyze(src, RunConfig::default().with_f64("a", &[1.0, 2.0, 3.0, 4.0]));
+    let text = discovery::report::render_text(&result, &program);
+    assert!(text.contains("b[i] = a[i] * 3.0;"), "{text}");
+    let html = discovery::report::render_html(&result, &program);
+    assert!(html.contains("map fmul"));
+}
+
+/// Interpreted execution agrees with native Rust on the hiz kernel (the
+/// modernization correctness chain: legacy = traced = skeleton).
+#[test]
+fn interpreted_and_native_hiz_agree() {
+    let bench = starbench::benchmark("streamcluster").unwrap();
+    let run_res = bench.run_analysis(Version::Pthreads);
+    let interpreted = run_res.f64s("result")[0];
+
+    // Native equivalent of the same computation.
+    let pts_flat = run_res.f64s("pts");
+    let wtab = run_res.f64s("wtab");
+    let pts = starbench::native::Points { dim: 2, coords: pts_flat };
+    let native = starbench::native::hiz_sequential(&pts, &wtab);
+    assert!((interpreted - native).abs() < 1e-9, "{interpreted} vs {native}");
+}

@@ -1,0 +1,180 @@
+//! Property-based tests (proptest) over the pipeline's invariants.
+//!
+//! Strategy: generate random *programs* in a constrained shape space
+//! (maps, reductions, map-reductions with random sizes, operators, and
+//! data), run the full trace → find pipeline, and check the paper-level
+//! invariants: the right pattern family is found, every reported pattern
+//! satisfies its raw §4 definition, merging only drops subsumed patterns,
+//! and skeleton backends agree with sequential semantics.
+
+use discovery::{find_patterns, FinderConfig, PatternKind};
+use proptest::prelude::*;
+use trace::{run, RunConfig};
+
+/// Builds a map program `out[i] = f(in[i])` with a random operator mix.
+fn map_source(op: &str, post: f64) -> String {
+    format!(
+        "float in[64];\nfloat out[64];\nint cfg[1];\n\
+         void main() {{\n  int n = cfg[0];\n  int i;\n  for (i = 0; i < n; i++) {{\n    \
+         out[i] = in[i] {op} {post:.3} + 0.25;\n  }}\n  output(out);\n}}\n"
+    )
+}
+
+/// Builds a reduction program `acc = fold(op, in)`.
+fn reduction_source(op: &str) -> String {
+    format!(
+        "float in[64];\nfloat out[1];\nint cfg[1];\n\
+         void main() {{\n  int n = cfg[0];\n  float acc = 0.5;\n  int i;\n  \
+         for (i = 0; i < n; i++) {{\n    acc = acc {op} in[i];\n  }}\n  \
+         out[0] = acc;\n  output(out);\n}}\n"
+    )
+}
+
+fn run_finder(src: &str, n: usize, data: &[f64]) -> discovery::FinderResult {
+    let program = minc::compile("prop", src).expect("compiles");
+    let cfg = RunConfig::default()
+        .with_f64("in", data)
+        .with_i64("cfg", &[n as i64]);
+    let r = run(&program, &cfg).expect("runs");
+    find_patterns(&r.ddg.expect("traced"), &FinderConfig::default())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Any elementwise loop over ≥2 elements is found as a map, whatever
+    /// the operator and data.
+    #[test]
+    fn random_maps_are_found(
+        n in 2usize..64,
+        op_idx in 0usize..3,
+        post in 0.1f64..8.0,
+        seed in 0u64..1000,
+    ) {
+        let op = ["*", "+", "-"][op_idx];
+        let data: Vec<f64> = (0..n).map(|i| ((i as u64 * 31 + seed) % 97) as f64 * 0.1).collect();
+        let result = run_finder(&map_source(op, post), n, &data);
+        let maps: Vec<_> = result
+            .reported()
+            .filter(|f| f.pattern.kind == PatternKind::Map)
+            .collect();
+        prop_assert_eq!(maps.len(), 1, "one map expected");
+        prop_assert_eq!(maps[0].pattern.components, n);
+        prop_assert_eq!(maps[0].iteration, 1);
+    }
+
+    /// Any associative fold over ≥2 elements is found as a linear
+    /// reduction; non-associative folds are not.
+    #[test]
+    fn random_folds_match_associativity(
+        n in 2usize..64,
+        op_idx in 0usize..3,
+        seed in 0u64..1000,
+    ) {
+        let (op, associative) = [("+", true), ("*", true), ("-", false)][op_idx];
+        let data: Vec<f64> = (0..n).map(|i| 1.0 + ((i as u64 + seed) % 7) as f64 * 0.01).collect();
+        let result = run_finder(&reduction_source(op), n, &data);
+        let reds = result
+            .found
+            .iter()
+            .filter(|f| f.pattern.kind == PatternKind::LinearReduction)
+            .count();
+        if associative {
+            prop_assert!(reds >= 1, "associative fold must match");
+        } else {
+            prop_assert_eq!(reds, 0, "fsub must not match a reduction");
+        }
+    }
+
+    /// Every reported pattern satisfies the raw §4 definitions (the
+    /// verifier is independent of the matcher).
+    #[test]
+    fn reported_patterns_verify(
+        n in 2usize..32,
+        seed in 0u64..500,
+    ) {
+        let src = "float in[64];\nfloat mid[64];\nfloat out[1];\nint cfg[1];\n\
+             void main() {\n  int n = cfg[0];\n  int i;\n  for (i = 0; i < n; i++) {\n    \
+             mid[i] = in[i] * 2.0;\n  }\n  float acc = 0.0;\n  int j;\n  \
+             for (j = 0; j < n; j++) {\n    acc = acc + mid[j];\n  }\n  \
+             out[0] = acc;\n  output(out);\n}\n".to_string();
+        let data: Vec<f64> = (0..n).map(|i| ((i as u64 ^ seed) % 13) as f64).collect();
+        let program = minc::compile("prop", &src).expect("compiles");
+        let cfg = RunConfig::default().with_f64("in", &data).with_i64("cfg", &[n as i64]);
+        let r = run(&program, &cfg).expect("runs");
+        let ddg = r.ddg.unwrap();
+        let (simplified, _, _) = discovery::simplify(&ddg);
+        let result = find_patterns(&ddg, &FinderConfig::default());
+        for f in &result.found {
+            prop_assert!(
+                discovery::models::verify::check(&simplified, &f.pattern),
+                "pattern violates its definition: {}",
+                f.pattern.describe()
+            );
+        }
+        // And the map-reduction composes.
+        prop_assert!(result
+            .found
+            .iter()
+            .any(|f| f.pattern.kind == PatternKind::LinearMapReduction));
+    }
+
+    /// Merging never drops a pattern that is not covered by a larger one.
+    #[test]
+    fn merge_only_discards_subsumed(
+        n in 2usize..32,
+    ) {
+        let data: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        let result = run_finder(&map_source("*", 3.0), n, &data);
+        for f in &result.found {
+            if !f.reported {
+                prop_assert!(
+                    result.found.iter().any(|g| f.pattern.subsumed_by(&g.pattern)),
+                    "unreported pattern must be subsumed"
+                );
+            }
+        }
+    }
+
+    /// Skeleton backends agree bit-for-bit deterministically and match a
+    /// sequential fold semantically.
+    #[test]
+    fn skeleton_backends_agree(
+        len in 0usize..500,
+        threads in 1usize..16,
+        seed in 0u64..100,
+    ) {
+        let input: Vec<f64> =
+            (0..len).map(|i| (((i as u64 * 17 + seed) % 101) as f64) * 0.25).collect();
+        let seq = skeletons::map_reduce(
+            skeletons::ExecPlan::Sequential, &input, |x| x + 1.0, 0.0, |a, b| a + b);
+        let par = skeletons::map_reduce(
+            skeletons::ExecPlan::CpuThreads(threads), &input, |x| x + 1.0, 0.0, |a, b| a + b);
+        prop_assert!((seq - par).abs() < 1e-9);
+        let m1 = skeletons::map(skeletons::ExecPlan::CpuThreads(threads), &input, |x| x * 2.0);
+        let m2 = skeletons::map(skeletons::ExecPlan::Sequential, &input, |x| x * 2.0);
+        prop_assert_eq!(m1, m2);
+    }
+
+    /// The interpreter computes what the source says: random expressions
+    /// evaluated both by the machine and by a Rust mirror.
+    #[test]
+    fn interpreter_matches_semantics(
+        a in -100i64..100,
+        b in -100i64..100,
+        c in 1i64..50,
+    ) {
+        let src = format!(
+            "int out[4];\nvoid main() {{\n  out[0] = {a} + {b} * {c};\n  \
+             out[1] = ({a} - {b}) / {c};\n  out[2] = {a} % {c};\n  \
+             out[3] = min({a}, {b}) + max({a}, {b});\n  output(out);\n}}\n"
+        );
+        let program = minc::compile("sem", &src).expect("compiles");
+        let r = run(&program, &RunConfig::default()).expect("runs");
+        let out = r.i64s("out");
+        prop_assert_eq!(out[0], a + b * c);
+        prop_assert_eq!(out[1], (a - b) / c);
+        prop_assert_eq!(out[2], a % c);
+        prop_assert_eq!(out[3], a.min(b) + a.max(b));
+    }
+}
