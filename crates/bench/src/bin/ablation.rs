@@ -5,7 +5,7 @@
 //! Runs every benchmark version with and without DDG simplification and
 //! reports the size, time, and pattern-inventory deltas.
 
-use repro_bench::{render_table, write_record};
+use repro_bench::{cli, render_table, write_record};
 use serde::Serialize;
 use starbench::{all_benchmarks, Version};
 use std::time::Instant;
@@ -25,6 +25,7 @@ struct Row {
 }
 
 fn main() {
+    let opts = cli();
     println!("Ablation: DDG simplification on vs off.\n");
     let mut rows = Vec::new();
     let mut records = Vec::new();
@@ -34,7 +35,10 @@ fn main() {
             let ddg = r.ddg.unwrap();
 
             let run = |enable_simplify: bool| {
-                let cfg = discovery::FinderConfig { enable_simplify, ..Default::default() };
+                let cfg = discovery::FinderConfig {
+                    enable_simplify,
+                    ..opts.config.clone()
+                };
                 let t0 = Instant::now();
                 let result = discovery::find_patterns(&ddg, &cfg);
                 let secs = t0.elapsed().as_secs_f64();
@@ -80,9 +84,9 @@ fn main() {
             &rows
         )
     );
-    let (hit_on, hit_off): (usize, usize) = records
-        .iter()
-        .fold((0, 0), |(a, b), r| (a + r.expected_with, b + r.expected_without));
+    let (hit_on, hit_off): (usize, usize) = records.iter().fold((0, 0), |(a, b), r| {
+        (a + r.expected_with, b + r.expected_without)
+    });
     println!(
         "expected instances found: {hit_on}/36 with simplification, {hit_off}/36 without \
          — the phase is what separates pattern dataflow from bookkeeping\n\

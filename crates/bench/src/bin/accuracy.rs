@@ -9,7 +9,7 @@
 //! trigger its conditional accumulation, and any map that disappears was a
 //! false pattern.
 
-use repro_bench::{analyze, render_table, write_record};
+use repro_bench::{analyze, cli, render_table, write_record};
 use serde::Serialize;
 use starbench::{all_benchmarks, Version};
 
@@ -22,6 +22,7 @@ struct Record {
 }
 
 fn main() {
+    let opts = cli();
     println!("Accuracy study (paper §6.1).\n");
 
     // 1. Count the additional (beyond-Table-3) patterns per kind.
@@ -31,7 +32,7 @@ fn main() {
     let mut rows = Vec::new();
     for bench in all_benchmarks() {
         for version in Version::BOTH {
-            let run = analyze(bench, version);
+            let run = analyze(bench, version, &opts.config);
             let n = run.evaluation.extras.len();
             extras_total += n;
             for f in &run.evaluation.extras {
@@ -50,7 +51,10 @@ fn main() {
             ]);
         }
     }
-    println!("{}", render_table(&["benchmark", "version", "extras", "kinds"], &rows));
+    println!(
+        "{}",
+        render_table(&["benchmark", "version", "extras", "kinds"], &rows)
+    );
     println!(
         "additional patterns: {extras_total} (paper: 50); by kind: {:?}",
         by_kind
@@ -62,7 +66,7 @@ fn main() {
     let mut false_patterns = 0usize;
     for version in Version::BOTH {
         let bench = starbench::benchmark("streamcluster").unwrap();
-        let baseline = analyze(bench, version);
+        let baseline = analyze(bench, version, &opts.config);
         let maps_before: Vec<Vec<u32>> = baseline
             .result
             .found
@@ -81,8 +85,7 @@ fn main() {
         pts[2] = -2.5;
         let cfg = starbench::suite::streamcluster::input_for_points(&pts, 2);
         let run = trace::run(&program, &cfg).expect("trigger run");
-        let result =
-            discovery::find_patterns(&run.ddg.unwrap(), &discovery::FinderConfig::default());
+        let result = discovery::find_patterns(&run.ddg.unwrap(), &opts.config);
         let maps_after: Vec<Vec<u32>> = result
             .found
             .iter()
@@ -113,7 +116,10 @@ fn main() {
         "accuracy",
         &Record {
             extras_total,
-            extras_by_kind: by_kind.into_iter().map(|(k, v)| (k.to_string(), v)).collect(),
+            extras_by_kind: by_kind
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
             false_patterns,
             accuracy_percent: accuracy,
         },

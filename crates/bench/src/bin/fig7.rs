@@ -3,8 +3,14 @@
 //! (paper: 3.82× average), the phase-time breakdown (paper: tracing ≈ 1%,
 //! matching ≈ 48%, other phases ≈ 51%), and the Pthreads-vs-sequential
 //! DDG size and time deltas (paper: +15% size, +28% time).
+//!
+//! The whole benchmark × version × factor series runs as one batch on
+//! the `repro-engine` work-stealing engine; per-point timings come from
+//! the engine's per-request metrics. `--workers <n>` sizes the match
+//! pool and `--budget-ms <ms>` caps each solver run.
 
-use repro_bench::{analyze_scaled, render_table, write_record};
+use repro_bench::{cli, engine, print_engine_metrics, render_table, write_record};
+use repro_engine::AnalysisRequest;
 use serde::Serialize;
 use starbench::{all_benchmarks, Version};
 
@@ -20,55 +26,86 @@ struct Point {
 }
 
 fn main() {
-    let factors: Vec<usize> = std::env::args()
-        .nth(1)
+    let opts = cli();
+    let factors: Vec<usize> = opts
+        .positional
+        .first()
         .map(|s| s.split(',').map(|x| x.parse().expect("factor")).collect())
         .unwrap_or_else(|| vec![1, 4, 16, 64]);
     println!("Fig. 7: pattern finding time by DDG size (scale factors {factors:?}).\n");
+
+    // One request per (benchmark, version, factor); the engine overlaps
+    // tracing and matching across the whole series.
+    let mut meta = Vec::new();
+    let mut requests = Vec::new();
+    for bench in all_benchmarks() {
+        for version in Version::BOTH {
+            for &factor in &factors {
+                meta.push((bench.name, version.name(), factor));
+                requests.push(AnalysisRequest {
+                    id: format!("{}-{}-x{factor}", bench.name, version.name()),
+                    program: bench.program(version),
+                    input: (bench.scaled_input)(factor),
+                    config: opts.config.clone(),
+                });
+            }
+        }
+    }
+    let eng = engine(opts.workers);
+    eprintln!("... analyzing {} runs", requests.len());
+    let results = eng.analyze_all(requests);
 
     let mut points: Vec<Point> = Vec::new();
     let mut rows = Vec::new();
     let mut reductions = Vec::new();
     let mut phase = (0.0f64, 0.0f64, 0.0f64); // trace, match, other
 
-    for bench in all_benchmarks() {
-        for version in Version::BOTH {
-            for &factor in &factors {
-                eprintln!("... {} {} x{factor}", bench.name, version.name());
-                let (nodes, trace_s, find_s, result) = analyze_scaled(bench, version, factor);
-                let t = &result.phase_times;
-                phase.0 += trace_s;
-                phase.1 += t.matching.as_secs_f64();
-                phase.2 += t.simplify.as_secs_f64()
-                    + t.decompose.as_secs_f64()
-                    + t.combine.as_secs_f64()
-                    + t.merge.as_secs_f64();
-                reductions.push(result.simplify_stats.reduction());
-                rows.push(vec![
-                    bench.name.to_string(),
-                    version.name().to_string(),
-                    factor.to_string(),
-                    nodes.to_string(),
-                    format!("{:.4}", trace_s),
-                    format!("{:.4}", find_s),
-                ]);
-                points.push(Point {
-                    benchmark: bench.name.to_string(),
-                    version: version.name().to_string(),
-                    factor,
-                    ddg_nodes: nodes,
-                    trace_seconds: trace_s,
-                    find_seconds: find_s,
-                    reduction: result.simplify_stats.reduction(),
-                });
-            }
-        }
+    for (&(name, version, factor), res) in meta.iter().zip(&results) {
+        let analysis = res
+            .outcome
+            .as_ref()
+            .unwrap_or_else(|e| panic!("{name} {version} x{factor}: {e}"));
+        let result = &analysis.result;
+        let trace_s = res.metrics.trace_time.as_secs_f64();
+        let find_s = res.metrics.find_time.as_secs_f64();
+        let t = &result.phase_times;
+        phase.0 += trace_s;
+        phase.1 += t.matching.as_secs_f64();
+        phase.2 += t.simplify.as_secs_f64()
+            + t.decompose.as_secs_f64()
+            + t.combine.as_secs_f64()
+            + t.merge.as_secs_f64();
+        reductions.push(result.simplify_stats.reduction());
+        rows.push(vec![
+            name.to_string(),
+            version.to_string(),
+            factor.to_string(),
+            result.ddg_size.to_string(),
+            format!("{:.4}", trace_s),
+            format!("{:.4}", find_s),
+        ]);
+        points.push(Point {
+            benchmark: name.to_string(),
+            version: version.to_string(),
+            factor,
+            ddg_nodes: result.ddg_size,
+            trace_seconds: trace_s,
+            find_seconds: find_s,
+            reduction: result.simplify_stats.reduction(),
+        });
     }
 
     println!(
         "{}",
         render_table(
-            &["benchmark", "version", "factor", "DDG nodes", "trace (s)", "find (s)"],
+            &[
+                "benchmark",
+                "version",
+                "factor",
+                "DDG nodes",
+                "trace (s)",
+                "find (s)"
+            ],
             &rows
         )
     );
@@ -76,8 +113,14 @@ fn main() {
     // Scaling check: the paper reports linear scaling. Fit the log-log
     // slope of total time vs size over the scaled series.
     let slope = loglog_slope(
-        &points.iter().map(|p| p.ddg_nodes as f64).collect::<Vec<_>>(),
-        &points.iter().map(|p| (p.trace_seconds + p.find_seconds).max(1e-6)).collect::<Vec<_>>(),
+        &points
+            .iter()
+            .map(|p| p.ddg_nodes as f64)
+            .collect::<Vec<_>>(),
+        &points
+            .iter()
+            .map(|p| (p.trace_seconds + p.find_seconds).max(1e-6))
+            .collect::<Vec<_>>(),
     );
     println!("log-log slope of time vs DDG size: {slope:.2} (1.0 = linear; paper: linear)");
 
@@ -116,6 +159,7 @@ fn main() {
         100.0 * (size_ratio / n as f64 - 1.0),
         100.0 * (time_ratio / n as f64 - 1.0),
     );
+    print_engine_metrics(&eng);
 
     write_record("fig7", &points);
 }

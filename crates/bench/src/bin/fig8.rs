@@ -28,8 +28,8 @@ fn main() {
     let machines = [Machine::cpu_centric(), Machine::gpu_centric()];
     let impls = [Impl::LegacyPthreads, Impl::Modernized, Impl::RodiniaCuda];
     let paper = [
-        [10.0, 9.6, 2.4],  // CPU-centric
-        [4.3, 15.6, 7.1],  // GPU-centric
+        [10.0, 9.6, 2.4], // CPU-centric
+        [4.3, 15.6, 7.1], // GPU-centric
     ];
 
     let mut rows = Vec::new();
@@ -46,13 +46,21 @@ fn main() {
             modeled.push((m.name.to_string(), imp.label().to_string(), s));
         }
     }
-    println!("{}", render_table(&["architecture", "implementation", "modeled", "paper"], &rows));
+    println!(
+        "{}",
+        render_table(
+            &["architecture", "implementation", "modeled", "paper"],
+            &rows
+        )
+    );
 
     // Real host execution: the modernized skeleton call must match the
     // hand-written threaded code on actual hardware.
     println!("\nReal host execution (hiz kernel, 300k points x 64 dims):");
     let pts = Points::synthetic(300_000, 64, 7);
-    let weights: Vec<f64> = (0..pts.len()).map(|i| 1.0 + (i % 7) as f64 * 0.05).collect();
+    let weights: Vec<f64> = (0..pts.len())
+        .map(|i| 1.0 + (i % 7) as f64 * 0.05)
+        .collect();
     let time = |f: &dyn Fn() -> f64| -> f64 {
         // One warmup, then best of three.
         let _ = f();
@@ -64,7 +72,9 @@ fn main() {
             })
             .fold(f64::INFINITY, f64::min)
     };
-    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
     let t_seq = time(&|| hiz_sequential(&pts, &weights));
     let t_legacy = time(&|| hiz_pthreads(&pts, &weights, cores));
     let t_modern = time(&|| hiz_modernized(&pts, &weights, ExecPlan::CpuThreads(cores)));
@@ -85,5 +95,11 @@ fn main() {
          all on the GPU-centric one.)"
     );
 
-    write_record("fig8", &Record { modeled, host_speedups: host });
+    write_record(
+        "fig8",
+        &Record {
+            modeled,
+            host_speedups: host,
+        },
+    );
 }

@@ -9,17 +9,20 @@
 use starbench::Version;
 
 fn main() {
-    let name = std::env::args().nth(1).unwrap_or_else(|| "streamcluster".into());
-    let version = match std::env::args().nth(2).as_deref() {
+    let opts = repro_bench::cli();
+    let name = opts
+        .positional
+        .first()
+        .cloned()
+        .unwrap_or_else(|| "streamcluster".into());
+    let version = match opts.positional.get(1).map(|s| s.as_str()) {
         Some("seq") => Version::Seq,
         _ => Version::Pthreads,
     };
-    let bench = starbench::benchmark(&name)
-        .unwrap_or_else(|| panic!("unknown benchmark {name}"));
+    let bench = starbench::benchmark(&name).unwrap_or_else(|| panic!("unknown benchmark {name}"));
     let program = bench.program(version);
     let run = bench.run_analysis(version);
-    let result =
-        discovery::find_patterns(&run.ddg.unwrap(), &discovery::FinderConfig::default());
+    let result = discovery::find_patterns(&run.ddg.unwrap(), &opts.config);
 
     println!("{}", discovery::report::render_text(&result, &program));
 

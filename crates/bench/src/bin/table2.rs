@@ -13,10 +13,17 @@ fn main() {
     let rows: Vec<Vec<String>> = starbench::inputs::TABLE2
         .iter()
         .map(|p| {
-            vec![p.benchmark.to_string(), p.analysis.to_string(), p.reference.to_string()]
+            vec![
+                p.benchmark.to_string(),
+                p.analysis.to_string(),
+                p.reference.to_string(),
+            ]
         })
         .collect();
-    println!("{}", render_table(&["benchmark", "analysis", "reference"], &rows));
+    println!(
+        "{}",
+        render_table(&["benchmark", "analysis", "reference"], &rows)
+    );
     println!(
         "(c-ray and ray-rot share a row in the paper; analysis inputs are ~3 orders\n\
          of magnitude smaller than reference inputs, exactly as in §6.)"
@@ -27,7 +34,11 @@ fn main() {
             rows: starbench::inputs::TABLE2
                 .iter()
                 .map(|p| {
-                    (p.benchmark.to_string(), p.analysis.to_string(), p.reference.to_string())
+                    (
+                        p.benchmark.to_string(),
+                        p.analysis.to_string(),
+                        p.reference.to_string(),
+                    )
                 })
                 .collect(),
         },

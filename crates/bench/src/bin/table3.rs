@@ -1,10 +1,16 @@
 //! Regenerates paper Table 3: found and missed patterns per benchmark and
 //! version, by finder iteration — the paper's headline effectiveness
 //! result (36 of 42 instances found, 86%).
+//!
+//! All sixteen runs go through the `repro-engine` batch engine in one
+//! submission; the structural-hash match cache is shared across them, so
+//! repeated sub-DDG shapes (notably seq vs Pthreads versions of the same
+//! kernel) are matched once. `--workers`/`--budget-ms` apply.
 
-use repro_bench::{analyze, render_table, write_record};
+use repro_bench::{cli, engine, print_engine_metrics, render_table, write_record};
+use repro_engine::AnalysisRequest;
 use serde::Serialize;
-use starbench::{all_benchmarks, Version};
+use starbench::{all_benchmarks, evaluate, Version};
 
 #[derive(Serialize)]
 struct Row {
@@ -16,8 +22,25 @@ struct Row {
 }
 
 fn main() {
+    let opts = cli();
     println!("Table 3. Found and missed parallel patterns in Starbench.");
     println!("(m=map, cm=conditional map, fm=fused map, r=reduction, mr=map-reduction)\n");
+
+    let mut meta = Vec::new();
+    let mut requests = Vec::new();
+    for bench in all_benchmarks() {
+        for version in Version::BOTH {
+            meta.push((bench, version));
+            requests.push(AnalysisRequest {
+                id: format!("{}-{}", bench.name, version.name()),
+                program: bench.program(version),
+                input: (bench.analysis_input)(),
+                config: opts.config.clone(),
+            });
+        }
+    }
+    let eng = engine(opts.workers);
+    let results = eng.analyze_all(requests);
 
     let mut rows = Vec::new();
     let mut records = Vec::new();
@@ -26,56 +49,79 @@ fn main() {
     let mut missed_confirmed = 0;
     let mut extra_total = 0;
 
-    for bench in all_benchmarks() {
-        for version in Version::BOTH {
-            let run = analyze(bench, version);
-            let eval = &run.evaluation;
+    for (&(bench, version), res) in meta.iter().zip(&results) {
+        let analysis = res
+            .outcome
+            .as_ref()
+            .unwrap_or_else(|e| panic!("{} {}: {e}", bench.name, version.name()));
+        (bench.verify)(&analysis.run)
+            .unwrap_or_else(|e| panic!("{} {} wrong result: {e}", bench.name, version.name()));
+        let eval = evaluate(bench.name, version, &analysis.result);
 
-            // Found column: expected hits grouped by iteration.
-            let max_it = run.result.found.iter().map(|f| f.iteration).max().unwrap_or(0);
-            let mut by_it: Vec<String> = Vec::new();
-            for it in 1..=max_it.max(1) {
-                let names: Vec<&str> = eval
-                    .hits
-                    .iter()
-                    .filter(|(e, ok)| e.found && *ok && e.iteration == it)
-                    .map(|(e, _)| e.kind)
-                    .collect();
-                by_it.push(if names.is_empty() { "-".into() } else { names.join(",") });
-            }
-            let missed: Vec<String> = eval
+        // Found column: expected hits grouped by iteration.
+        let max_it = analysis
+            .result
+            .found
+            .iter()
+            .map(|f| f.iteration)
+            .max()
+            .unwrap_or(0);
+        let mut by_it: Vec<String> = Vec::new();
+        for it in 1..=max_it.max(1) {
+            let names: Vec<&str> = eval
                 .hits
                 .iter()
-                .filter(|(e, _)| !e.found)
-                .map(|(e, ok)| format!("{}{}", e.kind, if *ok { "" } else { " (!FOUND!)" }))
+                .filter(|(e, ok)| e.found && *ok && e.iteration == it)
+                .map(|(e, _)| e.kind)
                 .collect();
-
-            found_total += eval.found_count();
-            expected_total += eval.expected_count();
-            missed_confirmed += eval.missed_confirmed();
-            extra_total += eval.extras.len();
-
-            rows.push(vec![
-                bench.name.to_string(),
-                version.name().to_string(),
-                by_it.join(" | "),
-                if missed.is_empty() { "-".into() } else { missed.join(", ") },
-                eval.extras.len().to_string(),
-            ]);
-            records.push(Row {
-                benchmark: bench.name.to_string(),
-                version: version.name().to_string(),
-                found_by_iteration: by_it,
-                missed,
-                extras: eval.extras.len(),
+            by_it.push(if names.is_empty() {
+                "-".into()
+            } else {
+                names.join(",")
             });
         }
+        let missed: Vec<String> = eval
+            .hits
+            .iter()
+            .filter(|(e, _)| !e.found)
+            .map(|(e, ok)| format!("{}{}", e.kind, if *ok { "" } else { " (!FOUND!)" }))
+            .collect();
+
+        found_total += eval.found_count();
+        expected_total += eval.expected_count();
+        missed_confirmed += eval.missed_confirmed();
+        extra_total += eval.extras.len();
+
+        rows.push(vec![
+            bench.name.to_string(),
+            version.name().to_string(),
+            by_it.join(" | "),
+            if missed.is_empty() {
+                "-".into()
+            } else {
+                missed.join(", ")
+            },
+            eval.extras.len().to_string(),
+        ]);
+        records.push(Row {
+            benchmark: bench.name.to_string(),
+            version: version.name().to_string(),
+            found_by_iteration: by_it,
+            missed,
+            extras: eval.extras.len(),
+        });
     }
 
     println!(
         "{}",
         render_table(
-            &["benchmark", "version", "found (it.1 | it.2 | it.3)", "missed", "extra"],
+            &[
+                "benchmark",
+                "version",
+                "found (it.1 | it.2 | it.3)",
+                "missed",
+                "extra"
+            ],
             &rows
         )
     );
@@ -87,6 +133,7 @@ fn main() {
     );
     println!("correctly missed: {missed_confirmed}/6 (the paper's six known limitations)");
     println!("additional patterns beyond Table 3: {extra_total} (see the accuracy binary)");
+    print_engine_metrics(&eng);
 
     write_record("table3", &records);
 }

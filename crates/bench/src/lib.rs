@@ -16,7 +16,82 @@
 use serde::Serialize;
 use starbench::{evaluate, Benchmark, Evaluation, Version};
 use std::io::Write as _;
-use std::time::Instant;
+use std::time::{Duration, Instant};
+
+/// Command-line options shared by the experiment binaries.
+///
+/// - `--budget-ms <ms>` — per-sub-DDG solver/matcher time budget
+///   (default 60 000 ms, the paper's per-solver-run limit);
+/// - `--workers <n>` — match workers for the engine-driven binaries
+///   (default: one per hardware thread);
+/// - everything else passes through as positional arguments.
+pub struct Cli {
+    /// Finder configuration with the budget applied.
+    pub config: discovery::FinderConfig,
+    /// Engine worker count; 0 means the engine default.
+    pub workers: usize,
+    pub positional: Vec<String>,
+}
+
+/// Parses the process arguments.
+pub fn cli() -> Cli {
+    parse_args(std::env::args().skip(1))
+}
+
+fn parse_args(args: impl Iterator<Item = String>) -> Cli {
+    let mut config = discovery::FinderConfig::default();
+    let mut workers = 0usize;
+    let mut positional = Vec::new();
+    let mut args = args.peekable();
+    while let Some(arg) = args.next() {
+        let mut take = |name: &str| {
+            args.next()
+                .unwrap_or_else(|| panic!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "--budget-ms" => {
+                let ms: u64 = take("--budget-ms")
+                    .parse()
+                    .expect("--budget-ms: milliseconds");
+                config.budget.time = Duration::from_millis(ms);
+            }
+            "--workers" => {
+                workers = take("--workers").parse().expect("--workers: count");
+            }
+            _ => positional.push(arg),
+        }
+    }
+    Cli {
+        config,
+        workers,
+        positional,
+    }
+}
+
+/// An engine sized by [`Cli::workers`] (0 = hardware threads).
+pub fn engine(workers: usize) -> repro_engine::Engine {
+    repro_engine::Engine::new(repro_engine::EngineConfig {
+        workers,
+        ..repro_engine::EngineConfig::default()
+    })
+}
+
+/// Prints the engine-wide scheduler and cache counters.
+pub fn print_engine_metrics(engine: &repro_engine::Engine) {
+    let m = engine.metrics();
+    println!(
+        "engine: {} workers, {} match jobs ({} stolen, peak queue {}), \
+         cache {:.0}% hit ({} hits / {} misses, {} entries)",
+        m.workers,
+        m.jobs_executed,
+        m.jobs_stolen,
+        m.peak_queue_depth,
+        100.0 * m.cache_hit_rate(),
+        m.cache_hits,
+        m.cache_misses,
+        m.cache_entries,
+    );
+}
 
 /// One analysis run: trace, find patterns, evaluate against Table 3.
 pub struct AnalysisRun {
@@ -29,7 +104,11 @@ pub struct AnalysisRun {
 }
 
 /// Traces and analyzes one benchmark version on its analysis input.
-pub fn analyze(bench: &'static Benchmark, version: Version) -> AnalysisRun {
+pub fn analyze(
+    bench: &'static Benchmark,
+    version: Version,
+    config: &discovery::FinderConfig,
+) -> AnalysisRun {
     let program = bench.program(version);
     let cfg = (bench.analysis_input)();
     let t0 = Instant::now();
@@ -40,10 +119,17 @@ pub fn analyze(bench: &'static Benchmark, version: Version) -> AnalysisRun {
         .unwrap_or_else(|e| panic!("{} {} wrong result: {e}", bench.name, version.name()));
     let ddg = run.ddg.expect("tracing enabled");
     let t0 = Instant::now();
-    let result = discovery::find_patterns(&ddg, &discovery::FinderConfig::default());
+    let result = discovery::find_patterns(&ddg, config);
     let find_seconds = t0.elapsed().as_secs_f64();
     let evaluation = evaluate(bench.name, version, &result);
-    AnalysisRun { benchmark: bench.name, version, trace_seconds, find_seconds, result, evaluation }
+    AnalysisRun {
+        benchmark: bench.name,
+        version,
+        trace_seconds,
+        find_seconds,
+        result,
+        evaluation,
+    }
 }
 
 /// Traces and analyzes a scaled input (the Fig. 7 size series). Returns
@@ -52,6 +138,7 @@ pub fn analyze_scaled(
     bench: &'static Benchmark,
     version: Version,
     factor: usize,
+    config: &discovery::FinderConfig,
 ) -> (usize, f64, f64, discovery::FinderResult) {
     let program = bench.program(version);
     let cfg = (bench.scaled_input)(factor);
@@ -62,7 +149,7 @@ pub fn analyze_scaled(
     let ddg = run.ddg.expect("tracing enabled");
     let size = ddg.len();
     let t0 = Instant::now();
-    let result = discovery::find_patterns(&ddg, &discovery::FinderConfig::default());
+    let result = discovery::find_patterns(&ddg, config);
     (size, trace_seconds, t0.elapsed().as_secs_f64(), result)
 }
 
@@ -115,17 +202,32 @@ mod tests {
     #[test]
     fn analyze_runs_end_to_end() {
         let b = starbench::benchmark("rgbyuv").unwrap();
-        let run = analyze(b, Version::Seq);
+        let run = analyze(b, Version::Seq, &discovery::FinderConfig::default());
         assert!(run.evaluation.perfect());
         assert!(run.result.ddg_size > 0);
         assert!(run.find_seconds >= 0.0);
     }
 
     #[test]
+    fn cli_parses_budget_workers_and_positionals() {
+        let cli = parse_args(
+            ["--budget-ms", "1500", "fig7", "--workers", "3", "1,4"]
+                .iter()
+                .map(|s| s.to_string()),
+        );
+        assert_eq!(cli.config.budget.time, Duration::from_millis(1500));
+        assert_eq!(cli.workers, 3);
+        assert_eq!(cli.positional, vec!["fig7".to_string(), "1,4".to_string()]);
+    }
+
+    #[test]
     fn table_rendering_aligns_columns() {
         let t = render_table(
             &["name", "value"],
-            &[vec!["a".into(), "1".into()], vec!["long-name".into(), "2".into()]],
+            &[
+                vec!["a".into(), "1".into()],
+                vec!["long-name".into(), "2".into()],
+            ],
         );
         let lines: Vec<&str> = t.lines().collect();
         assert_eq!(lines.len(), 4);

@@ -75,7 +75,10 @@ pub fn assoc_subddgs(g: &Ddg) -> Vec<SubDdg> {
     for id in g.node_ids() {
         let l = g.node(id).label;
         if g.label_is_associative(l) {
-            by_label.entry(l.0).or_insert_with(|| BitSet::new(g.len())).insert(id.index());
+            by_label
+                .entry(l.0)
+                .or_insert_with(|| BitSet::new(g.len()))
+                .insert(id.index());
         }
     }
     let mut labels: Vec<u32> = by_label.keys().copied().collect();
@@ -87,7 +90,9 @@ pub fn assoc_subddgs(g: &Ddg) -> Vec<SubDdg> {
             if comp.len() >= 2 && spans_iterations(g, &comp) {
                 out.push(SubDdg::ungrouped(
                     comp,
-                    SubKind::Assoc { label: g.label_str(ddg::LabelId(l)).to_string() },
+                    SubKind::Assoc {
+                        label: g.label_str(ddg::LabelId(l)).to_string(),
+                    },
                 ));
             }
         }
@@ -140,8 +145,20 @@ mod tests {
             w.finish()
         };
         let mut f = pb.function("main", vec![], None);
-        f.push(repro_ir::Stmt::Expr { expr: Expr::Call { f: worker, args: vec![Expr::Int(0)], loc: repro_ir::Loc::NONE } });
-        f.push(repro_ir::Stmt::Expr { expr: Expr::Call { f: worker, args: vec![Expr::Int(1)], loc: repro_ir::Loc::NONE } });
+        f.push(repro_ir::Stmt::Expr {
+            expr: Expr::Call {
+                f: worker,
+                args: vec![Expr::Int(0)],
+                loc: repro_ir::Loc::NONE,
+            },
+        });
+        f.push(repro_ir::Stmt::Expr {
+            expr: Expr::Call {
+                f: worker,
+                args: vec![Expr::Int(1)],
+                loc: repro_ir::Loc::NONE,
+            },
+        });
         let total = f.local("total", Type::F64);
         f.assign(total, Expr::Float(0.0));
         f.for_loop("i", Expr::Int(0), Expr::Int(2), |f, i| {
@@ -150,10 +167,17 @@ mod tests {
             vec![FnBuilder::stmt_assign(total, s)]
         });
         f.store(out, Expr::Int(0), Expr::Var(total));
-        f.push(repro_ir::Stmt::Output { arr: out, loc: repro_ir::Loc::NONE });
+        f.push(repro_ir::Stmt::Output {
+            arr: out,
+            loc: repro_ir::Loc::NONE,
+        });
         let main = f.finish();
         let p = pb.finish(main);
-        let r = run(&p, &RunConfig::default().with_f64("in", &[1.0, 2.0, 3.0, 4.0])).unwrap();
+        let r = run(
+            &p,
+            &RunConfig::default().with_f64("in", &[1.0, 2.0, 3.0, 4.0]),
+        )
+        .unwrap();
         let (s, _, _) = simplify(&r.ddg.unwrap());
         s
     }
@@ -169,7 +193,10 @@ mod tests {
             .find(|s| s.groups.as_ref().unwrap().len() == 4)
             .expect("worker loop has 4 iteration groups across 2 instances");
         assert_eq!(worker_sub.nodes.len(), 4, "4 partial fadds");
-        let final_sub = subs.iter().find(|s| s.groups.as_ref().unwrap().len() == 2).unwrap();
+        let final_sub = subs
+            .iter()
+            .find(|s| s.groups.as_ref().unwrap().len() == 2)
+            .unwrap();
         assert_eq!(final_sub.nodes.len(), 2, "2 final fadds");
     }
 
@@ -180,7 +207,12 @@ mod tests {
         // All six fadds are weakly connected (partials flow into finals).
         assert_eq!(subs.len(), 1);
         assert_eq!(subs[0].nodes.len(), 6);
-        assert_eq!(subs[0].kind, SubKind::Assoc { label: "fadd".into() });
+        assert_eq!(
+            subs[0].kind,
+            SubKind::Assoc {
+                label: "fadd".into()
+            }
+        );
         assert!(subs[0].groups.is_none());
     }
 

@@ -15,7 +15,8 @@ use crate::patterns::{Found, Pattern};
 use crate::simplify::{simplify, SimplifyStats};
 use crate::subddg::{SubDdg, SubKind};
 use ddg::Ddg;
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Finder configuration.
@@ -88,63 +89,155 @@ struct PoolEntry {
     matched: Option<Pattern>,
 }
 
-/// Runs the full pattern-finding pipeline on a traced DDG.
-pub fn find_patterns(raw: &Ddg, config: &FinderConfig) -> FinderResult {
-    let mut times = PhaseTimes::default();
+/// One unit of match work: an active pool entry to run through the
+/// pattern models. Jobs of one iteration are independent of each other,
+/// which is what lets the engine crate execute them concurrently.
+#[derive(Clone)]
+pub struct MatchJob {
+    /// Index of the sub-DDG in the finder's pool; outcomes are keyed by
+    /// this so they can be re-applied in deterministic pool order.
+    pub pool_index: usize,
+    pub sub: SubDdg,
+}
 
-    let t0 = Instant::now();
-    let (g, _map, simplify_stats) = if config.enable_simplify {
-        simplify(raw)
-    } else {
-        let stats = SimplifyStats {
-            nodes_before: raw.len(),
-            nodes_after: raw.len(),
-            ..Default::default()
+/// The iterative finder as an explicit state machine.
+///
+/// `find_patterns` drives it sequentially; the engine crate drives the
+/// same states with the per-iteration [`MatchJob`]s fanned out across a
+/// thread pool. Because [`Self::apply_matches`] re-applies outcomes in
+/// pool order and the combine phase runs single-threaded, both drivers
+/// produce byte-identical results.
+pub struct FinderState {
+    g: Arc<Ddg>,
+    config: FinderConfig,
+    pool: Vec<PoolEntry>,
+    keys: HashSet<(Vec<u64>, u8)>,
+    active: Vec<usize>,
+    found: Vec<Found>,
+    iterations: usize,
+    subddgs_matched: usize,
+    times: PhaseTimes,
+    ddg_size: usize,
+    simplify_stats: SimplifyStats,
+}
+
+impl FinderState {
+    /// Simplifies and decomposes the traced DDG, seeding the pool with
+    /// the initial sub-DDG views.
+    pub fn new(raw: &Ddg, config: &FinderConfig) -> Self {
+        let mut times = PhaseTimes::default();
+
+        let t0 = Instant::now();
+        let (g, _map, simplify_stats) = if config.enable_simplify {
+            simplify(raw)
+        } else {
+            let stats = SimplifyStats {
+                nodes_before: raw.len(),
+                nodes_after: raw.len(),
+                ..Default::default()
+            };
+            (raw.clone(), Vec::new(), stats)
         };
-        (raw.clone(), Vec::new(), stats)
-    };
-    times.simplify = t0.elapsed();
+        times.simplify = t0.elapsed();
 
-    let t0 = Instant::now();
-    let initial = decompose(&g);
-    times.decompose = t0.elapsed();
+        let t0 = Instant::now();
+        let initial = decompose(&g);
+        times.decompose = t0.elapsed();
 
-    let mut pool: Vec<PoolEntry> = Vec::new();
-    let mut keys: HashSet<(Vec<u64>, u8)> = HashSet::new();
-    let mut active: Vec<usize> = Vec::new();
-    for sub in initial {
-        if keys.insert(sub.pool_key()) {
-            active.push(pool.len());
-            pool.push(PoolEntry { sub, matched: None });
+        let mut pool: Vec<PoolEntry> = Vec::new();
+        let mut keys: HashSet<(Vec<u64>, u8)> = HashSet::new();
+        let mut active: Vec<usize> = Vec::new();
+        for sub in initial {
+            if keys.insert(sub.pool_key()) {
+                active.push(pool.len());
+                pool.push(PoolEntry { sub, matched: None });
+            }
+        }
+
+        FinderState {
+            g: Arc::new(g),
+            config: config.clone(),
+            pool,
+            keys,
+            active,
+            found: Vec::new(),
+            iterations: 0,
+            subddgs_matched: 0,
+            times,
+            ddg_size: raw.len(),
+            simplify_stats,
         }
     }
 
-    let mut found: Vec<Found> = Vec::new();
-    let mut iterations = 0;
-    let mut subddgs_matched = 0;
+    /// The simplified graph all sub-DDGs are views of.
+    pub fn graph(&self) -> &Ddg {
+        &self.g
+    }
 
-    while !active.is_empty() && iterations < config.max_iterations {
-        iterations += 1;
+    /// Shared handle to the graph, for drivers that move match jobs to
+    /// other threads.
+    pub fn graph_arc(&self) -> Arc<Ddg> {
+        Arc::clone(&self.g)
+    }
 
-        // Match active sub-DDGs against their pattern models.
-        let t0 = Instant::now();
+    pub fn budget(&self) -> &MatchBudget {
+        &self.config.budget
+    }
+
+    /// True once no active sub-DDGs remain or the iteration valve closed.
+    pub fn is_done(&self) -> bool {
+        self.active.is_empty() || self.iterations >= self.config.max_iterations
+    }
+
+    /// The match jobs of the upcoming iteration, in pool order.
+    pub fn active_jobs(&self) -> Vec<MatchJob> {
+        self.active
+            .iter()
+            .map(|&i| MatchJob {
+                pool_index: i,
+                sub: self.pool[i].sub.clone(),
+            })
+            .collect()
+    }
+
+    /// Records wall time spent in the match phase (the driver measures
+    /// it, since matching may run on other threads).
+    pub fn add_matching_time(&mut self, d: Duration) {
+        self.times.matching += d;
+    }
+
+    /// Applies one iteration's match outcomes, then runs the sequential
+    /// combine phase (subtraction + fusion) and refills the active list.
+    ///
+    /// `outcomes` must hold exactly one entry per job from
+    /// [`Self::active_jobs`], keyed by `pool_index`; ordering does not
+    /// matter — outcomes are re-applied in pool order so every driver
+    /// reports patterns in the same order.
+    pub fn apply_matches(&mut self, outcomes: Vec<(usize, Option<Pattern>)>) {
+        debug_assert_eq!(outcomes.len(), self.active.len());
+        self.iterations += 1;
+        let mut by_index: HashMap<usize, Option<Pattern>> = outcomes.into_iter().collect();
+
         let mut matched_now: Vec<usize> = Vec::new();
-        for &i in &active {
-            subddgs_matched += 1;
-            if let Some(p) = match_subddg(&g, &pool[i].sub, &config.budget) {
-                pool[i].matched = Some(p.clone());
-                found.push(Found { pattern: p, iteration: iterations, reported: true });
+        for &i in &self.active {
+            self.subddgs_matched += 1;
+            if let Some(p) = by_index.remove(&i).flatten() {
+                self.pool[i].matched = Some(p.clone());
+                self.found.push(Found {
+                    pattern: p,
+                    iteration: self.iterations,
+                    reported: true,
+                });
                 matched_now.push(i);
             }
         }
-        times.matching += t0.elapsed();
 
         // Generate new sub-DDGs by subtraction and fusion.
         let t0 = Instant::now();
         let mut fresh: Vec<SubDdg> = Vec::new();
         for j in &matched_now {
-            let taken = pool[*j].sub.nodes.clone();
-            for (i, entry) in pool.iter().enumerate() {
+            let taken = self.pool[*j].sub.nodes.clone();
+            for (i, entry) in self.pool.iter().enumerate() {
                 if i != *j {
                     if let Some(d) = entry.sub.subtract(&taken) {
                         fresh.push(d);
@@ -153,19 +246,21 @@ pub fn find_patterns(raw: &Ddg, config: &FinderConfig) -> FinderResult {
             }
         }
         for &j in &matched_now {
-            for i in 0..pool.len() {
-                if i == j || pool[i].matched.is_none() {
+            for i in 0..self.pool.len() {
+                if i == j || self.pool[i].matched.is_none() {
                     continue;
                 }
                 // Fuse in whichever direction a matched map flows into the
                 // other matched sub-DDG.
                 for (a, b) in [(i, j), (j, i)] {
-                    let (pa, pb) = (&pool[a], &pool[b]);
-                    let (Some(ma), Some(mb)) = (&pa.matched, &pb.matched) else { continue };
+                    let (pa, pb) = (&self.pool[a], &self.pool[b]);
+                    let (Some(ma), Some(mb)) = (&pa.matched, &pb.matched) else {
+                        continue;
+                    };
                     if !ma.kind.is_map() {
                         continue;
                     }
-                    if !pa.sub.flows_into(&pb.sub, &g) {
+                    if !pa.sub.flows_into(&pb.sub, &self.g) {
                         continue;
                     }
                     let kind = SubKind::Fused {
@@ -177,32 +272,53 @@ pub fn find_patterns(raw: &Ddg, config: &FinderConfig) -> FinderResult {
                 }
             }
         }
-        times.combine += t0.elapsed();
+        self.times.combine += t0.elapsed();
 
         // Insert the genuinely new sub-DDGs and mark them active.
-        active.clear();
+        self.active.clear();
         for sub in fresh {
-            if keys.insert(sub.pool_key()) {
-                active.push(pool.len());
-                pool.push(PoolEntry { sub, matched: None });
+            if self.keys.insert(sub.pool_key()) {
+                self.active.push(self.pool.len());
+                self.pool.push(PoolEntry { sub, matched: None });
             }
         }
     }
 
-    // Merge: drop exact duplicates, mark subsumed patterns unreported.
-    let t0 = Instant::now();
-    merge(&mut found);
-    times.merge = t0.elapsed();
+    /// Runs the merge phase and packages the result.
+    pub fn finish(mut self) -> FinderResult {
+        let t0 = Instant::now();
+        merge(&mut self.found);
+        self.times.merge = t0.elapsed();
 
-    FinderResult {
-        found,
-        ddg_size: raw.len(),
-        simplified_size: g.len(),
-        simplify_stats,
-        iterations,
-        subddgs_matched,
-        phase_times: times,
+        FinderResult {
+            found: self.found,
+            ddg_size: self.ddg_size,
+            simplified_size: self.g.len(),
+            simplify_stats: self.simplify_stats,
+            iterations: self.iterations,
+            subddgs_matched: self.subddgs_matched,
+            phase_times: self.times,
+        }
     }
+}
+
+/// Runs the full pattern-finding pipeline on a traced DDG.
+pub fn find_patterns(raw: &Ddg, config: &FinderConfig) -> FinderResult {
+    let mut state = FinderState::new(raw, config);
+    while !state.is_done() {
+        let t0 = Instant::now();
+        let outcomes: Vec<(usize, Option<Pattern>)> = state
+            .active_jobs()
+            .into_iter()
+            .map(|job| {
+                let p = match_subddg(state.graph(), &job.sub, state.budget());
+                (job.pool_index, p)
+            })
+            .collect();
+        state.add_matching_time(t0.elapsed());
+        state.apply_matches(outcomes);
+    }
+    state.finish()
 }
 
 /// The merge phase: deduplicate identical matches (the same nodes can be
@@ -213,7 +329,10 @@ fn merge(found: &mut Vec<Found>) {
     // earliest.
     let mut seen: HashSet<(Vec<usize>, &'static str)> = HashSet::new();
     found.retain(|f| {
-        let key = (f.pattern.nodes.iter().collect::<Vec<_>>(), f.pattern.kind.short());
+        let key = (
+            f.pattern.nodes.iter().collect::<Vec<_>>(),
+            f.pattern.kind.short(),
+        );
         seen.insert(key)
     });
     // Subsumption.
@@ -296,28 +415,43 @@ void main() {
 
         // Iteration 1: the final loop is a linear reduction; the
         // associative component over all adds is a tiled reduction.
-        let it1: Vec<_> =
-            result.found.iter().filter(|f| f.iteration == 1).map(|f| f.pattern.kind).collect();
+        let it1: Vec<_> = result
+            .found
+            .iter()
+            .filter(|f| f.iteration == 1)
+            .map(|f| f.pattern.kind)
+            .collect();
         assert!(it1.contains(&PatternKind::LinearReduction), "f: {it1:?}");
         assert!(it1.contains(&PatternKind::TiledReduction), "r: {it1:?}");
 
         // Iteration 2: subtracting the reduction from the worker loop
         // exposes the dist map.
-        let it2: Vec<_> =
-            result.found.iter().filter(|f| f.iteration == 2).map(|f| f.pattern.kind).collect();
+        let it2: Vec<_> = result
+            .found
+            .iter()
+            .filter(|f| f.iteration == 2)
+            .map(|f| f.pattern.kind)
+            .collect();
         assert!(it2.contains(&PatternKind::Map), "m: {it2:?}");
 
         // Iteration 3: fusing map and tiled reduction yields the tiled
         // map-reduction.
-        let it3: Vec<_> =
-            result.found.iter().filter(|f| f.iteration == 3).map(|f| f.pattern.kind).collect();
+        let it3: Vec<_> = result
+            .found
+            .iter()
+            .filter(|f| f.iteration == 3)
+            .map(|f| f.pattern.kind)
+            .collect();
         assert!(it3.contains(&PatternKind::TiledMapReduction), "mr: {it3:?}");
 
         // Merging reports the map-reduction and discards the subsumed
         // reduction and map (paper Table 1).
         let reported: Vec<_> = result.reported().map(|f| f.pattern.kind).collect();
         assert!(reported.contains(&PatternKind::TiledMapReduction));
-        assert!(!reported.contains(&PatternKind::TiledReduction), "{reported:?}");
+        assert!(
+            !reported.contains(&PatternKind::TiledReduction),
+            "{reported:?}"
+        );
         assert!(!reported.contains(&PatternKind::Map), "{reported:?}");
     }
 

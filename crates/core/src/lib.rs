@@ -34,7 +34,7 @@ pub mod report;
 pub mod simplify;
 pub mod subddg;
 
-pub use finder::{find_patterns, FinderConfig, FinderResult, PhaseTimes};
+pub use finder::{find_patterns, FinderConfig, FinderResult, FinderState, MatchJob, PhaseTimes};
 pub use partial::{classify_across_inputs, partial_patterns, Stability};
 pub use patterns::{Found, Pattern, PatternKind};
 pub use simplify::{simplify, SimplifyStats};

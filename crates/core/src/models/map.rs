@@ -156,11 +156,19 @@ fn check_map_on_groups(
     if outs == 0 {
         return None;
     }
-    let kind = if outs == n { PatternKind::Map } else { PatternKind::ConditionalMap };
+    let kind = if outs == n {
+        PatternKind::Map
+    } else {
+        PatternKind::ConditionalMap
+    };
 
     let components: Vec<Vec<NodeId>> = comps
         .iter()
-        .map(|c| c.iter().flat_map(|&gi| q.groups[gi].members.iter().copied()).collect())
+        .map(|c| {
+            c.iter()
+                .flat_map(|&gi| q.groups[gi].members.iter().copied())
+                .collect()
+        })
         .collect();
     let mut nodes = BitSet::new(sub.nodes.capacity());
     for c in &components {
@@ -173,10 +181,7 @@ fn check_map_on_groups(
     if !crate::models::verify::is_convex(g, &nodes) {
         return None;
     }
-    Some(
-        Pattern::with_metadata(kind, nodes, n, g)
-            .with_detail(Detail::Map { components }),
-    )
+    Some(Pattern::with_metadata(kind, nodes, n, g).with_detail(Detail::Map { components }))
 }
 
 #[cfg(test)]
@@ -191,8 +196,9 @@ mod tests {
     fn loop_sub(iters: usize, chain: bool, outputs: &[bool]) -> (Ddg, SubDdg) {
         let mut b = DdgBuilder::new();
         let l = b.intern_label("fmul", true);
-        let nodes: Vec<NodeId> =
-            (0..iters).map(|_i| b.add_node(l, 0, 0, 4, 1, 0, vec![])).collect();
+        let nodes: Vec<NodeId> = (0..iters)
+            .map(|_i| b.add_node(l, 0, 0, 4, 1, 0, vec![]))
+            .collect();
         for (i, &n) in nodes.iter().enumerate() {
             b.mark_reads_input(n);
             if outputs[i] {
@@ -254,10 +260,12 @@ mod tests {
         let mut b = DdgBuilder::new();
         let la = b.intern_label("fmul", true);
         let lb = b.intern_label("fadd", true);
-        let a_nodes: Vec<NodeId> =
-            (0..iters).map(|_| b.add_node(la, 0, 0, 4, 1, 0, vec![])).collect();
-        let b_nodes: Vec<NodeId> =
-            (0..iters).map(|_| b.add_node(lb, 1, 0, 9, 1, 0, vec![])).collect();
+        let a_nodes: Vec<NodeId> = (0..iters)
+            .map(|_| b.add_node(la, 0, 0, 4, 1, 0, vec![]))
+            .collect();
+        let b_nodes: Vec<NodeId> = (0..iters)
+            .map(|_| b.add_node(lb, 1, 0, 9, 1, 0, vec![]))
+            .collect();
         for i in 0..iters {
             b.mark_reads_input(a_nodes[i]);
             b.mark_writes_output(b_nodes[i]);
@@ -268,11 +276,7 @@ mod tests {
             }
         }
         let g = b.finish();
-        let groups: Vec<Vec<NodeId>> = a_nodes
-            .iter()
-            .chain(&b_nodes)
-            .map(|&n| vec![n])
-            .collect();
+        let groups: Vec<Vec<NodeId>> = a_nodes.iter().chain(&b_nodes).map(|&n| vec![n]).collect();
         let sub = SubDdg::grouped(
             BitSet::from_iter(g.len(), 0..2 * iters),
             groups,

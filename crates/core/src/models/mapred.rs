@@ -91,15 +91,13 @@ pub fn match_map_reduction(
         return None;
     }
 
-    let components = map_components.len() + consumers.len()
+    let components = map_components.len()
+        + consumers.len()
         + match &red_detail {
             Detail::Tiled { final_chain, .. } => final_chain.len(),
             _ => 0,
         };
-    Some(
-        Pattern::with_metadata(red_kind, sub.nodes.clone(), components, g)
-            .with_detail(red_detail),
-    )
+    Some(Pattern::with_metadata(red_kind, sub.nodes.clone(), components, g).with_detail(red_detail))
 }
 
 #[cfg(test)]
@@ -111,11 +109,21 @@ mod tests {
     fn streamcluster_shape_matches_tiled_map_reduction() {
         let (g, sub) = tiled_graph_with_map(2);
         let q = Quotient::build(&g, &sub);
-        let SubKind::Fused { map_part, other_part, .. } = &sub.kind else { panic!() };
+        let SubKind::Fused {
+            map_part,
+            other_part,
+            ..
+        } = &sub.kind
+        else {
+            panic!()
+        };
         let p = match_map_reduction(&g, &sub, &q, map_part, other_part, &MatchBudget::default())
             .expect("tiled map-reduction");
         assert_eq!(p.kind, PatternKind::TiledMapReduction);
-        assert_eq!(p.op_labels, vec!["call.sqrt".to_string(), "fadd".to_string()]);
+        assert_eq!(
+            p.op_labels,
+            vec!["call.sqrt".to_string(), "fadd".to_string()]
+        );
     }
 
     #[test]
@@ -124,12 +132,20 @@ mod tests {
         // Attach one map node's output to a node outside the reduction:
         // rebuild with an extra consumer.
         let q = Quotient::build(&g, &sub);
-        let SubKind::Fused { map_part, other_part, .. } = &sub.kind else { panic!() };
+        let SubKind::Fused {
+            map_part,
+            other_part,
+            ..
+        } = &sub.kind
+        else {
+            panic!()
+        };
         // Shrink other_part so one map output leaks.
         let mut small = other_part.clone();
         let last = small.iter().last().unwrap();
         small.remove(last);
-        assert!(match_map_reduction(&g, &sub, &q, map_part, &small, &MatchBudget::default())
-            .is_none());
+        assert!(
+            match_map_reduction(&g, &sub, &q, map_part, &small, &MatchBudget::default()).is_none()
+        );
     }
 }

@@ -29,7 +29,9 @@ pub struct MatchBudget {
 
 impl Default for MatchBudget {
     fn default() -> Self {
-        MatchBudget { time: Duration::from_secs(60) }
+        MatchBudget {
+            time: Duration::from_secs(60),
+        }
     }
 }
 
@@ -37,22 +39,21 @@ impl Default for MatchBudget {
 /// (paper §5: loop sub-DDGs target maps and single-loop reductions,
 /// associative components target reductions, fusions target fused maps and
 /// map-reductions). Returns the first — and in practice only — match.
-pub fn match_subddg(
-    g: &Ddg,
-    sub: &SubDdg,
-    budget: &MatchBudget,
-) -> Option<Pattern> {
+pub fn match_subddg(g: &Ddg, sub: &SubDdg, budget: &MatchBudget) -> Option<Pattern> {
     let q = Quotient::build(g, sub);
     let matched = match &sub.kind {
         SubKind::Loop { .. } | SubKind::Derived { from_loop: Some(_) } => {
-            map::match_map(g, sub, &q)
-                .or_else(|| reduction::match_linear(g, sub, &q))
+            map::match_map(g, sub, &q).or_else(|| reduction::match_linear(g, sub, &q))
         }
         SubKind::Assoc { .. } | SubKind::Derived { from_loop: None } => {
             reduction::match_linear(g, sub, &q)
                 .or_else(|| reduction::match_tiled(g, sub, &q, budget))
         }
-        SubKind::Fused { map_part, other_part, other_kind } => {
+        SubKind::Fused {
+            map_part,
+            other_part,
+            other_kind,
+        } => {
             if other_kind.is_map() {
                 map::match_fused(g, sub, &q)
             } else {

@@ -80,12 +80,7 @@ pub fn match_linear(g: &Ddg, sub: &SubDdg, q: &Quotient) -> Option<Pattern> {
 }
 
 /// Matches a tiled reduction covering the whole sub-DDG.
-pub fn match_tiled(
-    g: &Ddg,
-    sub: &SubDdg,
-    q: &Quotient,
-    budget: &MatchBudget,
-) -> Option<Pattern> {
+pub fn match_tiled(g: &Ddg, sub: &SubDdg, q: &Quotient, budget: &MatchBudget) -> Option<Pattern> {
     let n = q.len();
     // Minimum: two partials of one component plus a final chain of two.
     if n < 4 {
@@ -95,7 +90,9 @@ pub fn match_tiled(
 
     // The final chain ends at the unique sink, which must emit output.
     let sinks: Vec<usize> = (0..n).filter(|&i| q.succs[i].is_empty()).collect();
-    let [sink] = sinks.as_slice() else { return None };
+    let [sink] = sinks.as_slice() else {
+        return None;
+    };
     if !q.groups[*sink].ext_out {
         return None;
     }
@@ -116,7 +113,10 @@ pub fn match_tiled(
         let comps = n;
         Some(
             Pattern::with_metadata(PatternKind::TiledReduction, sub.nodes.clone(), comps, g)
-                .with_detail(Detail::Tiled { partials: partial_chains, final_chain }),
+                .with_detail(Detail::Tiled {
+                    partials: partial_chains,
+                    final_chain,
+                }),
         )
     })
 }
@@ -128,7 +128,9 @@ pub fn match_tiled(
 /// operators are "formed by a single operation").
 fn same_static_op(g: &Ddg, nodes: impl IntoIterator<Item = NodeId>) -> bool {
     let mut iter = nodes.into_iter();
-    let Some(first) = iter.next() else { return true };
+    let Some(first) = iter.next() else {
+        return true;
+    };
     let op = g.node(first).static_op;
     iter.all(|n| g.node(n).static_op == op)
 }
@@ -298,7 +300,8 @@ fn validate_split(g: &Ddg, q: &Quotient, rf: &[usize]) -> Option<Vec<Vec<usize>>
         .collect::<Option<Vec<_>>>()
         .filter(|ps| ps.len() >= 2)
         .filter(|ps| {
-            ps.iter().all(|p| same_static_op(g, p.iter().map(|&i| q.groups[i].members[0])))
+            ps.iter()
+                .all(|p| same_static_op(g, p.iter().map(|&i| q.groups[i].members[0])))
         })
 }
 
@@ -366,7 +369,9 @@ pub(crate) mod tests {
     fn chain_graph(n: usize) -> (Ddg, SubDdg) {
         let mut b = DdgBuilder::new();
         let l = b.intern_label("fadd", true);
-        let nodes: Vec<NodeId> = (0..n).map(|_| b.add_node(l, 0, 0, 1, 1, 0, vec![])).collect();
+        let nodes: Vec<NodeId> = (0..n)
+            .map(|_| b.add_node(l, 0, 0, 1, 1, 0, vec![]))
+            .collect();
         for i in 0..n {
             b.mark_reads_input(nodes[i]);
             if i > 0 {
@@ -377,7 +382,9 @@ pub(crate) mod tests {
         let g = b.finish();
         let sub = SubDdg::ungrouped(
             BitSet::from_iter(g.len(), 0..n),
-            SubKind::Assoc { label: "fadd".into() },
+            SubKind::Assoc {
+                label: "fadd".into(),
+            },
         );
         (g, sub)
     }
@@ -389,7 +396,9 @@ pub(crate) mod tests {
         let p = match_linear(&g, &sub, &q).expect("linear reduction");
         assert_eq!(p.kind, PatternKind::LinearReduction);
         assert_eq!(p.components, 4);
-        let Detail::Linear { chain } = &p.detail else { panic!() };
+        let Detail::Linear { chain } = &p.detail else {
+            panic!()
+        };
         assert_eq!(chain.len(), 4);
         assert!(chain.windows(2).all(|w| w[0].0 < w[1].0));
     }
@@ -411,7 +420,9 @@ pub(crate) mod tests {
         let g = b.finish();
         let sub = SubDdg::ungrouped(
             BitSet::from_iter(3, 0..3),
-            SubKind::Assoc { label: "fadd".into() },
+            SubKind::Assoc {
+                label: "fadd".into(),
+            },
         );
         let q = Quotient::build(&g, &sub);
         assert!(match_linear(&g, &sub, &q).is_none());
@@ -430,7 +441,9 @@ pub(crate) mod tests {
         let g = b.finish();
         let sub = SubDdg::ungrouped(
             BitSet::from_iter(2, 0..2),
-            SubKind::Assoc { label: "fadd".into() },
+            SubKind::Assoc {
+                label: "fadd".into(),
+            },
         );
         let q = Quotient::build(&g, &sub);
         assert!(match_linear(&g, &sub, &q).is_none());
@@ -444,8 +457,9 @@ pub(crate) mod tests {
         let mut all = Vec::new();
         let mut tails = Vec::new();
         for t in 0..2u16 {
-            let chain: Vec<NodeId> =
-                (0..per).map(|_| b.add_node(l, 0, 0, 1, 1, t + 1, vec![])).collect();
+            let chain: Vec<NodeId> = (0..per)
+                .map(|_| b.add_node(l, 0, 0, 1, 1, t + 1, vec![]))
+                .collect();
             for i in 0..per {
                 b.mark_reads_input(chain[i]);
                 if i > 0 {
@@ -466,7 +480,9 @@ pub(crate) mod tests {
         let g = b.finish();
         let sub = SubDdg::ungrouped(
             BitSet::from_iter(g.len(), 0..g.len()),
-            SubKind::Assoc { label: "fadd".into() },
+            SubKind::Assoc {
+                label: "fadd".into(),
+            },
         );
         (g, sub)
     }
@@ -478,7 +494,13 @@ pub(crate) mod tests {
         assert!(match_linear(&g, &sub, &q).is_none(), "a tree is not linear");
         let p = match_tiled(&g, &sub, &q, &MatchBudget::default()).expect("tiled reduction");
         assert_eq!(p.kind, PatternKind::TiledReduction);
-        let Detail::Tiled { partials, final_chain } = &p.detail else { panic!() };
+        let Detail::Tiled {
+            partials,
+            final_chain,
+        } = &p.detail
+        else {
+            panic!()
+        };
         assert_eq!(partials.len(), 2);
         assert_eq!(final_chain.len(), 2);
         assert!(partials.iter().all(|c| c.len() == 2));
@@ -500,7 +522,9 @@ pub(crate) mod tests {
         let g = b.finish();
         let sub = SubDdg::ungrouped(
             BitSet::from_iter(4, 0..4),
-            SubKind::Assoc { label: "fadd".into() },
+            SubKind::Assoc {
+                label: "fadd".into(),
+            },
         );
         let q = Quotient::build(&g, &sub);
         assert!(match_linear(&g, &sub, &q).is_none());
@@ -512,7 +536,9 @@ pub(crate) mod tests {
         let (g, sub) = tiled_graph(5);
         let q = Quotient::build(&g, &sub);
         let p = match_tiled(&g, &sub, &q, &MatchBudget::default()).expect("tiled");
-        let Detail::Tiled { partials, .. } = &p.detail else { panic!() };
+        let Detail::Tiled { partials, .. } = &p.detail else {
+            panic!()
+        };
         assert!(partials.iter().all(|c| c.len() == 5));
     }
 }

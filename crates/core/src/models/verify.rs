@@ -58,7 +58,11 @@ fn map_violation(g: &Ddg, p: &Pattern, components: &[Vec<NodeId>]) -> String {
     if !is_convex(g, &p.nodes) {
         return "pattern is not convex".into();
     }
-    format!("output count {outs}/{} wrong for {:?} (or isomorphism)", components.len(), p.kind)
+    format!(
+        "output count {outs}/{} wrong for {:?} (or isomorphism)",
+        components.len(),
+        p.kind
+    )
 }
 
 /// Checks a matched pattern against its definition.
@@ -71,9 +75,13 @@ pub fn check(g: &Ddg, p: &Pattern) -> bool {
         (PatternKind::LinearReduction, Detail::Linear { chain }) => {
             check_linear(g, chain) && is_convex(g, &p.nodes)
         }
-        (PatternKind::TiledReduction, Detail::Tiled { partials, final_chain }) => {
-            check_tiled(g, partials, final_chain)
-        }
+        (
+            PatternKind::TiledReduction,
+            Detail::Tiled {
+                partials,
+                final_chain,
+            },
+        ) => check_tiled(g, partials, final_chain),
         (
             PatternKind::LinearMapReduction | PatternKind::TiledMapReduction,
             Detail::Linear { .. } | Detail::Tiled { .. },
@@ -82,7 +90,10 @@ pub fn check(g: &Ddg, p: &Pattern) -> bool {
             // match time; re-check the reduction sub-structure.
             match &p.detail {
                 Detail::Linear { chain } => check_linear(g, chain),
-                Detail::Tiled { partials, final_chain } => check_tiled(g, partials, final_chain),
+                Detail::Tiled {
+                    partials,
+                    final_chain,
+                } => check_tiled(g, partials, final_chain),
                 _ => false,
             }
         }
@@ -304,7 +315,9 @@ mod tests {
         // 0 -> 1 -> 2 with pattern {0, 2}: path escapes through 1.
         let mut b = DdgBuilder::new();
         let l = b.intern_label("fadd", true);
-        let n: Vec<NodeId> = (0..3).map(|i| b.add_node(l, i, 0, 1, 1, 0, vec![])).collect();
+        let n: Vec<NodeId> = (0..3)
+            .map(|i| b.add_node(l, i, 0, 1, 1, 0, vec![]))
+            .collect();
         b.add_arc(n[0], n[1]);
         b.add_arc(n[1], n[2]);
         let g = b.finish();
@@ -329,7 +342,9 @@ mod tests {
     fn linear_check_requires_direct_chain() {
         let mut b = DdgBuilder::new();
         let l = b.intern_label("fadd", true);
-        let n: Vec<NodeId> = (0..3).map(|i| b.add_node(l, i, 0, 1, 1, 0, vec![])).collect();
+        let n: Vec<NodeId> = (0..3)
+            .map(|i| b.add_node(l, i, 0, 1, 1, 0, vec![]))
+            .collect();
         b.add_arc(n[0], n[1]);
         b.add_arc(n[1], n[2]);
         b.mark_writes_output(n[2]);

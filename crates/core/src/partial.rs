@@ -168,9 +168,7 @@ void main() {
     fn single_run_is_trivially_stable() {
         let a = finder_for(&[1.0; 8]);
         let classified = classify_across_inputs(&[a]);
-        assert!(classified
-            .iter()
-            .all(|c| c.stability == Stability::Stable));
+        assert!(classified.iter().all(|c| c.stability == Stability::Stable));
         assert!(!classified.is_empty());
     }
 }

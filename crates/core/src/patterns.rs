@@ -44,12 +44,18 @@ impl PatternKind {
 
     /// True for the map family (fusion sources).
     pub fn is_map(&self) -> bool {
-        matches!(self, PatternKind::Map | PatternKind::ConditionalMap | PatternKind::FusedMap)
+        matches!(
+            self,
+            PatternKind::Map | PatternKind::ConditionalMap | PatternKind::FusedMap
+        )
     }
 
     /// True for the reduction family.
     pub fn is_reduction(&self) -> bool {
-        matches!(self, PatternKind::LinearReduction | PatternKind::TiledReduction)
+        matches!(
+            self,
+            PatternKind::LinearReduction | PatternKind::TiledReduction
+        )
     }
 }
 
@@ -66,7 +72,10 @@ pub enum Detail {
     Linear { chain: Vec<NodeId> },
     /// Tiled reduction: the partial chains and the final chain, with
     /// `partials[i]`'s tail feeding `final_chain[i]`.
-    Tiled { partials: Vec<Vec<NodeId>>, final_chain: Vec<NodeId> },
+    Tiled {
+        partials: Vec<Vec<NodeId>>,
+        final_chain: Vec<NodeId>,
+    },
 }
 
 /// A matched pattern instance.
@@ -91,12 +100,7 @@ pub struct Pattern {
 
 impl Pattern {
     /// Builds the metadata (labels, lines, loops) from covered nodes.
-    pub fn with_metadata(
-        kind: PatternKind,
-        nodes: BitSet,
-        components: usize,
-        g: &Ddg,
-    ) -> Pattern {
+    pub fn with_metadata(kind: PatternKind, nodes: BitSet, components: usize, g: &Ddg) -> Pattern {
         let mut labels: Vec<String> = Vec::new();
         let mut lines: Vec<(u16, u32)> = Vec::new();
         let mut loops: Vec<u32> = Vec::new();
@@ -119,7 +123,15 @@ impl Pattern {
         lines.sort_unstable();
         lines.dedup();
         loops.sort_unstable();
-        Pattern { kind, nodes, components, op_labels: labels, lines, loops, detail: Detail::None }
+        Pattern {
+            kind,
+            nodes,
+            components,
+            op_labels: labels,
+            lines,
+            loops,
+            detail: Detail::None,
+        }
     }
 
     /// Attaches structural detail.
@@ -136,7 +148,12 @@ impl Pattern {
 
     /// One-line description, e.g. `tiled_map_reduction fadd,fmul (6 comps)`.
     pub fn describe(&self) -> String {
-        format!("{} {} ({} comps)", self.kind.full(), self.op_labels.join(","), self.components)
+        format!(
+            "{} {} ({} comps)",
+            self.kind.full(),
+            self.op_labels.join(","),
+            self.components
+        )
     }
 }
 

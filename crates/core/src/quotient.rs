@@ -51,8 +51,11 @@ impl Quotient {
         let groups_src: &[Vec<NodeId>] = match &sub.groups {
             Some(gs) => gs,
             None => {
-                singleton_groups =
-                    sub.nodes.iter().map(|n| vec![NodeId(n as u32)]).collect::<Vec<_>>();
+                singleton_groups = sub
+                    .nodes
+                    .iter()
+                    .map(|n| vec![NodeId(n as u32)])
+                    .collect::<Vec<_>>();
                 &singleton_groups
             }
         };
@@ -69,8 +72,7 @@ impl Quotient {
         let mut groups: Vec<Group> = groups_src
             .iter()
             .map(|members| {
-                let mut label_key: Vec<u32> =
-                    members.iter().map(|&m| g.node(m).label.0).collect();
+                let mut label_key: Vec<u32> = members.iter().map(|&m| g.node(m).label.0).collect();
                 label_key.sort_unstable();
                 let ext_in = members.iter().any(|&m| {
                     g.node(m).flags.contains(NodeFlags::READS_INPUT)
@@ -80,7 +82,14 @@ impl Quotient {
                     g.node(m).flags.contains(NodeFlags::WRITES_OUTPUT)
                         || g.succs(m).iter().any(|s| group_of[s.index()].is_none())
                 });
-                Group { members: members.clone(), label_key, ext_in, ext_out, any_in: ext_in, any_out: ext_out }
+                Group {
+                    members: members.clone(),
+                    label_key,
+                    ext_in,
+                    ext_out,
+                    any_in: ext_in,
+                    any_out: ext_out,
+                }
             })
             .collect();
 
@@ -140,7 +149,13 @@ impl Quotient {
             r.remove(gi);
         }
 
-        Quotient { groups, arcs, succs, preds, reaches }
+        Quotient {
+            groups,
+            arcs,
+            succs,
+            preds,
+            reaches,
+        }
     }
 
     /// Number of quotient nodes.
@@ -161,7 +176,9 @@ impl Quotient {
 
     /// All groups share one label multiset (relaxed op-isomorphism).
     pub fn groups_isomorphic(&self) -> bool {
-        self.groups.windows(2).all(|w| w[0].label_key == w[1].label_key)
+        self.groups
+            .windows(2)
+            .all(|w| w[0].label_key == w[1].label_key)
     }
 }
 
@@ -219,7 +236,9 @@ mod tests {
         let (g, _) = grouped_graph();
         let sub = SubDdg::ungrouped(
             BitSet::from_iter(g.len(), [1, 3, 4]),
-            SubKind::Assoc { label: "fadd".into() },
+            SubKind::Assoc {
+                label: "fadd".into(),
+            },
         );
         let q = Quotient::build(&g, &sub);
         assert_eq!(q.len(), 3);
@@ -237,16 +256,23 @@ mod tests {
         // external node still "reach" each other.
         let mut b = DdgBuilder::new();
         let l = b.intern_label("fadd", true);
-        let n: Vec<NodeId> = (0..3).map(|i| b.add_node(l, i, 0, 1, 1, 0, vec![])).collect();
+        let n: Vec<NodeId> = (0..3)
+            .map(|i| b.add_node(l, i, 0, 1, 1, 0, vec![]))
+            .collect();
         b.add_arc(n[0], n[1]);
         b.add_arc(n[1], n[2]);
         let g = b.finish();
         let sub = SubDdg::ungrouped(
             BitSet::from_iter(g.len(), [0, 2]),
-            SubKind::Assoc { label: "fadd".into() },
+            SubKind::Assoc {
+                label: "fadd".into(),
+            },
         );
         let q = Quotient::build(&g, &sub);
-        assert!(q.reaches[0].contains(1), "0 reaches 2 via the outside node 1");
+        assert!(
+            q.reaches[0].contains(1),
+            "0 reaches 2 via the outside node 1"
+        );
         assert!(q.arcs.is_empty());
     }
 }

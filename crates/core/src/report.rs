@@ -6,6 +6,23 @@ use crate::patterns::Found;
 use repro_ir::Program;
 use std::fmt::Write;
 
+/// The reported patterns in source order — by first covered source
+/// location (file, then line), with kind and labels breaking ties — so
+/// reports are stable under match-order changes (the engine crate's
+/// parallel driver must render identically to the sequential finder).
+fn reported_by_location(result: &FinderResult) -> Vec<&Found> {
+    let mut reported: Vec<&Found> = result.reported().collect();
+    reported.sort_by_key(|f| {
+        let p = &f.pattern;
+        (
+            p.lines.first().copied().unwrap_or((u16::MAX, u32::MAX)),
+            p.kind.full(),
+            p.op_labels.clone(),
+        )
+    });
+    reported
+}
+
 /// A plain-text report of the reported (post-merge) patterns, with their
 /// source lines.
 pub fn render_text(result: &FinderResult, program: &Program) -> String {
@@ -19,7 +36,7 @@ pub fn render_text(result: &FinderResult, program: &Program) -> String {
         result.simplify_stats.reduction()
     );
     let _ = writeln!(out, "iterations: {}", result.iterations);
-    for f in result.reported() {
+    for f in reported_by_location(result) {
         let _ = writeln!(out, "- [it.{}] {}", f.iteration, f.pattern.describe());
         for &(file, line) in &f.pattern.lines {
             let loc = repro_ir::Loc::in_file(file, line, 1);
@@ -39,7 +56,7 @@ pub fn render_text(result: &FinderResult, program: &Program) -> String {
 /// An HTML report: each source file rendered with pattern-annotated lines
 /// highlighted, in the spirit of the paper's Fig. 6 screenshot.
 pub fn render_html(result: &FinderResult, program: &Program) -> String {
-    let reported: Vec<&Found> = result.reported().collect();
+    let reported: Vec<&Found> = reported_by_location(result);
     let mut html = String::new();
     html.push_str("<!DOCTYPE html>\n<html><head><meta charset=\"utf-8\">\n");
     let _ = writeln!(html, "<title>patterns: {}</title>", escape(&program.name));
@@ -61,19 +78,21 @@ pub fn render_html(result: &FinderResult, program: &Program) -> String {
         result.iterations
     );
 
-    for (file_idx, (fname, source)) in
-        program.files.iter().zip(&program.sources).enumerate()
-    {
+    for (file_idx, (fname, source)) in program.files.iter().zip(&program.sources).enumerate() {
         let _ = writeln!(html, "<h2>{}</h2>", escape(fname));
         for (lineno0, line) in source.lines().enumerate() {
             let line_no = lineno0 as u32 + 1;
             // Patterns touching this line, annotated after it.
             let tags: Vec<String> = reported
                 .iter()
-                .filter(|f| {
-                    f.pattern.lines.contains(&(file_idx as u16, line_no))
+                .filter(|f| f.pattern.lines.contains(&(file_idx as u16, line_no)))
+                .map(|f| {
+                    format!(
+                        "{} {}",
+                        f.pattern.kind.full(),
+                        f.pattern.op_labels.join(",")
+                    )
                 })
-                .map(|f| format!("{} {}", f.pattern.kind.full(), f.pattern.op_labels.join(",")))
                 .collect();
             let class = if tags.is_empty() { "line" } else { "line hit" };
             let _ = write!(
@@ -92,7 +111,9 @@ pub fn render_html(result: &FinderResult, program: &Program) -> String {
 }
 
 fn escape(s: &str) -> String {
-    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
 }
 
 #[cfg(test)]
@@ -116,6 +137,39 @@ mod tests {
         assert!(text.contains("map"), "{text}");
         assert!(text.contains("out[i] = in[i] * 2.0;"), "{text}");
         assert!(text.contains("main.mc:6"), "{text}");
+    }
+
+    #[test]
+    fn report_lists_patterns_in_source_order() {
+        use crate::patterns::{Detail, Pattern, PatternKind};
+        let mk = |labels: &[&str], lines: Vec<(u16, u32)>| Found {
+            pattern: Pattern {
+                kind: PatternKind::Map,
+                nodes: ddg::BitSet::new(4),
+                components: 2,
+                op_labels: labels.iter().map(|s| s.to_string()).collect(),
+                lines,
+                loops: vec![],
+                detail: Detail::None,
+            },
+            iteration: 1,
+            reported: true,
+        };
+        // Found in reverse source order: the report must flip them.
+        let result = FinderResult {
+            found: vec![mk(&["late"], vec![(0, 9)]), mk(&["early"], vec![(0, 2)])],
+            ddg_size: 4,
+            simplified_size: 4,
+            simplify_stats: Default::default(),
+            iterations: 1,
+            subddgs_matched: 2,
+            phase_times: Default::default(),
+        };
+        let p = minc::compile("order", "void main() { int x; x = 1; }").unwrap();
+        let text = render_text(&result, &p);
+        let early = text.find("map early").expect("early pattern listed");
+        let late = text.find("map late").expect("late pattern listed");
+        assert!(early < late, "source order, not match order:\n{text}");
     }
 
     #[test]

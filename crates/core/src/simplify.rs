@@ -45,8 +45,18 @@ impl SimplifyStats {
 fn removable_label(label: &str) -> bool {
     matches!(
         label,
-        "add" | "sub" | "mul" | "sdiv" | "srem" | "shl" | "lshr" | "smin" | "smax" | "select"
-            | "neg" | "fptosi"
+        "add"
+            | "sub"
+            | "mul"
+            | "sdiv"
+            | "srem"
+            | "shl"
+            | "lshr"
+            | "smin"
+            | "smax"
+            | "select"
+            | "neg"
+            | "fptosi"
     ) || label.starts_with("icmp.")
         || label.starts_with("fcmp.")
 }
@@ -56,7 +66,10 @@ fn removable_label(label: &str) -> bool {
 pub fn simplify(g: &Ddg) -> (Ddg, Vec<Option<NodeId>>, SimplifyStats) {
     let n = g.len();
     let mut removed = BitSet::new(n);
-    let mut stats = SimplifyStats { nodes_before: n, ..Default::default() };
+    let mut stats = SimplifyStats {
+        nodes_before: n,
+        ..Default::default()
+    };
 
     // Phase 1: traversal bookkeeping.
     for id in g.node_ids() {
@@ -86,8 +99,7 @@ pub fn simplify(g: &Ddg) -> (Ddg, Vec<Option<NodeId>>, SimplifyStats) {
             if !removable_label(g.label_str(node.label)) {
                 continue;
             }
-            let all_succs_removed =
-                g.succs(id).iter().all(|s| removed.contains(s.index()));
+            let all_succs_removed = g.succs(id).iter().all(|s| removed.contains(s.index()));
             if all_succs_removed {
                 removed.insert(id.index());
                 stats.address_removed += 1;
@@ -128,7 +140,10 @@ mod tests {
             let idx = f.bin(BinOp::Mul, Expr::Var(i), Expr::Int(2));
             vec![FnBuilder::stmt_store(out, idx, v)]
         });
-        f.push(repro_ir::Stmt::Output { arr: out, loc: repro_ir::Loc::NONE });
+        f.push(repro_ir::Stmt::Output {
+            arr: out,
+            loc: repro_ir::Loc::NONE,
+        });
         let main = f.finish();
         let p = pb.finish(main);
         let (s, stats) = simplify_run(&p, &RunConfig::default().with_f64("in", &[1.0, 2.0, 3.0]));
@@ -154,7 +169,10 @@ mod tests {
             let v = f.bin(BinOp::FAdd, ld, Expr::Float(1.0));
             vec![FnBuilder::stmt_store(out, idx, v)]
         });
-        f.push(repro_ir::Stmt::Output { arr: out, loc: repro_ir::Loc::NONE });
+        f.push(repro_ir::Stmt::Output {
+            arr: out,
+            loc: repro_ir::Loc::NONE,
+        });
         let main = f.finish();
         let p = pb.finish(main);
         let (s, stats) = simplify_run(&p, &RunConfig::default().with_len("in", 16));
@@ -176,11 +194,13 @@ mod tests {
             let v = f.bin(BinOp::Add, x, Expr::Int(7));
             vec![FnBuilder::stmt_store(out, Expr::Var(i), v)]
         });
-        f.push(repro_ir::Stmt::Output { arr: out, loc: repro_ir::Loc::NONE });
+        f.push(repro_ir::Stmt::Output {
+            arr: out,
+            loc: repro_ir::Loc::NONE,
+        });
         let main = f.finish();
         let p = pb.finish(main);
-        let (s, stats) =
-            simplify_run(&p, &RunConfig::default().with_i64("in", &[1, 2, 3, 4]));
+        let (s, stats) = simplify_run(&p, &RunConfig::default().with_i64("in", &[1, 2, 3, 4]));
         assert_eq!(stats.address_removed, 0, "data-producing int ops are kept");
         assert_eq!(s.len(), 8);
     }
@@ -204,15 +224,19 @@ mod tests {
                 loc: repro_ir::Loc::NONE,
             }]
         });
-        f.push(repro_ir::Stmt::Output { arr: out, loc: repro_ir::Loc::NONE });
+        f.push(repro_ir::Stmt::Output {
+            arr: out,
+            loc: repro_ir::Loc::NONE,
+        });
         let main = f.finish();
         let p = pb.finish(main);
-        let (s, _) =
-            simplify_run(&p, &RunConfig::default().with_f64("in", &[0.1, 0.9, 0.2, 0.8]));
+        let (s, _) = simplify_run(
+            &p,
+            &RunConfig::default().with_f64("in", &[0.1, 0.9, 0.2, 0.8]),
+        );
         // 4 fcmps removed; fadds: evaluated in all 4 iterations (the value
         // is computed before the branch in this IR shape), all kept.
-        let labels: Vec<&str> =
-            s.node_ids().map(|n| s.label_str(s.node(n).label)).collect();
+        let labels: Vec<&str> = s.node_ids().map(|n| s.label_str(s.node(n).label)).collect();
         assert!(labels.iter().all(|&l| l == "fadd"));
     }
 

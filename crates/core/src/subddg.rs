@@ -22,7 +22,11 @@ pub enum SubKind {
     /// Fusion of a matched map with another matched sub-DDG: the map part,
     /// the other part, and what the other part matched — which decides
     /// whether the fused-map or a map-reduction model applies.
-    Fused { map_part: BitSet, other_part: BitSet, other_kind: crate::patterns::PatternKind },
+    Fused {
+        map_part: BitSet,
+        other_part: BitSet,
+        other_kind: crate::patterns::PatternKind,
+    },
 }
 
 /// A sub-DDG in the pool.
@@ -39,13 +43,21 @@ pub struct SubDdg {
 impl SubDdg {
     /// An ungrouped sub-DDG.
     pub fn ungrouped(nodes: BitSet, kind: SubKind) -> Self {
-        SubDdg { nodes, groups: None, kind }
+        SubDdg {
+            nodes,
+            groups: None,
+            kind,
+        }
     }
 
     /// A grouped (compacted) sub-DDG; `groups` must partition `nodes`.
     pub fn grouped(nodes: BitSet, groups: Vec<Vec<NodeId>>, kind: SubKind) -> Self {
         debug_assert_eq!(groups.iter().map(|g| g.len()).sum::<usize>(), nodes.len());
-        SubDdg { nodes, groups: Some(groups), kind }
+        SubDdg {
+            nodes,
+            groups: Some(groups),
+            kind,
+        }
     }
 
     /// Pool identity: node set plus a structural-kind tag. A loop sub-DDG,
@@ -85,7 +97,10 @@ impl SubDdg {
         let groups = self.groups.as_ref().map(|gs| {
             gs.iter()
                 .map(|g| {
-                    g.iter().copied().filter(|n| nodes.contains(n.index())).collect::<Vec<_>>()
+                    g.iter()
+                        .copied()
+                        .filter(|n| nodes.contains(n.index()))
+                        .collect::<Vec<_>>()
                 })
                 .filter(|g| !g.is_empty())
                 .collect::<Vec<_>>()
@@ -95,7 +110,11 @@ impl SubDdg {
             SubKind::Derived { from_loop } => *from_loop,
             _ => None,
         };
-        Some(SubDdg { nodes, groups, kind: SubKind::Derived { from_loop } })
+        Some(SubDdg {
+            nodes,
+            groups,
+            kind: SubKind::Derived { from_loop },
+        })
     }
 
     /// True when every arc leaving `self` lands in `other` and at least
@@ -127,8 +146,11 @@ impl SubDdg {
             match &part.groups {
                 Some(gs) => {
                     for gr in gs {
-                        let fresh: Vec<NodeId> =
-                            gr.iter().copied().filter(|n| seen.insert(n.index())).collect();
+                        let fresh: Vec<NodeId> = gr
+                            .iter()
+                            .copied()
+                            .filter(|n| seen.insert(n.index()))
+                            .collect();
                         if !fresh.is_empty() {
                             groups.push(fresh);
                         }
@@ -143,7 +165,11 @@ impl SubDdg {
                 }
             }
         }
-        SubDdg { nodes, groups: Some(groups), kind }
+        SubDdg {
+            nodes,
+            groups: Some(groups),
+            kind,
+        }
     }
 }
 
@@ -155,7 +181,9 @@ mod tests {
     fn four_node_graph() -> Ddg {
         let mut b = DdgBuilder::new();
         let l = b.intern_label("fadd", true);
-        let n: Vec<NodeId> = (0..4).map(|i| b.add_node(l, i, 0, 1, 1, 0, vec![])).collect();
+        let n: Vec<NodeId> = (0..4)
+            .map(|i| b.add_node(l, i, 0, 1, 1, 0, vec![]))
+            .collect();
         b.add_arc(n[0], n[2]);
         b.add_arc(n[1], n[2]);
         b.add_arc(n[2], n[3]);
@@ -186,18 +214,27 @@ mod tests {
         let g = four_node_graph();
         let src = SubDdg::ungrouped(
             BitSet::from_iter(g.len(), [0, 1]),
-            SubKind::Assoc { label: "fadd".into() },
+            SubKind::Assoc {
+                label: "fadd".into(),
+            },
         );
         let dst_all = SubDdg::ungrouped(
             BitSet::from_iter(g.len(), [2, 3]),
-            SubKind::Assoc { label: "fadd".into() },
+            SubKind::Assoc {
+                label: "fadd".into(),
+            },
         );
         let dst_partial = SubDdg::ungrouped(
             BitSet::from_iter(g.len(), [3]),
-            SubKind::Assoc { label: "fadd".into() },
+            SubKind::Assoc {
+                label: "fadd".into(),
+            },
         );
         assert!(src.flows_into(&dst_all, &g));
-        assert!(!src.flows_into(&dst_partial, &g), "arc 0->2 escapes the target");
+        assert!(
+            !src.flows_into(&dst_partial, &g),
+            "arc 0->2 escapes the target"
+        );
         assert!(!dst_all.flows_into(&src, &g), "no arcs flow back");
     }
 
@@ -211,7 +248,9 @@ mod tests {
         );
         let b = SubDdg::ungrouped(
             BitSet::from_iter(g.len(), [2, 3]),
-            SubKind::Assoc { label: "fadd".into() },
+            SubKind::Assoc {
+                label: "fadd".into(),
+            },
         );
         let fused = a.fuse(
             &b,
@@ -229,7 +268,12 @@ mod tests {
     fn pool_keys_distinguish_grouping() {
         let g = four_node_graph();
         let nodes = BitSet::from_iter(g.len(), [0, 1]);
-        let a = SubDdg::ungrouped(nodes.clone(), SubKind::Assoc { label: "fadd".into() });
+        let a = SubDdg::ungrouped(
+            nodes.clone(),
+            SubKind::Assoc {
+                label: "fadd".into(),
+            },
+        );
         let b = SubDdg::grouped(
             nodes,
             vec![vec![NodeId(0)], vec![NodeId(1)]],

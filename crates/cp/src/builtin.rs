@@ -66,7 +66,10 @@ impl AllDifferent {
     }
 
     pub fn except(vars: Vec<VarId>, except: u32) -> Self {
-        AllDifferent { vars, except: Some(except) }
+        AllDifferent {
+            vars,
+            except: Some(except),
+        }
     }
 }
 
@@ -112,7 +115,10 @@ pub struct NonZeroAtLeast {
 
 impl NonZeroAtLeast {
     pub fn new(vars: Vec<VarId>, k: usize) -> Self {
-        NonZeroAtLeast { vars, k: std::rc::Rc::new(std::cell::Cell::new(k)) }
+        NonZeroAtLeast {
+            vars,
+            k: std::rc::Rc::new(std::cell::Cell::new(k)),
+        }
     }
 
     /// A propagator whose bound the search can raise mid-run.

@@ -19,7 +19,10 @@ impl Domain {
         for v in lo..=hi {
             words[(v / 64) as usize] |= 1 << (v % 64);
         }
-        Domain { words, size: hi - lo + 1 }
+        Domain {
+            words,
+            size: hi - lo + 1,
+        }
     }
 
     /// A singleton domain.

@@ -110,7 +110,10 @@ impl Engine {
 
     fn wake(&self, var: u32, queue: &mut Vec<u32>, queued: &mut [bool]) {
         let lists: [&[u32]; 2] = [
-            self.watch_lists.get(var as usize).map(|v| v.as_slice()).unwrap_or(&[]),
+            self.watch_lists
+                .get(var as usize)
+                .map(|v| v.as_slice())
+                .unwrap_or(&[]),
             &self.global_watchers,
         ];
         for &p in lists.into_iter().flatten() {

@@ -86,8 +86,7 @@ impl Search {
     }
 
     fn out_of_budget(&self) -> bool {
-        self.stats.nodes >= self.node_limit
-            || self.deadline.is_some_and(|d| Instant::now() >= d)
+        self.stats.nodes >= self.node_limit || self.deadline.is_some_and(|d| Instant::now() >= d)
     }
 
     /// First-fail variable selection: smallest unfixed domain.
@@ -143,7 +142,10 @@ impl Search {
         let bound = Rc::new(Cell::new(floor.max(1)));
         self.engine.post(
             &self.store,
-            Box::new(NonZeroAtLeast::with_shared_bound(objective.to_vec(), Rc::clone(&bound))),
+            Box::new(NonZeroAtLeast::with_shared_bound(
+                objective.to_vec(),
+                Rc::clone(&bound),
+            )),
         );
         let mut best: Option<Vec<u32>> = None;
         let objective = objective.to_vec();
@@ -176,7 +178,11 @@ impl Search {
         let Some(var) = self.pick_var() else {
             self.stats.solutions += 1;
             let sol = self.store.solution();
-            return if on_solution(&sol) { Walk::Done } else { Walk::Abort };
+            return if on_solution(&sol) {
+                Walk::Done
+            } else {
+                Walk::Abort
+            };
         };
         for v in self.value_order(var) {
             if self.out_of_budget() {
@@ -198,9 +204,7 @@ impl Search {
 }
 
 /// Convenience: builds a search from closures that construct the model.
-pub fn search_with(
-    build: impl FnOnce(&mut Store) -> Vec<Box<dyn Propagator>>,
-) -> Search {
+pub fn search_with(build: impl FnOnce(&mut Store) -> Vec<Box<dyn Propagator>>) -> Search {
     let mut store = Store::new();
     let props = build(&mut store);
     let mut engine = Engine::new();

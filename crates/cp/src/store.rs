@@ -112,7 +112,11 @@ impl Store {
         let level = self.level();
         // Level 0 changes are permanent: no trailing needed.
         if level > 0 && self.saved_at[x.index()] != level {
-            self.trail.push((x.0, self.domains[x.index()].clone(), self.saved_at[x.index()]));
+            self.trail.push((
+                x.0,
+                self.domains[x.index()].clone(),
+                self.saved_at[x.index()],
+            ));
             self.saved_at[x.index()] = level;
         }
     }

@@ -16,7 +16,12 @@ struct Csp {
 }
 
 fn csp_strategy() -> impl Strategy<Value = Csp> {
-    (2usize..5, 1u32..5, prop::collection::vec((0usize..5, 0usize..5, -3i64..4), 0..8), any::<bool>())
+    (
+        2usize..5,
+        1u32..5,
+        prop::collection::vec((0usize..5, 0usize..5, -3i64..4), 0..8),
+        any::<bool>(),
+    )
         .prop_map(|(n, max, raw, alldiff)| Csp {
             n,
             max,

@@ -20,10 +20,8 @@ pub fn topo_order(g: &Ddg) -> Vec<NodeId> {
     for (_, v) in g.arcs() {
         indeg[v.index()] += 1;
     }
-    let mut queue: std::collections::VecDeque<NodeId> = g
-        .node_ids()
-        .filter(|id| indeg[id.index()] == 0)
-        .collect();
+    let mut queue: std::collections::VecDeque<NodeId> =
+        g.node_ids().filter(|id| indeg[id.index()] == 0).collect();
     let mut order = Vec::with_capacity(n);
     while let Some(u) = queue.pop_front() {
         order.push(u);
@@ -64,7 +62,9 @@ pub fn reachable_from(g: &Ddg, sources: impl IntoIterator<Item = NodeId>) -> Bit
 /// (its undirected version is connected). The empty set is not connected;
 /// singletons are.
 pub fn is_weakly_connected(g: &Ddg, subset: &BitSet) -> bool {
-    let Some(start) = subset.first() else { return false };
+    let Some(start) = subset.first() else {
+        return false;
+    };
     let mut seen = BitSet::new(g.len());
     seen.insert(start);
     let mut stack = vec![NodeId(start as u32)];
@@ -165,7 +165,9 @@ mod tests {
     fn chain_with_detour() -> Ddg {
         let mut b = DdgBuilder::new();
         let l = b.intern_label("fadd", true);
-        let n: Vec<NodeId> = (0..5).map(|i| b.add_node(l, i, 0, 1, 1, 0, vec![])).collect();
+        let n: Vec<NodeId> = (0..5)
+            .map(|i| b.add_node(l, i, 0, 1, 1, 0, vec![]))
+            .collect();
         b.add_arc(n[0], n[1]);
         b.add_arc(n[1], n[2]);
         b.add_arc(n[2], n[3]);

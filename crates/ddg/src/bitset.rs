@@ -17,7 +17,10 @@ pub struct BitSet {
 impl BitSet {
     /// An empty set able to hold indices `0..capacity`.
     pub fn new(capacity: usize) -> Self {
-        BitSet { words: vec![0; capacity.div_ceil(64)], capacity }
+        BitSet {
+            words: vec![0; capacity.div_ceil(64)],
+            capacity,
+        }
     }
 
     /// A set containing every index in `0..capacity`.
@@ -46,7 +49,11 @@ impl BitSet {
     /// Adds `i`; returns whether it was newly inserted.
     #[inline]
     pub fn insert(&mut self, i: usize) -> bool {
-        debug_assert!(i < self.capacity, "index {i} out of capacity {}", self.capacity);
+        debug_assert!(
+            i < self.capacity,
+            "index {i} out of capacity {}",
+            self.capacity
+        );
         let w = &mut self.words[i / 64];
         let mask = 1u64 << (i % 64);
         let fresh = *w & mask == 0;
@@ -132,7 +139,10 @@ impl BitSet {
 
     /// True when every element of `self` is in `other`.
     pub fn is_subset_of(&self, other: &BitSet) -> bool {
-        self.words.iter().zip(&other.words).all(|(a, b)| a & !b == 0)
+        self.words
+            .iter()
+            .zip(&other.words)
+            .all(|(a, b)| a & !b == 0)
     }
 
     /// Iterates over the elements in increasing order.

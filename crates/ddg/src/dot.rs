@@ -14,7 +14,8 @@ pub fn to_dot(g: &Ddg) -> String {
 /// cluster (pattern components, sub-DDGs, …), in grayscale like the
 /// paper's figures.
 pub fn to_dot_highlighted(g: &Ddg, highlight: &[&BitSet]) -> String {
-    let mut out = String::from("digraph ddg {\n  rankdir=TB;\n  node [shape=circle, fontsize=10];\n");
+    let mut out =
+        String::from("digraph ddg {\n  rankdir=TB;\n  node [shape=circle, fontsize=10];\n");
     let shade = |i: usize| match i % 3 {
         0 => "lightgray",
         1 => "gray",
@@ -52,7 +53,11 @@ pub fn to_dot_highlighted(g: &Ddg, highlight: &[&BitSet]) -> String {
 pub fn subgraph_to_dot(g: &Ddg, nodes: &BitSet) -> String {
     let mut context = nodes.clone();
     for n in nodes.iter() {
-        for &s in g.succs(NodeId(n as u32)).iter().chain(g.preds(NodeId(n as u32))) {
+        for &s in g
+            .succs(NodeId(n as u32))
+            .iter()
+            .chain(g.preds(NodeId(n as u32)))
+        {
             context.insert(s.index());
         }
     }

@@ -166,7 +166,10 @@ impl Ddg {
 
     /// Looks up a label by string.
     pub fn find_label(&self, s: &str) -> Option<LabelId> {
-        self.labels.iter().position(|l| l == s).map(|i| LabelId(i as u32))
+        self.labels
+            .iter()
+            .position(|l| l == s)
+            .map(|i| LabelId(i as u32))
     }
 
     /// All arcs `(u, v)`.
@@ -296,7 +299,9 @@ impl DdgBuilder {
 
     /// Marks a node's value as reaching program output.
     pub fn mark_writes_output(&mut self, id: NodeId) {
-        self.nodes[id.index()].flags.insert(NodeFlags::WRITES_OUTPUT);
+        self.nodes[id.index()]
+            .flags
+            .insert(NodeFlags::WRITES_OUTPUT);
     }
 
     /// Number of nodes added so far.
@@ -394,12 +399,20 @@ mod tests {
     fn scopes_are_stored() {
         let mut b = DdgBuilder::new();
         let l = b.intern_label("fadd", true);
-        let scope = vec![ScopeEntry { loop_id: 0, instance: 2, iter: 5 }];
+        let scope = vec![ScopeEntry {
+            loop_id: 0,
+            instance: 2,
+            iter: 5,
+        }];
         let n = b.add_node(l, 0, 0, 1, 1, 3, scope);
         let g = b.finish();
         assert_eq!(
             g.innermost_scope(n),
-            Some(ScopeEntry { loop_id: 0, instance: 2, iter: 5 })
+            Some(ScopeEntry {
+                loop_id: 0,
+                instance: 2,
+                iter: 5
+            })
         );
         assert_eq!(g.node(n).thread, 3);
     }

@@ -24,7 +24,9 @@ pub mod algo;
 pub mod bitset;
 pub mod dot;
 pub mod graph;
+pub mod structural;
 
 pub use algo::{is_weakly_connected, reachable_from, topo_order, Reachability};
 pub use bitset::BitSet;
 pub use graph::{Ddg, DdgBuilder, LabelId, Node, NodeId, ScopeEntry};
+pub use structural::{grouped_key, grouped_key_with, KeyBuilder, StructuralKey};

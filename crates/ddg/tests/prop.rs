@@ -9,7 +9,9 @@ use std::collections::HashSet;
 fn random_dag(n: usize, arcs: &[(usize, usize)]) -> Ddg {
     let mut b = DdgBuilder::new();
     let l = b.intern_label("fadd", true);
-    let ids: Vec<NodeId> = (0..n).map(|i| b.add_node(l, i as u32, 0, 1, 1, 0, vec![])).collect();
+    let ids: Vec<NodeId> = (0..n)
+        .map(|i| b.add_node(l, i as u32, 0, 1, 1, 0, vec![]))
+        .collect();
     for &(u, v) in arcs {
         let (u, v) = (u % n, v % n);
         if u < v {

@@ -7,7 +7,19 @@ fn sample() -> Ddg {
     let mut b = DdgBuilder::new();
     let add = b.intern_label("fadd", true);
     let sqrt = b.intern_label("call.sqrt", false);
-    let n0 = b.add_node(add, 0, 0, 3, 7, 1, vec![ScopeEntry { loop_id: 2, instance: 0, iter: 5 }]);
+    let n0 = b.add_node(
+        add,
+        0,
+        0,
+        3,
+        7,
+        1,
+        vec![ScopeEntry {
+            loop_id: 2,
+            instance: 0,
+            iter: 5,
+        }],
+    );
     let n1 = b.add_node(sqrt, 1, 1, 9, 2, 2, vec![]);
     b.add_arc(n0, n1);
     b.mark_reads_input(n0);

@@ -1,0 +1,467 @@
+//! The structural-hash match cache.
+//!
+//! Matching dominates finder time (paper Fig. 7: ≈ 48%), and batches of
+//! related analyses — the seq and Pthreads versions of one benchmark, or
+//! one benchmark at several input scales — keep presenting the matcher
+//! with sub-DDGs that are *op-isomorphic at the group level*: same label
+//! multisets, flags, arc and reachability shape, static-op equality
+//! pattern. The cache memoizes match outcomes under the canonical
+//! [`ddg::StructuralKey`] of the compacted view, so the second such view
+//! skips the models entirely.
+//!
+//! Soundness rests on two facts, both enforced elsewhere:
+//!
+//! - the pattern models consume *only* the facts the key encodes (the
+//!   `ddg` crate's property tests check that equal keys imply equal
+//!   matcher-visible facts — no false hits);
+//! - a matcher is a deterministic function of those facts plus the
+//!   dispatch class and time budget, which are part of the cache key.
+//!
+//! Because a pattern's metadata (source lines, label strings, node ids)
+//! is *not* structural, hits store the match in **group-index space**
+//! and rebuild the concrete [`Pattern`] against the probing sub-DDG's
+//! own groups and graph — a hit on an isomorphic view from another
+//! program still reports the probing program's source locations, and is
+//! byte-identical to what a fresh match would have produced.
+//!
+//! Fused sub-DDGs are not cached: their matchers re-derive the inner
+//! map/reduction split from the `SubKind::Fused` payload (raw node
+//! sets), which the group-level key does not see.
+
+use ddg::{Ddg, NodeId, Reachability, StructuralKey};
+use discovery::models::MatchBudget;
+use discovery::patterns::Detail;
+use discovery::{Pattern, PatternKind, SubDdg, SubKind};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Dispatch classes of the non-fused sub-DDG kinds. The finder matches
+/// loop-shaped views against map-then-linear and associative views
+/// against linear-then-tiled, so views from different classes must never
+/// share a cache line even when structurally equal.
+fn dispatch_class(kind: &SubKind) -> Option<u64> {
+    match kind {
+        SubKind::Loop { .. } | SubKind::Derived { from_loop: Some(_) } => Some(0),
+        SubKind::Assoc { .. } | SubKind::Derived { from_loop: None } => Some(1),
+        SubKind::Fused { .. } => None,
+    }
+}
+
+/// The compaction groups a key and a reconstruction see: the sub-DDG's
+/// own groups, or singletons in ascending node order — exactly the view
+/// `discovery::quotient::Quotient::build` compacts to.
+fn groups_of(sub: &SubDdg) -> Vec<Vec<NodeId>> {
+    match &sub.groups {
+        Some(gs) => gs.clone(),
+        None => sub.nodes.iter().map(|n| vec![NodeId(n as u32)]).collect(),
+    }
+}
+
+#[derive(PartialEq, Eq, Hash)]
+struct CacheKey {
+    key: StructuralKey,
+    budget_ms: u64,
+}
+
+/// A match outcome in group-index space.
+enum CachedMatch {
+    Map {
+        kind: PatternKind,
+        components: Vec<Vec<u32>>,
+    },
+    Linear {
+        chain: Vec<u32>,
+    },
+    Tiled {
+        partials: Vec<Vec<u32>>,
+        final_chain: Vec<u32>,
+    },
+}
+
+/// Result of a cache probe.
+pub enum Probe {
+    /// Fused sub-DDG (or the cache is disabled): match it directly.
+    Uncacheable,
+    /// Memoized outcome, rebuilt against the probing sub-DDG.
+    Hit(Option<Pattern>),
+    /// Unknown structure; match it, then [`MatchCache::fulfil`] the
+    /// ticket with the outcome.
+    Miss(PendingEntry),
+}
+
+/// A miss ticket carrying the computed key to the fulfil site.
+pub struct PendingEntry {
+    key: CacheKey,
+}
+
+/// The shared, thread-safe memo table.
+pub struct MatchCache {
+    enabled: bool,
+    map: Mutex<HashMap<CacheKey, Option<CachedMatch>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl MatchCache {
+    pub fn new(enabled: bool) -> MatchCache {
+        MatchCache {
+            enabled,
+            map: Mutex::new(HashMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Looks `sub`'s structural key up. `reach` must be the full-graph
+    /// reachability closure of `g`.
+    pub fn probe(
+        &self,
+        g: &Ddg,
+        reach: &Reachability,
+        sub: &SubDdg,
+        budget: &MatchBudget,
+    ) -> Probe {
+        if !self.enabled {
+            return Probe::Uncacheable;
+        }
+        let Some(class) = dispatch_class(&sub.kind) else {
+            return Probe::Uncacheable;
+        };
+        let groups = groups_of(sub);
+        let key = CacheKey {
+            key: ddg::grouped_key_with(g, &groups, class, reach),
+            budget_ms: budget.time.as_millis() as u64,
+        };
+        let cached = {
+            let map = self.map.lock().unwrap();
+            map.get(&key).map(|entry| entry.as_ref().map(rebuild_args))
+        };
+        match cached {
+            Some(entry) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Probe::Hit(entry.map(|args| rebuild(g, sub, &groups, args)))
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                Probe::Miss(PendingEntry { key })
+            }
+        }
+    }
+
+    /// Stores the outcome of a missed probe. `sub` must be the sub-DDG
+    /// the probe ran on.
+    pub fn fulfil(&self, pending: PendingEntry, sub: &SubDdg, outcome: &Option<Pattern>) {
+        let entry = match outcome {
+            None => Some(None),
+            Some(p) => encode(sub, p).map(Some),
+        };
+        // An unencodable pattern (a detail node outside the group view;
+        // never produced by the current models) is simply not cached.
+        if let Some(entry) = entry {
+            self.map.lock().unwrap().insert(pending.key, entry);
+        }
+    }
+
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    pub fn entries(&self) -> usize {
+        self.map.lock().unwrap().len()
+    }
+}
+
+/// Owned arguments for [`rebuild`], cloned out of the table so the lock
+/// is not held while patterns are being reconstructed.
+enum RebuildArgs {
+    Map {
+        kind: PatternKind,
+        components: Vec<Vec<u32>>,
+    },
+    Linear {
+        chain: Vec<u32>,
+    },
+    Tiled {
+        partials: Vec<Vec<u32>>,
+        final_chain: Vec<u32>,
+    },
+}
+
+fn rebuild_args(m: &CachedMatch) -> RebuildArgs {
+    match m {
+        CachedMatch::Map { kind, components } => RebuildArgs::Map {
+            kind: *kind,
+            components: components.clone(),
+        },
+        CachedMatch::Linear { chain } => RebuildArgs::Linear {
+            chain: chain.clone(),
+        },
+        CachedMatch::Tiled {
+            partials,
+            final_chain,
+        } => RebuildArgs::Tiled {
+            partials: partials.clone(),
+            final_chain: final_chain.clone(),
+        },
+    }
+}
+
+/// Encodes a freshly matched pattern in group-index space. Every node a
+/// detail references is mapped to its `(group, member)` position; chains
+/// always reference group representatives (`members[0]`) and map
+/// components cover whole groups, so group indices suffice.
+fn encode(sub: &SubDdg, p: &Pattern) -> Option<CachedMatch> {
+    let groups = groups_of(sub);
+    let mut group_of: HashMap<u32, u32> = HashMap::new();
+    for (gi, members) in groups.iter().enumerate() {
+        for &m in members {
+            group_of.insert(m.0, gi as u32);
+        }
+    }
+    let map_chain = |chain: &[NodeId]| -> Option<Vec<u32>> {
+        chain.iter().map(|n| group_of.get(&n.0).copied()).collect()
+    };
+    match &p.detail {
+        // The cached dispatch classes always attach detail; a detail-less
+        // pattern has no group-space encoding, so it is not cached.
+        Detail::None => None,
+        Detail::Map { components } => {
+            // Members of one group are contiguous in a component; keep
+            // each group index once, in order.
+            let mut comps = Vec::with_capacity(components.len());
+            for c in components {
+                let mut gis: Vec<u32> = Vec::new();
+                for n in c {
+                    let gi = *group_of.get(&n.0)?;
+                    if gis.last() != Some(&gi) {
+                        gis.push(gi);
+                    }
+                }
+                comps.push(gis);
+            }
+            Some(CachedMatch::Map {
+                kind: p.kind,
+                components: comps,
+            })
+        }
+        Detail::Linear { chain } => Some(CachedMatch::Linear {
+            chain: map_chain(chain)?,
+        }),
+        Detail::Tiled {
+            partials,
+            final_chain,
+        } => Some(CachedMatch::Tiled {
+            partials: partials
+                .iter()
+                .map(|c| map_chain(c))
+                .collect::<Option<Vec<_>>>()?,
+            final_chain: map_chain(final_chain)?,
+        }),
+    }
+}
+
+/// Rebuilds a concrete pattern for `sub` from a group-index match. The
+/// probing view's key equals the stored view's key, so group count and
+/// per-group member counts agree and every index resolves.
+fn rebuild(g: &Ddg, sub: &SubDdg, groups: &[Vec<NodeId>], args: RebuildArgs) -> Pattern {
+    let rep = |gi: &u32| groups[*gi as usize][0];
+    match args {
+        RebuildArgs::Map { kind, components } => {
+            let components: Vec<Vec<NodeId>> = components
+                .iter()
+                .map(|gis| {
+                    gis.iter()
+                        .flat_map(|gi| groups[*gi as usize].iter().copied())
+                        .collect()
+                })
+                .collect();
+            let n = components.len();
+            Pattern::with_metadata(kind, sub.nodes.clone(), n, g)
+                .with_detail(Detail::Map { components })
+        }
+        RebuildArgs::Linear { chain } => {
+            let n = chain.len();
+            Pattern::with_metadata(PatternKind::LinearReduction, sub.nodes.clone(), n, g)
+                .with_detail(Detail::Linear {
+                    chain: chain.iter().map(rep).collect(),
+                })
+        }
+        RebuildArgs::Tiled {
+            partials,
+            final_chain,
+        } => {
+            let n = groups.len();
+            Pattern::with_metadata(PatternKind::TiledReduction, sub.nodes.clone(), n, g)
+                .with_detail(Detail::Tiled {
+                    partials: partials
+                        .iter()
+                        .map(|c| c.iter().map(rep).collect())
+                        .collect(),
+                    final_chain: final_chain.iter().map(rep).collect(),
+                })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ddg::{BitSet, DdgBuilder};
+    use discovery::models::match_subddg;
+
+    /// A chain of `n` adds with distinguishable static ops per position,
+    /// fed from outside, last writing output — a linear reduction.
+    fn chain(n: usize, op_base: u32, label: &str) -> (Ddg, SubDdg) {
+        let mut b = DdgBuilder::new();
+        let l = b.intern_label(label, true);
+        let nodes: Vec<NodeId> = (0..n)
+            .map(|_| b.add_node(l, op_base, 0, 1, 1, 0, vec![]))
+            .collect();
+        for i in 0..n {
+            b.mark_reads_input(nodes[i]);
+            if i > 0 {
+                b.add_arc(nodes[i - 1], nodes[i]);
+            }
+        }
+        b.mark_writes_output(nodes[n - 1]);
+        let g = b.finish();
+        let sub = SubDdg::ungrouped(
+            BitSet::from_iter(g.len(), 0..n),
+            SubKind::Assoc {
+                label: label.into(),
+            },
+        );
+        (g, sub)
+    }
+
+    fn probe_of(cache: &MatchCache, g: &Ddg, sub: &SubDdg) -> Probe {
+        cache.probe(g, &Reachability::compute(g), sub, &MatchBudget::default())
+    }
+
+    #[test]
+    fn hit_rebuilds_byte_identical_pattern() {
+        let cache = MatchCache::new(true);
+        let (g1, sub1) = chain(4, 0, "fadd");
+        let Probe::Miss(pending) = probe_of(&cache, &g1, &sub1) else {
+            panic!("first probe must miss")
+        };
+        let fresh = match_subddg(&g1, &sub1, &MatchBudget::default());
+        assert!(fresh.is_some());
+        cache.fulfil(pending, &sub1, &fresh);
+
+        // An op-isomorphic view (different static op ids) from a second
+        // graph: must hit and rebuild exactly what a fresh match yields.
+        let (g2, sub2) = chain(4, 77, "fadd");
+        let Probe::Hit(Some(rebuilt)) = probe_of(&cache, &g2, &sub2) else {
+            panic!("isomorphic view must hit")
+        };
+        let direct = match_subddg(&g2, &sub2, &MatchBudget::default()).unwrap();
+        assert_eq!(rebuilt.kind, direct.kind);
+        assert_eq!(rebuilt.components, direct.components);
+        assert_eq!(rebuilt.op_labels, direct.op_labels);
+        assert_eq!(rebuilt.lines, direct.lines);
+        assert_eq!(rebuilt.detail, direct.detail);
+        assert_eq!(
+            rebuilt.nodes.iter().collect::<Vec<_>>(),
+            direct.nodes.iter().collect::<Vec<_>>()
+        );
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.misses(), 1);
+    }
+
+    #[test]
+    fn negative_outcomes_are_cached_too() {
+        let cache = MatchCache::new(true);
+        // A chain with no final output never matches.
+        let mut b = DdgBuilder::new();
+        let l = b.intern_label("fadd", true);
+        let x = b.add_node(l, 0, 0, 1, 1, 0, vec![]);
+        let y = b.add_node(l, 0, 0, 1, 1, 0, vec![]);
+        b.mark_reads_input(x);
+        b.mark_reads_input(y);
+        b.add_arc(x, y);
+        let g = b.finish();
+        let sub = SubDdg::ungrouped(
+            BitSet::from_iter(g.len(), 0..2),
+            SubKind::Assoc {
+                label: "fadd".into(),
+            },
+        );
+        let Probe::Miss(pending) = probe_of(&cache, &g, &sub) else {
+            panic!()
+        };
+        let outcome = match_subddg(&g, &sub, &MatchBudget::default());
+        assert!(outcome.is_none());
+        cache.fulfil(pending, &sub, &outcome);
+        let Probe::Hit(None) = probe_of(&cache, &g, &sub) else {
+            panic!("negative outcome must hit")
+        };
+    }
+
+    #[test]
+    fn different_labels_do_not_collide() {
+        let cache = MatchCache::new(true);
+        let (g1, sub1) = chain(3, 0, "fadd");
+        let Probe::Miss(p1) = probe_of(&cache, &g1, &sub1) else {
+            panic!()
+        };
+        cache.fulfil(
+            p1,
+            &sub1,
+            &match_subddg(&g1, &sub1, &MatchBudget::default()),
+        );
+        let (g2, sub2) = chain(3, 0, "fmul");
+        assert!(
+            matches!(probe_of(&cache, &g2, &sub2), Probe::Miss(_)),
+            "a different operation label is a different structure"
+        );
+    }
+
+    #[test]
+    fn fused_views_are_uncacheable() {
+        let (g, sub) = chain(4, 0, "fadd");
+        let fused = SubDdg {
+            nodes: sub.nodes.clone(),
+            groups: None,
+            kind: SubKind::Fused {
+                map_part: sub.nodes.clone(),
+                other_part: sub.nodes.clone(),
+                other_kind: PatternKind::Map,
+            },
+        };
+        let cache = MatchCache::new(true);
+        assert!(matches!(probe_of(&cache, &g, &fused), Probe::Uncacheable));
+    }
+
+    #[test]
+    fn disabled_cache_never_engages() {
+        let cache = MatchCache::new(false);
+        let (g, sub) = chain(4, 0, "fadd");
+        assert!(matches!(probe_of(&cache, &g, &sub), Probe::Uncacheable));
+        assert_eq!(cache.hits() + cache.misses(), 0);
+    }
+
+    #[test]
+    fn loop_and_assoc_views_of_one_shape_do_not_collide() {
+        let (g, sub) = chain(4, 0, "fadd");
+        let as_loop = SubDdg::grouped(
+            sub.nodes.clone(),
+            (0..4).map(|i| vec![NodeId(i)]).collect(),
+            SubKind::Loop { loop_id: 0 },
+        );
+        let cache = MatchCache::new(true);
+        let Probe::Miss(p1) = probe_of(&cache, &g, &sub) else {
+            panic!()
+        };
+        cache.fulfil(p1, &sub, &match_subddg(&g, &sub, &MatchBudget::default()));
+        assert!(
+            matches!(probe_of(&cache, &g, &as_loop), Probe::Miss(_)),
+            "different dispatch class must miss"
+        );
+    }
+}

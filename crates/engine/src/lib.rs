@@ -1,0 +1,497 @@
+//! `repro-engine` — the parallel batch analysis engine.
+//!
+//! The paper's tool analyzes one program execution at a time; real use —
+//! and the paper's own evaluation — runs *many* analyses: eight
+//! benchmarks × two versions × several input scales. This crate runs
+//! such batches as a job DAG over a work-stealing thread pool:
+//!
+//! - each [`AnalysisRequest`] (program + input + finder config) is
+//!   driven by a *coordinator*: trace → simplify → decompose, then the
+//!   iterative match/subtract/fuse loop of `discovery::FinderState`;
+//! - within an iteration, the per-sub-DDG **match jobs are independent**
+//!   and fan out across the shared [`pool::WorkPool`]; the coordinator
+//!   re-applies the outcomes in pool order, so results are byte-identical
+//!   to the sequential `discovery::find_patterns` no matter how jobs
+//!   interleave (subtraction and fusion stay sequential on the
+//!   coordinator — they are the cheap, order-sensitive part);
+//! - across requests (and iterations), a [`cache::MatchCache`] memoizes
+//!   match outcomes under the canonical structural key of the compacted
+//!   sub-DDG view, so op-isomorphic views match once;
+//! - finished [`AnalysisResult`]s stream to the caller over a bounded
+//!   channel in completion order, with per-phase wall times and
+//!   cache/pool counters for the evaluation harness (Fig. 7, Table 3).
+
+pub mod cache;
+pub mod pool;
+
+use cache::{MatchCache, Probe};
+use ddg::Reachability;
+use discovery::models::match_subddg;
+use discovery::{FinderConfig, FinderResult, FinderState, Pattern};
+use pool::{PoolMetrics, WorkPool};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, SyncSender};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// One analysis to run: a program, the input to trace it on, and the
+/// finder configuration.
+pub struct AnalysisRequest {
+    /// Caller-chosen identifier, echoed in the result.
+    pub id: String,
+    pub program: repro_ir::Program,
+    pub input: trace::RunConfig,
+    pub config: FinderConfig,
+}
+
+/// A completed (or failed) analysis.
+pub struct AnalysisResult {
+    pub id: String,
+    /// Position of the request in the submitted batch (results stream in
+    /// completion order; sort by this to recover submission order).
+    pub index: usize,
+    pub outcome: Result<Analysis, trace::MachineError>,
+    pub metrics: RequestMetrics,
+}
+
+/// The successful payload: the finder result plus the rest of the run
+/// (final array contents, return value) for output verification.
+pub struct Analysis {
+    pub result: FinderResult,
+    /// The traced run, with the DDG taken out (it was consumed by the
+    /// analysis); `arrays`, `return_value` and `steps` remain.
+    pub run: trace::RunResult,
+}
+
+/// Per-request wall times and cache counters.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RequestMetrics {
+    /// Tracing (interpreting the program with DDG construction on).
+    pub trace_time: Duration,
+    /// Everything after tracing: simplify through merge, including time
+    /// spent waiting on match jobs.
+    pub find_time: Duration,
+    /// Match jobs this request produced (cache hits included).
+    pub match_jobs: u64,
+    pub cache_hits: u64,
+    pub cache_misses: u64,
+    /// Jobs that bypassed the cache (fused sub-DDGs, or cache disabled).
+    pub cache_bypassed: u64,
+}
+
+/// Engine-wide counter snapshot ([`Engine::metrics`]).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct EngineMetrics {
+    pub workers: usize,
+    pub jobs_executed: u64,
+    pub jobs_stolen: u64,
+    pub peak_queue_depth: u64,
+    pub requests_completed: u64,
+    pub cache_entries: usize,
+    pub cache_hits: u64,
+    pub cache_misses: u64,
+}
+
+impl EngineMetrics {
+    /// Cache hits over cacheable probes.
+    pub fn cache_hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
+}
+
+/// Engine construction knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct EngineConfig {
+    /// Match workers; 0 means one per available hardware thread.
+    pub workers: usize,
+    /// Requests analyzed concurrently (coordinator threads); 0 mirrors
+    /// `workers`.
+    pub max_concurrent_requests: usize,
+    /// Memoize match outcomes across requests.
+    pub use_cache: bool,
+    /// Bound of the result channel; a full channel backpressures the
+    /// coordinators.
+    pub results_capacity: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            workers: 0,
+            max_concurrent_requests: 0,
+            use_cache: true,
+            results_capacity: 16,
+        }
+    }
+}
+
+impl EngineConfig {
+    fn effective_workers(&self) -> usize {
+        if self.workers > 0 {
+            self.workers
+        } else {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        }
+    }
+}
+
+/// The batch analysis engine. One engine owns one worker pool and one
+/// match cache; batches submitted to it share both.
+pub struct Engine {
+    config: EngineConfig,
+    pool: Arc<WorkPool>,
+    cache: Arc<MatchCache>,
+    completed: Arc<AtomicU64>,
+}
+
+impl Engine {
+    pub fn new(config: EngineConfig) -> Engine {
+        Engine {
+            pool: Arc::new(WorkPool::new(config.effective_workers())),
+            cache: Arc::new(MatchCache::new(config.use_cache)),
+            completed: Arc::new(AtomicU64::new(0)),
+            config,
+        }
+    }
+
+    /// Analyzes a batch. Returns immediately; results stream over the
+    /// returned [`Batch`] in completion order.
+    pub fn analyze_batch(&self, requests: Vec<AnalysisRequest>) -> Batch {
+        let (tx, rx) = mpsc::sync_channel(self.config.results_capacity.max(1));
+        let n = requests.len();
+        let queue: Arc<Mutex<VecDeque<(usize, AnalysisRequest)>>> =
+            Arc::new(Mutex::new(requests.into_iter().enumerate().collect()));
+        let coordinators = {
+            let cap = if self.config.max_concurrent_requests > 0 {
+                self.config.max_concurrent_requests
+            } else {
+                self.config.effective_workers()
+            };
+            cap.min(n.max(1))
+        };
+        let handles = (0..coordinators)
+            .map(|c| {
+                let queue = Arc::clone(&queue);
+                let tx: SyncSender<AnalysisResult> = tx.clone();
+                let pool = Arc::clone(&self.pool);
+                let cache = Arc::clone(&self.cache);
+                let completed = Arc::clone(&self.completed);
+                std::thread::Builder::new()
+                    .name(format!("engine-coordinator-{c}"))
+                    .spawn(move || loop {
+                        let next = queue.lock().unwrap().pop_front();
+                        let Some((index, req)) = next else { break };
+                        let result = run_request(&pool, &cache, index, req);
+                        completed.fetch_add(1, Ordering::Relaxed);
+                        if tx.send(result).is_err() {
+                            break; // receiver dropped: abandon the batch
+                        }
+                    })
+                    .expect("spawn engine coordinator")
+            })
+            .collect();
+        Batch { rx, handles }
+    }
+
+    /// Convenience: run a batch to completion and return the results in
+    /// submission order.
+    pub fn analyze_all(&self, requests: Vec<AnalysisRequest>) -> Vec<AnalysisResult> {
+        let mut results: Vec<AnalysisResult> = self.analyze_batch(requests).collect();
+        results.sort_by_key(|r| r.index);
+        results
+    }
+
+    pub fn metrics(&self) -> EngineMetrics {
+        let PoolMetrics {
+            jobs_executed,
+            jobs_stolen,
+            peak_queue_depth,
+        } = self.pool.metrics();
+        EngineMetrics {
+            workers: self.pool.worker_count(),
+            jobs_executed,
+            jobs_stolen,
+            peak_queue_depth,
+            requests_completed: self.completed.load(Ordering::Relaxed),
+            cache_entries: self.cache.entries(),
+            cache_hits: self.cache.hits(),
+            cache_misses: self.cache.misses(),
+        }
+    }
+}
+
+/// A batch in flight: iterate to receive results in completion order.
+/// Dropping it joins the coordinators (after disconnecting, so an
+/// abandoned batch winds down instead of blocking on the channel).
+pub struct Batch {
+    rx: Receiver<AnalysisResult>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl Iterator for Batch {
+    type Item = AnalysisResult;
+
+    fn next(&mut self) -> Option<AnalysisResult> {
+        self.rx.recv().ok()
+    }
+}
+
+impl Drop for Batch {
+    fn drop(&mut self) {
+        // Disconnect first so coordinators blocked on send() observe the
+        // hangup instead of deadlocking against our join.
+        let (dead_tx, dead_rx) = mpsc::sync_channel(1);
+        drop(dead_tx);
+        let _ = std::mem::replace(&mut self.rx, dead_rx);
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Traces and analyzes one request, fanning match jobs out to `pool`.
+fn run_request(
+    pool: &Arc<WorkPool>,
+    cache: &Arc<MatchCache>,
+    index: usize,
+    req: AnalysisRequest,
+) -> AnalysisResult {
+    let mut metrics = RequestMetrics::default();
+
+    let t0 = Instant::now();
+    let mut input = req.input.clone();
+    input.trace = trace::TraceMode::Full;
+    let run = trace::run(&req.program, &input);
+    metrics.trace_time = t0.elapsed();
+
+    let mut run = match run {
+        Ok(r) => r,
+        Err(e) => {
+            return AnalysisResult {
+                id: req.id,
+                index,
+                outcome: Err(e),
+                metrics,
+            };
+        }
+    };
+    let ddg = run.ddg.take().expect("tracing was enabled");
+
+    let t0 = Instant::now();
+    let mut state = FinderState::new(&ddg, &req.config);
+    // One full-graph reachability closure per request, shared by every
+    // cache-key computation.
+    let reach = Reachability::compute(state.graph());
+
+    while !state.is_done() {
+        let jobs = state.active_jobs();
+        let t_match = Instant::now();
+        let (tx, rx) = mpsc::channel::<(usize, Option<Pattern>)>();
+        let mut outcomes: Vec<(usize, Option<Pattern>)> = Vec::with_capacity(jobs.len());
+        let mut in_flight = 0usize;
+        for job in jobs {
+            metrics.match_jobs += 1;
+            let pending = match cache.probe(state.graph(), &reach, &job.sub, state.budget()) {
+                Probe::Hit(p) => {
+                    metrics.cache_hits += 1;
+                    #[cfg(debug_assertions)]
+                    if let Some(p) = &p {
+                        debug_assert!(
+                            discovery::models::verify::check(state.graph(), p),
+                            "cache rebuilt an invalid pattern: {}",
+                            p.describe()
+                        );
+                    }
+                    outcomes.push((job.pool_index, p));
+                    continue;
+                }
+                Probe::Miss(pending) => {
+                    metrics.cache_misses += 1;
+                    Some(pending)
+                }
+                Probe::Uncacheable => {
+                    metrics.cache_bypassed += 1;
+                    None
+                }
+            };
+            let g = state.graph_arc();
+            let budget = *state.budget();
+            let cache = Arc::clone(cache);
+            let tx = tx.clone();
+            in_flight += 1;
+            pool.submit(Box::new(move || {
+                let outcome = match_subddg(&g, &job.sub, &budget);
+                if let Some(pending) = pending {
+                    cache.fulfil(pending, &job.sub, &outcome);
+                }
+                // The coordinator may have abandoned the batch.
+                let _ = tx.send((job.pool_index, outcome));
+            }));
+        }
+        drop(tx);
+        for _ in 0..in_flight {
+            match rx.recv() {
+                Ok(outcome) => outcomes.push(outcome),
+                Err(_) => panic!("a match worker died without reporting"),
+            }
+        }
+        state.add_matching_time(t_match.elapsed());
+        // `apply_matches` re-applies in pool order; sorting here just
+        // keeps the outcome list itself deterministic for debugging.
+        outcomes.sort_by_key(|&(i, _)| i);
+        state.apply_matches(outcomes);
+    }
+
+    let result = state.finish();
+    metrics.find_time = t0.elapsed();
+    AnalysisResult {
+        id: req.id,
+        index,
+        outcome: Ok(Analysis { result, run }),
+        metrics,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use discovery::PatternKind;
+
+    fn map_request(id: &str, elems: usize) -> AnalysisRequest {
+        let src = format!(
+            "float in[{elems}];\nfloat out[{elems}];\nvoid main() {{\n  int i;\n  \
+             for (i = 0; i < {elems}; i++) {{\n    out[i] = in[i] * 2.0 + 1.0;\n  }}\n  \
+             output(out);\n}}\n"
+        );
+        let program = minc::compile(id, &src).unwrap();
+        let input = trace::RunConfig::default()
+            .with_f64("in", &(0..elems).map(|i| i as f64).collect::<Vec<_>>());
+        AnalysisRequest {
+            id: id.to_string(),
+            program,
+            input,
+            config: FinderConfig::default(),
+        }
+    }
+
+    fn small_engine() -> Engine {
+        Engine::new(EngineConfig {
+            workers: 4,
+            ..EngineConfig::default()
+        })
+    }
+
+    #[test]
+    fn single_request_finds_the_map() {
+        let engine = small_engine();
+        let results = engine.analyze_all(vec![map_request("one", 4)]);
+        assert_eq!(results.len(), 1);
+        let analysis = results[0].outcome.as_ref().expect("trace ok");
+        let kinds: Vec<_> = analysis.result.reported().map(|f| f.pattern.kind).collect();
+        assert_eq!(kinds, vec![PatternKind::Map]);
+        assert!(results[0].metrics.match_jobs > 0);
+        // The run (sans DDG) is returned for output verification.
+        assert_eq!(analysis.run.f64s("out"), vec![1.0, 3.0, 5.0, 7.0]);
+        assert!(analysis.run.ddg.is_none());
+    }
+
+    #[test]
+    fn batch_results_recover_submission_order_and_share_the_cache() {
+        // One request at a time, so each probe sees the previous
+        // request's stored outcomes (concurrent coordinators may race
+        // past each other's fulfils — that only costs hits, never
+        // correctness — which would make this assertion flaky).
+        let engine = Engine::new(EngineConfig {
+            workers: 4,
+            max_concurrent_requests: 1,
+            ..EngineConfig::default()
+        });
+        // Four requests over two structural shapes: the repeats must hit.
+        let reqs = vec![
+            map_request("a", 4),
+            map_request("b", 4),
+            map_request("c", 6),
+            map_request("d", 6),
+        ];
+        let results = engine.analyze_all(reqs);
+        assert_eq!(
+            results.iter().map(|r| r.id.as_str()).collect::<Vec<_>>(),
+            vec!["a", "b", "c", "d"]
+        );
+        let m = engine.metrics();
+        assert!(m.cache_hits > 0, "repeated shapes must hit: {m:?}");
+        assert_eq!(m.requests_completed, 4);
+        assert_eq!(m.workers, 4);
+    }
+
+    #[test]
+    fn cached_and_uncached_runs_agree() {
+        let cached = Engine::new(EngineConfig {
+            workers: 4,
+            max_concurrent_requests: 1,
+            ..EngineConfig::default()
+        });
+        let uncached = Engine::new(EngineConfig {
+            workers: 4,
+            use_cache: false,
+            ..EngineConfig::default()
+        });
+        let a = cached.analyze_all(vec![map_request("x", 5), map_request("y", 5)]);
+        let b = uncached.analyze_all(vec![map_request("x", 5), map_request("y", 5)]);
+        assert!(cached.metrics().cache_hits > 0);
+        assert_eq!(uncached.metrics().cache_hits, 0);
+        for (ra, rb) in a.iter().zip(&b) {
+            let (pa, pb) = (
+                &ra.outcome.as_ref().unwrap().result,
+                &rb.outcome.as_ref().unwrap().result,
+            );
+            assert_eq!(pa.found.len(), pb.found.len());
+            for (fa, fb) in pa.found.iter().zip(&pb.found) {
+                assert_eq!(fa.pattern.kind, fb.pattern.kind);
+                assert_eq!(fa.pattern.detail, fb.pattern.detail);
+                assert_eq!(fa.iteration, fb.iteration);
+            }
+        }
+    }
+
+    #[test]
+    fn trace_errors_are_reported_not_fatal() {
+        let engine = small_engine();
+        // An out-of-bounds store fails the simulated machine.
+        let src = "float in[4];\nfloat out[2];\nvoid main() {\n  int i;\n  \
+                   for (i = 0; i < 4; i++) {\n    out[i] = in[i];\n  }\n  output(out);\n}\n";
+        let program = minc::compile("bad", src).unwrap();
+        let req = AnalysisRequest {
+            id: "bad".into(),
+            program,
+            input: trace::RunConfig::default(),
+            config: FinderConfig::default(),
+        };
+        let results = engine.analyze_all(vec![req, map_request("good", 4)]);
+        assert!(results[0].outcome.is_err());
+        assert!(results[1].outcome.is_ok());
+    }
+
+    #[test]
+    fn dropping_a_batch_early_does_not_hang() {
+        let engine = Engine::new(EngineConfig {
+            workers: 2,
+            results_capacity: 1,
+            ..EngineConfig::default()
+        });
+        let reqs = (0..6).map(|i| map_request(&format!("r{i}"), 4)).collect();
+        let mut batch = engine.analyze_batch(reqs);
+        let first = batch.next();
+        assert!(first.is_some());
+        drop(batch); // joins coordinators; must not deadlock
+    }
+}

@@ -1,0 +1,270 @@
+//! A work-stealing thread pool for match jobs.
+//!
+//! Hand-rolled on `std::thread` (this build environment vendors no
+//! concurrency crates): each worker owns a deque protected by its own
+//! mutex; submissions are distributed round-robin; an idle worker first
+//! drains its own deque from the front, then the shared injector, then
+//! steals from the *back* of a sibling's deque. A single condvar parks
+//! idle workers, and a `pending` count under the condvar's mutex decides
+//! when to wake and when to sleep, so no job is ever lost between a
+//! submit and a park.
+//!
+//! Jobs must not block on other pool jobs — the engine's coordinators
+//! run on their own threads precisely so that waiting for an iteration's
+//! outcomes never occupies a worker slot (a coordinator-as-worker design
+//! deadlocks once every worker waits on jobs none of them can run).
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Counters exposed by [`WorkPool::metrics`]. Monotonic over the pool's
+/// lifetime.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PoolMetrics {
+    /// Jobs that finished executing on a worker (or inline after
+    /// shutdown).
+    pub jobs_executed: u64,
+    /// Jobs a worker took from the back of a sibling's deque.
+    pub jobs_stolen: u64,
+    /// Highest number of queued-but-unclaimed jobs observed at any
+    /// submit.
+    pub peak_queue_depth: u64,
+}
+
+struct State {
+    /// Queued jobs not yet claimed by any worker.
+    pending: usize,
+    shutdown: bool,
+}
+
+struct Shared {
+    queues: Vec<Mutex<VecDeque<Job>>>,
+    injector: Mutex<VecDeque<Job>>,
+    state: Mutex<State>,
+    wake: Condvar,
+    next: AtomicUsize,
+    executed: AtomicU64,
+    stolen: AtomicU64,
+    peak: AtomicU64,
+}
+
+impl Shared {
+    /// Claims one queued job: own deque front, injector, then steal from
+    /// a sibling's back. The caller has already reserved a job via the
+    /// `pending` count, so a claim must eventually succeed; the retry
+    /// loop only covers the window where a sibling pops a job this
+    /// worker was about to take.
+    fn claim(&self, me: usize) -> Job {
+        loop {
+            if let Some(job) = self.queues[me].lock().unwrap().pop_front() {
+                return job;
+            }
+            if let Some(job) = self.injector.lock().unwrap().pop_front() {
+                return job;
+            }
+            for i in 0..self.queues.len() {
+                if i == me {
+                    continue;
+                }
+                if let Some(job) = self.queues[i].lock().unwrap().pop_back() {
+                    self.stolen.fetch_add(1, Ordering::Relaxed);
+                    return job;
+                }
+            }
+            std::thread::yield_now();
+        }
+    }
+}
+
+/// The pool. Dropping it shuts the workers down after the queued jobs
+/// drain; jobs submitted after shutdown run inline on the submitting
+/// thread, so no submitter can deadlock on a dead pool.
+pub struct WorkPool {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl WorkPool {
+    /// Spawns `workers` worker threads (at least one).
+    pub fn new(workers: usize) -> WorkPool {
+        let n = workers.max(1);
+        let shared = Arc::new(Shared {
+            queues: (0..n).map(|_| Mutex::new(VecDeque::new())).collect(),
+            injector: Mutex::new(VecDeque::new()),
+            state: Mutex::new(State {
+                pending: 0,
+                shutdown: false,
+            }),
+            wake: Condvar::new(),
+            next: AtomicUsize::new(0),
+            executed: AtomicU64::new(0),
+            stolen: AtomicU64::new(0),
+            peak: AtomicU64::new(0),
+        });
+        let handles = (0..n)
+            .map(|me| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("engine-worker-{me}"))
+                    .spawn(move || worker_loop(&shared, me))
+                    .expect("spawn engine worker")
+            })
+            .collect();
+        WorkPool {
+            shared,
+            workers: handles,
+        }
+    }
+
+    pub fn worker_count(&self) -> usize {
+        self.shared.queues.len()
+    }
+
+    /// Submits a job. Round-robin across worker deques; after shutdown
+    /// the job runs inline instead.
+    pub fn submit(&self, job: Job) {
+        {
+            let mut st = self.shared.state.lock().unwrap();
+            if st.shutdown {
+                drop(st);
+                job();
+                self.shared.executed.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+            st.pending += 1;
+            self.shared
+                .peak
+                .fetch_max(st.pending as u64, Ordering::Relaxed);
+        }
+        let slot = self.shared.next.fetch_add(1, Ordering::Relaxed) % self.shared.queues.len();
+        self.shared.queues[slot].lock().unwrap().push_back(job);
+        self.shared.wake.notify_one();
+    }
+
+    pub fn metrics(&self) -> PoolMetrics {
+        PoolMetrics {
+            jobs_executed: self.shared.executed.load(Ordering::Relaxed),
+            jobs_stolen: self.shared.stolen.load(Ordering::Relaxed),
+            peak_queue_depth: self.shared.peak.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl Drop for WorkPool {
+    fn drop(&mut self) {
+        {
+            let mut st = self.shared.state.lock().unwrap();
+            st.shutdown = true;
+        }
+        self.shared.wake.notify_all();
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared, me: usize) {
+    loop {
+        {
+            let mut st = shared.state.lock().unwrap();
+            loop {
+                if st.pending > 0 {
+                    st.pending -= 1;
+                    break;
+                }
+                if st.shutdown {
+                    return;
+                }
+                st = shared.wake.wait(st).unwrap();
+            }
+        }
+        let job = shared.claim(me);
+        job();
+        shared.executed.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use std::sync::mpsc;
+
+    #[test]
+    fn runs_all_jobs_across_workers() {
+        let pool = WorkPool::new(4);
+        let counter = Arc::new(AtomicUsize::new(0));
+        let (tx, rx) = mpsc::channel();
+        for _ in 0..100 {
+            let counter = Arc::clone(&counter);
+            let tx = tx.clone();
+            pool.submit(Box::new(move || {
+                counter.fetch_add(1, Ordering::Relaxed);
+                tx.send(()).unwrap();
+            }));
+        }
+        drop(tx);
+        assert_eq!(rx.iter().count(), 100);
+        assert_eq!(counter.load(Ordering::Relaxed), 100);
+        assert_eq!(pool.metrics().jobs_executed, 100);
+        assert!(pool.metrics().peak_queue_depth >= 1);
+    }
+
+    #[test]
+    fn uneven_jobs_get_stolen() {
+        // One long job head-of-line on each deque except one, then a
+        // burst of short jobs: with round-robin placement the short jobs
+        // land behind the long ones and must be stolen to finish fast.
+        // Only assert completion (steal counts are timing-dependent).
+        let pool = WorkPool::new(4);
+        let (tx, rx) = mpsc::channel();
+        for i in 0..40 {
+            let tx = tx.clone();
+            pool.submit(Box::new(move || {
+                if i % 4 == 0 {
+                    std::thread::sleep(std::time::Duration::from_millis(20));
+                }
+                tx.send(i).unwrap();
+            }));
+        }
+        drop(tx);
+        let mut got: Vec<usize> = rx.iter().collect();
+        got.sort_unstable();
+        assert_eq!(got, (0..40).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn submit_after_shutdown_runs_inline() {
+        let pool = WorkPool::new(2);
+        {
+            let mut st = pool.shared.state.lock().unwrap();
+            st.shutdown = true;
+        }
+        pool.shared.wake.notify_all();
+        let ran = Arc::new(AtomicUsize::new(0));
+        let r2 = Arc::clone(&ran);
+        pool.submit(Box::new(move || {
+            r2.fetch_add(1, Ordering::Relaxed);
+        }));
+        assert_eq!(ran.load(Ordering::Relaxed), 1, "inline fallback");
+    }
+
+    #[test]
+    fn drop_drains_queued_jobs() {
+        let counter = Arc::new(AtomicUsize::new(0));
+        {
+            let pool = WorkPool::new(2);
+            for _ in 0..50 {
+                let counter = Arc::clone(&counter);
+                pool.submit(Box::new(move || {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                }));
+            }
+        }
+        assert_eq!(counter.load(Ordering::Relaxed), 50);
+    }
+}

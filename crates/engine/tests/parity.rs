@@ -1,0 +1,96 @@
+//! The engine's determinism contract: with any worker count and the
+//! match cache on, a batch analysis is **byte-identical** to the
+//! sequential `discovery::find_patterns` — same patterns, same fields,
+//! same iteration numbers, same match order.
+//!
+//! Both tests drive Starbench benchmarks (both versions) end-to-end on
+//! their analysis-scale inputs: a quick two-benchmark check, then the
+//! whole suite.
+
+use discovery::{find_patterns, FinderConfig, FinderResult};
+use repro_engine::{AnalysisRequest, Engine, EngineConfig};
+use starbench::{all_benchmarks, Version};
+use std::fmt::Write as _;
+
+/// Every observable field of a finder result, canonically serialized.
+fn canonical(r: &FinderResult) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "ddg={} simplified={} iterations={} matched={}",
+        r.ddg_size, r.simplified_size, r.iterations, r.subddgs_matched
+    );
+    for f in &r.found {
+        let p = &f.pattern;
+        let _ = writeln!(
+            out,
+            "it={} reported={} kind={:?} comps={} nodes={:?} labels={:?} lines={:?} \
+             loops={:?} detail={:?}",
+            f.iteration,
+            f.reported,
+            p.kind,
+            p.components,
+            p.nodes.iter().collect::<Vec<_>>(),
+            p.op_labels,
+            p.lines,
+            p.loops,
+            p.detail,
+        );
+    }
+    out
+}
+
+fn assert_parity(names: &[&str]) {
+    let config = FinderConfig::default();
+
+    // Sequential reference, in submission order.
+    let mut expected = Vec::new();
+    let mut requests = Vec::new();
+    for name in names {
+        let bench = starbench::benchmark(name).unwrap();
+        for version in Version::BOTH {
+            let program = bench.program(version);
+            let input = (bench.analysis_input)();
+            let mut traced = input.clone();
+            traced.trace = trace::TraceMode::Full;
+            let run = trace::run(&program, &traced).expect("trace");
+            expected.push(canonical(&find_patterns(&run.ddg.unwrap(), &config)));
+            requests.push(AnalysisRequest {
+                id: format!("{name}-{}", version.name()),
+                program,
+                input,
+                config: config.clone(),
+            });
+        }
+    }
+
+    let engine = Engine::new(EngineConfig {
+        workers: 4,
+        ..EngineConfig::default()
+    });
+    let results = engine.analyze_all(requests);
+    assert_eq!(results.len(), expected.len());
+    for (result, expected) in results.iter().zip(&expected) {
+        let analysis = result
+            .outcome
+            .as_ref()
+            .unwrap_or_else(|e| panic!("{}: trace failed in engine: {e}", result.id));
+        assert_eq!(
+            &canonical(&analysis.result),
+            expected,
+            "{}: engine result differs from sequential finder",
+            result.id
+        );
+    }
+}
+
+#[test]
+fn engine_matches_sequential_finder_on_two_benchmarks() {
+    assert_parity(&["rgbyuv", "streamcluster"]);
+}
+
+#[test]
+fn engine_matches_sequential_finder_on_all_benchmarks() {
+    let names: Vec<&str> = all_benchmarks().iter().map(|b| b.name).collect();
+    assert_parity(&names);
+}

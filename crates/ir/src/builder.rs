@@ -60,7 +60,12 @@ impl ProgramBuilder {
     /// Declares a global array.
     pub fn global(&mut self, name: impl Into<String>, elem: Type, len: usize) -> ArrId {
         let id = ArrId(self.globals.len() as u32);
-        self.globals.push(GlobalArray { id, name: name.into(), elem, len });
+        self.globals.push(GlobalArray {
+            id,
+            name: name.into(),
+            elem,
+            len,
+        });
         id
     }
 
@@ -110,7 +115,10 @@ impl ProgramBuilder {
             name: name.into(),
             params: params
                 .into_iter()
-                .map(|(n, t)| Param { name: n.to_string(), ty: t })
+                .map(|(n, t)| Param {
+                    name: n.to_string(),
+                    ty: t,
+                })
                 .collect(),
             locals: Vec::new(),
             ret,
@@ -169,7 +177,10 @@ impl<'p> FnBuilder<'p> {
     /// Declares a local variable.
     pub fn local(&mut self, name: impl Into<String>, ty: Type) -> VarId {
         let id = VarId((self.params.len() + self.locals.len()) as u32);
-        self.locals.push(Local { name: name.into(), ty });
+        self.locals.push(Local {
+            name: name.into(),
+            ty,
+        });
         id
     }
 
@@ -196,12 +207,21 @@ impl<'p> FnBuilder<'p> {
     /// Intrinsic call with a fresh op id.
     pub fn intr(&mut self, op: Intrinsic, args: Vec<Expr>) -> Expr {
         let id = self.pb.fresh_op();
-        Expr::Intr { op, args, id, loc: Loc::NONE }
+        Expr::Intr {
+            op,
+            args,
+            id,
+            loc: Loc::NONE,
+        }
     }
 
     /// User-function call (no op id — see [`Expr::Call`]).
     pub fn call(&mut self, f: FnId, args: Vec<Expr>) -> Expr {
-        Expr::Call { f, args, loc: Loc::NONE }
+        Expr::Call {
+            f,
+            args,
+            loc: Loc::NONE,
+        }
     }
 
     /// Array load.
@@ -218,17 +238,29 @@ impl<'p> FnBuilder<'p> {
 
     /// `var = value`.
     pub fn assign(&mut self, var: VarId, value: Expr) {
-        self.body.push(Stmt::Assign { var, value, loc: Loc::NONE });
+        self.body.push(Stmt::Assign {
+            var,
+            value,
+            loc: Loc::NONE,
+        });
     }
 
     /// `arr[idx] = value`.
     pub fn store(&mut self, arr: ArrId, idx: Expr, value: Expr) {
-        self.body.push(Stmt::Store { arr, idx, value, loc: Loc::NONE });
+        self.body.push(Stmt::Store {
+            arr,
+            idx,
+            value,
+            loc: Loc::NONE,
+        });
     }
 
     /// `return value`.
     pub fn ret(&mut self, value: Option<Expr>) {
-        self.body.push(Stmt::Return { value, loc: Loc::NONE });
+        self.body.push(Stmt::Return {
+            value,
+            loc: Loc::NONE,
+        });
     }
 
     /// Builds a counted loop; `body` receives the builder and the loop
@@ -243,22 +275,44 @@ impl<'p> FnBuilder<'p> {
         let var = self.local(var_name, Type::I64);
         let id = self.pb.fresh_loop();
         let stmts = body(self, var);
-        self.body.push(Stmt::For { id, var, from, to, step: 1, body: stmts, loc: Loc::NONE });
+        self.body.push(Stmt::For {
+            id,
+            var,
+            from,
+            to,
+            step: 1,
+            body: stmts,
+            loc: Loc::NONE,
+        });
     }
 
     /// Builds an `if` with no else branch.
     pub fn if_then(&mut self, cond: Expr, then_body: Vec<Stmt>) {
-        self.body.push(Stmt::If { cond, then_body, else_body: vec![], loc: Loc::NONE });
+        self.body.push(Stmt::If {
+            cond,
+            then_body,
+            else_body: vec![],
+            loc: Loc::NONE,
+        });
     }
 
     /// Statement constructors that do not push (for nested blocks).
     pub fn stmt_assign(var: VarId, value: Expr) -> Stmt {
-        Stmt::Assign { var, value, loc: Loc::NONE }
+        Stmt::Assign {
+            var,
+            value,
+            loc: Loc::NONE,
+        }
     }
 
     /// `arr[idx] = value` as a value (for nested blocks).
     pub fn stmt_store(arr: ArrId, idx: Expr, value: Expr) -> Stmt {
-        Stmt::Store { arr, idx, value, loc: Loc::NONE }
+        Stmt::Store {
+            arr,
+            idx,
+            value,
+            loc: Loc::NONE,
+        }
     }
 
     /// Finishes the function, registering it with the program builder.
@@ -339,7 +393,10 @@ mod tests {
                 handle: h,
                 loc: Loc::NONE,
             });
-            main.push(Stmt::Join { handle: Expr::Var(h), loc: Loc::NONE });
+            main.push(Stmt::Join {
+                handle: Expr::Var(h),
+                loc: Loc::NONE,
+            });
             main.finish();
             worker_id
         };

@@ -31,9 +31,15 @@ pub fn program_to_string(p: &Program) -> String {
 /// Renders one function.
 pub fn function_to_string(p: &Program, f: &Function) -> String {
     let mut out = String::new();
-    let ret = f.ret.map(|t| t.to_string()).unwrap_or_else(|| "void".into());
-    let params: Vec<String> =
-        f.params.iter().map(|pa| format!("{} {}", pa.ty, pa.name)).collect();
+    let ret = f
+        .ret
+        .map(|t| t.to_string())
+        .unwrap_or_else(|| "void".into());
+    let params: Vec<String> = f
+        .params
+        .iter()
+        .map(|pa| format!("{} {}", pa.ty, pa.name))
+        .collect();
     let _ = writeln!(out, "{} {}({}) {{", ret, f.name, params.join(", "));
     for s in &f.body {
         write_stmt(p, f, s, 1, &mut out);
@@ -54,7 +60,9 @@ fn write_stmt(p: &Program, f: &Function, s: &Stmt, depth: usize, out: &mut Strin
         Stmt::Assign { var, value, .. } => {
             let _ = writeln!(out, "{} = {};", f.slot(*var).0, expr_str(p, f, value));
         }
-        Stmt::Store { arr, idx, value, .. } => {
+        Stmt::Store {
+            arr, idx, value, ..
+        } => {
             let _ = writeln!(
                 out,
                 "{}[{}] = {};",
@@ -63,7 +71,12 @@ fn write_stmt(p: &Program, f: &Function, s: &Stmt, depth: usize, out: &mut Strin
                 expr_str(p, f, value)
             );
         }
-        Stmt::If { cond, then_body, else_body, .. } => {
+        Stmt::If {
+            cond,
+            then_body,
+            else_body,
+            ..
+        } => {
             let _ = writeln!(out, "if ({}) {{", expr_str(p, f, cond));
             for s in then_body {
                 write_stmt(p, f, s, depth + 1, out);
@@ -78,7 +91,15 @@ fn write_stmt(p: &Program, f: &Function, s: &Stmt, depth: usize, out: &mut Strin
             indent(out, depth);
             out.push_str("}\n");
         }
-        Stmt::For { id, var, from, to, step, body, .. } => {
+        Stmt::For {
+            id,
+            var,
+            from,
+            to,
+            step,
+            body,
+            ..
+        } => {
             let v = f.slot(*var).0;
             let _ = writeln!(
                 out,
@@ -109,7 +130,9 @@ fn write_stmt(p: &Program, f: &Function, s: &Stmt, depth: usize, out: &mut Strin
             }
             None => out.push_str("return;\n"),
         },
-        Stmt::Spawn { func, args, handle, .. } => {
+        Stmt::Spawn {
+            func, args, handle, ..
+        } => {
             let args: Vec<String> = args.iter().map(|a| expr_str(p, f, a)).collect();
             let _ = writeln!(
                 out,
@@ -155,13 +178,20 @@ pub fn expr_str(p: &Program, f: &Function, e: &Expr) -> String {
         }
         Expr::Un { op, a, .. } => format!("{}({})", op.label(), expr_str(p, f, a)),
         Expr::Bin { op, a, b, .. } => {
-            format!("({} {} {})", expr_str(p, f, a), op.label(), expr_str(p, f, b))
+            format!(
+                "({} {} {})",
+                expr_str(p, f, a),
+                op.label(),
+                expr_str(p, f, b)
+            )
         }
         Expr::Intr { op, args, .. } => {
             let args: Vec<String> = args.iter().map(|a| expr_str(p, f, a)).collect();
             format!("{}({})", op.label(), args.join(", "))
         }
-        Expr::Call { f: callee, args, .. } => {
+        Expr::Call {
+            f: callee, args, ..
+        } => {
             let args: Vec<String> = args.iter().map(|a| expr_str(p, f, a)).collect();
             format!("{}({})", p.function(*callee).name, args.join(", "))
         }
@@ -207,7 +237,10 @@ mod tests {
             handle: h,
             loc: crate::loc::Loc::NONE,
         });
-        main.push(Stmt::Join { handle: Expr::Var(h), loc: crate::loc::Loc::NONE });
+        main.push(Stmt::Join {
+            handle: Expr::Var(h),
+            loc: crate::loc::Loc::NONE,
+        });
         let main_id = main.finish();
         let w = pb.function("worker", vec![("tid", Type::I64)], None);
         w.finish();

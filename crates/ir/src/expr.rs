@@ -29,13 +29,33 @@ pub enum Expr {
     Var(VarId),
     /// Array load `arr[idx]`: data transfer for the element value, plus an
     /// *address use* of the `idx` computation.
-    Load { arr: ArrId, idx: Box<Expr>, loc: Loc },
+    Load {
+        arr: ArrId,
+        idx: Box<Expr>,
+        loc: Loc,
+    },
     /// Unary operation — one DDG node per execution.
-    Un { op: UnOp, a: Box<Expr>, id: OpId, loc: Loc },
+    Un {
+        op: UnOp,
+        a: Box<Expr>,
+        id: OpId,
+        loc: Loc,
+    },
     /// Binary operation — one DDG node per execution.
-    Bin { op: BinOp, a: Box<Expr>, b: Box<Expr>, id: OpId, loc: Loc },
+    Bin {
+        op: BinOp,
+        a: Box<Expr>,
+        b: Box<Expr>,
+        id: OpId,
+        loc: Loc,
+    },
     /// Intrinsic call — one DDG node per execution, labeled `call.<name>`.
-    Intr { op: Intrinsic, args: Vec<Expr>, id: OpId, loc: Loc },
+    Intr {
+        op: Intrinsic,
+        args: Vec<Expr>,
+        id: OpId,
+        loc: Loc,
+    },
     /// Call of a user function. The callee's operations are traced
     /// individually (whole-program tracing is what lets the paper find
     /// patterns spanning translation units — challenge 4 of §2), so the
@@ -47,17 +67,32 @@ pub enum Expr {
 impl Expr {
     /// Convenience constructor for a binary operation.
     pub fn bin(op: BinOp, a: Expr, b: Expr, id: OpId, loc: Loc) -> Expr {
-        Expr::Bin { op, a: Box::new(a), b: Box::new(b), id, loc }
+        Expr::Bin {
+            op,
+            a: Box::new(a),
+            b: Box::new(b),
+            id,
+            loc,
+        }
     }
 
     /// Convenience constructor for a unary operation.
     pub fn un(op: UnOp, a: Expr, id: OpId, loc: Loc) -> Expr {
-        Expr::Un { op, a: Box::new(a), id, loc }
+        Expr::Un {
+            op,
+            a: Box::new(a),
+            id,
+            loc,
+        }
     }
 
     /// Convenience constructor for an array load.
     pub fn load(arr: ArrId, idx: Expr, loc: Loc) -> Expr {
-        Expr::Load { arr, idx: Box::new(idx), loc }
+        Expr::Load {
+            arr,
+            idx: Box::new(idx),
+            loc,
+        }
     }
 
     /// The source location of the outermost construct, if any.

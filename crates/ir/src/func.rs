@@ -134,8 +134,14 @@ mod tests {
             functions: vec![Function {
                 id: FnId(0),
                 name: "main".into(),
-                params: vec![Param { name: "n".into(), ty: Type::I64 }],
-                locals: vec![Local { name: "x".into(), ty: Type::F64 }],
+                params: vec![Param {
+                    name: "n".into(),
+                    ty: Type::I64,
+                }],
+                locals: vec![Local {
+                    name: "x".into(),
+                    ty: Type::F64,
+                }],
                 ret: None,
                 body: vec![],
                 loc: Loc::new(1, 1),

@@ -89,8 +89,7 @@ fn self_update_op(var: VarId, value: &Expr) -> Option<OpId> {
     if let Expr::Bin { op, a, b, id, .. } = value {
         use crate::ops::BinOp::*;
         if matches!(op, Add | Sub | Mul | Shl | Shr) {
-            let reads_var =
-                |e: &Expr| matches!(e, Expr::Var(v) if *v == var);
+            let reads_var = |e: &Expr| matches!(e, Expr::Var(v) if *v == var);
             if reads_var(a) || reads_var(b) {
                 return Some(*id);
             }
@@ -133,15 +132,25 @@ mod tests {
             Expr::Bin { id, .. } => *id,
             _ => unreachable!(),
         };
-        let loop_id = {
-            
-            LoopId(0)
-        };
+        let loop_id = { LoopId(0) };
         let body = vec![
-            Stmt::Assign { var: acc, value: add, loc: Loc::NONE },
-            Stmt::Assign { var: i, value: inc, loc: Loc::NONE },
+            Stmt::Assign {
+                var: acc,
+                value: add,
+                loc: Loc::NONE,
+            },
+            Stmt::Assign {
+                var: i,
+                value: inc,
+                loc: Loc::NONE,
+            },
         ];
-        f.push(Stmt::While { id: loop_id, cond, body, loc: Loc::NONE });
+        f.push(Stmt::While {
+            id: loop_id,
+            cond,
+            body,
+            loc: Loc::NONE,
+        });
         let main = f.finish();
         (pb.finish(main), cmp_id, add_id, inc_id)
     }
@@ -150,9 +159,18 @@ mod tests {
     fn recognizes_induction_update_and_test() {
         let (p, cmp_id, add_id, inc_id) = while_sum_program();
         let info = analyze(&p);
-        assert!(info.iterator_ops.contains(&inc_id), "i = i + 1 is an iterator op");
-        assert!(info.iterator_ops.contains(&cmp_id), "loop test is an iterator op");
-        assert!(!info.iterator_ops.contains(&add_id), "the reduction add is NOT traversal");
+        assert!(
+            info.iterator_ops.contains(&inc_id),
+            "i = i + 1 is an iterator op"
+        );
+        assert!(
+            info.iterator_ops.contains(&cmp_id),
+            "loop test is an iterator op"
+        );
+        assert!(
+            !info.iterator_ops.contains(&add_id),
+            "the reduction add is NOT traversal"
+        );
         assert_eq!(info.loops_with_iterators.len(), 1);
     }
 
@@ -167,7 +185,11 @@ mod tests {
         f.push(Stmt::While {
             id: LoopId(0),
             cond: Expr::Var(flag),
-            body: vec![Stmt::Assign { var: x, value: sq, loc: Loc::NONE }],
+            body: vec![Stmt::Assign {
+                var: x,
+                value: sq,
+                loc: Loc::NONE,
+            }],
             loc: Loc::NONE,
         });
         let main = f.finish();

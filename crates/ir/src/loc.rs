@@ -23,7 +23,11 @@ pub struct Loc {
 
 impl Loc {
     /// The absent location.
-    pub const NONE: Loc = Loc { file: 0, line: 0, col: 0 };
+    pub const NONE: Loc = Loc {
+        file: 0,
+        line: 0,
+        col: 0,
+    };
 
     /// Creates a location in file 0.
     pub fn new(line: u32, col: u32) -> Self {

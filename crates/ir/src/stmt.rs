@@ -19,11 +19,21 @@ pub enum Stmt {
     Assign { var: VarId, value: Expr, loc: Loc },
     /// `arr[idx] = value` — store to a global array; data transfer for the
     /// value, *address use* for `idx`.
-    Store { arr: ArrId, idx: Expr, value: Expr, loc: Loc },
+    Store {
+        arr: ArrId,
+        idx: Expr,
+        value: Expr,
+        loc: Loc,
+    },
     /// Two-way branch. The condition's defining node is a *control use*;
     /// it does not extend the dataflow, matching DDGs' lack of control-flow
     /// information (paper §3).
-    If { cond: Expr, then_body: Vec<Stmt>, else_body: Vec<Stmt>, loc: Loc },
+    If {
+        cond: Expr,
+        then_body: Vec<Stmt>,
+        else_body: Vec<Stmt>,
+        loc: Loc,
+    },
     /// Counted loop `for (var = from; var < to; var += step)`.
     ///
     /// The induction-variable update and bound test are implicit: a counted
@@ -41,14 +51,24 @@ pub enum Stmt {
     },
     /// General loop with a traced condition. Iterator recognition
     /// ([`crate::iter_rec`]) later classifies its induction updates.
-    While { id: LoopId, cond: Expr, body: Vec<Stmt>, loc: Loc },
+    While {
+        id: LoopId,
+        cond: Expr,
+        body: Vec<Stmt>,
+        loc: Loc,
+    },
     /// Expression evaluated for its effects (i.e. a call).
     Expr { expr: Expr },
     /// Return from the current function.
     Return { value: Option<Expr>, loc: Loc },
     /// `pthread_create`: start `func(args…)` on a new thread and store the
     /// thread handle into `handle`.
-    Spawn { func: FnId, args: Vec<Expr>, handle: VarId, loc: Loc },
+    Spawn {
+        func: FnId,
+        args: Vec<Expr>,
+        handle: VarId,
+        loc: Loc,
+    },
     /// `pthread_join` on a handle produced by [`Stmt::Spawn`].
     Join { handle: Expr, loc: Loc },
     /// `pthread_barrier_wait` on barrier object `bar`.
@@ -87,7 +107,11 @@ impl Stmt {
     /// Nested statement blocks (for structural traversals).
     pub fn blocks(&self) -> Vec<&[Stmt]> {
         match self {
-            Stmt::If { then_body, else_body, .. } => vec![then_body, else_body],
+            Stmt::If {
+                then_body,
+                else_body,
+                ..
+            } => vec![then_body, else_body],
             Stmt::For { body, .. } | Stmt::While { body, .. } => vec![body],
             _ => vec![],
         }
@@ -143,7 +167,13 @@ mod tests {
     #[test]
     fn if_statement_has_two_blocks() {
         let s = Stmt::If {
-            cond: Expr::bin(BinOp::Lt, Expr::Var(VarId(0)), Expr::Int(4), OpId(0), Loc::NONE),
+            cond: Expr::bin(
+                BinOp::Lt,
+                Expr::Var(VarId(0)),
+                Expr::Int(4),
+                OpId(0),
+                Loc::NONE,
+            ),
             then_body: vec![],
             else_body: vec![],
             loc: Loc::new(5, 1),
@@ -154,13 +184,27 @@ mod tests {
 
     #[test]
     fn expr_stmt_loc_comes_from_expr() {
-        let e = Expr::Call { f: FnId(0), args: vec![], loc: Loc::new(7, 2) };
+        let e = Expr::Call {
+            f: FnId(0),
+            args: vec![],
+            loc: Loc::new(7, 2),
+        };
         assert_eq!(Stmt::Expr { expr: e }.loc(), Loc::new(7, 2));
     }
 
     #[test]
     fn sync_statements_have_no_exprs() {
-        assert!(Stmt::Barrier { bar: 0, loc: Loc::NONE }.exprs().is_empty());
-        assert!(Stmt::Lock { mutex: 0, loc: Loc::NONE }.exprs().is_empty());
+        assert!(Stmt::Barrier {
+            bar: 0,
+            loc: Loc::NONE
+        }
+        .exprs()
+        .is_empty());
+        assert!(Stmt::Lock {
+            mutex: 0,
+            loc: Loc::NONE
+        }
+        .exprs()
+        .is_empty());
     }
 }

@@ -38,7 +38,11 @@ pub fn validate(p: &Program) -> Result<(), Vec<ValidationError>> {
         });
     }
     for f in &p.functions {
-        let mut cx = Ctx { p, f, errors: &mut errors };
+        let mut cx = Ctx {
+            p,
+            f,
+            errors: &mut errors,
+        };
         cx.check_body(&f.body);
     }
     if errors.is_empty() {
@@ -56,7 +60,10 @@ struct Ctx<'a> {
 
 impl<'a> Ctx<'a> {
     fn err(&mut self, message: String) {
-        self.errors.push(ValidationError { function: self.f.name.clone(), message });
+        self.errors.push(ValidationError {
+            function: self.f.name.clone(),
+            message,
+        });
     }
 
     fn var_type(&mut self, var: crate::VarId) -> Option<Type> {
@@ -85,7 +92,9 @@ impl<'a> Ctx<'a> {
                     }
                 }
             }
-            Stmt::Store { arr, idx, value, .. } => {
+            Stmt::Store {
+                arr, idx, value, ..
+            } => {
                 if arr.index() >= self.p.globals.len() {
                     self.err(format!("{arr} out of range"));
                     return;
@@ -100,14 +109,26 @@ impl<'a> Ctx<'a> {
                     }
                 }
             }
-            Stmt::If { cond, then_body, else_body, .. } => {
+            Stmt::If {
+                cond,
+                then_body,
+                else_body,
+                ..
+            } => {
                 if self.type_of(cond).is_some_and(|t| t != Type::Bool) {
                     self.err("if condition must be bool".into());
                 }
                 self.check_body(then_body);
                 self.check_body(else_body);
             }
-            Stmt::For { var, from, to, step, body, .. } => {
+            Stmt::For {
+                var,
+                from,
+                to,
+                step,
+                body,
+                ..
+            } => {
                 if self.var_type(*var).is_some_and(|t| t != Type::I64) {
                     self.err(format!("for variable {var} must be i64"));
                 }
@@ -140,7 +161,9 @@ impl<'a> Ctx<'a> {
                 (None, Some(_)) => self.err("return with value in void function".into()),
                 (None, None) => {}
             },
-            Stmt::Spawn { func, args, handle, .. } => {
+            Stmt::Spawn {
+                func, args, handle, ..
+            } => {
                 if func.index() >= self.p.functions.len() {
                     self.err(format!("spawn of unknown {func}"));
                     return;
@@ -216,7 +239,10 @@ impl<'a> Ctx<'a> {
                 let bt = self.type_of(b);
                 if let (Some(at), Some(bt)) = (at, bt) {
                     if at != bt {
-                        self.err(format!("{}: operand types differ ({at} vs {bt})", op.label()));
+                        self.err(format!(
+                            "{}: operand types differ ({at} vs {bt})",
+                            op.label()
+                        ));
                     }
                     if let Some(expected) = op.operand_type() {
                         if at != expected {
@@ -352,7 +378,10 @@ mod tests {
             value: Expr::Int(0),
             loc: Loc::NONE,
         });
-        f.push(Stmt::Barrier { bar: 0, loc: Loc::NONE }); // no barriers declared
+        f.push(Stmt::Barrier {
+            bar: 0,
+            loc: Loc::NONE,
+        }); // no barriers declared
         let main = f.finish();
         let p = pb.finish(main);
         let errs = validate(&p).unwrap_err();

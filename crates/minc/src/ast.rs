@@ -55,20 +55,34 @@ pub enum Expr {
     Bool(bool, Pos),
     /// Variable or global-array reference (resolved during lowering).
     Name(String, Pos),
-    Index { base: String, index: Box<Expr>, pos: Pos },
-    Un { op: Un, arg: Box<Expr>, pos: Pos },
-    Bin { op: Bin, lhs: Box<Expr>, rhs: Box<Expr>, pos: Pos },
+    Index {
+        base: String,
+        index: Box<Expr>,
+        pos: Pos,
+    },
+    Un {
+        op: Un,
+        arg: Box<Expr>,
+        pos: Pos,
+    },
+    Bin {
+        op: Bin,
+        lhs: Box<Expr>,
+        rhs: Box<Expr>,
+        pos: Pos,
+    },
     /// Function or intrinsic call.
-    Call { name: String, args: Vec<Expr>, pos: Pos },
+    Call {
+        name: String,
+        args: Vec<Expr>,
+        pos: Pos,
+    },
 }
 
 impl Expr {
     pub fn pos(&self) -> Pos {
         match self {
-            Expr::Int(_, p)
-            | Expr::Float(_, p)
-            | Expr::Bool(_, p)
-            | Expr::Name(_, p) => *p,
+            Expr::Int(_, p) | Expr::Float(_, p) | Expr::Bool(_, p) | Expr::Name(_, p) => *p,
             Expr::Index { pos, .. }
             | Expr::Un { pos, .. }
             | Expr::Bin { pos, .. }
@@ -81,32 +95,86 @@ impl Expr {
 #[derive(Clone, Debug, PartialEq)]
 pub enum Stmt {
     /// `int x;` / `float x = e;`
-    Decl { ty: Ty, name: String, init: Option<Expr>, pos: Pos },
+    Decl {
+        ty: Ty,
+        name: String,
+        init: Option<Expr>,
+        pos: Pos,
+    },
     /// `x = e;`
-    Assign { name: String, value: Expr, pos: Pos },
+    Assign {
+        name: String,
+        value: Expr,
+        pos: Pos,
+    },
     /// `a[i] = e;`
-    Store { base: String, index: Expr, value: Expr, pos: Pos },
-    If { cond: Expr, then_body: Vec<Stmt>, else_body: Vec<Stmt>, pos: Pos },
+    Store {
+        base: String,
+        index: Expr,
+        value: Expr,
+        pos: Pos,
+    },
+    If {
+        cond: Expr,
+        then_body: Vec<Stmt>,
+        else_body: Vec<Stmt>,
+        pos: Pos,
+    },
     /// `for (init; cond; update)`. Lowering recognizes the canonical
     /// counted shape (`x = e1; x < e2; x = x + C`) and emits an IR `For`;
     /// anything else becomes a `while` whose induction arithmetic is traced
     /// (and later removed by iterator recognition).
-    For { init: Box<Stmt>, cond: Expr, update: Box<Stmt>, body: Vec<Stmt>, pos: Pos },
-    While { cond: Expr, body: Vec<Stmt>, pos: Pos },
-    Return { value: Option<Expr>, pos: Pos },
+    For {
+        init: Box<Stmt>,
+        cond: Expr,
+        update: Box<Stmt>,
+        body: Vec<Stmt>,
+        pos: Pos,
+    },
+    While {
+        cond: Expr,
+        body: Vec<Stmt>,
+        pos: Pos,
+    },
+    Return {
+        value: Option<Expr>,
+        pos: Pos,
+    },
     /// `h = spawn f(args);` (h must be a declared int)
-    Spawn { handle: String, func: String, args: Vec<Expr>, pos: Pos },
+    Spawn {
+        handle: String,
+        func: String,
+        args: Vec<Expr>,
+        pos: Pos,
+    },
     /// `join(h);`
-    Join { handle: Expr, pos: Pos },
+    Join {
+        handle: Expr,
+        pos: Pos,
+    },
     /// `barrier_wait(name);`
-    BarrierWait { name: String, pos: Pos },
+    BarrierWait {
+        name: String,
+        pos: Pos,
+    },
     /// `lock(name);` / `unlock(name);`
-    Lock { name: String, pos: Pos },
-    Unlock { name: String, pos: Pos },
+    Lock {
+        name: String,
+        pos: Pos,
+    },
+    Unlock {
+        name: String,
+        pos: Pos,
+    },
     /// `output(arr);`
-    Output { name: String, pos: Pos },
+    Output {
+        name: String,
+        pos: Pos,
+    },
     /// expression statement (void call)
-    Expr { expr: Expr },
+    Expr {
+        expr: Expr,
+    },
 }
 
 /// A function definition.
@@ -123,11 +191,22 @@ pub struct FunDef {
 #[derive(Clone, Debug, PartialEq)]
 pub enum Item {
     /// `float data[64];`
-    GlobalArray { name: String, ty: Ty, len: usize, pos: Pos },
+    GlobalArray {
+        name: String,
+        ty: Ty,
+        len: usize,
+        pos: Pos,
+    },
     /// `mutex m;`
-    Mutex { name: String, pos: Pos },
+    Mutex {
+        name: String,
+        pos: Pos,
+    },
     /// `barrier b;`
-    Barrier { name: String, pos: Pos },
+    Barrier {
+        name: String,
+        pos: Pos,
+    },
     Fun(FunDef),
 }
 

@@ -162,13 +162,15 @@ pub fn lex(source: &str) -> Result<Vec<Token>, LexError> {
                         col: tcol,
                     })?)
                 };
-                tokens.push(Token { kind, line: tline, col: tcol });
+                tokens.push(Token {
+                    kind,
+                    line: tline,
+                    col: tcol,
+                });
             }
             b'a'..=b'z' | b'A'..=b'Z' | b'_' => {
                 let start = i;
-                while i < bytes.len()
-                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
-                {
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
                     bump!();
                 }
                 let text = &source[start..i];
@@ -194,10 +196,18 @@ pub fn lex(source: &str) -> Result<Vec<Token>, LexError> {
                     "barrier" => TokenKind::KwBarrier,
                     _ => TokenKind::Ident(text.to_string()),
                 };
-                tokens.push(Token { kind, line: tline, col: tcol });
+                tokens.push(Token {
+                    kind,
+                    line: tline,
+                    col: tcol,
+                });
             }
             _ => {
-                let two = if i + 1 < bytes.len() { &source[i..i + 2] } else { "" };
+                let two = if i + 1 < bytes.len() {
+                    &source[i..i + 2]
+                } else {
+                    ""
+                };
                 let (kind, len) = match two {
                     "==" => (TokenKind::Eq, 2),
                     "!=" => (TokenKind::Ne, 2),
@@ -242,11 +252,19 @@ pub fn lex(source: &str) -> Result<Vec<Token>, LexError> {
                 for _ in 0..len {
                     bump!();
                 }
-                tokens.push(Token { kind, line: tline, col: tcol });
+                tokens.push(Token {
+                    kind,
+                    line: tline,
+                    col: tcol,
+                });
             }
         }
     }
-    tokens.push(Token { kind: TokenKind::Eof, line, col });
+    tokens.push(Token {
+        kind: TokenKind::Eof,
+        line,
+        col,
+    });
     Ok(tokens)
 }
 

@@ -66,7 +66,12 @@ pub fn compile_files(
             line: e.line,
             col: e.col,
         })?;
-        units.push((file_idx as u16, file_name.to_string(), source.to_string(), unit));
+        units.push((
+            file_idx as u16,
+            file_name.to_string(),
+            source.to_string(),
+            unit,
+        ));
     }
     lower::lower(program_name, &units)
 }

@@ -53,7 +53,11 @@ pub fn lower(
             match item {
                 Item::GlobalArray { name, ty, len, pos } => {
                     let id = ArrId(lw.globals.len() as u32);
-                    if lw.arrays.insert(name.clone(), (id, ty_to_ir(*ty))).is_some() {
+                    if lw
+                        .arrays
+                        .insert(name.clone(), (id, ty_to_ir(*ty)))
+                        .is_some()
+                    {
                         return err(pos, format!("duplicate global {name}"));
                     }
                     lw.globals.push(GlobalArray {
@@ -81,7 +85,10 @@ pub fn lower(
                     let id = FnId(lw.fn_order.len() as u32);
                     let sig = (
                         id,
-                        f.params.iter().map(|(_, t)| ty_to_ir(*t)).collect::<Vec<_>>(),
+                        f.params
+                            .iter()
+                            .map(|(_, t)| ty_to_ir(*t))
+                            .collect::<Vec<_>>(),
                         f.ret.map(ty_to_ir),
                     );
                     if lw.fns.insert(f.name.clone(), sig).is_some() {
@@ -94,7 +101,11 @@ pub fn lower(
     }
 
     let Some(&(entry, ref entry_params, _)) = lw.fns.get("main") else {
-        return Err(CompileError { message: "no main function".into(), line: 1, col: 1 });
+        return Err(CompileError {
+            message: "no main function".into(),
+            line: 1,
+            col: 1,
+        });
     };
     if !entry_params.is_empty() && entry_params.iter().any(|&t| t != Type::I64) {
         return Err(CompileError {
@@ -131,7 +142,11 @@ pub fn lower(
 }
 
 fn err<V>(pos: &Pos, message: String) -> Result<V, CompileError> {
-    Err(CompileError { message, line: pos.line, col: pos.col })
+    Err(CompileError {
+        message,
+        line: pos.line,
+        col: pos.col,
+    })
 }
 
 #[derive(Default)]
@@ -169,7 +184,10 @@ impl Lowerer {
             params: f
                 .params
                 .iter()
-                .map(|(n, t)| Param { name: n.clone(), ty: ty_to_ir(*t) })
+                .map(|(n, t)| Param {
+                    name: n.clone(),
+                    ty: ty_to_ir(*t),
+                })
                 .collect(),
             locals: Vec::new(),
             scopes: vec![HashMap::new()],
@@ -215,8 +233,14 @@ impl FnCx<'_> {
             return err(pos, format!("redeclaration of {name} in the same scope"));
         }
         let id = VarId((self.params.len() + self.locals.len()) as u32);
-        self.locals.push(repro_ir::func::Local { name: name.to_string(), ty });
-        self.scopes.last_mut().unwrap().insert(name.to_string(), (id, ty));
+        self.locals.push(repro_ir::func::Local {
+            name: name.to_string(),
+            ty,
+        });
+        self.scopes
+            .last_mut()
+            .unwrap()
+            .insert(name.to_string(), (id, ty));
         Ok(id)
     }
 
@@ -237,13 +261,22 @@ impl FnCx<'_> {
 
     fn stmt(&mut self, s: &AStmt, out: &mut Vec<Stmt>) -> Result<(), CompileError> {
         match s {
-            AStmt::Decl { ty, name, init, pos } => {
+            AStmt::Decl {
+                ty,
+                name,
+                init,
+                pos,
+            } => {
                 let irty = ty_to_ir(*ty);
                 let var = self.declare(name, irty, pos)?;
                 if let Some(e) = init {
                     let (value, vt) = self.expr(e)?;
                     self.check(vt, irty, &e.pos(), "initializer")?;
-                    out.push(Stmt::Assign { var, value, loc: self.loc(*pos) });
+                    out.push(Stmt::Assign {
+                        var,
+                        value,
+                        loc: self.loc(*pos),
+                    });
                 }
             }
             AStmt::Assign { name, value, pos } => {
@@ -252,9 +285,18 @@ impl FnCx<'_> {
                 };
                 let (value, vt) = self.expr(value)?;
                 self.check(vt, ty, pos, "assignment")?;
-                out.push(Stmt::Assign { var, value, loc: self.loc(*pos) });
+                out.push(Stmt::Assign {
+                    var,
+                    value,
+                    loc: self.loc(*pos),
+                });
             }
-            AStmt::Store { base, index, value, pos } => {
+            AStmt::Store {
+                base,
+                index,
+                value,
+                pos,
+            } => {
                 let Some(&(arr, elem)) = self.lw.arrays.get(base) else {
                     return err(pos, format!("unknown array {base}"));
                 };
@@ -262,16 +304,37 @@ impl FnCx<'_> {
                 self.check(it, Type::I64, pos, "array index")?;
                 let (value, vt) = self.expr(value)?;
                 self.check(vt, elem, pos, "stored value")?;
-                out.push(Stmt::Store { arr, idx, value, loc: self.loc(*pos) });
+                out.push(Stmt::Store {
+                    arr,
+                    idx,
+                    value,
+                    loc: self.loc(*pos),
+                });
             }
-            AStmt::If { cond, then_body, else_body, pos } => {
+            AStmt::If {
+                cond,
+                then_body,
+                else_body,
+                pos,
+            } => {
                 let (cond, ct) = self.expr(cond)?;
                 self.check(ct, Type::Bool, pos, "if condition")?;
                 let then_body = self.block(then_body)?;
                 let else_body = self.block(else_body)?;
-                out.push(Stmt::If { cond, then_body, else_body, loc: self.loc(*pos) });
+                out.push(Stmt::If {
+                    cond,
+                    then_body,
+                    else_body,
+                    loc: self.loc(*pos),
+                });
             }
-            AStmt::For { init, cond, update, body, pos } => {
+            AStmt::For {
+                init,
+                cond,
+                update,
+                body,
+                pos,
+            } => {
                 self.lower_for(init, cond, update, body, pos, out)?;
             }
             AStmt::While { cond, body, pos } => {
@@ -279,7 +342,12 @@ impl FnCx<'_> {
                 let (cond, ct) = self.expr(cond)?;
                 self.check(ct, Type::Bool, pos, "while condition")?;
                 let body = self.block(body)?;
-                out.push(Stmt::While { id, cond, body, loc: self.loc(*pos) });
+                out.push(Stmt::While {
+                    id,
+                    cond,
+                    body,
+                    loc: self.loc(*pos),
+                });
             }
             AStmt::Return { value, pos } => {
                 let value = match (value, self.ret) {
@@ -289,12 +357,22 @@ impl FnCx<'_> {
                         Some(v)
                     }
                     (None, None) => None,
-                    (Some(_), None) => return err(pos, "return with value in void function".into()),
+                    (Some(_), None) => {
+                        return err(pos, "return with value in void function".into())
+                    }
                     (None, Some(_)) => return err(pos, "missing return value".into()),
                 };
-                out.push(Stmt::Return { value, loc: self.loc(*pos) });
+                out.push(Stmt::Return {
+                    value,
+                    loc: self.loc(*pos),
+                });
             }
-            AStmt::Spawn { handle, func, args, pos } => {
+            AStmt::Spawn {
+                handle,
+                func,
+                args,
+                pos,
+            } => {
                 let Some((hvar, hty)) = self.lookup(handle) else {
                     return err(pos, format!("unknown handle variable {handle}"));
                 };
@@ -311,36 +389,56 @@ impl FnCx<'_> {
                     self.check(vt, want, &a.pos(), "spawn argument")?;
                     irargs.push(v);
                 }
-                out.push(Stmt::Spawn { func: fid, args: irargs, handle: hvar, loc: self.loc(*pos) });
+                out.push(Stmt::Spawn {
+                    func: fid,
+                    args: irargs,
+                    handle: hvar,
+                    loc: self.loc(*pos),
+                });
             }
             AStmt::Join { handle, pos } => {
                 let (h, ht) = self.expr(handle)?;
                 self.check(ht, Type::I64, pos, "join handle")?;
-                out.push(Stmt::Join { handle: h, loc: self.loc(*pos) });
+                out.push(Stmt::Join {
+                    handle: h,
+                    loc: self.loc(*pos),
+                });
             }
             AStmt::BarrierWait { name, pos } => {
                 let Some(&bar) = self.lw.barriers.get(name) else {
                     return err(pos, format!("unknown barrier {name}"));
                 };
-                out.push(Stmt::Barrier { bar, loc: self.loc(*pos) });
+                out.push(Stmt::Barrier {
+                    bar,
+                    loc: self.loc(*pos),
+                });
             }
             AStmt::Lock { name, pos } => {
                 let Some(&mutex) = self.lw.mutexes.get(name) else {
                     return err(pos, format!("unknown mutex {name}"));
                 };
-                out.push(Stmt::Lock { mutex, loc: self.loc(*pos) });
+                out.push(Stmt::Lock {
+                    mutex,
+                    loc: self.loc(*pos),
+                });
             }
             AStmt::Unlock { name, pos } => {
                 let Some(&mutex) = self.lw.mutexes.get(name) else {
                     return err(pos, format!("unknown mutex {name}"));
                 };
-                out.push(Stmt::Unlock { mutex, loc: self.loc(*pos) });
+                out.push(Stmt::Unlock {
+                    mutex,
+                    loc: self.loc(*pos),
+                });
             }
             AStmt::Output { name, pos } => {
                 let Some(&(arr, _)) = self.lw.arrays.get(name) else {
                     return err(pos, format!("unknown array {name}"));
                 };
-                out.push(Stmt::Output { arr, loc: self.loc(*pos) });
+                out.push(Stmt::Output {
+                    arr,
+                    loc: self.loc(*pos),
+                });
             }
             AStmt::Expr { expr } => {
                 let pos = expr.pos();
@@ -369,19 +467,42 @@ impl FnCx<'_> {
         // Canonical: init `v = e1`; cond `v < e2` or `v > e2`;
         // update `v = v + c` or `v = v - c` with integer literal c.
         if let (
-            AStmt::Assign { name: v1, value: from, .. },
-            AExpr::Bin { op: rel @ (Bin::Lt | Bin::Gt), lhs, rhs: bound, .. },
-            AStmt::Assign { name: v3, value: upd, .. },
+            AStmt::Assign {
+                name: v1,
+                value: from,
+                ..
+            },
+            AExpr::Bin {
+                op: rel @ (Bin::Lt | Bin::Gt),
+                lhs,
+                rhs: bound,
+                ..
+            },
+            AStmt::Assign {
+                name: v3,
+                value: upd,
+                ..
+            },
         ) = (init, cond, update)
         {
             let cond_on_var = matches!(&**lhs, AExpr::Name(n, _) if n == v1);
             let step = match upd {
-                AExpr::Bin { op: Bin::Add, lhs, rhs, .. } => match (&**lhs, &**rhs) {
+                AExpr::Bin {
+                    op: Bin::Add,
+                    lhs,
+                    rhs,
+                    ..
+                } => match (&**lhs, &**rhs) {
                     (AExpr::Name(n, _), AExpr::Int(c, _)) if n == v1 => Some(*c),
                     (AExpr::Int(c, _), AExpr::Name(n, _)) if n == v1 => Some(*c),
                     _ => None,
                 },
-                AExpr::Bin { op: Bin::Sub, lhs, rhs, .. } => match (&**lhs, &**rhs) {
+                AExpr::Bin {
+                    op: Bin::Sub,
+                    lhs,
+                    rhs,
+                    ..
+                } => match (&**lhs, &**rhs) {
                     (AExpr::Name(n, _), AExpr::Int(c, _)) if n == v1 => Some(-*c),
                     _ => None,
                 },
@@ -423,7 +544,12 @@ impl FnCx<'_> {
         self.check(ct, Type::Bool, pos, "for condition")?;
         let mut wbody = self.block(body)?;
         self.stmt(update, &mut wbody)?;
-        out.push(Stmt::While { id, cond, body: wbody, loc: self.loc(*pos) });
+        out.push(Stmt::While {
+            id,
+            cond,
+            body: wbody,
+            loc: self.loc(*pos),
+        });
         Ok(())
     }
 
@@ -452,7 +578,14 @@ impl FnCx<'_> {
                 };
                 let (idx, it) = self.expr(index)?;
                 self.check(it, Type::I64, pos, "array index")?;
-                Ok((Expr::Load { arr, idx: Box::new(idx), loc: self.loc(*pos) }, elem))
+                Ok((
+                    Expr::Load {
+                        arr,
+                        idx: Box::new(idx),
+                        loc: self.loc(*pos),
+                    },
+                    elem,
+                ))
             }
             AExpr::Un { op, arg, pos } => {
                 let (a, at) = self.expr(arg)?;
@@ -472,16 +605,18 @@ impl FnCx<'_> {
                     }
                     Un::CastInt => match at {
                         Type::I64 => Ok((a, Type::I64)),
-                        Type::F64 => {
-                            Ok((Expr::un(UnOp::FloatToInt, a, self.lw.fresh_op(), loc), Type::I64))
-                        }
+                        Type::F64 => Ok((
+                            Expr::un(UnOp::FloatToInt, a, self.lw.fresh_op(), loc),
+                            Type::I64,
+                        )),
                         Type::Bool => err(pos, "cannot cast bool to int".into()),
                     },
                     Un::CastFloat => match at {
                         Type::F64 => Ok((a, Type::F64)),
-                        Type::I64 => {
-                            Ok((Expr::un(UnOp::IntToFloat, a, self.lw.fresh_op(), loc), Type::F64))
-                        }
+                        Type::I64 => Ok((
+                            Expr::un(UnOp::IntToFloat, a, self.lw.fresh_op(), loc),
+                            Type::F64,
+                        )),
                         Type::Bool => err(pos, "cannot cast bool to float".into()),
                     },
                 }
@@ -541,17 +676,33 @@ impl FnCx<'_> {
         })
     }
 
-    fn call(&mut self, name: &str, args: &[AExpr], pos: &Pos) -> Result<(Expr, Type), CompileError> {
+    fn call(
+        &mut self,
+        name: &str,
+        args: &[AExpr],
+        pos: &Pos,
+    ) -> Result<(Expr, Type), CompileError> {
         let loc = self.loc(*pos);
         // Intrinsics first.
-        let unary_f64 = |this: &mut Self, op: Intrinsic, args: &[AExpr]| -> Result<(Expr, Type), CompileError> {
+        let unary_f64 = |this: &mut Self,
+                         op: Intrinsic,
+                         args: &[AExpr]|
+         -> Result<(Expr, Type), CompileError> {
             if args.len() != 1 {
                 return err(pos, format!("{name} takes 1 argument"));
             }
             let (a, at) = this.expr(&args[0])?;
             this.check(at, Type::F64, pos, name)?;
             let id = this.lw.fresh_op();
-            Ok((Expr::Intr { op, args: vec![a], id, loc }, Type::F64))
+            Ok((
+                Expr::Intr {
+                    op,
+                    args: vec![a],
+                    id,
+                    loc,
+                },
+                Type::F64,
+            ))
         };
         match name {
             "sqrt" => return unary_f64(self, Intrinsic::Sqrt, args),
@@ -568,7 +719,15 @@ impl FnCx<'_> {
                 let (a, at) = self.expr(&args[0])?;
                 self.check(at, Type::I64, pos, "abs")?;
                 let id = self.lw.fresh_op();
-                return Ok((Expr::Intr { op: Intrinsic::Abs, args: vec![a], id, loc }, Type::I64));
+                return Ok((
+                    Expr::Intr {
+                        op: Intrinsic::Abs,
+                        args: vec![a],
+                        id,
+                        loc,
+                    },
+                    Type::I64,
+                ));
             }
             "min" | "max" => {
                 if args.len() != 2 {
@@ -601,7 +760,12 @@ impl FnCx<'_> {
                 }
                 let id = self.lw.fresh_op();
                 return Ok((
-                    Expr::Intr { op: Intrinsic::Select, args: vec![c, a, b], id, loc },
+                    Expr::Intr {
+                        op: Intrinsic::Select,
+                        args: vec![c, a, b],
+                        id,
+                        loc,
+                    },
                     at,
                 ));
             }
@@ -623,9 +787,23 @@ impl FnCx<'_> {
         let Some(ret) = ret else {
             // Void calls are only legal in statement position; the caller
             // (stmt) accepts them, expression contexts reject via check().
-            return Ok((Expr::Call { f: fid, args: irargs, loc }, Type::Bool));
+            return Ok((
+                Expr::Call {
+                    f: fid,
+                    args: irargs,
+                    loc,
+                },
+                Type::Bool,
+            ));
         };
-        Ok((Expr::Call { f: fid, args: irargs, loc }, ret))
+        Ok((
+            Expr::Call {
+                f: fid,
+                args: irargs,
+                loc,
+            },
+            ret,
+        ))
     }
 }
 
@@ -660,7 +838,10 @@ void main() {
         assert_eq!(p.loop_count, 1);
         // The for loop is canonical: lowered to Stmt::For.
         let main = p.function_by_name("main").unwrap();
-        assert!(main.body.iter().any(|s| matches!(s, Stmt::For { step: 1, .. })));
+        assert!(main
+            .body
+            .iter()
+            .any(|s| matches!(s, Stmt::For { step: 1, .. })));
     }
 
     #[test]
@@ -691,7 +872,10 @@ void main(int nproc) {
         let src = "void main() { int i; int s = 0; for (i = 7; i > 0; i--) { s = s + i; } }";
         let p = compile("down", src).unwrap();
         let main = p.function_by_name("main").unwrap();
-        assert!(main.body.iter().any(|s| matches!(s, Stmt::For { step: -1, .. })));
+        assert!(main
+            .body
+            .iter()
+            .any(|s| matches!(s, Stmt::For { step: -1, .. })));
     }
 
     #[test]
@@ -785,8 +969,12 @@ void main() {
         let src = "float d[2];\nvoid main() {\n  d[0] = d[1] * 2.0;\n}\n";
         let p = compile("loc", src).unwrap();
         let main = p.function_by_name("main").unwrap();
-        let Stmt::Store { value, .. } = &main.body[0] else { panic!() };
-        let Expr::Bin { loc, .. } = value else { panic!() };
+        let Stmt::Store { value, .. } = &main.body[0] else {
+            panic!()
+        };
+        let Expr::Bin { loc, .. } = value else {
+            panic!()
+        };
         assert_eq!(loc.line, 3);
         assert_eq!(p.source_line(*loc).unwrap().trim(), "d[0] = d[1] * 2.0;");
     }

@@ -36,7 +36,10 @@ impl<'t> Parser<'t> {
     }
 
     fn pos(&self) -> Pos {
-        Pos { line: self.tokens[self.i].line, col: self.tokens[self.i].col }
+        Pos {
+            line: self.tokens[self.i].line,
+            col: self.tokens[self.i].col,
+        }
     }
 
     fn at(&self, k: &T) -> bool {
@@ -155,7 +158,13 @@ impl<'t> Parser<'t> {
         }
         self.expect(T::RParen, ")")?;
         let body = self.block()?;
-        Ok(Item::Fun(FunDef { name, params, ret, body, pos }))
+        Ok(Item::Fun(FunDef {
+            name,
+            params,
+            ret,
+            body,
+            pos,
+        }))
     }
 
     // ---- statements ----
@@ -191,7 +200,12 @@ impl<'t> Parser<'t> {
                     None
                 };
                 self.expect(T::Semi, ";")?;
-                Ok(Stmt::Decl { ty, name, init, pos })
+                Ok(Stmt::Decl {
+                    ty,
+                    name,
+                    init,
+                    pos,
+                })
             }
             T::KwIf => {
                 self.bump();
@@ -209,7 +223,12 @@ impl<'t> Parser<'t> {
                 } else {
                     vec![]
                 };
-                Ok(Stmt::If { cond, then_body, else_body, pos })
+                Ok(Stmt::If {
+                    cond,
+                    then_body,
+                    else_body,
+                    pos,
+                })
             }
             T::KwFor => {
                 self.bump();
@@ -221,7 +240,13 @@ impl<'t> Parser<'t> {
                 let update = Box::new(self.simple_stmt()?);
                 self.expect(T::RParen, ")")?;
                 let body = self.block()?;
-                Ok(Stmt::For { init, cond, update, body, pos })
+                Ok(Stmt::For {
+                    init,
+                    cond,
+                    update,
+                    body,
+                    pos,
+                })
             }
             T::KwWhile => {
                 self.bump();
@@ -233,7 +258,11 @@ impl<'t> Parser<'t> {
             }
             T::KwReturn => {
                 self.bump();
-                let value = if self.at(&T::Semi) { None } else { Some(self.expr()?) };
+                let value = if self.at(&T::Semi) {
+                    None
+                } else {
+                    Some(self.expr()?)
+                };
                 self.expect(T::Semi, ";")?;
                 Ok(Stmt::Return { value, pos })
             }
@@ -297,7 +326,12 @@ impl<'t> Parser<'t> {
                     if self.at(&T::KwSpawn) {
                         self.bump();
                         let (func, args) = self.call_tail()?;
-                        return Ok(Stmt::Spawn { handle: name, func, args, pos });
+                        return Ok(Stmt::Spawn {
+                            handle: name,
+                            func,
+                            args,
+                            pos,
+                        });
                     }
                     let value = self.expr()?;
                     return Ok(Stmt::Assign { name, value, pos });
@@ -325,7 +359,12 @@ impl<'t> Parser<'t> {
                     self.expect(T::RBracket, "]")?;
                     self.expect(T::Assign, "=")?;
                     let value = self.expr()?;
-                    return Ok(Stmt::Store { base: name, index, value, pos });
+                    return Ok(Stmt::Store {
+                        base: name,
+                        index,
+                        value,
+                        pos,
+                    });
                 }
                 _ => {}
             }
@@ -388,7 +427,12 @@ impl<'t> Parser<'t> {
             let pos = self.pos();
             self.bump();
             let rhs = self.bin_expr(prec + 1)?;
-            lhs = Expr::Bin { op, lhs: Box::new(lhs), rhs: Box::new(rhs), pos };
+            lhs = Expr::Bin {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+                pos,
+            };
         }
         Ok(lhs)
     }
@@ -399,21 +443,37 @@ impl<'t> Parser<'t> {
             T::Minus => {
                 self.bump();
                 let arg = self.unary()?;
-                Ok(Expr::Un { op: Un::Neg, arg: Box::new(arg), pos })
+                Ok(Expr::Un {
+                    op: Un::Neg,
+                    arg: Box::new(arg),
+                    pos,
+                })
             }
             T::Bang => {
                 self.bump();
                 let arg = self.unary()?;
-                Ok(Expr::Un { op: Un::Not, arg: Box::new(arg), pos })
+                Ok(Expr::Un {
+                    op: Un::Not,
+                    arg: Box::new(arg),
+                    pos,
+                })
             }
             // Casts: `(int) e`, `(float) e`.
             T::LParen if matches!(self.peek2(), T::KwInt | T::KwFloat) => {
                 self.bump();
-                let op = if self.at(&T::KwInt) { Un::CastInt } else { Un::CastFloat };
+                let op = if self.at(&T::KwInt) {
+                    Un::CastInt
+                } else {
+                    Un::CastFloat
+                };
                 self.bump();
                 self.expect(T::RParen, ")")?;
                 let arg = self.unary()?;
-                Ok(Expr::Un { op, arg: Box::new(arg), pos })
+                Ok(Expr::Un {
+                    op,
+                    arg: Box::new(arg),
+                    pos,
+                })
             }
             _ => self.postfix(),
         }
@@ -467,7 +527,11 @@ impl<'t> Parser<'t> {
                         self.bump();
                         let index = self.expr()?;
                         self.expect(T::RBracket, "]")?;
-                        Ok(Expr::Index { base: name, index: Box::new(index), pos })
+                        Ok(Expr::Index {
+                            base: name,
+                            index: Box::new(index),
+                            pos,
+                        })
                     }
                     _ => Ok(Expr::Name(name, pos)),
                 }
@@ -513,9 +577,16 @@ mod tests {
     fn precedence_is_c_like() {
         let u = parse_src("void f() { int x; x = 1 + 2 * 3 < 4 & 5; }");
         let Item::Fun(f) = &u.items[0] else { panic!() };
-        let Stmt::Assign { value, .. } = &f.body[1] else { panic!() };
+        let Stmt::Assign { value, .. } = &f.body[1] else {
+            panic!()
+        };
         // & binds loosest: (1+2*3 < 4) & 5
-        let Expr::Bin { op: Bin::BitAnd, lhs, .. } = value else {
+        let Expr::Bin {
+            op: Bin::BitAnd,
+            lhs,
+            ..
+        } = value
+        else {
             panic!("expected & at top, got {value:?}")
         };
         assert!(matches!(**lhs, Expr::Bin { op: Bin::Lt, .. }));
@@ -523,9 +594,7 @@ mod tests {
 
     #[test]
     fn parses_spawn_join_and_casts() {
-        let u = parse_src(
-            "void main() { int h; h = spawn worker(1, (float)2); join(h); }",
-        );
+        let u = parse_src("void main() { int h; h = spawn worker(1, (float)2); join(h); }");
         let Item::Fun(f) = &u.items[0] else { panic!() };
         assert!(matches!(&f.body[1], Stmt::Spawn { handle, func, args, .. }
             if handle == "h" && func == "worker" && args.len() == 2));
@@ -536,7 +605,9 @@ mod tests {
     fn parses_if_else_chain() {
         let u = parse_src("void f(int x) { if (x < 0) { x = 0; } else if (x > 9) { x = 9; } }");
         let Item::Fun(f) = &u.items[0] else { panic!() };
-        let Stmt::If { else_body, .. } = &f.body[0] else { panic!() };
+        let Stmt::If { else_body, .. } = &f.body[0] else {
+            panic!()
+        };
         assert!(matches!(&else_body[0], Stmt::If { .. }));
     }
 
@@ -557,7 +628,15 @@ mod tests {
     fn parenthesized_casts_vs_grouping() {
         let u = parse_src("void f() { float x; x = (float)(1 + 2); }");
         let Item::Fun(f) = &u.items[0] else { panic!() };
-        let Stmt::Assign { value, .. } = &f.body[1] else { panic!() };
-        assert!(matches!(value, Expr::Un { op: Un::CastFloat, .. }));
+        let Stmt::Assign { value, .. } = &f.body[1] else {
+            panic!()
+        };
+        assert!(matches!(
+            value,
+            Expr::Un {
+                op: Un::CastFloat,
+                ..
+            }
+        ));
     }
 }

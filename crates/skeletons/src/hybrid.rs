@@ -68,7 +68,10 @@ mod tests {
     fn no_gpu_means_cpu() {
         let mut m = Machine::gpu_centric();
         m.gpu = None;
-        assert_eq!(choose_backend(&m, &KernelProfile::streamcluster_reference()), Chosen::Cpu);
+        assert_eq!(
+            choose_backend(&m, &KernelProfile::streamcluster_reference()),
+            Chosen::Cpu
+        );
         assert_eq!(
             plan_for(&m, &KernelProfile::streamcluster_reference()),
             ExecPlan::CpuThreads(4)

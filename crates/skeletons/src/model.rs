@@ -136,7 +136,10 @@ mod tests {
         let baseline = Machine::cpu_centric();
         let p = KernelProfile::streamcluster_reference();
         let mut out = Vec::new();
-        for (m, tag) in [(Machine::cpu_centric(), "cpu"), (Machine::gpu_centric(), "gpu")] {
+        for (m, tag) in [
+            (Machine::cpu_centric(), "cpu"),
+            (Machine::gpu_centric(), "gpu"),
+        ] {
             for imp in [Impl::LegacyPthreads, Impl::Modernized, Impl::RodiniaCuda] {
                 out.push((imp, tag, speedup(imp, &m, &baseline, &p)));
             }
@@ -184,7 +187,10 @@ mod tests {
             get(&v, Impl::Modernized, "cpu"),
             get(&v, Impl::RodiniaCuda, "cpu"),
         );
-        assert!((l - m).abs() / l < 0.10, "modernized competitive on CPU: {l:.1} vs {m:.1}");
+        assert!(
+            (l - m).abs() / l < 0.10,
+            "modernized competitive on CPU: {l:.1} vs {m:.1}"
+        );
         assert!(r < 0.5 * m, "weak GPU cannot compete: {r:.1}");
         // GPU-centric: modernized best, legacy worst of the GPU users.
         let (l2, m2, r2) = (
@@ -192,9 +198,15 @@ mod tests {
             get(&v, Impl::Modernized, "gpu"),
             get(&v, Impl::RodiniaCuda, "gpu"),
         );
-        assert!(m2 > r2 && r2 > l2, "modernized > rodinia > legacy: {m2:.1} {r2:.1} {l2:.1}");
+        assert!(
+            m2 > r2 && r2 > l2,
+            "modernized > rodinia > legacy: {m2:.1} {r2:.1} {l2:.1}"
+        );
         // The headline: the modernized code on the GPU-centric machine
         // beats the legacy code on the 12-core machine by >50%.
-        assert!(m2 > 1.5 * l, "56% faster than legacy-on-12-cores: {m2:.1} vs {l:.1}");
+        assert!(
+            m2 > 1.5 * l,
+            "56% faster than legacy-on-12-cores: {m2:.1} vs {l:.1}"
+        );
     }
 }

@@ -18,7 +18,9 @@ impl ExecPlan {
     /// A CPU plan using all available parallelism.
     pub fn cpu_auto() -> ExecPlan {
         ExecPlan::CpuThreads(
-            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
         )
     }
 

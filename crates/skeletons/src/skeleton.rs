@@ -35,7 +35,9 @@ where
                 }
             })
             .expect("map worker panicked");
-            out.into_iter().map(|o| o.expect("chunk fully written")).collect()
+            out.into_iter()
+                .map(|o| o.expect("chunk fully written"))
+                .collect()
         }
     }
 }
@@ -49,9 +51,7 @@ where
     F: Fn(T, &T) -> T + Sync,
 {
     match plan {
-        ExecPlan::Sequential | ExecPlan::SimGpu => {
-            input.iter().fold(identity, &op)
-        }
+        ExecPlan::Sequential | ExecPlan::SimGpu => input.iter().fold(identity, &op),
         ExecPlan::CpuThreads(n) => {
             let n = n.clamp(1, input.len().max(1));
             let chunk = input.len().div_ceil(n.max(1)).max(1);
@@ -77,13 +77,7 @@ where
 
 /// Fused `reduce(map(input))` — the pattern the motivating example's hiz
 /// computation modernizes into (SkePU's `MapReduce`).
-pub fn map_reduce<T, U, M, R>(
-    plan: ExecPlan,
-    input: &[T],
-    m: M,
-    identity: U,
-    r: R,
-) -> U
+pub fn map_reduce<T, U, M, R>(plan: ExecPlan, input: &[T], m: M, identity: U, r: R) -> U
 where
     T: Sync,
     U: Clone + Send + Sync,
@@ -91,12 +85,10 @@ where
     R: Fn(U, &U) -> U + Sync,
 {
     match plan {
-        ExecPlan::Sequential | ExecPlan::SimGpu => {
-            input.iter().fold(identity, |acc, x| {
-                let v = m(x);
-                r(acc, &v)
-            })
-        }
+        ExecPlan::Sequential | ExecPlan::SimGpu => input.iter().fold(identity, |acc, x| {
+            let v = m(x);
+            r(acc, &v)
+        }),
         ExecPlan::CpuThreads(n) => {
             let n = n.clamp(1, input.len().max(1));
             let chunk = input.len().div_ceil(n.max(1)).max(1);
@@ -184,7 +176,10 @@ mod tests {
     #[test]
     fn threads_exceeding_input_are_clamped() {
         let input = vec![1i64, 2, 3];
-        assert_eq!(map(ExecPlan::CpuThreads(64), &input, |x| x * 10), vec![10, 20, 30]);
+        assert_eq!(
+            map(ExecPlan::CpuThreads(64), &input, |x| x * 10),
+            vec![10, 20, 30]
+        );
         assert_eq!(reduce(ExecPlan::CpuThreads(64), &input, 0, |a, b| a + b), 6);
     }
 }

@@ -35,7 +35,14 @@ const fn exp(
     iteration: usize,
     needle: Option<&'static str>,
 ) -> Expectation {
-    Expectation { benchmark, version: None, kind, iteration, found: true, needle }
+    Expectation {
+        benchmark,
+        version: None,
+        kind,
+        iteration,
+        found: true,
+        needle,
+    }
 }
 
 const fn missed(
@@ -44,7 +51,14 @@ const fn missed(
     kind: &'static str,
     needle: Option<&'static str>,
 ) -> Expectation {
-    Expectation { benchmark, version, kind, iteration: 0, found: false, needle }
+    Expectation {
+        benchmark,
+        version,
+        kind,
+        iteration: 0,
+        found: false,
+        needle,
+    }
 }
 
 /// The 42 expected pattern instances of paper Table 3 (entries without a
@@ -180,7 +194,12 @@ pub fn evaluate(benchmark: &str, version: Version, result: &FinderResult) -> Eva
         .map(|(_, f)| f.clone())
         .collect();
 
-    Evaluation { benchmark: benchmark.to_string(), version, hits, extras }
+    Evaluation {
+        benchmark: benchmark.to_string(),
+        version,
+        hits,
+        extras,
+    }
 }
 
 #[cfg(test)]
@@ -196,7 +215,15 @@ mod tests {
         assert_eq!(both * 2 + single, 42);
         let missed: usize = table3()
             .iter()
-            .map(|e| if e.found { 0 } else if e.version.is_none() { 2 } else { 1 })
+            .map(|e| {
+                if e.found {
+                    0
+                } else if e.version.is_none() {
+                    2
+                } else {
+                    1
+                }
+            })
             .sum();
         assert_eq!(missed, 6, "the paper misses six instances");
     }

@@ -69,7 +69,11 @@ mod tests {
     #[test]
     fn table2_covers_the_whole_suite() {
         for b in crate::suite::all_benchmarks() {
-            assert!(params_for(b.name).is_some(), "{} missing from Table 2", b.name);
+            assert!(
+                params_for(b.name).is_some(),
+                "{} missing from Table 2",
+                b.name
+            );
         }
         assert_eq!(TABLE2.len(), 8);
     }

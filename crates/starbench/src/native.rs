@@ -31,7 +31,10 @@ impl Points {
     pub fn synthetic(n: usize, dim: usize, seed: u64) -> Points {
         use rand::{Rng, SeedableRng};
         let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-        Points { dim, coords: (0..n * dim).map(|_| rng.gen::<f64>() * 10.0).collect() }
+        Points {
+            dim,
+            coords: (0..n * dim).map(|_| rng.gen::<f64>() * 10.0).collect(),
+        }
     }
 
     pub fn len(&self) -> usize {
@@ -52,12 +55,18 @@ impl Points {
 fn dist_to_first(pts: &Points, i: usize) -> f64 {
     let a = pts.point(i);
     let b = pts.point(0);
-    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum::<f64>().sqrt()
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y) * (x - y))
+        .sum::<f64>()
+        .sqrt()
 }
 
 /// Sequential baseline: a single fused loop.
 pub fn hiz_sequential(pts: &Points, weights: &[f64]) -> f64 {
-    (0..pts.len()).map(|i| dist_to_first(pts, i) * weights[i]).sum()
+    (0..pts.len())
+        .map(|i| dist_to_first(pts, i) * weights[i])
+        .sum()
 }
 
 /// The legacy Pthreads structure: explicit threads, chunking, a partial
@@ -119,7 +128,11 @@ mod tests {
             let p = hiz_pthreads(&pts, &w, nproc);
             assert!((p - seq).abs() < 1e-6, "pthreads[{nproc}]: {p} vs {seq}");
         }
-        for plan in [ExecPlan::Sequential, ExecPlan::CpuThreads(4), ExecPlan::SimGpu] {
+        for plan in [
+            ExecPlan::Sequential,
+            ExecPlan::CpuThreads(4),
+            ExecPlan::SimGpu,
+        ] {
             let m = hiz_modernized(&pts, &w, plan);
             assert!((m - seq).abs() < 1e-6, "{plan}: {m} vs {seq}");
         }

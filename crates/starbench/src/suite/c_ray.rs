@@ -121,11 +121,11 @@ pub(crate) fn scene(nobj: usize) -> Vec<f64> {
         let fk = k as f64;
         // Spread spheres across depth and the viewport.
         sph.extend_from_slice(&[
-            (fk * 0.37).sin() * 0.8,     // cx
-            (fk * 0.53).cos() * 0.5,     // cy
-            4.0 + fk * 1.3,              // cz
-            0.6 + 0.1 * (fk % 3.0),      // radius
-            0.3 + 0.08 * (fk % 7.0),     // color
+            (fk * 0.37).sin() * 0.8, // cx
+            (fk * 0.53).cos() * 0.5, // cy
+            4.0 + fk * 1.3,          // cz
+            0.6 + 0.1 * (fk % 3.0),  // radius
+            0.3 + 0.08 * (fk % 7.0), // color
         ]);
     }
     // Background: a huge sphere behind everything, hit by every ray.
@@ -200,8 +200,8 @@ pub static BENCH: Benchmark = Benchmark {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use discovery::{find_patterns, FinderConfig, PatternKind};
     use crate::suite::Version;
+    use discovery::{find_patterns, FinderConfig, PatternKind};
 
     #[test]
     fn versions_agree() {
@@ -219,7 +219,9 @@ mod tests {
             assert!(eval.perfect(), "{}: {:?}", v.name(), eval.hits);
             // The exposure pass is an additional true map.
             assert!(
-                eval.extras.iter().any(|f| f.pattern.kind == PatternKind::Map),
+                eval.extras
+                    .iter()
+                    .any(|f| f.pattern.kind == PatternKind::Map),
                 "{}: {:?}",
                 v.name(),
                 eval.extras

@@ -109,8 +109,8 @@ pub static BENCH: Benchmark = Benchmark {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use discovery::{find_patterns, FinderConfig, PatternKind};
     use crate::suite::Version;
+    use discovery::{find_patterns, FinderConfig, PatternKind};
 
     #[test]
     fn versions_agree_on_digests() {

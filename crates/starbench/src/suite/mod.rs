@@ -68,7 +68,8 @@ impl Benchmark {
         let cfg = (self.analysis_input)();
         let r = trace::run(&p, &cfg)
             .unwrap_or_else(|e| panic!("{} {} failed: {e}", self.name, v.name()));
-        (self.verify)(&r).unwrap_or_else(|e| panic!("{} {} wrong result: {e}", self.name, v.name()));
+        (self.verify)(&r)
+            .unwrap_or_else(|e| panic!("{} {} wrong result: {e}", self.name, v.name()));
         r
     }
 }
@@ -115,10 +116,22 @@ mod tests {
         let names: Vec<&str> = all_benchmarks().iter().map(|b| b.name).collect();
         assert_eq!(
             names,
-            vec!["c-ray", "ray-rot", "md5", "rgbyuv", "rotate", "rot-cc", "kmeans", "streamcluster"]
+            vec![
+                "c-ray",
+                "ray-rot",
+                "md5",
+                "rgbyuv",
+                "rotate",
+                "rot-cc",
+                "kmeans",
+                "streamcluster"
+            ]
         );
         assert!(benchmark("md5").is_some());
-        assert!(benchmark("bodytrack").is_none(), "pipelines are out of scope");
+        assert!(
+            benchmark("bodytrack").is_none(),
+            "pipelines are out of scope"
+        );
     }
 
     #[test]

@@ -174,7 +174,15 @@ fn input(w: usize, h: usize, nobj: usize, nproc: i64) -> RunConfig {
         .with_len("chks", nproc as usize)
         .with_i64(
             "cfg",
-            &[w as i64, h as i64, nobj as i64, w2 as i64, (cpix / w2) as i64, nproc, 0],
+            &[
+                w as i64,
+                h as i64,
+                nobj as i64,
+                w2 as i64,
+                (cpix / w2) as i64,
+                nproc,
+                0,
+            ],
         )
         .with_barrier_participants(nproc as usize)
 }
@@ -200,7 +208,11 @@ fn verify(r: &RunResult) -> Result<(), String> {
     let img = super::c_ray::oracle(cfg[0], cfg[1], &r.f64s("sph"));
     let expected = oracle_rimg(cfg[0], cfg[1], cfg[3], cfg[4], &img);
     let rimg = r.f64s("rimg");
-    if rimg.iter().zip(&expected).any(|(a, b)| (a - b).abs() > 1e-9) {
+    if rimg
+        .iter()
+        .zip(&expected)
+        .any(|(a, b)| (a - b).abs() > 1e-9)
+    {
         return Err("rotated image mismatch".into());
     }
     let written = expected.iter().filter(|&&v| v != 0.0).count();
@@ -224,8 +236,8 @@ pub static BENCH: Benchmark = Benchmark {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use discovery::{find_patterns, FinderConfig, PatternKind};
     use crate::suite::Version;
+    use discovery::{find_patterns, FinderConfig, PatternKind};
 
     #[test]
     fn versions_agree() {
@@ -238,29 +250,50 @@ mod tests {
     fn seq_finds_map_and_conditional_map_in_iteration_one() {
         let r = BENCH.run_analysis(Version::Seq);
         let res = find_patterns(&r.ddg.unwrap(), &FinderConfig::default());
-        let it1: Vec<_> =
-            res.found.iter().filter(|f| f.iteration == 1).map(|f| f.pattern.kind).collect();
+        let it1: Vec<_> = res
+            .found
+            .iter()
+            .filter(|f| f.iteration == 1)
+            .map(|f| f.pattern.kind)
+            .collect();
         assert!(it1.contains(&PatternKind::Map), "{it1:?}");
         assert!(it1.contains(&PatternKind::ConditionalMap), "{it1:?}");
         // The fused map is missed: mismatching iteration spaces.
-        assert!(res.found.iter().all(|f| f.pattern.kind != PatternKind::FusedMap));
+        assert!(res
+            .found
+            .iter()
+            .all(|f| f.pattern.kind != PatternKind::FusedMap));
     }
 
     #[test]
     fn pthreads_map_surfaces_in_iteration_two() {
         let r = BENCH.run_analysis(Version::Pthreads);
         let res = find_patterns(&r.ddg.unwrap(), &FinderConfig::default());
-        let it1: Vec<_> =
-            res.found.iter().filter(|f| f.iteration == 1).map(|f| f.pattern.kind).collect();
+        let it1: Vec<_> = res
+            .found
+            .iter()
+            .filter(|f| f.iteration == 1)
+            .map(|f| f.pattern.kind)
+            .collect();
         assert!(
             !it1.contains(&PatternKind::Map),
             "checksum chains block the ray map at it.1: {it1:?}"
         );
         assert!(it1.contains(&PatternKind::ConditionalMap), "{it1:?}");
-        assert!(it1.contains(&PatternKind::TiledReduction), "checksum reduction: {it1:?}");
-        let it2: Vec<_> =
-            res.found.iter().filter(|f| f.iteration == 2).map(|f| f.pattern.kind).collect();
+        assert!(
+            it1.contains(&PatternKind::TiledReduction),
+            "checksum reduction: {it1:?}"
+        );
+        let it2: Vec<_> = res
+            .found
+            .iter()
+            .filter(|f| f.iteration == 2)
+            .map(|f| f.pattern.kind)
+            .collect();
         assert!(it2.contains(&PatternKind::Map), "{it2:?}");
-        assert!(res.found.iter().all(|f| f.pattern.kind != PatternKind::FusedMap));
+        assert!(res
+            .found
+            .iter()
+            .all(|f| f.pattern.kind != PatternKind::FusedMap));
     }
 }

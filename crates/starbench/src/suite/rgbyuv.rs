@@ -107,7 +107,11 @@ fn verify(r: &RunResult) -> Result<(), String> {
         }
     }
     // The gamma pass with identity coefficients mirrors the luma plane.
-    if r.f64s("gp").iter().zip(&y).any(|(a, b)| (a - b).abs() > 1e-9) {
+    if r.f64s("gp")
+        .iter()
+        .zip(&y)
+        .any(|(a, b)| (a - b).abs() > 1e-9)
+    {
         return Err("gamma pass mismatch".into());
     }
     Ok(())
@@ -126,8 +130,8 @@ pub static BENCH: Benchmark = Benchmark {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use discovery::{find_patterns, FinderConfig, PatternKind};
     use crate::suite::Version;
+    use discovery::{find_patterns, FinderConfig, PatternKind};
 
     #[test]
     fn both_versions_compute_the_same_result() {

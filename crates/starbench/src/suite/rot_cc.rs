@@ -144,8 +144,7 @@ fn input(w: usize, h: usize, nproc: i64) -> RunConfig {
 
 fn verify(r: &RunResult) -> Result<(), String> {
     let cfg = r.i64s("cfg");
-    let rbuf =
-        super::rotate::oracle(&r.f64s("src"), cfg[0], cfg[1], ANGLE.cos(), ANGLE.sin());
+    let rbuf = super::rotate::oracle(&r.f64s("src"), cfg[0], cfg[1], ANGLE.cos(), ANGLE.sin());
     let qbuf = r.f64s("qbuf");
     for (i, &rb) in rbuf.iter().enumerate() {
         let expected = (rb * 0.7 + 0.2) * 16.0 + 1.0;
@@ -180,8 +179,8 @@ pub static BENCH: Benchmark = Benchmark {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use discovery::{find_patterns, FinderConfig, PatternKind};
     use crate::suite::Version;
+    use discovery::{find_patterns, FinderConfig, PatternKind};
 
     #[test]
     fn versions_agree() {
@@ -195,9 +194,17 @@ mod tests {
         for v in Version::BOTH {
             let r = BENCH.run_analysis(v);
             let res = find_patterns(&r.ddg.unwrap(), &FinderConfig::default());
-            let it1: Vec<_> =
-                res.found.iter().filter(|f| f.iteration == 1).map(|f| f.pattern.kind).collect();
-            assert!(it1.contains(&PatternKind::ConditionalMap), "{}: {it1:?}", v.name());
+            let it1: Vec<_> = res
+                .found
+                .iter()
+                .filter(|f| f.iteration == 1)
+                .map(|f| f.pattern.kind)
+                .collect();
+            assert!(
+                it1.contains(&PatternKind::ConditionalMap),
+                "{}: {it1:?}",
+                v.name()
+            );
             assert!(it1.contains(&PatternKind::Map), "{}: {it1:?}", v.name());
             let fms: Vec<_> = res
                 .found
@@ -221,7 +228,11 @@ mod tests {
             // Merging keeps the fused map and subsumes the pass maps.
             let reported: Vec<_> = res.reported().map(|f| f.pattern.kind).collect();
             assert!(reported.contains(&PatternKind::FusedMap));
-            assert!(!reported.contains(&PatternKind::Map), "{}: {reported:?}", v.name());
+            assert!(
+                !reported.contains(&PatternKind::Map),
+                "{}: {reported:?}",
+                v.name()
+            );
         }
     }
 }

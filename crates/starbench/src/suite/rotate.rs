@@ -124,11 +124,7 @@ fn verify(r: &RunResult) -> Result<(), String> {
     let cfg = r.i64s("cfg");
     let expected = oracle(&src, cfg[0], cfg[1], ANGLE.cos(), ANGLE.sin());
     let dst = r.f64s("dst");
-    if dst
-        .iter()
-        .zip(&expected)
-        .any(|(a, b)| (a - b).abs() > 1e-9)
-    {
+    if dst.iter().zip(&expected).any(|(a, b)| (a - b).abs() > 1e-9) {
         return Err("rotated image mismatch".into());
     }
     // The conditional map needs both productive and dropped pixels.
@@ -156,8 +152,8 @@ pub static BENCH: Benchmark = Benchmark {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use discovery::{find_patterns, FinderConfig, PatternKind};
     use crate::suite::Version;
+    use discovery::{find_patterns, FinderConfig, PatternKind};
 
     #[test]
     fn versions_agree() {
@@ -178,7 +174,11 @@ mod tests {
             // fused map.
             let kinds: Vec<_> = eval.extras.iter().map(|f| f.pattern.kind).collect();
             assert!(kinds.contains(&PatternKind::Map), "{}: {kinds:?}", v.name());
-            assert!(kinds.contains(&PatternKind::FusedMap), "{}: {kinds:?}", v.name());
+            assert!(
+                kinds.contains(&PatternKind::FusedMap),
+                "{}: {kinds:?}",
+                v.name()
+            );
         }
     }
 }

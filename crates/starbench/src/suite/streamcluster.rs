@@ -285,8 +285,9 @@ pub(crate) fn oracle(pts: &[f64]) -> Oracle {
         let t1 = pts[i * 2 + 1] - pts[j * 2 + 1];
         (t0 * t0 + t1 * t1).sqrt()
     };
-    let wtab: Vec<f64> =
-        (0..n).map(|i| (pts[i * 2] + pts[i * 2 + 1]) * 0.25 + 1.0).collect();
+    let wtab: Vec<f64> = (0..n)
+        .map(|i| (pts[i * 2] + pts[i * 2 + 1]) * 0.25 + 1.0)
+        .collect();
     let mut cand = vec![0.0; n];
     let mut opn = vec![0.0; n];
     let mut reas = vec![0.0; n];
@@ -318,14 +319,28 @@ pub(crate) fn oracle(pts: &[f64]) -> Oracle {
         ssnorm += wtab[i] * wtab[i];
         hiz += dist(i, 0) * wtab[i];
     }
-    Oracle { wtab, cand, opn, reas, fmout, neg, gtotal, ssnorm, hiz }
+    Oracle {
+        wtab,
+        cand,
+        opn,
+        reas,
+        fmout,
+        neg,
+        gtotal,
+        ssnorm,
+        hiz,
+    }
 }
 
 fn verify(r: &RunResult) -> Result<(), String> {
     let o = oracle(&r.f64s("pts"));
     let close = |a: f64, b: f64| (a - b).abs() < 1e-9;
     if !close(r.f64s("result")[0], o.hiz) {
-        return Err(format!("hiz: got {}, expected {}", r.f64s("result")[0], o.hiz));
+        return Err(format!(
+            "hiz: got {}, expected {}",
+            r.f64s("result")[0],
+            o.hiz
+        ));
     }
     if !close(r.f64s("gstat")[0], o.gtotal) {
         return Err("gain total mismatch".into());
@@ -336,9 +351,12 @@ fn verify(r: &RunResult) -> Result<(), String> {
     if !close(r.f64s("ssstat")[0], o.ssnorm) {
         return Err("weight-norm mismatch".into());
     }
-    for (name, expected) in
-        [("cand", &o.cand), ("opn", &o.opn), ("reas", &o.reas), ("fmout", &o.fmout)]
-    {
+    for (name, expected) in [
+        ("cand", &o.cand),
+        ("opn", &o.opn),
+        ("reas", &o.reas),
+        ("fmout", &o.fmout),
+    ] {
         let got = r.f64s(name);
         if got.iter().zip(expected).any(|(a, b)| !close(*a, *b)) {
             return Err(format!("{name} mismatch"));
@@ -367,8 +385,8 @@ pub static BENCH: Benchmark = Benchmark {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use discovery::{find_patterns, FinderConfig, PatternKind};
     use crate::suite::Version;
+    use discovery::{find_patterns, FinderConfig, PatternKind};
 
     #[test]
     fn versions_agree() {
@@ -384,13 +402,26 @@ mod tests {
             let r = BENCH.run_analysis(v);
             let res = find_patterns(&r.ddg.unwrap(), &FinderConfig::default());
             let by_iter = |it: usize| -> Vec<PatternKind> {
-                res.found.iter().filter(|f| f.iteration == it).map(|f| f.pattern.kind).collect()
+                res.found
+                    .iter()
+                    .filter(|f| f.iteration == it)
+                    .map(|f| f.pattern.kind)
+                    .collect()
             };
             let it1 = by_iter(1);
             let maps1 = it1.iter().filter(|k| **k == PatternKind::Map).count();
-            let cms1 = it1.iter().filter(|k| **k == PatternKind::ConditionalMap).count();
-            let tiled1 = it1.iter().filter(|k| **k == PatternKind::TiledReduction).count();
-            let linear1 = it1.iter().filter(|k| **k == PatternKind::LinearReduction).count();
+            let cms1 = it1
+                .iter()
+                .filter(|k| **k == PatternKind::ConditionalMap)
+                .count();
+            let tiled1 = it1
+                .iter()
+                .filter(|k| **k == PatternKind::TiledReduction)
+                .count();
+            let linear1 = it1
+                .iter()
+                .filter(|k| **k == PatternKind::LinearReduction)
+                .count();
             // m (weights) + false m (fmout) at it.1; cm x3; r (hiz) + r
             // (gain). In the Pthreads version the pid-0 merge loops also
             // match linear reductions — the paper's Table 1 `f` — before

@@ -17,10 +17,18 @@ pub struct Pos {
 }
 
 impl Pos {
-    pub const NONE: Pos = Pos { file: 0, line: 0, col: 0 };
+    pub const NONE: Pos = Pos {
+        file: 0,
+        line: 0,
+        col: 0,
+    };
 
     pub fn from_loc(loc: repro_ir::Loc) -> Pos {
-        Pos { file: loc.file, line: loc.line, col: loc.col }
+        Pos {
+            file: loc.file,
+            line: loc.line,
+            col: loc.col,
+        }
     }
 }
 
@@ -66,7 +74,13 @@ pub enum Inst {
     LoopEnter { id: LoopId },
     /// Counted-loop head: test `var` against the bound slot; on success
     /// advance the iteration counter, otherwise jump to `exit`.
-    ForTest { var: VarId, bound: VarId, step: i64, exit: usize, id: LoopId },
+    ForTest {
+        var: VarId,
+        bound: VarId,
+        step: i64,
+        exit: usize,
+        id: LoopId,
+    },
     /// Counted-loop latch: `var += step`, untainted.
     ForStep { var: VarId, step: i64 },
     /// General-loop head: advance the iteration counter (the condition is
@@ -76,7 +90,11 @@ pub enum Inst {
     LoopExit { id: LoopId },
     /// Pop `nargs` arguments and start `func` on a fresh thread; store the
     /// thread handle into `handle`.
-    Spawn { func: FnId, nargs: usize, handle: VarId },
+    Spawn {
+        func: FnId,
+        nargs: usize,
+        handle: VarId,
+    },
     /// Pop a thread handle; block until that thread finishes.
     Join,
     /// Block on barrier object `bar` until all participants arrive.

@@ -19,7 +19,12 @@ pub fn compile_program(p: &Program) -> CompiledProgram {
 }
 
 fn compile_function(p: &Program, f: &Function) -> CompiledFn {
-    let mut cx = FnCx { p, code: Vec::new(), extra_slots: 0, base_slots: f.slot_count() };
+    let mut cx = FnCx {
+        p,
+        code: Vec::new(),
+        extra_slots: 0,
+        base_slots: f.slot_count(),
+    };
     cx.block(&f.body);
     // Implicit return for void fall-through.
     cx.code.push(Inst::Ret { has_value: false });
@@ -57,12 +62,19 @@ impl FnCx<'_> {
                 self.expr(value);
                 self.code.push(Inst::StoreVar(*var));
             }
-            Stmt::Store { arr, idx, value, .. } => {
+            Stmt::Store {
+                arr, idx, value, ..
+            } => {
                 self.expr(idx);
                 self.expr(value);
                 self.code.push(Inst::StoreArr(*arr));
             }
-            Stmt::If { cond, then_body, else_body, .. } => {
+            Stmt::If {
+                cond,
+                then_body,
+                else_body,
+                ..
+            } => {
                 self.expr(cond);
                 let jf = self.code.len();
                 self.code.push(Inst::JumpIfFalse(usize::MAX));
@@ -80,7 +92,15 @@ impl FnCx<'_> {
                     self.code[jend] = Inst::Jump(end);
                 }
             }
-            Stmt::For { id, var, from, to, step, body, .. } => {
+            Stmt::For {
+                id,
+                var,
+                from,
+                to,
+                step,
+                body,
+                ..
+            } => {
                 let bound = self.hidden_slot();
                 self.expr(from);
                 self.code.push(Inst::ForInit { var: *var });
@@ -96,7 +116,10 @@ impl FnCx<'_> {
                     id: *id,
                 });
                 self.block(body);
-                self.code.push(Inst::ForStep { var: *var, step: *step });
+                self.code.push(Inst::ForStep {
+                    var: *var,
+                    step: *step,
+                });
                 self.code.push(Inst::Jump(head));
                 let exit = self.code.len();
                 if let Inst::ForTest { exit: e, .. } = &mut self.code[head] {
@@ -123,20 +146,24 @@ impl FnCx<'_> {
                     self.code.push(Inst::Pop);
                 }
             }
-            Stmt::Return { value, .. } => {
-                match value {
-                    Some(e) => {
-                        self.expr(e);
-                        self.code.push(Inst::Ret { has_value: true });
-                    }
-                    None => self.code.push(Inst::Ret { has_value: false }),
+            Stmt::Return { value, .. } => match value {
+                Some(e) => {
+                    self.expr(e);
+                    self.code.push(Inst::Ret { has_value: true });
                 }
-            }
-            Stmt::Spawn { func, args, handle, .. } => {
+                None => self.code.push(Inst::Ret { has_value: false }),
+            },
+            Stmt::Spawn {
+                func, args, handle, ..
+            } => {
                 for a in args {
                     self.expr(a);
                 }
-                self.code.push(Inst::Spawn { func: *func, nargs: args.len(), handle: *handle });
+                self.code.push(Inst::Spawn {
+                    func: *func,
+                    nargs: args.len(),
+                    handle: *handle,
+                });
             }
             Stmt::Join { handle, .. } => {
                 self.expr(handle);
@@ -163,18 +190,30 @@ impl FnCx<'_> {
             }
             Expr::Un { op, a, id, loc } => {
                 self.expr(a);
-                self.code.push(Inst::Un { op: *op, id: *id, pos: Pos::from_loc(*loc) });
+                self.code.push(Inst::Un {
+                    op: *op,
+                    id: *id,
+                    pos: Pos::from_loc(*loc),
+                });
             }
             Expr::Bin { op, a, b, id, loc } => {
                 self.expr(a);
                 self.expr(b);
-                self.code.push(Inst::Bin { op: *op, id: *id, pos: Pos::from_loc(*loc) });
+                self.code.push(Inst::Bin {
+                    op: *op,
+                    id: *id,
+                    pos: Pos::from_loc(*loc),
+                });
             }
             Expr::Intr { op, args, id, loc } => {
                 for a in args {
                     self.expr(a);
                 }
-                self.code.push(Inst::Intr { op: *op, id: *id, pos: Pos::from_loc(*loc) });
+                self.code.push(Inst::Intr {
+                    op: *op,
+                    id: *id,
+                    pos: Pos::from_loc(*loc),
+                });
             }
             Expr::Call { f, args, .. } => {
                 for a in args {
@@ -242,7 +281,13 @@ mod tests {
         let code = &cpp.function(main).code;
         let jf = code
             .iter()
-            .find_map(|i| if let Inst::JumpIfFalse(t) = i { Some(*t) } else { None })
+            .find_map(|i| {
+                if let Inst::JumpIfFalse(t) = i {
+                    Some(*t)
+                } else {
+                    None
+                }
+            })
             .unwrap();
         assert!(jf < code.len());
         // The instruction at the else target must store 2.
@@ -256,6 +301,9 @@ mod tests {
         let main = f.finish();
         let p = pb.finish(main);
         let c = compile_program(&p);
-        assert_eq!(c.function(main).code.last(), Some(&Inst::Ret { has_value: false }));
+        assert_eq!(
+            c.function(main).code.last(),
+            Some(&Inst::Ret { has_value: false })
+        );
     }
 }

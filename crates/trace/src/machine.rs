@@ -116,7 +116,10 @@ impl<'a> Machine<'a> {
             mutexes: vec![None; program.n_mutexes],
             barriers: barrier_participants
                 .iter()
-                .map(|&p| BarrierState { participants: p, waiting: 0 })
+                .map(|&p| BarrierState {
+                    participants: p,
+                    waiting: 0,
+                })
                 .collect(),
             tracing,
             ddg: DdgBuilder::new(),
@@ -149,14 +152,25 @@ impl<'a> Machine<'a> {
             // Zero-initialized locals behave like constants (C statics).
             slots.push((Value::zero(ty), Taint::Const));
         }
-        Frame { func, pc: 0, slots, stack: Vec::new() }
+        Frame {
+            func,
+            pc: 0,
+            slots,
+            stack: Vec::new(),
+        }
     }
 
     /// Starts the entry function on thread 0.
     pub(crate) fn boot(&mut self, args: Vec<Value>) {
-        let frame =
-            self.new_frame(self.code.entry, args.into_iter().map(|v| (v, Taint::Input)).collect());
-        self.threads.push(Thread { frames: vec![frame], scope: Vec::new(), status: Status::Runnable });
+        let frame = self.new_frame(
+            self.code.entry,
+            args.into_iter().map(|v| (v, Taint::Input)).collect(),
+        );
+        self.threads.push(Thread {
+            frames: vec![frame],
+            scope: Vec::new(),
+            status: Status::Runnable,
+        });
     }
 
     /// Runs until the entry thread finishes. Returns the step count.
@@ -216,13 +230,19 @@ impl<'a> Machine<'a> {
     }
 
     fn err(&self, t: usize, message: impl Into<String>) -> MachineError {
-        MachineError { thread: t, message: message.into() }
+        MachineError {
+            thread: t,
+            message: message.into(),
+        }
     }
 
     /// Executes one instruction of thread `t`.
     fn step(&mut self, t: usize) -> Result<(), MachineError> {
         let (func, pc) = {
-            let f = self.threads[t].frames.last().ok_or_else(|| self.err(t, "no frame"))?;
+            let f = self.threads[t]
+                .frames
+                .last()
+                .ok_or_else(|| self.err(t, "no frame"))?;
             (f.func, f.pc)
         };
         // Cloning one instruction keeps the borrow checker out of the way;
@@ -355,9 +375,21 @@ impl<'a> Machine<'a> {
                     iter: u32::MAX,
                 });
             }
-            Inst::ForTest { var, bound, step, exit, id } => {
-                let v = self.frame(t).slots[var.index()].0.as_i64("loop var").map_err(|m| self.err(t, m))?;
-                let b = self.frame(t).slots[bound.index()].0.as_i64("loop bound").map_err(|m| self.err(t, m))?;
+            Inst::ForTest {
+                var,
+                bound,
+                step,
+                exit,
+                id,
+            } => {
+                let v = self.frame(t).slots[var.index()]
+                    .0
+                    .as_i64("loop var")
+                    .map_err(|m| self.err(t, m))?;
+                let b = self.frame(t).slots[bound.index()]
+                    .0
+                    .as_i64("loop bound")
+                    .map_err(|m| self.err(t, m))?;
                 let cont = if step > 0 { v < b } else { v > b };
                 if cont {
                     let e = self.threads[t]
@@ -379,7 +411,10 @@ impl<'a> Machine<'a> {
                 }
             }
             Inst::WhileIter { id } => {
-                let e = self.threads[t].scope.last_mut().expect("WhileIter outside scope");
+                let e = self.threads[t]
+                    .scope
+                    .last_mut()
+                    .expect("WhileIter outside scope");
                 debug_assert_eq!(e.loop_id, id.0);
                 e.iter = e.iter.wrapping_add(1);
             }
@@ -387,7 +422,11 @@ impl<'a> Machine<'a> {
                 let e = self.threads[t].scope.pop().expect("LoopExit without scope");
                 debug_assert_eq!(e.loop_id, id.0);
             }
-            Inst::Spawn { func, nargs, handle } => {
+            Inst::Spawn {
+                func,
+                nargs,
+                handle,
+            } => {
                 let mut args = Vec::with_capacity(nargs);
                 for _ in 0..nargs {
                     args.push(self.pop(t)?);
@@ -480,7 +519,9 @@ impl<'a> Machine<'a> {
         operands: &[Taint],
     ) -> NodeId {
         let scope = self.threads[t].scope.clone();
-        let node = self.ddg.add_node(label, static_op, pos.file, pos.line, pos.col, t as u16, scope);
+        let node = self.ddg.add_node(
+            label, static_op, pos.file, pos.line, pos.col, t as u16, scope,
+        );
         for &op in operands {
             match op {
                 Taint::Node(def) => self.ddg.add_arc(def, node),
@@ -549,10 +590,10 @@ impl<'a> Machine<'a> {
 
     #[inline]
     fn pop(&mut self, t: usize) -> Result<Slot, MachineError> {
-        self.frame_mut(t)
-            .stack
-            .pop()
-            .ok_or_else(|| MachineError { thread: t, message: "operand stack underflow".into() })
+        self.frame_mut(t).stack.pop().ok_or_else(|| MachineError {
+            thread: t,
+            message: "operand stack underflow".into(),
+        })
     }
 
     fn check_index(&self, t: usize, arr: usize, idx: Value) -> Result<usize, MachineError> {

@@ -51,7 +51,10 @@ impl Default for RunConfig {
 impl RunConfig {
     /// A traced run with entry arguments only.
     pub fn traced(entry_args: Vec<Value>) -> Self {
-        RunConfig { entry_args, ..Default::default() }
+        RunConfig {
+            entry_args,
+            ..Default::default()
+        }
     }
 
     /// Sets a global array's length.
@@ -179,8 +182,17 @@ pub fn run(program: &Program, config: &RunConfig) -> Result<RunResult, MachineEr
         .collect();
     let steps = m.steps;
     let return_value = m.entry_return;
-    let ddg = if tracing { Some(std::mem::take(&mut m.ddg).finish()) } else { None };
-    Ok(RunResult { ddg, arrays, return_value, steps })
+    let ddg = if tracing {
+        Some(std::mem::take(&mut m.ddg).finish())
+    } else {
+        None
+    };
+    Ok(RunResult {
+        ddg,
+        arrays,
+        return_value,
+        steps,
+    })
 }
 
 #[cfg(test)]
@@ -215,7 +227,10 @@ mod tests {
         assert_eq!(g.len(), 4);
         assert_eq!(g.arc_count(), 0);
         // All four nodes share the static op but differ in iteration.
-        let iters: Vec<u32> = g.node_ids().map(|n| g.innermost_scope(n).unwrap().iter).collect();
+        let iters: Vec<u32> = g
+            .node_ids()
+            .map(|n| g.innermost_scope(n).unwrap().iter)
+            .collect();
         assert_eq!(iters, vec![0, 1, 2, 3]);
     }
 
@@ -334,7 +349,10 @@ mod tests {
             vec![FnBuilder::stmt_assign(acc, sum)]
         });
         w.store(partial, Expr::Var(tid), Expr::Var(acc));
-        w.push(Stmt::Barrier { bar, loc: repro_ir::Loc::NONE });
+        w.push(Stmt::Barrier {
+            bar,
+            loc: repro_ir::Loc::NONE,
+        });
         // Final reduction on thread with tid == 0 only.
         let is0 = w.bin(BinOp::Eq, Expr::Var(tid), Expr::Int(0));
         let total = w.local("total", Type::F64);
@@ -364,7 +382,9 @@ mod tests {
     }
 
     fn pb_handles(main: &mut FnBuilder<'_>, nproc: i64) -> Vec<repro_ir::VarId> {
-        (0..nproc).map(|t| main.local(format!("h{t}"), Type::I64)).collect()
+        (0..nproc)
+            .map(|t| main.local(format!("h{t}"), Type::I64))
+            .collect()
     }
 
     fn pb_fresh_loop(w: &mut FnBuilder<'_>) -> repro_ir::LoopId {
@@ -407,13 +427,22 @@ mod tests {
         let out = pb.global("out", Type::I64, 1);
         let m = pb.mutex();
         let mut f = pb.function("main", vec![], None);
-        f.push(Stmt::Lock { mutex: m, loc: repro_ir::Loc::NONE });
+        f.push(Stmt::Lock {
+            mutex: m,
+            loc: repro_ir::Loc::NONE,
+        });
         let ld = f.load(out, Expr::Int(0));
         let inc = f.bin(BinOp::Add, ld, Expr::Int(1));
         f.store(out, Expr::Int(0), inc);
-        f.push(Stmt::Unlock { mutex: m, loc: repro_ir::Loc::NONE });
+        f.push(Stmt::Unlock {
+            mutex: m,
+            loc: repro_ir::Loc::NONE,
+        });
         // Unlock again: runtime error.
-        f.push(Stmt::Unlock { mutex: m, loc: repro_ir::Loc::NONE });
+        f.push(Stmt::Unlock {
+            mutex: m,
+            loc: repro_ir::Loc::NONE,
+        });
         let main = f.finish();
         let p = pb.finish(main);
         let err = run(&p, &RunConfig::default()).unwrap_err();
@@ -426,7 +455,10 @@ mod tests {
         let mut pb = ProgramBuilder::new("dead");
         let bar = pb.barrier();
         let mut f = pb.function("main", vec![], None);
-        f.push(Stmt::Barrier { bar, loc: repro_ir::Loc::NONE });
+        f.push(Stmt::Barrier {
+            bar,
+            loc: repro_ir::Loc::NONE,
+        });
         let main = f.finish();
         let p = pb.finish(main);
         let cfg = RunConfig::default().with_barrier_participants(2);
@@ -546,7 +578,11 @@ mod tests {
             .collect();
         assert_eq!(fadds.len(), 4);
         for n in fadds {
-            assert_eq!(g.node(n).scope.len(), 2, "fadd executes under two nested loops");
+            assert_eq!(
+                g.node(n).scope.len(),
+                2,
+                "fadd executes under two nested loops"
+            );
         }
     }
 }

@@ -48,7 +48,9 @@ impl ShadowMemory {
     /// starts as [`Taint::Input`]: until the program overwrites a cell, its
     /// contents are whatever the host loaded (the program input).
     pub fn new(array_lens: &[usize]) -> Self {
-        ShadowMemory { cells: array_lens.iter().map(|&n| vec![Taint::Input; n]).collect() }
+        ShadowMemory {
+            cells: array_lens.iter().map(|&n| vec![Taint::Input; n]).collect(),
+        }
     }
 
     /// The provenance of `arr[idx]`.

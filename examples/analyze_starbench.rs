@@ -9,7 +9,9 @@
 use starbench::Version;
 
 fn main() {
-    let name = std::env::args().nth(1).unwrap_or_else(|| "streamcluster".into());
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "streamcluster".into());
     let version = match std::env::args().nth(2).as_deref() {
         Some("seq") => Version::Seq,
         _ => Version::Pthreads,

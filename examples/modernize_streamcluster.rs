@@ -17,8 +17,7 @@ fn main() {
     let bench = starbench::benchmark("streamcluster").unwrap();
     let program = bench.program(Version::Pthreads);
     let run = bench.run_analysis(Version::Pthreads);
-    let result =
-        discovery::find_patterns(&run.ddg.unwrap(), &discovery::FinderConfig::default());
+    let result = discovery::find_patterns(&run.ddg.unwrap(), &discovery::FinderConfig::default());
 
     let mr = result
         .reported()
@@ -34,7 +33,12 @@ fn main() {
     );
     for &(file, line) in &mr.pattern.lines {
         if let Some(text) = program.source_line(repro_ir::Loc::in_file(file, line, 1)) {
-            println!("    {}:{}: {}", program.files[file as usize], line, text.trim());
+            println!(
+                "    {}:{}: {}",
+                program.files[file as usize],
+                line,
+                text.trim()
+            );
         }
     }
 

@@ -11,13 +11,15 @@ use cp::{AllDifferent, NotEqual, Outcome, Propagator, VarId};
 use std::time::Duration;
 
 fn main() {
-    let n: u32 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(8);
+    let n: u32 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(8);
 
     // n-queens.
     let mut search = search_with(|store| {
         let qs: Vec<VarId> = (0..n).map(|_| store.new_var(0, n - 1)).collect();
-        let mut props: Vec<Box<dyn Propagator>> =
-            vec![Box::new(AllDifferent::new(qs.clone()))];
+        let mut props: Vec<Box<dyn Propagator>> = vec![Box::new(AllDifferent::new(qs.clone()))];
         for i in 0..n as usize {
             for j in (i + 1)..n as usize {
                 let d = (j - i) as i64;
@@ -64,7 +66,11 @@ fn main() {
     });
     match coloring.solve_first() {
         Outcome::Solution { values, .. } => {
-            println!("\nwheel W{spokes} 3-coloring: hub={} rim={:?}", values[0], &values[1..]);
+            println!(
+                "\nwheel W{spokes} 3-coloring: hub={} rim={:?}",
+                values[0],
+                &values[1..]
+            );
         }
         other => println!("\nwheel coloring: {other:?}"),
     }

@@ -1,1 +1,8 @@
-pub use discovery; pub use ddg; pub use minc; pub use repro_ir; pub use trace; pub use cp; pub use skeletons; pub use starbench;
+pub use cp;
+pub use ddg;
+pub use discovery;
+pub use minc;
+pub use repro_ir;
+pub use skeletons;
+pub use starbench;
+pub use trace;

@@ -138,9 +138,16 @@ void main() {
     let cfg = RunConfig::default().with_f64("data", &[1.0; 8]);
     let (_, result) = analyze(src, cfg);
     assert!(
-        result.found.iter().any(|f| f.pattern.kind == PatternKind::TiledReduction),
+        result
+            .found
+            .iter()
+            .any(|f| f.pattern.kind == PatternKind::TiledReduction),
         "{:?}",
-        result.found.iter().map(|f| f.pattern.describe()).collect::<Vec<_>>()
+        result
+            .found
+            .iter()
+            .map(|f| f.pattern.describe())
+            .collect::<Vec<_>>()
     );
 }
 
@@ -148,8 +155,10 @@ void main() {
 #[test]
 fn reports_reference_source_lines() {
     let src = "float a[4];\nfloat b[4];\nvoid main() {\n  int i;\n  for (i = 0; i < 4; i++) {\n    b[i] = a[i] * 3.0;\n  }\n  output(b);\n}\n";
-    let (program, result) =
-        analyze(src, RunConfig::default().with_f64("a", &[1.0, 2.0, 3.0, 4.0]));
+    let (program, result) = analyze(
+        src,
+        RunConfig::default().with_f64("a", &[1.0, 2.0, 3.0, 4.0]),
+    );
     let text = discovery::report::render_text(&result, &program);
     assert!(text.contains("b[i] = a[i] * 3.0;"), "{text}");
     let html = discovery::report::render_html(&result, &program);
@@ -167,7 +176,13 @@ fn interpreted_and_native_hiz_agree() {
     // Native equivalent of the same computation.
     let pts_flat = run_res.f64s("pts");
     let wtab = run_res.f64s("wtab");
-    let pts = starbench::native::Points { dim: 2, coords: pts_flat };
+    let pts = starbench::native::Points {
+        dim: 2,
+        coords: pts_flat,
+    };
     let native = starbench::native::hiz_sequential(&pts, &wtab);
-    assert!((interpreted - native).abs() < 1e-9, "{interpreted} vs {native}");
+    assert!(
+        (interpreted - native).abs() < 1e-9,
+        "{interpreted} vs {native}"
+    );
 }

@@ -1,0 +1,211 @@
+//! Minimal `criterion` replacement for offline builds.
+//!
+//! Implements the macro and builder surface the workspace's benches use
+//! with plain wall-clock timing: per benchmark, a short warm-up, then
+//! `sample_size` timed samples whose mean/min are printed to stdout. No
+//! statistical analysis, plots, or baselines.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+#[derive(Clone, Debug)]
+pub struct Criterion {
+    warm_up: Duration,
+    measurement: Duration,
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            warm_up: Duration::from_millis(300),
+            measurement: Duration::from_secs(1),
+            sample_size: 10,
+        }
+    }
+}
+
+impl Criterion {
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up = d;
+        self
+    }
+
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement = d;
+        self
+    }
+
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(self, &id.into(), |b| f(b));
+        self
+    }
+}
+
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id);
+        run_one(self.criterion, &full, |b| f(b));
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.0);
+        run_one(self.criterion, &full, |b| f(b, input));
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    pub fn from_parameter(p: impl Display) -> Self {
+        BenchmarkId(p.to_string())
+    }
+
+    pub fn new(name: impl Display, p: impl Display) -> Self {
+        BenchmarkId(format!("{name}/{p}"))
+    }
+}
+
+/// Timing handle passed to benchmark closures.
+pub struct Bencher {
+    mode: Mode,
+    /// Accumulated measured time across `iter` calls in Measure mode.
+    elapsed: Duration,
+    iters: u64,
+}
+
+enum Mode {
+    WarmUp { deadline: Instant },
+    Measure,
+}
+
+impl Bencher {
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        match self.mode {
+            Mode::WarmUp { deadline } => {
+                while Instant::now() < deadline {
+                    black_box(f());
+                }
+            }
+            Mode::Measure => {
+                let start = Instant::now();
+                black_box(f());
+                self.elapsed += start.elapsed();
+                self.iters += 1;
+            }
+        }
+    }
+}
+
+fn run_one<F>(c: &Criterion, id: &str, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    // Warm-up: run the body until the warm-up deadline expires.
+    let mut b = Bencher {
+        mode: Mode::WarmUp {
+            deadline: Instant::now() + c.warm_up,
+        },
+        elapsed: Duration::ZERO,
+        iters: 0,
+    };
+    f(&mut b);
+
+    // Measure: sample_size passes over the closure (each `iter` call
+    // inside the closure counts once), bounded by measurement_time.
+    let mut b = Bencher {
+        mode: Mode::Measure,
+        elapsed: Duration::ZERO,
+        iters: 0,
+    };
+    let deadline = Instant::now() + c.measurement;
+    let mut best = Duration::MAX;
+    for _ in 0..c.sample_size {
+        let before = b.elapsed;
+        let before_iters = b.iters;
+        f(&mut b);
+        let sample_iters = (b.iters - before_iters).max(1);
+        let sample = (b.elapsed - before) / sample_iters as u32;
+        best = best.min(sample);
+        if Instant::now() > deadline {
+            break;
+        }
+    }
+    let mean = if b.iters > 0 {
+        b.elapsed / b.iters as u32
+    } else {
+        Duration::ZERO
+    };
+    println!(
+        "bench {id:<50} mean {mean:>12.3?}  min {best:>12.3?}  ({} iters)",
+        b.iters
+    );
+}
+
+/// `criterion_group!` — both the struct-config form and the plain list
+/// form expand to a function that runs every target.
+#[macro_export]
+macro_rules! criterion_group {
+    (
+        name = $name:ident;
+        config = $config:expr;
+        targets = $($target:path),+ $(,)?
+    ) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,94 @@
+//! Minimal `crossbeam` replacement for offline builds.
+//!
+//! Implements the scoped-thread surface used by the workspace
+//! (`crossbeam::scope`, `Scope::spawn` with the scope passed back into
+//! the closure) on top of `std::thread::scope`. Spawned-thread panics
+//! surface as `Err` from `scope`, matching crossbeam's contract that the
+//! callers rely on via `.expect(...)`.
+
+use std::any::Any;
+
+/// A scope handle; closures receive `&Scope` so they can spawn nested
+/// scoped threads, mirroring crossbeam's API.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+pub struct ScopedJoinHandle<'scope, T> {
+    inner: std::thread::ScopedJoinHandle<'scope, T>,
+}
+
+impl<'scope, T> ScopedJoinHandle<'scope, T> {
+    pub fn join(self) -> Result<T, Box<dyn Any + Send + 'static>> {
+        self.inner.join()
+    }
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let inner = self.inner;
+        ScopedJoinHandle {
+            inner: inner.spawn(move || f(&Scope { inner })),
+        }
+    }
+}
+
+/// Runs `f` with a scope in which borrowed-data threads can be spawned;
+/// all threads are joined before `scope` returns. A panic in any spawned
+/// thread is reported as `Err` with the panic payload.
+pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    // std::thread::scope re-raises child panics after joining; catch them
+    // so the caller sees crossbeam's Err-on-child-panic behavior.
+    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        std::thread::scope(|s| f(&Scope { inner: s }))
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn spawns_and_joins() {
+        let mut data = vec![0u64; 8];
+        let chunks: Vec<&mut [u64]> = data.chunks_mut(2).collect();
+        super::scope(|s| {
+            for (i, c) in chunks.into_iter().enumerate() {
+                s.spawn(move |_| {
+                    for v in c.iter_mut() {
+                        *v = i as u64;
+                    }
+                });
+            }
+        })
+        .expect("no panics");
+        assert_eq!(data, vec![0, 0, 1, 1, 2, 2, 3, 3]);
+    }
+
+    #[test]
+    fn child_panic_is_err() {
+        let r = super::scope(|s| {
+            s.spawn(|_| panic!("boom"));
+        });
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn nested_spawn_via_scope_arg() {
+        let out = std::sync::Mutex::new(Vec::new());
+        super::scope(|s| {
+            s.spawn(|inner| {
+                inner.spawn(|_| {
+                    out.lock().unwrap().push(1);
+                });
+            });
+        })
+        .expect("no panics");
+        assert_eq!(*out.lock().unwrap(), vec![1]);
+    }
+}

@@ -1,0 +1,468 @@
+//! Minimal serde replacement for offline builds.
+//!
+//! The real `serde` crate is unfetchable in this environment (no registry
+//! access), so this shim provides just enough surface for the workspace:
+//! `Serialize`/`Deserialize` traits with derive macros, wired to a JSON
+//! data model consumed by the sibling `serde_json` shim. The traits are
+//! JSON-specific rather than format-generic; that is sufficient because
+//! the workspace only ever serializes to JSON.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A type that can write itself as JSON.
+pub trait Serialize {
+    fn serialize_json(&self, out: &mut String);
+}
+
+/// A type that can parse itself from JSON produced by [`Serialize`].
+pub trait Deserialize: Sized {
+    fn deserialize_json(p: &mut de::Parser) -> Result<Self, de::Error>;
+}
+
+/// Writes a JSON string literal with escapes.
+pub fn ser_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Writes `"key":` (an object key plus separator).
+pub fn ser_key(out: &mut String, key: &str) {
+    ser_str(out, key);
+    out.push(':');
+}
+
+macro_rules! ser_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_json(&self, out: &mut String) {
+                out.push_str(&self.to_string());
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize_json(p: &mut de::Parser) -> Result<Self, de::Error> {
+                let tok = p.parse_number_token()?;
+                tok.parse::<$t>().map_err(|e| de::Error::new(format!(
+                    "invalid {}: {tok:?}: {e}", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+ser_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Serialize for bool {
+    fn serialize_json(&self, out: &mut String) {
+        out.push_str(if *self { "true" } else { "false" });
+    }
+}
+
+impl Deserialize for bool {
+    fn deserialize_json(p: &mut de::Parser) -> Result<Self, de::Error> {
+        if p.consume_lit("true") {
+            Ok(true)
+        } else if p.consume_lit("false") {
+            Ok(false)
+        } else {
+            Err(de::Error::new("expected bool".to_string()))
+        }
+    }
+}
+
+macro_rules! ser_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_json(&self, out: &mut String) {
+                if self.is_finite() {
+                    // Ryu-style shortest form is not needed; Display for
+                    // floats in Rust round-trips.
+                    let s = self.to_string();
+                    out.push_str(&s);
+                    // Keep a float marker so deserialization stays typed.
+                    if !s.contains(['.', 'e', 'E']) {
+                        out.push_str(".0");
+                    }
+                } else {
+                    out.push_str("null");
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize_json(p: &mut de::Parser) -> Result<Self, de::Error> {
+                if p.consume_lit("null") {
+                    return Ok(<$t>::NAN);
+                }
+                let tok = p.parse_number_token()?;
+                tok.parse::<$t>().map_err(|e| de::Error::new(format!(
+                    "invalid {}: {tok:?}: {e}", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+ser_float!(f32, f64);
+
+impl Serialize for String {
+    fn serialize_json(&self, out: &mut String) {
+        ser_str(out, self);
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize_json(p: &mut de::Parser) -> Result<Self, de::Error> {
+        p.parse_string()
+    }
+}
+
+impl Serialize for str {
+    fn serialize_json(&self, out: &mut String) {
+        ser_str(out, self);
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize_json(&self, out: &mut String) {
+        self.as_slice().serialize_json(out);
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize_json(&self, out: &mut String) {
+        out.push('[');
+        for (i, v) in self.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            v.serialize_json(out);
+        }
+        out.push(']');
+    }
+}
+
+impl<T: Serialize> Serialize for Box<[T]> {
+    fn serialize_json(&self, out: &mut String) {
+        self.as_ref().serialize_json(out);
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize_json(p: &mut de::Parser) -> Result<Self, de::Error> {
+        p.expect_char('[')?;
+        let mut out = Vec::new();
+        if p.peek_char() == Some(']') {
+            p.expect_char(']')?;
+            return Ok(out);
+        }
+        loop {
+            out.push(T::deserialize_json(p)?);
+            if p.peek_char() == Some(',') {
+                p.expect_char(',')?;
+            } else {
+                break;
+            }
+        }
+        p.expect_char(']')?;
+        Ok(out)
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<[T]> {
+    fn deserialize_json(p: &mut de::Parser) -> Result<Self, de::Error> {
+        Ok(Vec::<T>::deserialize_json(p)?.into_boxed_slice())
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn serialize_json(&self, out: &mut String) {
+        (**self).serialize_json(out);
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn deserialize_json(p: &mut de::Parser) -> Result<Self, de::Error> {
+        Ok(Box::new(T::deserialize_json(p)?))
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize_json(&self, out: &mut String) {
+        match self {
+            Some(v) => v.serialize_json(out),
+            None => out.push_str("null"),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize_json(p: &mut de::Parser) -> Result<Self, de::Error> {
+        if p.consume_lit("null") {
+            Ok(None)
+        } else {
+            Ok(Some(T::deserialize_json(p)?))
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for &T {
+    fn serialize_json(&self, out: &mut String) {
+        (**self).serialize_json(out);
+    }
+}
+
+macro_rules! ser_tuple {
+    ($(($($n:tt $t:ident),+)),*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn serialize_json(&self, out: &mut String) {
+                out.push('[');
+                let mut first = true;
+                $(
+                    if !first { out.push(','); }
+                    first = false;
+                    self.$n.serialize_json(out);
+                )+
+                let _ = first;
+                out.push(']');
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn deserialize_json(p: &mut de::Parser) -> Result<Self, de::Error> {
+                p.expect_char('[')?;
+                let mut first = true;
+                let out = ($(
+                    {
+                        if !first { p.expect_char(',')?; }
+                        first = false;
+                        let v = $t::deserialize_json(p)?;
+                        v
+                    },
+                )+);
+                let _ = first;
+                p.expect_char(']')?;
+                Ok(out)
+            }
+        }
+    )*};
+}
+
+ser_tuple!(
+    (0 A),
+    (0 A, 1 B),
+    (0 A, 1 B, 2 C),
+    (0 A, 1 B, 2 C, 3 D)
+);
+
+pub mod de {
+    //! JSON token parser used by the derive-generated `Deserialize` impls
+    //! and by the `serde_json` shim.
+
+    use std::fmt;
+
+    #[derive(Debug)]
+    pub struct Error {
+        msg: String,
+    }
+
+    impl Error {
+        pub fn new(msg: String) -> Self {
+            Error { msg }
+        }
+    }
+
+    impl fmt::Display for Error {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "JSON parse error: {}", self.msg)
+        }
+    }
+
+    impl std::error::Error for Error {}
+
+    /// A cursor over JSON text. Skips whitespace before every token, so it
+    /// accepts both compact and pretty-printed output.
+    pub struct Parser<'a> {
+        bytes: &'a [u8],
+        pos: usize,
+    }
+
+    impl<'a> Parser<'a> {
+        pub fn new(input: &'a str) -> Self {
+            Parser {
+                bytes: input.as_bytes(),
+                pos: 0,
+            }
+        }
+
+        pub fn skip_ws(&mut self) {
+            while let Some(&b) = self.bytes.get(self.pos) {
+                if b == b' ' || b == b'\n' || b == b'\t' || b == b'\r' {
+                    self.pos += 1;
+                } else {
+                    break;
+                }
+            }
+        }
+
+        /// Peeks the next non-whitespace char.
+        pub fn peek_char(&mut self) -> Option<char> {
+            self.skip_ws();
+            self.bytes.get(self.pos).map(|&b| b as char)
+        }
+
+        pub fn expect_char(&mut self, c: char) -> Result<(), Error> {
+            self.skip_ws();
+            match self.bytes.get(self.pos) {
+                Some(&b) if b as char == c => {
+                    self.pos += 1;
+                    Ok(())
+                }
+                other => Err(Error::new(format!(
+                    "expected {c:?} at byte {}, found {:?}",
+                    self.pos,
+                    other.map(|&b| b as char)
+                ))),
+            }
+        }
+
+        /// Consumes a literal keyword (`true`, `false`, `null`) if present.
+        pub fn consume_lit(&mut self, lit: &str) -> bool {
+            self.skip_ws();
+            if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+                self.pos += lit.len();
+                true
+            } else {
+                false
+            }
+        }
+
+        pub fn expect_null(&mut self) -> Result<(), Error> {
+            if self.consume_lit("null") {
+                Ok(())
+            } else {
+                Err(Error::new(format!("expected null at byte {}", self.pos)))
+            }
+        }
+
+        /// Parses a JSON string literal and returns its unescaped value.
+        pub fn parse_string(&mut self) -> Result<String, Error> {
+            self.expect_char('"')?;
+            let mut out = String::new();
+            loop {
+                let Some(&b) = self.bytes.get(self.pos) else {
+                    return Err(Error::new("unterminated string".to_string()));
+                };
+                self.pos += 1;
+                match b {
+                    b'"' => return Ok(out),
+                    b'\\' => {
+                        let Some(&e) = self.bytes.get(self.pos) else {
+                            return Err(Error::new("bad escape".to_string()));
+                        };
+                        self.pos += 1;
+                        match e {
+                            b'"' => out.push('"'),
+                            b'\\' => out.push('\\'),
+                            b'/' => out.push('/'),
+                            b'n' => out.push('\n'),
+                            b'r' => out.push('\r'),
+                            b't' => out.push('\t'),
+                            b'b' => out.push('\u{8}'),
+                            b'f' => out.push('\u{c}'),
+                            b'u' => {
+                                let hex = self
+                                    .bytes
+                                    .get(self.pos..self.pos + 4)
+                                    .ok_or_else(|| Error::new("bad \\u".to_string()))?;
+                                self.pos += 4;
+                                let code = u32::from_str_radix(
+                                    std::str::from_utf8(hex)
+                                        .map_err(|_| Error::new("bad \\u".to_string()))?,
+                                    16,
+                                )
+                                .map_err(|_| Error::new("bad \\u".to_string()))?;
+                                out.push(
+                                    char::from_u32(code)
+                                        .ok_or_else(|| Error::new("bad \\u".to_string()))?,
+                                );
+                            }
+                            other => {
+                                return Err(Error::new(format!(
+                                    "unknown escape \\{}",
+                                    other as char
+                                )))
+                            }
+                        }
+                    }
+                    _ => {
+                        // Copy a full UTF-8 sequence starting at pos-1.
+                        let start = self.pos - 1;
+                        let mut end = self.pos;
+                        while end < self.bytes.len() && (self.bytes[end] & 0xC0) == 0x80 {
+                            end += 1;
+                        }
+                        let s = std::str::from_utf8(&self.bytes[start..end])
+                            .map_err(|_| Error::new("invalid utf8".to_string()))?;
+                        out.push_str(s);
+                        self.pos = end;
+                    }
+                }
+            }
+        }
+
+        /// Parses `"key":` and returns the key.
+        pub fn parse_key(&mut self) -> Result<String, Error> {
+            let k = self.parse_string()?;
+            self.expect_char(':')?;
+            Ok(k)
+        }
+
+        /// Parses `"key":` and checks the key matches.
+        pub fn expect_key(&mut self, key: &str) -> Result<(), Error> {
+            let k = self.parse_key()?;
+            if k == key {
+                Ok(())
+            } else {
+                Err(Error::new(format!("expected key {key:?}, found {k:?}")))
+            }
+        }
+
+        /// Returns the raw text of a number token.
+        pub fn parse_number_token(&mut self) -> Result<String, Error> {
+            self.skip_ws();
+            let start = self.pos;
+            while let Some(&b) = self.bytes.get(self.pos) {
+                if b.is_ascii_digit()
+                    || b == b'-'
+                    || b == b'+'
+                    || b == b'.'
+                    || b == b'e'
+                    || b == b'E'
+                {
+                    self.pos += 1;
+                } else {
+                    break;
+                }
+            }
+            if start == self.pos {
+                return Err(Error::new(format!("expected number at byte {start}")));
+            }
+            Ok(String::from_utf8_lossy(&self.bytes[start..self.pos]).into_owned())
+        }
+
+        /// True when only whitespace remains.
+        pub fn at_end(&mut self) -> bool {
+            self.skip_ws();
+            self.pos == self.bytes.len()
+        }
+    }
+}

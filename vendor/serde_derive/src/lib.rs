@@ -1,0 +1,411 @@
+//! Derive macros for the vendored `serde` shim.
+//!
+//! The build environment has no registry access, so the workspace ships a
+//! minimal serde replacement (see `vendor/serde`). These derives cover the
+//! shapes the workspace actually uses: structs with named fields, tuple
+//! structs, and enums whose variants are unit, tuple, or struct-like.
+//! Generics and `#[serde(...)]` attributes are intentionally unsupported.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code = gen_serialize(&item);
+    code.parse().expect("generated Serialize impl parses")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code = gen_deserialize(&item);
+    code.parse().expect("generated Deserialize impl parses")
+}
+
+// ---------------------------------------------------------------- parsing
+
+enum Fields {
+    /// Named fields, in declaration order.
+    Named(Vec<String>),
+    /// Tuple fields (arity).
+    Tuple(usize),
+    /// No payload.
+    Unit,
+}
+
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+enum Item {
+    Struct {
+        name: String,
+        fields: Fields,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+/// Skips attributes (`#[...]`) and visibility (`pub`, `pub(...)`) from the
+/// front of a token slice, returning the new start index.
+fn skip_attrs_and_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                // `#` followed by a bracketed group.
+                i += 2;
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            _ => return i,
+        }
+    }
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_attrs_and_vis(&tokens, 0);
+    let kind = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        t => panic!("expected `struct` or `enum`, found {t}"),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        t => panic!("expected type name, found {t}"),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            panic!("the vendored serde derive does not support generic types ({name})");
+        }
+    }
+    match kind.as_str() {
+        "struct" => Item::Struct {
+            name,
+            fields: parse_struct_fields(&tokens[i..]),
+        },
+        "enum" => {
+            let TokenTree::Group(body) = &tokens[i] else {
+                panic!("expected enum body for {name}")
+            };
+            Item::Enum {
+                name,
+                variants: parse_variants(body.stream()),
+            }
+        }
+        k => panic!("cannot derive for `{k}` items"),
+    }
+}
+
+fn parse_struct_fields(rest: &[TokenTree]) -> Fields {
+    match rest.first() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            Fields::Named(parse_named_fields(g.stream()))
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            Fields::Tuple(count_tuple_fields(g.stream()))
+        }
+        Some(TokenTree::Punct(p)) if p.as_char() == ';' => Fields::Unit,
+        _ => Fields::Unit,
+    }
+}
+
+/// Splits a token stream at top-level commas.
+fn split_commas(stream: TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut out: Vec<Vec<TokenTree>> = vec![Vec::new()];
+    let mut depth = 0i32;
+    for t in stream {
+        if let TokenTree::Punct(p) = &t {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 0 => {
+                    out.push(Vec::new());
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        out.last_mut().unwrap().push(t);
+    }
+    out.retain(|seg| !seg.is_empty());
+    out
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    split_commas(stream)
+        .into_iter()
+        .map(|seg| {
+            let i = skip_attrs_and_vis(&seg, 0);
+            match &seg[i] {
+                TokenTree::Ident(id) => id.to_string(),
+                t => panic!("expected field name, found {t}"),
+            }
+        })
+        .collect()
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    split_commas(stream).len()
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    split_commas(stream)
+        .into_iter()
+        .map(|seg| {
+            let i = skip_attrs_and_vis(&seg, 0);
+            let name = match &seg[i] {
+                TokenTree::Ident(id) => id.to_string(),
+                t => panic!("expected variant name, found {t}"),
+            };
+            let fields = match seg.get(i + 1) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Fields::Named(parse_named_fields(g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Fields::Tuple(count_tuple_fields(g.stream()))
+                }
+                _ => Fields::Unit,
+            };
+            Variant { name, fields }
+        })
+        .collect()
+}
+
+// ------------------------------------------------------------- generation
+
+fn gen_serialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => {
+            let body = ser_fields_body(fields, "self");
+            format!(
+                "impl serde::Serialize for {name} {{\n\
+                 fn serialize_json(&self, out: &mut String) {{ {body} }}\n}}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.fields {
+                    Fields::Unit => {
+                        arms.push_str(&format!("{name}::{vn} => serde::ser_str(out, \"{vn}\"),\n"))
+                    }
+                    Fields::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|k| format!("__f{k}")).collect();
+                        let mut body =
+                            String::from("out.push('{'); serde::ser_key(out, \"VARIANT\");")
+                                .replace("VARIANT", vn);
+                        if *n == 1 {
+                            body.push_str("serde::Serialize::serialize_json(__f0, out);");
+                        } else {
+                            body.push_str("out.push('[');");
+                            for (k, b) in binds.iter().enumerate() {
+                                if k > 0 {
+                                    body.push_str("out.push(',');");
+                                }
+                                body.push_str(&format!(
+                                    "serde::Serialize::serialize_json({b}, out);"
+                                ));
+                            }
+                            body.push_str("out.push(']');");
+                        }
+                        body.push_str("out.push('}');");
+                        arms.push_str(&format!(
+                            "{name}::{vn}({}) => {{ {body} }}\n",
+                            binds.join(", ")
+                        ));
+                    }
+                    Fields::Named(fs) => {
+                        let mut body = String::from(
+                            "out.push('{'); serde::ser_key(out, \"VARIANT\"); out.push('{');",
+                        )
+                        .replace("VARIANT", vn);
+                        for (k, f) in fs.iter().enumerate() {
+                            if k > 0 {
+                                body.push_str("out.push(',');");
+                            }
+                            body.push_str(&format!(
+                                "serde::ser_key(out, \"{f}\"); \
+                                 serde::Serialize::serialize_json({f}, out);"
+                            ));
+                        }
+                        body.push_str("out.push('}'); out.push('}');");
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {} }} => {{ {body} }}\n",
+                            fs.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl serde::Serialize for {name} {{\n\
+                 fn serialize_json(&self, out: &mut String) {{ match self {{ {arms} }} }}\n}}"
+            )
+        }
+    }
+}
+
+fn ser_fields_body(fields: &Fields, recv: &str) -> String {
+    match fields {
+        Fields::Named(fs) => {
+            let mut body = String::from("out.push('{');");
+            for (k, f) in fs.iter().enumerate() {
+                if k > 0 {
+                    body.push_str("out.push(',');");
+                }
+                body.push_str(&format!(
+                    "serde::ser_key(out, \"{f}\"); \
+                     serde::Serialize::serialize_json(&{recv}.{f}, out);"
+                ));
+            }
+            body.push_str("out.push('}');");
+            body
+        }
+        Fields::Tuple(1) => format!("serde::Serialize::serialize_json(&{recv}.0, out);"),
+        Fields::Tuple(n) => {
+            let mut body = String::from("out.push('[');");
+            for k in 0..*n {
+                if k > 0 {
+                    body.push_str("out.push(',');");
+                }
+                body.push_str(&format!(
+                    "serde::Serialize::serialize_json(&{recv}.{k}, out);"
+                ));
+            }
+            body.push_str("out.push(']');");
+            body
+        }
+        Fields::Unit => String::from("out.push_str(\"null\");"),
+    }
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Named(fs) => {
+                    let mut b = String::from("p.expect_char('{')?;");
+                    for (k, f) in fs.iter().enumerate() {
+                        if k > 0 {
+                            b.push_str("p.expect_char(',')?;");
+                        }
+                        b.push_str(&format!(
+                            "p.expect_key(\"{f}\")?; \
+                             let {f} = serde::Deserialize::deserialize_json(p)?;"
+                        ));
+                    }
+                    b.push_str("p.expect_char('}')?;");
+                    b.push_str(&format!("Ok({name} {{ {} }})", fs.join(", ")));
+                    b
+                }
+                Fields::Tuple(1) => {
+                    format!("Ok({name}(serde::Deserialize::deserialize_json(p)?))")
+                }
+                Fields::Tuple(n) => {
+                    let mut b = String::from("p.expect_char('[')?;");
+                    let mut binds = Vec::new();
+                    for k in 0..*n {
+                        if k > 0 {
+                            b.push_str("p.expect_char(',')?;");
+                        }
+                        b.push_str(&format!(
+                            "let __f{k} = serde::Deserialize::deserialize_json(p)?;"
+                        ));
+                        binds.push(format!("__f{k}"));
+                    }
+                    b.push_str("p.expect_char(']')?;");
+                    b.push_str(&format!("Ok({name}({}))", binds.join(", ")));
+                    b
+                }
+                Fields::Unit => format!("p.expect_null()?; Ok({name})"),
+            };
+            format!(
+                "impl serde::Deserialize for {name} {{\n\
+                 fn deserialize_json(p: &mut serde::de::Parser) \
+                 -> Result<Self, serde::de::Error> {{ {body} }}\n}}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            // Unit variants serialize as a bare string; payload variants as
+            // an externally tagged single-key object.
+            let mut str_arms = String::new();
+            let mut obj_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.fields {
+                    Fields::Unit => {
+                        str_arms.push_str(&format!("\"{vn}\" => Ok({name}::{vn}),\n"));
+                    }
+                    Fields::Tuple(1) => obj_arms.push_str(&format!(
+                        "\"{vn}\" => Ok({name}::{vn}(serde::Deserialize::deserialize_json(p)?)),\n"
+                    )),
+                    Fields::Tuple(n) => {
+                        let mut b = String::from("p.expect_char('[')?;");
+                        let mut binds = Vec::new();
+                        for k in 0..*n {
+                            if k > 0 {
+                                b.push_str("p.expect_char(',')?;");
+                            }
+                            b.push_str(&format!(
+                                "let __f{k} = serde::Deserialize::deserialize_json(p)?;"
+                            ));
+                            binds.push(format!("__f{k}"));
+                        }
+                        b.push_str("p.expect_char(']')?;");
+                        obj_arms.push_str(&format!(
+                            "\"{vn}\" => {{ {b} Ok({name}::{vn}({})) }}\n",
+                            binds.join(", ")
+                        ));
+                    }
+                    Fields::Named(fs) => {
+                        let mut b = String::from("p.expect_char('{')?;");
+                        for (k, f) in fs.iter().enumerate() {
+                            if k > 0 {
+                                b.push_str("p.expect_char(',')?;");
+                            }
+                            b.push_str(&format!(
+                                "p.expect_key(\"{f}\")?; \
+                                 let {f} = serde::Deserialize::deserialize_json(p)?;"
+                            ));
+                        }
+                        b.push_str("p.expect_char('}')?;");
+                        obj_arms.push_str(&format!(
+                            "\"{vn}\" => {{ {b} Ok({name}::{vn} {{ {} }}) }}\n",
+                            fs.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl serde::Deserialize for {name} {{\n\
+                 fn deserialize_json(p: &mut serde::de::Parser) \
+                 -> Result<Self, serde::de::Error> {{\n\
+                 if p.peek_char() == Some('\"') {{\n\
+                   let v = p.parse_string()?;\n\
+                   match v.as_str() {{ {str_arms} \
+                     other => Err(serde::de::Error::new(format!(\
+                       \"unknown variant {{other}} of {name}\"))) }}\n\
+                 }} else {{\n\
+                   p.expect_char('{{')?;\n\
+                   let v = p.parse_key()?;\n\
+                   let out = match v.as_str() {{ {obj_arms} \
+                     other => Err(serde::de::Error::new(format!(\
+                       \"unknown variant {{other}} of {name}\"))) }};\n\
+                   p.expect_char('}}')?;\n\
+                   out\n\
+                 }}\n}}\n}}"
+            )
+        }
+    }
+}

@@ -1,0 +1,92 @@
+//! Minimal `serde_json` replacement for offline builds, backed by the
+//! vendored `serde` shim's JSON data model.
+
+pub use serde::de::Error;
+
+/// Serializes a value to compact JSON.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    value.serialize_json(&mut out);
+    Ok(out)
+}
+
+/// Serializes a value to indented JSON (2-space indent, like real
+/// serde_json's pretty printer).
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let compact = to_string(value)?;
+    Ok(prettify(&compact))
+}
+
+/// Deserializes a value from JSON text.
+pub fn from_str<T: serde::Deserialize>(s: &str) -> Result<T, Error> {
+    let mut p = serde::de::Parser::new(s);
+    let v = T::deserialize_json(&mut p)?;
+    if !p.at_end() {
+        return Err(Error::new(
+            "trailing characters after JSON value".to_string(),
+        ));
+    }
+    Ok(v)
+}
+
+fn prettify(compact: &str) -> String {
+    let mut out = String::with_capacity(compact.len() * 2);
+    let mut indent = 0usize;
+    let mut in_str = false;
+    let mut escaped = false;
+    let bytes = compact.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        if in_str {
+            out.push(c);
+            if escaped {
+                escaped = false;
+            } else if c == '\\' {
+                escaped = true;
+            } else if c == '"' {
+                in_str = false;
+            }
+            i += 1;
+            continue;
+        }
+        match c {
+            '"' => {
+                in_str = true;
+                out.push(c);
+            }
+            '{' | '[' => {
+                // Empty containers stay on one line.
+                let close = if c == '{' { b'}' } else { b']' };
+                if i + 1 < bytes.len() && bytes[i + 1] == close {
+                    out.push(c);
+                    out.push(close as char);
+                    i += 2;
+                    continue;
+                }
+                indent += 1;
+                out.push(c);
+                out.push('\n');
+                out.push_str(&"  ".repeat(indent));
+            }
+            '}' | ']' => {
+                indent = indent.saturating_sub(1);
+                out.push('\n');
+                out.push_str(&"  ".repeat(indent));
+                out.push(c);
+            }
+            ',' => {
+                out.push(c);
+                out.push('\n');
+                out.push_str(&"  ".repeat(indent));
+            }
+            ':' => {
+                out.push(c);
+                out.push(' ');
+            }
+            _ => out.push(c),
+        }
+        i += 1;
+    }
+    out
+}
