@@ -7,7 +7,9 @@
 //! The whole benchmark × version × factor series runs as one batch on
 //! the `repro-engine` work-stealing engine; per-point timings come from
 //! the engine's per-request metrics. `--workers <n>` sizes the match
-//! pool and `--budget-ms <ms>` caps each solver run.
+//! pool, `--budget-ms <ms>` caps each solver run, and
+//! `--deadline-ms <ms>` bounds each request wall-clock (expired runs
+//! report best-so-far patterns, flagged degraded).
 
 use repro_bench::{cli, engine, print_engine_metrics, render_table, write_record};
 use repro_engine::AnalysisRequest;

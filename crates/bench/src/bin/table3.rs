@@ -5,7 +5,8 @@
 //! All sixteen runs go through the `repro-engine` batch engine in one
 //! submission; the structural-hash match cache is shared across them, so
 //! repeated sub-DDG shapes (notably seq vs Pthreads versions of the same
-//! kernel) are matched once. `--workers`/`--budget-ms` apply.
+//! kernel) are matched once. `--workers`/`--budget-ms`/`--deadline-ms`
+//! apply.
 
 use repro_bench::{cli, engine, print_engine_metrics, render_table, write_record};
 use repro_engine::AnalysisRequest;

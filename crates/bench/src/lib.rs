@@ -22,6 +22,9 @@ use std::time::{Duration, Instant};
 ///
 /// - `--budget-ms <ms>` — per-sub-DDG solver/matcher time budget
 ///   (default 60 000 ms, the paper's per-solver-run limit);
+/// - `--deadline-ms <ms>` — wall-clock deadline per analysis request;
+///   an expired request returns its best-so-far patterns flagged
+///   `degraded` (default: none);
 /// - `--workers <n>` — match workers for the engine-driven binaries
 ///   (default: one per hardware thread);
 /// - everything else passes through as positional arguments.
@@ -55,6 +58,12 @@ fn parse_args(args: impl Iterator<Item = String>) -> Cli {
                     .expect("--budget-ms: milliseconds");
                 config.budget.time = Duration::from_millis(ms);
             }
+            "--deadline-ms" => {
+                let ms: u64 = take("--deadline-ms")
+                    .parse()
+                    .expect("--deadline-ms: milliseconds");
+                config.deadline = Some(Duration::from_millis(ms));
+            }
             "--workers" => {
                 workers = take("--workers").parse().expect("--workers: count");
             }
@@ -76,7 +85,9 @@ pub fn engine(workers: usize) -> repro_engine::Engine {
     })
 }
 
-/// Prints the engine-wide scheduler and cache counters.
+/// Prints the engine-wide scheduler and cache counters, and — when the
+/// batch saw any faults, degradation, or failures — the robustness
+/// counters too.
 pub fn print_engine_metrics(engine: &repro_engine::Engine) {
     let m = engine.metrics();
     println!(
@@ -91,6 +102,19 @@ pub fn print_engine_metrics(engine: &repro_engine::Engine) {
         m.cache_misses,
         m.cache_entries,
     );
+    if m.jobs_panicked + m.match_faults + m.requests_degraded + m.requests_failed > 0
+        || m.cache_poison_recoveries > 0
+    {
+        println!(
+            "faults: {} match faults ({} worker panics contained), \
+             {} requests degraded, {} failed, {} cache shards recovered",
+            m.match_faults,
+            m.jobs_panicked,
+            m.requests_degraded,
+            m.requests_failed,
+            m.cache_poison_recoveries,
+        );
+    }
 }
 
 /// One analysis run: trace, find patterns, evaluate against Table 3.
@@ -218,6 +242,18 @@ mod tests {
         assert_eq!(cli.config.budget.time, Duration::from_millis(1500));
         assert_eq!(cli.workers, 3);
         assert_eq!(cli.positional, vec!["fig7".to_string(), "1,4".to_string()]);
+        assert_eq!(cli.config.deadline, None);
+    }
+
+    #[test]
+    fn cli_parses_a_request_deadline() {
+        let cli = parse_args(
+            ["--deadline-ms", "250", "table3"]
+                .iter()
+                .map(|s| s.to_string()),
+        );
+        assert_eq!(cli.config.deadline, Some(Duration::from_millis(250)));
+        assert_eq!(cli.positional, vec!["table3".to_string()]);
     }
 
     #[test]

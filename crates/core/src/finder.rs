@@ -10,10 +10,11 @@
 //! every Starbench program, exactly as the paper reports.
 
 use crate::decompose::decompose;
-use crate::models::{match_subddg, MatchBudget};
+use crate::models::{match_subddg_full, MatchBudget, MatchOutcome};
 use crate::patterns::{Found, Pattern};
 use crate::simplify::{simplify, SimplifyStats};
 use crate::subddg::{SubDdg, SubKind};
+use cp::CancelToken;
 use ddg::Ddg;
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
@@ -30,6 +31,11 @@ pub struct FinderConfig {
     /// paper discusses: address/traversal computation floods the
     /// sub-DDGs, hiding patterns behind spurious dataflow.
     pub enable_simplify: bool,
+    /// Optional wall-clock deadline for the whole analysis, measured from
+    /// [`FinderState::new`]. When it expires the finder stops iterating
+    /// and reports best-so-far patterns flagged as degraded, instead of
+    /// running to fixpoint.
+    pub deadline: Option<Duration>,
 }
 
 impl Default for FinderConfig {
@@ -38,6 +44,7 @@ impl Default for FinderConfig {
             budget: MatchBudget::default(),
             max_iterations: 12,
             enable_simplify: true,
+            deadline: None,
         }
     }
 }
@@ -75,6 +82,19 @@ pub struct FinderResult {
     /// Sub-DDGs examined by the matcher across all iterations.
     pub subddgs_matched: usize,
     pub phase_times: PhaseTimes,
+    /// True when the analysis did not run to fixpoint: it was cancelled,
+    /// some match searches were cut short, match jobs faulted, or active
+    /// sub-DDGs were left unexamined. The patterns present are still
+    /// sound (every one passed verification) — the result is best-so-far,
+    /// not suspect.
+    pub degraded: bool,
+    /// The request's deadline expired (or its token was cancelled).
+    pub cancelled: bool,
+    /// Match searches that ran out of budget before being definitive.
+    pub matches_exhausted: usize,
+    /// Match jobs that faulted (panicked) and were degraded to no-match
+    /// by the driver via [`FinderState::note_fault`].
+    pub match_faults: usize,
 }
 
 impl FinderResult {
@@ -119,12 +139,27 @@ pub struct FinderState {
     times: PhaseTimes,
     ddg_size: usize,
     simplify_stats: SimplifyStats,
+    cancel: CancelToken,
+    matches_exhausted: usize,
+    match_faults: usize,
 }
 
 impl FinderState {
     /// Simplifies and decomposes the traced DDG, seeding the pool with
-    /// the initial sub-DDG views.
+    /// the initial sub-DDG views. The cancellation token is derived from
+    /// `config.deadline`, anchored at this call; drivers that want the
+    /// deadline to also cover earlier phases (tracing, queueing) use
+    /// [`Self::with_cancel`] with a token they anchored themselves.
     pub fn new(raw: &Ddg, config: &FinderConfig) -> Self {
+        let cancel = match config.deadline {
+            Some(d) => CancelToken::with_deadline(d),
+            None => CancelToken::new(),
+        };
+        Self::with_cancel(raw, config, cancel)
+    }
+
+    /// [`Self::new`] with an externally created cancellation token.
+    pub fn with_cancel(raw: &Ddg, config: &FinderConfig, cancel: CancelToken) -> Self {
         let mut times = PhaseTimes::default();
 
         let t0 = Instant::now();
@@ -166,6 +201,9 @@ impl FinderState {
             times,
             ddg_size: raw.len(),
             simplify_stats,
+            cancel,
+            matches_exhausted: 0,
+            match_faults: 0,
         }
     }
 
@@ -180,13 +218,37 @@ impl FinderState {
         Arc::clone(&self.g)
     }
 
-    pub fn budget(&self) -> &MatchBudget {
-        &self.config.budget
+    /// The per-match budget with the request deadline folded in: a match
+    /// started near the deadline gets only the remaining time, so one
+    /// sub-DDG cannot overrun the request by a full per-match budget.
+    pub fn budget(&self) -> MatchBudget {
+        let mut b = self.config.budget;
+        b.deadline = match (b.deadline, self.cancel.deadline()) {
+            (Some(a), Some(c)) => Some(a.min(c)),
+            (a, c) => a.or(c),
+        };
+        b
     }
 
-    /// True once no active sub-DDGs remain or the iteration valve closed.
+    /// The request's cancellation token, for drivers that poll it on
+    /// other threads.
+    pub fn cancel_token(&self) -> CancelToken {
+        self.cancel.clone()
+    }
+
+    /// Records one match job that faulted (panicked) and was degraded to
+    /// no-match by the driver. The finder only counts it; the driver
+    /// still supplies a no-match outcome for the job's pool index.
+    pub fn note_fault(&mut self) {
+        self.match_faults += 1;
+    }
+
+    /// True once no active sub-DDGs remain, the iteration valve closed,
+    /// or the request was cancelled (deadline expired).
     pub fn is_done(&self) -> bool {
-        self.active.is_empty() || self.iterations >= self.config.max_iterations
+        self.active.is_empty()
+            || self.iterations >= self.config.max_iterations
+            || self.cancel.is_expired()
     }
 
     /// The match jobs of the upcoming iteration, in pool order.
@@ -213,15 +275,19 @@ impl FinderState {
     /// [`Self::active_jobs`], keyed by `pool_index`; ordering does not
     /// matter — outcomes are re-applied in pool order so every driver
     /// reports patterns in the same order.
-    pub fn apply_matches(&mut self, outcomes: Vec<(usize, Option<Pattern>)>) {
+    pub fn apply_matches(&mut self, outcomes: Vec<(usize, MatchOutcome)>) {
         debug_assert_eq!(outcomes.len(), self.active.len());
         self.iterations += 1;
-        let mut by_index: HashMap<usize, Option<Pattern>> = outcomes.into_iter().collect();
+        let mut by_index: HashMap<usize, MatchOutcome> = outcomes.into_iter().collect();
 
         let mut matched_now: Vec<usize> = Vec::new();
         for &i in &self.active {
             self.subddgs_matched += 1;
-            if let Some(p) = by_index.remove(&i).flatten() {
+            let outcome = by_index.remove(&i).unwrap_or_default();
+            if outcome.exhausted {
+                self.matches_exhausted += 1;
+            }
+            if let Some(p) = outcome.pattern {
                 self.pool[i].matched = Some(p.clone());
                 self.found.push(Found {
                     pattern: p,
@@ -290,6 +356,11 @@ impl FinderState {
         merge(&mut self.found);
         self.times.merge = t0.elapsed();
 
+        let cancelled = self.cancel.is_expired();
+        let degraded = cancelled
+            || self.matches_exhausted > 0
+            || self.match_faults > 0
+            || !self.active.is_empty();
         FinderResult {
             found: self.found,
             ddg_size: self.ddg_size,
@@ -298,6 +369,10 @@ impl FinderState {
             iterations: self.iterations,
             subddgs_matched: self.subddgs_matched,
             phase_times: self.times,
+            degraded,
+            cancelled,
+            matches_exhausted: self.matches_exhausted,
+            match_faults: self.match_faults,
         }
     }
 }
@@ -306,13 +381,14 @@ impl FinderState {
 pub fn find_patterns(raw: &Ddg, config: &FinderConfig) -> FinderResult {
     let mut state = FinderState::new(raw, config);
     while !state.is_done() {
+        let budget = state.budget();
         let t0 = Instant::now();
-        let outcomes: Vec<(usize, Option<Pattern>)> = state
+        let outcomes: Vec<(usize, MatchOutcome)> = state
             .active_jobs()
             .into_iter()
             .map(|job| {
-                let p = match_subddg(state.graph(), &job.sub, state.budget());
-                (job.pool_index, p)
+                let outcome = match_subddg_full(state.graph(), &job.sub, &budget);
+                (job.pool_index, outcome)
             })
             .collect();
         state.add_matching_time(t0.elapsed());
@@ -542,5 +618,61 @@ void main() {
         let result = analyze(&p, &RunConfig::default());
         assert_eq!(result.found.len(), 0);
         assert_eq!(result.iterations, 0);
+        assert!(!result.degraded);
+        assert!(!result.cancelled);
+    }
+
+    #[test]
+    fn complete_analysis_is_not_degraded() {
+        let (p, cfg) = streamcluster_excerpt();
+        let result = analyze(&p, &cfg);
+        assert!(!result.degraded);
+        assert!(!result.cancelled);
+        assert_eq!(result.matches_exhausted, 0);
+        assert_eq!(result.match_faults, 0);
+    }
+
+    #[test]
+    fn expired_deadline_yields_a_cancelled_degraded_result() {
+        let (p, cfg) = streamcluster_excerpt();
+        let r = run(&p, &cfg).unwrap();
+        let config = FinderConfig {
+            deadline: Some(Duration::ZERO),
+            ..Default::default()
+        };
+        let result = find_patterns(&r.ddg.unwrap(), &config);
+        assert!(result.cancelled);
+        assert!(result.degraded);
+        assert_eq!(
+            result.iterations, 0,
+            "no iteration starts past the deadline"
+        );
+        assert!(result.found.is_empty());
+    }
+
+    #[test]
+    fn zero_match_budget_degrades_but_keeps_the_cheap_patterns() {
+        // A zero per-match budget exhausts the combinatorial tiled search,
+        // but the structural matchers (map, linear reduction) are
+        // budget-free: the result is partial and flagged, not empty.
+        let (p, cfg) = streamcluster_excerpt();
+        let r = run(&p, &cfg).unwrap();
+        let config = FinderConfig {
+            budget: MatchBudget {
+                time: Duration::ZERO,
+                deadline: None,
+            },
+            ..Default::default()
+        };
+        let result = find_patterns(&r.ddg.unwrap(), &config);
+        assert!(result.degraded);
+        assert!(!result.cancelled);
+        assert!(result.matches_exhausted > 0);
+        let kinds: Vec<_> = result.found.iter().map(|f| f.pattern.kind).collect();
+        assert!(kinds.contains(&PatternKind::LinearReduction), "{kinds:?}");
+        assert!(
+            !kinds.contains(&PatternKind::TiledReduction),
+            "the exhausted search must not have produced a match: {kinds:?}"
+        );
     }
 }

@@ -35,6 +35,7 @@ pub mod simplify;
 pub mod subddg;
 
 pub use finder::{find_patterns, FinderConfig, FinderResult, FinderState, MatchJob, PhaseTimes};
+pub use models::{match_subddg, match_subddg_full, MatchBudget, MatchOutcome};
 pub use partial::{classify_across_inputs, partial_patterns, Stability};
 pub use patterns::{Found, Pattern, PatternKind};
 pub use simplify::{simplify, SimplifyStats};

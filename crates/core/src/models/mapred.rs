@@ -8,14 +8,16 @@
 //! that the map components and the (partial) reduction components are in
 //! arc-bijection.
 
-use crate::models::MatchBudget;
+use crate::models::{MatchBudget, MatchOutcome};
 use crate::patterns::{Detail, Pattern, PatternKind};
 use crate::quotient::Quotient;
 use crate::subddg::{SubDdg, SubKind};
 use ddg::{BitSet, Ddg, NodeId};
 use std::collections::HashMap;
 
-/// Matches a linear or tiled map-reduction over a fused sub-DDG.
+/// Matches a linear or tiled map-reduction over a fused sub-DDG,
+/// propagating budget exhaustion from the embedded tiled-reduction
+/// search.
 pub fn match_map_reduction(
     g: &Ddg,
     sub: &SubDdg,
@@ -23,21 +25,40 @@ pub fn match_map_reduction(
     map_part: &BitSet,
     other_part: &BitSet,
     budget: &MatchBudget,
-) -> Option<Pattern> {
+) -> MatchOutcome {
+    match match_map_reduction_inner(g, sub, map_part, other_part, budget) {
+        Ok(pattern) => MatchOutcome::definitive(pattern),
+        Err(Exhausted) => MatchOutcome::exhausted(),
+    }
+}
+
+/// Marker error: the embedded reduction search ran out of budget.
+struct Exhausted;
+
+fn match_map_reduction_inner(
+    g: &Ddg,
+    sub: &SubDdg,
+    map_part: &BitSet,
+    other_part: &BitSet,
+    budget: &MatchBudget,
+) -> Result<Option<Pattern>, Exhausted> {
     // Re-derive the reduction structure on the reduction part.
-    let label = {
-        let first = other_part.first()?;
-        g.label_str(g.node(NodeId(first as u32)).label).to_string()
+    let Some(first) = other_part.first() else {
+        return Ok(None);
     };
+    let label = g.label_str(g.node(NodeId(first as u32)).label).to_string();
     let red_sub = SubDdg::ungrouped(other_part.clone(), SubKind::Assoc { label });
     let red_q = Quotient::build(g, &red_sub);
     let (red_kind, red_detail) =
         if let Some(p) = super::reduction::match_linear(g, &red_sub, &red_q) {
             (PatternKind::LinearMapReduction, p.detail)
-        } else if let Some(p) = super::reduction::match_tiled(g, &red_sub, &red_q, budget) {
-            (PatternKind::TiledMapReduction, p.detail)
         } else {
-            return None;
+            let tiled = super::reduction::match_tiled(g, &red_sub, &red_q, budget);
+            match tiled.pattern {
+                Some(p) => (PatternKind::TiledMapReduction, p.detail),
+                None if tiled.exhausted => return Err(Exhausted),
+                None => return Ok(None),
+            }
         };
 
     // The reduction components that must each consume one map component's
@@ -51,14 +72,16 @@ pub fn match_map_reduction(
         consumers.iter().enumerate().map(|(i, &n)| (n, i)).collect();
 
     // Map components: the fused grouping restricted to the map part.
-    let groups = sub.groups.as_ref()?;
+    let Some(groups) = sub.groups.as_ref() else {
+        return Ok(None);
+    };
     let map_components: Vec<Vec<NodeId>> = groups
         .iter()
         .filter(|c| c.iter().all(|n| map_part.contains(n.index())))
         .cloned()
         .collect();
     if map_components.len() < 2 {
-        return None;
+        return Ok(None);
     }
 
     // Interface: each map component's external outputs all land in exactly
@@ -75,20 +98,22 @@ pub fn match_map_reduction(
                     continue;
                 }
                 let Some(&ci) = consumer_set.get(&s) else {
-                    return None; // output leaks outside the reduction
+                    return Ok(None); // output leaks outside the reduction
                 };
                 if target.replace(ci).is_some_and(|prev| prev != ci) {
-                    return None; // feeds two reduction components
+                    return Ok(None); // feeds two reduction components
                 }
             }
         }
-        let t = target?;
+        let Some(t) = target else {
+            return Ok(None);
+        };
         if std::mem::replace(&mut used[t], true) {
-            return None; // two map components feed the same consumer
+            return Ok(None); // two map components feed the same consumer
         }
     }
     if !used.iter().all(|&u| u) {
-        return None;
+        return Ok(None);
     }
 
     let components = map_components.len()
@@ -97,7 +122,9 @@ pub fn match_map_reduction(
             Detail::Tiled { final_chain, .. } => final_chain.len(),
             _ => 0,
         };
-    Some(Pattern::with_metadata(red_kind, sub.nodes.clone(), components, g).with_detail(red_detail))
+    Ok(Some(
+        Pattern::with_metadata(red_kind, sub.nodes.clone(), components, g).with_detail(red_detail),
+    ))
 }
 
 #[cfg(test)]
@@ -117,8 +144,9 @@ mod tests {
         else {
             panic!()
         };
-        let p = match_map_reduction(&g, &sub, &q, map_part, other_part, &MatchBudget::default())
-            .expect("tiled map-reduction");
+        let out = match_map_reduction(&g, &sub, &q, map_part, other_part, &MatchBudget::default());
+        assert!(!out.exhausted);
+        let p = out.pattern.expect("tiled map-reduction");
         assert_eq!(p.kind, PatternKind::TiledMapReduction);
         assert_eq!(
             p.op_labels,
@@ -144,8 +172,29 @@ mod tests {
         let mut small = other_part.clone();
         let last = small.iter().last().unwrap();
         small.remove(last);
-        assert!(
-            match_map_reduction(&g, &sub, &q, map_part, &small, &MatchBudget::default()).is_none()
-        );
+        let out = match_map_reduction(&g, &sub, &q, map_part, &small, &MatchBudget::default());
+        assert!(out.pattern.is_none());
+        assert!(!out.exhausted);
+    }
+
+    #[test]
+    fn exhausted_reduction_search_propagates_through_the_fusion() {
+        let (g, sub) = tiled_graph_with_map(2);
+        let q = Quotient::build(&g, &sub);
+        let SubKind::Fused {
+            map_part,
+            other_part,
+            ..
+        } = &sub.kind
+        else {
+            panic!()
+        };
+        let budget = MatchBudget {
+            time: std::time::Duration::ZERO,
+            deadline: None,
+        };
+        let out = match_map_reduction(&g, &sub, &q, map_part, other_part, &budget);
+        assert!(out.pattern.is_none());
+        assert!(out.exhausted);
     }
 }

@@ -19,18 +19,72 @@ use crate::patterns::Pattern;
 use crate::quotient::Quotient;
 use crate::subddg::{SubDdg, SubKind};
 use ddg::Ddg;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
-/// Matching budget per sub-DDG (the paper's per-solver-run limit).
+/// Matching budget per sub-DDG (the paper's per-solver-run limit), plus
+/// an optional request-level deadline folded in by the finder: the
+/// effective cutoff of a combinatorial search is the *earlier* of the
+/// two, so one expiring request cannot hold a worker for a full
+/// per-match budget.
 #[derive(Clone, Copy, Debug)]
 pub struct MatchBudget {
     pub time: Duration,
+    /// Absolute cutoff (cooperative request cancellation). `None` means
+    /// only the per-match `time` applies.
+    pub deadline: Option<Instant>,
 }
 
 impl Default for MatchBudget {
     fn default() -> Self {
         MatchBudget {
             time: Duration::from_secs(60),
+            deadline: None,
+        }
+    }
+}
+
+impl MatchBudget {
+    /// The absolute cutoff for one match starting now.
+    pub(crate) fn cutoff(&self) -> Instant {
+        let per_match = Instant::now() + self.time;
+        match self.deadline {
+            Some(d) => d.min(per_match),
+            None => per_match,
+        }
+    }
+
+    /// True once the request-level deadline has passed (the per-match
+    /// `time` is relative and cannot pre-expire).
+    pub fn expired(&self) -> bool {
+        self.deadline.is_some_and(|d| Instant::now() >= d)
+    }
+}
+
+/// The result of matching one sub-DDG: the pattern (or absence), plus
+/// whether the matcher ran out of budget before it could be definitive.
+/// An `exhausted` outcome is *best-so-far*: the pattern may be absent
+/// only because the search was cut short, so it must not be memoized and
+/// it marks the enclosing analysis as degraded.
+#[derive(Clone, Debug, Default)]
+pub struct MatchOutcome {
+    pub pattern: Option<Pattern>,
+    pub exhausted: bool,
+}
+
+impl MatchOutcome {
+    /// A definitive (fully explored) outcome.
+    pub fn definitive(pattern: Option<Pattern>) -> MatchOutcome {
+        MatchOutcome {
+            pattern,
+            exhausted: false,
+        }
+    }
+
+    /// The no-answer, out-of-budget outcome.
+    pub fn exhausted() -> MatchOutcome {
+        MatchOutcome {
+            pattern: None,
+            exhausted: true,
         }
     }
 }
@@ -38,16 +92,23 @@ impl Default for MatchBudget {
 /// Matches one sub-DDG against the models its provenance allows
 /// (paper §5: loop sub-DDGs target maps and single-loop reductions,
 /// associative components target reductions, fusions target fused maps and
-/// map-reductions). Returns the first — and in practice only — match.
-pub fn match_subddg(g: &Ddg, sub: &SubDdg, budget: &MatchBudget) -> Option<Pattern> {
+/// map-reductions), reporting budget exhaustion. An already-expired
+/// budget short-circuits without matching — the cooperative cancellation
+/// point request deadlines rely on.
+pub fn match_subddg_full(g: &Ddg, sub: &SubDdg, budget: &MatchBudget) -> MatchOutcome {
+    if budget.expired() {
+        return MatchOutcome::exhausted();
+    }
     let q = Quotient::build(g, sub);
-    let matched = match &sub.kind {
-        SubKind::Loop { .. } | SubKind::Derived { from_loop: Some(_) } => {
-            map::match_map(g, sub, &q).or_else(|| reduction::match_linear(g, sub, &q))
-        }
+    let outcome = match &sub.kind {
+        SubKind::Loop { .. } | SubKind::Derived { from_loop: Some(_) } => MatchOutcome::definitive(
+            map::match_map(g, sub, &q).or_else(|| reduction::match_linear(g, sub, &q)),
+        ),
         SubKind::Assoc { .. } | SubKind::Derived { from_loop: None } => {
-            reduction::match_linear(g, sub, &q)
-                .or_else(|| reduction::match_tiled(g, sub, &q, budget))
+            match reduction::match_linear(g, sub, &q) {
+                Some(p) => MatchOutcome::definitive(Some(p)),
+                None => reduction::match_tiled(g, sub, &q, budget),
+            }
         }
         SubKind::Fused {
             map_part,
@@ -55,21 +116,30 @@ pub fn match_subddg(g: &Ddg, sub: &SubDdg, budget: &MatchBudget) -> Option<Patte
             other_kind,
         } => {
             if other_kind.is_map() {
-                map::match_fused(g, sub, &q)
+                MatchOutcome::definitive(map::match_fused(g, sub, &q))
             } else {
                 mapred::match_map_reduction(g, sub, &q, map_part, other_part, budget)
             }
         }
-    }?;
+    };
     // Defense in depth: every reported match must satisfy the raw
     // definitions.
-    debug_assert!(
-        verify::check(g, &matched),
-        "matched pattern violates its definition: {} — {}",
-        matched.describe(),
-        verify::check_reason(g, &matched).unwrap_err()
-    );
-    Some(matched)
+    #[cfg(debug_assertions)]
+    if let Some(matched) = &outcome.pattern {
+        debug_assert!(
+            verify::check(g, matched),
+            "matched pattern violates its definition: {} — {}",
+            matched.describe(),
+            verify::check_reason(g, matched).unwrap_err()
+        );
+    }
+    outcome
+}
+
+/// [`match_subddg_full`] without the exhaustion marker. Returns the
+/// first — and in practice only — match.
+pub fn match_subddg(g: &Ddg, sub: &SubDdg, budget: &MatchBudget) -> Option<Pattern> {
+    match_subddg_full(g, sub, budget).pattern
 }
 
 /// The models a kind of sub-DDG is matched against, for diagnostics.

@@ -14,7 +14,7 @@
 //! backtracking search over final-chain extensions under the same time
 //! budget as the paper's solver runs.
 
-use crate::models::MatchBudget;
+use crate::models::{MatchBudget, MatchOutcome};
 use crate::patterns::{Detail, Pattern, PatternKind};
 use crate::quotient::Quotient;
 use crate::subddg::SubDdg;
@@ -79,46 +79,59 @@ pub fn match_linear(g: &Ddg, sub: &SubDdg, q: &Quotient) -> Option<Pattern> {
     )
 }
 
-/// Matches a tiled reduction covering the whole sub-DDG.
-pub fn match_tiled(g: &Ddg, sub: &SubDdg, q: &Quotient, budget: &MatchBudget) -> Option<Pattern> {
+/// Matches a tiled reduction covering the whole sub-DDG. The search is
+/// deterministic, so a truncated run can only *miss* a match, never
+/// invent one: a returned pattern implies no budget pruning ever fired,
+/// and is byte-identical to an unconstrained run. A `None` reached after
+/// the cutoff is therefore reported as exhausted, not definitive.
+pub fn match_tiled(g: &Ddg, sub: &SubDdg, q: &Quotient, budget: &MatchBudget) -> MatchOutcome {
     let n = q.len();
     // Minimum: two partials of one component plus a final chain of two.
     if n < 4 {
-        return None;
+        return MatchOutcome::definitive(None);
     }
-    singleton_assoc_label(g, q)?;
+    if singleton_assoc_label(g, q).is_none() {
+        return MatchOutcome::definitive(None);
+    }
 
     // The final chain ends at the unique sink, which must emit output.
     let sinks: Vec<usize> = (0..n).filter(|&i| q.succs[i].is_empty()).collect();
     let [sink] = sinks.as_slice() else {
-        return None;
+        return MatchOutcome::definitive(None);
     };
     if !q.groups[*sink].ext_out {
-        return None;
+        return MatchOutcome::definitive(None);
     }
 
     // Bounded backtracking over final-chain extensions, newest-first.
-    let deadline = Instant::now() + budget.time;
+    let deadline = budget.cutoff();
     let mut rf_rev = vec![*sink];
     if !crate::models::verify::is_convex(g, &sub.nodes) {
-        return None; // (1e)
+        return MatchOutcome::definitive(None); // (1e)
     }
-    search_final_chain(g, q, &mut rf_rev, &deadline).and_then(|rf| {
-        let partials = validate_split(g, q, &rf)?;
-        let final_chain: Vec<NodeId> = rf.iter().map(|&i| q.groups[i].members[0]).collect();
-        let partial_chains: Vec<Vec<NodeId>> = partials
-            .iter()
-            .map(|p| p.iter().map(|&i| q.groups[i].members[0]).collect())
-            .collect();
-        let comps = n;
-        Some(
-            Pattern::with_metadata(PatternKind::TiledReduction, sub.nodes.clone(), comps, g)
-                .with_detail(Detail::Tiled {
-                    partials: partial_chains,
-                    final_chain,
-                }),
-        )
-    })
+    let mut hit_deadline = false;
+    let pattern =
+        search_final_chain(g, q, &mut rf_rev, &deadline, &mut hit_deadline).and_then(|rf| {
+            let partials = validate_split(g, q, &rf)?;
+            let final_chain: Vec<NodeId> = rf.iter().map(|&i| q.groups[i].members[0]).collect();
+            let partial_chains: Vec<Vec<NodeId>> = partials
+                .iter()
+                .map(|p| p.iter().map(|&i| q.groups[i].members[0]).collect())
+                .collect();
+            let comps = n;
+            Some(
+                Pattern::with_metadata(PatternKind::TiledReduction, sub.nodes.clone(), comps, g)
+                    .with_detail(Detail::Tiled {
+                        partials: partial_chains,
+                        final_chain,
+                    }),
+            )
+        });
+    match pattern {
+        Some(p) => MatchOutcome::definitive(Some(p)),
+        None if hit_deadline => MatchOutcome::exhausted(),
+        None => MatchOutcome::definitive(None),
+    }
 }
 
 /// Every node of a candidate chain executes the *same static operation*:
@@ -163,8 +176,10 @@ fn search_final_chain(
     q: &Quotient,
     rf_rev: &mut Vec<usize>,
     deadline: &Instant,
+    hit_deadline: &mut bool,
 ) -> Option<Vec<usize>> {
     if Instant::now() >= *deadline {
+        *hit_deadline = true;
         return None;
     }
     let head = *rf_rev.last().unwrap();
@@ -182,7 +197,7 @@ fn search_final_chain(
             continue;
         }
         rf_rev.push(p);
-        if let Some(found) = search_final_chain(g, q, rf_rev, deadline) {
+        if let Some(found) = search_final_chain(g, q, rf_rev, deadline, hit_deadline) {
             return Some(found);
         }
         rf_rev.pop();
@@ -492,7 +507,9 @@ pub(crate) mod tests {
         let (g, sub) = tiled_graph(2);
         let q = Quotient::build(&g, &sub);
         assert!(match_linear(&g, &sub, &q).is_none(), "a tree is not linear");
-        let p = match_tiled(&g, &sub, &q, &MatchBudget::default()).expect("tiled reduction");
+        let out = match_tiled(&g, &sub, &q, &MatchBudget::default());
+        assert!(!out.exhausted);
+        let p = out.pattern.expect("tiled reduction");
         assert_eq!(p.kind, PatternKind::TiledReduction);
         let Detail::Tiled {
             partials,
@@ -528,17 +545,47 @@ pub(crate) mod tests {
         );
         let q = Quotient::build(&g, &sub);
         assert!(match_linear(&g, &sub, &q).is_none());
-        assert!(match_tiled(&g, &sub, &q, &MatchBudget::default()).is_none());
+        let out = match_tiled(&g, &sub, &q, &MatchBudget::default());
+        assert!(out.pattern.is_none());
+        assert!(!out.exhausted, "a structural rejection is definitive");
     }
 
     #[test]
     fn larger_tiled_configurations_match() {
         let (g, sub) = tiled_graph(5);
         let q = Quotient::build(&g, &sub);
-        let p = match_tiled(&g, &sub, &q, &MatchBudget::default()).expect("tiled");
+        let p = match_tiled(&g, &sub, &q, &MatchBudget::default())
+            .pattern
+            .expect("tiled");
         let Detail::Tiled { partials, .. } = &p.detail else {
             panic!()
         };
         assert!(partials.iter().all(|c| c.len() == 5));
+    }
+
+    #[test]
+    fn zero_budget_reports_exhaustion_not_a_definitive_miss() {
+        let (g, sub) = tiled_graph(3);
+        let q = Quotient::build(&g, &sub);
+        let budget = MatchBudget {
+            time: std::time::Duration::ZERO,
+            deadline: None,
+        };
+        let out = match_tiled(&g, &sub, &q, &budget);
+        assert!(out.pattern.is_none());
+        assert!(out.exhausted, "a cut-short search must not claim no-match");
+    }
+
+    #[test]
+    fn expired_request_deadline_exhausts_the_search() {
+        let (g, sub) = tiled_graph(3);
+        let q = Quotient::build(&g, &sub);
+        let budget = MatchBudget {
+            time: std::time::Duration::from_secs(60),
+            deadline: Some(Instant::now() - std::time::Duration::from_millis(1)),
+        };
+        let out = match_tiled(&g, &sub, &q, &budget);
+        assert!(out.pattern.is_none());
+        assert!(out.exhausted);
     }
 }

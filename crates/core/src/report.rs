@@ -164,6 +164,10 @@ mod tests {
             iterations: 1,
             subddgs_matched: 2,
             phase_times: Default::default(),
+            degraded: false,
+            cancelled: false,
+            matches_exhausted: 0,
+            match_faults: 0,
         };
         let p = minc::compile("order", "void main() { int x; x = 1; }").unwrap();
         let text = render_text(&result, &p);

@@ -20,12 +20,14 @@
 //! (n-queens, graph coloring).
 
 pub mod builtin;
+pub mod cancel;
 pub mod domain;
 pub mod propagator;
 pub mod search;
 pub mod store;
 
 pub use builtin::{AllDifferent, NonZeroAtLeast, NotEqual};
+pub use cancel::CancelToken;
 pub use domain::Domain;
 pub use propagator::{Propagation, Propagator};
 pub use search::{Outcome, Search, SearchStats};

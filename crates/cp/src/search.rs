@@ -2,6 +2,7 @@
 //! a time budget.
 
 use crate::builtin::NonZeroAtLeast;
+use crate::cancel::CancelToken;
 use crate::propagator::{Engine, Propagator};
 use crate::store::{Store, VarId};
 use std::cell::Cell;
@@ -51,6 +52,7 @@ pub struct Search {
     pub engine: Engine,
     deadline: Option<Instant>,
     node_limit: u64,
+    cancel: Option<CancelToken>,
     /// Branch on 0 (the "excluded" sentinel) only after all other values.
     pub zero_last: bool,
     stats: SearchStats,
@@ -63,6 +65,7 @@ impl Search {
             engine,
             deadline: None,
             node_limit: u64::MAX,
+            cancel: None,
             zero_last: true,
             stats: SearchStats::default(),
         }
@@ -80,13 +83,23 @@ impl Search {
         self
     }
 
+    /// Aborts (with best-so-far semantics, like [`Self::with_budget`])
+    /// once `token` expires — the hook request-level deadlines thread
+    /// through.
+    pub fn with_cancel(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
+        self
+    }
+
     /// Statistics of the last run.
     pub fn stats(&self) -> SearchStats {
         self.stats
     }
 
     fn out_of_budget(&self) -> bool {
-        self.stats.nodes >= self.node_limit || self.deadline.is_some_and(|d| Instant::now() >= d)
+        self.stats.nodes >= self.node_limit
+            || self.deadline.is_some_and(|d| Instant::now() >= d)
+            || self.cancel.as_ref().is_some_and(|c| c.is_expired())
     }
 
     /// First-fail variable selection: smallest unfixed domain.
@@ -313,6 +326,53 @@ mod tests {
         let mut s = queens(12).with_budget(Duration::from_millis(0));
         let out = s.solve_first();
         assert_eq!(out, Outcome::Exhausted);
+    }
+
+    #[test]
+    fn cancelled_token_aborts_like_an_exhausted_budget() {
+        let token = CancelToken::new();
+        token.cancel();
+        let mut s = queens(12).with_cancel(token);
+        assert_eq!(s.solve_first(), Outcome::Exhausted);
+    }
+
+    #[test]
+    fn live_token_does_not_perturb_the_search() {
+        let mut s = queens(8).with_cancel(CancelToken::new());
+        let out = s.solve_first();
+        assert!(is_valid_queens(out.values().expect("8-queens solvable")));
+    }
+
+    #[test]
+    fn maximize_keeps_best_so_far_when_the_token_expires_mid_search() {
+        // Cancel from inside the solution callback: the improving search
+        // must return the solution it already has, marked incomplete —
+        // the best-so-far contract request deadlines rely on.
+        let token = CancelToken::new();
+        let mut s = search_with(|store| {
+            for _ in 0..6 {
+                store.new_var(0, 1);
+            }
+            vec![]
+        })
+        .with_cancel(token.clone());
+        let vars: Vec<VarId> = (0..6).map(VarId).collect();
+        let bound = Rc::new(Cell::new(1usize));
+        s.engine.post(
+            &s.store,
+            Box::new(NonZeroAtLeast::with_shared_bound(
+                vars.clone(),
+                Rc::clone(&bound),
+            )),
+        );
+        let mut best: Option<Vec<u32>> = None;
+        let complete = s.solve_all(|sol| {
+            best = Some(sol.to_vec());
+            token.cancel(); // a deadline firing mid-run
+            true
+        });
+        assert!(!complete, "a cancelled search is incomplete");
+        assert!(best.is_some(), "the first solution survives cancellation");
     }
 
     #[test]

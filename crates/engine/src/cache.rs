@@ -33,8 +33,9 @@ use discovery::models::MatchBudget;
 use discovery::patterns::Detail;
 use discovery::{Pattern, PatternKind, SubDdg, SubKind};
 use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, MutexGuard};
 
 /// Dispatch classes of the non-fused sub-DDG kinds. The finder matches
 /// loop-shaped views against map-then-linear and associative views
@@ -95,21 +96,61 @@ pub struct PendingEntry {
     key: CacheKey,
 }
 
-/// The shared, thread-safe memo table.
+/// Shard count: enough to spread concurrent workers, small enough that
+/// clearing one poisoned shard loses little.
+const SHARDS: usize = 16;
+
+/// Counter snapshot ([`MatchCache::metrics`]).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CacheMetrics {
+    pub entries: usize,
+    pub hits: u64,
+    pub misses: u64,
+    /// Poisoned shards recovered (cleared and reused). Each event is a
+    /// shard's worth of memoized outcomes dropped, never wrong data
+    /// served.
+    pub poison_recoveries: u64,
+}
+
+/// The shared, thread-safe memo table, sharded by key hash.
 pub struct MatchCache {
     enabled: bool,
-    map: Mutex<HashMap<CacheKey, Option<CachedMatch>>>,
+    shards: Vec<Mutex<HashMap<CacheKey, Option<CachedMatch>>>>,
     hits: AtomicU64,
     misses: AtomicU64,
+    poison_recoveries: AtomicU64,
 }
 
 impl MatchCache {
     pub fn new(enabled: bool) -> MatchCache {
         MatchCache {
             enabled,
-            map: Mutex::new(HashMap::new()),
+            shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            poison_recoveries: AtomicU64::new(0),
+        }
+    }
+
+    /// Locks the shard holding `key`. A poisoned shard — a thread
+    /// panicked mid-update, e.g. an injected model fault during
+    /// `fulfil` — is *cleared* and recovered: a memo table may always
+    /// drop entries (that only costs future hits), whereas serving a
+    /// half-updated entry could break parity. The event is counted in
+    /// [`CacheMetrics::poison_recoveries`].
+    fn shard_for(&self, key: &CacheKey) -> MutexGuard<'_, HashMap<CacheKey, Option<CachedMatch>>> {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        key.hash(&mut h);
+        let shard = &self.shards[(h.finish() as usize) % SHARDS];
+        match shard.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => {
+                let mut guard = poisoned.into_inner();
+                guard.clear();
+                shard.clear_poison();
+                self.poison_recoveries.fetch_add(1, Ordering::Relaxed);
+                guard
+            }
         }
     }
 
@@ -134,7 +175,7 @@ impl MatchCache {
             budget_ms: budget.time.as_millis() as u64,
         };
         let cached = {
-            let map = self.map.lock().unwrap();
+            let map = self.shard_for(&key);
             map.get(&key).map(|entry| entry.as_ref().map(rebuild_args))
         };
         match cached {
@@ -159,7 +200,7 @@ impl MatchCache {
         // An unencodable pattern (a detail node outside the group view;
         // never produced by the current models) is simply not cached.
         if let Some(entry) = entry {
-            self.map.lock().unwrap().insert(pending.key, entry);
+            self.shard_for(&pending.key).insert(pending.key, entry);
         }
     }
 
@@ -171,8 +212,28 @@ impl MatchCache {
         self.misses.load(Ordering::Relaxed)
     }
 
+    pub fn poison_recoveries(&self) -> u64 {
+        self.poison_recoveries.load(Ordering::Relaxed)
+    }
+
     pub fn entries(&self) -> usize {
-        self.map.lock().unwrap().len()
+        self.shards
+            .iter()
+            .map(|s| {
+                s.lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .len()
+            })
+            .sum()
+    }
+
+    pub fn metrics(&self) -> CacheMetrics {
+        CacheMetrics {
+            entries: self.entries(),
+            hits: self.hits(),
+            misses: self.misses(),
+            poison_recoveries: self.poison_recoveries(),
+        }
     }
 }
 
@@ -444,6 +505,38 @@ mod tests {
         let (g, sub) = chain(4, 0, "fadd");
         assert!(matches!(probe_of(&cache, &g, &sub), Probe::Uncacheable));
         assert_eq!(cache.hits() + cache.misses(), 0);
+    }
+
+    #[test]
+    fn poisoned_shards_are_cleared_and_recovered() {
+        let cache = MatchCache::new(true);
+        let (g, sub) = chain(4, 0, "fadd");
+        let Probe::Miss(p) = probe_of(&cache, &g, &sub) else {
+            panic!()
+        };
+        cache.fulfil(p, &sub, &match_subddg(&g, &sub, &MatchBudget::default()));
+        assert_eq!(cache.entries(), 1);
+
+        // Panic while holding every shard lock: all shards poisoned.
+        for shard in &cache.shards {
+            let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                let _guard = shard.lock().unwrap();
+                panic!("die holding the cache lock");
+            }));
+            assert!(caught.is_err());
+        }
+
+        // The next probe recovers its shard (cleared, so it misses) and
+        // the cache keeps working: fulfil + re-probe hits again.
+        let Probe::Miss(p) = probe_of(&cache, &g, &sub) else {
+            panic!("cleared shard must miss")
+        };
+        assert!(cache.poison_recoveries() >= 1);
+        cache.fulfil(p, &sub, &match_subddg(&g, &sub, &MatchBudget::default()));
+        assert!(matches!(probe_of(&cache, &g, &sub), Probe::Hit(Some(_))));
+        let m = cache.metrics();
+        assert_eq!(m.poison_recoveries, cache.poison_recoveries());
+        assert!(m.hits >= 1);
     }
 
     #[test]

@@ -22,19 +22,26 @@
 //!   cache/pool counters for the evaluation harness (Fig. 7, Table 3).
 
 pub mod cache;
+#[cfg(feature = "fault-inject")]
+pub mod fault;
 pub mod pool;
 
 use cache::{MatchCache, Probe};
+use cp::CancelToken;
 use ddg::Reachability;
-use discovery::models::match_subddg;
-use discovery::{FinderConfig, FinderResult, FinderState, Pattern};
+use discovery::models::{match_subddg_full, MatchOutcome};
+use discovery::{FinderConfig, FinderResult, FinderState};
 use pool::{PoolMetrics, WorkPool};
 use std::collections::VecDeque;
+use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{Receiver, SyncSender};
-use std::sync::{mpsc, Arc, Mutex};
+use std::sync::{mpsc, Arc, Mutex, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+#[cfg(feature = "fault-inject")]
+pub use fault::FaultPlan;
 
 /// One analysis to run: a program, the input to trace it on, and the
 /// finder configuration.
@@ -46,13 +53,56 @@ pub struct AnalysisRequest {
     pub config: FinderConfig,
 }
 
+/// Why a request produced no analysis. Every failure is contained to its
+/// request: the batch keeps streaming one labeled [`AnalysisResult`] per
+/// submission regardless.
+#[derive(Debug)]
+pub enum EngineError {
+    /// The traced program faulted (or hit its step limit / deadline).
+    Trace(trace::MachineError),
+    /// Match workers died without reporting their outcomes — the job's
+    /// reply channel hung up mid-iteration. Contained panics degrade to
+    /// per-job faults instead; this is the last-resort path for a panic
+    /// outside the job's own containment.
+    WorkerLost {
+        /// Outcomes missing from the iteration when the channel closed.
+        missing: usize,
+    },
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::Trace(e) => write!(f, "trace failed: {e}"),
+            EngineError::WorkerLost { missing } => {
+                write!(f, "match workers lost: {missing} outcome(s) never arrived")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EngineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EngineError::Trace(e) => Some(e),
+            EngineError::WorkerLost { .. } => None,
+        }
+    }
+}
+
+impl From<trace::MachineError> for EngineError {
+    fn from(e: trace::MachineError) -> EngineError {
+        EngineError::Trace(e)
+    }
+}
+
 /// A completed (or failed) analysis.
 pub struct AnalysisResult {
     pub id: String,
     /// Position of the request in the submitted batch (results stream in
     /// completion order; sort by this to recover submission order).
     pub index: usize,
-    pub outcome: Result<Analysis, trace::MachineError>,
+    pub outcome: Result<Analysis, EngineError>,
     pub metrics: RequestMetrics,
 }
 
@@ -79,6 +129,16 @@ pub struct RequestMetrics {
     pub cache_misses: u64,
     /// Jobs that bypassed the cache (fused sub-DDGs, or cache disabled).
     pub cache_bypassed: u64,
+    /// Match jobs that panicked and were degraded to no-match.
+    pub match_faults: u64,
+    /// Match searches cut short by the per-match budget or the request
+    /// deadline.
+    pub matches_exhausted: u64,
+    /// The request's deadline expired before the analysis finished.
+    pub deadline_hit: bool,
+    /// The finder result is best-so-far rather than a full fixpoint (see
+    /// [`FinderResult::degraded`]); always false for failed requests.
+    pub degraded: bool,
 }
 
 /// Engine-wide counter snapshot ([`Engine::metrics`]).
@@ -92,6 +152,16 @@ pub struct EngineMetrics {
     pub cache_entries: usize,
     pub cache_hits: u64,
     pub cache_misses: u64,
+    /// Pool jobs whose panic was contained (worker survived).
+    pub jobs_panicked: u64,
+    /// Match jobs degraded to no-match after a contained panic.
+    pub match_faults: u64,
+    /// Requests that completed with a best-so-far (degraded) result.
+    pub requests_degraded: u64,
+    /// Requests that produced an [`EngineError`] instead of an analysis.
+    pub requests_failed: u64,
+    /// Poisoned cache shards cleared and recovered.
+    pub cache_poison_recoveries: u64,
 }
 
 impl EngineMetrics {
@@ -151,6 +221,11 @@ pub struct Engine {
     pool: Arc<WorkPool>,
     cache: Arc<MatchCache>,
     completed: Arc<AtomicU64>,
+    degraded: Arc<AtomicU64>,
+    failed: Arc<AtomicU64>,
+    faults: Arc<AtomicU64>,
+    #[cfg(feature = "fault-inject")]
+    fault_plan: Option<Arc<FaultPlan>>,
 }
 
 impl Engine {
@@ -159,8 +234,23 @@ impl Engine {
             pool: Arc::new(WorkPool::new(config.effective_workers())),
             cache: Arc::new(MatchCache::new(config.use_cache)),
             completed: Arc::new(AtomicU64::new(0)),
+            degraded: Arc::new(AtomicU64::new(0)),
+            failed: Arc::new(AtomicU64::new(0)),
+            faults: Arc::new(AtomicU64::new(0)),
             config,
+            #[cfg(feature = "fault-inject")]
+            fault_plan: None,
         }
+    }
+
+    /// An engine with a deterministic fault-injection plan (test
+    /// harness): selected match jobs panic or stall, selected traces
+    /// sleep between steps.
+    #[cfg(feature = "fault-inject")]
+    pub fn with_fault_plan(config: EngineConfig, plan: FaultPlan) -> Engine {
+        let mut e = Engine::new(config);
+        e.fault_plan = Some(Arc::new(plan));
+        e
     }
 
     /// Analyzes a batch. Returns immediately; results stream over the
@@ -185,13 +275,34 @@ impl Engine {
                 let pool = Arc::clone(&self.pool);
                 let cache = Arc::clone(&self.cache);
                 let completed = Arc::clone(&self.completed);
+                let degraded = Arc::clone(&self.degraded);
+                let failed = Arc::clone(&self.failed);
+                let faults = Arc::clone(&self.faults);
+                #[cfg(feature = "fault-inject")]
+                let plan = self.fault_plan.clone();
                 std::thread::Builder::new()
                     .name(format!("engine-coordinator-{c}"))
                     .spawn(move || loop {
-                        let next = queue.lock().unwrap().pop_front();
+                        // A poisoned request queue (a coordinator panicked
+                        // mid-pop) still pops cleanly: VecDeque::pop_front
+                        // is atomic with respect to panics.
+                        let next = queue
+                            .lock()
+                            .unwrap_or_else(PoisonError::into_inner)
+                            .pop_front();
                         let Some((index, req)) = next else { break };
+                        #[cfg(feature = "fault-inject")]
+                        let result = run_request(&pool, &cache, index, req, plan.as_deref());
+                        #[cfg(not(feature = "fault-inject"))]
                         let result = run_request(&pool, &cache, index, req);
                         completed.fetch_add(1, Ordering::Relaxed);
+                        faults.fetch_add(result.metrics.match_faults, Ordering::Relaxed);
+                        if result.metrics.degraded {
+                            degraded.fetch_add(1, Ordering::Relaxed);
+                        }
+                        if result.outcome.is_err() {
+                            failed.fetch_add(1, Ordering::Relaxed);
+                        }
                         if tx.send(result).is_err() {
                             break; // receiver dropped: abandon the batch
                         }
@@ -215,6 +326,7 @@ impl Engine {
             jobs_executed,
             jobs_stolen,
             peak_queue_depth,
+            jobs_panicked,
         } = self.pool.metrics();
         EngineMetrics {
             workers: self.pool.worker_count(),
@@ -225,6 +337,11 @@ impl Engine {
             cache_entries: self.cache.entries(),
             cache_hits: self.cache.hits(),
             cache_misses: self.cache.misses(),
+            jobs_panicked,
+            match_faults: self.faults.load(Ordering::Relaxed),
+            requests_degraded: self.degraded.load(Ordering::Relaxed),
+            requests_failed: self.failed.load(Ordering::Relaxed),
+            cache_poison_recoveries: self.cache.poison_recoveries(),
         }
     }
 }
@@ -258,28 +375,52 @@ impl Drop for Batch {
     }
 }
 
+/// A match job's reply to its coordinator.
+enum JobReply {
+    Done(MatchOutcome),
+    /// The model panicked inside the job's own containment; the
+    /// coordinator degrades the sub-DDG to no-match and counts the fault.
+    Fault,
+}
+
 /// Traces and analyzes one request, fanning match jobs out to `pool`.
+/// The request's deadline (when configured) is anchored *here*, before
+/// tracing, so it covers the whole request: trace, finder iterations,
+/// and every match search.
 fn run_request(
     pool: &Arc<WorkPool>,
     cache: &Arc<MatchCache>,
     index: usize,
     req: AnalysisRequest,
+    #[cfg(feature = "fault-inject")] plan: Option<&FaultPlan>,
 ) -> AnalysisResult {
     let mut metrics = RequestMetrics::default();
+    let cancel = match req.config.deadline {
+        Some(d) => CancelToken::with_deadline(d),
+        None => CancelToken::new(),
+    };
 
     let t0 = Instant::now();
     let mut input = req.input.clone();
     input.trace = trace::TraceMode::Full;
+    if let Some(d) = cancel.deadline() {
+        input.deadline = Some(input.deadline.map_or(d, |existing| existing.min(d)));
+    }
+    #[cfg(feature = "fault-inject")]
+    if let Some(f) = plan.and_then(|p| p.trace_fault_for(&req.id)) {
+        input.fault = Some(f);
+    }
     let run = trace::run(&req.program, &input);
     metrics.trace_time = t0.elapsed();
 
     let mut run = match run {
         Ok(r) => r,
         Err(e) => {
+            metrics.deadline_hit = cancel.is_expired();
             return AnalysisResult {
                 id: req.id,
                 index,
-                outcome: Err(e),
+                outcome: Err(EngineError::Trace(e)),
                 metrics,
             };
         }
@@ -287,20 +428,22 @@ fn run_request(
     let ddg = run.ddg.take().expect("tracing was enabled");
 
     let t0 = Instant::now();
-    let mut state = FinderState::new(&ddg, &req.config);
+    let mut state = FinderState::with_cancel(&ddg, &req.config, cancel.clone());
     // One full-graph reachability closure per request, shared by every
     // cache-key computation.
     let reach = Reachability::compute(state.graph());
 
     while !state.is_done() {
         let jobs = state.active_jobs();
+        let budget = state.budget();
         let t_match = Instant::now();
-        let (tx, rx) = mpsc::channel::<(usize, Option<Pattern>)>();
-        let mut outcomes: Vec<(usize, Option<Pattern>)> = Vec::with_capacity(jobs.len());
+        let (tx, rx) = mpsc::channel::<(usize, JobReply)>();
+        let mut outcomes: Vec<(usize, MatchOutcome)> = Vec::with_capacity(jobs.len());
         let mut in_flight = 0usize;
         for job in jobs {
+            let job_ordinal = metrics.match_jobs;
             metrics.match_jobs += 1;
-            let pending = match cache.probe(state.graph(), &reach, &job.sub, state.budget()) {
+            let pending = match cache.probe(state.graph(), &reach, &job.sub, &budget) {
                 Probe::Hit(p) => {
                     metrics.cache_hits += 1;
                     #[cfg(debug_assertions)]
@@ -311,7 +454,7 @@ fn run_request(
                             p.describe()
                         );
                     }
-                    outcomes.push((job.pool_index, p));
+                    outcomes.push((job.pool_index, MatchOutcome::definitive(p)));
                     continue;
                 }
                 Probe::Miss(pending) => {
@@ -324,35 +467,84 @@ fn run_request(
                 }
             };
             let g = state.graph_arc();
-            let budget = *state.budget();
             let cache = Arc::clone(cache);
             let tx = tx.clone();
+            #[cfg(feature = "fault-inject")]
+            let injected = plan.map_or(fault::JobFault::default(), |p| {
+                p.match_fault(&req.id, job_ordinal)
+            });
+            #[cfg(not(feature = "fault-inject"))]
+            let _ = job_ordinal;
             in_flight += 1;
             pool.submit(Box::new(move || {
-                let outcome = match_subddg(&g, &job.sub, &budget);
-                if let Some(pending) = pending {
-                    cache.fulfil(pending, &job.sub, &outcome);
-                }
+                // Panic isolation: a panicking model (or injected fault)
+                // becomes a recorded per-sub-DDG fault on the
+                // coordinator, degraded to no-match — never a dead
+                // worker or a lost iteration.
+                let matched = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                    #[cfg(feature = "fault-inject")]
+                    injected.fire();
+                    match_subddg_full(&g, &job.sub, &budget)
+                }));
+                let reply = match matched {
+                    Ok(outcome) => {
+                        // Exhausted (time-truncated) outcomes are
+                        // time-dependent, not structural: memoizing one
+                        // would serve a truncated no-match to a request
+                        // with time to spare. Only definitive outcomes
+                        // enter the cache.
+                        if let Some(pending) = pending {
+                            if !outcome.exhausted {
+                                cache.fulfil(pending, &job.sub, &outcome.pattern);
+                            }
+                        }
+                        JobReply::Done(outcome)
+                    }
+                    Err(_) => JobReply::Fault,
+                };
                 // The coordinator may have abandoned the batch.
-                let _ = tx.send((job.pool_index, outcome));
+                let _ = tx.send((job.pool_index, reply));
             }));
         }
         drop(tx);
-        for _ in 0..in_flight {
+        for got in 0..in_flight {
             match rx.recv() {
-                Ok(outcome) => outcomes.push(outcome),
-                Err(_) => panic!("a match worker died without reporting"),
+                Ok((pool_index, JobReply::Done(outcome))) => {
+                    outcomes.push((pool_index, outcome));
+                }
+                Ok((pool_index, JobReply::Fault)) => {
+                    state.note_fault();
+                    metrics.match_faults += 1;
+                    outcomes.push((pool_index, MatchOutcome::default()));
+                }
+                Err(_) => {
+                    // Every sender hung up with outcomes still owed: a
+                    // worker died outside the job's containment. Fail
+                    // this request; the batch and the engine live on.
+                    metrics.deadline_hit = cancel.is_expired();
+                    return AnalysisResult {
+                        id: req.id,
+                        index,
+                        outcome: Err(EngineError::WorkerLost {
+                            missing: in_flight - got,
+                        }),
+                        metrics,
+                    };
+                }
             }
         }
         state.add_matching_time(t_match.elapsed());
         // `apply_matches` re-applies in pool order; sorting here just
         // keeps the outcome list itself deterministic for debugging.
-        outcomes.sort_by_key(|&(i, _)| i);
+        outcomes.sort_by_key(|(i, _)| *i);
         state.apply_matches(outcomes);
     }
 
     let result = state.finish();
     metrics.find_time = t0.elapsed();
+    metrics.matches_exhausted = result.matches_exhausted as u64;
+    metrics.deadline_hit = result.cancelled;
+    metrics.degraded = result.degraded;
     AnalysisResult {
         id: req.id,
         index,
@@ -479,6 +671,111 @@ mod tests {
         let results = engine.analyze_all(vec![req, map_request("good", 4)]);
         assert!(results[0].outcome.is_err());
         assert!(results[1].outcome.is_ok());
+    }
+
+    #[test]
+    fn zero_match_budget_streams_a_degraded_partial_result() {
+        // End-to-end budget exhaustion: a streamcluster-shaped program
+        // whose tiled-reduction search gets no time. The request still
+        // completes — cheap structural matches survive, the result is
+        // flagged degraded, and the exhausted outcome is never cached.
+        let src = r#"
+float p[8];
+float hizs[2];
+float result[1];
+barrier b;
+
+float dist(float x, float y) {
+    float d = x - y;
+    return sqrt(d * d);
+}
+
+void pkmedian(int pid, int nproc) {
+    int k1 = pid * 4;
+    int k2 = k1 + 4;
+    float myhiz = 0.0;
+    int kk;
+    for (kk = k1; kk < k2; kk++) {
+        myhiz = myhiz + dist(p[kk], p[0]);
+    }
+    hizs[pid] = myhiz;
+    barrier_wait(b);
+    if (pid == 0) {
+        float hiz = 0.0;
+        int i;
+        for (i = 0; i < nproc; i++) {
+            hiz = hiz + hizs[i];
+        }
+        result[0] = hiz;
+    }
+}
+
+void main() {
+    int t0;
+    int t1;
+    t0 = spawn pkmedian(0, 2);
+    t1 = spawn pkmedian(1, 2);
+    join(t0);
+    join(t1);
+    output(result);
+}
+"#;
+        let program = minc::compile("sc", src).unwrap();
+        let input = trace::RunConfig::default()
+            .with_f64("p", &[0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0])
+            .with_barrier_participants(2);
+        let mut config = FinderConfig::default();
+        config.budget.time = Duration::ZERO;
+        let req = AnalysisRequest {
+            id: "sc".into(),
+            program,
+            input,
+            config,
+        };
+        let engine = small_engine();
+        let results = engine.analyze_all(vec![req]);
+        let analysis = results[0].outcome.as_ref().expect("completes degraded");
+        assert!(analysis.result.degraded);
+        assert!(!analysis.result.cancelled, "budget, not deadline");
+        assert!(analysis.result.matches_exhausted > 0);
+        assert!(results[0].metrics.degraded);
+        assert!(results[0].metrics.matches_exhausted > 0);
+        // Best-so-far: the budget-free matchers still delivered.
+        let kinds: Vec<_> = analysis
+            .result
+            .found
+            .iter()
+            .map(|f| f.pattern.kind)
+            .collect();
+        assert!(kinds.contains(&PatternKind::LinearReduction), "{kinds:?}");
+        assert!(!kinds.contains(&PatternKind::TiledReduction), "{kinds:?}");
+        assert_eq!(engine.metrics().requests_degraded, 1);
+    }
+
+    #[test]
+    fn an_expired_deadline_still_streams_a_labeled_result() {
+        let mut req = map_request("late", 4);
+        req.config.deadline = Some(Duration::ZERO);
+        let engine = small_engine();
+        let results = engine.analyze_all(vec![req, map_request("on-time", 4)]);
+        assert_eq!(results.len(), 2);
+        // The deadline expired before (or during) the analysis; either a
+        // degraded analysis or a trace-deadline error is acceptable, but
+        // the result must be labeled and the batch must keep going.
+        match &results[0].outcome {
+            Ok(a) => {
+                assert!(a.result.cancelled);
+                assert!(a.result.degraded);
+                assert!(results[0].metrics.deadline_hit);
+            }
+            Err(EngineError::Trace(e)) => {
+                assert!(e.message.contains("deadline"), "{e}");
+                assert!(results[0].metrics.deadline_hit);
+            }
+            Err(other) => panic!("unexpected failure: {other}"),
+        }
+        let on_time = results[1].outcome.as_ref().expect("unaffected sibling");
+        assert!(!on_time.result.degraded);
     }
 
     #[test]

@@ -15,11 +15,23 @@
 //! deadlocks once every worker waits on jobs none of them can run).
 
 use std::collections::VecDeque;
+use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
 
 type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Locks ignoring poisoning. Every structure in this pool (deques, the
+/// pending/shutdown state) is only ever mutated through short,
+/// panic-free critical sections; a poisoned lock here means a *job*
+/// panicked on a worker thread after the guard was taken by someone
+/// else's unwinding, and the protected data is still consistent — so
+/// recover the guard instead of propagating the poison to every other
+/// worker and submitter.
+fn lock_recovering<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// Counters exposed by [`WorkPool::metrics`]. Monotonic over the pool's
 /// lifetime.
@@ -33,6 +45,10 @@ pub struct PoolMetrics {
     /// Highest number of queued-but-unclaimed jobs observed at any
     /// submit.
     pub peak_queue_depth: u64,
+    /// Jobs whose panic the pool contained. The worker thread survives;
+    /// whatever reply channel the job carried is dropped by unwinding,
+    /// which is how the submitter learns the job died.
+    pub jobs_panicked: u64,
 }
 
 struct State {
@@ -50,6 +66,7 @@ struct Shared {
     executed: AtomicU64,
     stolen: AtomicU64,
     peak: AtomicU64,
+    panicked: AtomicU64,
 }
 
 impl Shared {
@@ -60,23 +77,35 @@ impl Shared {
     /// worker was about to take.
     fn claim(&self, me: usize) -> Job {
         loop {
-            if let Some(job) = self.queues[me].lock().unwrap().pop_front() {
+            if let Some(job) = lock_recovering(&self.queues[me]).pop_front() {
                 return job;
             }
-            if let Some(job) = self.injector.lock().unwrap().pop_front() {
+            if let Some(job) = lock_recovering(&self.injector).pop_front() {
                 return job;
             }
             for i in 0..self.queues.len() {
                 if i == me {
                     continue;
                 }
-                if let Some(job) = self.queues[i].lock().unwrap().pop_back() {
+                if let Some(job) = lock_recovering(&self.queues[i]).pop_back() {
                     self.stolen.fetch_add(1, Ordering::Relaxed);
                     return job;
                 }
             }
             std::thread::yield_now();
         }
+    }
+
+    /// Runs one job with panic containment: a panicking job is counted
+    /// and swallowed so the executing thread (worker or submitter)
+    /// survives. The panic payload is dropped — the job's own unwinding
+    /// already released whatever reply channel it held, which is the
+    /// submitter's signal.
+    fn execute(&self, job: Job) {
+        if std::panic::catch_unwind(AssertUnwindSafe(job)).is_err() {
+            self.panicked.fetch_add(1, Ordering::Relaxed);
+        }
+        self.executed.fetch_add(1, Ordering::Relaxed);
     }
 }
 
@@ -104,6 +133,7 @@ impl WorkPool {
             executed: AtomicU64::new(0),
             stolen: AtomicU64::new(0),
             peak: AtomicU64::new(0),
+            panicked: AtomicU64::new(0),
         });
         let handles = (0..n)
             .map(|me| {
@@ -128,11 +158,10 @@ impl WorkPool {
     /// the job runs inline instead.
     pub fn submit(&self, job: Job) {
         {
-            let mut st = self.shared.state.lock().unwrap();
+            let mut st = lock_recovering(&self.shared.state);
             if st.shutdown {
                 drop(st);
-                job();
-                self.shared.executed.fetch_add(1, Ordering::Relaxed);
+                self.shared.execute(job);
                 return;
             }
             st.pending += 1;
@@ -141,7 +170,7 @@ impl WorkPool {
                 .fetch_max(st.pending as u64, Ordering::Relaxed);
         }
         let slot = self.shared.next.fetch_add(1, Ordering::Relaxed) % self.shared.queues.len();
-        self.shared.queues[slot].lock().unwrap().push_back(job);
+        lock_recovering(&self.shared.queues[slot]).push_back(job);
         self.shared.wake.notify_one();
     }
 
@@ -150,6 +179,7 @@ impl WorkPool {
             jobs_executed: self.shared.executed.load(Ordering::Relaxed),
             jobs_stolen: self.shared.stolen.load(Ordering::Relaxed),
             peak_queue_depth: self.shared.peak.load(Ordering::Relaxed),
+            jobs_panicked: self.shared.panicked.load(Ordering::Relaxed),
         }
     }
 }
@@ -157,7 +187,7 @@ impl WorkPool {
 impl Drop for WorkPool {
     fn drop(&mut self) {
         {
-            let mut st = self.shared.state.lock().unwrap();
+            let mut st = lock_recovering(&self.shared.state);
             st.shutdown = true;
         }
         self.shared.wake.notify_all();
@@ -170,7 +200,7 @@ impl Drop for WorkPool {
 fn worker_loop(shared: &Shared, me: usize) {
     loop {
         {
-            let mut st = shared.state.lock().unwrap();
+            let mut st = lock_recovering(&shared.state);
             loop {
                 if st.pending > 0 {
                     st.pending -= 1;
@@ -179,12 +209,11 @@ fn worker_loop(shared: &Shared, me: usize) {
                 if st.shutdown {
                     return;
                 }
-                st = shared.wake.wait(st).unwrap();
+                st = shared.wake.wait(st).unwrap_or_else(PoisonError::into_inner);
             }
         }
         let job = shared.claim(me);
-        job();
-        shared.executed.fetch_add(1, Ordering::Relaxed);
+        shared.execute(job);
     }
 }
 
@@ -251,6 +280,51 @@ mod tests {
             r2.fetch_add(1, Ordering::Relaxed);
         }));
         assert_eq!(ran.load(Ordering::Relaxed), 1, "inline fallback");
+    }
+
+    #[test]
+    fn panicking_jobs_do_not_kill_workers() {
+        let pool = WorkPool::new(2);
+        let (tx, rx) = mpsc::channel();
+        // Interleave panicking jobs with normal ones on both workers.
+        for i in 0..20 {
+            let tx = tx.clone();
+            pool.submit(Box::new(move || {
+                if i % 3 == 0 {
+                    panic!("injected model fault {i}");
+                }
+                tx.send(i).unwrap();
+            }));
+        }
+        drop(tx);
+        let mut got: Vec<usize> = rx.iter().collect();
+        got.sort_unstable();
+        let expected: Vec<usize> = (0..20).filter(|i| i % 3 != 0).collect();
+        assert_eq!(got, expected, "every non-faulted job still runs");
+        // A job's reply channel drops during unwinding, *before* the pool
+        // counts the panic — join the workers before reading counters.
+        let shared = Arc::clone(&pool.shared);
+        drop(pool);
+        assert_eq!(shared.panicked.load(Ordering::Relaxed), 7);
+        assert_eq!(
+            shared.executed.load(Ordering::Relaxed),
+            20,
+            "panicked jobs count as executed"
+        );
+    }
+
+    #[test]
+    fn pool_survives_a_panic_while_a_queue_lock_is_poisonable() {
+        // A panicking job poisons nothing the pool needs: locks are
+        // recovered, and later jobs run normally.
+        let pool = WorkPool::new(1);
+        pool.submit(Box::new(|| panic!("first job dies")));
+        let (tx, rx) = mpsc::channel();
+        pool.submit(Box::new(move || {
+            tx.send(42u32).unwrap();
+        }));
+        assert_eq!(rx.recv().unwrap(), 42);
+        assert_eq!(pool.metrics().jobs_panicked, 1);
     }
 
     #[test]

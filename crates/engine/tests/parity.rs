@@ -17,8 +17,16 @@ fn canonical(r: &FinderResult) -> String {
     let mut out = String::new();
     let _ = writeln!(
         out,
-        "ddg={} simplified={} iterations={} matched={}",
-        r.ddg_size, r.simplified_size, r.iterations, r.subddgs_matched
+        "ddg={} simplified={} iterations={} matched={} degraded={} cancelled={} \
+         exhausted={} faults={}",
+        r.ddg_size,
+        r.simplified_size,
+        r.iterations,
+        r.subddgs_matched,
+        r.degraded,
+        r.cancelled,
+        r.matches_exhausted,
+        r.match_faults
     );
     for f in &r.found {
         let p = &f.pattern;
@@ -41,8 +49,10 @@ fn canonical(r: &FinderResult) -> String {
 }
 
 fn assert_parity(names: &[&str]) {
-    let config = FinderConfig::default();
+    assert_parity_with(names, FinderConfig::default());
+}
 
+fn assert_parity_with(names: &[&str], config: FinderConfig) {
     // Sequential reference, in submission order.
     let mut expected = Vec::new();
     let mut requests = Vec::new();
@@ -93,4 +103,18 @@ fn engine_matches_sequential_finder_on_two_benchmarks() {
 fn engine_matches_sequential_finder_on_all_benchmarks() {
     let names: Vec<&str> = all_benchmarks().iter().map(|b| b.name).collect();
     assert_parity(&names);
+}
+
+#[test]
+fn an_unexpired_deadline_does_not_perturb_results() {
+    // A deadline with hours of slack must leave every observable field —
+    // including the degradation flags — byte-identical to the
+    // deadline-free sequential finder's view of the same config.
+    assert_parity_with(
+        &["rgbyuv"],
+        FinderConfig {
+            deadline: Some(std::time::Duration::from_secs(3600)),
+            ..FinderConfig::default()
+        },
+    );
 }

@@ -25,3 +25,6 @@ pub mod shadow;
 pub use compile::compile_program;
 pub use machine::MachineError;
 pub use run::{run, RunConfig, RunResult, TraceMode};
+
+#[cfg(feature = "fault-inject")]
+pub use run::TraceFault;

@@ -17,6 +17,18 @@ use crate::shadow::{ShadowMemory, Taint};
 use ddg::{DdgBuilder, LabelId, NodeId, ScopeEntry};
 use repro_ir::{BinOp, FnId, Intrinsic, Program, UnOp, Value};
 use std::collections::HashSet;
+use std::time::Instant;
+
+/// Execution limits (and injected faults, under `fault-inject`), derived
+/// from [`crate::RunConfig`]. Both limits make runaway programs surface
+/// as a [`MachineError`] instead of wedging the caller: `max_steps` is
+/// deterministic fuel, `deadline` is the wall clock.
+pub(crate) struct Limits {
+    pub max_steps: u64,
+    pub deadline: Option<Instant>,
+    #[cfg(feature = "fault-inject")]
+    pub fault: Option<crate::run::TraceFault>,
+}
 
 /// A runtime failure, attributed to the simulated thread that caused it.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -84,7 +96,7 @@ pub struct Machine<'a> {
     loop_instances: Vec<u32>,
     iterator_ops: HashSet<u32>,
     pub(crate) steps: u64,
-    max_steps: u64,
+    limits: Limits,
     pub(crate) entry_return: Option<Value>,
 }
 
@@ -99,7 +111,7 @@ impl<'a> Machine<'a> {
         barrier_participants: &[usize],
         tracing: bool,
         iterator_ops: HashSet<u32>,
-        max_steps: u64,
+        limits: Limits,
     ) -> Self {
         let lens: Vec<usize> = globals.iter().map(|g| g.len()).collect();
         assert_eq!(
@@ -129,7 +141,7 @@ impl<'a> Machine<'a> {
             loop_instances: vec![0; program.loop_count as usize],
             iterator_ops,
             steps: 0,
-            max_steps,
+            limits,
             entry_return: None,
         }
     }
@@ -211,6 +223,17 @@ impl<'a> Machine<'a> {
     }
 
     fn run_slice(&mut self, t: usize) -> Result<(), MachineError> {
+        // Deadline expiry is checked once per slice: cheap enough to
+        // leave on, frequent enough (≤ 4096 instructions) that a wedged
+        // or slowed program cannot overrun its request deadline by much.
+        if let Some(d) = self.limits.deadline {
+            if Instant::now() >= d {
+                return Err(MachineError {
+                    thread: t,
+                    message: format!("deadline exceeded after {} steps", self.steps),
+                });
+            }
+        }
         // A blocked-but-now-eligible thread resumes by retrying its
         // blocking instruction (Join/Lock) — the pc was not advanced.
         self.threads[t].status = Status::Runnable;
@@ -219,11 +242,17 @@ impl<'a> Machine<'a> {
             self.step(t)?;
             budget -= 1;
             self.steps += 1;
-            if self.steps > self.max_steps {
+            if self.steps > self.limits.max_steps {
                 return Err(MachineError {
                     thread: t,
-                    message: format!("step limit {} exceeded", self.max_steps),
+                    message: format!("step limit {} exceeded", self.limits.max_steps),
                 });
+            }
+            #[cfg(feature = "fault-inject")]
+            if let Some(f) = self.limits.fault {
+                if f.every > 0 && self.steps.is_multiple_of(f.every) {
+                    std::thread::sleep(f.delay);
+                }
             }
         }
         Ok(())

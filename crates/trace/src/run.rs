@@ -1,10 +1,24 @@
 //! Top-level entry point: configure inputs, execute, collect results.
 
 use crate::compile::compile_program;
-use crate::machine::{Machine, MachineError};
+use crate::machine::{Limits, Machine, MachineError};
 use ddg::Ddg;
 use repro_ir::{Program, Value};
 use std::collections::HashMap;
+use std::time::Instant;
+
+/// Deterministic fault injection into the machine's step loop
+/// (`fault-inject` feature only): sleep `delay` every `every` executed
+/// steps. Simulates a slow or wedged traced program so the fuel and
+/// deadline paths can be exercised without a genuinely nonterminating
+/// workload.
+#[cfg(feature = "fault-inject")]
+#[derive(Clone, Copy, Debug)]
+pub struct TraceFault {
+    /// Inject after every `every` executed instructions (0 disables).
+    pub every: u64,
+    pub delay: std::time::Duration,
+}
 
 /// Whether to record a DDG during execution.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -31,8 +45,16 @@ pub struct RunConfig {
     pub barrier_participants: Vec<usize>,
     /// Tracing mode.
     pub trace: TraceMode,
-    /// Abort the run after this many executed instructions.
+    /// Abort the run after this many executed instructions — the trace
+    /// *fuel*. A nonterminating program surfaces as a [`MachineError`]
+    /// instead of wedging its caller.
     pub max_steps: u64,
+    /// Abort the run at this wall-clock instant (request-level deadline;
+    /// checked at scheduler-slice granularity).
+    pub deadline: Option<Instant>,
+    /// Injected machine faults (test harness only).
+    #[cfg(feature = "fault-inject")]
+    pub fault: Option<TraceFault>,
 }
 
 impl Default for RunConfig {
@@ -44,6 +66,9 @@ impl Default for RunConfig {
             barrier_participants: Vec::new(),
             trace: TraceMode::Full,
             max_steps: 500_000_000,
+            deadline: None,
+            #[cfg(feature = "fault-inject")]
+            fault: None,
         }
     }
 }
@@ -84,6 +109,18 @@ impl RunConfig {
     /// object of the program is filled in by [`run`]).
     pub fn with_barrier_participants(mut self, n: usize) -> Self {
         self.barrier_participants = vec![n];
+        self
+    }
+
+    /// Sets the trace fuel (instruction limit).
+    pub fn with_max_steps(mut self, max_steps: u64) -> Self {
+        self.max_steps = max_steps;
+        self
+    }
+
+    /// Sets the wall-clock deadline.
+    pub fn with_deadline(mut self, deadline: Instant) -> Self {
+        self.deadline = Some(deadline);
         self
     }
 }
@@ -162,6 +199,12 @@ pub fn run(program: &Program, config: &RunConfig) -> Result<RunResult, MachineEr
         Default::default()
     };
 
+    let limits = Limits {
+        max_steps: config.max_steps,
+        deadline: config.deadline,
+        #[cfg(feature = "fault-inject")]
+        fault: config.fault,
+    };
     let mut m = Machine::new(
         program,
         &code,
@@ -169,7 +212,7 @@ pub fn run(program: &Program, config: &RunConfig) -> Result<RunResult, MachineEr
         &participants,
         tracing,
         iterator_ops,
-        config.max_steps,
+        limits,
     );
     m.boot(config.entry_args.clone());
     m.run_to_completion()?;
@@ -464,6 +507,62 @@ mod tests {
         let cfg = RunConfig::default().with_barrier_participants(2);
         let err = run(&p, &cfg).unwrap_err();
         assert!(err.message.contains("deadlock"), "{err}");
+    }
+
+    /// `while (i < 1) { i = 0; }` — spins forever.
+    fn nonterminating_program() -> Program {
+        let src = "int out[1];\nvoid main() {\n  int i;\n  i = 0;\n  \
+                   while (i < 1) {\n    i = 0;\n  }\n  output(out);\n}\n";
+        minc::compile("spin", src).unwrap()
+    }
+
+    #[test]
+    fn trace_fuel_stops_a_nonterminating_program() {
+        let p = nonterminating_program();
+        let cfg = RunConfig::default().with_max_steps(10_000);
+        let err = run(&p, &cfg).unwrap_err();
+        assert!(err.message.contains("step limit"), "{err}");
+    }
+
+    #[test]
+    fn deadline_stops_a_nonterminating_program() {
+        let p = nonterminating_program();
+        let cfg = RunConfig::default()
+            .with_deadline(Instant::now() + std::time::Duration::from_millis(30));
+        let t0 = Instant::now();
+        let err = run(&p, &cfg).unwrap_err();
+        assert!(err.message.contains("deadline"), "{err}");
+        assert!(
+            t0.elapsed() < std::time::Duration::from_secs(20),
+            "deadline must cut the run off promptly"
+        );
+    }
+
+    #[test]
+    fn unexpired_deadline_does_not_perturb_a_run() {
+        let p = map_program();
+        let cfg = RunConfig::default()
+            .with_f64("in", &[1.0, 2.0, 3.0, 4.0])
+            .with_deadline(Instant::now() + std::time::Duration::from_secs(3600));
+        let r = run(&p, &cfg).unwrap();
+        assert_eq!(r.f64s("out"), vec![2.0, 4.0, 6.0, 8.0]);
+    }
+
+    #[cfg(feature = "fault-inject")]
+    #[test]
+    fn injected_step_delay_trips_the_deadline() {
+        // A spinning program slowed to ~10 ms per scheduler slice: the
+        // 30 ms deadline must fire at a slice boundary long before the
+        // (generous) fuel runs out.
+        let p = nonterminating_program();
+        let mut cfg = RunConfig::default()
+            .with_deadline(Instant::now() + std::time::Duration::from_millis(30));
+        cfg.fault = Some(TraceFault {
+            every: 4000,
+            delay: std::time::Duration::from_millis(10),
+        });
+        let err = run(&p, &cfg).unwrap_err();
+        assert!(err.message.contains("deadline"), "{err}");
     }
 
     #[test]

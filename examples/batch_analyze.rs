@@ -59,7 +59,7 @@ fn main() {
                 let reported = analysis.result.reported().count();
                 println!(
                     "[{:>2}] {:<22} {:>3} patterns  trace {:>7.1?}  find {:>7.1?}  \
-                     {} match jobs ({} cache hits)",
+                     {} match jobs ({} cache hits){}",
                     res.index,
                     res.id,
                     reported,
@@ -67,6 +67,11 @@ fn main() {
                     res.metrics.find_time,
                     res.metrics.match_jobs,
                     res.metrics.cache_hits,
+                    if res.metrics.degraded {
+                        "  DEGRADED"
+                    } else {
+                        ""
+                    },
                 );
             }
             Err(e) => println!("[{:>2}] {:<22} FAILED: {e}", res.index, res.id),
@@ -86,4 +91,10 @@ fn main() {
         100.0 * m.cache_hit_rate(),
         m.cache_entries,
     );
+    if m.match_faults + m.requests_degraded + m.requests_failed > 0 {
+        println!(
+            "faults: {} match faults, {} requests degraded, {} failed",
+            m.match_faults, m.requests_degraded, m.requests_failed,
+        );
+    }
 }
