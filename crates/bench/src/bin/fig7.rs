@@ -11,7 +11,9 @@
 //! `--deadline-ms <ms>` bounds each request wall-clock (expired runs
 //! report best-so-far patterns, flagged degraded).
 
-use repro_bench::{cli, engine, print_engine_metrics, render_table, write_record};
+use repro_bench::{
+    cli, engine, export_obs, obs_report, print_engine_metrics, render_table, write_record,
+};
 use repro_engine::AnalysisRequest;
 use serde::Serialize;
 use starbench::{all_benchmarks, Version};
@@ -25,6 +27,8 @@ struct Point {
     trace_seconds: f64,
     find_seconds: f64,
     reduction: f64,
+    /// Per-phase wall times (fractional ms) — the Fig. 7 breakdown.
+    phases: discovery::PhaseTimes,
 }
 
 fn main() {
@@ -94,6 +98,7 @@ fn main() {
             trace_seconds: trace_s,
             find_seconds: find_s,
             reduction: result.simplify_stats.reduction(),
+            phases: result.phase_times,
         });
     }
 
@@ -164,6 +169,19 @@ fn main() {
     print_engine_metrics(&eng);
 
     write_record("fig7", &points);
+
+    // The repo's perf-trajectory seed: the full per-point phase breakdown
+    // plus engine counters, written unconditionally as one ObsReport.
+    let mut report = obs_report("fig7", &opts, &eng);
+    report.meta("factors", format!("{factors:?}"));
+    report.meta("loglog_slope", format!("{slope:.3}"));
+    report.meta("avg_reduction", format!("{avg_red:.3}"));
+    report.section("points", &points);
+    match report.write(std::path::Path::new("BENCH_fig7.json")) {
+        Ok(()) => eprintln!("(phase breakdown written to BENCH_fig7.json)"),
+        Err(e) => eprintln!("cannot write BENCH_fig7.json: {e}"),
+    }
+    export_obs(&opts, &report);
 }
 
 /// Least-squares slope of ln(y) over ln(x).

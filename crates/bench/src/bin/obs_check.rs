@@ -1,0 +1,66 @@
+//! CI gate for the observability artefacts: validates a Chrome trace and
+//! a metrics JSON produced by `--trace-out` / `--metrics-json`.
+//!
+//! ```sh
+//! obs_check <trace.json> <metrics.json> [required-section ...]
+//! ```
+//!
+//! The trace must parse, contain events, and have balanced begin/end
+//! pairs on every thread; the metrics document must carry the
+//! `meta`/`counters`/`gauges`/`histograms`/`sections` keys plus every
+//! required section (default: `engine`). Exits nonzero with a message on
+//! the first violation.
+
+use std::process::exit;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (trace_path, metrics_path) = match (args.first(), args.get(1)) {
+        (Some(t), Some(m)) => (t, m),
+        _ => {
+            eprintln!("usage: obs_check <trace.json> <metrics.json> [required-section ...]");
+            exit(2);
+        }
+    };
+    let sections: Vec<&str> = if args.len() > 2 {
+        args[2..].iter().map(String::as_str).collect()
+    } else {
+        vec!["engine"]
+    };
+
+    let trace = read(trace_path);
+    let summary = obs::validate_chrome_trace(&trace).unwrap_or_else(|e| {
+        eprintln!("obs_check: {trace_path}: {e}");
+        exit(1);
+    });
+    if summary.events == 0 {
+        eprintln!("obs_check: {trace_path}: trace contains no events");
+        exit(1);
+    }
+    if summary.begins != summary.ends {
+        eprintln!(
+            "obs_check: {trace_path}: {} begin events vs {} end events",
+            summary.begins, summary.ends
+        );
+        exit(1);
+    }
+
+    let metrics = read(metrics_path);
+    if let Err(e) = obs::validate_metrics_json(&metrics, &sections) {
+        eprintln!("obs_check: {metrics_path}: {e}");
+        exit(1);
+    }
+
+    println!(
+        "obs_check: OK — {} events ({} spans, {} instants) on {} threads; \
+         metrics sections {sections:?} present",
+        summary.events, summary.begins, summary.instants, summary.threads
+    );
+}
+
+fn read(path: &str) -> String {
+    std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("obs_check: cannot read {path}: {e}");
+        exit(1);
+    })
+}

@@ -8,7 +8,9 @@
 //! kernel) are matched once. `--workers`/`--budget-ms`/`--deadline-ms`
 //! apply.
 
-use repro_bench::{cli, engine, print_engine_metrics, render_table, write_record};
+use repro_bench::{
+    cli, engine, export_obs, obs_report, print_engine_metrics, render_table, write_record,
+};
 use repro_engine::AnalysisRequest;
 use serde::Serialize;
 use starbench::{all_benchmarks, evaluate, Version};
@@ -137,4 +139,10 @@ fn main() {
     print_engine_metrics(&eng);
 
     write_record("table3", &records);
+
+    let mut report = obs_report("table3", &opts, &eng);
+    report.meta("found", found_total);
+    report.meta("expected", expected_total + 6);
+    report.section("rows", &records);
+    export_obs(&opts, &report);
 }

@@ -16,6 +16,7 @@
 use serde::Serialize;
 use starbench::{evaluate, Benchmark, Evaluation, Version};
 use std::io::Write as _;
+use std::path::PathBuf;
 use std::time::{Duration, Instant};
 
 /// Command-line options shared by the experiment binaries.
@@ -27,23 +28,47 @@ use std::time::{Duration, Instant};
 ///   `degraded` (default: none);
 /// - `--workers <n>` — match workers for the engine-driven binaries
 ///   (default: one per hardware thread);
+/// - `--trace-out <path>` — enable span tracing and write a Chrome
+///   trace-event JSON (open in <https://ui.perfetto.dev>) when the
+///   binary finishes;
+/// - `--metrics-json <path>` — enable metrics and write the flat
+///   `ObsReport` JSON when the binary finishes;
 /// - everything else passes through as positional arguments.
 pub struct Cli {
     /// Finder configuration with the budget applied.
     pub config: discovery::FinderConfig,
     /// Engine worker count; 0 means the engine default.
     pub workers: usize,
+    /// Chrome trace output path (tracing enabled when set).
+    pub trace_out: Option<PathBuf>,
+    /// Flat metrics JSON output path (tracing enabled when set).
+    pub metrics_json: Option<PathBuf>,
     pub positional: Vec<String>,
 }
 
-/// Parses the process arguments.
+impl Cli {
+    /// True when either observability output was requested.
+    pub fn obs_requested(&self) -> bool {
+        self.trace_out.is_some() || self.metrics_json.is_some()
+    }
+}
+
+/// Parses the process arguments, switching the process-wide obs layer on
+/// when `--trace-out`/`--metrics-json` ask for it (tracing is off — and
+/// every instrumentation site inert — otherwise).
 pub fn cli() -> Cli {
-    parse_args(std::env::args().skip(1))
+    let cli = parse_args(std::env::args().skip(1));
+    if cli.obs_requested() {
+        obs::enable();
+    }
+    cli
 }
 
 fn parse_args(args: impl Iterator<Item = String>) -> Cli {
     let mut config = discovery::FinderConfig::default();
     let mut workers = 0usize;
+    let mut trace_out = None;
+    let mut metrics_json = None;
     let mut positional = Vec::new();
     let mut args = args.peekable();
     while let Some(arg) = args.next() {
@@ -67,13 +92,45 @@ fn parse_args(args: impl Iterator<Item = String>) -> Cli {
             "--workers" => {
                 workers = take("--workers").parse().expect("--workers: count");
             }
+            "--trace-out" => {
+                trace_out = Some(PathBuf::from(take("--trace-out")));
+            }
+            "--metrics-json" => {
+                metrics_json = Some(PathBuf::from(take("--metrics-json")));
+            }
             _ => positional.push(arg),
         }
     }
     Cli {
         config,
         workers,
+        trace_out,
+        metrics_json,
         positional,
+    }
+}
+
+/// Writes the observability outputs the command line asked for: drains
+/// the recorded spans into `--trace-out` and the caller-assembled
+/// [`obs::ObsReport`] into `--metrics-json`. A no-op for paths that were
+/// not requested, so binaries call it unconditionally at exit.
+pub fn export_obs(opts: &Cli, report: &obs::ObsReport) {
+    if let Some(path) = &opts.trace_out {
+        let threads = obs::take_events();
+        match obs::write_chrome_trace(path, &threads) {
+            Ok(()) => eprintln!(
+                "(trace with {} thread track(s) written to {})",
+                threads.len(),
+                path.display()
+            ),
+            Err(e) => eprintln!("cannot write trace {}: {e}", path.display()),
+        }
+    }
+    if let Some(path) = &opts.metrics_json {
+        match report.write(path) {
+            Ok(()) => eprintln!("(metrics written to {})", path.display()),
+            Err(e) => eprintln!("cannot write metrics {}: {e}", path.display()),
+        }
     }
 }
 
@@ -115,6 +172,18 @@ pub fn print_engine_metrics(engine: &repro_engine::Engine) {
             m.cache_poison_recoveries,
         );
     }
+}
+
+/// A standard [`obs::ObsReport`] for an engine-driven experiment: the
+/// registry snapshot, run parameters, and the engine's own counters as
+/// an embedded section.
+pub fn obs_report(experiment: &str, opts: &Cli, engine: &repro_engine::Engine) -> obs::ObsReport {
+    let mut r = obs::ObsReport::snapshot();
+    r.meta("experiment", experiment);
+    r.meta("workers", engine.metrics().workers);
+    r.meta("budget_ms", opts.config.budget.time.as_millis());
+    r.section("engine", &engine.metrics());
+    r
 }
 
 /// One analysis run: trace, find patterns, evaluate against Table 3.

@@ -65,6 +65,32 @@ impl PhaseTimes {
     }
 }
 
+// Durations serialize as fractional milliseconds (`*_ms`) — the unit
+// every figure in the paper reports, and directly plottable without a
+// {secs, nanos} unpacking step. Manual impl: the derive cannot see
+// through `Duration`.
+impl serde::Serialize for PhaseTimes {
+    fn serialize_json(&self, out: &mut String) {
+        let fields = [
+            ("simplify_ms", self.simplify),
+            ("decompose_ms", self.decompose),
+            ("matching_ms", self.matching),
+            ("combine_ms", self.combine),
+            ("merge_ms", self.merge),
+            ("total_ms", self.total()),
+        ];
+        out.push('{');
+        for (i, (k, d)) in fields.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            serde::ser_key(out, k);
+            (d.as_secs_f64() * 1e3).serialize_json(out);
+        }
+        out.push('}');
+    }
+}
+
 /// Everything the finder produced, plus the metrics the evaluation
 /// harness reports.
 #[derive(Debug)]
@@ -120,6 +146,16 @@ pub struct MatchJob {
     pub sub: SubDdg,
 }
 
+/// An open match phase, issued by [`FinderState::begin_matching`] and
+/// closed by [`FinderState::end_matching`]. Owns the single wall clock
+/// (and `finder.match` span) for the phase, so no driver keeps a second
+/// one.
+#[must_use = "close the phase with FinderState::end_matching"]
+pub struct MatchPhase {
+    t0: Instant,
+    _span: obs::SpanGuard,
+}
+
 /// The iterative finder as an explicit state machine.
 ///
 /// `find_patterns` drives it sequentially; the engine crate drives the
@@ -163,20 +199,30 @@ impl FinderState {
         let mut times = PhaseTimes::default();
 
         let t0 = Instant::now();
-        let (g, _map, simplify_stats) = if config.enable_simplify {
-            simplify(raw)
-        } else {
-            let stats = SimplifyStats {
-                nodes_before: raw.len(),
-                nodes_after: raw.len(),
-                ..Default::default()
+        let (g, _map, simplify_stats) = {
+            let mut span = obs::span_args("finder.simplify", || {
+                vec![("nodes_before", obs::ArgValue::U64(raw.len() as u64))]
+            });
+            let r = if config.enable_simplify {
+                simplify(raw)
+            } else {
+                let stats = SimplifyStats {
+                    nodes_before: raw.len(),
+                    nodes_after: raw.len(),
+                    ..Default::default()
+                };
+                (raw.clone(), Vec::new(), stats)
             };
-            (raw.clone(), Vec::new(), stats)
+            span.arg("nodes_after", obs::ArgValue::U64(r.0.len() as u64));
+            r
         };
         times.simplify = t0.elapsed();
 
         let t0 = Instant::now();
-        let initial = decompose(&g);
+        let initial = {
+            let _span = obs::span("finder.decompose");
+            decompose(&g)
+        };
         times.decompose = t0.elapsed();
 
         let mut pool: Vec<PoolEntry> = Vec::new();
@@ -262,10 +308,31 @@ impl FinderState {
             .collect()
     }
 
-    /// Records wall time spent in the match phase (the driver measures
-    /// it, since matching may run on other threads).
-    pub fn add_matching_time(&mut self, d: Duration) {
+    /// Opens the match phase of one iteration. Matching may run on other
+    /// threads, so the finder cannot time it internally — but with *this*
+    /// as the only way to record match time, every driver measures the
+    /// phase at exactly one site (and under one `finder.match` span)
+    /// instead of keeping its own duplicate clock.
+    pub fn begin_matching(&self) -> MatchPhase {
+        MatchPhase {
+            t0: Instant::now(),
+            _span: obs::span_args("finder.match", || {
+                vec![
+                    ("iteration", obs::ArgValue::U64(self.iterations as u64 + 1)),
+                    ("jobs", obs::ArgValue::U64(self.active.len() as u64)),
+                ]
+            }),
+        }
+    }
+
+    /// Closes the match phase, accumulating its wall time into the
+    /// finder's [`PhaseTimes`]. Returns the elapsed time so drivers can
+    /// fold the same measurement into their own metrics instead of
+    /// re-measuring.
+    pub fn end_matching(&mut self, phase: MatchPhase) -> Duration {
+        let d = phase.t0.elapsed();
         self.times.matching += d;
+        d
     }
 
     /// Applies one iteration's match outcomes, then runs the sequential
@@ -300,6 +367,9 @@ impl FinderState {
 
         // Generate new sub-DDGs by subtraction and fusion.
         let t0 = Instant::now();
+        let combine_span = obs::span_args("finder.combine", || {
+            vec![("matched", obs::ArgValue::U64(matched_now.len() as u64))]
+        });
         let mut fresh: Vec<SubDdg> = Vec::new();
         for j in &matched_now {
             let taken = self.pool[*j].sub.nodes.clone();
@@ -338,6 +408,7 @@ impl FinderState {
                 }
             }
         }
+        drop(combine_span);
         self.times.combine += t0.elapsed();
 
         // Insert the genuinely new sub-DDGs and mark them active.
@@ -353,7 +424,12 @@ impl FinderState {
     /// Runs the merge phase and packages the result.
     pub fn finish(mut self) -> FinderResult {
         let t0 = Instant::now();
-        merge(&mut self.found);
+        {
+            let _span = obs::span_args("finder.merge", || {
+                vec![("found", obs::ArgValue::U64(self.found.len() as u64))]
+            });
+            merge(&mut self.found);
+        }
         self.times.merge = t0.elapsed();
 
         let cancelled = self.cancel.is_expired();
@@ -382,7 +458,7 @@ pub fn find_patterns(raw: &Ddg, config: &FinderConfig) -> FinderResult {
     let mut state = FinderState::new(raw, config);
     while !state.is_done() {
         let budget = state.budget();
-        let t0 = Instant::now();
+        let phase = state.begin_matching();
         let outcomes: Vec<(usize, MatchOutcome)> = state
             .active_jobs()
             .into_iter()
@@ -391,7 +467,7 @@ pub fn find_patterns(raw: &Ddg, config: &FinderConfig) -> FinderResult {
                 (job.pool_index, outcome)
             })
             .collect();
-        state.add_matching_time(t0.elapsed());
+        state.end_matching(phase);
         state.apply_matches(outcomes);
     }
     state.finish()

@@ -34,7 +34,9 @@ pub mod report;
 pub mod simplify;
 pub mod subddg;
 
-pub use finder::{find_patterns, FinderConfig, FinderResult, FinderState, MatchJob, PhaseTimes};
+pub use finder::{
+    find_patterns, FinderConfig, FinderResult, FinderState, MatchJob, MatchPhase, PhaseTimes,
+};
 pub use models::{match_subddg, match_subddg_full, MatchBudget, MatchOutcome};
 pub use partial::{classify_across_inputs, partial_patterns, Stability};
 pub use patterns::{Found, Pattern, PatternKind};

@@ -96,7 +96,14 @@ impl MatchOutcome {
 /// budget short-circuits without matching — the cooperative cancellation
 /// point request deadlines rely on.
 pub fn match_subddg_full(g: &Ddg, sub: &SubDdg, budget: &MatchBudget) -> MatchOutcome {
+    let mut span = obs::span_args("finder.match_subddg", || {
+        vec![
+            ("nodes", obs::ArgValue::U64(sub.nodes.len() as u64)),
+            ("models", obs::ArgValue::Static(models_for(&sub.kind))),
+        ]
+    });
     if budget.expired() {
+        span.arg("result", obs::ArgValue::Static("expired"));
         return MatchOutcome::exhausted();
     }
     let q = Quotient::build(g, sub);
@@ -122,6 +129,14 @@ pub fn match_subddg_full(g: &Ddg, sub: &SubDdg, budget: &MatchBudget) -> MatchOu
             }
         }
     };
+    span.arg(
+        "result",
+        obs::ArgValue::Static(match (&outcome.pattern, outcome.exhausted) {
+            (Some(p), _) => p.kind.short(),
+            (None, true) => "exhausted",
+            (None, false) => "no-match",
+        }),
+    );
     // Defense in depth: every reported match must satisfy the raw
     // definitions.
     #[cfg(debug_assertions)]

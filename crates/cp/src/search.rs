@@ -15,6 +15,13 @@ pub struct SearchStats {
     pub nodes: u64,
     pub solutions: u64,
     pub max_depth: u32,
+    /// Fixpoint propagation rounds run (one per decision plus the root).
+    pub propagations: u64,
+    /// Decision levels undone.
+    pub backtracks: u64,
+    /// Budget checks that fired on the wall-clock deadline or a cancel
+    /// token (node-limit exhaustion is not counted here).
+    pub deadline_prunes: u64,
 }
 
 /// Result of a search run.
@@ -96,10 +103,17 @@ impl Search {
         self.stats
     }
 
-    fn out_of_budget(&self) -> bool {
-        self.stats.nodes >= self.node_limit
-            || self.deadline.is_some_and(|d| Instant::now() >= d)
+    fn out_of_budget(&mut self) -> bool {
+        if self.stats.nodes >= self.node_limit {
+            return true;
+        }
+        if self.deadline.is_some_and(|d| Instant::now() >= d)
             || self.cancel.as_ref().is_some_and(|c| c.is_expired())
+        {
+            self.stats.deadline_prunes += 1;
+            return true;
+        }
+        false
     }
 
     /// First-fail variable selection: smallest unfixed domain.
@@ -180,10 +194,29 @@ impl Search {
 
     /// The DFS core. `on_solution` returns false to stop the search.
     fn dfs(&mut self, on_solution: &mut dyn FnMut(&[u32]) -> bool) -> Walk {
-        if !self.engine.propagate(&mut self.store) {
-            return Walk::Done;
+        let before = self.stats;
+        let mut span = obs::span("cp.search");
+        self.stats.propagations += 1;
+        let walk = if self.engine.propagate(&mut self.store) {
+            self.walk(0, on_solution)
+        } else {
+            Walk::Done
+        };
+        if obs::enabled() {
+            let d = self.stats;
+            obs::counter("cp.decisions").add(d.nodes - before.nodes);
+            obs::counter("cp.propagations").add(d.propagations - before.propagations);
+            obs::counter("cp.backtracks").add(d.backtracks - before.backtracks);
+            obs::counter("cp.deadline_prunes").add(d.deadline_prunes - before.deadline_prunes);
+            obs::counter("cp.solutions").add(d.solutions - before.solutions);
+            span.arg("decisions", obs::ArgValue::U64(d.nodes - before.nodes));
+            span.arg(
+                "solutions",
+                obs::ArgValue::U64(d.solutions - before.solutions),
+            );
+            span.arg("max_depth", obs::ArgValue::U64(d.max_depth as u64));
         }
-        self.walk(0, on_solution)
+        walk
     }
 
     fn walk(&mut self, depth: u32, on_solution: &mut dyn FnMut(&[u32]) -> bool) -> Walk {
@@ -203,13 +236,18 @@ impl Search {
             }
             self.stats.nodes += 1;
             self.store.push_level();
-            let feasible = self.store.assign(var, v) && self.engine.propagate(&mut self.store);
+            let feasible = self.store.assign(var, v) && {
+                self.stats.propagations += 1;
+                self.engine.propagate(&mut self.store)
+            };
             if feasible {
                 if let Walk::Abort = self.walk(depth + 1, on_solution) {
+                    self.stats.backtracks += 1;
                     self.store.pop_level();
                     return Walk::Abort;
                 }
             }
+            self.stats.backtracks += 1;
             self.store.pop_level();
         }
         Walk::Done

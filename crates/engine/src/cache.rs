@@ -101,7 +101,7 @@ pub struct PendingEntry {
 const SHARDS: usize = 16;
 
 /// Counter snapshot ([`MatchCache::metrics`]).
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Copy, Debug, Default, serde::Serialize)]
 pub struct CacheMetrics {
     pub entries: usize,
     pub hits: u64,

@@ -141,8 +141,41 @@ pub struct RequestMetrics {
     pub degraded: bool,
 }
 
+// Durations serialize as fractional milliseconds; the derive cannot see
+// through `Duration`, hence the manual impl.
+impl serde::Serialize for RequestMetrics {
+    fn serialize_json(&self, out: &mut String) {
+        out.push('{');
+        serde::ser_key(out, "trace_ms");
+        (self.trace_time.as_secs_f64() * 1e3).serialize_json(out);
+        out.push(',');
+        serde::ser_key(out, "find_ms");
+        (self.find_time.as_secs_f64() * 1e3).serialize_json(out);
+        let ints = [
+            ("match_jobs", self.match_jobs),
+            ("cache_hits", self.cache_hits),
+            ("cache_misses", self.cache_misses),
+            ("cache_bypassed", self.cache_bypassed),
+            ("match_faults", self.match_faults),
+            ("matches_exhausted", self.matches_exhausted),
+        ];
+        for (k, v) in ints {
+            out.push(',');
+            serde::ser_key(out, k);
+            v.serialize_json(out);
+        }
+        out.push(',');
+        serde::ser_key(out, "deadline_hit");
+        self.deadline_hit.serialize_json(out);
+        out.push(',');
+        serde::ser_key(out, "degraded");
+        self.degraded.serialize_json(out);
+        out.push('}');
+    }
+}
+
 /// Engine-wide counter snapshot ([`Engine::metrics`]).
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Copy, Debug, Default, serde::Serialize)]
 pub struct EngineMetrics {
     pub workers: usize,
     pub jobs_executed: u64,
@@ -394,6 +427,12 @@ fn run_request(
     req: AnalysisRequest,
     #[cfg(feature = "fault-inject")] plan: Option<&FaultPlan>,
 ) -> AnalysisResult {
+    let mut req_span = obs::span_args("engine.request", || {
+        vec![
+            ("id", obs::ArgValue::Str(req.id.clone())),
+            ("index", obs::ArgValue::U64(index as u64)),
+        ]
+    });
     let mut metrics = RequestMetrics::default();
     let cancel = match req.config.deadline {
         Some(d) => CancelToken::with_deadline(d),
@@ -417,6 +456,7 @@ fn run_request(
         Ok(r) => r,
         Err(e) => {
             metrics.deadline_hit = cancel.is_expired();
+            req_span.arg("result", obs::ArgValue::Static("trace-error"));
             return AnalysisResult {
                 id: req.id,
                 index,
@@ -436,7 +476,11 @@ fn run_request(
     while !state.is_done() {
         let jobs = state.active_jobs();
         let budget = state.budget();
-        let t_match = Instant::now();
+        // The finder owns the one wall clock (and obs span) for the match
+        // phase — cache probes and job waits included — so the sequential
+        // and parallel drivers report the same "matching" time (see
+        // `FinderState::begin_matching`).
+        let phase = state.begin_matching();
         let (tx, rx) = mpsc::channel::<(usize, JobReply)>();
         let mut outcomes: Vec<(usize, MatchOutcome)> = Vec::with_capacity(jobs.len());
         let mut in_flight = 0usize;
@@ -446,6 +490,7 @@ fn run_request(
             let pending = match cache.probe(state.graph(), &reach, &job.sub, &budget) {
                 Probe::Hit(p) => {
                     metrics.cache_hits += 1;
+                    obs::instant("cache.hit");
                     #[cfg(debug_assertions)]
                     if let Some(p) = &p {
                         debug_assert!(
@@ -459,10 +504,12 @@ fn run_request(
                 }
                 Probe::Miss(pending) => {
                     metrics.cache_misses += 1;
+                    obs::instant("cache.miss");
                     Some(pending)
                 }
                 Probe::Uncacheable => {
                     metrics.cache_bypassed += 1;
+                    obs::instant("cache.bypass");
                     None
                 }
             };
@@ -515,6 +562,7 @@ fn run_request(
                 Ok((pool_index, JobReply::Fault)) => {
                     state.note_fault();
                     metrics.match_faults += 1;
+                    obs::instant("engine.match_fault");
                     outcomes.push((pool_index, MatchOutcome::default()));
                 }
                 Err(_) => {
@@ -522,6 +570,7 @@ fn run_request(
                     // worker died outside the job's containment. Fail
                     // this request; the batch and the engine live on.
                     metrics.deadline_hit = cancel.is_expired();
+                    req_span.arg("result", obs::ArgValue::Static("worker-lost"));
                     return AnalysisResult {
                         id: req.id,
                         index,
@@ -533,7 +582,7 @@ fn run_request(
                 }
             }
         }
-        state.add_matching_time(t_match.elapsed());
+        state.end_matching(phase);
         // `apply_matches` re-applies in pool order; sorting here just
         // keeps the outcome list itself deterministic for debugging.
         outcomes.sort_by_key(|(i, _)| *i);
@@ -545,6 +594,10 @@ fn run_request(
     metrics.matches_exhausted = result.matches_exhausted as u64;
     metrics.deadline_hit = result.cancelled;
     metrics.degraded = result.degraded;
+    req_span.arg(
+        "result",
+        obs::ArgValue::Static(if result.degraded { "degraded" } else { "ok" }),
+    );
     AnalysisResult {
         id: req.id,
         index,

@@ -35,7 +35,7 @@ fn lock_recovering<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
 
 /// Counters exposed by [`WorkPool::metrics`]. Monotonic over the pool's
 /// lifetime.
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Copy, Debug, Default, serde::Serialize)]
 pub struct PoolMetrics {
     /// Jobs that finished executing on a worker (or inline after
     /// shutdown).
@@ -89,6 +89,12 @@ impl Shared {
                 }
                 if let Some(job) = lock_recovering(&self.queues[i]).pop_back() {
                     self.stolen.fetch_add(1, Ordering::Relaxed);
+                    obs::instant_args("pool.steal", || {
+                        vec![
+                            ("by", obs::ArgValue::U64(me as u64)),
+                            ("from", obs::ArgValue::U64(i as u64)),
+                        ]
+                    });
                     return job;
                 }
             }
@@ -102,8 +108,10 @@ impl Shared {
     /// already released whatever reply channel it held, which is the
     /// submitter's signal.
     fn execute(&self, job: Job) {
+        let mut span = obs::span("pool.job");
         if std::panic::catch_unwind(AssertUnwindSafe(job)).is_err() {
             self.panicked.fetch_add(1, Ordering::Relaxed);
+            span.arg("panicked", obs::ArgValue::U64(1));
         }
         self.executed.fetch_add(1, Ordering::Relaxed);
     }

@@ -1,0 +1,316 @@
+//! Exporters and validators: Chrome trace-event JSON and the flat
+//! metrics JSON written by [`crate::ObsReport`].
+//!
+//! The trace format is the Chrome `traceEvents` JSON loadable in
+//! Perfetto (<https://ui.perfetto.dev>) and `chrome://tracing`: `"B"`/
+//! `"E"` duration events and `"i"` instants with microsecond
+//! timestamps, plus `"M"` metadata events naming each thread track.
+
+use crate::json::{parse, Json};
+use crate::span::{ArgValue, EventKind, ThreadEvents};
+use serde::{ser_key, ser_str};
+use std::io::Write as _;
+use std::path::Path;
+
+const PID: u32 = 1;
+
+fn push_args(out: &mut String, args: &[(&'static str, ArgValue)]) {
+    if args.is_empty() {
+        return;
+    }
+    out.push(',');
+    ser_key(out, "args");
+    out.push('{');
+    for (i, (k, v)) in args.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        ser_key(out, k);
+        match v {
+            ArgValue::U64(n) => out.push_str(&n.to_string()),
+            ArgValue::I64(n) => out.push_str(&n.to_string()),
+            ArgValue::F64(x) if x.is_finite() => out.push_str(&x.to_string()),
+            ArgValue::F64(_) => out.push_str("null"),
+            ArgValue::Str(s) => ser_str(out, s),
+            ArgValue::Static(s) => ser_str(out, s),
+        }
+    }
+    out.push('}');
+}
+
+/// Renders drained events ([`crate::take_events`]) as a Chrome
+/// trace-event JSON document.
+pub fn chrome_trace_json(threads: &[ThreadEvents]) -> String {
+    let mut out = String::with_capacity(64 * 1024);
+    out.push('{');
+    ser_key(&mut out, "traceEvents");
+    out.push('[');
+    let mut first = true;
+    let mut emit = |s: &str, out: &mut String| {
+        if !std::mem::take(&mut first) {
+            out.push(',');
+        }
+        out.push_str(s);
+    };
+    // Process + thread name metadata, so Perfetto shows named tracks.
+    let mut meta = String::new();
+    meta.push_str(&format!(
+        r#"{{"ph":"M","name":"process_name","pid":{PID},"tid":0,"args":{{"name":"modernize"}}}}"#
+    ));
+    emit(&meta, &mut out);
+    for t in threads {
+        let mut m = String::new();
+        m.push_str(&format!(
+            r#"{{"ph":"M","name":"thread_name","pid":{PID},"tid":{},"args":{{"name":"#,
+            t.tid
+        ));
+        ser_str(&mut m, &t.name);
+        m.push_str("}}");
+        emit(&m, &mut out);
+    }
+    for t in threads {
+        for e in &t.events {
+            let ph = match e.kind {
+                EventKind::Begin => "B",
+                EventKind::End => "E",
+                EventKind::Instant => "i",
+            };
+            let mut ev = String::new();
+            ev.push('{');
+            ser_key(&mut ev, "name");
+            ser_str(&mut ev, e.name);
+            ev.push_str(&format!(
+                r#","cat":"obs","ph":"{ph}","pid":{PID},"tid":{},"ts":{}"#,
+                t.tid,
+                // Chrome timestamps are fractional microseconds.
+                e.ts_ns as f64 / 1e3
+            ));
+            if e.kind == EventKind::Instant {
+                ev.push_str(r#","s":"t""#);
+            }
+            push_args(&mut ev, &e.args);
+            ev.push('}');
+            emit(&ev, &mut out);
+        }
+    }
+    out.push_str("],");
+    ser_key(&mut out, "displayTimeUnit");
+    out.push_str("\"ms\"}");
+    out
+}
+
+/// Renders and writes a Chrome trace to `path`.
+pub fn write_chrome_trace(path: &Path, threads: &[ThreadEvents]) -> std::io::Result<()> {
+    let mut f = std::fs::File::create(path)?;
+    f.write_all(chrome_trace_json(threads).as_bytes())
+}
+
+/// What [`validate_chrome_trace`] measured.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct TraceSummary {
+    pub events: usize,
+    pub begins: usize,
+    pub ends: usize,
+    pub instants: usize,
+    /// Threads with at least one non-metadata event.
+    pub threads: usize,
+}
+
+/// Parses a Chrome trace document and checks its invariants: a
+/// `traceEvents` array whose `"B"`/`"E"` events nest properly (matching
+/// names, never negative depth, fully closed) *per thread*. Returns
+/// event counts for the caller's own assertions.
+pub fn validate_chrome_trace(doc: &str) -> Result<TraceSummary, String> {
+    let v = parse(doc)?;
+    let events = v
+        .get("traceEvents")
+        .and_then(Json::as_arr)
+        .ok_or("missing traceEvents array")?;
+    let mut summary = TraceSummary::default();
+    // tid -> stack of open span names.
+    let mut stacks: Vec<(f64, Vec<String>)> = Vec::new();
+    let mut tids_with_events: Vec<f64> = Vec::new();
+    for e in events {
+        let ph = e
+            .get("ph")
+            .and_then(Json::as_str)
+            .ok_or("event without ph")?;
+        if ph == "M" {
+            continue;
+        }
+        let tid = e
+            .get("tid")
+            .and_then(Json::as_f64)
+            .ok_or("event without tid")?;
+        let name = e
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or("event without name")?
+            .to_string();
+        e.get("ts")
+            .and_then(Json::as_f64)
+            .ok_or("event without ts")?;
+        summary.events += 1;
+        if !tids_with_events.contains(&tid) {
+            tids_with_events.push(tid);
+        }
+        let stack = match stacks.iter_mut().find(|(t, _)| *t == tid) {
+            Some((_, s)) => s,
+            None => {
+                stacks.push((tid, Vec::new()));
+                &mut stacks.last_mut().unwrap().1
+            }
+        };
+        match ph {
+            "B" => {
+                summary.begins += 1;
+                stack.push(name);
+            }
+            "E" => {
+                summary.ends += 1;
+                match stack.pop() {
+                    Some(open) if open == name => {}
+                    Some(open) => {
+                        return Err(format!(
+                            "tid {tid}: end of {name:?} closes open span {open:?}"
+                        ))
+                    }
+                    None => return Err(format!("tid {tid}: end of {name:?} with no open span")),
+                }
+            }
+            "i" => summary.instants += 1,
+            other => return Err(format!("unexpected phase {other:?}")),
+        }
+    }
+    for (tid, stack) in &stacks {
+        if !stack.is_empty() {
+            return Err(format!(
+                "tid {tid}: {} span(s) left open: {stack:?}",
+                stack.len()
+            ));
+        }
+    }
+    summary.threads = tids_with_events.len();
+    Ok(summary)
+}
+
+/// Parses an [`crate::ObsReport`] metrics document and checks the
+/// required top-level keys plus the presence of each named section.
+pub fn validate_metrics_json(doc: &str, required_sections: &[&str]) -> Result<(), String> {
+    let v = parse(doc)?;
+    for key in ["meta", "counters", "gauges", "histograms", "sections"] {
+        if v.get(key).is_none() {
+            return Err(format!("metrics JSON is missing the {key:?} key"));
+        }
+    }
+    let sections = v.get("sections").ok_or("missing sections")?;
+    if !sections.is_obj() {
+        return Err("sections is not an object".to_string());
+    }
+    for name in required_sections {
+        if sections.get(name).is_none() {
+            return Err(format!("metrics JSON is missing section {name:?}"));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::Event;
+
+    fn ev(name: &'static str, kind: EventKind, ts_ns: u64) -> Event {
+        Event {
+            name,
+            kind,
+            ts_ns,
+            args: Vec::new(),
+        }
+    }
+
+    fn thread(tid: u32, name: &str, events: Vec<Event>) -> ThreadEvents {
+        ThreadEvents {
+            tid,
+            name: name.to_string(),
+            events,
+        }
+    }
+
+    #[test]
+    fn export_round_trips_through_the_validator() {
+        let threads = vec![
+            thread(
+                0,
+                "main",
+                vec![
+                    Event {
+                        name: "a",
+                        kind: EventKind::Begin,
+                        ts_ns: 1000,
+                        args: vec![
+                            ("n", ArgValue::U64(2)),
+                            ("tag", ArgValue::Str("x\"y".into())),
+                        ],
+                    },
+                    ev("b", EventKind::Begin, 2000),
+                    ev("tick", EventKind::Instant, 2500),
+                    ev("b", EventKind::End, 3000),
+                    ev("a", EventKind::End, 4000),
+                ],
+            ),
+            thread(
+                1,
+                "engine-worker-0",
+                vec![
+                    ev("job", EventKind::Begin, 1500),
+                    ev("job", EventKind::End, 1800),
+                ],
+            ),
+        ];
+        let doc = chrome_trace_json(&threads);
+        let summary = validate_chrome_trace(&doc).unwrap();
+        assert_eq!(summary.begins, 3);
+        assert_eq!(summary.ends, 3);
+        assert_eq!(summary.instants, 1);
+        assert_eq!(summary.threads, 2);
+        // The named tracks exist as metadata.
+        assert!(doc.contains("engine-worker-0"));
+        assert!(doc.contains("\"displayTimeUnit\":\"ms\""));
+    }
+
+    #[test]
+    fn validator_rejects_unbalanced_and_misnested_traces() {
+        let open = chrome_trace_json(&[thread(0, "t", vec![ev("a", EventKind::Begin, 1)])]);
+        assert!(validate_chrome_trace(&open)
+            .unwrap_err()
+            .contains("left open"));
+
+        let crossed = chrome_trace_json(&[thread(
+            0,
+            "t",
+            vec![
+                ev("a", EventKind::Begin, 1),
+                ev("b", EventKind::Begin, 2),
+                ev("a", EventKind::End, 3),
+                ev("b", EventKind::End, 4),
+            ],
+        )]);
+        assert!(validate_chrome_trace(&crossed).is_err());
+
+        assert!(validate_chrome_trace("not json").is_err());
+        assert!(validate_chrome_trace("{}").is_err());
+    }
+
+    #[test]
+    fn metrics_validator_checks_required_keys_and_sections() {
+        let mut report = crate::ObsReport::snapshot();
+        report.meta("kind", "test");
+        report.section_raw("engine", "{\"workers\":4}".to_string());
+        let doc = report.to_json();
+        validate_metrics_json(&doc, &["engine"]).unwrap();
+        assert!(validate_metrics_json(&doc, &["absent"]).is_err());
+        assert!(validate_metrics_json("{}", &[]).is_err());
+        assert!(validate_metrics_json("[", &[]).is_err());
+    }
+}

@@ -1,0 +1,156 @@
+//! A minimal JSON value tree, parsed with the vendored serde shim's
+//! token parser. The shim deliberately has no dynamic `Value` type (its
+//! derives are fully typed), but the trace/metrics *validators* need
+//! one: they check files whose exact shape is the thing under test.
+
+use serde::de::Parser;
+
+/// A parsed JSON value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    /// Key/value pairs in document order (duplicate keys preserved).
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Object member lookup (first match).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    pub fn is_obj(&self) -> bool {
+        matches!(self, Json::Obj(_))
+    }
+}
+
+/// Parses one complete JSON document (trailing whitespace allowed).
+pub fn parse(input: &str) -> Result<Json, String> {
+    let mut p = Parser::new(input);
+    let v = parse_value(&mut p)?;
+    if !p.at_end() {
+        return Err("trailing content after JSON document".to_string());
+    }
+    Ok(v)
+}
+
+fn parse_value(p: &mut Parser<'_>) -> Result<Json, String> {
+    match p.peek_char() {
+        Some('{') => {
+            p.expect_char('{').map_err(|e| e.to_string())?;
+            let mut members = Vec::new();
+            if p.peek_char() == Some('}') {
+                p.expect_char('}').map_err(|e| e.to_string())?;
+                return Ok(Json::Obj(members));
+            }
+            loop {
+                let key = p.parse_key().map_err(|e| e.to_string())?;
+                let value = parse_value(p)?;
+                members.push((key, value));
+                if p.peek_char() == Some(',') {
+                    p.expect_char(',').map_err(|e| e.to_string())?;
+                } else {
+                    break;
+                }
+            }
+            p.expect_char('}').map_err(|e| e.to_string())?;
+            Ok(Json::Obj(members))
+        }
+        Some('[') => {
+            p.expect_char('[').map_err(|e| e.to_string())?;
+            let mut items = Vec::new();
+            if p.peek_char() == Some(']') {
+                p.expect_char(']').map_err(|e| e.to_string())?;
+                return Ok(Json::Arr(items));
+            }
+            loop {
+                items.push(parse_value(p)?);
+                if p.peek_char() == Some(',') {
+                    p.expect_char(',').map_err(|e| e.to_string())?;
+                } else {
+                    break;
+                }
+            }
+            p.expect_char(']').map_err(|e| e.to_string())?;
+            Ok(Json::Arr(items))
+        }
+        Some('"') => Ok(Json::Str(p.parse_string().map_err(|e| e.to_string())?)),
+        Some('t') | Some('f') => {
+            if p.consume_lit("true") {
+                Ok(Json::Bool(true))
+            } else if p.consume_lit("false") {
+                Ok(Json::Bool(false))
+            } else {
+                Err("expected boolean".to_string())
+            }
+        }
+        Some('n') => {
+            if p.consume_lit("null") {
+                Ok(Json::Null)
+            } else {
+                Err("expected null".to_string())
+            }
+        }
+        Some(_) => {
+            let tok = p.parse_number_token().map_err(|e| e.to_string())?;
+            tok.parse::<f64>()
+                .map(Json::Num)
+                .map_err(|e| format!("bad number {tok:?}: {e}"))
+        }
+        None => Err("unexpected end of input".to_string()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_nested_documents() {
+        let doc = r#"{"a": [1, 2.5, -3e2], "b": {"c": "x\ny", "d": true, "e": null}} "#;
+        let v = parse(doc).unwrap();
+        let a = v.get("a").unwrap().as_arr().unwrap();
+        assert_eq!(a.len(), 3);
+        assert_eq!(a[2].as_f64(), Some(-300.0));
+        assert_eq!(v.get("b").unwrap().get("c").unwrap().as_str(), Some("x\ny"));
+        assert_eq!(v.get("b").unwrap().get("d"), Some(&Json::Bool(true)));
+        assert_eq!(v.get("b").unwrap().get("e"), Some(&Json::Null));
+        assert_eq!(v.get("missing"), None);
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(parse("{").is_err());
+        assert!(parse("[1, 2,]").is_err());
+        assert!(parse("{\"a\": 1} extra").is_err());
+        assert!(parse("").is_err());
+    }
+}

@@ -1,0 +1,80 @@
+//! `repro-obs` — the observability core of the reproduction pipeline.
+//!
+//! Three pieces (DESIGN.md §11):
+//!
+//! - **Span tracing** ([`span`]): RAII guards record begin/end events
+//!   into thread-local buffers; a process-wide collector drains them.
+//!   Every recording site is gated behind one relaxed atomic load
+//!   ([`enabled`]), so a build with tracing off pays a few nanoseconds
+//!   per site and allocates nothing.
+//! - **Metrics registry** ([`registry`]): named counters, gauges and
+//!   histograms, snapshot into a serializable [`MetricsSnapshot`]. The
+//!   pipeline's existing metrics structs (`EngineMetrics`, `PhaseTimes`,
+//!   …) embed in an [`ObsReport`] as pre-serialized JSON sections, which
+//!   keeps this crate a leaf — everything depends on `obs`, `obs`
+//!   depends only on the vendored serde shims.
+//! - **Exporters** ([`export`]): Chrome trace-event JSON (loadable in
+//!   Perfetto or `chrome://tracing`, worker threads as named tracks) and
+//!   a flat metrics JSON, plus validators for both used by tests and the
+//!   CI checker.
+//!
+//! Tracing is off by default. Turn it on with [`enable`] (the bench
+//! binaries do this when `--trace-out`/`--metrics-json` is passed), run
+//! the workload, then [`take_events`] + [`export::write_chrome_trace`].
+
+pub mod export;
+pub mod json;
+pub mod registry;
+pub mod report;
+pub mod span;
+
+pub use export::{
+    chrome_trace_json, validate_chrome_trace, validate_metrics_json, write_chrome_trace,
+    TraceSummary,
+};
+pub use registry::{
+    counter, gauge, histogram, snapshot, Counter, Gauge, Histogram, MetricsSnapshot,
+};
+pub use report::ObsReport;
+pub use span::{
+    instant, instant_args, span, span_args, take_events, ArgValue, Event, EventKind, SpanGuard,
+    ThreadEvents,
+};
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::OnceLock;
+use std::time::Instant;
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// Whether span recording is on. One relaxed load — this is the check
+/// every instrumentation site makes first, and the *only* cost a site
+/// pays while tracing is off.
+#[inline(always)]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Turns span recording on (and anchors the trace epoch, so the first
+/// event does not pay the `OnceLock` initialization inside a span).
+pub fn enable() {
+    let _ = epoch();
+    ENABLED.store(true, Ordering::SeqCst);
+}
+
+/// Turns span recording off. Spans already open still record their end
+/// event, so per-thread begin/end balance is preserved.
+pub fn disable() {
+    ENABLED.store(false, Ordering::SeqCst);
+}
+
+/// The process-wide trace epoch: all event timestamps are nanoseconds
+/// since this instant.
+pub(crate) fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+pub(crate) fn now_ns() -> u64 {
+    epoch().elapsed().as_nanos() as u64
+}

@@ -1,0 +1,252 @@
+//! The metrics registry: named counters, gauges and duration histograms.
+//!
+//! Handles are cheap `Arc`s over atomics: registration (name lookup)
+//! takes a lock once, after which every increment is lock-free. Unlike
+//! spans, metrics are *not* gated on [`crate::enabled`] — callers that
+//! flush per-run totals check the gate themselves, so a disabled run
+//! never touches the registry at all.
+
+use serde::Serialize;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock, PoisonError};
+use std::time::Duration;
+
+/// A monotonically increasing named counter.
+#[derive(Clone)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A named gauge holding one `f64` (last write wins).
+#[derive(Clone)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Gauge {
+    pub fn set(&self, v: f64) {
+        self.0.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+/// Power-of-two nanosecond buckets: bucket `i` counts samples with
+/// `ns < 2^i`. 48 buckets cover ~3 days.
+const BUCKETS: usize = 48;
+
+struct HistogramInner {
+    count: AtomicU64,
+    sum_ns: AtomicU64,
+    max_ns: AtomicU64,
+    buckets: [AtomicU64; BUCKETS],
+}
+
+/// A named duration histogram (power-of-two nanosecond buckets).
+#[derive(Clone)]
+pub struct Histogram(Arc<HistogramInner>);
+
+impl Histogram {
+    pub fn record(&self, d: Duration) {
+        self.record_ns(d.as_nanos().min(u64::MAX as u128) as u64);
+    }
+
+    pub fn record_ns(&self, ns: u64) {
+        let h = &self.0;
+        h.count.fetch_add(1, Ordering::Relaxed);
+        h.sum_ns.fetch_add(ns, Ordering::Relaxed);
+        h.max_ns.fetch_max(ns, Ordering::Relaxed);
+        let bucket = (64 - ns.leading_zeros() as usize).min(BUCKETS - 1);
+        h.buckets[bucket].fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.0.count.load(Ordering::Relaxed)
+    }
+}
+
+#[derive(Default)]
+struct Registry {
+    counters: Mutex<BTreeMap<String, Counter>>,
+    gauges: Mutex<BTreeMap<String, Gauge>>,
+    histograms: Mutex<BTreeMap<String, Histogram>>,
+}
+
+fn registry() -> &'static Registry {
+    static REGISTRY: OnceLock<Registry> = OnceLock::new();
+    REGISTRY.get_or_init(Registry::default)
+}
+
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// The counter named `name`, creating it at zero on first use.
+pub fn counter(name: &str) -> Counter {
+    lock(&registry().counters)
+        .entry(name.to_string())
+        .or_insert_with(|| Counter(Arc::new(AtomicU64::new(0))))
+        .clone()
+}
+
+/// The gauge named `name`, creating it at zero on first use.
+pub fn gauge(name: &str) -> Gauge {
+    lock(&registry().gauges)
+        .entry(name.to_string())
+        .or_insert_with(|| Gauge(Arc::new(AtomicU64::new(0.0f64.to_bits()))))
+        .clone()
+}
+
+/// The histogram named `name`, creating it empty on first use.
+pub fn histogram(name: &str) -> Histogram {
+    lock(&registry().histograms)
+        .entry(name.to_string())
+        .or_insert_with(|| {
+            Histogram(Arc::new(HistogramInner {
+                count: AtomicU64::new(0),
+                sum_ns: AtomicU64::new(0),
+                max_ns: AtomicU64::new(0),
+                buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            }))
+        })
+        .clone()
+}
+
+/// One counter's snapshot.
+#[derive(Clone, Debug, Serialize)]
+pub struct CounterValue {
+    pub name: String,
+    pub value: u64,
+}
+
+/// One gauge's snapshot.
+#[derive(Clone, Debug, Serialize)]
+pub struct GaugeValue {
+    pub name: String,
+    pub value: f64,
+}
+
+/// One histogram's snapshot. `p50_ms` is a bucket upper-bound estimate;
+/// the other fields are exact.
+#[derive(Clone, Debug, Serialize)]
+pub struct HistogramValue {
+    pub name: String,
+    pub count: u64,
+    pub sum_ms: f64,
+    pub avg_ms: f64,
+    pub p50_ms: f64,
+    pub max_ms: f64,
+}
+
+/// A point-in-time copy of the whole registry, ordered by name.
+#[derive(Clone, Debug, Default, Serialize)]
+pub struct MetricsSnapshot {
+    pub counters: Vec<CounterValue>,
+    pub gauges: Vec<GaugeValue>,
+    pub histograms: Vec<HistogramValue>,
+}
+
+/// Snapshots every registered metric.
+pub fn snapshot() -> MetricsSnapshot {
+    let counters = lock(&registry().counters)
+        .iter()
+        .map(|(name, c)| CounterValue {
+            name: name.clone(),
+            value: c.get(),
+        })
+        .collect();
+    let gauges = lock(&registry().gauges)
+        .iter()
+        .map(|(name, g)| GaugeValue {
+            name: name.clone(),
+            value: g.get(),
+        })
+        .collect();
+    let histograms = lock(&registry().histograms)
+        .iter()
+        .map(|(name, h)| {
+            let count = h.0.count.load(Ordering::Relaxed);
+            let sum_ns = h.0.sum_ns.load(Ordering::Relaxed);
+            let max_ns = h.0.max_ns.load(Ordering::Relaxed);
+            let ms = |ns: u64| ns as f64 / 1e6;
+            // p50: the upper bound of the bucket holding the median.
+            let mut seen = 0u64;
+            let mut p50_ns = 0u64;
+            for (i, b) in h.0.buckets.iter().enumerate() {
+                seen += b.load(Ordering::Relaxed);
+                if count > 0 && seen * 2 >= count {
+                    p50_ns = 1u64 << i;
+                    break;
+                }
+            }
+            HistogramValue {
+                name: name.clone(),
+                count,
+                sum_ms: ms(sum_ns),
+                avg_ms: if count == 0 {
+                    0.0
+                } else {
+                    ms(sum_ns) / count as f64
+                },
+                p50_ms: ms(p50_ns),
+                max_ms: ms(max_ns),
+            }
+        })
+        .collect();
+    MetricsSnapshot {
+        counters,
+        gauges,
+        histograms,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handles_share_state_and_snapshot_in_name_order() {
+        counter("test.zz").add(5);
+        counter("test.aa").inc();
+        counter("test.aa").inc(); // same underlying counter
+        gauge("test.g").set(2.5);
+        histogram("test.h").record(Duration::from_micros(100));
+        histogram("test.h").record(Duration::from_micros(300));
+
+        let snap = snapshot();
+        let get = |n: &str| snap.counters.iter().find(|c| c.name == n).unwrap().value;
+        assert_eq!(get("test.aa"), 2);
+        assert_eq!(get("test.zz"), 5);
+        let names: Vec<&str> = snap.counters.iter().map(|c| c.name.as_str()).collect();
+        let mut sorted = names.clone();
+        sorted.sort_unstable();
+        assert_eq!(names, sorted, "snapshot is name-ordered");
+
+        assert_eq!(
+            snap.gauges
+                .iter()
+                .find(|g| g.name == "test.g")
+                .unwrap()
+                .value,
+            2.5
+        );
+        let h = snap.histograms.iter().find(|h| h.name == "test.h").unwrap();
+        assert_eq!(h.count, 2);
+        assert!((h.sum_ms - 0.4).abs() < 1e-9, "{}", h.sum_ms);
+        assert!(h.max_ms >= 0.3 - 1e-9);
+        assert!(h.p50_ms > 0.0);
+    }
+}

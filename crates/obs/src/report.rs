@@ -1,0 +1,137 @@
+//! [`ObsReport`]: one serializable document combining the registry
+//! snapshot with caller-provided metric sections.
+//!
+//! `obs` is a leaf crate — it cannot name `EngineMetrics` or
+//! `PhaseTimes`. Callers serialize those themselves (they all implement
+//! the shim's `Serialize`) and attach the JSON with [`ObsReport::section`];
+//! the report embeds each section verbatim under `"sections"`.
+
+use crate::registry::MetricsSnapshot;
+use serde::{ser_key, ser_str, Serialize};
+use std::io::Write as _;
+use std::path::Path;
+
+/// A flat metrics document: `meta` (string key/values), the registry
+/// snapshot (`counters`/`gauges`/`histograms`), and named `sections` of
+/// caller-serialized JSON.
+#[derive(Clone, Debug, Default)]
+pub struct ObsReport {
+    meta: Vec<(String, String)>,
+    metrics: MetricsSnapshot,
+    sections: Vec<(String, String)>,
+}
+
+impl ObsReport {
+    /// A report over the current registry contents.
+    pub fn snapshot() -> ObsReport {
+        ObsReport {
+            meta: Vec::new(),
+            metrics: crate::registry::snapshot(),
+            sections: Vec::new(),
+        }
+    }
+
+    /// Adds a `meta` entry (run parameters, ids, timestamps).
+    pub fn meta(&mut self, key: &str, value: impl ToString) {
+        self.meta.push((key.to_string(), value.to_string()));
+    }
+
+    /// Attaches a serializable value as a named section.
+    pub fn section<T: Serialize + ?Sized>(&mut self, name: &str, value: &T) {
+        let mut json = String::new();
+        value.serialize_json(&mut json);
+        self.section_raw(name, json);
+    }
+
+    /// Attaches an already-serialized JSON value as a named section.
+    pub fn section_raw(&mut self, name: &str, json: String) {
+        self.sections.push((name.to_string(), json));
+    }
+
+    /// Renders the report as one JSON document.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(4096);
+        self.serialize_json(&mut out);
+        out
+    }
+
+    /// Writes the report to `path`.
+    pub fn write(&self, path: &Path) -> std::io::Result<()> {
+        let mut f = std::fs::File::create(path)?;
+        f.write_all(self.to_json().as_bytes())
+    }
+}
+
+impl Serialize for ObsReport {
+    fn serialize_json(&self, out: &mut String) {
+        out.push('{');
+        ser_key(out, "meta");
+        out.push('{');
+        for (i, (k, v)) in self.meta.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            ser_key(out, k);
+            ser_str(out, v);
+        }
+        out.push_str("},");
+        ser_key(out, "counters");
+        self.metrics.counters.serialize_json(out);
+        out.push(',');
+        ser_key(out, "gauges");
+        self.metrics.gauges.serialize_json(out);
+        out.push(',');
+        ser_key(out, "histograms");
+        self.metrics.histograms.serialize_json(out);
+        out.push(',');
+        ser_key(out, "sections");
+        out.push('{');
+        for (i, (name, json)) in self.sections.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            ser_key(out, name);
+            out.push_str(json); // embedded verbatim: already JSON
+        }
+        out.push_str("}}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::{parse, Json};
+
+    #[test]
+    fn report_embeds_sections_verbatim_and_parses_back() {
+        let mut r = ObsReport::snapshot();
+        r.meta("workers", 4);
+        r.meta("note", "has \"quotes\"");
+        r.section("list", &vec![1u64, 2, 3]);
+        r.section_raw(
+            "engine",
+            r#"{"jobs_executed":7,"hit_rate":0.5}"#.to_string(),
+        );
+        let doc = r.to_json();
+        let v = parse(&doc).unwrap();
+        assert_eq!(
+            v.get("meta").unwrap().get("workers").unwrap().as_str(),
+            Some("4")
+        );
+        assert_eq!(
+            v.get("meta").unwrap().get("note").unwrap().as_str(),
+            Some("has \"quotes\"")
+        );
+        let list = v
+            .get("sections")
+            .unwrap()
+            .get("list")
+            .unwrap()
+            .as_arr()
+            .unwrap();
+        assert_eq!(list.len(), 3);
+        let engine = v.get("sections").unwrap().get("engine").unwrap();
+        assert_eq!(engine.get("jobs_executed").unwrap().as_f64(), Some(7.0));
+        assert!(matches!(v.get("counters"), Some(Json::Arr(_))));
+    }
+}

@@ -98,6 +98,14 @@ pub struct Machine<'a> {
     pub(crate) steps: u64,
     limits: Limits,
     pub(crate) entry_return: Option<Value>,
+    /// Observability sampled once at construction: a run never changes
+    /// its recording mode mid-flight, and the disabled path stays one
+    /// branch per slice / per shadow access.
+    obs_on: bool,
+    /// Scheduler slices executed (spans are per slice, not per step).
+    slices: u64,
+    shadow_reads: u64,
+    shadow_writes: u64,
 }
 
 /// Number of instructions a thread runs before the scheduler rotates.
@@ -143,6 +151,26 @@ impl<'a> Machine<'a> {
             steps: 0,
             limits,
             entry_return: None,
+            obs_on: obs::enabled(),
+            slices: 0,
+            shadow_reads: 0,
+            shadow_writes: 0,
+        }
+    }
+
+    /// Flushes the run's counters into the metrics registry. Called once
+    /// per run by [`crate::run()`]; a no-op when recording is off.
+    pub(crate) fn flush_obs(&self) {
+        if !self.obs_on {
+            return;
+        }
+        obs::counter("trace.steps").add(self.steps);
+        obs::counter("trace.slices").add(self.slices);
+        obs::counter("trace.shadow_reads").add(self.shadow_reads);
+        obs::counter("trace.shadow_writes").add(self.shadow_writes);
+        obs::counter("trace.threads").add(self.threads.len() as u64);
+        if self.tracing {
+            obs::counter("trace.ddg_nodes").add(self.ddg.len() as u64);
         }
     }
 
@@ -237,6 +265,17 @@ impl<'a> Machine<'a> {
         // A blocked-but-now-eligible thread resumes by retrying its
         // blocking instruction (Join/Lock) — the pc was not advanced.
         self.threads[t].status = Status::Runnable;
+        // One span per slice, not per step: at SLICE-instruction
+        // granularity the timeline shows the scheduler's round-robin
+        // interleaving without drowning the trace in events.
+        let _slice_span = if self.obs_on {
+            self.slices += 1;
+            Some(obs::span_args("vm.slice", || {
+                vec![("thread", obs::ArgValue::U64(t as u64))]
+            }))
+        } else {
+            None
+        };
         let mut budget = SLICE;
         while budget > 0 && self.threads[t].status == Status::Runnable {
             self.step(t)?;
@@ -296,6 +335,9 @@ impl<'a> Machine<'a> {
                 let i = self.check_index(t, a.index(), idx)?;
                 let v = self.globals[a.index()][i];
                 let def = self.shadow.get(a.index(), i);
+                if self.obs_on {
+                    self.shadow_reads += 1;
+                }
                 self.push(t, (v, def));
             }
             Inst::StoreArr(a) => {
@@ -305,6 +347,9 @@ impl<'a> Machine<'a> {
                 let i = self.check_index(t, a.index(), idx)?;
                 self.globals[a.index()][i] = v;
                 self.shadow.set(a.index(), i, vt);
+                if self.obs_on {
+                    self.shadow_writes += 1;
+                }
             }
             Inst::Bin { op, id, pos } => {
                 let (b, bt) = self.pop(t)?;

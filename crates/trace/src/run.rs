@@ -158,6 +158,9 @@ impl RunResult {
 
 /// Compiles, instruments (when tracing), and executes `program`.
 pub fn run(program: &Program, config: &RunConfig) -> Result<RunResult, MachineError> {
+    let _span = obs::span_args("trace.run", || {
+        vec![("program", obs::ArgValue::Str(program.name.clone()))]
+    });
     if let Err(errors) = repro_ir::validate(program) {
         return Err(MachineError {
             thread: 0,
@@ -215,7 +218,12 @@ pub fn run(program: &Program, config: &RunConfig) -> Result<RunResult, MachineEr
         limits,
     );
     m.boot(config.entry_args.clone());
-    m.run_to_completion()?;
+    // Flush VM counters even when the run errors (deadline, fault, …):
+    // partial-run statistics are exactly what a stalled-trace
+    // investigation needs.
+    let outcome = m.run_to_completion();
+    m.flush_obs();
+    outcome?;
 
     let arrays = program
         .globals

@@ -4,6 +4,9 @@
 //! ```sh
 //! cargo run --release --example batch_analyze
 //! cargo run --release --example batch_analyze -- 8 2000   # workers, budget ms
+//! cargo run --release --example batch_analyze -- \
+//!     --bench rgbyuv --bench kmeans \
+//!     --trace-out trace.json --metrics-json metrics.json
 //! ```
 //!
 //! Demonstrates the `repro-engine` crate: the sixteen requests run
@@ -11,26 +14,55 @@
 //! parallelized within each request, and a structural-hash cache shares
 //! match outcomes across isomorphic sub-DDGs. The patterns are
 //! byte-identical to the sequential `discovery::find_patterns`.
+//!
+//! `--trace-out <path>` switches span tracing on and writes a Chrome
+//! trace (open in <https://ui.perfetto.dev>); `--metrics-json <path>`
+//! writes the flat `ObsReport`; `--bench <name>` (repeatable) restricts
+//! the batch to the named Starbench programs.
 
 use repro_engine::{AnalysisRequest, Engine, EngineConfig};
 use starbench::{all_benchmarks, Version};
+use std::path::PathBuf;
 use std::time::{Duration, Instant};
 
 fn main() {
-    let workers: usize = std::env::args()
-        .nth(1)
-        .map(|s| s.parse().expect("workers"))
-        .unwrap_or(0);
-    let budget_ms: u64 = std::env::args()
-        .nth(2)
-        .map(|s| s.parse().expect("budget ms"))
-        .unwrap_or(60_000);
+    let mut workers = 0usize;
+    let mut budget_ms = 60_000u64;
+    let mut trace_out: Option<PathBuf> = None;
+    let mut metrics_json: Option<PathBuf> = None;
+    let mut only: Vec<String> = Vec::new();
+    let mut positional: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut take = |name: &str| {
+            args.next()
+                .unwrap_or_else(|| panic!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "--trace-out" => trace_out = Some(PathBuf::from(take("--trace-out"))),
+            "--metrics-json" => metrics_json = Some(PathBuf::from(take("--metrics-json"))),
+            "--bench" => only.push(take("--bench")),
+            _ => positional.push(arg),
+        }
+    }
+    if let Some(w) = positional.first() {
+        workers = w.parse().expect("workers");
+    }
+    if let Some(b) = positional.get(1) {
+        budget_ms = b.parse().expect("budget ms");
+    }
+    if trace_out.is_some() || metrics_json.is_some() {
+        obs::enable();
+    }
 
     let mut config = discovery::FinderConfig::default();
     config.budget.time = Duration::from_millis(budget_ms);
 
     let mut requests = Vec::new();
     for bench in all_benchmarks() {
+        if !only.is_empty() && !only.iter().any(|n| n == bench.name) {
+            continue;
+        }
         for version in Version::BOTH {
             requests.push(AnalysisRequest {
                 id: format!("{}-{}", bench.name, version.name()),
@@ -40,6 +72,10 @@ fn main() {
             });
         }
     }
+    assert!(
+        !requests.is_empty(),
+        "no benchmark matched the --bench filter {only:?}"
+    );
     let n = requests.len();
 
     let engine = Engine::new(EngineConfig {
@@ -96,5 +132,31 @@ fn main() {
             "faults: {} match faults, {} requests degraded, {} failed",
             m.match_faults, m.requests_degraded, m.requests_failed,
         );
+    }
+
+    if let Some(path) = &trace_out {
+        let threads = obs::take_events();
+        match obs::write_chrome_trace(path, &threads) {
+            Ok(()) => eprintln!("chrome trace written to {}", path.display()),
+            Err(e) => {
+                eprintln!("cannot write {}: {e}", path.display());
+                std::process::exit(1);
+            }
+        }
+    }
+    if let Some(path) = &metrics_json {
+        let mut report = obs::ObsReport::snapshot();
+        report.meta("experiment", "batch_analyze");
+        report.meta("workers", m.workers);
+        report.meta("budget_ms", budget_ms);
+        report.meta("requests", n);
+        report.section("engine", &m);
+        match report.write(path) {
+            Ok(()) => eprintln!("metrics written to {}", path.display()),
+            Err(e) => {
+                eprintln!("cannot write {}: {e}", path.display());
+                std::process::exit(1);
+            }
+        }
     }
 }
