@@ -12,7 +12,8 @@
 //! report best-so-far patterns, flagged degraded).
 
 use repro_bench::{
-    cli, engine, export_obs, obs_report, print_engine_metrics, render_table, write_record,
+    cli, engine, export_obs, obs_report, parse_or_exit, print_engine_metrics, render_table,
+    write_record,
 };
 use repro_engine::AnalysisRequest;
 use serde::Serialize;
@@ -33,11 +34,7 @@ struct Point {
 
 fn main() {
     let opts = cli();
-    let factors: Vec<usize> = opts
-        .positional
-        .first()
-        .map(|s| s.split(',').map(|x| x.parse().expect("factor")).collect())
-        .unwrap_or_else(|| vec![1, 4, 16, 64]);
+    let factors = parse_factors(&opts.positional);
     println!("Fig. 7: pattern finding time by DDG size (scale factors {factors:?}).\n");
 
     // One request per (benchmark, version, factor); the engine overlaps
@@ -173,15 +170,48 @@ fn main() {
     // The repo's perf-trajectory seed: the full per-point phase breakdown
     // plus engine counters, written unconditionally as one ObsReport.
     let mut report = obs_report("fig7", &opts, &eng);
-    report.meta("factors", format!("{factors:?}"));
-    report.meta("loglog_slope", format!("{slope:.3}"));
-    report.meta("avg_reduction", format!("{avg_red:.3}"));
+    report.meta_raw(
+        "factors",
+        format!(
+            "[{}]",
+            factors
+                .iter()
+                .map(|f| f.to_string())
+                .collect::<Vec<_>>()
+                .join(",")
+        ),
+    );
+    report.meta_num("loglog_slope", slope);
+    report.meta_num("avg_reduction", avg_red);
     report.section("points", &points);
     match report.write(std::path::Path::new("BENCH_fig7.json")) {
         Ok(()) => eprintln!("(phase breakdown written to BENCH_fig7.json)"),
         Err(e) => eprintln!("cannot write BENCH_fig7.json: {e}"),
     }
     export_obs(&opts, &report);
+}
+
+/// Scale factors from `--factors 1,4,16` (also accepted as a bare
+/// positional comma list). Bad components exit 2 with the offending
+/// value named rather than panicking.
+fn parse_factors(positional: &[String]) -> Vec<usize> {
+    let spec = positional
+        .iter()
+        .position(|a| a == "--factors")
+        .map(|i| {
+            positional.get(i + 1).cloned().unwrap_or_else(|| {
+                eprintln!("missing value for --factors");
+                std::process::exit(2);
+            })
+        })
+        .or_else(|| positional.iter().find(|a| !a.starts_with("--")).cloned());
+    match spec {
+        Some(list) => list
+            .split(',')
+            .map(|x| parse_or_exit("--factors", x.trim()))
+            .collect(),
+        None => vec![1, 4, 16, 64],
+    }
 }
 
 /// Least-squares slope of ln(y) over ln(x).

@@ -3,6 +3,7 @@
 //!
 //! ```sh
 //! obs_check <trace.json> <metrics.json> [required-section ...]
+//! obs_check --fig7 <BENCH_fig7.json> [--max-slope 1.05]
 //! ```
 //!
 //! The trace must parse, contain events, and have balanced begin/end
@@ -10,15 +11,27 @@
 //! `meta`/`counters`/`gauges`/`histograms`/`sections` keys plus every
 //! required section (default: `engine`). Exits nonzero with a message on
 //! the first violation.
+//!
+//! `--fig7` gates the Fig. 7 scaling report instead: the numeric meta
+//! fields must be JSON numbers (not stringified), `factors` must be a
+//! JSON array, and the fitted log-log slope of analysis time vs DDG size
+//! must not exceed `--max-slope` (default 1.05 — superlinear extraction
+//! regressions fail CI here).
 
+use obs::json::{parse, Json};
 use std::process::exit;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("--fig7") {
+        fig7_gate(&args[1..]);
+        return;
+    }
     let (trace_path, metrics_path) = match (args.first(), args.get(1)) {
         (Some(t), Some(m)) => (t, m),
         _ => {
             eprintln!("usage: obs_check <trace.json> <metrics.json> [required-section ...]");
+            eprintln!("       obs_check --fig7 <BENCH_fig7.json> [--max-slope <s>]");
             exit(2);
         }
     };
@@ -56,6 +69,67 @@ fn main() {
          metrics sections {sections:?} present",
         summary.events, summary.begins, summary.instants, summary.threads
     );
+}
+
+/// The Fig. 7 scaling gate: `--fig7 <report> [--max-slope <s>]`.
+fn fig7_gate(args: &[String]) {
+    let path = args.first().unwrap_or_else(|| {
+        eprintln!("usage: obs_check --fig7 <BENCH_fig7.json> [--max-slope <s>]");
+        exit(2);
+    });
+    let mut max_slope = 1.05f64;
+    if let Some(i) = args.iter().position(|a| a == "--max-slope") {
+        let v = args.get(i + 1).unwrap_or_else(|| {
+            eprintln!("missing value for --max-slope");
+            exit(2);
+        });
+        max_slope = v.parse().unwrap_or_else(|_| {
+            eprintln!("invalid value for --max-slope: got {v:?}");
+            exit(2);
+        });
+    }
+
+    let doc = parse(&read(path)).unwrap_or_else(|e| {
+        eprintln!("obs_check: {path}: {e}");
+        exit(1);
+    });
+    let meta = doc.get("meta").unwrap_or_else(|| {
+        eprintln!("obs_check: {path}: report has no \"meta\" object");
+        exit(1);
+    });
+
+    // Typed-meta regression guard: run parameters and fit results must
+    // be real JSON numbers, not stringified ("1.138").
+    for key in ["workers", "budget_ms", "loglog_slope", "avg_reduction"] {
+        match meta.get(key) {
+            Some(Json::Num(_)) => {}
+            Some(Json::Str(s)) => {
+                eprintln!("obs_check: {path}: meta.{key} is a JSON string ({s:?}), not a number");
+                exit(1);
+            }
+            other => {
+                eprintln!("obs_check: {path}: meta.{key} missing or non-numeric ({other:?})");
+                exit(1);
+            }
+        }
+    }
+    match meta.get("factors") {
+        Some(Json::Arr(_)) => {}
+        other => {
+            eprintln!("obs_check: {path}: meta.factors is not a JSON array ({other:?})");
+            exit(1);
+        }
+    }
+
+    let slope = meta.get("loglog_slope").and_then(Json::as_f64).unwrap();
+    if !slope.is_finite() || slope > max_slope {
+        eprintln!(
+            "obs_check: {path}: log-log slope {slope:.3} exceeds {max_slope} — \
+             pattern-finding time is growing superlinearly in DDG size"
+        );
+        exit(1);
+    }
+    println!("obs_check: OK — fig7 log-log slope {slope:.3} <= {max_slope}, meta fields typed");
 }
 
 fn read(path: &str) -> String {

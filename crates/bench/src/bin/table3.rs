@@ -141,8 +141,8 @@ fn main() {
     write_record("table3", &records);
 
     let mut report = obs_report("table3", &opts, &eng);
-    report.meta("found", found_total);
-    report.meta("expected", expected_total + 6);
+    report.meta_num("found", found_total as f64);
+    report.meta_num("expected", (expected_total + 6) as f64);
     report.section("rows", &records);
     export_obs(&opts, &report);
 }

@@ -64,6 +64,23 @@ pub fn cli() -> Cli {
     cli
 }
 
+/// Parses one flag value, naming the flag in the error instead of
+/// panicking with a bare `expect` backtrace.
+pub fn parse_value<T: std::str::FromStr>(flag: &str, value: &str) -> Result<T, String> {
+    value
+        .parse()
+        .map_err(|_| format!("invalid value for {flag}: got {value:?}"))
+}
+
+/// [`parse_value`] for binaries: prints the error and exits 2 — a usage
+/// failure, distinct from a failed check (1).
+pub fn parse_or_exit<T: std::str::FromStr>(flag: &str, value: &str) -> T {
+    parse_value(flag, value).unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(2);
+    })
+}
+
 fn parse_args(args: impl Iterator<Item = String>) -> Cli {
     let mut config = discovery::FinderConfig::default();
     let mut workers = 0usize;
@@ -73,24 +90,22 @@ fn parse_args(args: impl Iterator<Item = String>) -> Cli {
     let mut args = args.peekable();
     while let Some(arg) = args.next() {
         let mut take = |name: &str| {
-            args.next()
-                .unwrap_or_else(|| panic!("{name} needs a value"))
+            args.next().unwrap_or_else(|| {
+                eprintln!("missing value for {name}");
+                std::process::exit(2);
+            })
         };
         match arg.as_str() {
             "--budget-ms" => {
-                let ms: u64 = take("--budget-ms")
-                    .parse()
-                    .expect("--budget-ms: milliseconds");
+                let ms: u64 = parse_or_exit("--budget-ms", &take("--budget-ms"));
                 config.budget.time = Duration::from_millis(ms);
             }
             "--deadline-ms" => {
-                let ms: u64 = take("--deadline-ms")
-                    .parse()
-                    .expect("--deadline-ms: milliseconds");
+                let ms: u64 = parse_or_exit("--deadline-ms", &take("--deadline-ms"));
                 config.deadline = Some(Duration::from_millis(ms));
             }
             "--workers" => {
-                workers = take("--workers").parse().expect("--workers: count");
+                workers = parse_or_exit("--workers", &take("--workers"));
             }
             "--trace-out" => {
                 trace_out = Some(PathBuf::from(take("--trace-out")));
@@ -180,8 +195,8 @@ pub fn print_engine_metrics(engine: &repro_engine::Engine) {
 pub fn obs_report(experiment: &str, opts: &Cli, engine: &repro_engine::Engine) -> obs::ObsReport {
     let mut r = obs::ObsReport::snapshot();
     r.meta("experiment", experiment);
-    r.meta("workers", engine.metrics().workers);
-    r.meta("budget_ms", opts.config.budget.time.as_millis());
+    r.meta_num("workers", engine.metrics().workers as f64);
+    r.meta_num("budget_ms", opts.config.budget.time.as_millis() as f64);
     r.section("engine", &engine.metrics());
     r
 }
@@ -323,6 +338,13 @@ mod tests {
         );
         assert_eq!(cli.config.deadline, Some(Duration::from_millis(250)));
         assert_eq!(cli.positional, vec!["table3".to_string()]);
+    }
+
+    #[test]
+    fn parse_value_names_the_flag_in_its_error() {
+        assert_eq!(parse_value::<u64>("--budget-ms", "1500"), Ok(1500));
+        let err = parse_value::<u64>("--workers", "many").unwrap_err();
+        assert_eq!(err, "invalid value for --workers: got \"many\"");
     }
 
     #[test]

@@ -1,0 +1,124 @@
+//! Smoke tests for the benchmark binaries' CLI error handling: malformed
+//! flag values must exit 2 with a message naming the flag and the
+//! offending value — not panic with a bare `expect` backtrace.
+
+use std::process::{Command, Output};
+
+fn run(bin: &str, args: &[&str]) -> Output {
+    Command::new(bin)
+        .args(args)
+        .output()
+        .expect("spawn benchmark binary")
+}
+
+fn stderr(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+#[test]
+fn fig7_rejects_a_malformed_factor_list() {
+    let out = run(env!("CARGO_BIN_EXE_fig7"), &["--factors", "1,banana"]);
+    assert_eq!(out.status.code(), Some(2), "stderr: {}", stderr(&out));
+    assert!(
+        stderr(&out).contains("invalid value for --factors"),
+        "stderr: {}",
+        stderr(&out)
+    );
+    assert!(stderr(&out).contains("banana"), "stderr: {}", stderr(&out));
+}
+
+#[test]
+fn fig7_rejects_a_malformed_bare_factor_list() {
+    // The legacy spelling (bare positional comma list) gets the same
+    // friendly error.
+    let out = run(env!("CARGO_BIN_EXE_fig7"), &["2,x"]);
+    assert_eq!(out.status.code(), Some(2), "stderr: {}", stderr(&out));
+    assert!(
+        stderr(&out).contains("invalid value for --factors"),
+        "stderr: {}",
+        stderr(&out)
+    );
+}
+
+#[test]
+fn fig7_rejects_a_malformed_workers_value() {
+    let out = run(env!("CARGO_BIN_EXE_fig7"), &["--workers", "many"]);
+    assert_eq!(out.status.code(), Some(2), "stderr: {}", stderr(&out));
+    assert!(
+        stderr(&out).contains("invalid value for --workers"),
+        "stderr: {}",
+        stderr(&out)
+    );
+}
+
+#[test]
+fn fig7_rejects_a_malformed_budget_value() {
+    let out = run(env!("CARGO_BIN_EXE_fig7"), &["--budget-ms", "soon"]);
+    assert_eq!(out.status.code(), Some(2), "stderr: {}", stderr(&out));
+    assert!(
+        stderr(&out).contains("invalid value for --budget-ms"),
+        "stderr: {}",
+        stderr(&out)
+    );
+}
+
+#[test]
+fn obs_check_fig7_gate_passes_a_linear_report() {
+    let dir = std::env::temp_dir().join("obs_check_fig7_ok");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("report.json");
+    std::fs::write(
+        &path,
+        r#"{"meta":{"workers":1,"budget_ms":60000,"factors":[1,4,16],"loglog_slope":0.98,"avg_reduction":3.5},"counters":[],"gauges":[],"histograms":[],"sections":{}}"#,
+    )
+    .unwrap();
+    let out = run(
+        env!("CARGO_BIN_EXE_obs_check"),
+        &["--fig7", path.to_str().unwrap(), "--max-slope", "1.05"],
+    );
+    assert_eq!(out.status.code(), Some(0), "stderr: {}", stderr(&out));
+}
+
+#[test]
+fn obs_check_fig7_gate_fails_a_superlinear_slope() {
+    let dir = std::env::temp_dir().join("obs_check_fig7_slope");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("report.json");
+    std::fs::write(
+        &path,
+        r#"{"meta":{"workers":1,"budget_ms":60000,"factors":[1,4,16],"loglog_slope":1.138,"avg_reduction":3.5},"counters":[],"gauges":[],"histograms":[],"sections":{}}"#,
+    )
+    .unwrap();
+    let out = run(
+        env!("CARGO_BIN_EXE_obs_check"),
+        &["--fig7", path.to_str().unwrap(), "--max-slope", "1.05"],
+    );
+    assert_eq!(out.status.code(), Some(1), "stderr: {}", stderr(&out));
+    assert!(
+        stderr(&out).contains("superlinearly"),
+        "stderr: {}",
+        stderr(&out)
+    );
+}
+
+#[test]
+fn obs_check_fig7_gate_fails_stringified_meta_numbers() {
+    let dir = std::env::temp_dir().join("obs_check_fig7_str");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("report.json");
+    std::fs::write(
+        &path,
+        r#"{"meta":{"workers":"1","budget_ms":60000,"factors":[1,4,16],"loglog_slope":0.98,"avg_reduction":3.5},"counters":[],"gauges":[],"histograms":[],"sections":{}}"#,
+    )
+    .unwrap();
+    let out = run(
+        env!("CARGO_BIN_EXE_obs_check"),
+        &["--fig7", path.to_str().unwrap()],
+    );
+    assert_eq!(out.status.code(), Some(1), "stderr: {}", stderr(&out));
+    assert!(
+        stderr(&out).contains("meta.workers is a JSON string"),
+        "stderr: {}",
+        stderr(&out)
+    );
+}

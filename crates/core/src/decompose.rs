@@ -13,24 +13,50 @@
 //!   targeting linear and tiled reductions.
 
 use crate::subddg::{SubDdg, SubKind};
-use ddg::algo::weakly_connected_components;
+use ddg::algo::weakly_connected_components_counted;
 use ddg::{BitSet, Ddg, NodeId};
 use std::collections::HashMap;
 
-/// Decomposes the simplified DDG into the initial sub-DDG pool.
-pub fn decompose(g: &Ddg) -> Vec<SubDdg> {
-    let mut out = loop_subddgs(g);
-    out.extend(assoc_subddgs(g));
-    out
+/// One independent unit of sub-DDG extraction, produced by [`plan`].
+///
+/// Planning is the single cheap pass over the graph; each task then only
+/// touches its own nodes (and, for associative components, their
+/// adjacency), so tasks can run in any order — or concurrently, which is
+/// how the engine overlaps the finder front-end with matching. Results
+/// concatenated in task order equal [`decompose`]'s output exactly.
+#[derive(Clone, Debug)]
+pub enum ExtractTask {
+    /// Build the sub-DDG of one static loop from its (instance, iter)
+    /// groups, already sorted.
+    Loop {
+        loop_id: u32,
+        groups: Vec<((u32, u32), Vec<NodeId>)>,
+    },
+    /// Split one associative label's nodes (ascending id order) into
+    /// weakly connected components and keep the loop-carried ones.
+    Assoc {
+        label: ddg::LabelId,
+        nodes: Vec<NodeId>,
+    },
 }
 
-/// One sub-DDG per static loop that executed any node, compacted by
-/// (dynamic instance, iteration).
-pub fn loop_subddgs(g: &Ddg) -> Vec<SubDdg> {
-    // loop id -> (instance, iter) -> nodes
+/// Decomposes the simplified DDG into the initial sub-DDG pool.
+pub fn decompose(g: &Ddg) -> Vec<SubDdg> {
+    plan(g).iter().flat_map(|t| extract(g, t)).collect()
+}
+
+/// The decomposition plan: one fused pass over the nodes collects both
+/// the per-loop (instance, iter) groups and the per-associative-label
+/// node lists, then emits one [`ExtractTask`] per loop (ascending loop
+/// id) followed by one per label (ascending label id).
+pub fn plan(g: &Ddg) -> Vec<ExtractTask> {
+    // loop id -> (instance, iter) -> nodes, plus assoc label -> nodes,
+    // filled by the same scan.
     let mut per_loop: HashMap<u32, HashMap<(u32, u32), Vec<NodeId>>> = HashMap::new();
+    let mut by_label: HashMap<u32, Vec<NodeId>> = HashMap::new();
     for id in g.node_ids() {
-        for entry in g.node(id).scope.iter() {
+        let node = g.node(id);
+        for entry in node.scope.iter() {
             per_loop
                 .entry(entry.loop_id)
                 .or_default()
@@ -38,28 +64,93 @@ pub fn loop_subddgs(g: &Ddg) -> Vec<SubDdg> {
                 .or_default()
                 .push(id);
         }
+        if g.label_is_associative(node.label) {
+            by_label.entry(node.label.0).or_default().push(id);
+        }
     }
+
     let mut loops: Vec<u32> = per_loop.keys().copied().collect();
     loops.sort_unstable();
-    loops
-        .into_iter()
-        .map(|loop_id| {
-            let mut groups: Vec<((u32, u32), Vec<NodeId>)> =
-                per_loop.remove(&loop_id).unwrap().into_iter().collect();
-            // Deterministic order: by (instance, iteration).
-            groups.sort_by_key(|(k, _)| *k);
+    let mut labels: Vec<u32> = by_label.keys().copied().collect();
+    labels.sort_unstable();
+
+    let mut tasks = Vec::with_capacity(loops.len() + labels.len());
+    for loop_id in loops {
+        let mut groups: Vec<((u32, u32), Vec<NodeId>)> =
+            per_loop.remove(&loop_id).unwrap().into_iter().collect();
+        // Deterministic order: by (instance, iteration).
+        groups.sort_by_key(|(k, _)| *k);
+        tasks.push(ExtractTask::Loop { loop_id, groups });
+    }
+    for l in labels {
+        tasks.push(ExtractTask::Assoc {
+            label: ddg::LabelId(l),
+            nodes: by_label.remove(&l).unwrap(),
+        });
+    }
+    tasks
+}
+
+/// Runs one extraction task. Subset-local: cost is proportional to the
+/// task's own nodes and their adjacency, never the whole graph.
+pub fn extract(g: &Ddg, task: &ExtractTask) -> Vec<SubDdg> {
+    match task {
+        ExtractTask::Loop { loop_id, groups } => {
+            let mut span = obs::span_args("finder.extract", || {
+                vec![
+                    ("kind", obs::ArgValue::Static("loop")),
+                    ("loop_id", obs::ArgValue::U64(*loop_id as u64)),
+                ]
+            });
             let mut nodes = BitSet::new(g.len());
-            for (_, members) in &groups {
+            for (_, members) in groups {
                 for n in members {
                     nodes.insert(n.index());
                 }
             }
-            SubDdg::grouped(
+            span.arg("nodes", obs::ArgValue::U64(nodes.len() as u64));
+            vec![SubDdg::grouped(
                 nodes,
-                groups.into_iter().map(|(_, m)| m).collect(),
-                SubKind::Loop { loop_id },
-            )
-        })
+                groups.iter().map(|(_, m)| m.clone()).collect(),
+                SubKind::Loop { loop_id: *loop_id },
+            )]
+        }
+        ExtractTask::Assoc { label, nodes } => {
+            let mut span = obs::span_args("finder.extract", || {
+                vec![
+                    ("kind", obs::ArgValue::Static("assoc")),
+                    ("nodes", obs::ArgValue::U64(nodes.len() as u64)),
+                ]
+            });
+            let subset = BitSet::from_iter(g.len(), nodes.iter().map(|n| n.index()));
+            let (comps, arcs_visited) = weakly_connected_components_counted(g, &subset);
+            if obs::enabled() {
+                obs::counter("finder.extract.arcs_visited").add(arcs_visited);
+            }
+            span.arg("arcs_visited", obs::ArgValue::U64(arcs_visited));
+            comps
+                .into_iter()
+                .filter(|comp| comp.len() >= 2 && spans_iterations(g, comp))
+                .map(|comp| {
+                    SubDdg::ungrouped(
+                        BitSet::from_iter(g.len(), comp.iter().map(|n| n.index())),
+                        SubKind::Assoc {
+                            label: g.label_str(*label).to_string(),
+                        },
+                    )
+                })
+                .collect()
+        }
+    }
+}
+
+/// One sub-DDG per static loop that executed any node, compacted by
+/// (dynamic instance, iteration).
+pub fn loop_subddgs(g: &Ddg) -> Vec<SubDdg> {
+    plan(g)
+        .iter()
+        .filter(|t| matches!(t, ExtractTask::Loop { .. }))
+        .flat_map(|t| extract(g, t))
         .collect()
 }
 
@@ -70,43 +161,40 @@ pub fn loop_subddgs(g: &Ddg) -> Vec<SubDdg> {
 /// over data elements, and reporting it would bury the analysis in
 /// three-element "reductions".
 pub fn assoc_subddgs(g: &Ddg) -> Vec<SubDdg> {
-    // Group node sets by label.
-    let mut by_label: HashMap<u32, BitSet> = HashMap::new();
-    for id in g.node_ids() {
-        let l = g.node(id).label;
-        if g.label_is_associative(l) {
-            by_label
-                .entry(l.0)
-                .or_insert_with(|| BitSet::new(g.len()))
-                .insert(id.index());
-        }
-    }
-    let mut labels: Vec<u32> = by_label.keys().copied().collect();
-    labels.sort_unstable();
-    let mut out = Vec::new();
-    for l in labels {
-        let subset = &by_label[&l];
-        for comp in weakly_connected_components(g, subset) {
-            if comp.len() >= 2 && spans_iterations(g, &comp) {
-                out.push(SubDdg::ungrouped(
-                    comp,
-                    SubKind::Assoc {
-                        label: g.label_str(ddg::LabelId(l)).to_string(),
-                    },
-                ));
+    plan(g)
+        .iter()
+        .filter(|t| matches!(t, ExtractTask::Assoc { .. }))
+        .flat_map(|t| extract(g, t))
+        .collect()
+}
+
+/// True when the component is loop-carried: some loop contributes frames
+/// at one scope depth with *different* (instance, iter) pairs across the
+/// component's nodes — different iterations of one activation, or
+/// different activations entirely (the per-thread worker-loop instances
+/// that make tiled reductions span threads).
+///
+/// Comparing full scope stacks with `!=` is wrong here: two nodes in the
+/// same dynamic iteration whose stacks differ only in *depth* (one sits
+/// inside a nested single-iteration loop or a called function's loop)
+/// are still one iteration's expression tree, not a reduction.
+pub(crate) fn spans_iterations(g: &Ddg, comp: &[NodeId]) -> bool {
+    let mut seen: HashMap<(usize, u32), (u32, u32)> = HashMap::new();
+    for &id in comp {
+        for (depth, frame) in g.node(id).scope.iter().enumerate() {
+            match seen.entry((depth, frame.loop_id)) {
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert((frame.instance, frame.iter));
+                }
+                std::collections::hash_map::Entry::Occupied(e) => {
+                    if *e.get() != (frame.instance, frame.iter) {
+                        return true;
+                    }
+                }
             }
         }
     }
-    out
-}
-
-/// True when the component's nodes do not all share one dynamic loop
-/// iteration (same full scope stack).
-fn spans_iterations(g: &Ddg, comp: &BitSet) -> bool {
-    let mut iter = comp.iter();
-    let first = iter.next().expect("non-empty component");
-    let scope = &g.node(NodeId(first as u32)).scope;
-    iter.any(|n| g.node(NodeId(n as u32)).scope != *scope)
+    false
 }
 
 #[cfg(test)]
@@ -214,6 +302,64 @@ mod tests {
             }
         );
         assert!(subs[0].groups.is_none());
+    }
+
+    /// Builds a two-node graph with an arc n0 -> n1 over an associative
+    /// label, with the given scope stacks, and reports whether
+    /// `assoc_subddgs` keeps the component.
+    fn assoc_component_kept(scope0: Vec<ddg::ScopeEntry>, scope1: Vec<ddg::ScopeEntry>) -> bool {
+        let mut b = ddg::DdgBuilder::new();
+        let fadd = b.intern_label("fadd", true);
+        let n0 = b.add_node(fadd, 0, 0, 1, 1, 0, scope0);
+        let n1 = b.add_node(fadd, 1, 0, 2, 1, 0, scope1);
+        b.add_arc(n0, n1);
+        let g = b.finish();
+        !assoc_subddgs(&g).is_empty()
+    }
+
+    fn frame(loop_id: u32, instance: u32, iter: u32) -> ddg::ScopeEntry {
+        ddg::ScopeEntry {
+            loop_id,
+            instance,
+            iter,
+        }
+    }
+
+    /// Pins the intended `spans_iterations` semantics: a component is
+    /// loop-carried exactly when one loop contributes distinct
+    /// (instance, iter) pairs at the same scope depth.
+    #[test]
+    fn spans_iterations_requires_distinct_instance_or_iter_of_one_loop() {
+        // Different iterations of the same activation: spans.
+        assert!(assoc_component_kept(
+            vec![frame(0, 0, 0)],
+            vec![frame(0, 0, 1)]
+        ));
+        // Same iteration number but different activations (two threads
+        // re-entering one worker loop — the tiled-reduction shape): spans.
+        assert!(assoc_component_kept(
+            vec![frame(0, 0, 0)],
+            vec![frame(0, 1, 0)]
+        ));
+        // Identical stacks: one iteration's expression tree.
+        assert!(!assoc_component_kept(
+            vec![frame(0, 0, 0)],
+            vec![frame(0, 0, 0)]
+        ));
+        // Regression: stacks differing only in depth — the second node
+        // additionally sits in a single iteration of an inner loop.
+        // The old full-stack `!=` comparison misclassified this as
+        // loop-carried; it is still confined to one iteration of every
+        // loop involved.
+        assert!(!assoc_component_kept(
+            vec![frame(0, 0, 0)],
+            vec![frame(0, 0, 0), frame(5, 0, 0)]
+        ));
+        // The inner loop iterating does make it a reduction again.
+        assert!(assoc_component_kept(
+            vec![frame(0, 0, 0), frame(5, 0, 0)],
+            vec![frame(0, 0, 0), frame(5, 0, 1)]
+        ));
     }
 
     #[test]

@@ -9,7 +9,7 @@
 //! termination; in practice a fixpoint arrives within three iterations on
 //! every Starbench program, exactly as the paper reports.
 
-use crate::decompose::decompose;
+use crate::decompose::{self, ExtractTask};
 use crate::models::{match_subddg_full, MatchBudget, MatchOutcome};
 use crate::patterns::{Found, Pattern};
 use crate::simplify::{simplify, SimplifyStats};
@@ -156,6 +156,121 @@ pub struct MatchPhase {
     _span: obs::SpanGuard,
 }
 
+/// The finder front-end with simplification done and extraction planned
+/// but not yet run.
+///
+/// Decomposition splits into a cheap single-pass [`decompose::plan`]
+/// (run here) and independent per-task [`decompose::extract`] calls.
+/// [`FinderState::with_cancel`] runs the tasks inline; the engine fans
+/// them out as pool jobs instead, overlapping the front-end with match
+/// work from other requests. Either way, handing the per-task results to
+/// [`Self::assemble`] *in task order* yields the exact sub-DDG pool the
+/// sequential path builds, preserving byte-identical parity.
+///
+/// The `finder.decompose` span and phase clock open when planning starts
+/// and close at `assemble`, so the reported decompose time covers
+/// planning plus extraction under either driver.
+pub struct FrontEnd {
+    g: Arc<Ddg>,
+    config: FinderConfig,
+    cancel: CancelToken,
+    times: PhaseTimes,
+    ddg_size: usize,
+    simplify_stats: SimplifyStats,
+    tasks: Vec<ExtractTask>,
+    t_decompose: Instant,
+    decompose_span: Option<obs::SpanGuard>,
+}
+
+impl FrontEnd {
+    /// Simplifies the traced DDG and plans the extraction tasks.
+    pub fn new(raw: &Ddg, config: &FinderConfig, cancel: CancelToken) -> Self {
+        let mut times = PhaseTimes::default();
+
+        let t0 = Instant::now();
+        let (g, _map, simplify_stats) = {
+            let mut span = obs::span_args("finder.simplify", || {
+                vec![("nodes_before", obs::ArgValue::U64(raw.len() as u64))]
+            });
+            let r = if config.enable_simplify {
+                simplify(raw)
+            } else {
+                let stats = SimplifyStats {
+                    nodes_before: raw.len(),
+                    nodes_after: raw.len(),
+                    ..Default::default()
+                };
+                (raw.clone(), Vec::new(), stats)
+            };
+            span.arg("nodes_after", obs::ArgValue::U64(r.0.len() as u64));
+            r
+        };
+        times.simplify = t0.elapsed();
+
+        let t_decompose = Instant::now();
+        let decompose_span = obs::span("finder.decompose");
+        let tasks = decompose::plan(&g);
+
+        FrontEnd {
+            g: Arc::new(g),
+            config: config.clone(),
+            cancel,
+            times,
+            ddg_size: raw.len(),
+            simplify_stats,
+            tasks,
+            t_decompose,
+            decompose_span: Some(decompose_span),
+        }
+    }
+
+    /// Shared handle to the simplified graph, for drivers that run
+    /// extraction tasks on other threads.
+    pub fn graph_arc(&self) -> Arc<Ddg> {
+        Arc::clone(&self.g)
+    }
+
+    /// Takes the planned extraction tasks. The driver must run every
+    /// task and return the results to [`Self::assemble`] in this order.
+    pub fn take_tasks(&mut self) -> Vec<ExtractTask> {
+        std::mem::take(&mut self.tasks)
+    }
+
+    /// Closes the decompose phase and seeds the pool from the per-task
+    /// extraction results (given in task order).
+    pub fn assemble(mut self, extracted: Vec<Vec<SubDdg>>) -> FinderState {
+        drop(self.decompose_span.take());
+        self.times.decompose = self.t_decompose.elapsed();
+
+        let mut pool: Vec<PoolEntry> = Vec::new();
+        let mut keys: HashSet<(Vec<u64>, u8)> = HashSet::new();
+        let mut active: Vec<usize> = Vec::new();
+        for sub in extracted.into_iter().flatten() {
+            if keys.insert(sub.pool_key()) {
+                active.push(pool.len());
+                pool.push(PoolEntry { sub, matched: None });
+            }
+        }
+
+        FinderState {
+            g: self.g,
+            config: self.config,
+            pool,
+            keys,
+            active,
+            found: Vec::new(),
+            iterations: 0,
+            subddgs_matched: 0,
+            times: self.times,
+            ddg_size: self.ddg_size,
+            simplify_stats: self.simplify_stats,
+            cancel: self.cancel,
+            matches_exhausted: 0,
+            match_faults: 0,
+        }
+    }
+}
+
 /// The iterative finder as an explicit state machine.
 ///
 /// `find_patterns` drives it sequentially; the engine crate drives the
@@ -196,61 +311,11 @@ impl FinderState {
 
     /// [`Self::new`] with an externally created cancellation token.
     pub fn with_cancel(raw: &Ddg, config: &FinderConfig, cancel: CancelToken) -> Self {
-        let mut times = PhaseTimes::default();
-
-        let t0 = Instant::now();
-        let (g, _map, simplify_stats) = {
-            let mut span = obs::span_args("finder.simplify", || {
-                vec![("nodes_before", obs::ArgValue::U64(raw.len() as u64))]
-            });
-            let r = if config.enable_simplify {
-                simplify(raw)
-            } else {
-                let stats = SimplifyStats {
-                    nodes_before: raw.len(),
-                    nodes_after: raw.len(),
-                    ..Default::default()
-                };
-                (raw.clone(), Vec::new(), stats)
-            };
-            span.arg("nodes_after", obs::ArgValue::U64(r.0.len() as u64));
-            r
-        };
-        times.simplify = t0.elapsed();
-
-        let t0 = Instant::now();
-        let initial = {
-            let _span = obs::span("finder.decompose");
-            decompose(&g)
-        };
-        times.decompose = t0.elapsed();
-
-        let mut pool: Vec<PoolEntry> = Vec::new();
-        let mut keys: HashSet<(Vec<u64>, u8)> = HashSet::new();
-        let mut active: Vec<usize> = Vec::new();
-        for sub in initial {
-            if keys.insert(sub.pool_key()) {
-                active.push(pool.len());
-                pool.push(PoolEntry { sub, matched: None });
-            }
-        }
-
-        FinderState {
-            g: Arc::new(g),
-            config: config.clone(),
-            pool,
-            keys,
-            active,
-            found: Vec::new(),
-            iterations: 0,
-            subddgs_matched: 0,
-            times,
-            ddg_size: raw.len(),
-            simplify_stats,
-            cancel,
-            matches_exhausted: 0,
-            match_faults: 0,
-        }
+        let mut fe = FrontEnd::new(raw, config, cancel);
+        let tasks = fe.take_tasks();
+        let g = fe.graph_arc();
+        let extracted = tasks.iter().map(|t| decompose::extract(&g, t)).collect();
+        fe.assemble(extracted)
     }
 
     /// The simplified graph all sub-DDGs are views of.

@@ -34,8 +34,10 @@ pub mod report;
 pub mod simplify;
 pub mod subddg;
 
+pub use decompose::ExtractTask;
 pub use finder::{
-    find_patterns, FinderConfig, FinderResult, FinderState, MatchJob, MatchPhase, PhaseTimes,
+    find_patterns, FinderConfig, FinderResult, FinderState, FrontEnd, MatchJob, MatchPhase,
+    PhaseTimes,
 };
 pub use models::{match_subddg, match_subddg_full, MatchBudget, MatchOutcome};
 pub use partial::{classify_across_inputs, partial_patterns, Stability};

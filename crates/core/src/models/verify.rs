@@ -273,36 +273,11 @@ fn component_index(capacity: usize, components: &[Vec<NodeId>]) -> Vec<usize> {
 }
 
 /// Pattern convexity (1e), checked exactly with targeted forward searches:
-/// no path may leave the pattern and re-enter it.
+/// no path may leave the pattern and re-enter it. The search itself lives
+/// in `ddg::algo` so the structural-key encoder shares the exact same
+/// predicate.
 pub fn is_convex(g: &Ddg, pattern: &BitSet) -> bool {
-    // Collect the exits (outside successors of pattern nodes).
-    let mut exits: Vec<NodeId> = Vec::new();
-    for u in pattern.iter() {
-        for &v in g.succs(NodeId(u as u32)) {
-            if !pattern.contains(v.index()) {
-                exits.push(v);
-            }
-        }
-    }
-    exits.sort_unstable();
-    exits.dedup();
-    // BFS from the exits; hitting the pattern again means non-convex.
-    let mut seen = BitSet::new(g.len());
-    let mut stack = exits;
-    while let Some(u) = stack.pop() {
-        if pattern.contains(u.index()) {
-            return false;
-        }
-        if !seen.insert(u.index()) {
-            continue;
-        }
-        for &v in g.succs(u) {
-            if !seen.contains(v.index()) {
-                stack.push(v);
-            }
-        }
-    }
-    true
+    ddg::is_convex(g, pattern)
 }
 
 #[cfg(test)]

@@ -80,27 +80,83 @@ pub fn is_weakly_connected(g: &Ddg, subset: &BitSet) -> bool {
     count == subset.len()
 }
 
-/// Splits `subset` into its weakly connected components.
-pub fn weakly_connected_components(g: &Ddg, subset: &BitSet) -> Vec<BitSet> {
-    let mut remaining = subset.clone();
+/// Splits `subset` into its weakly connected components, each returned
+/// as its member list (traversal order). Components come out ordered by
+/// their smallest member.
+///
+/// One scratch `visited` set (allocated once, full width) serves every
+/// component, and start candidates come from iterating `subset` in
+/// order — no per-component `BitSet` allocation, no rescans from bit 0.
+/// Callers that need a set representation build one only for the
+/// components they keep.
+pub fn weakly_connected_components(g: &Ddg, subset: &BitSet) -> Vec<Vec<NodeId>> {
+    weakly_connected_components_counted(g, subset).0
+}
+
+/// [`weakly_connected_components`], also returning the number of
+/// adjacency entries examined — the sum of the subset nodes' total
+/// degrees, independent of the rest of the graph.
+pub fn weakly_connected_components_counted(g: &Ddg, subset: &BitSet) -> (Vec<Vec<NodeId>>, u64) {
+    let mut visited = BitSet::new(g.len());
     let mut comps = Vec::new();
-    while let Some(start) = remaining.first() {
-        let mut comp = BitSet::new(g.len());
-        comp.insert(start);
-        remaining.remove(start);
-        let mut stack = vec![NodeId(start as u32)];
+    let mut stack: Vec<NodeId> = Vec::new();
+    let mut arcs_visited = 0u64;
+    for start in subset.iter() {
+        if visited.contains(start) {
+            continue;
+        }
+        visited.insert(start);
+        let mut members = vec![NodeId(start as u32)];
+        stack.push(NodeId(start as u32));
         while let Some(u) = stack.pop() {
-            for &v in g.succs(u).iter().chain(g.preds(u)) {
-                if remaining.contains(v.index()) {
-                    remaining.remove(v.index());
-                    comp.insert(v.index());
+            let (succs, preds) = (g.succs(u), g.preds(u));
+            arcs_visited += (succs.len() + preds.len()) as u64;
+            for &v in succs.iter().chain(preds) {
+                if subset.contains(v.index()) && visited.insert(v.index()) {
+                    members.push(v);
                     stack.push(v);
                 }
             }
         }
-        comps.push(comp);
+        comps.push(members);
     }
-    comps
+    (comps, arcs_visited)
+}
+
+/// Pattern convexity (paper constraint 1e) for `pattern` within `g`: no
+/// path may leave the pattern and re-enter it. Checked with a targeted
+/// forward search from the pattern's exit arcs — cost is bounded by the
+/// exits' downstream cone, never the whole graph, and no all-pairs
+/// closure is needed.
+pub fn is_convex(g: &Ddg, pattern: &BitSet) -> bool {
+    // Collect the exits (outside successors of pattern nodes).
+    let mut exits: Vec<NodeId> = Vec::new();
+    for u in pattern.iter() {
+        for &v in g.succs(NodeId(u as u32)) {
+            if !pattern.contains(v.index()) {
+                exits.push(v);
+            }
+        }
+    }
+    exits.sort_unstable();
+    exits.dedup();
+    // BFS from the exits; hitting the pattern again means non-convex.
+    let mut seen = BitSet::new(g.len());
+    let mut stack = exits;
+    while let Some(u) = stack.pop() {
+        if pattern.contains(u.index()) {
+            return false;
+        }
+        if !seen.insert(u.index()) {
+            continue;
+        }
+        for &v in g.succs(u) {
+            if !seen.contains(v.index()) {
+                stack.push(v);
+            }
+        }
+    }
+    true
 }
 
 /// Precomputed all-pairs reachability over a (small) graph, stored as one
@@ -229,6 +285,20 @@ mod tests {
         assert_eq!(comps.len(), 2);
         let sizes: Vec<usize> = comps.iter().map(|c| c.len()).collect();
         assert!(sizes.contains(&1) && sizes.contains(&2));
+    }
+
+    #[test]
+    fn connected_components_count_subset_degrees_only() {
+        let g = chain_with_detour();
+        let subset = BitSet::from_iter(5, [0, 2, 3]);
+        let (comps, arcs_visited) = weakly_connected_components_counted(&g, &subset);
+        assert_eq!(comps.len(), 2);
+        // Exactly the subset nodes' degrees: deg(0)=1, deg(2)=2, deg(3)=2.
+        let expected: u64 = subset
+            .iter()
+            .map(|i| (g.succs(NodeId(i as u32)).len() + g.preds(NodeId(i as u32)).len()) as u64)
+            .sum();
+        assert_eq!(arcs_visited, expected);
     }
 
     #[test]

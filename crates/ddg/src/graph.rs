@@ -106,13 +106,21 @@ pub struct Node {
 }
 
 /// An immutable dynamic dataflow graph.
+///
+/// Adjacency is stored in CSR form — one offsets array plus one flat
+/// arcs array per direction — so the whole graph is four allocations
+/// instead of two `Vec`s per node, and [`Self::succs`]/[`Self::preds`]
+/// are offset-window slices. Per-node lists are sorted and deduplicated
+/// by construction ([`DdgBuilder::finish`] and [`Self::induced`]).
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct Ddg {
     labels: Vec<String>,
     label_assoc: Vec<bool>,
     nodes: Vec<Node>,
-    succs: Vec<Vec<NodeId>>,
-    preds: Vec<Vec<NodeId>>,
+    succ_offsets: Vec<u32>,
+    succ_arcs: Vec<NodeId>,
+    pred_offsets: Vec<u32>,
+    pred_arcs: Vec<NodeId>,
 }
 
 impl Ddg {
@@ -128,7 +136,7 @@ impl Ddg {
 
     /// Total number of arcs.
     pub fn arc_count(&self) -> usize {
-        self.succs.iter().map(|s| s.len()).sum()
+        self.succ_arcs.len()
     }
 
     /// The node record.
@@ -145,13 +153,15 @@ impl Ddg {
     /// Value-flow successors of a node.
     #[inline]
     pub fn succs(&self, id: NodeId) -> &[NodeId] {
-        &self.succs[id.index()]
+        let i = id.index();
+        &self.succ_arcs[self.succ_offsets[i] as usize..self.succ_offsets[i + 1] as usize]
     }
 
     /// Value-flow predecessors of a node.
     #[inline]
     pub fn preds(&self, id: NodeId) -> &[NodeId] {
-        &self.preds[id.index()]
+        let i = id.index();
+        &self.pred_arcs[self.pred_offsets[i] as usize..self.pred_offsets[i + 1] as usize]
     }
 
     /// The string of a label.
@@ -186,30 +196,77 @@ impl Ddg {
     /// Restricts the graph to `keep`, dropping all other nodes and every
     /// arc touching them. Returns the new graph and the mapping from old
     /// node ids to new ones.
+    ///
+    /// Subset-local: walks only the kept nodes' successor lists, never
+    /// the whole arc array, so the cost is O(|keep| + arcs leaving kept
+    /// nodes) regardless of how big the rest of the graph is.
     pub fn induced(&self, keep: &BitSet) -> (Ddg, Vec<Option<NodeId>>) {
+        let (g, map, _visited) = self.induced_counted(keep);
+        (g, map)
+    }
+
+    /// [`Self::induced`], also returning the number of adjacency entries
+    /// visited — exactly the sum of the kept nodes' out-degrees. Exposed
+    /// so callers can report the extraction cost (and tests can pin the
+    /// subset-locality bound).
+    pub fn induced_counted(&self, keep: &BitSet) -> (Ddg, Vec<Option<NodeId>>, u64) {
         let mut map: Vec<Option<NodeId>> = vec![None; self.nodes.len()];
         let mut nodes = Vec::with_capacity(keep.len());
         for (new_idx, old_idx) in keep.iter().enumerate() {
             map[old_idx] = Some(NodeId(new_idx as u32));
             nodes.push(self.nodes[old_idx].clone());
         }
-        let mut succs = vec![Vec::new(); nodes.len()];
-        let mut preds = vec![Vec::new(); nodes.len()];
-        for (u, v) in self.arcs() {
-            if let (Some(nu), Some(nv)) = (map[u.index()], map[v.index()]) {
-                succs[nu.index()].push(nv);
-                preds[nv.index()].push(nu);
+        let n = nodes.len();
+        let mut visited = 0u64;
+
+        // Successor CSR: kept nodes in ascending old-id order, each list
+        // filtered to kept targets. Old lists are sorted and the id map
+        // is monotone, so the new lists stay sorted without a re-sort.
+        let mut succ_offsets = Vec::with_capacity(n + 1);
+        succ_offsets.push(0u32);
+        let mut succ_arcs = Vec::new();
+        let mut pred_counts = vec![0u32; n];
+        for old_idx in keep.iter() {
+            let succs = self.succs(NodeId(old_idx as u32));
+            visited += succs.len() as u64;
+            for &v in succs {
+                if let Some(nv) = map[v.index()] {
+                    succ_arcs.push(nv);
+                    pred_counts[nv.index()] += 1;
+                }
+            }
+            succ_offsets.push(succ_arcs.len() as u32);
+        }
+
+        // Predecessor CSR by counting sort over the successor arcs;
+        // filling in ascending source order keeps each list sorted.
+        let mut pred_offsets = vec![0u32; n + 1];
+        for i in 0..n {
+            pred_offsets[i + 1] = pred_offsets[i] + pred_counts[i];
+        }
+        let mut cursor: Vec<u32> = pred_offsets[..n].to_vec();
+        let mut pred_arcs = vec![NodeId(0); succ_arcs.len()];
+        for u in 0..n {
+            let window = succ_offsets[u] as usize..succ_offsets[u + 1] as usize;
+            for arc in &succ_arcs[window] {
+                let v = arc.index();
+                pred_arcs[cursor[v] as usize] = NodeId(u as u32);
+                cursor[v] += 1;
             }
         }
+
         (
             Ddg {
                 labels: self.labels.clone(),
                 label_assoc: self.label_assoc.clone(),
                 nodes,
-                succs,
-                preds,
+                succ_offsets,
+                succ_arcs,
+                pred_offsets,
+                pred_arcs,
             },
             map,
+            visited,
         )
     }
 }
@@ -314,18 +371,34 @@ impl DdgBuilder {
         self.nodes.is_empty()
     }
 
-    /// Freezes into an immutable graph, deduplicating arcs.
+    /// Freezes into an immutable graph, deduplicating arcs and flattening
+    /// the per-node lists into the CSR arrays.
     pub fn finish(mut self) -> Ddg {
         for list in self.succs.iter_mut().chain(self.preds.iter_mut()) {
             list.sort_unstable();
             list.dedup();
         }
+        fn flatten(lists: Vec<Vec<NodeId>>) -> (Vec<u32>, Vec<NodeId>) {
+            let total: usize = lists.iter().map(Vec::len).sum();
+            let mut offsets = Vec::with_capacity(lists.len() + 1);
+            offsets.push(0u32);
+            let mut arcs = Vec::with_capacity(total);
+            for list in lists {
+                arcs.extend_from_slice(&list);
+                offsets.push(arcs.len() as u32);
+            }
+            (offsets, arcs)
+        }
+        let (succ_offsets, succ_arcs) = flatten(self.succs);
+        let (pred_offsets, pred_arcs) = flatten(self.preds);
         Ddg {
             labels: self.labels,
             label_assoc: self.label_assoc,
             nodes: self.nodes,
-            succs: self.succs,
-            preds: self.preds,
+            succ_offsets,
+            succ_arcs,
+            pred_offsets,
+            pred_arcs,
         }
     }
 }

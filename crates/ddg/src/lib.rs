@@ -26,7 +26,7 @@ pub mod dot;
 pub mod graph;
 pub mod structural;
 
-pub use algo::{is_weakly_connected, reachable_from, topo_order, Reachability};
+pub use algo::{is_convex, is_weakly_connected, reachable_from, topo_order, Reachability};
 pub use bitset::BitSet;
 pub use graph::{Ddg, DdgBuilder, LabelId, Node, NodeId, ScopeEntry};
-pub use structural::{grouped_key, grouped_key_with, KeyBuilder, StructuralKey};
+pub use structural::{grouped_key, KeyBuilder, StructuralKey};

@@ -25,7 +25,7 @@
 //! used directly as the cache key (no lossy hashing), so colliding hashes
 //! cannot produce false cache hits.
 
-use crate::algo::{reachable_from, Reachability};
+use crate::algo::{is_convex, reachable_from};
 use crate::bitset::BitSet;
 use crate::graph::{Ddg, NodeFlags, NodeId};
 use std::collections::HashMap;
@@ -109,20 +109,11 @@ impl KeyBuilder {
 ///
 /// The group semantics mirror the finder's quotient view: flags and
 /// reachability are computed against the *full* graph, so the key sees
-/// exactly the facts the matcher's compaction would.
+/// exactly the facts the matcher's compaction would. Every graph fact
+/// (per-group reachability, convexity) comes from targeted searches
+/// bounded by the view's own cone — keying never pays for an all-pairs
+/// closure of the full graph.
 pub fn grouped_key(g: &Ddg, groups: &[Vec<NodeId>], tag: u64) -> StructuralKey {
-    grouped_key_with(g, groups, tag, &Reachability::compute(g))
-}
-
-/// [`grouped_key`] with a caller-provided full-graph reachability closure.
-/// Callers keying many views of one graph (the engine's match cache)
-/// compute the closure once instead of per key.
-pub fn grouped_key_with(
-    g: &Ddg,
-    groups: &[Vec<NodeId>],
-    tag: u64,
-    reach: &Reachability,
-) -> StructuralKey {
     let mut b = KeyBuilder::new(tag);
 
     // node -> group index for membership tests.
@@ -235,7 +226,7 @@ pub fn grouped_key_with(
             subset.insert(m.index());
         }
     }
-    b.word(reach.is_convex(g, &subset) as u64);
+    b.word(is_convex(g, &subset) as u64);
 
     b.finish()
 }

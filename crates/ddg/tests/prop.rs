@@ -21,6 +21,26 @@ fn random_dag(n: usize, arcs: &[(usize, usize)]) -> Ddg {
     b.finish()
 }
 
+/// The pre-CSR adjacency representation: one sorted, deduplicated
+/// `Vec<NodeId>` per node and direction, built directly from the arc
+/// list exactly as the old `Vec<Vec<_>>`-backed `DdgBuilder` did.
+fn naive_adjacency(n: usize, arcs: &[(usize, usize)]) -> (Vec<Vec<NodeId>>, Vec<Vec<NodeId>>) {
+    let mut succs = vec![Vec::new(); n];
+    let mut preds = vec![Vec::new(); n];
+    for &(u, v) in arcs {
+        let (u, v) = (u % n, v % n);
+        if u < v {
+            succs[u].push(NodeId(v as u32));
+            preds[v].push(NodeId(u as u32));
+        }
+    }
+    for list in succs.iter_mut().chain(preds.iter_mut()) {
+        list.sort_unstable();
+        list.dedup();
+    }
+    (succs, preds)
+}
+
 /// Naive O(V·E) reachability oracle.
 fn naive_reach(g: &Ddg) -> Vec<HashSet<usize>> {
     let n = g.len();
@@ -89,12 +109,100 @@ proptest! {
         let comps = ddg::algo::weakly_connected_components(&g, &subset);
         // Partition: disjoint union equals the subset.
         let mut union = BitSet::new(n);
-        for c in &comps {
-            prop_assert!(!union.intersects(c), "components overlap");
-            union.union_with(c);
-            prop_assert!(ddg::is_weakly_connected(&g, c), "component not connected");
+        for members in &comps {
+            let c = BitSet::from_iter(n, members.iter().map(|id| id.index()));
+            prop_assert_eq!(c.len(), members.len(), "duplicate members");
+            prop_assert!(!union.intersects(&c), "components overlap");
+            union.union_with(&c);
+            prop_assert!(ddg::is_weakly_connected(&g, &c), "component not connected");
         }
         prop_assert_eq!(union, subset);
+    }
+
+    #[test]
+    fn wcc_visit_count_is_the_subset_degree_sum(
+        n in 1usize..40,
+        arcs in prop::collection::vec((0usize..40, 0usize..40), 0..100),
+        subset_bits in prop::collection::vec(any::<bool>(), 40),
+    ) {
+        let g = random_dag(n, &arcs);
+        let subset = BitSet::from_iter(n, (0..n).filter(|&i| subset_bits[i]));
+        let (_, arcs_visited) =
+            ddg::algo::weakly_connected_components_counted(&g, &subset);
+        let expected: u64 = subset
+            .iter()
+            .map(|i| {
+                let id = NodeId(i as u32);
+                (g.succs(id).len() + g.preds(id).len()) as u64
+            })
+            .sum();
+        prop_assert_eq!(arcs_visited, expected);
+    }
+
+    #[test]
+    fn csr_adjacency_matches_the_old_vec_of_vecs(
+        n in 1usize..40,
+        arcs in prop::collection::vec((0usize..40, 0usize..40), 0..120),
+    ) {
+        let g = random_dag(n, &arcs);
+        let (succs, preds) = naive_adjacency(n, &arcs);
+        for u in 0..n {
+            let id = NodeId(u as u32);
+            prop_assert_eq!(g.succs(id), succs[u].as_slice(), "succs({})", u);
+            prop_assert_eq!(g.preds(id), preds[u].as_slice(), "preds({})", u);
+        }
+        prop_assert_eq!(g.arc_count(), succs.iter().map(Vec::len).sum::<usize>());
+    }
+
+    #[test]
+    fn induced_matches_the_old_full_arc_scan(
+        n in 1usize..30,
+        arcs in prop::collection::vec((0usize..30, 0usize..30), 0..80),
+        keep_bits in prop::collection::vec(any::<bool>(), 30),
+    ) {
+        let g = random_dag(n, &arcs);
+        let keep = BitSet::from_iter(n, (0..n).filter(|&i| keep_bits[i]));
+        let (sub, map) = g.induced(&keep);
+
+        // Oracle: the old implementation — remap kept ids, then scan
+        // *every* arc of the whole graph, pushing the surviving ones.
+        let mut old_map: Vec<Option<NodeId>> = vec![None; n];
+        for (new_idx, old_idx) in keep.iter().enumerate() {
+            old_map[old_idx] = Some(NodeId(new_idx as u32));
+        }
+        let mut old_succs = vec![Vec::new(); keep.len()];
+        let mut old_preds = vec![Vec::new(); keep.len()];
+        for (u, v) in g.arcs() {
+            if let (Some(nu), Some(nv)) = (old_map[u.index()], old_map[v.index()]) {
+                old_succs[nu.index()].push(nv);
+                old_preds[nv.index()].push(nu);
+            }
+        }
+
+        prop_assert_eq!(map, old_map);
+        for u in 0..keep.len() {
+            let id = NodeId(u as u32);
+            prop_assert_eq!(sub.succs(id), old_succs[u].as_slice(), "succs({})", u);
+            prop_assert_eq!(sub.preds(id), old_preds[u].as_slice(), "preds({})", u);
+        }
+    }
+
+    #[test]
+    fn induced_visit_count_is_subset_local(
+        n in 1usize..30,
+        arcs in prop::collection::vec((0usize..30, 0usize..30), 0..80),
+        keep_bits in prop::collection::vec(any::<bool>(), 30),
+    ) {
+        let g = random_dag(n, &arcs);
+        let keep = BitSet::from_iter(n, (0..n).filter(|&i| keep_bits[i]));
+        let (_, _, visited) = g.induced_counted(&keep);
+        // Exactly the kept nodes' out-degrees: extraction never looks at
+        // arcs leaving dropped nodes.
+        let expected: u64 = keep
+            .iter()
+            .map(|i| g.succs(NodeId(i as u32)).len() as u64)
+            .sum();
+        prop_assert_eq!(visited, expected);
     }
 
     #[test]
@@ -117,6 +225,18 @@ proptest! {
         let mapped: HashSet<u32> =
             map.iter().flatten().map(|id| id.0).collect();
         prop_assert_eq!(mapped.len(), keep.len());
+    }
+
+    #[test]
+    fn targeted_convexity_matches_the_dense_closure(
+        n in 1usize..30,
+        arcs in prop::collection::vec((0usize..30, 0usize..30), 0..80),
+        pattern_bits in prop::collection::vec(any::<bool>(), 30),
+    ) {
+        let g = random_dag(n, &arcs);
+        let pattern = BitSet::from_iter(n, (0..n).filter(|&i| pattern_bits[i]));
+        let dense = ddg::Reachability::compute(&g).is_convex(&g, &pattern);
+        prop_assert_eq!(ddg::is_convex(&g, &pattern), dense);
     }
 
     #[test]
@@ -161,4 +281,24 @@ proptest! {
         // De Morgan-ish: (A ∪ B) − B = A − B
         prop_assert_eq!(a.union(&b).difference(&b), a.difference(&b));
     }
+}
+
+/// Extraction cost must not depend on the graph outside the kept subset:
+/// piling arcs onto dropped nodes leaves the visit count unchanged.
+#[test]
+fn induced_cost_ignores_arcs_outside_the_subset() {
+    let kept_arcs = [(0, 1), (1, 2), (0, 2)];
+    let sparse = random_dag(20, &kept_arcs);
+    let dense_extra: Vec<(usize, usize)> = (3..20)
+        .flat_map(|u| ((u + 1)..20).map(move |v| (u, v)))
+        .chain(kept_arcs)
+        .collect();
+    let dense = random_dag(20, &dense_extra);
+    assert!(dense.arc_count() > sparse.arc_count() * 10);
+
+    let keep = BitSet::from_iter(20, [0, 1, 2]);
+    let (_, _, visited_sparse) = sparse.induced_counted(&keep);
+    let (_, _, visited_dense) = dense.induced_counted(&keep);
+    assert_eq!(visited_sparse, visited_dense);
+    assert_eq!(visited_sparse, 3, "out-degrees of nodes 0..3");
 }

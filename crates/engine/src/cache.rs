@@ -28,7 +28,7 @@
 //! map/reduction split from the `SubKind::Fused` payload (raw node
 //! sets), which the group-level key does not see.
 
-use ddg::{Ddg, NodeId, Reachability, StructuralKey};
+use ddg::{Ddg, NodeId, StructuralKey};
 use discovery::models::MatchBudget;
 use discovery::patterns::Detail;
 use discovery::{Pattern, PatternKind, SubDdg, SubKind};
@@ -154,15 +154,8 @@ impl MatchCache {
         }
     }
 
-    /// Looks `sub`'s structural key up. `reach` must be the full-graph
-    /// reachability closure of `g`.
-    pub fn probe(
-        &self,
-        g: &Ddg,
-        reach: &Reachability,
-        sub: &SubDdg,
-        budget: &MatchBudget,
-    ) -> Probe {
+    /// Looks `sub`'s structural key up.
+    pub fn probe(&self, g: &Ddg, sub: &SubDdg, budget: &MatchBudget) -> Probe {
         if !self.enabled {
             return Probe::Uncacheable;
         }
@@ -171,7 +164,7 @@ impl MatchCache {
         };
         let groups = groups_of(sub);
         let key = CacheKey {
-            key: ddg::grouped_key_with(g, &groups, class, reach),
+            key: ddg::grouped_key(g, &groups, class),
             budget_ms: budget.time.as_millis() as u64,
         };
         let cached = {
@@ -401,7 +394,7 @@ mod tests {
     }
 
     fn probe_of(cache: &MatchCache, g: &Ddg, sub: &SubDdg) -> Probe {
-        cache.probe(g, &Reachability::compute(g), sub, &MatchBudget::default())
+        cache.probe(g, sub, &MatchBudget::default())
     }
 
     #[test]

@@ -28,9 +28,8 @@ pub mod pool;
 
 use cache::{MatchCache, Probe};
 use cp::CancelToken;
-use ddg::Reachability;
 use discovery::models::{match_subddg_full, MatchOutcome};
-use discovery::{FinderConfig, FinderResult, FinderState};
+use discovery::{FinderConfig, FinderResult, FrontEnd, SubDdg};
 use pool::{PoolMetrics, WorkPool};
 use std::collections::VecDeque;
 use std::panic::AssertUnwindSafe;
@@ -468,10 +467,47 @@ fn run_request(
     let ddg = run.ddg.take().expect("tracing was enabled");
 
     let t0 = Instant::now();
-    let mut state = FinderState::with_cancel(&ddg, &req.config, cancel.clone());
-    // One full-graph reachability closure per request, shared by every
-    // cache-key computation.
-    let reach = Reachability::compute(state.graph());
+    // Front-end: simplify on this coordinator, then fan the per-sub-DDG
+    // extraction tasks out as pool jobs so they interleave with match
+    // work from other requests. Results are reassembled in task order,
+    // so the pool seeding — and with it every downstream byte — matches
+    // the sequential finder exactly. Extraction jobs never wait on other
+    // pool jobs; only this coordinator blocks on the reply channel.
+    let mut fe = FrontEnd::new(&ddg, &req.config, cancel.clone());
+    let tasks = fe.take_tasks();
+    let n_tasks = tasks.len();
+    let mut extracted: Vec<Option<Vec<SubDdg>>> = (0..n_tasks).map(|_| None).collect();
+    {
+        let (tx, rx) = mpsc::channel::<(usize, Vec<SubDdg>)>();
+        for (i, task) in tasks.into_iter().enumerate() {
+            let g = fe.graph_arc();
+            let tx = tx.clone();
+            pool.submit(Box::new(move || {
+                // A panicking extraction is contained by the pool; the
+                // dropped sender below surfaces it as a lost worker.
+                let _ = tx.send((i, discovery::decompose::extract(&g, &task)));
+            }));
+        }
+        drop(tx);
+        for got in 0..n_tasks {
+            match rx.recv() {
+                Ok((i, subs)) => extracted[i] = Some(subs),
+                Err(_) => {
+                    metrics.deadline_hit = cancel.is_expired();
+                    req_span.arg("result", obs::ArgValue::Static("worker-lost"));
+                    return AnalysisResult {
+                        id: req.id,
+                        index,
+                        outcome: Err(EngineError::WorkerLost {
+                            missing: n_tasks - got,
+                        }),
+                        metrics,
+                    };
+                }
+            }
+        }
+    }
+    let mut state = fe.assemble(extracted.into_iter().map(Option::unwrap).collect());
 
     while !state.is_done() {
         let jobs = state.active_jobs();
@@ -487,7 +523,7 @@ fn run_request(
         for job in jobs {
             let job_ordinal = metrics.match_jobs;
             metrics.match_jobs += 1;
-            let pending = match cache.probe(state.graph(), &reach, &job.sub, &budget) {
+            let pending = match cache.probe(state.graph(), &job.sub, &budget) {
                 Probe::Hit(p) => {
                     metrics.cache_hits += 1;
                     obs::instant("cache.hit");

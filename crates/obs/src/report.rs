@@ -11,12 +11,41 @@ use serde::{ser_key, ser_str, Serialize};
 use std::io::Write as _;
 use std::path::Path;
 
-/// A flat metrics document: `meta` (string key/values), the registry
+/// One typed `meta` value. Run parameters are numbers and lists at
+/// least as often as strings; stringifying them (`"workers": "1"`)
+/// forces every downstream consumer to re-parse, so the report keeps
+/// the JSON type.
+#[derive(Clone, Debug)]
+pub enum MetaValue {
+    /// A JSON string.
+    Str(String),
+    /// A JSON number.
+    Num(f64),
+    /// Pre-serialized JSON, embedded verbatim (lists, objects).
+    Raw(String),
+}
+
+impl Serialize for MetaValue {
+    fn serialize_json(&self, out: &mut String) {
+        match self {
+            MetaValue::Str(s) => ser_str(out, s),
+            // Integral values print without the float marker: a worker
+            // count is `4`, not `4.0`.
+            MetaValue::Num(v) if v.fract() == 0.0 && v.abs() < 9e15 => {
+                out.push_str(&format!("{}", *v as i64));
+            }
+            MetaValue::Num(v) => v.serialize_json(out),
+            MetaValue::Raw(json) => out.push_str(json),
+        }
+    }
+}
+
+/// A flat metrics document: typed `meta` key/values, the registry
 /// snapshot (`counters`/`gauges`/`histograms`), and named `sections` of
 /// caller-serialized JSON.
 #[derive(Clone, Debug, Default)]
 pub struct ObsReport {
-    meta: Vec<(String, String)>,
+    meta: Vec<(String, MetaValue)>,
     metrics: MetricsSnapshot,
     sections: Vec<(String, String)>,
 }
@@ -31,9 +60,22 @@ impl ObsReport {
         }
     }
 
-    /// Adds a `meta` entry (run parameters, ids, timestamps).
+    /// Adds a string `meta` entry (run ids, experiment names, notes).
     pub fn meta(&mut self, key: &str, value: impl ToString) {
-        self.meta.push((key.to_string(), value.to_string()));
+        self.meta
+            .push((key.to_string(), MetaValue::Str(value.to_string())));
+    }
+
+    /// Adds a numeric `meta` entry (worker counts, budgets, slopes),
+    /// emitted as a JSON number.
+    pub fn meta_num(&mut self, key: &str, value: f64) {
+        self.meta.push((key.to_string(), MetaValue::Num(value)));
+    }
+
+    /// Adds an already-serialized JSON value as a `meta` entry, embedded
+    /// verbatim (e.g. a factor list as a real JSON array).
+    pub fn meta_raw(&mut self, key: &str, json: String) {
+        self.meta.push((key.to_string(), MetaValue::Raw(json)));
     }
 
     /// Attaches a serializable value as a named section.
@@ -72,7 +114,7 @@ impl Serialize for ObsReport {
                 out.push(',');
             }
             ser_key(out, k);
-            ser_str(out, v);
+            v.serialize_json(out);
         }
         out.push_str("},");
         ser_key(out, "counters");
@@ -105,7 +147,9 @@ mod tests {
     #[test]
     fn report_embeds_sections_verbatim_and_parses_back() {
         let mut r = ObsReport::snapshot();
-        r.meta("workers", 4);
+        r.meta_num("workers", 4.0);
+        r.meta_num("slope", 1.138);
+        r.meta_raw("factors", "[1,4,16]".to_string());
         r.meta("note", "has \"quotes\"");
         r.section("list", &vec![1u64, 2, 3]);
         r.section_raw(
@@ -114,14 +158,18 @@ mod tests {
         );
         let doc = r.to_json();
         let v = parse(&doc).unwrap();
-        assert_eq!(
-            v.get("meta").unwrap().get("workers").unwrap().as_str(),
-            Some("4")
-        );
-        assert_eq!(
-            v.get("meta").unwrap().get("note").unwrap().as_str(),
-            Some("has \"quotes\"")
-        );
+        let meta = v.get("meta").unwrap();
+        // Numbers stay numbers: integral without a float marker,
+        // fractional as-is.
+        assert!(matches!(meta.get("workers"), Some(Json::Num(_))));
+        assert_eq!(meta.get("workers").unwrap().as_f64(), Some(4.0));
+        assert!(doc.contains("\"workers\":4,"), "{doc}");
+        assert_eq!(meta.get("slope").unwrap().as_f64(), Some(1.138));
+        // Raw values embed as real JSON structure.
+        let factors = meta.get("factors").unwrap().as_arr().unwrap();
+        assert_eq!(factors.len(), 3);
+        assert_eq!(factors[1].as_f64(), Some(4.0));
+        assert_eq!(meta.get("note").unwrap().as_str(), Some("has \"quotes\""));
         let list = v
             .get("sections")
             .unwrap()

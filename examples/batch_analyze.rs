@@ -4,6 +4,7 @@
 //! ```sh
 //! cargo run --release --example batch_analyze
 //! cargo run --release --example batch_analyze -- 8 2000   # workers, budget ms
+//! cargo run --release --example batch_analyze -- --workers 8 --budget-ms 2000
 //! cargo run --release --example batch_analyze -- \
 //!     --bench rgbyuv --bench kmeans \
 //!     --trace-out trace.json --metrics-json metrics.json
@@ -25,6 +26,15 @@ use starbench::{all_benchmarks, Version};
 use std::path::PathBuf;
 use std::time::{Duration, Instant};
 
+/// Parses a flag value, or exits 2 with the flag and offending value
+/// named — bad CLI input is a usage error, not a panic.
+fn parse_or_exit<T: std::str::FromStr>(flag: &str, value: &str) -> T {
+    value.parse().unwrap_or_else(|_| {
+        eprintln!("invalid value for {flag}: got {value:?}");
+        std::process::exit(2);
+    })
+}
+
 fn main() {
     let mut workers = 0usize;
     let mut budget_ms = 60_000u64;
@@ -35,21 +45,25 @@ fn main() {
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         let mut take = |name: &str| {
-            args.next()
-                .unwrap_or_else(|| panic!("{name} needs a value"))
+            args.next().unwrap_or_else(|| {
+                eprintln!("missing value for {name}");
+                std::process::exit(2);
+            })
         };
         match arg.as_str() {
             "--trace-out" => trace_out = Some(PathBuf::from(take("--trace-out"))),
             "--metrics-json" => metrics_json = Some(PathBuf::from(take("--metrics-json"))),
             "--bench" => only.push(take("--bench")),
+            "--workers" => workers = parse_or_exit("--workers", &take("--workers")),
+            "--budget-ms" => budget_ms = parse_or_exit("--budget-ms", &take("--budget-ms")),
             _ => positional.push(arg),
         }
     }
     if let Some(w) = positional.first() {
-        workers = w.parse().expect("workers");
+        workers = parse_or_exit("--workers", w);
     }
     if let Some(b) = positional.get(1) {
-        budget_ms = b.parse().expect("budget ms");
+        budget_ms = parse_or_exit("--budget-ms", b);
     }
     if trace_out.is_some() || metrics_json.is_some() {
         obs::enable();
@@ -147,9 +161,9 @@ fn main() {
     if let Some(path) = &metrics_json {
         let mut report = obs::ObsReport::snapshot();
         report.meta("experiment", "batch_analyze");
-        report.meta("workers", m.workers);
-        report.meta("budget_ms", budget_ms);
-        report.meta("requests", n);
+        report.meta_num("workers", m.workers as f64);
+        report.meta_num("budget_ms", budget_ms as f64);
+        report.meta_num("requests", n as f64);
         report.section("engine", &m);
         match report.write(path) {
             Ok(()) => eprintln!("metrics written to {}", path.display()),
