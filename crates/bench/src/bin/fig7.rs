@@ -116,17 +116,35 @@ fn main() {
 
     // Scaling check: the paper reports linear scaling. Fit the log-log
     // slope of total time vs size over the scaled series.
+    let sizes: Vec<f64> = points.iter().map(|p| p.ddg_nodes as f64).collect();
     let slope = loglog_slope(
-        &points
-            .iter()
-            .map(|p| p.ddg_nodes as f64)
-            .collect::<Vec<_>>(),
+        &sizes,
         &points
             .iter()
             .map(|p| (p.trace_seconds + p.find_seconds).max(1e-6))
             .collect::<Vec<_>>(),
     );
     println!("log-log slope of time vs DDG size: {slope:.2} (1.0 = linear; paper: linear)");
+
+    // Per-phase slopes: a phase hiding a quadratic term shows up here
+    // long before it dominates the total. Near-zero small-end times are
+    // floored at 1 µs so the fit stays finite.
+    let phase_slope = |time_s: fn(&discovery::PhaseTimes) -> f64| {
+        loglog_slope(
+            &sizes,
+            &points
+                .iter()
+                .map(|p| time_s(&p.phases).max(1e-6))
+                .collect::<Vec<_>>(),
+        )
+    };
+    let slope_matching = phase_slope(|t| t.matching.as_secs_f64());
+    let slope_simplify = phase_slope(|t| t.simplify.as_secs_f64());
+    let slope_decompose = phase_slope(|t| t.decompose.as_secs_f64());
+    println!(
+        "per-phase slopes: matching {slope_matching:.2}, simplify {slope_simplify:.2}, \
+         decompose {slope_decompose:.2}"
+    );
 
     let avg_red: f64 = reductions.iter().sum::<f64>() / reductions.len() as f64;
     println!("simplification reduces DDGs by {avg_red:.2}x on average (paper: 3.82x)");
@@ -182,6 +200,9 @@ fn main() {
         ),
     );
     report.meta_num("loglog_slope", slope);
+    report.meta_num("slope_matching", slope_matching);
+    report.meta_num("slope_simplify", slope_simplify);
+    report.meta_num("slope_decompose", slope_decompose);
     report.meta_num("avg_reduction", avg_red);
     report.section("points", &points);
     match report.write(std::path::Path::new("BENCH_fig7.json")) {

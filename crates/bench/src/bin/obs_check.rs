@@ -2,21 +2,25 @@
 //! a metrics JSON produced by `--trace-out` / `--metrics-json`.
 //!
 //! ```sh
-//! obs_check <trace.json> <metrics.json> [required-section ...]
+//! obs_check <trace.json> <metrics.json> [required-section ...] [--counter <name> ...]
 //! obs_check --fig7 <BENCH_fig7.json> [--max-slope 1.05]
 //! ```
 //!
 //! The trace must parse, contain events, and have balanced begin/end
 //! pairs on every thread; the metrics document must carry the
 //! `meta`/`counters`/`gauges`/`histograms`/`sections` keys plus every
-//! required section (default: `engine`). Exits nonzero with a message on
-//! the first violation.
+//! required section (default: `engine`). Each `--counter <name>` asserts
+//! that the named registry counter appears in the metrics document — CI
+//! uses this to prove an instrumented run actually exercised an
+//! instrumentation site. Exits nonzero with a message on the first
+//! violation.
 //!
 //! `--fig7` gates the Fig. 7 scaling report instead: the numeric meta
-//! fields must be JSON numbers (not stringified), `factors` must be a
-//! JSON array, and the fitted log-log slope of analysis time vs DDG size
-//! must not exceed `--max-slope` (default 1.05 — superlinear extraction
-//! regressions fail CI here).
+//! fields (including the per-phase `slope_*` fits) must be JSON numbers
+//! (not stringified), `factors` must be a JSON array, and neither the
+//! total log-log slope of analysis time vs DDG size nor the matching
+//! phase's slope may exceed `--max-slope` (default 1.05 — superlinear
+//! extraction or matching regressions fail CI here).
 
 use obs::json::{parse, Json};
 use std::process::exit;
@@ -35,11 +39,27 @@ fn main() {
             exit(2);
         }
     };
-    let sections: Vec<&str> = if args.len() > 2 {
-        args[2..].iter().map(String::as_str).collect()
-    } else {
-        vec!["engine"]
-    };
+    // Trailing args: `--counter <name>` pairs assert registry counters;
+    // everything else names a required section.
+    let mut sections: Vec<&str> = Vec::new();
+    let mut counters: Vec<&str> = Vec::new();
+    let mut rest = args[2..].iter();
+    while let Some(a) = rest.next() {
+        if a == "--counter" {
+            match rest.next() {
+                Some(name) => counters.push(name),
+                None => {
+                    eprintln!("missing value for --counter");
+                    exit(2);
+                }
+            }
+        } else {
+            sections.push(a);
+        }
+    }
+    if sections.is_empty() {
+        sections.push("engine");
+    }
 
     let trace = read(trace_path);
     let summary = obs::validate_chrome_trace(&trace).unwrap_or_else(|e| {
@@ -63,10 +83,35 @@ fn main() {
         eprintln!("obs_check: {metrics_path}: {e}");
         exit(1);
     }
+    if !counters.is_empty() {
+        let doc = parse(&metrics).unwrap_or_else(|e| {
+            eprintln!("obs_check: {metrics_path}: {e}");
+            exit(1);
+        });
+        let registered: Vec<String> = match doc.get("counters") {
+            Some(Json::Arr(items)) => items
+                .iter()
+                .filter_map(|c| match c.get("name") {
+                    Some(Json::Str(s)) => Some(s.clone()),
+                    _ => None,
+                })
+                .collect(),
+            _ => Vec::new(),
+        };
+        for want in &counters {
+            if !registered.iter().any(|name| name == want) {
+                eprintln!(
+                    "obs_check: {metrics_path}: required counter {want:?} not in the \
+                     metrics registry — the instrumented run never reached its site"
+                );
+                exit(1);
+            }
+        }
+    }
 
     println!(
         "obs_check: OK — {} events ({} spans, {} instants) on {} threads; \
-         metrics sections {sections:?} present",
+         metrics sections {sections:?} present, counters {counters:?} present",
         summary.events, summary.begins, summary.instants, summary.threads
     );
 }
@@ -100,7 +145,15 @@ fn fig7_gate(args: &[String]) {
 
     // Typed-meta regression guard: run parameters and fit results must
     // be real JSON numbers, not stringified ("1.138").
-    for key in ["workers", "budget_ms", "loglog_slope", "avg_reduction"] {
+    for key in [
+        "workers",
+        "budget_ms",
+        "loglog_slope",
+        "slope_matching",
+        "slope_simplify",
+        "slope_decompose",
+        "avg_reduction",
+    ] {
         match meta.get(key) {
             Some(Json::Num(_)) => {}
             Some(Json::Str(s)) => {
@@ -129,7 +182,20 @@ fn fig7_gate(args: &[String]) {
         );
         exit(1);
     }
-    println!("obs_check: OK — fig7 log-log slope {slope:.3} <= {max_slope}, meta fields typed");
+    // Per-phase gate: matching must scale linearly on its own, not just
+    // hide inside a total dominated by tracing.
+    let matching = meta.get("slope_matching").and_then(Json::as_f64).unwrap();
+    if !matching.is_finite() || matching > max_slope {
+        eprintln!(
+            "obs_check: {path}: matching-phase slope {matching:.3} exceeds {max_slope} — \
+             the match phase is growing superlinearly in DDG size"
+        );
+        exit(1);
+    }
+    println!(
+        "obs_check: OK — fig7 log-log slope {slope:.3}, matching slope {matching:.3} \
+         <= {max_slope}, meta fields typed"
+    );
 }
 
 fn read(path: &str) -> String {

@@ -69,7 +69,7 @@ fn obs_check_fig7_gate_passes_a_linear_report() {
     let path = dir.join("report.json");
     std::fs::write(
         &path,
-        r#"{"meta":{"workers":1,"budget_ms":60000,"factors":[1,4,16],"loglog_slope":0.98,"avg_reduction":3.5},"counters":[],"gauges":[],"histograms":[],"sections":{}}"#,
+        r#"{"meta":{"workers":1,"budget_ms":60000,"factors":[1,4,16],"loglog_slope":0.98,"slope_matching":0.85,"slope_simplify":0.9,"slope_decompose":0.8,"avg_reduction":3.5},"counters":[],"gauges":[],"histograms":[],"sections":{}}"#,
     )
     .unwrap();
     let out = run(
@@ -86,7 +86,7 @@ fn obs_check_fig7_gate_fails_a_superlinear_slope() {
     let path = dir.join("report.json");
     std::fs::write(
         &path,
-        r#"{"meta":{"workers":1,"budget_ms":60000,"factors":[1,4,16],"loglog_slope":1.138,"avg_reduction":3.5},"counters":[],"gauges":[],"histograms":[],"sections":{}}"#,
+        r#"{"meta":{"workers":1,"budget_ms":60000,"factors":[1,4,16],"loglog_slope":1.138,"slope_matching":0.85,"slope_simplify":0.9,"slope_decompose":0.8,"avg_reduction":3.5},"counters":[],"gauges":[],"histograms":[],"sections":{}}"#,
     )
     .unwrap();
     let out = run(
@@ -102,13 +102,37 @@ fn obs_check_fig7_gate_fails_a_superlinear_slope() {
 }
 
 #[test]
+fn obs_check_fig7_gate_fails_a_superlinear_matching_phase() {
+    // The total can look linear while the match phase alone is not —
+    // that is exactly what the per-phase gate must catch.
+    let dir = std::env::temp_dir().join("obs_check_fig7_match_slope");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("report.json");
+    std::fs::write(
+        &path,
+        r#"{"meta":{"workers":1,"budget_ms":60000,"factors":[1,4,16],"loglog_slope":0.98,"slope_matching":1.41,"slope_simplify":0.9,"slope_decompose":0.8,"avg_reduction":3.5},"counters":[],"gauges":[],"histograms":[],"sections":{}}"#,
+    )
+    .unwrap();
+    let out = run(
+        env!("CARGO_BIN_EXE_obs_check"),
+        &["--fig7", path.to_str().unwrap(), "--max-slope", "1.05"],
+    );
+    assert_eq!(out.status.code(), Some(1), "stderr: {}", stderr(&out));
+    assert!(
+        stderr(&out).contains("matching-phase slope"),
+        "stderr: {}",
+        stderr(&out)
+    );
+}
+
+#[test]
 fn obs_check_fig7_gate_fails_stringified_meta_numbers() {
     let dir = std::env::temp_dir().join("obs_check_fig7_str");
     std::fs::create_dir_all(&dir).unwrap();
     let path = dir.join("report.json");
     std::fs::write(
         &path,
-        r#"{"meta":{"workers":"1","budget_ms":60000,"factors":[1,4,16],"loglog_slope":0.98,"avg_reduction":3.5},"counters":[],"gauges":[],"histograms":[],"sections":{}}"#,
+        r#"{"meta":{"workers":"1","budget_ms":60000,"factors":[1,4,16],"loglog_slope":0.98,"slope_matching":0.85,"slope_simplify":0.9,"slope_decompose":0.8,"avg_reduction":3.5},"counters":[],"gauges":[],"histograms":[],"sections":{}}"#,
     )
     .unwrap();
     let out = run(

@@ -133,13 +133,10 @@ fn check_map_on_groups(
         }
     }
     // (2b)+(1e) no cross-component reachability, even through outside
-    // nodes.
-    for (gi, r) in q.reaches.iter().enumerate() {
-        for target in r.iter() {
-            if comp_of[target] != comp_of[gi] {
-                return None;
-            }
-        }
+    // nodes: one lattice pass over the sub-DDG's ancestor cone instead
+    // of a per-group closure table.
+    if q.cross_component_reach(g, &comp_of) {
+        return None;
     }
 
     // (2c) every component takes input; (2d) output availability.

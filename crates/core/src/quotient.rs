@@ -7,10 +7,23 @@
 //! the relaxed isomorphism constraints 1c/4c), external input/output
 //! availability (constraints 2c/2d/3e/3f), and group-level reachability
 //! through the *full* simplified DDG (convexity 1e and chaining 3c).
+//!
+//! Reachability is answered by a *lazy* oracle rather than a precomputed
+//! table: the seed ran one full-graph BFS per group at build time —
+//! O(groups × (V+E)) per sub-DDG, paid even by the many sub-DDGs whose
+//! models never consult reachability at all. The oracle computes nothing
+//! until queried, memoizes per-group closures, and prunes every search to
+//! the sub-DDG's ancestor cone (the only nodes a path back into the
+//! sub-DDG can use — the same targeting `ddg::is_convex` applies to exit
+//! arcs). The map model's whole-quotient independence check uses the
+//! batch [`Quotient::cross_component_reach`] entry point, a single
+//! O(V+E) lattice pass instead of one query per group.
 
 use crate::subddg::SubDdg;
 use ddg::graph::NodeFlags;
 use ddg::{BitSet, Ddg, NodeId};
+use std::cell::RefCell;
+use std::sync::OnceLock;
 
 /// One quotient node.
 #[derive(Clone, Debug)]
@@ -30,6 +43,28 @@ pub struct Group {
     pub any_out: bool,
 }
 
+/// `group_of` sentinel for nodes outside the sub-DDG.
+const OUTSIDE: u32 = u32::MAX;
+
+/// Lazily computed reachability state, behind a `RefCell` so the models
+/// can query through a shared `&Quotient`.
+#[derive(Debug, Default)]
+struct ReachState {
+    /// Memoized per-group forward closures (group indices, irreflexive).
+    closures: Vec<Option<BitSet>>,
+    /// Nodes that can reach some sub-DDG member (members included) — the
+    /// only nodes a forward search toward the sub-DDG can usefully visit,
+    /// so every oracle search is pruned to this set. Computed once, on
+    /// the first query.
+    relevant: Option<BitSet>,
+    /// Reachability questions answered (point or batch).
+    queries: u64,
+    /// Graph nodes expanded across all oracle searches. Stays zero until
+    /// the first query and grows with queries, not with group count —
+    /// the property the lazy-oracle proptest pins down.
+    nodes_visited: u64,
+}
+
 /// The quotient graph of a sub-DDG.
 #[derive(Debug)]
 pub struct Quotient {
@@ -38,15 +73,17 @@ pub struct Quotient {
     pub arcs: Vec<(usize, usize)>,
     pub succs: Vec<Vec<usize>>,
     pub preds: Vec<Vec<usize>>,
-    /// `reaches[i]` = groups reachable from group `i` via any path in the
-    /// full simplified DDG (≥ 1 arc), including paths through nodes
-    /// outside the sub-DDG.
-    pub reaches: Vec<BitSet>,
+    /// node -> group index within the sub-DDG ([`OUTSIDE`] elsewhere).
+    group_of: Vec<u32>,
+    reach: RefCell<ReachState>,
 }
 
 impl Quotient {
-    /// Builds the quotient view of `sub` within `g`.
+    /// Builds the quotient view of `sub` within `g`. Group-level
+    /// reachability is *not* computed here; it is answered on demand by
+    /// [`Quotient::reaches`] / [`Quotient::cross_component_reach`].
     pub fn build(g: &Ddg, sub: &SubDdg) -> Quotient {
+        let mut span = obs::span("finder.quotient");
         let singleton_groups;
         let groups_src: &[Vec<NodeId>] = match &sub.groups {
             Some(gs) => gs,
@@ -61,14 +98,15 @@ impl Quotient {
         };
 
         // node -> group index (within the sub-DDG).
-        let mut group_of: Vec<Option<u32>> = vec![None; g.len()];
+        let mut group_of: Vec<u32> = vec![OUTSIDE; g.len()];
         for (gi, members) in groups_src.iter().enumerate() {
             for &m in members {
-                group_of[m.index()] = Some(gi as u32);
+                group_of[m.index()] = gi as u32;
             }
         }
 
         let n = groups_src.len();
+        span.arg("groups", obs::ArgValue::U64(n as u64));
         let mut groups: Vec<Group> = groups_src
             .iter()
             .map(|members| {
@@ -76,11 +114,11 @@ impl Quotient {
                 label_key.sort_unstable();
                 let ext_in = members.iter().any(|&m| {
                     g.node(m).flags.contains(NodeFlags::READS_INPUT)
-                        || g.preds(m).iter().any(|p| group_of[p.index()].is_none())
+                        || g.preds(m).iter().any(|p| group_of[p.index()] == OUTSIDE)
                 });
                 let ext_out = members.iter().any(|&m| {
                     g.node(m).flags.contains(NodeFlags::WRITES_OUTPUT)
-                        || g.succs(m).iter().any(|s| group_of[s.index()].is_none())
+                        || g.succs(m).iter().any(|s| group_of[s.index()] == OUTSIDE)
                 });
                 Group {
                     members: members.clone(),
@@ -106,12 +144,10 @@ impl Quotient {
                     groups[gi].any_out = true;
                 }
                 for &s in g.succs(m) {
-                    if let Some(ti) = group_of[s.index()] {
-                        let ti = ti as usize;
-                        if ti != gi {
-                            succs[gi].push(ti);
-                            preds[ti].push(gi);
-                        }
+                    let ti = group_of[s.index()];
+                    if ti != OUTSIDE && ti as usize != gi {
+                        succs[gi].push(ti as usize);
+                        preds[ti as usize].push(gi);
                     }
                 }
             }
@@ -128,33 +164,18 @@ impl Quotient {
             list.dedup();
         }
 
-        // Group-level reachability through the full graph: BFS from each
-        // group's members.
-        let mut reaches = Vec::with_capacity(n);
-        for members in groups_src {
-            let closure = ddg::algo::reachable_from(g, members.iter().copied());
-            let mut r = BitSet::new(n);
-            for x in closure.iter() {
-                if let Some(t) = group_of[x] {
-                    r.insert(t as usize);
-                }
-            }
-            // A group trivially "reaches itself" only via internal arcs;
-            // exclude self to keep the relation irreflexive for the
-            // independence checks.
-            reaches.push(r);
-        }
-        // Exclude self-reach introduced by internal arcs.
-        for (gi, r) in reaches.iter_mut().enumerate() {
-            r.remove(gi);
-        }
-
         Quotient {
             groups,
             arcs,
             succs,
             preds,
-            reaches,
+            group_of,
+            reach: RefCell::new(ReachState {
+                closures: (0..n).map(|_| None).collect(),
+                relevant: None,
+                queries: 0,
+                nodes_visited: 0,
+            }),
         }
     }
 
@@ -168,10 +189,174 @@ impl Quotient {
         self.groups.is_empty()
     }
 
-    /// True when any two distinct groups can reach one another (used to
-    /// rule maps out fast).
-    pub fn has_inter_group_flow(&self) -> bool {
-        self.reaches.iter().any(|r| !r.is_empty())
+    /// True when a path `i ⇝ j` of ≥ 1 arc exists in the full simplified
+    /// DDG — including paths through nodes outside the sub-DDG (the
+    /// convexity trap). Irreflexive: internal arcs never make a group
+    /// "reach itself".
+    pub fn reaches(&self, g: &Ddg, i: usize, j: usize) -> bool {
+        let mut st = self.reach.borrow_mut();
+        st.queries += 1;
+        self.closure_of(g, &mut st, i).contains(j)
+    }
+
+    /// The groups reachable from group `i` (≥ 1 arc, full-graph paths,
+    /// self excluded).
+    pub fn reachable_groups(&self, g: &Ddg, i: usize) -> BitSet {
+        let mut st = self.reach.borrow_mut();
+        st.queries += 1;
+        self.closure_of(g, &mut st, i).clone()
+    }
+
+    /// True when some group reaches a group of a *different* component,
+    /// where `comp_of[gi]` names group `gi`'s component — the map model's
+    /// independence check (2b + 1e) over the whole quotient at once.
+    ///
+    /// One forward pass propagates, for every node in the sub-DDG's
+    /// ancestor cone, *which components can reach it* as a three-level
+    /// lattice (none / exactly one / more than one): O(V+E) total,
+    /// independent of the group count, where the equivalent per-group
+    /// closures cost O(groups × (V+E)). Returns at the first violation.
+    pub fn cross_component_reach(&self, g: &Ddg, comp_of: &[usize]) -> bool {
+        const NONE: u64 = u64::MAX;
+        const MANY: u64 = u64::MAX - 1;
+        let join = |a: u64, b: u64| {
+            if a == NONE || a == b {
+                b
+            } else if b == NONE {
+                a
+            } else {
+                MANY
+            }
+        };
+
+        let mut st = self.reach.borrow_mut();
+        st.queries += 1;
+        self.ensure_relevant(g, &mut st);
+        let relevant = st.relevant.as_ref().unwrap();
+
+        // in_val[n] = which components' groups reach node n via ≥ 1 arc.
+        let mut in_val: Vec<u64> = vec![NONE; g.len()];
+        let mut visited = 0u64;
+        // Seed with every member: each contributes its own component to
+        // its successors (zero-arc "reach" of a node by its own group is
+        // not reach).
+        let mut stack: Vec<NodeId> = self
+            .groups
+            .iter()
+            .flat_map(|grp| grp.members.iter().copied())
+            .collect();
+        while let Some(u) = stack.pop() {
+            visited += 1;
+            let own = match self.group_of[u.index()] {
+                OUTSIDE => NONE,
+                gi => comp_of[gi as usize] as u64,
+            };
+            let out = join(in_val[u.index()], own);
+            if out == NONE {
+                continue;
+            }
+            for &v in g.succs(u) {
+                if !relevant.contains(v.index()) {
+                    continue;
+                }
+                let new = join(in_val[v.index()], out);
+                if new == in_val[v.index()] {
+                    continue;
+                }
+                in_val[v.index()] = new;
+                let vg = self.group_of[v.index()];
+                if vg != OUTSIDE && (new == MANY || new != comp_of[vg as usize] as u64) {
+                    // A member reachable from a foreign component.
+                    st.nodes_visited += visited;
+                    return true;
+                }
+                stack.push(v);
+            }
+        }
+        st.nodes_visited += visited;
+        false
+    }
+
+    /// True when any group can reach another (used to rule maps out
+    /// fast): [`Quotient::cross_component_reach`] with every group its
+    /// own component.
+    pub fn has_inter_group_flow(&self, g: &Ddg) -> bool {
+        let identity: Vec<usize> = (0..self.len()).collect();
+        self.cross_component_reach(g, &identity)
+    }
+
+    /// Oracle effort so far: `(queries answered, graph nodes expanded)`.
+    /// Both stay zero until the first reachability question is asked.
+    pub fn reach_stats(&self) -> (u64, u64) {
+        let st = self.reach.borrow();
+        (st.queries, st.nodes_visited)
+    }
+
+    /// The memoized closure of group `i`, computing it on first use with
+    /// a forward search from the group's members pruned to the sub-DDG's
+    /// ancestor cone. Any path from a member to another group's node runs
+    /// entirely inside that cone (every node on it reaches the endpoint),
+    /// so pruning never loses a reachable group.
+    fn closure_of<'a>(&self, g: &Ddg, st: &'a mut ReachState, i: usize) -> &'a BitSet {
+        if st.closures[i].is_none() {
+            self.ensure_relevant(g, st);
+            let relevant = st.relevant.as_ref().unwrap();
+            let mut out = BitSet::new(self.groups.len());
+            let mut seen = BitSet::new(g.len());
+            let mut stack: Vec<NodeId> = Vec::new();
+            let mut visited = 0u64;
+            for &m in &self.groups[i].members {
+                for &v in g.succs(m) {
+                    if relevant.contains(v.index()) && seen.insert(v.index()) {
+                        stack.push(v);
+                    }
+                }
+            }
+            while let Some(u) = stack.pop() {
+                visited += 1;
+                let ug = self.group_of[u.index()];
+                if ug != OUTSIDE {
+                    out.insert(ug as usize);
+                }
+                for &v in g.succs(u) {
+                    if relevant.contains(v.index()) && seen.insert(v.index()) {
+                        stack.push(v);
+                    }
+                }
+            }
+            // Internal arcs re-reach the group itself; the relation is
+            // irreflexive.
+            out.remove(i);
+            st.nodes_visited += visited;
+            st.closures[i] = Some(out);
+        }
+        st.closures[i].as_ref().unwrap()
+    }
+
+    /// Computes the ancestor cone (reverse reachability from all members,
+    /// members included) the first time any query needs it.
+    fn ensure_relevant(&self, g: &Ddg, st: &mut ReachState) {
+        if st.relevant.is_some() {
+            return;
+        }
+        let mut rel = BitSet::new(g.len());
+        let mut stack: Vec<NodeId> = Vec::new();
+        let mut visited = 0u64;
+        for (ni, &gi) in self.group_of.iter().enumerate() {
+            if gi != OUTSIDE && rel.insert(ni) {
+                stack.push(NodeId(ni as u32));
+            }
+        }
+        while let Some(u) = stack.pop() {
+            visited += 1;
+            for &p in g.preds(u) {
+                if rel.insert(p.index()) {
+                    stack.push(p);
+                }
+            }
+        }
+        st.nodes_visited += visited;
+        st.relevant = Some(rel);
     }
 
     /// All groups share one label multiset (relaxed op-isomorphism).
@@ -179,6 +364,25 @@ impl Quotient {
         self.groups
             .windows(2)
             .all(|w| w[0].label_key == w[1].label_key)
+    }
+}
+
+impl Drop for Quotient {
+    /// Flushes the oracle's effort into the metrics registry. Handles are
+    /// cached in `OnceLock`s so the per-quotient cost is two relaxed
+    /// adds. Unconditional (not gated on `obs::enabled`) because the
+    /// fig7 perf-trajectory seed records these counters without span
+    /// tracing on.
+    fn drop(&mut self) {
+        static QUERIES: OnceLock<obs::Counter> = OnceLock::new();
+        static VISITED: OnceLock<obs::Counter> = OnceLock::new();
+        let st = self.reach.get_mut();
+        QUERIES
+            .get_or_init(|| obs::counter("quotient.reach_queries"))
+            .add(st.queries);
+        VISITED
+            .get_or_init(|| obs::counter("quotient.reach_nodes_visited"))
+            .add(st.nodes_visited);
     }
 }
 
@@ -226,9 +430,9 @@ mod tests {
         assert!(q.groups[1].ext_out, "group 1 feeds the external node");
         assert!(!q.groups[1].ext_in);
         assert_eq!(q.arcs, vec![(0, 1)]);
-        assert!(q.reaches[0].contains(1));
-        assert!(!q.reaches[1].contains(0));
-        assert!(q.has_inter_group_flow());
+        assert!(q.reaches(&g, 0, 1));
+        assert!(!q.reaches(&g, 1, 0));
+        assert!(q.has_inter_group_flow(&g));
     }
 
     #[test]
@@ -244,7 +448,7 @@ mod tests {
         assert_eq!(q.len(), 3);
         // 1 reaches 3 through node 2, which is OUTSIDE the sub-DDG: the
         // full-graph reachability must still see it.
-        assert!(q.reaches[0].contains(1));
+        assert!(q.reaches(&g, 0, 1));
         // But there is no quotient arc 1->3 (no direct arc).
         assert!(!q.arcs.contains(&(0, 1)));
         assert!(q.arcs.contains(&(1, 2)), "3 -> 4 is direct");
@@ -269,10 +473,42 @@ mod tests {
             },
         );
         let q = Quotient::build(&g, &sub);
-        assert!(
-            q.reaches[0].contains(1),
-            "0 reaches 2 via the outside node 1"
-        );
+        assert!(q.reaches(&g, 0, 1), "0 reaches 2 via the outside node 1");
         assert!(q.arcs.is_empty());
+        // The batch check agrees: with each group its own component, the
+        // outside path is a cross-component reach.
+        assert!(q.cross_component_reach(&g, &[0, 1]));
+        // With both groups in one component it is not.
+        assert!(!q.cross_component_reach(&g, &[0, 0]));
+    }
+
+    #[test]
+    fn oracle_is_lazy_and_memoized() {
+        let (g, sub) = grouped_graph();
+        let q = Quotient::build(&g, &sub);
+        assert_eq!(
+            q.reach_stats(),
+            (0, 0),
+            "no reachability work before the first query"
+        );
+        assert!(q.reaches(&g, 0, 1));
+        let (q1, v1) = q.reach_stats();
+        assert_eq!(q1, 1);
+        assert!(v1 > 0, "the first query pays for its search");
+        // Re-asking anything about group 0 hits the memoized closure.
+        assert!(!q.reaches(&g, 0, 0), "irreflexive");
+        let (q2, v2) = q.reach_stats();
+        assert_eq!(q2, 2);
+        assert_eq!(v2, v1, "memoized queries expand no further nodes");
+    }
+
+    #[test]
+    fn cross_component_reach_ignores_intra_component_paths() {
+        let (g, sub) = grouped_graph();
+        let q = Quotient::build(&g, &sub);
+        // Group 0 reaches group 1 directly: distinct components violate,
+        // one shared component does not.
+        assert!(q.cross_component_reach(&g, &[0, 1]));
+        assert!(!q.cross_component_reach(&g, &[0, 0]));
     }
 }

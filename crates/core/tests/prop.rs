@@ -1,0 +1,181 @@
+//! Property-based tests pinning the lazy quotient-reachability oracle to
+//! the dense per-group BFS closure it replaced (the seed's
+//! `Quotient::build` eagerly ran `reachable_from` once per group), plus
+//! cost bounds proving the oracle's work scales with queries, not with
+//! groups².
+
+use ddg::{BitSet, Ddg, DdgBuilder, NodeId};
+use discovery::quotient::Quotient;
+use discovery::subddg::{SubDdg, SubKind};
+use proptest::prelude::*;
+
+/// Builds a random DAG with `n` nodes; arcs only go from lower to higher
+/// indices (acyclic by construction).
+fn random_dag(n: usize, arcs: &[(usize, usize)]) -> Ddg {
+    let mut b = DdgBuilder::new();
+    let l = b.intern_label("fadd", true);
+    let ids: Vec<NodeId> = (0..n)
+        .map(|i| b.add_node(l, i as u32, 0, 1, 1, 0, vec![]))
+        .collect();
+    for &(u, v) in arcs {
+        let (u, v) = (u % n, v % n);
+        if u < v {
+            b.add_arc(ids[u], ids[v]);
+        }
+    }
+    b.finish()
+}
+
+/// Groups the subset nodes by `group_tag[i] % k` (dropping empty groups),
+/// producing the grouped sub-DDG shape loop compaction emits.
+fn grouped_sub(subset: &BitSet, group_tags: &[usize], k: usize) -> SubDdg {
+    let mut groups: Vec<Vec<NodeId>> = vec![Vec::new(); k];
+    for (pos, node) in subset.iter().enumerate() {
+        groups[group_tags[pos % group_tags.len()] % k].push(NodeId(node as u32));
+    }
+    groups.retain(|g| !g.is_empty());
+    SubDdg::grouped(subset.clone(), groups, SubKind::Loop { loop_id: 0 })
+}
+
+/// The seed's eager oracle, verbatim: one full-graph forward BFS per
+/// group, mapped to group indices, self-reach removed.
+fn dense_closures(g: &Ddg, q: &Quotient) -> Vec<BitSet> {
+    let mut group_of: Vec<Option<usize>> = vec![None; g.len()];
+    for (gi, grp) in q.groups.iter().enumerate() {
+        for &m in &grp.members {
+            group_of[m.index()] = Some(gi);
+        }
+    }
+    q.groups
+        .iter()
+        .enumerate()
+        .map(|(gi, grp)| {
+            let closure = ddg::algo::reachable_from(g, grp.members.iter().copied());
+            let mut r = BitSet::new(q.len());
+            for x in closure.iter() {
+                if let Some(t) = group_of[x] {
+                    r.insert(t);
+                }
+            }
+            r.remove(gi);
+            r
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn lazy_oracle_matches_the_dense_per_group_closure(
+        n in 1usize..30,
+        arcs in prop::collection::vec((0usize..30, 0usize..30), 0..80),
+        subset_bits in prop::collection::vec(any::<bool>(), 30),
+        group_tags in prop::collection::vec(0usize..4, 1..30),
+        k in 1usize..5,
+    ) {
+        let g = random_dag(n, &arcs);
+        // Node 0 is always in the subset so the sub-DDG is non-empty.
+        let subset = BitSet::from_iter(n, (0..n).filter(|&i| i == 0 || subset_bits[i]));
+        let sub = grouped_sub(&subset, &group_tags, k);
+        let q = Quotient::build(&g, &sub);
+        let dense = dense_closures(&g, &q);
+        for (i, dense_i) in dense.iter().enumerate() {
+            prop_assert_eq!(
+                &q.reachable_groups(&g, i),
+                dense_i,
+                "closure of group {}", i
+            );
+            for j in 0..q.len() {
+                prop_assert_eq!(
+                    q.reaches(&g, i, j),
+                    dense_i.contains(j),
+                    "reaches({}, {})", i, j
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn batch_check_matches_the_per_group_closures(
+        n in 1usize..30,
+        arcs in prop::collection::vec((0usize..30, 0usize..30), 0..80),
+        subset_bits in prop::collection::vec(any::<bool>(), 30),
+        comp_tags in prop::collection::vec(0usize..3, 1..30),
+    ) {
+        let g = random_dag(n, &arcs);
+        // Node 0 is always in the subset so the sub-DDG is non-empty.
+        let subset = BitSet::from_iter(n, (0..n).filter(|&i| i == 0 || subset_bits[i]));
+        let sub = SubDdg::ungrouped(subset, SubKind::Assoc { label: "fadd".into() });
+        let q = Quotient::build(&g, &sub);
+        let comp_of: Vec<usize> =
+            (0..q.len()).map(|gi| comp_tags[gi % comp_tags.len()]).collect();
+        // Oracle: the map model's old loop over the precomputed table.
+        let dense = dense_closures(&g, &q);
+        let expected = dense.iter().enumerate().any(|(gi, r)| {
+            r.iter().any(|t| comp_of[t] != comp_of[gi])
+        });
+        prop_assert_eq!(q.cross_component_reach(&g, &comp_of), expected);
+    }
+
+    #[test]
+    fn oracle_work_is_bounded_by_queries_not_groups_squared(
+        n in 1usize..30,
+        arcs in prop::collection::vec((0usize..30, 0usize..30), 0..80),
+        subset_bits in prop::collection::vec(any::<bool>(), 30),
+        probes in prop::collection::vec((0usize..30, 0usize..30), 0..10),
+    ) {
+        let g = random_dag(n, &arcs);
+        // Node 0 is always in the subset so the sub-DDG is non-empty.
+        let subset = BitSet::from_iter(n, (0..n).filter(|&i| i == 0 || subset_bits[i]));
+        let sub = SubDdg::ungrouped(subset, SubKind::Assoc { label: "fadd".into() });
+        let q = Quotient::build(&g, &sub);
+        prop_assert_eq!(q.reach_stats(), (0, 0), "building computes no reachability");
+        for &(i, j) in &probes {
+            q.reaches(&g, i % q.len(), j % q.len());
+        }
+        let (queries, visited) = q.reach_stats();
+        prop_assert_eq!(queries, probes.len() as u64);
+        // Every query expands at most the ancestor cone (≤ V nodes); the
+        // cone itself is computed once. Nothing here scales with the
+        // number of groups — the seed's eager closure visited
+        // O(groups × V) regardless of queries.
+        prop_assert!(
+            visited <= (1 + 3 * queries) * g.len() as u64,
+            "visited {} for {} queries on {} nodes", visited, queries, g.len()
+        );
+    }
+}
+
+/// Oracle cost must not depend on the graph outside the sub-DDG's
+/// ancestor cone: piling arcs onto the sub-DDG's *descendants* leaves the
+/// visit count unchanged — forward searches are pruned to nodes that can
+/// reach back into the sub-DDG.
+#[test]
+fn oracle_cost_ignores_the_descendant_cone() {
+    let kept_arcs = [(0, 1), (1, 2)];
+    let sparse = random_dag(20, &kept_arcs);
+    let dense_extra: Vec<(usize, usize)> = (2..20)
+        .flat_map(|u| ((u + 1)..20).map(move |v| (u, v)))
+        .chain(kept_arcs)
+        .collect();
+    let dense = random_dag(20, &dense_extra);
+    assert!(dense.arc_count() > sparse.arc_count() * 10);
+
+    let visits = |g: &Ddg| {
+        let sub = SubDdg::ungrouped(
+            BitSet::from_iter(20, [0, 1]),
+            SubKind::Assoc {
+                label: "fadd".into(),
+            },
+        );
+        let q = Quotient::build(g, &sub);
+        assert!(q.reaches(g, 0, 1), "0 -> 1 is an arc");
+        q.reach_stats().1
+    };
+    assert_eq!(
+        visits(&sparse),
+        visits(&dense),
+        "the dense clique hangs off node 2, outside the ancestor cone of {{0, 1}}"
+    );
+}

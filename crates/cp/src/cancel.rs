@@ -64,6 +64,14 @@ impl CancelToken {
         self.cancelled.load(Ordering::Relaxed) || self.deadline.is_some_and(|d| Instant::now() >= d)
     }
 
+    /// The explicit-cancel flag alone — one relaxed load, never a clock
+    /// read. Inner loops that throttle clock polling still check this
+    /// every iteration so an explicit [`Self::cancel`] stops them
+    /// immediately.
+    pub fn is_cancelled(&self) -> bool {
+        self.cancelled.load(Ordering::Relaxed)
+    }
+
     /// The wall-clock deadline, if one was set.
     pub fn deadline(&self) -> Option<Instant> {
         self.deadline
@@ -90,6 +98,15 @@ mod tests {
         assert!(t.remaining().is_none());
         u.cancel();
         assert!(t.is_expired(), "cancel must reach every clone");
+    }
+
+    #[test]
+    fn cancel_flag_is_separate_from_the_deadline() {
+        let t = CancelToken::with_deadline(Duration::from_millis(0));
+        assert!(t.is_expired(), "deadline passed");
+        assert!(!t.is_cancelled(), "but nobody cancelled explicitly");
+        t.cancel();
+        assert!(t.is_cancelled());
     }
 
     #[test]

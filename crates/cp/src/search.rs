@@ -53,6 +53,11 @@ enum Walk {
     Abort,
 }
 
+/// Search nodes between wall-clock reads in [`Search::out_of_budget`].
+/// A power of two so the check is one mask; 64 nodes take microseconds,
+/// so deadlines still land well within any realistic budget.
+const CLOCK_STRIDE: u64 = 64;
+
 /// A configured solver run over one model.
 pub struct Search {
     pub store: Store,
@@ -63,6 +68,14 @@ pub struct Search {
     /// Branch on 0 (the "excluded" sentinel) only after all other values.
     pub zero_last: bool,
     stats: SearchStats,
+    /// First variable (in creation order) not yet fixed at the current
+    /// decision level — [`Search::pick_var`] scans from here instead of
+    /// from 0. Saved and restored around each decision level, since
+    /// backtracking un-fixes domains.
+    cursor: u32,
+    /// Per-depth value buffers, reused across all nodes at that depth so
+    /// branching allocates nothing once the search is warm.
+    scratch: Vec<Vec<u32>>,
 }
 
 impl Search {
@@ -75,6 +88,8 @@ impl Search {
             cancel: None,
             zero_last: true,
             stats: SearchStats::default(),
+            cursor: 0,
+            scratch: Vec::new(),
         }
     }
 
@@ -107,8 +122,19 @@ impl Search {
         if self.stats.nodes >= self.node_limit {
             return true;
         }
-        if self.deadline.is_some_and(|d| Instant::now() >= d)
-            || self.cancel.as_ref().is_some_and(|c| c.is_expired())
+        // The explicit cancel flag is one relaxed load: poll it every
+        // node so a request cancelled mid-search stops without waiting
+        // out the clock stride.
+        if self.cancel.as_ref().is_some_and(|c| c.is_cancelled()) {
+            self.stats.deadline_prunes += 1;
+            return true;
+        }
+        // Clock reads are throttled to every CLOCK_STRIDE nodes. Node 0
+        // always reads, so an already-expired budget aborts before any
+        // work.
+        if self.stats.nodes.is_multiple_of(CLOCK_STRIDE)
+            && (self.deadline.is_some_and(|d| Instant::now() >= d)
+                || self.cancel.as_ref().is_some_and(|c| c.is_expired()))
         {
             self.stats.deadline_prunes += 1;
             return true;
@@ -116,27 +142,44 @@ impl Search {
         false
     }
 
-    /// First-fail variable selection: smallest unfixed domain.
-    fn pick_var(&self) -> Option<VarId> {
+    /// First-fail variable selection: smallest unfixed domain, lowest
+    /// index on ties. The scan starts past the fixed prefix (advancing
+    /// `self.cursor`) and stops early at a size-2 domain — the smallest
+    /// an unfixed domain can be — so deep-in-the-tree decisions no
+    /// longer rescan every variable. Selection is identical to the full
+    /// scan: skipped prefix variables are fixed, and the first size-2
+    /// domain found is exactly what the strict `<` comparison would
+    /// keep.
+    fn pick_var(&mut self) -> Option<VarId> {
+        let n = self.store.len() as u32;
+        while self.cursor < n && self.store.dom(VarId(self.cursor)).is_fixed() {
+            self.cursor += 1;
+        }
         let mut best: Option<(u32, VarId)> = None;
-        for x in self.store.vars() {
+        for x in (self.cursor..n).map(VarId) {
             let d = self.store.dom(x);
             if !d.is_fixed() {
                 let sz = d.size();
                 if best.is_none_or(|(bs, _)| sz < bs) {
                     best = Some((sz, x));
+                    if sz == 2 {
+                        break;
+                    }
                 }
             }
         }
         best.map(|(_, x)| x)
     }
 
-    fn value_order(&self, x: VarId) -> Vec<u32> {
-        let mut vals: Vec<u32> = self.store.dom(x).iter().collect();
-        if self.zero_last && vals.first() == Some(&0) {
-            vals.rotate_left(1);
+    /// Fills `buf` with `x`'s values in branching order (ascending, zero
+    /// rotated to the back when `zero_last`). The buffer comes from the
+    /// per-depth scratch pool — no per-node allocation.
+    fn value_order(&self, x: VarId, buf: &mut Vec<u32>) {
+        buf.clear();
+        buf.extend(self.store.dom(x).iter());
+        if self.zero_last && buf.first() == Some(&0) {
+            buf.rotate_left(1);
         }
-        vals
     }
 
     /// Finds the first solution.
@@ -196,6 +239,7 @@ impl Search {
     fn dfs(&mut self, on_solution: &mut dyn FnMut(&[u32]) -> bool) -> Walk {
         let before = self.stats;
         let mut span = obs::span("cp.search");
+        self.cursor = 0;
         self.stats.propagations += 1;
         let walk = if self.engine.propagate(&mut self.store) {
             self.walk(0, on_solution)
@@ -230,8 +274,18 @@ impl Search {
                 Walk::Abort
             };
         };
-        for v in self.value_order(var) {
+        // The fixed-prefix cursor valid at this level's store state:
+        // children advance it past variables they fix, and backtracking
+        // un-fixes them, so restore after every pop back to this level.
+        let saved_cursor = self.cursor;
+        if self.scratch.len() <= depth as usize {
+            self.scratch.push(Vec::new());
+        }
+        let mut vals = std::mem::take(&mut self.scratch[depth as usize]);
+        self.value_order(var, &mut vals);
+        for &v in &vals {
             if self.out_of_budget() {
+                self.scratch[depth as usize] = vals;
                 return Walk::Abort;
             }
             self.stats.nodes += 1;
@@ -244,12 +298,16 @@ impl Search {
                 if let Walk::Abort = self.walk(depth + 1, on_solution) {
                     self.stats.backtracks += 1;
                     self.store.pop_level();
+                    self.cursor = saved_cursor;
+                    self.scratch[depth as usize] = vals;
                     return Walk::Abort;
                 }
             }
             self.stats.backtracks += 1;
             self.store.pop_level();
+            self.cursor = saved_cursor;
         }
+        self.scratch[depth as usize] = vals;
         Walk::Done
     }
 }
@@ -361,9 +419,31 @@ mod tests {
 
     #[test]
     fn budget_zero_aborts_quickly() {
+        // Node 0 always reads the clock despite the stride throttle, so
+        // an already-expired budget aborts before any decision is taken.
         let mut s = queens(12).with_budget(Duration::from_millis(0));
         let out = s.solve_first();
         assert_eq!(out, Outcome::Exhausted);
+        assert_eq!(s.stats().nodes, 0, "no decision under an expired budget");
+    }
+
+    #[test]
+    fn expired_token_deadline_aborts_despite_clock_throttling() {
+        let token = CancelToken::with_deadline(Duration::from_millis(0));
+        let mut s = queens(12).with_cancel(token);
+        assert_eq!(s.solve_first(), Outcome::Exhausted);
+        assert_eq!(s.stats().nodes, 0);
+    }
+
+    #[test]
+    fn mid_search_deadline_lands_within_the_clock_stride() {
+        // 11-queens full enumeration takes far longer than 5 ms, so the
+        // deadline must fire mid-search — at a throttled check, not the
+        // first one — and surface as an incomplete exploration.
+        let mut s = queens(11).with_budget(Duration::from_millis(5));
+        let complete = s.solve_all(|_| true);
+        assert!(!complete, "the budget expired mid-enumeration");
+        assert!(s.stats().deadline_prunes > 0);
     }
 
     #[test]
