@@ -31,11 +31,16 @@ fn main() {
         fig7_gate(&args[1..]);
         return;
     }
+    if args.first().map(String::as_str) == Some("--serve") {
+        serve_gate(&args[1..]);
+        return;
+    }
     let (trace_path, metrics_path) = match (args.first(), args.get(1)) {
         (Some(t), Some(m)) => (t, m),
         _ => {
             eprintln!("usage: obs_check <trace.json> <metrics.json> [required-section ...]");
             eprintln!("       obs_check --fig7 <BENCH_fig7.json> [--max-slope <s>]");
+            eprintln!("       obs_check --serve <BENCH_serve.json> [--max-p99-ms <ms>]");
             exit(2);
         }
     };
@@ -195,6 +200,95 @@ fn fig7_gate(args: &[String]) {
     println!(
         "obs_check: OK — fig7 log-log slope {slope:.3}, matching slope {matching:.3} \
          <= {max_slope}, meta fields typed"
+    );
+}
+
+/// The serving load gate: `--serve <report> [--max-p99-ms <ms>]`.
+///
+/// Checks the invariants the daemon promises under load: every request
+/// answered with a labeled status (full accounting, zero protocol
+/// errors), zero lost workers, a bounded p99, and cache counters
+/// present for trend tracking.
+fn serve_gate(args: &[String]) {
+    let path = args.first().unwrap_or_else(|| {
+        eprintln!("usage: obs_check --serve <BENCH_serve.json> [--max-p99-ms <ms>]");
+        exit(2);
+    });
+    let mut max_p99_ms = 60_000.0f64;
+    if let Some(i) = args.iter().position(|a| a == "--max-p99-ms") {
+        let v = args.get(i + 1).unwrap_or_else(|| {
+            eprintln!("missing value for --max-p99-ms");
+            exit(2);
+        });
+        max_p99_ms = v.parse().unwrap_or_else(|_| {
+            eprintln!("invalid value for --max-p99-ms: got {v:?}");
+            exit(2);
+        });
+    }
+
+    let doc = parse(&read(path)).unwrap_or_else(|e| {
+        eprintln!("obs_check: {path}: {e}");
+        exit(1);
+    });
+    let meta = doc.get("meta").unwrap_or_else(|| {
+        eprintln!("obs_check: {path}: report has no \"meta\" object");
+        exit(1);
+    });
+    let require_num = |key: &str| -> f64 {
+        match meta.get(key) {
+            Some(Json::Num(n)) => *n,
+            other => {
+                eprintln!("obs_check: {path}: meta.{key} missing or non-numeric ({other:?})");
+                exit(1);
+            }
+        }
+    };
+
+    let requests = require_num("requests");
+    if requests < 1.0 {
+        eprintln!("obs_check: {path}: the load run made no requests");
+        exit(1);
+    }
+    // Zero-loss invariants: nothing crashed, nothing went unanswered.
+    for key in ["worker_lost", "internal_errors", "protocol_errors"] {
+        let v = require_num(key);
+        if v != 0.0 {
+            eprintln!("obs_check: {path}: meta.{key} = {v} — the load run must be loss-free");
+            exit(1);
+        }
+    }
+    // Full accounting: every request resolved to exactly one labeled
+    // outcome (rejections are outcomes; hangs and drops are not).
+    let answered = require_num("answered");
+    let accounted = require_num("ok")
+        + require_num("overloaded")
+        + require_num("quota")
+        + require_num("trace_errors")
+        + require_num("bad_requests");
+    if answered != requests || accounted != requests {
+        eprintln!(
+            "obs_check: {path}: accounting leak — {requests} requests, {answered} answered, \
+             {accounted} across status labels"
+        );
+        exit(1);
+    }
+    let p99 = require_num("p99_ms");
+    if !p99.is_finite() || p99 > max_p99_ms {
+        eprintln!("obs_check: {path}: p99 latency {p99:.1} ms exceeds {max_p99_ms} ms");
+        exit(1);
+    }
+    let hit_rate = require_num("cache_hit_rate");
+    if !(0.0..=1.0).contains(&hit_rate) {
+        eprintln!("obs_check: {path}: cache_hit_rate {hit_rate} outside [0, 1]");
+        exit(1);
+    }
+    let evictions = require_num("cache_evictions");
+    require_num("throughput_rps");
+    require_num("p50_ms");
+    println!(
+        "obs_check: OK — serve load: {requests} requests fully accounted, zero loss, \
+         p99 {p99:.1} ms <= {max_p99_ms} ms, cache hit rate {:.1}% ({evictions} evictions)",
+        hit_rate * 100.0
     );
 }
 

@@ -19,7 +19,10 @@ fn main() {
         Some("seq") => Version::Seq,
         _ => Version::Pthreads,
     };
-    let bench = starbench::benchmark(&name).unwrap_or_else(|| panic!("unknown benchmark {name}"));
+    let bench = starbench::benchmark(&name).unwrap_or_else(|| {
+        eprintln!("{}", starbench::unknown_benchmark_message(&name));
+        std::process::exit(2);
+    });
     let program = bench.program(version);
     let run = bench.run_analysis(version);
     let result = discovery::find_patterns(&run.ddg.unwrap(), &opts.config);

@@ -63,6 +63,118 @@ fn fig7_rejects_a_malformed_budget_value() {
 }
 
 #[test]
+fn report_rejects_an_unknown_benchmark_with_the_available_list() {
+    let out = run(env!("CARGO_BIN_EXE_report"), &["linpack"]);
+    assert_eq!(out.status.code(), Some(2), "stderr: {}", stderr(&out));
+    let err = stderr(&out);
+    assert!(
+        err.contains("unknown benchmark \"linpack\""),
+        "stderr: {err}"
+    );
+    // The error teaches the fix: it lists what exists.
+    assert!(err.contains("available:"), "stderr: {err}");
+    assert!(err.contains("rgbyuv"), "stderr: {err}");
+    assert!(err.contains("streamcluster"), "stderr: {err}");
+}
+
+/// A loss-free serve-load report with `overrides` spliced into `meta`.
+fn serve_report(dir: &str, overrides: &[(&str, &str)]) -> std::path::PathBuf {
+    let mut meta: Vec<(&str, String)> = vec![
+        ("requests", "100".into()),
+        ("answered", "100".into()),
+        ("ok", "90".into()),
+        ("overloaded", "6".into()),
+        ("quota", "4".into()),
+        ("trace_errors", "0".into()),
+        ("bad_requests", "0".into()),
+        ("worker_lost", "0".into()),
+        ("internal_errors", "0".into()),
+        ("protocol_errors", "0".into()),
+        ("p50_ms", "12.5".into()),
+        ("p99_ms", "80.0".into()),
+        ("throughput_rps", "450.0".into()),
+        ("cache_hit_rate", "0.93".into()),
+        ("cache_evictions", "3".into()),
+    ];
+    for (key, value) in overrides {
+        let slot = meta.iter_mut().find(|(k, _)| k == key).unwrap();
+        slot.1 = value.to_string();
+    }
+    let body = meta
+        .iter()
+        .map(|(k, v)| format!("{k:?}:{v}"))
+        .collect::<Vec<_>>()
+        .join(",");
+    let dir = std::env::temp_dir().join(dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("BENCH_serve.json");
+    std::fs::write(
+        &path,
+        format!(
+            r#"{{"meta":{{{body}}},"counters":[],"gauges":[],"histograms":[],"sections":{{}}}}"#
+        ),
+    )
+    .unwrap();
+    path
+}
+
+#[test]
+fn obs_check_serve_gate_passes_a_loss_free_report() {
+    let path = serve_report("obs_check_serve_ok", &[]);
+    let out = run(
+        env!("CARGO_BIN_EXE_obs_check"),
+        &["--serve", path.to_str().unwrap(), "--max-p99-ms", "1000"],
+    );
+    assert_eq!(out.status.code(), Some(0), "stderr: {}", stderr(&out));
+}
+
+#[test]
+fn obs_check_serve_gate_fails_worker_loss() {
+    let path = serve_report("obs_check_serve_lost", &[("worker_lost", "1")]);
+    let out = run(
+        env!("CARGO_BIN_EXE_obs_check"),
+        &["--serve", path.to_str().unwrap()],
+    );
+    assert_eq!(out.status.code(), Some(1), "stderr: {}", stderr(&out));
+    assert!(
+        stderr(&out).contains("worker_lost"),
+        "stderr: {}",
+        stderr(&out)
+    );
+}
+
+#[test]
+fn obs_check_serve_gate_fails_an_accounting_leak() {
+    // One request vanished without a labeled response.
+    let path = serve_report("obs_check_serve_leak", &[("ok", "89"), ("answered", "99")]);
+    let out = run(
+        env!("CARGO_BIN_EXE_obs_check"),
+        &["--serve", path.to_str().unwrap()],
+    );
+    assert_eq!(out.status.code(), Some(1), "stderr: {}", stderr(&out));
+    assert!(
+        stderr(&out).contains("accounting leak"),
+        "stderr: {}",
+        stderr(&out)
+    );
+}
+
+#[test]
+fn obs_check_serve_gate_fails_an_unbounded_p99() {
+    let path = serve_report("obs_check_serve_p99", &[("p99_ms", "1500.0")]);
+    let out = run(
+        env!("CARGO_BIN_EXE_obs_check"),
+        &["--serve", path.to_str().unwrap(), "--max-p99-ms", "1000"],
+    );
+    assert_eq!(out.status.code(), Some(1), "stderr: {}", stderr(&out));
+    assert!(
+        stderr(&out).contains("p99 latency"),
+        "stderr: {}",
+        stderr(&out)
+    );
+}
+
+#[test]
 fn obs_check_fig7_gate_passes_a_linear_report() {
     let dir = std::env::temp_dir().join("obs_check_fig7_ok");
     std::fs::create_dir_all(&dir).unwrap();

@@ -27,15 +27,25 @@
 //! Fused sub-DDGs are not cached: their matchers re-derive the inner
 //! map/reduction split from the `SubKind::Fused` payload (raw node
 //! sets), which the group-level key does not see.
+//!
+//! **Bounded growth.** The table is a *size-capped sharded LRU*: a
+//! long-lived engine (the `repro-serve` daemon, or a large batch) keeps
+//! at most [`MatchCache::capacity`] entries, evicting the least recently
+//! touched entry of the inserting shard. Recency is tracked lazily — a
+//! touch appends a `(key, stamp)` pair to the shard's recency queue and
+//! eviction skips stale pairs — so probes stay O(1) amortized. Evictions
+//! and an approximate byte footprint are counted alongside hits and
+//! misses; an evicted entry is recomputed (and re-inserted) on its next
+//! miss, byte-identical to the first computation.
 
 use ddg::{Ddg, NodeId, StructuralKey};
 use discovery::models::MatchBudget;
 use discovery::patterns::Detail;
 use discovery::{Pattern, PatternKind, SubDdg, SubKind};
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Mutex, MutexGuard};
+use std::sync::{Arc, Mutex, MutexGuard};
 
 /// Dispatch classes of the non-fused sub-DDG kinds. The finder matches
 /// loop-shaped views against map-then-linear and associative views
@@ -96,38 +106,172 @@ pub struct PendingEntry {
     key: CacheKey,
 }
 
-/// Shard count: enough to spread concurrent workers, small enough that
-/// clearing one poisoned shard loses little.
+/// Maximum shard count: enough to spread concurrent workers, small
+/// enough that clearing one poisoned shard (or evicting from one) loses
+/// little. Small capacities use fewer shards so the global bound is
+/// exact (see [`MatchCache::with_capacity`]).
 const SHARDS: usize = 16;
+
+/// Default entry capacity when the caller does not size the cache
+/// ([`crate::EngineConfig::cache_capacity`] defaults to this): large
+/// enough that a full starbench batch never evicts, small enough that a
+/// resident daemon's footprint stays bounded.
+pub const DEFAULT_CACHE_CAPACITY: usize = 4096;
 
 /// Counter snapshot ([`MatchCache::metrics`]).
 #[derive(Clone, Copy, Debug, Default, serde::Serialize)]
 pub struct CacheMetrics {
     pub entries: usize,
+    /// Entry capacity (0 = unbounded).
+    pub capacity: usize,
     pub hits: u64,
     pub misses: u64,
+    /// Entries dropped to keep the table under capacity.
+    pub evictions: u64,
+    /// Approximate resident footprint of keys + entries, in bytes.
+    pub approx_bytes: u64,
     /// Poisoned shards recovered (cleared and reused). Each event is a
     /// shard's worth of memoized outcomes dropped, never wrong data
     /// served.
     pub poison_recoveries: u64,
 }
 
-/// The shared, thread-safe memo table, sharded by key hash.
+/// One LRU-tracked slot.
+struct Slot {
+    entry: Option<CachedMatch>,
+    /// Last-touch stamp; recency-queue pairs with an older stamp are
+    /// stale and skipped at eviction time.
+    stamp: u64,
+    bytes: usize,
+}
+
+/// One shard: the memo map plus its lazy recency queue. All state that
+/// eviction and poison recovery must keep coherent lives under one lock.
+#[derive(Default)]
+struct Shard {
+    map: HashMap<Arc<CacheKey>, Slot>,
+    /// `(key, stamp)` in touch order; an entry's *current* stamp lives
+    /// in its [`Slot`], so only the newest pair per key is live.
+    recency: VecDeque<(Arc<CacheKey>, u64)>,
+    clock: u64,
+    bytes: usize,
+}
+
+impl Shard {
+    /// Records a touch of an existing slot.
+    fn touch(&mut self, key: &CacheKey) {
+        let Some((k, _)) = self.map.get_key_value(key) else {
+            return;
+        };
+        let k = Arc::clone(k);
+        self.clock += 1;
+        let clock = self.clock;
+        self.map.get_mut(key).unwrap().stamp = clock;
+        self.recency.push_back((k, clock));
+    }
+
+    /// Clears everything (poison recovery).
+    fn clear(&mut self) {
+        self.map.clear();
+        self.recency.clear();
+        self.bytes = 0;
+    }
+
+    /// Inserts an entry, then evicts least-recently-touched entries
+    /// until the shard is back under `cap`. Returns evictions performed.
+    fn insert(&mut self, key: CacheKey, entry: Option<CachedMatch>, cap: usize) -> u64 {
+        self.clock += 1;
+        let bytes = approx_bytes(&key, &entry);
+        let key = Arc::new(key);
+        let old = self.map.insert(
+            Arc::clone(&key),
+            Slot {
+                entry,
+                stamp: self.clock,
+                bytes,
+            },
+        );
+        self.bytes += bytes;
+        if let Some(old) = old {
+            self.bytes -= old.bytes;
+        }
+        self.recency.push_back((key, self.clock));
+        let mut evicted = 0;
+        while self.map.len() > cap {
+            match self.recency.pop_front() {
+                Some((k, stamp)) => {
+                    // Live pair (stamp matches the slot's): evict. Stale
+                    // pair (entry touched again later, or already gone):
+                    // skip; its live pair is further back.
+                    if self.map.get(&*k).is_some_and(|slot| slot.stamp == stamp) {
+                        let slot = self.map.remove(&*k).unwrap();
+                        self.bytes -= slot.bytes;
+                        evicted += 1;
+                    }
+                }
+                None => break, // unreachable: map entries all have pairs
+            }
+        }
+        // Compact the lazy queue when stale pairs dominate, so repeated
+        // touches of a hot entry cannot grow it without bound.
+        if self.recency.len() > 4 * self.map.len() + 16 {
+            let map = &self.map;
+            self.recency
+                .retain(|(k, stamp)| map.get(&**k).is_some_and(|slot| slot.stamp == *stamp));
+        }
+        evicted
+    }
+}
+
+/// The shared, thread-safe memo table, sharded by key hash, each shard
+/// an LRU bounded at `capacity / shard-count` entries.
 pub struct MatchCache {
     enabled: bool,
-    shards: Vec<Mutex<HashMap<CacheKey, Option<CachedMatch>>>>,
+    shards: Vec<Mutex<Shard>>,
+    /// Per-shard entry bound (`capacity == 0` means unbounded).
+    shard_cap: usize,
+    capacity: usize,
     hits: AtomicU64,
     misses: AtomicU64,
+    evictions: AtomicU64,
     poison_recoveries: AtomicU64,
 }
 
 impl MatchCache {
+    /// A cache with the default capacity ([`DEFAULT_CACHE_CAPACITY`]).
     pub fn new(enabled: bool) -> MatchCache {
+        MatchCache::with_capacity(enabled, DEFAULT_CACHE_CAPACITY)
+    }
+
+    /// A cache bounded at `capacity` entries (0 = unbounded). Capacities
+    /// below the preferred shard count use one shard per entry so the
+    /// global bound — and the eviction order — stays exact; a
+    /// `capacity`-1 cache is a single deterministic LRU slot. Larger
+    /// capacities split across [`SHARDS`] shards, each bounded at
+    /// `capacity / SHARDS` (the effective total rounds down to a
+    /// multiple of the shard count — never above `capacity`).
+    pub fn with_capacity(enabled: bool, capacity: usize) -> MatchCache {
+        let shards = if capacity == 0 {
+            SHARDS
+        } else {
+            SHARDS.min(capacity)
+        };
+        MatchCache::with_shards(enabled, capacity, shards)
+    }
+
+    fn with_shards(enabled: bool, capacity: usize, shards: usize) -> MatchCache {
         MatchCache {
             enabled,
-            shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            shards: (0..shards).map(|_| Mutex::new(Shard::default())).collect(),
+            shard_cap: if capacity == 0 {
+                usize::MAX
+            } else {
+                capacity / shards
+            },
+            capacity,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
             poison_recoveries: AtomicU64::new(0),
         }
     }
@@ -136,12 +280,15 @@ impl MatchCache {
     /// panicked mid-update, e.g. an injected model fault during
     /// `fulfil` — is *cleared* and recovered: a memo table may always
     /// drop entries (that only costs future hits), whereas serving a
-    /// half-updated entry could break parity. The event is counted in
-    /// [`CacheMetrics::poison_recoveries`].
-    fn shard_for(&self, key: &CacheKey) -> MutexGuard<'_, HashMap<CacheKey, Option<CachedMatch>>> {
+    /// half-updated entry could break parity. Only the affected shard is
+    /// touched — its siblings keep their entries — and the event is
+    /// counted in [`CacheMetrics::poison_recoveries`]. The clear resets
+    /// the shard's map, recency queue, and byte count together, so LRU
+    /// bookkeeping stays coherent after recovery.
+    fn shard_for(&self, key: &CacheKey) -> MutexGuard<'_, Shard> {
         let mut h = std::collections::hash_map::DefaultHasher::new();
         key.hash(&mut h);
-        let shard = &self.shards[(h.finish() as usize) % SHARDS];
+        let shard = &self.shards[(h.finish() as usize) % self.shards.len()];
         match shard.lock() {
             Ok(guard) => guard,
             Err(poisoned) => {
@@ -154,7 +301,8 @@ impl MatchCache {
         }
     }
 
-    /// Looks `sub`'s structural key up.
+    /// Looks `sub`'s structural key up. A hit counts as a touch: the
+    /// entry moves to the back of its shard's eviction order.
     pub fn probe(&self, g: &Ddg, sub: &SubDdg, budget: &MatchBudget) -> Probe {
         if !self.enabled {
             return Probe::Uncacheable;
@@ -168,8 +316,15 @@ impl MatchCache {
             budget_ms: budget.time.as_millis() as u64,
         };
         let cached = {
-            let map = self.shard_for(&key);
-            map.get(&key).map(|entry| entry.as_ref().map(rebuild_args))
+            let mut shard = self.shard_for(&key);
+            let found = shard
+                .map
+                .get(&key)
+                .map(|slot| slot.entry.as_ref().map(rebuild_args));
+            if found.is_some() {
+                shard.touch(&key);
+            }
+            found
         };
         match cached {
             Some(entry) => {
@@ -183,8 +338,9 @@ impl MatchCache {
         }
     }
 
-    /// Stores the outcome of a missed probe. `sub` must be the sub-DDG
-    /// the probe ran on.
+    /// Stores the outcome of a missed probe, evicting the shard's least
+    /// recently used entries if it runs over capacity. `sub` must be the
+    /// sub-DDG the probe ran on.
     pub fn fulfil(&self, pending: PendingEntry, sub: &SubDdg, outcome: &Option<Pattern>) {
         let entry = match outcome {
             None => Some(None),
@@ -193,7 +349,12 @@ impl MatchCache {
         // An unencodable pattern (a detail node outside the group view;
         // never produced by the current models) is simply not cached.
         if let Some(entry) = entry {
-            self.shard_for(&pending.key).insert(pending.key, entry);
+            let cap = self.shard_cap;
+            let evicted = self.shard_for(&pending.key).insert(pending.key, entry, cap);
+            if evicted > 0 {
+                self.evictions.fetch_add(evicted, Ordering::Relaxed);
+                obs::counter("cache.evictions").add(evicted);
+            }
         }
     }
 
@@ -203,6 +364,15 @@ impl MatchCache {
 
     pub fn misses(&self) -> u64 {
         self.misses.load(Ordering::Relaxed)
+    }
+
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
+    }
+
+    /// Entry capacity (0 = unbounded).
+    pub fn capacity(&self) -> usize {
+        self.capacity
     }
 
     pub fn poison_recoveries(&self) -> u64 {
@@ -215,7 +385,20 @@ impl MatchCache {
             .map(|s| {
                 s.lock()
                     .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .map
                     .len()
+            })
+            .sum()
+    }
+
+    /// Approximate resident bytes across shards (keys + entries).
+    pub fn approx_bytes(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| {
+                s.lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .bytes as u64
             })
             .sum()
     }
@@ -223,11 +406,31 @@ impl MatchCache {
     pub fn metrics(&self) -> CacheMetrics {
         CacheMetrics {
             entries: self.entries(),
+            capacity: self.capacity,
             hits: self.hits(),
             misses: self.misses(),
+            evictions: self.evictions(),
+            approx_bytes: self.approx_bytes(),
             poison_recoveries: self.poison_recoveries(),
         }
     }
+}
+
+/// Approximate heap footprint of one cache line: key words, entry
+/// vectors, and fixed per-slot overhead (map + recency bookkeeping).
+fn approx_bytes(key: &CacheKey, entry: &Option<CachedMatch>) -> usize {
+    let entry_bytes = match entry {
+        None => 0,
+        Some(CachedMatch::Map { components, .. }) => {
+            components.iter().map(|c| 24 + 4 * c.len()).sum::<usize>()
+        }
+        Some(CachedMatch::Linear { chain }) => 4 * chain.len(),
+        Some(CachedMatch::Tiled {
+            partials,
+            final_chain,
+        }) => partials.iter().map(|c| 24 + 4 * c.len()).sum::<usize>() + 4 * final_chain.len(),
+    };
+    8 * key.key.len_words() + entry_bytes + 96
 }
 
 /// Owned arguments for [`rebuild`], cloned out of the table so the lock
@@ -530,6 +733,138 @@ mod tests {
         let m = cache.metrics();
         assert_eq!(m.poison_recoveries, cache.poison_recoveries());
         assert!(m.hits >= 1);
+    }
+
+    /// Runs the miss → match → fulfil cycle, asserting the probe missed.
+    fn miss_and_fill(cache: &MatchCache, g: &Ddg, sub: &SubDdg) {
+        let Probe::Miss(p) = probe_of(cache, g, sub) else {
+            panic!("expected a miss")
+        };
+        cache.fulfil(p, sub, &match_subddg(g, sub, &MatchBudget::default()));
+    }
+
+    #[test]
+    fn capacity_one_cache_evicts_deterministically() {
+        let cache = MatchCache::with_capacity(true, 1);
+        assert_eq!(cache.capacity(), 1);
+        let (g1, sub1) = chain(3, 0, "fadd");
+        let (g2, sub2) = chain(4, 0, "fadd"); // different length → different key
+        miss_and_fill(&cache, &g1, &sub1);
+        assert_eq!(cache.entries(), 1);
+        assert!(cache.approx_bytes() > 0);
+        assert!(matches!(probe_of(&cache, &g1, &sub1), Probe::Hit(Some(_))));
+
+        // Inserting the second shape evicts the first — the table never
+        // exceeds one entry.
+        miss_and_fill(&cache, &g2, &sub2);
+        assert_eq!(cache.entries(), 1);
+        assert_eq!(cache.evictions(), 1);
+        assert!(
+            matches!(probe_of(&cache, &g1, &sub1), Probe::Miss(_)),
+            "evicted shape must miss"
+        );
+        assert!(
+            matches!(probe_of(&cache, &g2, &sub2), Probe::Hit(Some(_))),
+            "resident shape must hit"
+        );
+    }
+
+    #[test]
+    fn evicted_entries_recompute_byte_identical_results() {
+        let cache = MatchCache::with_capacity(true, 1);
+        let (g1, sub1) = chain(3, 0, "fadd");
+        let (g2, sub2) = chain(4, 0, "fadd");
+        let first = match_subddg(&g1, &sub1, &MatchBudget::default()).unwrap();
+        miss_and_fill(&cache, &g1, &sub1);
+        miss_and_fill(&cache, &g2, &sub2); // evicts sub1's entry
+
+        // Recompute after eviction, refill, and re-probe: every round
+        // trip reproduces the original pattern exactly.
+        let Probe::Miss(p) = probe_of(&cache, &g1, &sub1) else {
+            panic!("evicted entry must miss")
+        };
+        let again = match_subddg(&g1, &sub1, &MatchBudget::default()).unwrap();
+        assert_eq!(again.kind, first.kind);
+        assert_eq!(again.detail, first.detail);
+        assert_eq!(again.lines, first.lines);
+        cache.fulfil(p, &sub1, &Some(again));
+        let Probe::Hit(Some(rebuilt)) = probe_of(&cache, &g1, &sub1) else {
+            panic!("refilled entry must hit")
+        };
+        assert_eq!(rebuilt.kind, first.kind);
+        assert_eq!(rebuilt.detail, first.detail);
+        assert_eq!(rebuilt.lines, first.lines);
+    }
+
+    #[test]
+    fn hits_refresh_recency_so_the_cold_entry_evicts() {
+        // Single shard, three slots: A, B, C resident, A touched, D
+        // inserted → B (the least recently touched) evicts.
+        let cache = MatchCache::with_shards(true, 3, 1);
+        let shapes: Vec<_> = (2..6).map(|n| chain(n, 0, "fadd")).collect();
+        let (a, b, c, d) = (&shapes[0], &shapes[1], &shapes[2], &shapes[3]);
+        miss_and_fill(&cache, &a.0, &a.1);
+        miss_and_fill(&cache, &b.0, &b.1);
+        miss_and_fill(&cache, &c.0, &c.1);
+        assert!(matches!(probe_of(&cache, &a.0, &a.1), Probe::Hit(_)));
+        miss_and_fill(&cache, &d.0, &d.1);
+        assert_eq!(cache.entries(), 3);
+        assert_eq!(cache.evictions(), 1);
+        assert!(matches!(probe_of(&cache, &a.0, &a.1), Probe::Hit(_)));
+        assert!(
+            matches!(probe_of(&cache, &b.0, &b.1), Probe::Miss(_)),
+            "B was the least recently used entry"
+        );
+        assert!(matches!(probe_of(&cache, &c.0, &c.1), Probe::Hit(_)));
+        assert!(matches!(probe_of(&cache, &d.0, &d.1), Probe::Hit(_)));
+    }
+
+    #[test]
+    fn repeated_hits_do_not_grow_the_recency_queue_without_bound() {
+        let cache = MatchCache::with_shards(true, 2, 1);
+        let (g1, sub1) = chain(3, 0, "fadd");
+        let (g2, sub2) = chain(4, 0, "fadd");
+        miss_and_fill(&cache, &g1, &sub1);
+        for _ in 0..1000 {
+            assert!(matches!(probe_of(&cache, &g1, &sub1), Probe::Hit(_)));
+        }
+        // The lazy queue compacts on insert; after one more fill it must
+        // be proportional to the live entry count, not the touch count.
+        miss_and_fill(&cache, &g2, &sub2);
+        let queue_len = cache.shards[0].lock().unwrap().recency.len();
+        assert!(queue_len <= 4 * 2 + 16, "queue grew to {queue_len}");
+        assert_eq!(cache.entries(), 2);
+        assert_eq!(cache.evictions(), 0);
+    }
+
+    #[test]
+    fn unbounded_capacity_never_evicts() {
+        let cache = MatchCache::with_capacity(true, 0);
+        assert_eq!(cache.capacity(), 0);
+        for n in 2..40 {
+            let (g, sub) = chain(n, 0, "fadd");
+            miss_and_fill(&cache, &g, &sub);
+        }
+        assert_eq!(cache.entries(), 38);
+        assert_eq!(cache.evictions(), 0);
+    }
+
+    #[test]
+    fn bytes_accounting_tracks_insert_and_evict() {
+        let cache = MatchCache::with_shards(true, 1, 1);
+        let (g1, sub1) = chain(3, 0, "fadd");
+        let (g2, sub2) = chain(9, 0, "fadd");
+        miss_and_fill(&cache, &g1, &sub1);
+        let small = cache.approx_bytes();
+        assert!(small > 0);
+        miss_and_fill(&cache, &g2, &sub2); // evicts the small entry
+        let big = cache.approx_bytes();
+        assert!(big > small, "a 9-node chain outweighs a 3-node chain");
+        let m = cache.metrics();
+        assert_eq!(m.entries, 1);
+        assert_eq!(m.evictions, 1);
+        assert_eq!(m.approx_bytes, big);
+        assert_eq!(m.capacity, 1);
     }
 
     #[test]

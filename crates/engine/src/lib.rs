@@ -182,8 +182,14 @@ pub struct EngineMetrics {
     pub peak_queue_depth: u64,
     pub requests_completed: u64,
     pub cache_entries: usize,
+    /// Cache entry capacity (0 = unbounded).
+    pub cache_capacity: usize,
     pub cache_hits: u64,
     pub cache_misses: u64,
+    /// Entries evicted to keep the cache under capacity.
+    pub cache_evictions: u64,
+    /// Approximate resident cache footprint in bytes.
+    pub cache_bytes: u64,
     /// Pool jobs whose panic was contained (worker survived).
     pub jobs_panicked: u64,
     /// Match jobs degraded to no-match after a contained panic.
@@ -218,6 +224,12 @@ pub struct EngineConfig {
     pub max_concurrent_requests: usize,
     /// Memoize match outcomes across requests.
     pub use_cache: bool,
+    /// Match-cache entry bound (0 = unbounded); the least recently used
+    /// entry of the inserting shard is evicted when a shard runs over.
+    /// Defaults to [`cache::DEFAULT_CACHE_CAPACITY`] so long-lived
+    /// engines — the serving daemon, or repeated large batches — hold a
+    /// bounded footprint.
+    pub cache_capacity: usize,
     /// Bound of the result channel; a full channel backpressures the
     /// coordinators.
     pub results_capacity: usize,
@@ -229,6 +241,7 @@ impl Default for EngineConfig {
             workers: 0,
             max_concurrent_requests: 0,
             use_cache: true,
+            cache_capacity: cache::DEFAULT_CACHE_CAPACITY,
             results_capacity: 16,
         }
     }
@@ -264,7 +277,10 @@ impl Engine {
     pub fn new(config: EngineConfig) -> Engine {
         Engine {
             pool: Arc::new(WorkPool::new(config.effective_workers())),
-            cache: Arc::new(MatchCache::new(config.use_cache)),
+            cache: Arc::new(MatchCache::with_capacity(
+                config.use_cache,
+                config.cache_capacity,
+            )),
             completed: Arc::new(AtomicU64::new(0)),
             degraded: Arc::new(AtomicU64::new(0)),
             failed: Arc::new(AtomicU64::new(0)),
@@ -327,14 +343,7 @@ impl Engine {
                         let result = run_request(&pool, &cache, index, req, plan.as_deref());
                         #[cfg(not(feature = "fault-inject"))]
                         let result = run_request(&pool, &cache, index, req);
-                        completed.fetch_add(1, Ordering::Relaxed);
-                        faults.fetch_add(result.metrics.match_faults, Ordering::Relaxed);
-                        if result.metrics.degraded {
-                            degraded.fetch_add(1, Ordering::Relaxed);
-                        }
-                        if result.outcome.is_err() {
-                            failed.fetch_add(1, Ordering::Relaxed);
-                        }
+                        note_result(&completed, &degraded, &failed, &faults, &result);
                         if tx.send(result).is_err() {
                             break; // receiver dropped: abandon the batch
                         }
@@ -353,6 +362,29 @@ impl Engine {
         results
     }
 
+    /// Runs a single request to completion *on the calling thread*,
+    /// sharing the engine's worker pool and match cache. This is the
+    /// serving path: a resident daemon keeps one engine alive and calls
+    /// this from its own request workers, instead of paying a
+    /// coordinator thread spawn per request the way [`analyze_batch`]
+    /// does per batch. Match jobs still fan out across the shared pool.
+    ///
+    /// [`analyze_batch`]: Engine::analyze_batch
+    pub fn analyze_one(&self, req: AnalysisRequest) -> AnalysisResult {
+        #[cfg(feature = "fault-inject")]
+        let result = run_request(&self.pool, &self.cache, 0, req, self.fault_plan.as_deref());
+        #[cfg(not(feature = "fault-inject"))]
+        let result = run_request(&self.pool, &self.cache, 0, req);
+        note_result(
+            &self.completed,
+            &self.degraded,
+            &self.failed,
+            &self.faults,
+            &result,
+        );
+        result
+    }
+
     pub fn metrics(&self) -> EngineMetrics {
         let PoolMetrics {
             jobs_executed,
@@ -367,8 +399,11 @@ impl Engine {
             peak_queue_depth,
             requests_completed: self.completed.load(Ordering::Relaxed),
             cache_entries: self.cache.entries(),
+            cache_capacity: self.cache.capacity(),
             cache_hits: self.cache.hits(),
             cache_misses: self.cache.misses(),
+            cache_evictions: self.cache.evictions(),
+            cache_bytes: self.cache.approx_bytes(),
             jobs_panicked,
             match_faults: self.faults.load(Ordering::Relaxed),
             requests_degraded: self.degraded.load(Ordering::Relaxed),
@@ -404,6 +439,25 @@ impl Drop for Batch {
         for h in self.handles.drain(..) {
             let _ = h.join();
         }
+    }
+}
+
+/// Folds one finished request into the engine-wide counters (shared by
+/// the batch coordinators and [`Engine::analyze_one`]).
+fn note_result(
+    completed: &AtomicU64,
+    degraded: &AtomicU64,
+    failed: &AtomicU64,
+    faults: &AtomicU64,
+    result: &AnalysisResult,
+) {
+    completed.fetch_add(1, Ordering::Relaxed);
+    faults.fetch_add(result.metrics.match_faults, Ordering::Relaxed);
+    if result.metrics.degraded {
+        degraded.fetch_add(1, Ordering::Relaxed);
+    }
+    if result.outcome.is_err() {
+        failed.fetch_add(1, Ordering::Relaxed);
     }
 }
 

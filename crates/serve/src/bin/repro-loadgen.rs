@@ -1,0 +1,404 @@
+//! Load generator for the analysis daemon: replays a concurrent mix of
+//! `analyze` requests over starbench benchmarks against a live
+//! `repro-serve`, then writes the `BENCH_serve.json` report CI gates on
+//! (`obs_check --serve`).
+//!
+//! ```text
+//! repro-loadgen --socket /tmp/repro.sock --requests 1000 \
+//!               --connections 32 --tenants 4 --out BENCH_serve.json --shutdown
+//! ```
+//!
+//! Every connection pipelines up to `--pipeline` requests and matches
+//! responses back by the echoed `id`; any response that fails to
+//! parse, lacks a status, or answers an unknown id counts as a
+//! protocol error — the gate requires zero.
+
+use obs::json::{parse, Json};
+use obs::ObsReport;
+use repro_serve::unknown_bench_message;
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Write};
+use std::os::unix::net::UnixStream;
+use std::path::PathBuf;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+struct Opts {
+    socket: PathBuf,
+    requests: usize,
+    connections: usize,
+    tenants: usize,
+    pipeline: usize,
+    benches: Vec<String>,
+    out: Option<PathBuf>,
+    shutdown: bool,
+    boot_wait_ms: u64,
+}
+
+fn parse_flag<T: std::str::FromStr>(flag: &str, value: Option<String>) -> T {
+    let Some(value) = value else {
+        eprintln!("{flag} needs a value");
+        std::process::exit(2);
+    };
+    value.parse().unwrap_or_else(|_| {
+        eprintln!("invalid value for {flag}: got {value:?}");
+        std::process::exit(2);
+    })
+}
+
+fn opts() -> Opts {
+    let mut o = Opts {
+        socket: PathBuf::from("repro-serve.sock"),
+        requests: 1000,
+        connections: 32,
+        tenants: 4,
+        pipeline: 4,
+        benches: Vec::new(),
+        out: None,
+        shutdown: false,
+        boot_wait_ms: 30_000,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--socket" => o.socket = parse_flag(&arg, args.next()),
+            "--requests" => o.requests = parse_flag(&arg, args.next()),
+            "--connections" => o.connections = parse_flag(&arg, args.next()),
+            "--tenants" => o.tenants = parse_flag(&arg, args.next()),
+            "--pipeline" => o.pipeline = parse_flag(&arg, args.next()),
+            "--bench" => {
+                let name: String = parse_flag(&arg, args.next());
+                if starbench::benchmark(&name).is_none() {
+                    eprintln!("{}", unknown_bench_message(&name));
+                    std::process::exit(2);
+                }
+                o.benches.push(name);
+            }
+            "--out" => o.out = Some(parse_flag(&arg, args.next())),
+            "--shutdown" => o.shutdown = true,
+            "--boot-wait-ms" => o.boot_wait_ms = parse_flag(&arg, args.next()),
+            other => {
+                eprintln!(
+                    "unknown flag {other:?}\n\
+                     usage: repro-loadgen [--socket PATH] [--requests N] [--connections N]\n\
+                     \x20                    [--tenants N] [--pipeline N] [--bench NAME ...]\n\
+                     \x20                    [--out PATH] [--boot-wait-ms MS] [--shutdown]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    if o.benches.is_empty() {
+        o.benches = starbench::all_benchmarks()
+            .iter()
+            .map(|b| b.name.to_string())
+            .collect();
+    }
+    o.requests = o.requests.max(1);
+    o.connections = o.connections.max(1).min(o.requests);
+    o.tenants = o.tenants.max(1);
+    o.pipeline = o.pipeline.max(1);
+    o
+}
+
+/// Waits for the daemon to answer a ping, retrying connect until the
+/// boot budget runs out.
+fn await_boot(o: &Opts) {
+    let deadline = Instant::now() + Duration::from_millis(o.boot_wait_ms);
+    loop {
+        if let Ok(stream) = UnixStream::connect(&o.socket) {
+            let mut reader = BufReader::new(stream.try_clone().expect("clone stream"));
+            let mut s = &stream;
+            if s.write_all(b"{\"op\":\"ping\"}\n").is_ok() {
+                let mut line = String::new();
+                if reader.read_line(&mut line).is_ok() && line.contains("\"ok\"") {
+                    return;
+                }
+            }
+        }
+        if Instant::now() >= deadline {
+            eprintln!(
+                "repro-loadgen: no daemon on {} after {} ms",
+                o.socket.display(),
+                o.boot_wait_ms
+            );
+            std::process::exit(1);
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+}
+
+#[derive(Default)]
+struct Tally {
+    latencies_ms: Vec<f64>,
+    by_status: HashMap<String, u64>,
+    protocol_errors: u64,
+}
+
+/// One connection worker: pipelines its slice of the request ids,
+/// matching responses by id.
+fn run_connection(o: &Opts, indices: &[usize]) -> Tally {
+    let mut tally = Tally::default();
+    let Ok(stream) = UnixStream::connect(&o.socket) else {
+        tally.protocol_errors += indices.len() as u64;
+        return tally;
+    };
+    let mut reader = BufReader::new(stream.try_clone().expect("clone stream"));
+    let mut writer = &stream;
+    let mut outstanding: HashMap<String, Instant> = HashMap::new();
+    let mut next = 0usize;
+
+    while next < indices.len() || !outstanding.is_empty() {
+        while next < indices.len() && outstanding.len() < o.pipeline {
+            let n = indices[next];
+            next += 1;
+            let id = format!("r{n}");
+            let line = format!(
+                "{{\"op\":\"analyze\",\"id\":{id:?},\"tenant\":\"t{}\",\"bench\":{:?}}}\n",
+                n % o.tenants,
+                o.benches[n % o.benches.len()],
+            );
+            outstanding.insert(id, Instant::now());
+            if writer.write_all(line.as_bytes()).is_err() {
+                tally.protocol_errors += outstanding.len() as u64;
+                return tally;
+            }
+        }
+        let mut line = String::new();
+        match reader.read_line(&mut line) {
+            Ok(n) if n > 0 => {}
+            _ => {
+                // EOF or error with requests still unanswered.
+                tally.protocol_errors += outstanding.len() as u64;
+                return tally;
+            }
+        }
+        let Ok(doc) = parse(line.trim_end()) else {
+            tally.protocol_errors += 1;
+            continue;
+        };
+        let id = doc.get("id").and_then(Json::as_str).unwrap_or("");
+        let status = doc.get("status").and_then(Json::as_str);
+        match (outstanding.remove(id), status) {
+            (Some(sent), Some(status)) => {
+                tally.latencies_ms.push(sent.elapsed().as_secs_f64() * 1e3);
+                *tally.by_status.entry(status.to_string()).or_default() += 1;
+            }
+            _ => tally.protocol_errors += 1,
+        }
+    }
+    tally
+}
+
+fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
+    if sorted_ms.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted_ms.len() as f64 - 1.0) * p).round() as usize;
+    sorted_ms[idx.min(sorted_ms.len() - 1)]
+}
+
+/// One synchronous control request on a fresh connection.
+fn control(o: &Opts, request: &str) -> Option<Json> {
+    let stream = UnixStream::connect(&o.socket).ok()?;
+    let mut reader = BufReader::new(stream.try_clone().ok()?);
+    let mut s = &stream;
+    s.write_all(request.as_bytes()).ok()?;
+    s.write_all(b"\n").ok()?;
+    let mut line = String::new();
+    reader.read_line(&mut line).ok()?;
+    parse(line.trim_end()).ok()
+}
+
+fn num(doc: Option<&Json>, key: &str) -> f64 {
+    doc.and_then(|d| d.get(key))
+        .and_then(Json::as_f64)
+        .unwrap_or(0.0)
+}
+
+/// Re-serializes a parsed [`Json`] value (the shim's value tree has no
+/// serializer of its own — its derives are fully typed).
+fn render(json: &Json, out: &mut String) {
+    match json {
+        Json::Null => out.push_str("null"),
+        Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Json::Num(n) if n.fract() == 0.0 && n.abs() < 9e15 => {
+            out.push_str(&format!("{}", *n as i64));
+        }
+        Json::Num(n) => out.push_str(&format!("{n}")),
+        Json::Str(s) => out.push_str(&format!("{s:?}")),
+        Json::Arr(items) => {
+            out.push('[');
+            for (i, v) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                render(v, out);
+            }
+            out.push(']');
+        }
+        Json::Obj(members) => {
+            out.push('{');
+            for (i, (k, v)) in members.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!("{k:?}:"));
+                render(v, out);
+            }
+            out.push('}');
+        }
+    }
+}
+
+fn main() {
+    let o = opts();
+    await_boot(&o);
+
+    // Static partition: connection c takes request indices c, c+C, ...
+    let slices: Vec<Vec<usize>> = (0..o.connections)
+        .map(|c| (c..o.requests).step_by(o.connections).collect())
+        .collect();
+    let tallies: Mutex<Vec<Tally>> = Mutex::new(Vec::new());
+    let started = Instant::now();
+    std::thread::scope(|scope| {
+        for slice in &slices {
+            scope.spawn(|| {
+                let t = run_connection(&o, slice);
+                tallies.lock().unwrap().push(t);
+            });
+        }
+    });
+    let elapsed = started.elapsed();
+
+    let mut latencies: Vec<f64> = Vec::with_capacity(o.requests);
+    let mut by_status: HashMap<String, u64> = HashMap::new();
+    let mut protocol_errors = 0u64;
+    for t in tallies.into_inner().unwrap() {
+        latencies.extend(t.latencies_ms);
+        protocol_errors += t.protocol_errors;
+        for (k, v) in t.by_status {
+            *by_status.entry(k).or_default() += v;
+        }
+    }
+    latencies.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let answered: u64 = by_status.values().sum();
+    let count = |k: &str| by_status.get(k).copied().unwrap_or(0);
+    let p50 = percentile(&latencies, 0.50);
+    let p99 = percentile(&latencies, 0.99);
+    let throughput = answered as f64 / elapsed.as_secs_f64().max(1e-9);
+
+    // Daemon-side cache and serve counters, via the stats op.
+    let stats = control(&o, "{\"op\":\"stats\"}");
+    let engine = stats.as_ref().and_then(|d| d.get("engine"));
+    let serve = stats.as_ref().and_then(|d| d.get("serve"));
+    let hits = num(engine, "cache_hits");
+    let misses = num(engine, "cache_misses");
+    let hit_rate = if hits + misses > 0.0 {
+        hits / (hits + misses)
+    } else {
+        0.0
+    };
+    let evictions = num(engine, "cache_evictions");
+    let worker_lost = count("worker_lost") + num(serve, "worker_lost") as u64;
+
+    println!(
+        "repro-loadgen: {answered}/{} answered in {:.2}s ({throughput:.0} req/s) over {} conns, {} tenants",
+        o.requests,
+        elapsed.as_secs_f64(),
+        o.connections,
+        o.tenants
+    );
+    println!("  latency  p50 {p50:.2} ms   p99 {p99:.2} ms   protocol errors {protocol_errors}");
+    println!(
+        "  status   ok {}  overloaded {}  quota {}  trace_error {}  bad_request {}  worker_lost {}  internal {}",
+        count("ok"),
+        count("overloaded"),
+        count("quota"),
+        count("trace_error"),
+        count("bad_request"),
+        worker_lost,
+        count("internal_error"),
+    );
+    println!(
+        "  cache    hit rate {:.1}%  evictions {}  entries {}  bytes {}",
+        hit_rate * 100.0,
+        evictions,
+        num(engine, "cache_entries"),
+        num(engine, "cache_bytes"),
+    );
+
+    if let Some(out) = &o.out {
+        let mut report = ObsReport::snapshot();
+        report.meta("experiment", "serve_load");
+        report.meta_raw(
+            "benches",
+            format!(
+                "[{}]",
+                o.benches
+                    .iter()
+                    .map(|b| format!("{b:?}"))
+                    .collect::<Vec<_>>()
+                    .join(",")
+            ),
+        );
+        report.meta_num("requests", o.requests as f64);
+        report.meta_num("answered", answered as f64);
+        report.meta_num("connections", o.connections as f64);
+        report.meta_num("tenants", o.tenants as f64);
+        report.meta_num("pipeline", o.pipeline as f64);
+        report.meta_num("elapsed_s", elapsed.as_secs_f64());
+        report.meta_num("throughput_rps", throughput);
+        report.meta_num("p50_ms", p50);
+        report.meta_num("p99_ms", p99);
+        report.meta_num("protocol_errors", protocol_errors as f64);
+        report.meta_num("ok", count("ok") as f64);
+        report.meta_num("overloaded", count("overloaded") as f64);
+        report.meta_num("quota", count("quota") as f64);
+        report.meta_num("trace_errors", count("trace_error") as f64);
+        report.meta_num("bad_requests", count("bad_request") as f64);
+        report.meta_num("internal_errors", count("internal_error") as f64);
+        report.meta_num("worker_lost", worker_lost as f64);
+        report.meta_num("cache_hit_rate", hit_rate);
+        report.meta_num("cache_evictions", evictions);
+        report.meta_num("cache_entries", num(engine, "cache_entries"));
+        report.meta_num("cache_bytes", num(engine, "cache_bytes"));
+        if let Some(doc @ Json::Obj(_)) = serve {
+            let mut json = String::new();
+            render(doc, &mut json);
+            report.section_raw("serve", json);
+        }
+        if let Some(doc @ Json::Obj(_)) = engine {
+            let mut json = String::new();
+            render(doc, &mut json);
+            report.section_raw("engine", json);
+        }
+        report.write(out).unwrap_or_else(|e| {
+            eprintln!("repro-loadgen: cannot write {}: {e}", out.display());
+            std::process::exit(1);
+        });
+        println!("  report   {}", out.display());
+    }
+
+    if o.shutdown {
+        match control(&o, "{\"op\":\"shutdown\"}") {
+            Some(doc) if doc.get("status").and_then(Json::as_str) == Some("ok") => {
+                println!("  daemon   drained and stopped");
+            }
+            _ => {
+                eprintln!("repro-loadgen: shutdown request failed");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    if protocol_errors > 0 || answered < o.requests as u64 {
+        eprintln!(
+            "repro-loadgen: {} of {} requests unanswered, {} protocol errors",
+            o.requests as u64 - answered,
+            o.requests,
+            protocol_errors
+        );
+        std::process::exit(1);
+    }
+}

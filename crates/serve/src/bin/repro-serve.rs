@@ -1,0 +1,82 @@
+//! The daemon entrypoint. Binds the unix socket, serves until a wire
+//! `shutdown`, then drains and exits.
+//!
+//! ```text
+//! repro-serve --socket /tmp/repro.sock --workers 2 --admission 64 \
+//!             --quota-burst 100 --quota-rate 50 --obs
+//! ```
+
+use repro_serve::server::{ServeConfig, Server};
+use repro_serve::QuotaConfig;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: repro-serve [--socket PATH] [--workers N] [--threads N]\n\
+         \x20                  [--admission N] [--window N] [--cache-capacity N]\n\
+         \x20                  [--quota-burst N] [--quota-rate PER_SEC]\n\
+         \x20                  [--budget-ms MS] [--deadline-ms MS] [--obs]\n\
+         \n\
+         \x20 --socket PATH        unix socket to listen on (default repro-serve.sock)\n\
+         \x20 --workers N          concurrent analyses (default 2)\n\
+         \x20 --threads N          match-pool threads (default 2)\n\
+         \x20 --admission N        admission queue bound (default 64)\n\
+         \x20 --window N           per-connection in-flight window (default 8)\n\
+         \x20 --cache-capacity N   match-cache entries, 0 = unbounded (default 4096)\n\
+         \x20 --quota-burst N      tokens per tenant bucket, 0 = quotas off (default 0)\n\
+         \x20 --quota-rate R       bucket refill, tokens/second (default 0)\n\
+         \x20 --budget-ms MS       default per-sub-DDG match budget (default 60000)\n\
+         \x20 --deadline-ms MS     default whole-request deadline (default 10000)\n\
+         \x20 --obs                enable span tracing (for trace_dump)"
+    );
+    std::process::exit(2);
+}
+
+fn parse<T: std::str::FromStr>(flag: &str, value: Option<String>) -> T {
+    let Some(value) = value else {
+        eprintln!("{flag} needs a value");
+        std::process::exit(2);
+    };
+    value.parse().unwrap_or_else(|_| {
+        eprintln!("invalid value for {flag}: got {value:?}");
+        std::process::exit(2);
+    })
+}
+
+fn main() {
+    let mut config = ServeConfig::default();
+    let mut quota = QuotaConfig::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--socket" => config.socket = parse(&arg, args.next()),
+            "--workers" => config.workers = parse(&arg, args.next()),
+            "--threads" => config.analysis_threads = parse(&arg, args.next()),
+            "--admission" => config.admission_capacity = parse(&arg, args.next()),
+            "--window" => config.conn_window = parse(&arg, args.next()),
+            "--cache-capacity" => config.cache_capacity = parse(&arg, args.next()),
+            "--quota-burst" => quota.burst = parse(&arg, args.next()),
+            "--quota-rate" => quota.refill_per_sec = parse(&arg, args.next()),
+            "--budget-ms" => config.default_budget_ms = parse(&arg, args.next()),
+            "--deadline-ms" => {
+                let ms: u64 = parse(&arg, args.next());
+                config.default_deadline_ms = if ms == 0 { None } else { Some(ms) };
+            }
+            "--obs" => obs::enable(),
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag {other:?}");
+                usage();
+            }
+        }
+    }
+    config.quota = quota;
+
+    let socket = config.socket.clone();
+    let server = Server::start(config).unwrap_or_else(|e| {
+        eprintln!("repro-serve: cannot bind {}: {e}", socket.display());
+        std::process::exit(1);
+    });
+    eprintln!("repro-serve: listening on {}", socket.display());
+    server.join();
+    eprintln!("repro-serve: drained and stopped");
+}

@@ -1,0 +1,33 @@
+//! `repro-serve`: a resident analysis daemon.
+//!
+//! Instead of paying process startup, program compilation, and cold
+//! caches per batch, the daemon keeps one [`repro_engine::Engine`] —
+//! work-stealing match pool plus bounded shared LRU match cache —
+//! alive behind a unix socket and serves `analyze` requests over a
+//! newline-delimited JSON protocol ([`protocol`]).
+//!
+//! The service layer adds what a long-lived process needs and a batch
+//! run does not:
+//!
+//! - **admission control** — a bounded queue; a full queue answers
+//!   `overloaded` instead of buffering without bound ([`server`]);
+//! - **backpressure** — a per-connection in-flight window that stalls
+//!   the connection reader, not the daemon;
+//! - **per-tenant quotas** — token buckets keyed by the request's
+//!   `tenant` field ([`quota`]);
+//! - **graceful shutdown** — drain in-flight and queued work, answer
+//!   the shutdown request last, then exit;
+//! - **observability** — `serve.*` counters and `serve.request` spans
+//!   through the obs registry, with on-demand Chrome-trace dumps.
+//!
+//! The `repro-serve` binary runs the daemon; `repro-loadgen` replays
+//! concurrent request mixes against it and writes the
+//! `BENCH_serve.json` report that CI gates on.
+
+pub mod protocol;
+pub mod quota;
+pub mod server;
+
+pub use protocol::{parse_request, status, AnalyzeRequest, Request, ResponseLine};
+pub use quota::{QuotaConfig, TenantQuotas};
+pub use server::{unknown_bench_message, ServeConfig, ServeMetrics, Server};

@@ -1,0 +1,360 @@
+//! The wire protocol: newline-delimited JSON over a unix socket.
+//!
+//! Every request is one JSON object on one line; every request gets
+//! exactly one JSON object back on one line. Analyze responses may
+//! arrive out of order relative to other requests on the same
+//! connection (workers finish when they finish) — the echoed `id`
+//! correlates them. Rejections (`overloaded`, `quota`, `bad_request`)
+//! are written in line by the connection reader, so a rejected request
+//! is answered immediately.
+//!
+//! ```text
+//! → {"op":"analyze","id":"r1","tenant":"team-a","bench":"rgbyuv","version":"seq"}
+//! ← {"id":"r1","status":"ok","patterns":2,"kinds":["m","m"],...}
+//! → {"op":"analyze","id":"r2","source":"float out[4]; void main() {...}"}
+//! → {"op":"stats"}
+//! → {"op":"trace_dump","path":"/tmp/serve-trace.json"}
+//! → {"op":"shutdown"}
+//! ```
+
+use obs::json::{parse, Json};
+use serde::{ser_key, ser_str, Serialize};
+
+/// One parsed request line.
+#[derive(Debug)]
+pub enum Request {
+    Analyze(Box<AnalyzeRequest>),
+    /// Metrics snapshot: engine + serve counters as an embedded report.
+    Stats,
+    /// Drain the recorded spans into a Chrome trace file on the daemon
+    /// host (requires the daemon to run with observability enabled).
+    TraceDump {
+        path: String,
+    },
+    /// Stop accepting work, drain in-flight requests, answer, exit.
+    Shutdown,
+    /// Liveness probe (used by the load generator to await boot).
+    Ping,
+}
+
+/// An `analyze` request: a starbench benchmark name *or* inline minc
+/// source, plus per-request finder knobs.
+#[derive(Debug)]
+pub struct AnalyzeRequest {
+    /// Caller-chosen identifier, echoed in the response.
+    pub id: String,
+    /// Quota key; requests without a tenant share the `"anon"` bucket.
+    pub tenant: String,
+    /// Starbench benchmark name (mutually exclusive with `source`).
+    pub bench: Option<String>,
+    /// Benchmark version: `"seq"` (default) or `"pthreads"`.
+    pub version: String,
+    /// Inline minc translation unit (mutually exclusive with `bench`).
+    pub source: Option<String>,
+    /// Float array inputs for `source` programs, by array name.
+    pub inputs: Vec<(String, Vec<f64>)>,
+    /// Per-sub-DDG match budget override (ms).
+    pub budget_ms: Option<u64>,
+    /// Whole-request deadline override (ms).
+    pub deadline_ms: Option<u64>,
+}
+
+/// Parses one request line. Errors are protocol-level (malformed JSON,
+/// unknown op, contradictory fields) and map to a `bad_request`
+/// response.
+pub fn parse_request(line: &str) -> Result<Request, String> {
+    let doc = parse(line).map_err(|e| format!("malformed JSON: {e}"))?;
+    if !doc.is_obj() {
+        return Err("request must be a JSON object".into());
+    }
+    let op = doc.get("op").and_then(Json::as_str).unwrap_or("analyze");
+    match op {
+        "ping" => Ok(Request::Ping),
+        "stats" => Ok(Request::Stats),
+        "shutdown" => Ok(Request::Shutdown),
+        "trace_dump" => {
+            let path = doc
+                .get("path")
+                .and_then(Json::as_str)
+                .ok_or("trace_dump needs a \"path\" string")?;
+            Ok(Request::TraceDump { path: path.into() })
+        }
+        "analyze" => parse_analyze(&doc).map(|a| Request::Analyze(Box::new(a))),
+        other => Err(format!(
+            "unknown op {other:?} (expected analyze, stats, trace_dump, shutdown, or ping)"
+        )),
+    }
+}
+
+fn parse_analyze(doc: &Json) -> Result<AnalyzeRequest, String> {
+    let str_field = |key: &str| -> Result<Option<String>, String> {
+        match doc.get(key) {
+            None | Some(Json::Null) => Ok(None),
+            Some(Json::Str(s)) => Ok(Some(s.clone())),
+            Some(other) => Err(format!("\"{key}\" must be a string, got {other:?}")),
+        }
+    };
+    let ms_field = |key: &str| -> Result<Option<u64>, String> {
+        match doc.get(key) {
+            None | Some(Json::Null) => Ok(None),
+            Some(Json::Num(n)) if *n >= 0.0 => Ok(Some(*n as u64)),
+            Some(other) => Err(format!(
+                "\"{key}\" must be a non-negative number, got {other:?}"
+            )),
+        }
+    };
+    let bench = str_field("bench")?;
+    let source = str_field("source")?;
+    match (&bench, &source) {
+        (None, None) => return Err("analyze needs a \"bench\" name or minc \"source\"".into()),
+        (Some(_), Some(_)) => return Err("\"bench\" and \"source\" are mutually exclusive".into()),
+        _ => {}
+    }
+    let mut inputs = Vec::new();
+    match doc.get("inputs") {
+        None | Some(Json::Null) => {}
+        Some(Json::Obj(members)) => {
+            for (name, value) in members {
+                let arr = value
+                    .as_arr()
+                    .ok_or_else(|| format!("input {name:?} must be an array of numbers"))?;
+                let vals = arr
+                    .iter()
+                    .map(|v| {
+                        v.as_f64()
+                            .ok_or_else(|| format!("input {name:?} holds a non-number"))
+                    })
+                    .collect::<Result<Vec<f64>, String>>()?;
+                inputs.push((name.clone(), vals));
+            }
+        }
+        Some(other) => return Err(format!("\"inputs\" must be an object, got {other:?}")),
+    }
+    Ok(AnalyzeRequest {
+        id: str_field("id")?.unwrap_or_default(),
+        tenant: str_field("tenant")?.unwrap_or_else(|| "anon".into()),
+        bench,
+        version: str_field("version")?.unwrap_or_else(|| "seq".into()),
+        source,
+        inputs,
+        budget_ms: ms_field("budget_ms")?,
+        deadline_ms: ms_field("deadline_ms")?,
+    })
+}
+
+/// Response statuses. The load gate relies on two invariants: every
+/// request line receives exactly one response line, and every response
+/// carries one of these labels.
+pub mod status {
+    /// Analysis completed (check `degraded` for best-so-far results).
+    pub const OK: &str = "ok";
+    /// Rejected: the admission queue was full, or the daemon is
+    /// draining for shutdown.
+    pub const OVERLOADED: &str = "overloaded";
+    /// Rejected: the tenant's token bucket is empty.
+    pub const QUOTA: &str = "quota";
+    /// The request line did not parse or validate.
+    pub const BAD_REQUEST: &str = "bad_request";
+    /// The traced program faulted (bad source, step limit, deadline).
+    pub const TRACE_ERROR: &str = "trace_error";
+    /// Match workers died mid-request — the gate requires zero of these.
+    pub const WORKER_LOST: &str = "worker_lost";
+    /// The serve worker itself panicked; the request is answered and
+    /// the daemon lives on.
+    pub const INTERNAL_ERROR: &str = "internal_error";
+}
+
+/// One response line under construction. Fields appear in insertion
+/// order; `finish` closes the object (no trailing newline).
+pub struct ResponseLine {
+    out: String,
+}
+
+impl ResponseLine {
+    pub fn new(id: &str, status: &str) -> ResponseLine {
+        let mut r = ResponseLine {
+            out: String::with_capacity(128),
+        };
+        r.out.push('{');
+        ser_key(&mut r.out, "id");
+        ser_str(&mut r.out, id);
+        r.out.push(',');
+        ser_key(&mut r.out, "status");
+        ser_str(&mut r.out, status);
+        r
+    }
+
+    fn sep(&mut self) {
+        self.out.push(',');
+    }
+
+    pub fn str(mut self, key: &str, value: &str) -> Self {
+        self.sep();
+        ser_key(&mut self.out, key);
+        ser_str(&mut self.out, value);
+        self
+    }
+
+    pub fn num(mut self, key: &str, value: f64) -> Self {
+        self.sep();
+        ser_key(&mut self.out, key);
+        if value.fract() == 0.0 && value.abs() < 9e15 {
+            self.out.push_str(&format!("{}", value as i64));
+        } else {
+            value.serialize_json(&mut self.out);
+        }
+        self
+    }
+
+    pub fn bool(mut self, key: &str, value: bool) -> Self {
+        self.sep();
+        ser_key(&mut self.out, key);
+        value.serialize_json(&mut self.out);
+        self
+    }
+
+    pub fn strs(mut self, key: &str, values: &[&str]) -> Self {
+        self.sep();
+        ser_key(&mut self.out, key);
+        self.out.push('[');
+        for (i, v) in values.iter().enumerate() {
+            if i > 0 {
+                self.out.push(',');
+            }
+            ser_str(&mut self.out, v);
+        }
+        self.out.push(']');
+        self
+    }
+
+    /// Embeds already-serialized JSON verbatim (e.g. an `ObsReport`).
+    pub fn raw(mut self, key: &str, json: &str) -> Self {
+        self.sep();
+        ser_key(&mut self.out, key);
+        self.out.push_str(json);
+        self
+    }
+
+    pub fn finish(mut self) -> String {
+        self.out.push('}');
+        self.out
+    }
+}
+
+/// Shorthand for an error-shaped response.
+pub fn error_line(id: &str, status_label: &str, message: &str) -> String {
+    ResponseLine::new(id, status_label)
+        .str("error", message)
+        .finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_bench_analyze_with_defaults() {
+        let r = parse_request(r#"{"op":"analyze","bench":"rgbyuv"}"#).unwrap();
+        let Request::Analyze(a) = r else { panic!() };
+        assert_eq!(a.bench.as_deref(), Some("rgbyuv"));
+        assert_eq!(a.version, "seq");
+        assert_eq!(a.tenant, "anon");
+        assert_eq!(a.id, "");
+        assert!(a.source.is_none());
+        assert_eq!(a.budget_ms, None);
+    }
+
+    #[test]
+    fn analyze_is_the_default_op() {
+        let r = parse_request(r#"{"bench":"md5","tenant":"t1","id":"x","budget_ms":500}"#).unwrap();
+        let Request::Analyze(a) = r else { panic!() };
+        assert_eq!(a.tenant, "t1");
+        assert_eq!(a.id, "x");
+        assert_eq!(a.budget_ms, Some(500));
+    }
+
+    #[test]
+    fn parses_source_with_inputs() {
+        let r = parse_request(
+            r#"{"source":"void main() {}","inputs":{"in":[1,2.5]},"deadline_ms":100}"#,
+        )
+        .unwrap();
+        let Request::Analyze(a) = r else { panic!() };
+        assert_eq!(a.inputs, vec![("in".to_string(), vec![1.0, 2.5])]);
+        assert_eq!(a.deadline_ms, Some(100));
+    }
+
+    #[test]
+    fn rejects_contradictory_and_missing_programs() {
+        assert!(parse_request(r#"{"op":"analyze"}"#)
+            .unwrap_err()
+            .contains("\"bench\" name or minc \"source\""));
+        assert!(
+            parse_request(r#"{"bench":"md5","source":"void main() {}"}"#)
+                .unwrap_err()
+                .contains("mutually exclusive")
+        );
+    }
+
+    #[test]
+    fn rejects_malformed_lines_and_unknown_ops() {
+        assert!(parse_request("not json").unwrap_err().contains("malformed"));
+        assert!(parse_request("[1,2]").unwrap_err().contains("object"));
+        assert!(parse_request(r#"{"op":"fly"}"#)
+            .unwrap_err()
+            .contains("unknown op"));
+    }
+
+    #[test]
+    fn parses_control_ops() {
+        assert!(matches!(
+            parse_request(r#"{"op":"ping"}"#),
+            Ok(Request::Ping)
+        ));
+        assert!(matches!(
+            parse_request(r#"{"op":"stats"}"#),
+            Ok(Request::Stats)
+        ));
+        assert!(matches!(
+            parse_request(r#"{"op":"shutdown"}"#),
+            Ok(Request::Shutdown)
+        ));
+        let Ok(Request::TraceDump { path }) =
+            parse_request(r#"{"op":"trace_dump","path":"/tmp/t.json"}"#)
+        else {
+            panic!()
+        };
+        assert_eq!(path, "/tmp/t.json");
+    }
+
+    #[test]
+    fn response_lines_are_single_line_json() {
+        let line = ResponseLine::new("r1", status::OK)
+            .num("patterns", 2.0)
+            .strs("kinds", &["m", "r"])
+            .num("find_ms", 1.25)
+            .bool("degraded", false)
+            .finish();
+        assert!(!line.contains('\n'));
+        let doc = parse(&line).unwrap();
+        assert_eq!(doc.get("id").unwrap().as_str(), Some("r1"));
+        assert_eq!(doc.get("status").unwrap().as_str(), Some("ok"));
+        assert_eq!(doc.get("patterns").unwrap().as_f64(), Some(2.0));
+        assert_eq!(doc.get("find_ms").unwrap().as_f64(), Some(1.25));
+        assert_eq!(doc.get("kinds").unwrap().as_arr().unwrap().len(), 2);
+        assert_eq!(doc.get("degraded"), Some(&Json::Bool(false)));
+    }
+
+    #[test]
+    fn error_lines_carry_the_message() {
+        let line = error_line("x", status::QUOTA, "tenant \"a\" out of tokens");
+        let doc = parse(&line).unwrap();
+        assert_eq!(doc.get("status").unwrap().as_str(), Some("quota"));
+        assert!(doc
+            .get("error")
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .contains("out of tokens"));
+    }
+}

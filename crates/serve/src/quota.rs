@@ -1,0 +1,135 @@
+//! Per-tenant token buckets.
+//!
+//! Each tenant (the `tenant` field on analyze requests) gets an
+//! independent bucket holding up to `burst` tokens, refilled at
+//! `refill_per_sec` tokens per second. Admitting a request costs one
+//! token; an empty bucket means a `quota` rejection. A `burst` of zero
+//! disables quota enforcement entirely.
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Quota knobs, shared by every tenant.
+#[derive(Clone, Copy, Debug)]
+pub struct QuotaConfig {
+    /// Maximum stored tokens per tenant (0 = quotas disabled).
+    pub burst: u32,
+    /// Steady-state refill rate, tokens per second.
+    pub refill_per_sec: f64,
+}
+
+impl Default for QuotaConfig {
+    fn default() -> Self {
+        QuotaConfig {
+            burst: 0,
+            refill_per_sec: 0.0,
+        }
+    }
+}
+
+struct TokenBucket {
+    tokens: f64,
+    last: Instant,
+}
+
+impl TokenBucket {
+    fn try_take(&mut self, config: &QuotaConfig, now: Instant) -> bool {
+        let elapsed = now.saturating_duration_since(self.last).as_secs_f64();
+        self.last = now;
+        self.tokens = (self.tokens + elapsed * config.refill_per_sec).min(config.burst as f64);
+        if self.tokens >= 1.0 {
+            self.tokens -= 1.0;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+/// The tenant → bucket table. New tenants start with a full bucket.
+pub struct TenantQuotas {
+    config: QuotaConfig,
+    buckets: Mutex<HashMap<String, TokenBucket>>,
+}
+
+impl TenantQuotas {
+    pub fn new(config: QuotaConfig) -> TenantQuotas {
+        TenantQuotas {
+            config,
+            buckets: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Takes one token from `tenant`'s bucket; `false` means the
+    /// request must be rejected with a `quota` status.
+    pub fn admit(&self, tenant: &str) -> bool {
+        self.admit_at(tenant, Instant::now())
+    }
+
+    fn admit_at(&self, tenant: &str, now: Instant) -> bool {
+        if self.config.burst == 0 {
+            return true;
+        }
+        let mut buckets = self.buckets.lock().unwrap_or_else(|e| e.into_inner());
+        let bucket = buckets.entry(tenant.to_string()).or_insert(TokenBucket {
+            tokens: self.config.burst as f64,
+            last: now,
+        });
+        bucket.try_take(&self.config, now)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn quotas(burst: u32, refill_per_sec: f64) -> TenantQuotas {
+        TenantQuotas::new(QuotaConfig {
+            burst,
+            refill_per_sec,
+        })
+    }
+
+    #[test]
+    fn zero_burst_disables_enforcement() {
+        let q = quotas(0, 0.0);
+        for _ in 0..1000 {
+            assert!(q.admit("anyone"));
+        }
+    }
+
+    #[test]
+    fn bursts_are_per_tenant_and_bounded() {
+        let q = quotas(3, 0.0);
+        let t0 = Instant::now();
+        for _ in 0..3 {
+            assert!(q.admit_at("a", t0));
+        }
+        assert!(!q.admit_at("a", t0), "bucket a is empty");
+        // Tenant b's bucket is untouched by a's exhaustion.
+        for _ in 0..3 {
+            assert!(q.admit_at("b", t0));
+        }
+        assert!(!q.admit_at("b", t0));
+    }
+
+    #[test]
+    fn refill_restores_tokens_but_never_past_burst() {
+        let q = quotas(2, 10.0);
+        let t0 = Instant::now();
+        assert!(q.admit_at("t", t0));
+        assert!(q.admit_at("t", t0));
+        assert!(!q.admit_at("t", t0));
+        // 100 ms at 10 tokens/s refills exactly one token.
+        let t1 = t0 + Duration::from_millis(100);
+        assert!(q.admit_at("t", t1));
+        assert!(!q.admit_at("t", t1));
+        // A long idle period caps at `burst`, not elapsed × rate.
+        let t2 = t1 + Duration::from_secs(3600);
+        assert!(q.admit_at("t", t2));
+        assert!(q.admit_at("t", t2));
+        assert!(!q.admit_at("t", t2));
+    }
+}

@@ -1,0 +1,656 @@
+//! The resident daemon: accept loop, admission control, worker pool.
+//!
+//! Concurrency layout (std-only, sized for small machines):
+//!
+//! - one **accept thread** polls a nonblocking unix listener;
+//! - one **reader thread per connection** parses request lines and
+//!   answers control ops and rejections in line;
+//! - a fixed pool of **serve workers** drains the admission queue and
+//!   runs analyses through a shared [`Engine`] (one work-stealing match
+//!   pool and one bounded LRU match cache across all requests).
+//!
+//! Admission is a single bounded queue guarded by one mutex/condvar
+//! pair; the same lock covers the drain protocol, so a request can
+//! never slip into the queue after the workers have decided to exit.
+//! Per-connection backpressure is a counting window: a reader that has
+//! `conn_window` requests in flight blocks before parsing more, which
+//! pushes back on the client through the kernel socket buffer.
+
+use std::collections::{HashMap, VecDeque};
+use std::io::{BufRead, BufReader, ErrorKind, Write};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use obs::Counter;
+use repro_engine::{AnalysisRequest, Engine, EngineConfig, EngineError, EngineMetrics};
+use serde::Serialize;
+
+use crate::protocol::{error_line, parse_request, status, AnalyzeRequest, Request, ResponseLine};
+use crate::quota::{QuotaConfig, TenantQuotas};
+
+/// Daemon knobs. Defaults are sized for a small CI box: two serve
+/// workers over a two-thread match pool, a 64-deep admission queue,
+/// and quotas off.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    pub socket: PathBuf,
+    /// Serve workers (concurrent analyses). 0 means 2.
+    pub workers: usize,
+    /// Match-pool threads inside the shared engine. 0 means 2.
+    pub analysis_threads: usize,
+    /// Admission queue bound; a full queue rejects with `overloaded`.
+    pub admission_capacity: usize,
+    /// Per-connection in-flight window (backpressure), minimum 1.
+    pub conn_window: usize,
+    pub quota: QuotaConfig,
+    /// Shared match-cache entry bound (0 = unbounded).
+    pub cache_capacity: usize,
+    /// Default per-sub-DDG match budget when the request names none.
+    pub default_budget_ms: u64,
+    /// Default whole-request deadline when the request names none.
+    pub default_deadline_ms: Option<u64>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            socket: PathBuf::from("repro-serve.sock"),
+            workers: 2,
+            analysis_threads: 2,
+            admission_capacity: 64,
+            conn_window: 8,
+            quota: QuotaConfig::default(),
+            cache_capacity: repro_engine::cache::DEFAULT_CACHE_CAPACITY,
+            default_budget_ms: 60_000,
+            default_deadline_ms: Some(10_000),
+        }
+    }
+}
+
+/// Serve-side counter snapshot. The same counts are registered in the
+/// obs metrics registry under `serve.*`.
+#[derive(Clone, Copy, Debug, Default, serde::Serialize)]
+pub struct ServeMetrics {
+    pub connections: u64,
+    pub requests: u64,
+    pub ok: u64,
+    pub degraded: u64,
+    pub overloaded: u64,
+    pub quota: u64,
+    pub bad_requests: u64,
+    pub trace_errors: u64,
+    pub worker_lost: u64,
+    pub internal_errors: u64,
+}
+
+/// One serve counter: a per-server count plus the process-global
+/// `serve.*` registry counter (the registry is shared, so a test
+/// process running several servers still gets exact per-server
+/// numbers from the local half).
+struct Stat {
+    local: std::sync::atomic::AtomicU64,
+    global: Counter,
+}
+
+impl Stat {
+    fn new(name: &str) -> Stat {
+        Stat {
+            local: std::sync::atomic::AtomicU64::new(0),
+            global: obs::counter(name),
+        }
+    }
+
+    fn inc(&self) {
+        self.local.fetch_add(1, Ordering::Relaxed);
+        self.global.inc();
+    }
+
+    fn get(&self) -> u64 {
+        self.local.load(Ordering::Relaxed)
+    }
+}
+
+struct Counters {
+    connections: Stat,
+    requests: Stat,
+    ok: Stat,
+    degraded: Stat,
+    overloaded: Stat,
+    quota: Stat,
+    bad_requests: Stat,
+    trace_errors: Stat,
+    worker_lost: Stat,
+    internal_errors: Stat,
+}
+
+impl Counters {
+    fn new() -> Counters {
+        Counters {
+            connections: Stat::new("serve.connections"),
+            requests: Stat::new("serve.requests"),
+            ok: Stat::new("serve.ok"),
+            degraded: Stat::new("serve.degraded"),
+            overloaded: Stat::new("serve.overloaded"),
+            quota: Stat::new("serve.quota"),
+            bad_requests: Stat::new("serve.bad_requests"),
+            trace_errors: Stat::new("serve.trace_errors"),
+            worker_lost: Stat::new("serve.worker_lost"),
+            internal_errors: Stat::new("serve.internal_errors"),
+        }
+    }
+
+    fn snapshot(&self) -> ServeMetrics {
+        ServeMetrics {
+            connections: self.connections.get(),
+            requests: self.requests.get(),
+            ok: self.ok.get(),
+            degraded: self.degraded.get(),
+            overloaded: self.overloaded.get(),
+            quota: self.quota.get(),
+            bad_requests: self.bad_requests.get(),
+            trace_errors: self.trace_errors.get(),
+            worker_lost: self.worker_lost.get(),
+            internal_errors: self.internal_errors.get(),
+        }
+    }
+}
+
+/// One admitted analyze request waiting for (or on) a worker.
+struct Job {
+    req: Box<AnalyzeRequest>,
+    conn: Arc<Conn>,
+}
+
+struct QueueState {
+    jobs: VecDeque<Job>,
+    /// Jobs currently on a worker.
+    active: usize,
+    /// Set once; after this no job enters the queue, and the queue
+    /// going idle (empty + no active) is final.
+    draining: bool,
+}
+
+/// Per-connection write half and backpressure window.
+struct Conn {
+    stream: UnixStream,
+    write: Mutex<()>,
+    inflight: Mutex<usize>,
+    inflight_cv: Condvar,
+}
+
+impl Conn {
+    fn send(&self, line: &str) {
+        let _guard = self.write.lock().unwrap_or_else(|e| e.into_inner());
+        // A vanished client is not a daemon error; drop the response.
+        let mut s = &self.stream;
+        let _ = s
+            .write_all(line.as_bytes())
+            .and_then(|_| s.write_all(b"\n"))
+            .and_then(|_| s.flush());
+    }
+
+    fn acquire_window(&self, limit: usize) {
+        let mut n = self.inflight.lock().unwrap_or_else(|e| e.into_inner());
+        while *n >= limit {
+            n = self.inflight_cv.wait(n).unwrap_or_else(|e| e.into_inner());
+        }
+        *n += 1;
+    }
+
+    fn release_window(&self) {
+        let mut n = self.inflight.lock().unwrap_or_else(|e| e.into_inner());
+        *n = n.saturating_sub(1);
+        self.inflight_cv.notify_all();
+    }
+}
+
+struct Shared {
+    config: ServeConfig,
+    engine: Engine,
+    queue: Mutex<QueueState>,
+    queue_cv: Condvar,
+    quotas: TenantQuotas,
+    counters: Counters,
+    stop: AtomicBool,
+    conns: Mutex<Vec<Arc<Conn>>>,
+    /// Compiled starbench programs, keyed `"name:version"`.
+    programs: Mutex<HashMap<String, repro_ir::Program>>,
+    started: Instant,
+}
+
+/// A running daemon. [`Server::start`] binds and spawns the threads;
+/// shutdown arrives either over the wire (`{"op":"shutdown"}`) or via
+/// [`Server::shutdown`], and [`Server::join`] blocks until the drain
+/// completes and every thread has exited.
+pub struct Server {
+    shared: Arc<Shared>,
+    accept: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    pub fn start(config: ServeConfig) -> std::io::Result<Server> {
+        let socket = config.socket.clone();
+        if socket.exists() {
+            // A live daemon answers a connect; a stale socket file
+            // (crashed daemon) refuses it and is safe to replace.
+            if UnixStream::connect(&socket).is_ok() {
+                return Err(std::io::Error::new(
+                    ErrorKind::AddrInUse,
+                    format!("{} already has a live daemon", socket.display()),
+                ));
+            }
+            std::fs::remove_file(&socket)?;
+        }
+        let listener = UnixListener::bind(&socket)?;
+        listener.set_nonblocking(true)?;
+
+        let engine = Engine::new(EngineConfig {
+            workers: if config.analysis_threads == 0 {
+                2
+            } else {
+                config.analysis_threads
+            },
+            max_concurrent_requests: 1,
+            use_cache: true,
+            cache_capacity: config.cache_capacity,
+            ..EngineConfig::default()
+        });
+        let worker_count = if config.workers == 0 {
+            2
+        } else {
+            config.workers
+        };
+        let shared = Arc::new(Shared {
+            engine,
+            quotas: TenantQuotas::new(config.quota),
+            counters: Counters::new(),
+            queue: Mutex::new(QueueState {
+                jobs: VecDeque::new(),
+                active: 0,
+                draining: false,
+            }),
+            queue_cv: Condvar::new(),
+            stop: AtomicBool::new(false),
+            conns: Mutex::new(Vec::new()),
+            programs: Mutex::new(HashMap::new()),
+            started: Instant::now(),
+            config,
+        });
+
+        let workers = (0..worker_count)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("serve-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn serve worker")
+            })
+            .collect();
+        let accept = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("serve-accept".into())
+                .spawn(move || accept_loop(listener, &shared))
+                .expect("spawn accept loop")
+        };
+        Ok(Server {
+            shared,
+            accept: Some(accept),
+            workers,
+        })
+    }
+
+    pub fn socket(&self) -> &Path {
+        &self.shared.config.socket
+    }
+
+    pub fn metrics(&self) -> ServeMetrics {
+        self.shared.counters.snapshot()
+    }
+
+    pub fn engine_metrics(&self) -> EngineMetrics {
+        self.shared.engine.metrics()
+    }
+
+    /// Programmatic shutdown: drain in-flight work, then stop every
+    /// thread. Equivalent to a wire `shutdown` minus the response.
+    pub fn shutdown(&self) {
+        begin_drain(&self.shared);
+        wait_drained(&self.shared);
+        stop_all(&self.shared);
+    }
+
+    /// Blocks until the daemon has fully stopped (after a wire or
+    /// programmatic shutdown) and the socket file is gone.
+    pub fn join(mut self) {
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn begin_drain(shared: &Shared) {
+    let mut q = shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+    q.draining = true;
+    shared.queue_cv.notify_all();
+}
+
+fn wait_drained(shared: &Shared) {
+    let mut q = shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+    while q.active > 0 || !q.jobs.is_empty() {
+        q = shared.queue_cv.wait(q).unwrap_or_else(|e| e.into_inner());
+    }
+}
+
+/// Stops the accept loop and unblocks every connection reader.
+fn stop_all(shared: &Shared) {
+    shared.stop.store(true, Ordering::SeqCst);
+    let conns = shared.conns.lock().unwrap_or_else(|e| e.into_inner());
+    for conn in conns.iter() {
+        // EOF the readers; pending writes still flush.
+        let _ = conn.stream.shutdown(std::net::Shutdown::Read);
+    }
+}
+
+fn accept_loop(listener: UnixListener, shared: &Arc<Shared>) {
+    while !shared.stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                shared.counters.connections.inc();
+                let conn = Arc::new(Conn {
+                    stream,
+                    write: Mutex::new(()),
+                    inflight: Mutex::new(0),
+                    inflight_cv: Condvar::new(),
+                });
+                shared
+                    .conns
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .push(Arc::clone(&conn));
+                let shared = Arc::clone(shared);
+                let _ = std::thread::Builder::new()
+                    .name("serve-conn".into())
+                    .spawn(move || reader_loop(&shared, &conn));
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            Err(_) => break,
+        }
+    }
+    let _ = std::fs::remove_file(&shared.config.socket);
+}
+
+fn reader_loop(shared: &Arc<Shared>, conn: &Arc<Conn>) {
+    let Ok(read_half) = conn.stream.try_clone() else {
+        return;
+    };
+    let _ = read_half.set_nonblocking(false);
+    let reader = BufReader::new(read_half);
+    for line in reader.lines() {
+        let Ok(line) = line else { break };
+        if line.trim().is_empty() {
+            continue;
+        }
+        match parse_request(&line) {
+            Err(msg) => {
+                shared.counters.requests.inc();
+                shared.counters.bad_requests.inc();
+                conn.send(&error_line("", status::BAD_REQUEST, &msg));
+            }
+            Ok(Request::Ping) => {
+                conn.send(&ResponseLine::new("", status::OK).str("op", "ping").finish());
+            }
+            Ok(Request::Stats) => conn.send(&stats_line(shared)),
+            Ok(Request::TraceDump { path }) => conn.send(&trace_dump_line(shared, &path)),
+            Ok(Request::Shutdown) => {
+                begin_drain(shared);
+                wait_drained(shared);
+                conn.send(
+                    &ResponseLine::new("", status::OK)
+                        .str("op", "shutdown")
+                        .num("served", shared.counters.requests.get() as f64)
+                        .finish(),
+                );
+                stop_all(shared);
+            }
+            Ok(Request::Analyze(req)) => admit(shared, conn, req),
+        }
+    }
+}
+
+/// Runs admission for one analyze request: quota, then backpressure
+/// window, then the bounded queue — all rejections answered in line.
+fn admit(shared: &Arc<Shared>, conn: &Arc<Conn>, req: Box<AnalyzeRequest>) {
+    shared.counters.requests.inc();
+    if !shared.quotas.admit(&req.tenant) {
+        shared.counters.quota.inc();
+        conn.send(&error_line(
+            &req.id,
+            status::QUOTA,
+            &format!("tenant {:?} is out of tokens", req.tenant),
+        ));
+        return;
+    }
+    conn.acquire_window(shared.config.conn_window.max(1));
+    let mut q = shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+    if q.draining {
+        drop(q);
+        conn.release_window();
+        shared.counters.overloaded.inc();
+        conn.send(&error_line(
+            &req.id,
+            status::OVERLOADED,
+            "daemon is draining for shutdown",
+        ));
+    } else if q.jobs.len() >= shared.config.admission_capacity.max(1) {
+        drop(q);
+        conn.release_window();
+        shared.counters.overloaded.inc();
+        conn.send(&error_line(
+            &req.id,
+            status::OVERLOADED,
+            &format!(
+                "admission queue full (capacity {})",
+                shared.config.admission_capacity.max(1)
+            ),
+        ));
+    } else {
+        q.jobs.push_back(Job {
+            req,
+            conn: Arc::clone(conn),
+        });
+        shared.queue_cv.notify_all();
+    }
+}
+
+fn worker_loop(shared: &Arc<Shared>) {
+    loop {
+        let job = {
+            let mut q = shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                if let Some(job) = q.jobs.pop_front() {
+                    q.active += 1;
+                    break job;
+                }
+                if q.draining {
+                    return;
+                }
+                q = shared.queue_cv.wait(q).unwrap_or_else(|e| e.into_inner());
+            }
+        };
+        // Zero worker loss: a panic anywhere in request processing is
+        // contained to an `internal_error` response for that request.
+        let line =
+            catch_unwind(AssertUnwindSafe(|| process(shared, &job.req))).unwrap_or_else(|_| {
+                shared.counters.internal_errors.inc();
+                error_line(
+                    &job.req.id,
+                    status::INTERNAL_ERROR,
+                    "serve worker panicked; request aborted",
+                )
+            });
+        job.conn.send(&line);
+        job.conn.release_window();
+        let mut q = shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+        q.active -= 1;
+        if q.draining && q.active == 0 && q.jobs.is_empty() {
+            shared.queue_cv.notify_all();
+        }
+    }
+}
+
+/// Resolves the program/input pair an analyze request names.
+fn resolve(
+    shared: &Shared,
+    req: &AnalyzeRequest,
+) -> Result<(repro_ir::Program, trace::RunConfig), String> {
+    if let Some(name) = &req.bench {
+        let Some(bench) = starbench::benchmark(name) else {
+            return Err(unknown_bench_message(name));
+        };
+        let version = match req.version.as_str() {
+            "seq" => starbench::Version::Seq,
+            "pthreads" => starbench::Version::Pthreads,
+            other => {
+                return Err(format!(
+                    "unknown version {other:?} (expected \"seq\" or \"pthreads\")"
+                ))
+            }
+        };
+        let key = format!("{name}:{}", req.version);
+        let mut programs = shared.programs.lock().unwrap_or_else(|e| e.into_inner());
+        let program = programs
+            .entry(key)
+            .or_insert_with(|| bench.program(version))
+            .clone();
+        Ok((program, (bench.analysis_input)()))
+    } else {
+        let source = req.source.as_deref().unwrap_or_default();
+        let program = minc::compile("inline", source).map_err(|e| format!("minc: {e}"))?;
+        let mut input = trace::RunConfig::default();
+        for (name, data) in &req.inputs {
+            input = input.with_f64(name, data);
+        }
+        Ok((program, input))
+    }
+}
+
+/// The friendly unknown-benchmark message, shared with the CLI tools.
+pub fn unknown_bench_message(name: &str) -> String {
+    starbench::unknown_benchmark_message(name)
+}
+
+fn process(shared: &Shared, req: &AnalyzeRequest) -> String {
+    let mut span = obs::span_args("serve.request", || {
+        vec![("tenant", obs::ArgValue::Str(req.tenant.clone()))]
+    });
+    let (program, input) = match resolve(shared, req) {
+        Ok(pair) => pair,
+        Err(msg) => {
+            shared.counters.bad_requests.inc();
+            return error_line(&req.id, status::BAD_REQUEST, &msg);
+        }
+    };
+    let mut config = discovery::FinderConfig {
+        budget: discovery::MatchBudget {
+            time: Duration::from_millis(req.budget_ms.unwrap_or(shared.config.default_budget_ms)),
+            deadline: None,
+        },
+        ..discovery::FinderConfig::default()
+    };
+    if let Some(ms) = req.deadline_ms.or(shared.config.default_deadline_ms) {
+        config.deadline = Some(Duration::from_millis(ms));
+    }
+    let result = shared.engine.analyze_one(AnalysisRequest {
+        id: req.id.clone(),
+        program,
+        input,
+        config,
+    });
+    match &result.outcome {
+        Ok(analysis) => {
+            shared.counters.ok.inc();
+            let f = &analysis.result;
+            if f.degraded {
+                shared.counters.degraded.inc();
+            }
+            let kinds: Vec<&str> = f
+                .found
+                .iter()
+                .filter(|p| p.reported)
+                .map(|p| p.pattern.kind.short())
+                .collect();
+            span.arg("patterns", obs::ArgValue::U64(kinds.len() as u64));
+            ResponseLine::new(&req.id, status::OK)
+                .num("patterns", kinds.len() as f64)
+                .strs("kinds", &kinds)
+                .num("iterations", f.iterations as f64)
+                .num("ddg_size", f.ddg_size as f64)
+                .bool("degraded", f.degraded)
+                .num("trace_ms", result.metrics.trace_time.as_secs_f64() * 1e3)
+                .num("find_ms", result.metrics.find_time.as_secs_f64() * 1e3)
+                .num("cache_hits", result.metrics.cache_hits as f64)
+                .num("cache_misses", result.metrics.cache_misses as f64)
+                .finish()
+        }
+        Err(EngineError::Trace(e)) => {
+            shared.counters.trace_errors.inc();
+            error_line(&req.id, status::TRACE_ERROR, &e.to_string())
+        }
+        Err(EngineError::WorkerLost { missing }) => {
+            shared.counters.worker_lost.inc();
+            error_line(
+                &req.id,
+                status::WORKER_LOST,
+                &format!("match workers lost with {missing} outcomes missing"),
+            )
+        }
+    }
+}
+
+fn stats_line(shared: &Shared) -> String {
+    let engine = shared.engine.metrics();
+    obs::gauge("cache.bytes").set(engine.cache_bytes as f64);
+    obs::gauge("cache.entries").set(engine.cache_entries as f64);
+    let mut engine_json = String::new();
+    engine.serialize_json(&mut engine_json);
+    let mut serve_json = String::new();
+    shared.counters.snapshot().serialize_json(&mut serve_json);
+    ResponseLine::new("", status::OK)
+        .str("op", "stats")
+        .num("uptime_ms", shared.started.elapsed().as_secs_f64() * 1e3)
+        .raw("serve", &serve_json)
+        .raw("engine", &engine_json)
+        .finish()
+}
+
+fn trace_dump_line(shared: &Shared, path: &str) -> String {
+    let _ = shared;
+    if !obs::enabled() {
+        return error_line(
+            "",
+            status::BAD_REQUEST,
+            "observability is disabled; restart the daemon with --obs",
+        );
+    }
+    let threads = obs::take_events();
+    match obs::write_chrome_trace(Path::new(path), &threads) {
+        Ok(()) => ResponseLine::new("", status::OK)
+            .str("op", "trace_dump")
+            .str("path", path)
+            .num("threads", threads.len() as f64)
+            .finish(),
+        Err(e) => error_line("", status::INTERNAL_ERROR, &format!("{path}: {e}")),
+    }
+}

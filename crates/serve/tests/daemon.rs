@@ -1,0 +1,372 @@
+//! Daemon lifecycle tests over a real unix socket: admission control
+//! under overload, per-tenant quota fairness, per-connection
+//! backpressure, graceful shutdown draining, and inline protocol
+//! errors. Every test runs its own daemon on its own socket; the
+//! shared invariant throughout is *one labeled response per request* —
+//! nothing hangs, nothing is dropped, no worker is lost.
+
+use obs::json::{parse, Json};
+use repro_serve::{QuotaConfig, ServeConfig, Server};
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Write};
+use std::os::unix::net::UnixStream;
+use std::path::PathBuf;
+
+/// A fast inline request: a 4-element map, a few milliseconds end to
+/// end even in debug builds.
+const FAST_SRC: &str = "float in[4];\nfloat out[4];\nvoid main() {\n  int i;\n  \
+     for (i = 0; i < 4; i++) {\n    out[i] = in[i] * 2.0 + 1.0;\n  }\n  output(out);\n}\n";
+
+/// A slow inline request: 1600 serial inner iterations give the match
+/// phase a ~100 ms DDG, long enough to keep a worker visibly busy.
+const SLOW_SRC: &str = "float out[16];\nvoid main() {\n  int i;\n  int j;\n  \
+     for (i = 0; i < 16; i++) {\n    float acc = 0.0;\n    \
+     for (j = 0; j < 100; j++) {\n      acc = acc + 0.5;\n    }\n    out[i] = acc;\n  }\n  \
+     output(out);\n}\n";
+
+fn sock(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "repro-serve-test-{}-{tag}.sock",
+        std::process::id()
+    ))
+}
+
+fn config(tag: &str) -> ServeConfig {
+    ServeConfig {
+        socket: sock(tag),
+        workers: 2,
+        analysis_threads: 2,
+        ..ServeConfig::default()
+    }
+}
+
+fn analyze_line(id: &str, tenant: &str, source: &str) -> String {
+    let mut line = String::new();
+    line.push_str("{\"op\":\"analyze\",\"id\":");
+    serde::ser_str(&mut line, id);
+    line.push_str(",\"tenant\":");
+    serde::ser_str(&mut line, tenant);
+    line.push_str(",\"source\":");
+    serde::ser_str(&mut line, source);
+    line.push('}');
+    line
+}
+
+struct Client {
+    stream: UnixStream,
+    reader: BufReader<UnixStream>,
+}
+
+impl Client {
+    fn connect(server: &Server) -> Client {
+        let stream = UnixStream::connect(server.socket()).expect("connect to daemon");
+        let reader = BufReader::new(stream.try_clone().expect("clone stream"));
+        Client { stream, reader }
+    }
+
+    fn send(&mut self, line: &str) {
+        let mut s = &self.stream;
+        s.write_all(line.as_bytes()).expect("send request");
+        s.write_all(b"\n").expect("send newline");
+        s.flush().expect("flush request");
+    }
+
+    fn recv(&mut self) -> Json {
+        let mut line = String::new();
+        let n = self.reader.read_line(&mut line).expect("read response");
+        assert!(n > 0, "daemon closed the connection mid-conversation");
+        parse(line.trim_end()).expect("response parses as JSON")
+    }
+
+    fn request(&mut self, line: &str) -> Json {
+        self.send(line);
+        self.recv()
+    }
+}
+
+fn status_of(doc: &Json) -> &str {
+    doc.get("status")
+        .and_then(Json::as_str)
+        .expect("status field")
+}
+
+fn id_of(doc: &Json) -> &str {
+    doc.get("id").and_then(Json::as_str).expect("id field")
+}
+
+/// Reads `n` responses and buckets them: id → status.
+fn collect(client: &mut Client, n: usize) -> HashMap<String, String> {
+    (0..n)
+        .map(|_| {
+            let doc = client.recv();
+            (id_of(&doc).to_string(), status_of(&doc).to_string())
+        })
+        .collect()
+}
+
+#[test]
+fn analyze_stats_and_shutdown_round_trip() {
+    let server = Server::start(config("roundtrip")).unwrap();
+    let mut client = Client::connect(&server);
+
+    let doc = client.request(r#"{"op":"ping"}"#);
+    assert_eq!(status_of(&doc), "ok");
+
+    for i in 0..3 {
+        let doc = client.request(&analyze_line(&format!("r{i}"), "t", FAST_SRC));
+        assert_eq!(status_of(&doc), "ok", "{doc:?}");
+        assert_eq!(id_of(&doc), format!("r{i}"));
+        assert_eq!(doc.get("patterns").and_then(Json::as_f64), Some(1.0));
+        assert_eq!(doc.get("degraded"), Some(&Json::Bool(false)));
+    }
+    // The repeats hit the shared cache.
+    let doc = client.request(r#"{"op":"stats"}"#);
+    assert_eq!(status_of(&doc), "ok");
+    let serve = doc.get("serve").expect("serve section");
+    assert_eq!(serve.get("requests").and_then(Json::as_f64), Some(3.0));
+    assert_eq!(serve.get("ok").and_then(Json::as_f64), Some(3.0));
+    assert_eq!(serve.get("worker_lost").and_then(Json::as_f64), Some(0.0));
+    let engine = doc.get("engine").expect("engine section");
+    assert!(engine.get("cache_hits").and_then(Json::as_f64).unwrap() > 0.0);
+    assert!(engine.get("cache_capacity").and_then(Json::as_f64).unwrap() > 0.0);
+
+    let doc = client.request(r#"{"op":"shutdown"}"#);
+    assert_eq!(status_of(&doc), "ok");
+    server.join();
+    assert!(!sock("roundtrip").exists(), "socket file survives shutdown");
+}
+
+#[test]
+fn tenant_quotas_are_independent_under_exhaustion() {
+    let mut cfg = config("quota");
+    cfg.quota = QuotaConfig {
+        burst: 3,
+        refill_per_sec: 0.0,
+    };
+    let server = Server::start(cfg).unwrap();
+    let mut client = Client::connect(&server);
+
+    // The flooding tenant gets exactly its burst, then labeled
+    // rejections — not hangs, not errors.
+    let mut flood_ok = 0;
+    let mut flood_quota = 0;
+    for i in 0..6 {
+        let doc = client.request(&analyze_line(&format!("f{i}"), "flood", FAST_SRC));
+        match status_of(&doc) {
+            "ok" => flood_ok += 1,
+            "quota" => {
+                flood_quota += 1;
+                let msg = doc.get("error").and_then(Json::as_str).unwrap();
+                assert!(msg.contains("flood"), "error names the tenant: {msg}");
+            }
+            other => panic!("unexpected status {other}"),
+        }
+    }
+    assert_eq!((flood_ok, flood_quota), (3, 3));
+
+    // A calm tenant is untouched by the flood next door.
+    for i in 0..3 {
+        let doc = client.request(&analyze_line(&format!("c{i}"), "calm", FAST_SRC));
+        assert_eq!(status_of(&doc), "ok", "{doc:?}");
+    }
+
+    let m = server.metrics();
+    assert_eq!(m.quota, 3);
+    assert_eq!(m.ok, 6);
+    server.shutdown();
+    server.join();
+}
+
+#[test]
+fn full_admission_queue_rejects_with_overloaded() {
+    let mut cfg = config("overload");
+    cfg.workers = 1;
+    cfg.analysis_threads = 1;
+    cfg.admission_capacity = 1;
+    cfg.conn_window = 16;
+    let server = Server::start(cfg).unwrap();
+    let mut client = Client::connect(&server);
+
+    // One slow request occupies the single worker; ten fast requests
+    // pile onto a one-deep queue.
+    client.send(&analyze_line("slow", "t", SLOW_SRC));
+    for i in 0..10 {
+        client.send(&analyze_line(&format!("fast{i}"), "t", FAST_SRC));
+    }
+    let statuses = collect(&mut client, 11);
+
+    // The invariant under overload: every request answered, every
+    // answer labeled, nothing lost.
+    assert_eq!(statuses.len(), 11, "every id answered exactly once");
+    assert_eq!(statuses["slow"], "ok");
+    let overloaded = statuses.values().filter(|s| *s == "overloaded").count();
+    let ok = statuses.values().filter(|s| *s == "ok").count();
+    assert_eq!(ok + overloaded, 11, "{statuses:?}");
+    assert!(overloaded >= 8, "tiny queue must shed load: {statuses:?}");
+
+    let m = server.metrics();
+    assert_eq!(m.overloaded as usize, overloaded);
+    assert_eq!(m.worker_lost, 0);
+    server.shutdown();
+    server.join();
+}
+
+#[test]
+fn conn_window_backpressures_without_losing_requests() {
+    let mut cfg = config("window");
+    cfg.conn_window = 1;
+    let server = Server::start(cfg).unwrap();
+    let mut client = Client::connect(&server);
+
+    // Six pipelined requests against a window of one: the daemon's
+    // reader stalls instead of queueing, and every request still gets
+    // its answer.
+    for i in 0..6 {
+        client.send(&analyze_line(&format!("w{i}"), "t", FAST_SRC));
+    }
+    let statuses = collect(&mut client, 6);
+    assert_eq!(statuses.len(), 6);
+    assert!(
+        statuses.values().all(|s| s == "ok"),
+        "window is backpressure, not rejection: {statuses:?}"
+    );
+    assert_eq!(server.metrics().overloaded, 0);
+    server.shutdown();
+    server.join();
+}
+
+#[test]
+fn graceful_shutdown_drains_in_flight_requests() {
+    let mut cfg = config("drain");
+    cfg.workers = 2;
+    let server = Server::start(cfg).unwrap();
+    let mut client = Client::connect(&server);
+
+    // Pipeline four requests (the slow ones keep workers busy) and a
+    // shutdown right behind them on the same connection.
+    client.send(&analyze_line("d0", "t", SLOW_SRC));
+    client.send(&analyze_line("d1", "t", FAST_SRC));
+    client.send(&analyze_line("d2", "t", SLOW_SRC));
+    client.send(&analyze_line("d3", "t", FAST_SRC));
+    client.send(r#"{"op":"shutdown"}"#);
+
+    // Every in-flight analysis completes with a result; the shutdown
+    // response arrives strictly after them.
+    let mut seen = Vec::new();
+    for _ in 0..5 {
+        let doc = client.recv();
+        assert_eq!(status_of(&doc), "ok", "{doc:?}");
+        seen.push((
+            id_of(&doc).to_string(),
+            doc.get("op").and_then(Json::as_str).map(str::to_string),
+        ));
+    }
+    assert_eq!(
+        seen.last().unwrap().1.as_deref(),
+        Some("shutdown"),
+        "shutdown answers after the drain: {seen:?}"
+    );
+    let analyzed: Vec<&str> = seen[..4].iter().map(|(id, _)| id.as_str()).collect();
+    for id in ["d0", "d1", "d2", "d3"] {
+        assert!(analyzed.contains(&id), "{id} unanswered: {seen:?}");
+    }
+
+    let m = server.metrics();
+    assert_eq!(m.ok, 4);
+    assert_eq!(m.worker_lost, 0);
+    assert_eq!(m.internal_errors, 0);
+    server.join();
+    assert!(!sock("drain").exists(), "socket file survives shutdown");
+}
+
+#[test]
+fn requests_after_drain_are_rejected_as_overloaded() {
+    let server = Server::start(config("after-drain")).unwrap();
+    let mut warm = Client::connect(&server);
+    assert_eq!(
+        status_of(&warm.request(&analyze_line("a", "t", FAST_SRC))),
+        "ok"
+    );
+
+    // A second connection is mid-conversation while the daemon drains.
+    let mut late = Client::connect(&server);
+    let done = warm.request(r#"{"op":"shutdown"}"#);
+    assert_eq!(status_of(&done), "ok");
+    late.send(&analyze_line("late", "t", FAST_SRC));
+    // The late request gets a labeled rejection or a clean EOF (the
+    // daemon may already have closed the socket) — never a hang.
+    let mut line = String::new();
+    let n = late.reader.read_line(&mut line).unwrap_or(0);
+    if n > 0 {
+        let doc = parse(line.trim_end()).expect("response parses");
+        assert_eq!(status_of(&doc), "overloaded", "{doc:?}");
+    }
+    server.join();
+}
+
+#[test]
+fn protocol_errors_are_answered_inline_and_do_not_wedge_the_daemon() {
+    let server = Server::start(config("bad")).unwrap();
+    let mut client = Client::connect(&server);
+
+    let doc = client.request("this is not json");
+    assert_eq!(status_of(&doc), "bad_request");
+    assert!(doc
+        .get("error")
+        .and_then(Json::as_str)
+        .unwrap()
+        .contains("malformed"));
+
+    let doc = client.request(r#"{"op":"analyze","id":"x","bench":"linpack"}"#);
+    assert_eq!(status_of(&doc), "bad_request");
+    let msg = doc.get("error").and_then(Json::as_str).unwrap();
+    assert!(msg.contains("unknown benchmark \"linpack\""), "{msg}");
+    assert!(msg.contains("available:"), "{msg}");
+    assert!(msg.contains("rgbyuv"), "{msg}");
+
+    let doc = client.request(r#"{"op":"analyze","id":"x","bench":"rgbyuv","version":"cuda"}"#);
+    assert_eq!(status_of(&doc), "bad_request");
+
+    let doc = client.request(r#"{"op":"analyze","id":"x","source":"void main() {"}"#);
+    assert_eq!(status_of(&doc), "bad_request");
+    assert!(doc
+        .get("error")
+        .and_then(Json::as_str)
+        .unwrap()
+        .contains("minc"));
+
+    let doc = client.request(r#"{"op":"trace_dump","path":"/tmp/unused.json"}"#);
+    assert_eq!(status_of(&doc), "bad_request");
+    assert!(doc
+        .get("error")
+        .and_then(Json::as_str)
+        .unwrap()
+        .contains("--obs"));
+
+    // The daemon is unimpressed and keeps serving.
+    let doc = client.request(&analyze_line("after", "t", FAST_SRC));
+    assert_eq!(status_of(&doc), "ok");
+    let m = server.metrics();
+    assert_eq!(m.bad_requests, 4);
+    assert_eq!(m.ok, 1);
+    server.shutdown();
+    server.join();
+}
+
+#[test]
+fn bench_requests_share_the_compiled_program_and_cache() {
+    let server = Server::start(config("bench")).unwrap();
+    let mut client = Client::connect(&server);
+    for i in 0..4 {
+        let doc = client.request(&format!(
+            r#"{{"op":"analyze","id":"b{i}","tenant":"t","bench":"rgbyuv"}}"#
+        ));
+        assert_eq!(status_of(&doc), "ok", "{doc:?}");
+        assert!(doc.get("patterns").and_then(Json::as_f64).unwrap() >= 1.0);
+    }
+    let em = server.engine_metrics();
+    assert!(em.cache_hits > 0, "repeat bench requests must hit: {em:?}");
+    assert_eq!(em.cache_evictions, 0);
+    server.shutdown();
+    server.join();
+}

@@ -24,4 +24,4 @@ pub mod suite;
 
 pub use ground_truth::{evaluate, Evaluation, Expectation};
 pub use inputs::InputParams;
-pub use suite::{all_benchmarks, benchmark, Benchmark, Version};
+pub use suite::{all_benchmarks, benchmark, unknown_benchmark_message, Benchmark, Version};

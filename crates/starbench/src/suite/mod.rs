@@ -93,6 +93,17 @@ pub fn benchmark(name: &str) -> Option<&'static Benchmark> {
     all_benchmarks().into_iter().find(|b| b.name == name)
 }
 
+/// The user-facing message for a benchmark name that does not exist,
+/// listing what does — shared by the daemon's `bad_request` responses
+/// and every CLI `--bench` flag.
+pub fn unknown_benchmark_message(name: &str) -> String {
+    let names: Vec<&str> = all_benchmarks().iter().map(|b| b.name).collect();
+    format!(
+        "unknown benchmark {name:?}; available: {}",
+        names.join(", ")
+    )
+}
+
 /// Shared helper: deterministic pseudo-random f64s in [0, 1).
 pub(crate) fn gen_f64(seed: u64, n: usize) -> Vec<f64> {
     use rand::{Rng, SeedableRng};

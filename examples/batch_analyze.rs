@@ -53,7 +53,14 @@ fn main() {
         match arg.as_str() {
             "--trace-out" => trace_out = Some(PathBuf::from(take("--trace-out"))),
             "--metrics-json" => metrics_json = Some(PathBuf::from(take("--metrics-json"))),
-            "--bench" => only.push(take("--bench")),
+            "--bench" => {
+                let name = take("--bench");
+                if starbench::benchmark(&name).is_none() {
+                    eprintln!("{}", starbench::unknown_benchmark_message(&name));
+                    std::process::exit(2);
+                }
+                only.push(name);
+            }
             "--workers" => workers = parse_or_exit("--workers", &take("--workers")),
             "--budget-ms" => budget_ms = parse_or_exit("--budget-ms", &take("--budget-ms")),
             _ => positional.push(arg),
@@ -86,10 +93,10 @@ fn main() {
             });
         }
     }
-    assert!(
-        !requests.is_empty(),
-        "no benchmark matched the --bench filter {only:?}"
-    );
+    if requests.is_empty() {
+        eprintln!("no benchmark matched the --bench filter {only:?}");
+        std::process::exit(2);
+    }
     let n = requests.len();
 
     let engine = Engine::new(EngineConfig {
