@@ -35,12 +35,17 @@ fn main() {
         serve_gate(&args[1..]);
         return;
     }
+    if args.first().map(String::as_str) == Some("--chaos") {
+        chaos_gate(&args[1..]);
+        return;
+    }
     let (trace_path, metrics_path) = match (args.first(), args.get(1)) {
         (Some(t), Some(m)) => (t, m),
         _ => {
             eprintln!("usage: obs_check <trace.json> <metrics.json> [required-section ...]");
             eprintln!("       obs_check --fig7 <BENCH_fig7.json> [--max-slope <s>]");
             eprintln!("       obs_check --serve <BENCH_serve.json> [--max-p99-ms <ms>]");
+            eprintln!("       obs_check --chaos <BENCH_chaos.json> [--max-p99-ms <ms>] [--min-requests <n>]");
             exit(2);
         }
     };
@@ -289,6 +294,128 @@ fn serve_gate(args: &[String]) {
         "obs_check: OK — serve load: {requests} requests fully accounted, zero loss, \
          p99 {p99:.1} ms <= {max_p99_ms} ms, cache hit rate {:.1}% ({evictions} evictions)",
         hit_rate * 100.0
+    );
+}
+
+/// The chaos gate: `--chaos <report> [--max-p99-ms <ms>] [--min-requests <n>]`.
+///
+/// Gates the invariants a seeded chaos run must uphold: the run was
+/// big enough, every fault class actually fired (a chaos run that
+/// injected nothing proves nothing), zero requests were lost, every
+/// killed worker was respawned, the breaker opened, and every request
+/// is accounted as answered or breaker-skipped.
+fn chaos_gate(args: &[String]) {
+    let path = args.first().unwrap_or_else(|| {
+        eprintln!(
+            "usage: obs_check --chaos <BENCH_chaos.json> [--max-p99-ms <ms>] [--min-requests <n>]"
+        );
+        exit(2);
+    });
+    let flag_val = |name: &str, default: f64| -> f64 {
+        match args.iter().position(|a| a == name) {
+            None => default,
+            Some(i) => {
+                let v = args.get(i + 1).unwrap_or_else(|| {
+                    eprintln!("missing value for {name}");
+                    exit(2);
+                });
+                v.parse().unwrap_or_else(|_| {
+                    eprintln!("invalid value for {name}: got {v:?}");
+                    exit(2);
+                })
+            }
+        }
+    };
+    let max_p99_ms = flag_val("--max-p99-ms", 60_000.0);
+    let min_requests = flag_val("--min-requests", 300.0);
+
+    let doc = parse(&read(path)).unwrap_or_else(|e| {
+        eprintln!("obs_check: {path}: {e}");
+        exit(1);
+    });
+    let meta = doc.get("meta").unwrap_or_else(|| {
+        eprintln!("obs_check: {path}: report has no \"meta\" object");
+        exit(1);
+    });
+    let require_num = |key: &str| -> f64 {
+        match meta.get(key) {
+            Some(Json::Num(n)) => *n,
+            other => {
+                eprintln!("obs_check: {path}: meta.{key} missing or non-numeric ({other:?})");
+                exit(1);
+            }
+        }
+    };
+
+    let requests = require_num("requests");
+    if requests < min_requests {
+        eprintln!(
+            "obs_check: {path}: only {requests} requests under chaos (need >= {min_requests})"
+        );
+        exit(1);
+    }
+    // The run must have actually injected every fault class — a calm
+    // "chaos" run that exercised nothing must not pass as proof.
+    for (key, min) in [
+        ("worker_kills", 2.0),
+        ("worker_stalls", 1.0),
+        ("torn_writes", 1.0),
+        ("read_delays", 1.0),
+        ("disconnects", 1.0),
+        ("quota_skews", 1.0),
+        ("slow_loris", 1.0),
+        ("oversized_answered", 1.0),
+        ("shed", 1.0),
+        ("breaker_opens", 1.0),
+    ] {
+        let v = require_num(key);
+        if v < min {
+            eprintln!(
+                "obs_check: {path}: meta.{key} = {v} (need >= {min}) — \
+                 this fault class never fired, the chaos run proves nothing about it"
+            );
+            exit(1);
+        }
+    }
+    // The invariants chaos must not break.
+    let lost = require_num("lost");
+    if lost != 0.0 {
+        eprintln!("obs_check: {path}: {lost} requests LOST under chaos — answers were dropped");
+        exit(1);
+    }
+    let kills = require_num("worker_kills");
+    let respawned = require_num("workers_respawned");
+    if respawned < kills {
+        eprintln!(
+            "obs_check: {path}: {kills} workers killed but only {respawned} respawned — \
+             the watchdog failed to restore capacity"
+        );
+        exit(1);
+    }
+    for key in ["internal_errors", "worker_lost"] {
+        let v = require_num(key);
+        if v != 0.0 {
+            eprintln!("obs_check: {path}: meta.{key} = {v} — chaos leaked into request errors");
+            exit(1);
+        }
+    }
+    let answered = require_num("answered");
+    let skipped = require_num("breaker_skipped");
+    if answered + skipped != requests {
+        eprintln!(
+            "obs_check: {path}: accounting leak — {requests} requests, {answered} answered \
+             + {skipped} breaker-skipped"
+        );
+        exit(1);
+    }
+    let p99 = require_num("p99_ms");
+    if !p99.is_finite() || p99 > max_p99_ms {
+        eprintln!("obs_check: {path}: p99 latency under chaos {p99:.1} ms exceeds {max_p99_ms} ms");
+        exit(1);
+    }
+    println!(
+        "obs_check: OK — chaos: {requests} requests, 0 lost ({answered} answered + {skipped} \
+         breaker-skipped), {kills} kills all respawned ({respawned}), p99 {p99:.1} ms <= {max_p99_ms} ms"
     );
 }
 

@@ -200,6 +200,8 @@ pub struct EngineMetrics {
     pub requests_failed: u64,
     /// Poisoned cache shards cleared and recovered.
     pub cache_poison_recoveries: u64,
+    /// Dead match workers replaced in place by [`Engine::heal`].
+    pub workers_respawned: u64,
 }
 
 impl EngineMetrics {
@@ -385,12 +387,28 @@ impl Engine {
         result
     }
 
+    /// Self-healing sweep: replaces any match-worker thread that has
+    /// died (a panic outside job containment, or an injected exit) with
+    /// a fresh thread on the same slot. Safe to call from a watchdog at
+    /// any cadence; returns the number of workers respawned.
+    pub fn heal(&self) -> usize {
+        self.pool.respawn_dead()
+    }
+
+    /// Orders one match worker to exit at its next safe point, so a
+    /// harness can prove [`Engine::heal`] restores capacity.
+    #[cfg(feature = "fault-inject")]
+    pub fn inject_worker_exit(&self, worker: usize) {
+        self.pool.inject_worker_exit(worker);
+    }
+
     pub fn metrics(&self) -> EngineMetrics {
         let PoolMetrics {
             jobs_executed,
             jobs_stolen,
             peak_queue_depth,
             jobs_panicked,
+            workers_respawned,
         } = self.pool.metrics();
         EngineMetrics {
             workers: self.pool.worker_count(),
@@ -409,6 +427,7 @@ impl Engine {
             requests_degraded: self.degraded.load(Ordering::Relaxed),
             requests_failed: self.failed.load(Ordering::Relaxed),
             cache_poison_recoveries: self.cache.poison_recoveries(),
+            workers_respawned,
         }
     }
 }

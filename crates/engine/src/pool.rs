@@ -20,6 +20,9 @@ use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
 
+#[cfg(feature = "fault-inject")]
+use std::collections::HashSet;
+
 type Job = Box<dyn FnOnce() + Send + 'static>;
 
 /// Locks ignoring poisoning. Every structure in this pool (deques, the
@@ -49,6 +52,8 @@ pub struct PoolMetrics {
     /// whatever reply channel the job carried is dropped by unwinding,
     /// which is how the submitter learns the job died.
     pub jobs_panicked: u64,
+    /// Dead worker threads replaced by [`WorkPool::respawn_dead`].
+    pub workers_respawned: u64,
 }
 
 struct State {
@@ -67,6 +72,12 @@ struct Shared {
     stolen: AtomicU64,
     peak: AtomicU64,
     panicked: AtomicU64,
+    respawned: AtomicU64,
+    /// Worker slots ordered to abandon their loop at the next safe
+    /// point (before reserving a job), simulating an abruptly lost
+    /// thread. Only the `fault-inject` harness populates this.
+    #[cfg(feature = "fault-inject")]
+    exit_requests: Mutex<HashSet<usize>>,
 }
 
 impl Shared {
@@ -122,7 +133,9 @@ impl Shared {
 /// thread, so no submitter can deadlock on a dead pool.
 pub struct WorkPool {
     shared: Arc<Shared>,
-    workers: Vec<JoinHandle<()>>,
+    /// One handle per worker slot; [`WorkPool::respawn_dead`] replaces
+    /// finished entries in place, hence the interior mutability.
+    workers: Mutex<Vec<JoinHandle<()>>>,
 }
 
 impl WorkPool {
@@ -142,24 +155,58 @@ impl WorkPool {
             stolen: AtomicU64::new(0),
             peak: AtomicU64::new(0),
             panicked: AtomicU64::new(0),
+            respawned: AtomicU64::new(0),
+            #[cfg(feature = "fault-inject")]
+            exit_requests: Mutex::new(HashSet::new()),
         });
-        let handles = (0..n)
-            .map(|me| {
-                let shared = Arc::clone(&shared);
-                std::thread::Builder::new()
-                    .name(format!("engine-worker-{me}"))
-                    .spawn(move || worker_loop(&shared, me))
-                    .expect("spawn engine worker")
-            })
-            .collect();
+        let handles = (0..n).map(|me| spawn_worker(&shared, me)).collect();
         WorkPool {
             shared,
-            workers: handles,
+            workers: Mutex::new(handles),
         }
     }
 
     pub fn worker_count(&self) -> usize {
         self.shared.queues.len()
+    }
+
+    /// Replaces worker threads that have exited (a panic outside job
+    /// containment, or an injected exit) with fresh threads on the same
+    /// slots. Queued jobs are untouched: a worker only dies at a safe
+    /// point — before reserving a job — so nothing in flight is lost,
+    /// and the respawned worker resumes draining the same deques.
+    /// Returns the number of workers respawned. No-op after shutdown.
+    pub fn respawn_dead(&self) -> usize {
+        if lock_recovering(&self.shared.state).shutdown {
+            return 0;
+        }
+        let mut workers = lock_recovering(&self.workers);
+        let mut respawned = 0;
+        for (me, slot) in workers.iter_mut().enumerate() {
+            if !slot.is_finished() {
+                continue;
+            }
+            let old = std::mem::replace(slot, spawn_worker(&self.shared, me));
+            let _ = old.join();
+            respawned += 1;
+        }
+        if respawned > 0 {
+            self.shared
+                .respawned
+                .fetch_add(respawned as u64, Ordering::Relaxed);
+            obs::instant_args("pool.respawn", || {
+                vec![("workers", obs::ArgValue::U64(respawned as u64))]
+            });
+        }
+        respawned
+    }
+
+    /// Orders the worker on slot `i` to exit at its next safe point
+    /// (fault harness for [`WorkPool::respawn_dead`]).
+    #[cfg(feature = "fault-inject")]
+    pub fn inject_worker_exit(&self, i: usize) {
+        lock_recovering(&self.shared.exit_requests).insert(i);
+        self.shared.wake.notify_all();
     }
 
     /// Submits a job. Round-robin across worker deques; after shutdown
@@ -188,6 +235,7 @@ impl WorkPool {
             jobs_stolen: self.shared.stolen.load(Ordering::Relaxed),
             peak_queue_depth: self.shared.peak.load(Ordering::Relaxed),
             jobs_panicked: self.shared.panicked.load(Ordering::Relaxed),
+            workers_respawned: self.shared.respawned.load(Ordering::Relaxed),
         }
     }
 }
@@ -199,10 +247,31 @@ impl Drop for WorkPool {
             st.shutdown = true;
         }
         self.shared.wake.notify_all();
-        for h in self.workers.drain(..) {
+        for h in lock_recovering(&self.workers).drain(..) {
             let _ = h.join();
         }
     }
+}
+
+fn spawn_worker(shared: &Arc<Shared>, me: usize) -> JoinHandle<()> {
+    let shared = Arc::clone(shared);
+    std::thread::Builder::new()
+        .name(format!("engine-worker-{me}"))
+        .spawn(move || worker_loop(&shared, me))
+        .expect("spawn engine worker")
+}
+
+/// True when the fault harness has ordered slot `me` to die. The check
+/// sits at the loop's safe points only — before a job is reserved — so
+/// an injected death never strands a claimed job.
+#[cfg(feature = "fault-inject")]
+fn exit_requested(shared: &Shared, me: usize) -> bool {
+    lock_recovering(&shared.exit_requests).remove(&me)
+}
+
+#[cfg(not(feature = "fault-inject"))]
+fn exit_requested(_shared: &Shared, _me: usize) -> bool {
+    false
 }
 
 fn worker_loop(shared: &Shared, me: usize) {
@@ -210,6 +279,9 @@ fn worker_loop(shared: &Shared, me: usize) {
         {
             let mut st = lock_recovering(&shared.state);
             loop {
+                if exit_requested(shared, me) {
+                    return;
+                }
                 if st.pending > 0 {
                     st.pending -= 1;
                     break;

@@ -230,3 +230,44 @@ fn planned_panics_do_not_poison_the_engine_for_later_batches() {
     // containment never saw it), so it shows up as a match fault.
     assert_eq!(engine.metrics().match_faults, 1);
 }
+
+#[test]
+fn killed_match_workers_are_respawned_without_losing_work() {
+    let engine = Engine::with_fault_plan(
+        EngineConfig {
+            workers: 3,
+            max_concurrent_requests: 1,
+            ..EngineConfig::default()
+        },
+        FaultPlan::new(),
+    );
+    // Warm request proves the pool works at full strength.
+    let first = engine.analyze_all(vec![map_request("warm", 4)]);
+    assert!(first[0].outcome.is_ok());
+
+    // Kill two of the three workers at their next safe point, then give
+    // them a moment to die. The injected exit only fires between jobs,
+    // so nothing in flight is lost.
+    engine.inject_worker_exit(0);
+    engine.inject_worker_exit(2);
+    std::thread::sleep(Duration::from_millis(50));
+
+    // The engine still completes requests on the surviving worker.
+    let wounded = engine.analyze_all(vec![map_request("wounded", 5)]);
+    assert!(wounded[0].outcome.is_ok(), "one worker suffices");
+
+    // The healing sweep replaces exactly the dead slots and counts them.
+    let respawned = engine.heal();
+    assert_eq!(respawned, 2, "both killed workers replaced");
+    assert_eq!(engine.heal(), 0, "idempotent once healthy");
+    let m = engine.metrics();
+    assert_eq!(m.workers_respawned, 2);
+    assert_eq!(m.workers, 3);
+
+    // Full-strength service continues, byte-identical to sequential.
+    let clean = map_request("healed", 6);
+    let seq = sequential(&clean);
+    let after = engine.analyze_all(vec![clean]);
+    let analysis = after[0].outcome.as_ref().unwrap();
+    assert_eq!(canonical(&analysis.result), canonical(&seq));
+}

@@ -1,0 +1,614 @@
+//! Chaos harness: runs an in-process daemon under a seeded fault
+//! schedule while realistic traffic flows through the resilient
+//! client, then writes the `BENCH_chaos.json` report CI gates on
+//! (`obs_check --chaos`).
+//!
+//! ```text
+//! repro-chaos --seed 42 --requests 300 --out BENCH_chaos.json
+//! ```
+//!
+//! One run injects every fault class at once:
+//!
+//! - scripted **worker kills** and **stalls** (watchdog must requeue,
+//!   respawn, supersede);
+//! - **torn writes** and **delayed reads** on the socket;
+//! - client-side **mid-request disconnects** (the resilient client
+//!   reconnects and resends);
+//! - two **slow-loris** connections dribbling a request byte by byte;
+//! - one **oversized line** that must be refused with
+//!   `protocol_error`;
+//! - **quota-clock skew** (an hour forward, then back) under live
+//!   load;
+//! - a **breaker phase** that wedges the workers and drives one tenant
+//!   into its circuit breaker via deadline shedding.
+//!
+//! The invariant the report proves: `requests == answered +
+//! breaker_skipped` with `lost == 0` — chaos may slow or reject
+//! requests, but every request not rejected client-side gets a labeled
+//! answer, and every killed worker is respawned.
+
+use obs::json::Json;
+use obs::ObsReport;
+use repro_serve::chaos::ChaosPlan;
+use repro_serve::{
+    Breakers, Client, ClientConfig, ClientError, QuotaConfig, RetryBudget, ServeConfig, Server,
+    SplitMix64,
+};
+use serde::Serialize;
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Write};
+use std::os::unix::net::UnixStream;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// The same fast inline source the daemon tests use: a 4-element map,
+/// milliseconds end to end.
+const FAST_SRC: &str = "float in[4];\nfloat out[4];\nvoid main() {\n  int i;\n  \
+     for (i = 0; i < 4; i++) {\n    out[i] = in[i] * 2.0 + 1.0;\n  }\n  output(out);\n}\n";
+
+/// A slower source (serial inner loop) used to wedge the workers for
+/// the breaker phase.
+const SLOW_SRC: &str = "float out[16];\nvoid main() {\n  int i;\n  int j;\n  \
+     for (i = 0; i < 16; i++) {\n    float acc = 0.0;\n    \
+     for (j = 0; j < 100; j++) {\n      acc = acc + 0.5;\n    }\n    out[i] = acc;\n  }\n  \
+     output(out);\n}\n";
+
+struct Opts {
+    socket: PathBuf,
+    requests: usize,
+    clients: usize,
+    seed: u64,
+    out: Option<PathBuf>,
+    trace_out: Option<PathBuf>,
+}
+
+fn parse_flag<T: std::str::FromStr>(flag: &str, value: Option<String>) -> T {
+    let Some(value) = value else {
+        eprintln!("{flag} needs a value");
+        std::process::exit(2);
+    };
+    value.parse().unwrap_or_else(|_| {
+        eprintln!("invalid value for {flag}: got {value:?}");
+        std::process::exit(2);
+    })
+}
+
+fn opts() -> Opts {
+    let mut o = Opts {
+        socket: std::env::temp_dir().join(format!("repro-chaos-{}.sock", std::process::id())),
+        requests: 300,
+        clients: 6,
+        seed: 42,
+        out: None,
+        trace_out: None,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--socket" => o.socket = parse_flag(&arg, args.next()),
+            "--requests" => o.requests = parse_flag(&arg, args.next()),
+            "--clients" => o.clients = parse_flag(&arg, args.next()),
+            "--seed" => o.seed = parse_flag(&arg, args.next()),
+            "--out" => o.out = Some(parse_flag(&arg, args.next())),
+            "--trace-out" => o.trace_out = Some(parse_flag(&arg, args.next())),
+            other => {
+                eprintln!(
+                    "unknown flag {other:?}\n\
+                     usage: repro-chaos [--socket PATH] [--requests N] [--clients N]\n\
+                     \x20                  [--seed N] [--out PATH] [--trace-out PATH]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    o.requests = o.requests.max(50);
+    o.clients = o.clients.clamp(1, o.requests);
+    o
+}
+
+/// Builds the whole fault schedule from one seed. Ordinals are spread
+/// so the kills land in distinct phases of the run and never collide.
+fn plan_from_seed(seed: u64, requests: u64) -> (ChaosPlan, u64) {
+    let mut rng = SplitMix64::new(seed);
+    let n = requests.max(50);
+    let kill1 = 5 + rng.below(n / 4);
+    let kill2 = n / 2 + rng.below(n / 4);
+    let stall_at = n / 3 + rng.below(n / 8);
+    let plan = ChaosPlan {
+        kill_at_jobs: vec![kill1, kill2],
+        stall_at_jobs: vec![(stall_at, Duration::from_millis(900))],
+        torn_write_every: 5 + rng.below(5),
+        torn_chunk: 3 + rng.below(6) as usize,
+        torn_delay: Duration::from_millis(1),
+        read_delay_every: 7 + rng.below(7),
+        read_delay: Duration::from_millis(2),
+    };
+    // Client-side fault cadence: every `disconnect_every`-th request
+    // index is sent, the connection torn down mid-flight, then retried.
+    let disconnect_every = 17 + rng.below(7);
+    (plan, disconnect_every)
+}
+
+fn analyze_line(id: &str, tenant: &str, source: &str, deadline_ms: Option<u64>) -> String {
+    let mut line = String::new();
+    line.push_str("{\"op\":\"analyze\",\"id\":");
+    serde::ser_str(&mut line, id);
+    line.push_str(",\"tenant\":");
+    serde::ser_str(&mut line, tenant);
+    line.push_str(",\"source\":");
+    serde::ser_str(&mut line, source);
+    if let Some(ms) = deadline_ms {
+        line.push_str(&format!(",\"deadline_ms\":{ms}"));
+    }
+    line.push('}');
+    line
+}
+
+#[derive(Default)]
+struct Tally {
+    latencies_ms: Vec<f64>,
+    by_status: HashMap<String, u64>,
+    lost: u64,
+    skipped: u64,
+    disconnects: u64,
+}
+
+/// One client thread: drives its slice of the request indices through
+/// a resilient [`Client`], injecting a mid-request disconnect (tear
+/// down the socket after sending, reconnect, resend) on its scheduled
+/// ordinals.
+#[allow(clippy::too_many_arguments)]
+fn run_client(
+    o: &Opts,
+    me: usize,
+    budget: &std::sync::Arc<RetryBudget>,
+    breakers: &std::sync::Arc<Breakers>,
+    disconnect_every: u64,
+) -> Tally {
+    let mut tally = Tally::default();
+    let config = ClientConfig {
+        socket: o.socket.clone(),
+        seed: o.seed ^ (me as u64).wrapping_mul(0x9e37_79b9),
+        ..ClientConfig::default()
+    };
+    let boot = Instant::now() + Duration::from_secs(30);
+    let Ok(mut client) = Client::connect(
+        config,
+        std::sync::Arc::clone(budget),
+        std::sync::Arc::clone(breakers),
+        boot,
+    ) else {
+        tally.lost += ((me..o.requests).step_by(o.clients).count()) as u64;
+        return tally;
+    };
+    for n in (me..o.requests).step_by(o.clients) {
+        let id = format!("r{n}");
+        let tenant = format!("t{}", n % 4);
+        let line = analyze_line(&id, &tenant, FAST_SRC, None);
+        let deadline = Instant::now() + Duration::from_secs(30);
+        if disconnect_every > 0 && (n as u64 + 1).is_multiple_of(disconnect_every) {
+            // Mid-request disconnect: the request may or may not have
+            // reached the daemon; either way the retry below must win.
+            let _ = client.send_only(&line, deadline);
+            client.inject_disconnect();
+            tally.disconnects += 1;
+            obs::instant("chaos.client_disconnect");
+        }
+        let started = Instant::now();
+        match client.request(&id, &tenant, &line, deadline) {
+            Ok(doc) => {
+                tally
+                    .latencies_ms
+                    .push(started.elapsed().as_secs_f64() * 1e3);
+                let status = doc
+                    .get("status")
+                    .and_then(Json::as_str)
+                    .unwrap_or("unlabeled");
+                *tally.by_status.entry(status.to_string()).or_default() += 1;
+            }
+            Err(ClientError::BreakerOpen) => tally.skipped += 1,
+            Err(_) => tally.lost += 1,
+        }
+    }
+    tally
+}
+
+/// Slow-loris: dribbles one whole request a byte at a time with sleeps
+/// between, then waits for its answer. The daemon's bounded reader
+/// must tolerate the dribble (the line is under the cap) and answer.
+fn slow_loris(o: &Opts, tag: usize) -> bool {
+    let Ok(stream) = UnixStream::connect(&o.socket) else {
+        return false;
+    };
+    let mut reader = BufReader::new(match stream.try_clone() {
+        Ok(r) => r,
+        Err(_) => return false,
+    });
+    let id = format!("loris{tag}");
+    let mut line = analyze_line(&id, "loris", FAST_SRC, None);
+    line.push('\n');
+    let mut s = &stream;
+    for byte in line.as_bytes() {
+        if s.write_all(std::slice::from_ref(byte))
+            .and_then(|_| s.flush())
+            .is_err()
+        {
+            return false;
+        }
+        std::thread::sleep(Duration::from_millis(3));
+    }
+    let mut resp = String::new();
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(30)));
+    if reader.read_line(&mut resp).unwrap_or(0) == 0 {
+        return false;
+    }
+    obs::json::parse(resp.trim_end())
+        .ok()
+        .and_then(|d| d.get("id").and_then(Json::as_str).map(|i| i == id))
+        .unwrap_or(false)
+}
+
+/// Oversized line: sends a request far past `max_line_bytes` and
+/// expects a labeled `protocol_error` before the daemon drops the
+/// connection.
+fn oversized_probe(o: &Opts, max_line_bytes: usize) -> bool {
+    let Ok(stream) = UnixStream::connect(&o.socket) else {
+        return false;
+    };
+    let mut reader = BufReader::new(match stream.try_clone() {
+        Ok(r) => r,
+        Err(_) => return false,
+    });
+    let mut line = String::with_capacity(max_line_bytes * 2 + 64);
+    line.push_str("{\"op\":\"analyze\",\"id\":\"huge\",\"source\":\"");
+    while line.len() < max_line_bytes * 2 {
+        line.push_str("padding padding padding ");
+    }
+    line.push_str("\"}\n");
+    let mut s = &stream;
+    if s.write_all(line.as_bytes())
+        .and_then(|_| s.flush())
+        .is_err()
+    {
+        // The daemon may drop the connection before the whole flood is
+        // written — that still counts as refusing the line, but we
+        // want the labeled error, so report failure and let the gate
+        // catch it if it ever regresses.
+        return false;
+    }
+    let mut resp = String::new();
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(30)));
+    if reader.read_line(&mut resp).unwrap_or(0) == 0 {
+        return false;
+    }
+    resp.contains("protocol_error")
+}
+
+/// The breaker phase: wedge the workers with pipelined slow requests,
+/// then fire a burst for one tenant whose deadline is already consumed
+/// (0 ms — a caller that spent its whole budget before asking), which
+/// guarantees deadline shedding (`overloaded` answers) until the
+/// tenant's breaker opens client-side and rejects the rest unsent.
+fn breaker_phase(
+    o: &Opts,
+    budget: &std::sync::Arc<RetryBudget>,
+    breakers: &std::sync::Arc<Breakers>,
+) -> (Tally, u64) {
+    let mut tally = Tally::default();
+    let mut plugs_answered = 0u64;
+
+    let plug_conn = UnixStream::connect(&o.socket).ok();
+    let plug_count = 6usize;
+    if let Some(stream) = &plug_conn {
+        let mut s = stream;
+        for i in 0..plug_count {
+            let line = analyze_line(&format!("plug{i}"), "plug", SLOW_SRC, None);
+            if s.write_all(line.as_bytes())
+                .and_then(|_| s.write_all(b"\n"))
+                .is_err()
+            {
+                break;
+            }
+        }
+    }
+    // Give the plugs a moment to be admitted and occupy the workers.
+    std::thread::sleep(Duration::from_millis(20));
+
+    let config = ClientConfig {
+        socket: o.socket.clone(),
+        seed: o.seed ^ 0xb12ea4e5,
+        breaker_threshold: 3,
+        breaker_cooldown: Duration::from_millis(250),
+        ..ClientConfig::default()
+    };
+    let deadline = Instant::now() + Duration::from_secs(30);
+    if let Ok(mut client) = Client::connect(
+        config,
+        std::sync::Arc::clone(budget),
+        std::sync::Arc::clone(breakers),
+        deadline,
+    ) {
+        for j in 0..12 {
+            let id = format!("hot{j}");
+            // The first three carry an already-consumed deadline, so
+            // the daemon must shed them (`overloaded`) no matter how
+            // fast the plugs drain; three consecutive sheds open the
+            // tenant's breaker and the rest are rejected client-side.
+            let deadline_ms = if j < 3 { 0 } else { 1 };
+            let line = analyze_line(&id, "hot", FAST_SRC, Some(deadline_ms));
+            let deadline = Instant::now() + Duration::from_secs(30);
+            match client.request(&id, "hot", &line, deadline) {
+                Ok(doc) => {
+                    let status = doc
+                        .get("status")
+                        .and_then(Json::as_str)
+                        .unwrap_or("unlabeled");
+                    *tally.by_status.entry(status.to_string()).or_default() += 1;
+                }
+                Err(ClientError::BreakerOpen) => tally.skipped += 1,
+                Err(_) => tally.lost += 1,
+            }
+        }
+    } else {
+        tally.lost += 12;
+    }
+
+    // Collect the plug answers (they are real requests too).
+    if let Some(stream) = plug_conn {
+        let _ = stream.set_read_timeout(Some(Duration::from_secs(60)));
+        let mut reader = BufReader::new(stream);
+        for _ in 0..plug_count {
+            let mut resp = String::new();
+            if reader.read_line(&mut resp).unwrap_or(0) == 0 {
+                break;
+            }
+            if resp.contains("\"id\":\"plug") {
+                plugs_answered += 1;
+            }
+        }
+    }
+    tally.lost += plug_count as u64 - plugs_answered;
+    let mut plugs = HashMap::new();
+    plugs.insert("ok".to_string(), plugs_answered);
+    for (k, v) in plugs {
+        *tally.by_status.entry(k).or_default() += v;
+    }
+    (tally, plug_count as u64)
+}
+
+fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
+    if sorted_ms.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted_ms.len() as f64 - 1.0) * p).round() as usize;
+    sorted_ms[idx.min(sorted_ms.len() - 1)]
+}
+
+fn main() {
+    let o = opts();
+    if o.trace_out.is_some() {
+        obs::enable();
+    }
+    let (plan, disconnect_every) = plan_from_seed(o.seed, o.requests as u64);
+    let config = ServeConfig {
+        socket: o.socket.clone(),
+        workers: 3,
+        analysis_threads: 2,
+        admission_capacity: 64,
+        conn_window: 8,
+        quota: QuotaConfig {
+            burst: 1_000_000,
+            refill_per_sec: 1e6,
+        },
+        watchdog_interval_ms: 50,
+        stall_timeout_ms: 300,
+        max_line_bytes: 64 * 1024,
+        default_deadline_ms: Some(60_000),
+        ..ServeConfig::default()
+    };
+    let max_line_bytes = config.max_line_bytes;
+    let (server, chaos) = Server::start_with_chaos(config, plan.clone()).unwrap_or_else(|e| {
+        eprintln!("repro-chaos: cannot start daemon: {e}");
+        std::process::exit(1);
+    });
+    println!(
+        "repro-chaos: seed {} → kills at jobs {:?}, stall at {:?}, torn every {}, read delay every {}, disconnect every {}",
+        o.seed,
+        plan.kill_at_jobs,
+        plan.stall_at_jobs.iter().map(|(n, _)| *n).collect::<Vec<_>>(),
+        plan.torn_write_every,
+        plan.read_delay_every,
+        disconnect_every,
+    );
+
+    let budget = RetryBudget::new(64);
+    let breakers = Breakers::new(3, Duration::from_millis(250));
+    let tallies: Mutex<Vec<Tally>> = Mutex::new(Vec::new());
+    let loris_ok = AtomicU64::new(0);
+    let quota_skews = AtomicU64::new(0);
+    let started = Instant::now();
+
+    std::thread::scope(|scope| {
+        for me in 0..o.clients {
+            let budget = &budget;
+            let breakers = &breakers;
+            let tallies = &tallies;
+            let o = &o;
+            scope.spawn(move || {
+                let t = run_client(o, me, budget, breakers, disconnect_every);
+                tallies.lock().unwrap().push(t);
+            });
+        }
+        for tag in 0..2 {
+            let o = &o;
+            let loris_ok = &loris_ok;
+            scope.spawn(move || {
+                if slow_loris(o, tag) {
+                    loris_ok.fetch_add(1, Ordering::Relaxed);
+                }
+            });
+        }
+        // Quota-clock skew under live load: an hour forward, an hour
+        // back, then recovery. The buckets must neither mint tokens
+        // past the burst nor wedge (the main load keeps flowing).
+        let server = &server;
+        let quota_skews = &quota_skews;
+        scope.spawn(move || {
+            std::thread::sleep(Duration::from_millis(100));
+            server.set_quota_skew_ms(3_600_000);
+            quota_skews.fetch_add(1, Ordering::Relaxed);
+            std::thread::sleep(Duration::from_millis(100));
+            server.set_quota_skew_ms(-3_600_000);
+            quota_skews.fetch_add(1, Ordering::Relaxed);
+            std::thread::sleep(Duration::from_millis(100));
+            server.set_quota_skew_ms(0);
+        });
+    });
+
+    let oversized_answered = if oversized_probe(&o, max_line_bytes) {
+        1u64
+    } else {
+        0
+    };
+    let (breaker_tally, plug_count) = breaker_phase(&o, &budget, &breakers);
+
+    let elapsed = started.elapsed();
+    // Let the watchdog finish any in-progress respawn before reading
+    // the final counters.
+    std::thread::sleep(Duration::from_millis(200));
+
+    let mut latencies: Vec<f64> = Vec::new();
+    let mut by_status: HashMap<String, u64> = HashMap::new();
+    let mut lost = 0u64;
+    let mut disconnects = 0u64;
+    let mut client_skips = 0u64;
+    for t in tallies
+        .into_inner()
+        .unwrap()
+        .into_iter()
+        .chain(std::iter::once(breaker_tally))
+    {
+        latencies.extend(t.latencies_ms);
+        lost += t.lost;
+        disconnects += t.disconnects;
+        client_skips += t.skipped;
+        for (k, v) in t.by_status {
+            *by_status.entry(k).or_default() += v;
+        }
+    }
+    latencies.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let answered: u64 = by_status.values().sum();
+    let loris_answered = loris_ok.load(Ordering::Relaxed);
+    // The two loris requests are part of the accounting: answered if
+    // their response came back, lost otherwise.
+    let total_requests = o.requests as u64 + plug_count + 12 + 2;
+    let answered = answered + loris_answered;
+    let lost = lost + (2 - loris_answered);
+    let p50 = percentile(&latencies, 0.50);
+    let p99 = percentile(&latencies, 0.99);
+
+    let serve = server.metrics();
+    let engine = server.engine_metrics();
+    let chaos_metrics = chaos.metrics();
+    let count = |k: &str| by_status.get(k).copied().unwrap_or(0);
+
+    println!(
+        "repro-chaos: {answered}/{total_requests} answered, {lost} lost, {client_skips} breaker-skipped in {:.2}s",
+        elapsed.as_secs_f64()
+    );
+    println!(
+        "  faults   kills {}  stalls {}  torn writes {}  read delays {}  disconnects {disconnects}  skews {}",
+        chaos_metrics.worker_kills,
+        chaos_metrics.worker_stalls,
+        chaos_metrics.torn_writes,
+        chaos_metrics.read_delays,
+        quota_skews.load(Ordering::Relaxed),
+    );
+    println!(
+        "  healing  respawned {}  stalled {}  shed {}  loris answered {loris_answered}/2  oversized refused {oversized_answered}  breaker opens {}",
+        serve.workers_respawned,
+        serve.workers_stalled,
+        serve.shed,
+        breakers.opens(),
+    );
+    println!(
+        "  status   ok {}  overloaded {}  quota {}  internal {}  worker_lost {}  | p50 {p50:.2} ms  p99 {p99:.2} ms",
+        count("ok"),
+        count("overloaded"),
+        count("quota"),
+        count("internal_error"),
+        count("worker_lost"),
+    );
+
+    if let Some(path) = &o.trace_out {
+        let threads = obs::take_events();
+        match obs::write_chrome_trace(path, &threads) {
+            Ok(()) => println!("  trace    {} ({} threads)", path.display(), threads.len()),
+            Err(e) => eprintln!("repro-chaos: cannot write trace {}: {e}", path.display()),
+        }
+    }
+
+    server.shutdown();
+    server.join();
+
+    if let Some(out) = &o.out {
+        let mut report = ObsReport::snapshot();
+        report.meta("experiment", "serve_chaos");
+        report.meta_num("seed", o.seed as f64);
+        report.meta_num("requests", total_requests as f64);
+        report.meta_num("answered", answered as f64);
+        report.meta_num("lost", lost as f64);
+        report.meta_num("breaker_skipped", client_skips as f64);
+        report.meta_num("elapsed_s", elapsed.as_secs_f64());
+        report.meta_num("p50_ms", p50);
+        report.meta_num("p99_ms", p99);
+        report.meta_num("ok", count("ok") as f64);
+        report.meta_num("overloaded", count("overloaded") as f64);
+        report.meta_num("quota", count("quota") as f64);
+        report.meta_num("internal_errors", count("internal_error") as f64);
+        report.meta_num("worker_lost", count("worker_lost") as f64);
+        report.meta_num("worker_kills", chaos_metrics.worker_kills as f64);
+        report.meta_num("worker_stalls", chaos_metrics.worker_stalls as f64);
+        report.meta_num("torn_writes", chaos_metrics.torn_writes as f64);
+        report.meta_num("read_delays", chaos_metrics.read_delays as f64);
+        report.meta_num("disconnects", disconnects as f64);
+        report.meta_num("quota_skews", quota_skews.load(Ordering::Relaxed) as f64);
+        report.meta_num("slow_loris", loris_answered as f64);
+        report.meta_num("oversized_answered", oversized_answered as f64);
+        report.meta_num("workers_respawned", serve.workers_respawned as f64);
+        report.meta_num("workers_stalled", serve.workers_stalled as f64);
+        report.meta_num("shed", serve.shed as f64);
+        report.meta_num("breaker_opens", breakers.opens() as f64);
+        report.meta_num("retries_used", budget.used() as f64);
+        let mut serve_json = String::new();
+        serve.serialize_json(&mut serve_json);
+        report.section_raw("serve", serve_json);
+        let mut engine_json = String::new();
+        engine.serialize_json(&mut engine_json);
+        report.section_raw("engine", engine_json);
+        let mut chaos_json = String::new();
+        chaos_metrics.serialize_json(&mut chaos_json);
+        report.section_raw("chaos", chaos_json);
+        report.write(out).unwrap_or_else(|e| {
+            eprintln!("repro-chaos: cannot write {}: {e}", out.display());
+            std::process::exit(1);
+        });
+        println!("  report   {}", out.display());
+    }
+
+    let kills = chaos_metrics.worker_kills;
+    if lost > 0 {
+        eprintln!("repro-chaos: FAIL — {lost} requests lost under chaos");
+        std::process::exit(1);
+    }
+    if serve.workers_respawned < kills {
+        eprintln!(
+            "repro-chaos: FAIL — {} workers killed but only {} respawned",
+            kills, serve.workers_respawned
+        );
+        std::process::exit(1);
+    }
+    println!("  verdict  zero lost requests; all killed workers respawned");
+}

@@ -15,7 +15,7 @@
 
 use obs::json::{parse, Json};
 use obs::ObsReport;
-use repro_serve::unknown_bench_message;
+use repro_serve::{unknown_bench_message, Client};
 use std::collections::HashMap;
 use std::io::{BufRead, BufReader, Write};
 use std::os::unix::net::UnixStream;
@@ -101,30 +101,19 @@ fn opts() -> Opts {
     o
 }
 
-/// Waits for the daemon to answer a ping, retrying connect until the
-/// boot budget runs out.
+/// Waits for the daemon to answer a ping through the resilient
+/// client's jittered exponential backoff (no fixed-interval spin),
+/// with a hard deadline: a daemon that never comes up fails the run in
+/// bounded time.
 fn await_boot(o: &Opts) {
     let deadline = Instant::now() + Duration::from_millis(o.boot_wait_ms);
-    loop {
-        if let Ok(stream) = UnixStream::connect(&o.socket) {
-            let mut reader = BufReader::new(stream.try_clone().expect("clone stream"));
-            let mut s = &stream;
-            if s.write_all(b"{\"op\":\"ping\"}\n").is_ok() {
-                let mut line = String::new();
-                if reader.read_line(&mut line).is_ok() && line.contains("\"ok\"") {
-                    return;
-                }
-            }
-        }
-        if Instant::now() >= deadline {
-            eprintln!(
-                "repro-loadgen: no daemon on {} after {} ms",
-                o.socket.display(),
-                o.boot_wait_ms
-            );
-            std::process::exit(1);
-        }
-        std::thread::sleep(Duration::from_millis(50));
+    if !Client::await_ready(&o.socket, deadline, 0x10ad) {
+        eprintln!(
+            "repro-loadgen: no daemon on {} after {} ms",
+            o.socket.display(),
+            o.boot_wait_ms
+        );
+        std::process::exit(1);
     }
 }
 

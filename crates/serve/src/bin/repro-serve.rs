@@ -14,7 +14,9 @@ fn usage() -> ! {
         "usage: repro-serve [--socket PATH] [--workers N] [--threads N]\n\
          \x20                  [--admission N] [--window N] [--cache-capacity N]\n\
          \x20                  [--quota-burst N] [--quota-rate PER_SEC]\n\
-         \x20                  [--budget-ms MS] [--deadline-ms MS] [--obs]\n\
+         \x20                  [--budget-ms MS] [--deadline-ms MS] [--max-line-bytes N]\n\
+         \x20                  [--watchdog-ms MS] [--stall-timeout-ms MS] [--probe-timeout-ms MS]\n\
+         \x20                  [--obs]\n\
          \n\
          \x20 --socket PATH        unix socket to listen on (default repro-serve.sock)\n\
          \x20 --workers N          concurrent analyses (default 2)\n\
@@ -26,6 +28,10 @@ fn usage() -> ! {
          \x20 --quota-rate R       bucket refill, tokens/second (default 0)\n\
          \x20 --budget-ms MS       default per-sub-DDG match budget (default 60000)\n\
          \x20 --deadline-ms MS     default whole-request deadline (default 10000)\n\
+         \x20 --max-line-bytes N   request-line cap; longer lines get protocol_error (default 262144)\n\
+         \x20 --watchdog-ms MS     watchdog sweep interval (default 100)\n\
+         \x20 --stall-timeout-ms MS  supersede a worker busy this long on one request (default 10000)\n\
+         \x20 --probe-timeout-ms MS  startup wait for a predecessor daemon's ping answer (default 500)\n\
          \x20 --obs                enable span tracing (for trace_dump)"
     );
     std::process::exit(2);
@@ -61,6 +67,10 @@ fn main() {
                 let ms: u64 = parse(&arg, args.next());
                 config.default_deadline_ms = if ms == 0 { None } else { Some(ms) };
             }
+            "--max-line-bytes" => config.max_line_bytes = parse(&arg, args.next()),
+            "--watchdog-ms" => config.watchdog_interval_ms = parse(&arg, args.next()),
+            "--stall-timeout-ms" => config.stall_timeout_ms = parse(&arg, args.next()),
+            "--probe-timeout-ms" => config.probe_timeout_ms = parse(&arg, args.next()),
             "--obs" => obs::enable(),
             "--help" | "-h" => usage(),
             other => {

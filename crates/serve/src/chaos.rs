@@ -1,0 +1,198 @@
+//! Deterministic chaos injection for the daemon (`fault-inject` only).
+//!
+//! A [`ChaosPlan`] scripts service-level faults the way the engine's
+//! `FaultPlan` scripts match-job faults: everything is keyed by a
+//! deterministic ordinal — the global serve-job sequence for worker
+//! faults, the per-process write/read sequences for socket faults — so
+//! a seeded run reproduces the same fault schedule regardless of
+//! thread interleaving. The plan itself is built by `repro-chaos` from
+//! one seed; this module just executes it and counts what fired.
+//!
+//! Fault classes:
+//!
+//! - **worker kill** — the serve worker popping job `n` exits abruptly
+//!   with the job parked in its slot; the watchdog must requeue the
+//!   orphan and respawn the slot;
+//! - **worker stall** — the worker sleeps mid-request, freezing its
+//!   heartbeat; the watchdog must supersede it with a replacement;
+//! - **torn write** — a response line is written in tiny chunks with
+//!   delays between them, exercising client-side reassembly;
+//! - **delayed read** — the connection reader sleeps before handling a
+//!   request line, simulating a daemon that is slow to schedule reads.
+//!
+//! Quota-clock skew rides alongside via
+//! [`Server::set_quota_skew_ms`](crate::Server::set_quota_skew_ms).
+//! None of this compiles into production builds; a daemon built
+//! without `fault-inject` is byte-for-byte the PR 6 daemon.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// The scripted fault schedule. Ordinals are 0-based.
+#[derive(Clone, Debug, Default)]
+pub struct ChaosPlan {
+    /// Serve-job ordinals at which the popping worker dies mid-request.
+    pub kill_at_jobs: Vec<u64>,
+    /// Serve-job ordinals at which the worker stalls for the given
+    /// duration before processing (heartbeat goes stale while busy).
+    pub stall_at_jobs: Vec<(u64, Duration)>,
+    /// Every `torn_write_every`-th response write is torn into
+    /// `torn_chunk`-byte pieces with `torn_delay` sleeps between (0 =
+    /// off).
+    pub torn_write_every: u64,
+    pub torn_chunk: usize,
+    pub torn_delay: Duration,
+    /// Every `read_delay_every`-th request line sleeps `read_delay`
+    /// before being handled (0 = off).
+    pub read_delay_every: u64,
+    pub read_delay: Duration,
+}
+
+/// What one serve job should suffer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum JobChaos {
+    None,
+    /// The worker thread exits abruptly, stranding the parked job.
+    Kill,
+    /// The worker sleeps this long before processing.
+    Stall(Duration),
+}
+
+/// Counters of faults that actually fired (the chaos report's
+/// ground truth for "faults injected").
+#[derive(Clone, Copy, Debug, Default, serde::Serialize)]
+pub struct ChaosMetrics {
+    pub worker_kills: u64,
+    pub worker_stalls: u64,
+    pub torn_writes: u64,
+    pub read_delays: u64,
+}
+
+/// Live injection state: the plan plus the deterministic sequences.
+pub struct ChaosState {
+    plan: ChaosPlan,
+    job_seq: AtomicU64,
+    write_seq: AtomicU64,
+    read_seq: AtomicU64,
+    kills: AtomicU64,
+    stalls: AtomicU64,
+    torn: AtomicU64,
+    delayed: AtomicU64,
+}
+
+impl ChaosState {
+    pub fn new(plan: ChaosPlan) -> ChaosState {
+        ChaosState {
+            plan,
+            job_seq: AtomicU64::new(0),
+            write_seq: AtomicU64::new(0),
+            read_seq: AtomicU64::new(0),
+            kills: AtomicU64::new(0),
+            stalls: AtomicU64::new(0),
+            torn: AtomicU64::new(0),
+            delayed: AtomicU64::new(0),
+        }
+    }
+
+    /// Claims the next serve-job ordinal and returns its fault.
+    pub(crate) fn next_job_fault(&self) -> JobChaos {
+        let n = self.job_seq.fetch_add(1, Ordering::Relaxed);
+        if self.plan.kill_at_jobs.contains(&n) {
+            self.kills.fetch_add(1, Ordering::Relaxed);
+            obs::instant("chaos.worker_kill");
+            return JobChaos::Kill;
+        }
+        if let Some((_, d)) = self.plan.stall_at_jobs.iter().find(|(at, _)| *at == n) {
+            self.stalls.fetch_add(1, Ordering::Relaxed);
+            obs::instant("chaos.worker_stall");
+            return JobChaos::Stall(*d);
+        }
+        JobChaos::None
+    }
+
+    /// Claims the next response-write ordinal; `Some` means tear this
+    /// write into `(chunk, delay)` pieces.
+    pub(crate) fn torn_write(&self) -> Option<(usize, Duration)> {
+        if self.plan.torn_write_every == 0 {
+            return None;
+        }
+        let n = self.write_seq.fetch_add(1, Ordering::Relaxed);
+        if (n + 1).is_multiple_of(self.plan.torn_write_every) {
+            self.torn.fetch_add(1, Ordering::Relaxed);
+            obs::instant("chaos.torn_write");
+            Some((self.plan.torn_chunk.max(1), self.plan.torn_delay))
+        } else {
+            None
+        }
+    }
+
+    /// Claims the next request-read ordinal; `Some` means sleep before
+    /// handling the line.
+    pub(crate) fn read_delay(&self) -> Option<Duration> {
+        if self.plan.read_delay_every == 0 {
+            return None;
+        }
+        let n = self.read_seq.fetch_add(1, Ordering::Relaxed);
+        if (n + 1).is_multiple_of(self.plan.read_delay_every) {
+            self.delayed.fetch_add(1, Ordering::Relaxed);
+            obs::instant("chaos.read_delay");
+            Some(self.plan.read_delay)
+        } else {
+            None
+        }
+    }
+
+    pub fn metrics(&self) -> ChaosMetrics {
+        ChaosMetrics {
+            worker_kills: self.kills.load(Ordering::Relaxed),
+            worker_stalls: self.stalls.load(Ordering::Relaxed),
+            torn_writes: self.torn.load(Ordering::Relaxed),
+            read_delays: self.delayed.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn job_faults_fire_at_their_ordinals_exactly_once() {
+        let state = ChaosState::new(ChaosPlan {
+            kill_at_jobs: vec![1],
+            stall_at_jobs: vec![(3, Duration::from_millis(5))],
+            ..ChaosPlan::default()
+        });
+        let faults: Vec<JobChaos> = (0..5).map(|_| state.next_job_fault()).collect();
+        assert_eq!(
+            faults,
+            vec![
+                JobChaos::None,
+                JobChaos::Kill,
+                JobChaos::None,
+                JobChaos::Stall(Duration::from_millis(5)),
+                JobChaos::None,
+            ]
+        );
+        let m = state.metrics();
+        assert_eq!((m.worker_kills, m.worker_stalls), (1, 1));
+    }
+
+    #[test]
+    fn write_and_read_faults_follow_their_cadence() {
+        let state = ChaosState::new(ChaosPlan {
+            torn_write_every: 2,
+            torn_chunk: 3,
+            torn_delay: Duration::from_millis(1),
+            read_delay_every: 3,
+            read_delay: Duration::from_millis(2),
+            ..ChaosPlan::default()
+        });
+        let torn: Vec<bool> = (0..6).map(|_| state.torn_write().is_some()).collect();
+        assert_eq!(torn, vec![false, true, false, true, false, true]);
+        let delayed: Vec<bool> = (0..6).map(|_| state.read_delay().is_some()).collect();
+        assert_eq!(delayed, vec![false, false, true, false, false, true]);
+        let m = state.metrics();
+        assert_eq!((m.torn_writes, m.read_delays), (3, 2));
+    }
+}

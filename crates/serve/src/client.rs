@@ -1,0 +1,604 @@
+//! A resilient daemon client: jittered connect backoff, a per-process
+//! retry budget, deadline propagation, and per-tenant circuit breakers.
+//!
+//! The raw protocol is trivial (one JSON line each way); what this
+//! module adds is the discipline around transport failure:
+//!
+//! - **connect backoff** — jittered exponential delays between connect
+//!   attempts, bounded by a hard deadline, so a daemon that never
+//!   comes up fails the caller in bounded time instead of spinning;
+//! - **retry budget** — transport-level retries (reconnect + resend)
+//!   draw from one per-process [`RetryBudget`]; when a flaky daemon
+//!   has consumed it, further failures surface immediately instead of
+//!   amplifying load with retries;
+//! - **deadline propagation** — every retry, backoff sleep, and socket
+//!   read is clipped to the caller's deadline; the client never
+//!   retries past it;
+//! - **circuit breakers** — consecutive `overloaded`/`internal_error`
+//!   answers for a tenant open that tenant's breaker
+//!   ([`Breakers`]); while open, requests fail fast with
+//!   [`ClientError::BreakerOpen`] (never sent), and after a cooldown a
+//!   single half-open probe decides whether to close it.
+//!
+//! Analyze requests are idempotent (the daemon recomputes or serves
+//! from cache), which is what makes resend-on-reconnect safe.
+
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Write};
+use std::os::unix::net::UnixStream;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicI64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use obs::json::{parse, Json};
+
+/// SplitMix64: a tiny deterministic PRNG for backoff jitter (and for
+/// the chaos harness's fault schedules). Not cryptographic; seedable
+/// so chaos runs replay byte-identically.
+pub struct SplitMix64(u64);
+
+impl SplitMix64 {
+    pub fn new(seed: u64) -> SplitMix64 {
+        SplitMix64(seed)
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Uniform in `[0, n)` (0 when `n` is 0).
+    pub fn below(&mut self, n: u64) -> u64 {
+        if n == 0 {
+            0
+        } else {
+            self.next_u64() % n
+        }
+    }
+}
+
+/// Client knobs. Defaults suit a local daemon: fast first retry,
+/// half-second cap, breakers that open after four consecutive
+/// capacity-style failures and probe again 250 ms later.
+#[derive(Clone, Debug)]
+pub struct ClientConfig {
+    pub socket: PathBuf,
+    /// First backoff step (doubles per attempt, jittered ±50%).
+    pub base_backoff: Duration,
+    /// Backoff ceiling.
+    pub max_backoff: Duration,
+    /// Jitter seed (deterministic per client).
+    pub seed: u64,
+    /// Consecutive `overloaded`/`internal_error` answers that open a
+    /// tenant's breaker (0 disables breakers).
+    pub breaker_threshold: u32,
+    /// How long an open breaker rejects before allowing a half-open
+    /// probe.
+    pub breaker_cooldown: Duration,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        ClientConfig {
+            socket: PathBuf::from("repro-serve.sock"),
+            base_backoff: Duration::from_millis(10),
+            max_backoff: Duration::from_millis(500),
+            seed: 0x5eed,
+            breaker_threshold: 4,
+            breaker_cooldown: Duration::from_millis(250),
+        }
+    }
+}
+
+/// Why a request failed client-side. Daemon-side rejections
+/// (`overloaded`, `quota`, …) are *answers*, not errors — they come
+/// back as parsed responses.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport failure with no deadline or budget left to retry.
+    Io(std::io::Error),
+    /// The caller's deadline expired (possibly mid-retry).
+    DeadlineExceeded,
+    /// The per-process retry budget is exhausted.
+    RetryBudgetExhausted,
+    /// The tenant's circuit breaker is open; the request was not sent.
+    BreakerOpen,
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "transport failed: {e}"),
+            ClientError::DeadlineExceeded => write!(f, "deadline exceeded"),
+            ClientError::RetryBudgetExhausted => write!(f, "retry budget exhausted"),
+            ClientError::BreakerOpen => write!(f, "circuit breaker open"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+/// A per-process budget of transport retries, shared by every client
+/// in the process. One flaky connection must not retry without bound,
+/// and a hundred clients must not each bring their own bound.
+pub struct RetryBudget {
+    remaining: AtomicI64,
+    used: AtomicI64,
+}
+
+impl RetryBudget {
+    pub fn new(budget: u64) -> Arc<RetryBudget> {
+        Arc::new(RetryBudget {
+            remaining: AtomicI64::new(budget.min(i64::MAX as u64) as i64),
+            used: AtomicI64::new(0),
+        })
+    }
+
+    /// Takes one retry token; `false` means fail instead of retrying.
+    pub fn try_take(&self) -> bool {
+        if self.remaining.fetch_sub(1, Ordering::Relaxed) > 0 {
+            self.used.fetch_add(1, Ordering::Relaxed);
+            obs::counter("client.retries").inc();
+            true
+        } else {
+            self.remaining.fetch_add(1, Ordering::Relaxed);
+            false
+        }
+    }
+
+    pub fn used(&self) -> u64 {
+        self.used.load(Ordering::Relaxed).max(0) as u64
+    }
+
+    pub fn remaining(&self) -> u64 {
+        self.remaining.load(Ordering::Relaxed).max(0) as u64
+    }
+}
+
+struct BreakerState {
+    consecutive: u32,
+    open_until: Option<Instant>,
+    /// A half-open probe is in flight; hold other requests out until
+    /// it reports.
+    probing: bool,
+}
+
+/// Per-tenant circuit breakers, shared across the process's clients.
+pub struct Breakers {
+    threshold: u32,
+    cooldown: Duration,
+    map: Mutex<HashMap<String, BreakerState>>,
+    opens: std::sync::atomic::AtomicU64,
+    skipped: std::sync::atomic::AtomicU64,
+}
+
+impl Breakers {
+    pub fn new(threshold: u32, cooldown: Duration) -> Arc<Breakers> {
+        Arc::new(Breakers {
+            threshold,
+            cooldown,
+            map: Mutex::new(HashMap::new()),
+            opens: std::sync::atomic::AtomicU64::new(0),
+            skipped: std::sync::atomic::AtomicU64::new(0),
+        })
+    }
+
+    /// May a request for `tenant` go out? `false` counts a skip. After
+    /// the cooldown one caller is admitted as the half-open probe; its
+    /// outcome (via [`Breakers::record`]) closes or re-opens the
+    /// breaker.
+    pub fn admit(&self, tenant: &str) -> bool {
+        if self.threshold == 0 {
+            return true;
+        }
+        let mut map = self.map.lock().unwrap_or_else(|e| e.into_inner());
+        let Some(st) = map.get_mut(tenant) else {
+            return true;
+        };
+        match st.open_until {
+            None => true,
+            Some(until) => {
+                if Instant::now() < until || st.probing {
+                    self.skipped.fetch_add(1, Ordering::Relaxed);
+                    obs::counter("client.breaker_skipped").inc();
+                    false
+                } else {
+                    st.probing = true;
+                    true
+                }
+            }
+        }
+    }
+
+    /// Records an answer for `tenant`. Capacity-style failures
+    /// (`overloaded`, `internal_error`) accumulate; anything else
+    /// resets and closes.
+    pub fn record(&self, tenant: &str, failure: bool) {
+        if self.threshold == 0 {
+            return;
+        }
+        let mut map = self.map.lock().unwrap_or_else(|e| e.into_inner());
+        let st = map.entry(tenant.to_string()).or_insert(BreakerState {
+            consecutive: 0,
+            open_until: None,
+            probing: false,
+        });
+        st.probing = false;
+        if failure {
+            st.consecutive = st.consecutive.saturating_add(1);
+            if st.consecutive >= self.threshold {
+                if st.open_until.is_none() {
+                    self.opens.fetch_add(1, Ordering::Relaxed);
+                    obs::counter("client.breaker_opens").inc();
+                    obs::gauge("client.breaker_open").add(1.0);
+                }
+                st.open_until = Some(Instant::now() + self.cooldown);
+            }
+        } else {
+            if st.open_until.is_some() {
+                obs::gauge("client.breaker_open").add(-1.0);
+            }
+            st.consecutive = 0;
+            st.open_until = None;
+        }
+    }
+
+    /// Closed→open transitions so far.
+    pub fn opens(&self) -> u64 {
+        self.opens.load(Ordering::Relaxed)
+    }
+
+    /// Requests rejected client-side because a breaker was open.
+    pub fn skipped(&self) -> u64 {
+        self.skipped.load(Ordering::Relaxed)
+    }
+
+    /// Breakers open right now.
+    pub fn open_now(&self) -> usize {
+        let map = self.map.lock().unwrap_or_else(|e| e.into_inner());
+        let now = Instant::now();
+        map.values()
+            .filter(|st| st.open_until.is_some_and(|u| now < u))
+            .count()
+    }
+}
+
+/// One resilient connection to the daemon. Synchronous: one request in
+/// flight at a time (pipelined load stays in `repro-loadgen`'s raw
+/// connections; this client is the reliability layer for boot probes,
+/// chaos traffic, and tests).
+pub struct Client {
+    config: ClientConfig,
+    stream: Option<(UnixStream, BufReader<UnixStream>)>,
+    rng: SplitMix64,
+    budget: Arc<RetryBudget>,
+    breakers: Arc<Breakers>,
+}
+
+impl Client {
+    /// Builds a client and connects with jittered backoff, giving up
+    /// at `deadline`. The daemon must answer a ping to count as up.
+    pub fn connect(
+        config: ClientConfig,
+        budget: Arc<RetryBudget>,
+        breakers: Arc<Breakers>,
+        deadline: Instant,
+    ) -> Result<Client, ClientError> {
+        let mut c = Client {
+            rng: SplitMix64::new(config.seed),
+            config,
+            stream: None,
+            budget,
+            breakers,
+        };
+        c.ensure_connected(deadline, true)?;
+        Ok(c)
+    }
+
+    /// Waits (jittered exponential backoff) until the daemon on
+    /// `socket` answers a ping, or `deadline` passes. The boot probe
+    /// used by `repro-loadgen` and `repro-chaos`.
+    pub fn await_ready(socket: &Path, deadline: Instant, seed: u64) -> bool {
+        let config = ClientConfig {
+            socket: socket.to_path_buf(),
+            seed,
+            ..ClientConfig::default()
+        };
+        Client::connect(
+            config,
+            RetryBudget::new(0),
+            Breakers::new(0, Duration::ZERO),
+            deadline,
+        )
+        .is_ok()
+    }
+
+    /// One jittered exponential backoff sleep for attempt `attempt`,
+    /// clipped so it never sleeps past `deadline`.
+    fn backoff(&mut self, attempt: u32, deadline: Instant) {
+        let base = self.config.base_backoff.as_millis() as u64;
+        let cap = self.config.max_backoff.as_millis() as u64;
+        let step = base.saturating_mul(1u64 << attempt.min(16)).min(cap.max(1));
+        // Jitter in [step/2, step): desynchronizes a thundering herd
+        // without ever collapsing to zero.
+        let jittered = step / 2 + self.rng.below(step.max(2) / 2);
+        let remaining = deadline.saturating_duration_since(Instant::now());
+        std::thread::sleep(Duration::from_millis(jittered).min(remaining));
+    }
+
+    /// Connects (with backoff) if not connected. `probe` additionally
+    /// requires a ping round-trip, so "connected" means "serving", not
+    /// just "listening".
+    fn ensure_connected(&mut self, deadline: Instant, probe: bool) -> Result<(), ClientError> {
+        if self.stream.is_some() {
+            return Ok(());
+        }
+        let mut attempt: u32 = 0;
+        loop {
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                return Err(ClientError::DeadlineExceeded);
+            }
+            if let Ok(stream) = UnixStream::connect(&self.config.socket) {
+                let _ = stream.set_read_timeout(Some(remaining));
+                let mut reader = BufReader::new(stream.try_clone().map_err(ClientError::Io)?);
+                let ok = if probe {
+                    let mut s = &stream;
+                    let mut line = String::new();
+                    s.write_all(b"{\"op\":\"ping\"}\n").is_ok()
+                        && reader.read_line(&mut line).is_ok_and(|n| n > 0)
+                        && line.contains("\"ok\"")
+                } else {
+                    true
+                };
+                if ok {
+                    self.stream = Some((stream, reader));
+                    return Ok(());
+                }
+            }
+            self.backoff(attempt, deadline);
+            attempt += 1;
+        }
+    }
+
+    fn drop_connection(&mut self) {
+        self.stream = None;
+    }
+
+    /// Sends `line` and reads the response whose echoed id is `id`,
+    /// retrying through transport failures within `deadline` and the
+    /// shared retry budget. The tenant's breaker is consulted before
+    /// the first byte goes out and fed with the answer.
+    pub fn request(
+        &mut self,
+        id: &str,
+        tenant: &str,
+        line: &str,
+        deadline: Instant,
+    ) -> Result<Json, ClientError> {
+        if !self.breakers.admit(tenant) {
+            return Err(ClientError::BreakerOpen);
+        }
+        let mut attempt: u32 = 0;
+        loop {
+            match self.try_once(id, line, deadline) {
+                Ok(doc) => {
+                    let status = doc.get("status").and_then(Json::as_str).unwrap_or("");
+                    let failure = status == "overloaded" || status == "internal_error";
+                    self.breakers.record(tenant, failure);
+                    return Ok(doc);
+                }
+                Err(e) => {
+                    self.drop_connection();
+                    // Deadline first: never retry past the caller's
+                    // deadline, whatever the budget says.
+                    if Instant::now() >= deadline {
+                        self.breakers.record(tenant, false);
+                        return Err(match e {
+                            ClientError::Io(_) | ClientError::DeadlineExceeded => {
+                                ClientError::DeadlineExceeded
+                            }
+                            other => other,
+                        });
+                    }
+                    if !self.budget.try_take() {
+                        self.breakers.record(tenant, false);
+                        return Err(ClientError::RetryBudgetExhausted);
+                    }
+                    self.backoff(attempt, deadline);
+                    attempt += 1;
+                }
+            }
+        }
+    }
+
+    /// One send/receive attempt over the current (or a fresh)
+    /// connection. Any io failure, EOF, or unparseable frame is an
+    /// `Err`; responses to other ids (stale answers from an earlier
+    /// incarnation of this connection) are skipped.
+    fn try_once(&mut self, id: &str, line: &str, deadline: Instant) -> Result<Json, ClientError> {
+        self.ensure_connected(deadline, false)?;
+        let (stream, reader) = self.stream.as_mut().expect("just connected");
+        let remaining = deadline.saturating_duration_since(Instant::now());
+        if remaining.is_zero() {
+            return Err(ClientError::DeadlineExceeded);
+        }
+        let _ = stream.set_read_timeout(Some(remaining));
+        let mut s = &*stream;
+        s.write_all(line.as_bytes())
+            .and_then(|_| s.write_all(b"\n"))
+            .and_then(|_| s.flush())
+            .map_err(ClientError::Io)?;
+        loop {
+            let mut resp = String::new();
+            match reader.read_line(&mut resp) {
+                Ok(0) => {
+                    return Err(ClientError::Io(std::io::Error::new(
+                        std::io::ErrorKind::UnexpectedEof,
+                        "daemon closed the connection mid-request",
+                    )))
+                }
+                Ok(_) => {}
+                Err(e) => return Err(ClientError::Io(e)),
+            }
+            let doc = parse(resp.trim_end()).map_err(|e| {
+                ClientError::Io(std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!("unparseable response: {e}"),
+                ))
+            })?;
+            if doc.get("id").and_then(Json::as_str) == Some(id) {
+                return Ok(doc);
+            }
+            // Not ours (stale duplicate): keep reading within the
+            // deadline.
+            if Instant::now() >= deadline {
+                return Err(ClientError::DeadlineExceeded);
+            }
+        }
+    }
+
+    /// Writes `line` without waiting for the answer (chaos harness
+    /// building block for mid-request disconnects).
+    pub fn send_only(&mut self, line: &str, deadline: Instant) -> Result<(), ClientError> {
+        self.ensure_connected(deadline, false)?;
+        let (stream, _) = self.stream.as_mut().expect("just connected");
+        let mut s = &*stream;
+        s.write_all(line.as_bytes())
+            .and_then(|_| s.write_all(b"\n"))
+            .and_then(|_| s.flush())
+            .map_err(ClientError::Io)
+    }
+
+    /// Abruptly drops the connection (chaos harness: simulates a
+    /// client crash mid-request; the daemon sees a disconnect with a
+    /// request possibly in flight). The next request reconnects.
+    pub fn inject_disconnect(&mut self) {
+        if let Some((stream, _)) = self.stream.take() {
+            let _ = stream.shutdown(std::net::Shutdown::Both);
+        }
+    }
+
+    pub fn breakers(&self) -> &Arc<Breakers> {
+        &self.breakers
+    }
+
+    pub fn budget(&self) -> &Arc<RetryBudget> {
+        &self.budget
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_is_deterministic_per_seed() {
+        let a: Vec<u64> = {
+            let mut r = SplitMix64::new(7);
+            (0..4).map(|_| r.next_u64()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = SplitMix64::new(7);
+            (0..4).map(|_| r.next_u64()).collect()
+        };
+        let c: Vec<u64> = {
+            let mut r = SplitMix64::new(8);
+            (0..4).map(|_| r.next_u64()).collect()
+        };
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        let mut r = SplitMix64::new(9);
+        for _ in 0..100 {
+            let f = r.next_f64();
+            assert!((0.0..1.0).contains(&f));
+            assert!(r.below(10) < 10);
+        }
+    }
+
+    #[test]
+    fn retry_budget_is_shared_and_bounded() {
+        let budget = RetryBudget::new(2);
+        assert!(budget.try_take());
+        assert!(budget.try_take());
+        assert!(!budget.try_take(), "third retry refused");
+        assert!(!budget.try_take(), "refusal is stable, not oscillating");
+        assert_eq!(budget.used(), 2);
+        assert_eq!(budget.remaining(), 0);
+    }
+
+    #[test]
+    fn breaker_opens_after_threshold_and_half_open_probes() {
+        let b = Breakers::new(3, Duration::from_millis(30));
+        // Two failures: still closed.
+        b.record("t", true);
+        b.record("t", true);
+        assert!(b.admit("t"));
+        // Third consecutive failure opens it.
+        b.record("t", true);
+        assert_eq!(b.opens(), 1);
+        assert_eq!(b.open_now(), 1);
+        assert!(!b.admit("t"), "open breaker rejects");
+        assert!(b.skipped() >= 1);
+        // Other tenants are unaffected.
+        assert!(b.admit("other"));
+        // After the cooldown, exactly one probe gets through.
+        std::thread::sleep(Duration::from_millis(40));
+        assert!(b.admit("t"), "half-open probe admitted");
+        assert!(!b.admit("t"), "only one probe at a time");
+        // Probe succeeds: breaker closes and traffic resumes.
+        b.record("t", false);
+        assert!(b.admit("t"));
+        assert_eq!(b.open_now(), 0);
+        assert_eq!(b.opens(), 1, "close does not recount");
+    }
+
+    #[test]
+    fn failed_probe_reopens_without_recounting() {
+        let b = Breakers::new(2, Duration::from_millis(20));
+        b.record("t", true);
+        b.record("t", true);
+        assert_eq!(b.opens(), 1);
+        std::thread::sleep(Duration::from_millis(25));
+        assert!(b.admit("t"), "probe admitted");
+        b.record("t", true); // probe fails → re-open
+        assert!(!b.admit("t"));
+        assert_eq!(b.opens(), 1, "re-open extends, not recounts");
+    }
+
+    #[test]
+    fn zero_threshold_disables_breakers() {
+        let b = Breakers::new(0, Duration::from_millis(10));
+        for _ in 0..100 {
+            b.record("t", true);
+            assert!(b.admit("t"));
+        }
+        assert_eq!(b.opens(), 0);
+    }
+
+    #[test]
+    fn connect_to_a_missing_daemon_fails_within_the_deadline() {
+        let sock = std::env::temp_dir().join(format!(
+            "repro-client-test-{}-noone.sock",
+            std::process::id()
+        ));
+        let started = Instant::now();
+        let deadline = started + Duration::from_millis(200);
+        let ok = Client::await_ready(&sock, deadline, 1);
+        assert!(!ok, "no daemon, no readiness");
+        let waited = started.elapsed();
+        assert!(
+            waited >= Duration::from_millis(150) && waited < Duration::from_secs(5),
+            "bounded by the deadline, not a spin or a hang: {waited:?}"
+        );
+    }
+}

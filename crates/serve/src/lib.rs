@@ -17,17 +17,37 @@
 //!   `tenant` field ([`quota`]);
 //! - **graceful shutdown** — drain in-flight and queued work, answer
 //!   the shutdown request last, then exit;
+//! - **self-healing** — a watchdog thread that requeues work stranded
+//!   by dead serve workers, respawns them, supersedes stalled ones,
+//!   and heals the engine's match pool ([`server`]);
+//! - **load shedding** — requests whose queue wait has already
+//!   consumed their deadline answer `overloaded` immediately instead
+//!   of burning a worker on an answer nobody is waiting for;
 //! - **observability** — `serve.*` counters and `serve.request` spans
 //!   through the obs registry, with on-demand Chrome-trace dumps.
 //!
+//! The [`client`] module is the other half of the reliability story: a
+//! resilient caller with jittered connect backoff, a per-process retry
+//! budget, deadline propagation, and per-tenant circuit breakers.
+//!
 //! The `repro-serve` binary runs the daemon; `repro-loadgen` replays
 //! concurrent request mixes against it and writes the
-//! `BENCH_serve.json` report that CI gates on.
+//! `BENCH_serve.json` report that CI gates on. Under the
+//! `fault-inject` feature, the [`chaos`] module scripts deterministic
+//! service-level faults and the `repro-chaos` binary drives them into
+//! a live daemon, writing the `BENCH_chaos.json` report CI gates with
+//! `obs_check --chaos`.
 
+#[cfg(feature = "fault-inject")]
+pub mod chaos;
+pub mod client;
 pub mod protocol;
 pub mod quota;
 pub mod server;
 
+#[cfg(feature = "fault-inject")]
+pub use chaos::{ChaosMetrics, ChaosPlan, ChaosState};
+pub use client::{Breakers, Client, ClientConfig, ClientError, RetryBudget, SplitMix64};
 pub use protocol::{parse_request, status, AnalyzeRequest, Request, ResponseLine};
 pub use quota::{QuotaConfig, TenantQuotas};
 pub use server::{unknown_bench_message, ServeConfig, ServeMetrics, Server};

@@ -19,6 +19,7 @@
 
 use obs::json::{parse, Json};
 use serde::{ser_key, ser_str, Serialize};
+use std::io::BufRead;
 
 /// One parsed request line.
 #[derive(Debug)]
@@ -142,6 +143,62 @@ fn parse_analyze(doc: &Json) -> Result<AnalyzeRequest, String> {
     })
 }
 
+/// One read off the connection's framing layer.
+#[derive(Debug)]
+pub enum LineRead {
+    /// A complete line (newline stripped, lossily decoded — garbage
+    /// bytes become replacement characters and fail `parse_request`
+    /// with a labeled error instead of killing the reader).
+    Line(String),
+    /// Clean end of stream.
+    Eof,
+    /// The line outgrew `max_bytes` before a newline arrived. The
+    /// buffer is discarded; the caller should answer `protocol_error`
+    /// and drop the connection — one hostile client must not grow an
+    /// unbounded buffer in the daemon.
+    TooLong,
+}
+
+/// Reads one newline-terminated line, refusing to buffer more than
+/// `max_bytes` of it. Unlike `BufRead::read_line`, this (a) caps the
+/// resident buffer, and (b) tolerates invalid UTF-8 (decoded lossily,
+/// surfacing as a parse error rather than an io error).
+pub fn read_bounded_line(reader: &mut impl BufRead, max_bytes: usize) -> std::io::Result<LineRead> {
+    let mut buf: Vec<u8> = Vec::new();
+    loop {
+        let chunk = reader.fill_buf()?;
+        if chunk.is_empty() {
+            return Ok(if buf.is_empty() {
+                LineRead::Eof
+            } else {
+                // Trailing unterminated data: hand it up; the parse
+                // layer labels it.
+                LineRead::Line(String::from_utf8_lossy(&buf).into_owned())
+            });
+        }
+        match chunk.iter().position(|&b| b == b'\n') {
+            Some(nl) => {
+                if buf.len() + nl > max_bytes {
+                    reader.consume(nl + 1);
+                    return Ok(LineRead::TooLong);
+                }
+                buf.extend_from_slice(&chunk[..nl]);
+                reader.consume(nl + 1);
+                return Ok(LineRead::Line(String::from_utf8_lossy(&buf).into_owned()));
+            }
+            None => {
+                let n = chunk.len();
+                if buf.len() + n > max_bytes {
+                    reader.consume(n);
+                    return Ok(LineRead::TooLong);
+                }
+                buf.extend_from_slice(chunk);
+                reader.consume(n);
+            }
+        }
+    }
+}
+
 /// Response statuses. The load gate relies on two invariants: every
 /// request line receives exactly one response line, and every response
 /// carries one of these labels.
@@ -155,6 +212,9 @@ pub mod status {
     pub const QUOTA: &str = "quota";
     /// The request line did not parse or validate.
     pub const BAD_REQUEST: &str = "bad_request";
+    /// The connection violated framing rules (e.g. a line longer than
+    /// the daemon's bound); answered once, then the connection drops.
+    pub const PROTOCOL_ERROR: &str = "protocol_error";
     /// The traced program faulted (bad source, step limit, deadline).
     pub const TRACE_ERROR: &str = "trace_error";
     /// Match workers died mid-request — the gate requires zero of these.
@@ -343,6 +403,56 @@ mod tests {
         assert_eq!(doc.get("find_ms").unwrap().as_f64(), Some(1.25));
         assert_eq!(doc.get("kinds").unwrap().as_arr().unwrap().len(), 2);
         assert_eq!(doc.get("degraded"), Some(&Json::Bool(false)));
+    }
+
+    #[test]
+    fn bounded_reads_split_lines_and_cap_length() {
+        let mut r = std::io::Cursor::new(b"{\"op\":\"ping\"}\nsecond line\n".to_vec());
+        let LineRead::Line(a) = read_bounded_line(&mut r, 64).unwrap() else {
+            panic!()
+        };
+        assert_eq!(a, "{\"op\":\"ping\"}");
+        let LineRead::Line(b) = read_bounded_line(&mut r, 64).unwrap() else {
+            panic!()
+        };
+        assert_eq!(b, "second line");
+        assert!(matches!(
+            read_bounded_line(&mut r, 64).unwrap(),
+            LineRead::Eof
+        ));
+    }
+
+    #[test]
+    fn oversized_lines_are_refused_without_buffering_them() {
+        let mut big = vec![b'x'; 10_000];
+        big.push(b'\n');
+        big.extend_from_slice(b"after\n");
+        let mut r = std::io::Cursor::new(big);
+        assert!(matches!(
+            read_bounded_line(&mut r, 1024).unwrap(),
+            LineRead::TooLong
+        ));
+    }
+
+    #[test]
+    fn invalid_utf8_decays_to_a_parseable_line_not_an_io_error() {
+        let mut r = std::io::Cursor::new(b"\xff\xfe{bad}\n".to_vec());
+        let LineRead::Line(l) = read_bounded_line(&mut r, 64).unwrap() else {
+            panic!()
+        };
+        assert!(
+            parse_request(&l).is_err(),
+            "garbage parses to a labeled error"
+        );
+    }
+
+    #[test]
+    fn unterminated_trailing_data_is_still_delivered() {
+        let mut r = std::io::Cursor::new(b"{\"op\":\"stats\"}".to_vec());
+        let LineRead::Line(l) = read_bounded_line(&mut r, 64).unwrap() else {
+            panic!()
+        };
+        assert!(matches!(parse_request(&l), Ok(Request::Stats)));
     }
 
     #[test]

@@ -7,8 +7,9 @@
 //! disables quota enforcement entirely.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicI64, Ordering};
 use std::sync::Mutex;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Quota knobs, shared by every tenant.
 #[derive(Clone, Copy, Debug)]
@@ -36,7 +37,10 @@ struct TokenBucket {
 impl TokenBucket {
     fn try_take(&mut self, config: &QuotaConfig, now: Instant) -> bool {
         let elapsed = now.saturating_duration_since(self.last).as_secs_f64();
-        self.last = now;
+        // Never rewind `last`: a backwards clock (skew injection, or a
+        // suspended host) must freeze refill, not bank a huge refill
+        // for the moment the clock recovers.
+        self.last = self.last.max(now);
         self.tokens = (self.tokens + elapsed * config.refill_per_sec).min(config.burst as f64);
         if self.tokens >= 1.0 {
             self.tokens -= 1.0;
@@ -51,6 +55,12 @@ impl TokenBucket {
 pub struct TenantQuotas {
     config: QuotaConfig,
     buckets: Mutex<HashMap<String, TokenBucket>>,
+    /// Injected clock skew (milliseconds, signed) applied to every
+    /// refill computation — the chaos harness's lever for proving the
+    /// buckets survive a clock that jumps either way. Zero in
+    /// production; skew never mints more than `burst` tokens (the cap)
+    /// and a backwards clock refills nothing (saturating elapsed).
+    skew_ms: AtomicI64,
 }
 
 impl TenantQuotas {
@@ -58,13 +68,33 @@ impl TenantQuotas {
         TenantQuotas {
             config,
             buckets: Mutex::new(HashMap::new()),
+            skew_ms: AtomicI64::new(0),
         }
     }
 
     /// Takes one token from `tenant`'s bucket; `false` means the
     /// request must be rejected with a `quota` status.
     pub fn admit(&self, tenant: &str) -> bool {
-        self.admit_at(tenant, Instant::now())
+        self.admit_at(tenant, self.skewed_now())
+    }
+
+    /// Skews the quota clock by `ms` (chaos injection). The next admit
+    /// sees `now + ms`; negative skew freezes refill rather than
+    /// panicking or minting tokens.
+    pub fn set_skew_ms(&self, ms: i64) {
+        self.skew_ms.store(ms, Ordering::Relaxed);
+    }
+
+    fn skewed_now(&self) -> Instant {
+        let now = Instant::now();
+        let ms = self.skew_ms.load(Ordering::Relaxed);
+        if ms >= 0 {
+            now.checked_add(Duration::from_millis(ms as u64))
+                .unwrap_or(now)
+        } else {
+            now.checked_sub(Duration::from_millis(ms.unsigned_abs()))
+                .unwrap_or(now)
+        }
     }
 
     fn admit_at(&self, tenant: &str, now: Instant) -> bool {
@@ -131,5 +161,26 @@ mod tests {
         assert!(q.admit_at("t", t2));
         assert!(q.admit_at("t", t2));
         assert!(!q.admit_at("t", t2));
+    }
+
+    #[test]
+    fn clock_skew_never_mints_past_burst_and_never_panics_backwards() {
+        let q = quotas(2, 1000.0);
+        // Drain the bucket at real time.
+        assert!(q.admit("t"));
+        assert!(q.admit("t"));
+        // A huge forward jump refills — but only to `burst`.
+        q.set_skew_ms(3_600_000);
+        assert!(q.admit("t"));
+        assert!(q.admit("t"));
+        assert!(!q.admit("t"), "skew caps at burst, not elapsed × rate");
+        // A huge backward jump: elapsed saturates to zero, refill
+        // freezes, nothing panics, and enforcement continues.
+        q.set_skew_ms(-3_600_000);
+        assert!(!q.admit("t"));
+        assert!(!q.admit("t"));
+        // Back to real time: enforcement still sane.
+        q.set_skew_ms(0);
+        assert!(!q.admit("t"), "no free tokens from the round trip");
     }
 }

@@ -1,13 +1,18 @@
-//! The resident daemon: accept loop, admission control, worker pool.
+//! The resident daemon: accept loop, admission control, worker pool,
+//! watchdog.
 //!
 //! Concurrency layout (std-only, sized for small machines):
 //!
 //! - one **accept thread** polls a nonblocking unix listener;
 //! - one **reader thread per connection** parses request lines and
 //!   answers control ops and rejections in line;
-//! - a fixed pool of **serve workers** drains the admission queue and
-//!   runs analyses through a shared [`Engine`] (one work-stealing match
-//!   pool and one bounded LRU match cache across all requests).
+//! - a pool of **serve workers** drains the admission queue and runs
+//!   analyses through a shared [`Engine`] (one work-stealing match
+//!   pool and one bounded LRU match cache across all requests);
+//! - one **watchdog thread** that keeps the pool whole: it requeues
+//!   work stranded by a dead worker, respawns the worker, supersedes
+//!   workers stalled past `stall_timeout_ms`, and heals the engine's
+//!   match pool.
 //!
 //! Admission is a single bounded queue guarded by one mutex/condvar
 //! pair; the same lock covers the drain protocol, so a request can
@@ -15,6 +20,17 @@
 //! Per-connection backpressure is a counting window: a reader that has
 //! `conn_window` requests in flight blocks before parsing more, which
 //! pushes back on the client through the kernel socket buffer.
+//!
+//! Self-healing invariant: every admitted job is answered exactly
+//! once. A worker parks its job in its slot before processing, so if
+//! the thread dies the watchdog finds the orphan, pushes it back to
+//! the queue front, and respawns the slot — the job is answered by the
+//! replacement. A *stalled* worker (heartbeat frozen past the timeout)
+//! is superseded instead: a fresh worker takes the slot for new work
+//! while the old thread keeps its job and still answers it when it
+//! finally wakes, then notices its slot was taken and exits.
+//! Lock order is workers → busy → queue; workers never take the
+//! workers lock, so the watchdog cannot deadlock against them.
 
 use std::collections::{HashMap, VecDeque};
 use std::io::{BufRead, BufReader, ErrorKind, Write};
@@ -30,8 +46,19 @@ use obs::Counter;
 use repro_engine::{AnalysisRequest, Engine, EngineConfig, EngineError, EngineMetrics};
 use serde::Serialize;
 
-use crate::protocol::{error_line, parse_request, status, AnalyzeRequest, Request, ResponseLine};
+use crate::protocol::{
+    error_line, parse_request, read_bounded_line, status, AnalyzeRequest, LineRead, Request,
+    ResponseLine,
+};
 use crate::quota::{QuotaConfig, TenantQuotas};
+
+#[cfg(feature = "fault-inject")]
+use crate::chaos::{ChaosState, JobChaos};
+
+#[cfg(feature = "fault-inject")]
+type ChaosHandle = Option<Arc<ChaosState>>;
+#[cfg(not(feature = "fault-inject"))]
+type ChaosHandle = ();
 
 /// Daemon knobs. Defaults are sized for a small CI box: two serve
 /// workers over a two-thread match pool, a 64-deep admission queue,
@@ -54,6 +81,19 @@ pub struct ServeConfig {
     pub default_budget_ms: u64,
     /// Default whole-request deadline when the request names none.
     pub default_deadline_ms: Option<u64>,
+    /// Request lines longer than this are refused with
+    /// `protocol_error` and the connection dropped (a slow-loris or
+    /// runaway client must not buffer without bound).
+    pub max_line_bytes: usize,
+    /// Watchdog sweep interval.
+    pub watchdog_interval_ms: u64,
+    /// A worker busy on one request longer than this is presumed
+    /// stalled and superseded (its answer, if it ever comes, still
+    /// goes out).
+    pub stall_timeout_ms: u64,
+    /// How long the startup probe waits for a predecessor daemon to
+    /// answer a ping before declaring its socket stale.
+    pub probe_timeout_ms: u64,
 }
 
 impl Default for ServeConfig {
@@ -68,6 +108,10 @@ impl Default for ServeConfig {
             cache_capacity: repro_engine::cache::DEFAULT_CACHE_CAPACITY,
             default_budget_ms: 60_000,
             default_deadline_ms: Some(10_000),
+            max_line_bytes: 256 * 1024,
+            watchdog_interval_ms: 100,
+            stall_timeout_ms: 10_000,
+            probe_timeout_ms: 500,
         }
     }
 }
@@ -86,6 +130,17 @@ pub struct ServeMetrics {
     pub trace_errors: u64,
     pub worker_lost: u64,
     pub internal_errors: u64,
+    /// Requests answered `overloaded` because their queue wait had
+    /// already consumed the deadline (subset of `overloaded`).
+    pub shed: u64,
+    /// Serve workers respawned by the watchdog (dead or stalled).
+    pub workers_respawned: u64,
+    /// Serve workers superseded for stalling (subset of respawned).
+    pub workers_stalled: u64,
+    /// Request lines refused for exceeding `max_line_bytes`.
+    pub oversized_lines: u64,
+    /// Stale predecessor sockets taken over at startup.
+    pub stale_takeovers: u64,
 }
 
 /// One serve counter: a per-server count plus the process-global
@@ -126,6 +181,11 @@ struct Counters {
     trace_errors: Stat,
     worker_lost: Stat,
     internal_errors: Stat,
+    shed: Stat,
+    workers_respawned: Stat,
+    workers_stalled: Stat,
+    oversized_lines: Stat,
+    stale_takeovers: Stat,
 }
 
 impl Counters {
@@ -141,6 +201,11 @@ impl Counters {
             trace_errors: Stat::new("serve.trace_errors"),
             worker_lost: Stat::new("serve.worker_lost"),
             internal_errors: Stat::new("serve.internal_errors"),
+            shed: Stat::new("serve.shed"),
+            workers_respawned: Stat::new("serve.workers_respawned"),
+            workers_stalled: Stat::new("serve.workers_stalled"),
+            oversized_lines: Stat::new("serve.oversized_lines"),
+            stale_takeovers: Stat::new("serve.stale_takeovers"),
         }
     }
 
@@ -156,14 +221,23 @@ impl Counters {
             trace_errors: self.trace_errors.get(),
             worker_lost: self.worker_lost.get(),
             internal_errors: self.internal_errors.get(),
+            shed: self.shed.get(),
+            workers_respawned: self.workers_respawned.get(),
+            workers_stalled: self.workers_stalled.get(),
+            oversized_lines: self.oversized_lines.get(),
+            stale_takeovers: self.stale_takeovers.get(),
         }
     }
 }
 
-/// One admitted analyze request waiting for (or on) a worker.
+/// One admitted analyze request waiting for (or on) a worker. `Clone`
+/// because a worker parks a copy in its slot while processing, so the
+/// watchdog can recover the job if the worker dies.
+#[derive(Clone)]
 struct Job {
-    req: Box<AnalyzeRequest>,
+    req: Arc<AnalyzeRequest>,
     conn: Arc<Conn>,
+    enqueued: Instant,
 }
 
 struct QueueState {
@@ -175,17 +249,73 @@ struct QueueState {
     draining: bool,
 }
 
+/// What one worker incarnation is doing right now. The parked `job` is
+/// the self-healing handle: it outlives the thread.
+#[derive(Default)]
+struct BusyState {
+    job: Option<Job>,
+    since: Option<Instant>,
+}
+
+/// State shared between one worker incarnation and the watchdog. A
+/// fresh `WorkerShared` is installed per incarnation, so `exit` only
+/// ever signals the thread it was born with.
+struct WorkerShared {
+    /// Set by the watchdog to supersede a stalled worker: finish the
+    /// current job, answer it, then exit instead of looping.
+    exit: AtomicBool,
+    busy: Mutex<BusyState>,
+}
+
+impl WorkerShared {
+    fn new() -> WorkerShared {
+        WorkerShared {
+            exit: AtomicBool::new(false),
+            busy: Mutex::new(BusyState::default()),
+        }
+    }
+}
+
+/// One position in the serve-worker pool: the incarnation currently
+/// holding it, plus its join handle (`None` only after a drain-time
+/// death with nothing left to do).
+struct WorkerSlot {
+    shared: Arc<WorkerShared>,
+    handle: Option<JoinHandle<()>>,
+}
+
 /// Per-connection write half and backpressure window.
 struct Conn {
     stream: UnixStream,
     write: Mutex<()>,
     inflight: Mutex<usize>,
     inflight_cv: Condvar,
+    #[cfg(feature = "fault-inject")]
+    chaos: ChaosHandle,
 }
 
 impl Conn {
     fn send(&self, line: &str) {
         let _guard = self.write.lock().unwrap_or_else(|e| e.into_inner());
+        #[cfg(feature = "fault-inject")]
+        if let Some(chaos) = &self.chaos {
+            if let Some((chunk, delay)) = chaos.torn_write() {
+                // Torn write: the full line still goes out, but in
+                // tiny flushed pieces with sleeps between, exercising
+                // the client's frame reassembly.
+                let mut buf = Vec::with_capacity(line.len() + 1);
+                buf.extend_from_slice(line.as_bytes());
+                buf.push(b'\n');
+                let mut s = &self.stream;
+                for piece in buf.chunks(chunk) {
+                    if s.write_all(piece).and_then(|_| s.flush()).is_err() {
+                        return;
+                    }
+                    std::thread::sleep(delay);
+                }
+                return;
+            }
+        }
         // A vanished client is not a daemon error; drop the response.
         let mut s = &self.stream;
         let _ = s
@@ -221,6 +351,12 @@ struct Shared {
     /// Compiled starbench programs, keyed `"name:version"`.
     programs: Mutex<HashMap<String, repro_ir::Program>>,
     started: Instant,
+    /// The worker pool's slots (watchdog-managed).
+    workers: Mutex<Vec<WorkerSlot>>,
+    /// Handles of superseded workers, joined at [`Server::join`].
+    retired: Mutex<Vec<JoinHandle<()>>>,
+    #[cfg(feature = "fault-inject")]
+    chaos: ChaosHandle,
 }
 
 /// A running daemon. [`Server::start`] binds and spawns the threads;
@@ -230,22 +366,70 @@ struct Shared {
 pub struct Server {
     shared: Arc<Shared>,
     accept: Option<JoinHandle<()>>,
-    workers: Vec<JoinHandle<()>>,
+    watchdog: Option<JoinHandle<()>>,
 }
 
 impl Server {
     pub fn start(config: ServeConfig) -> std::io::Result<Server> {
+        // Under `fault-inject` the no-chaos handle is `None`; without
+        // the feature it degenerates to `()` — clippy's unit-arg lint
+        // fires on the latter cfg only.
+        #[allow(clippy::unit_arg, clippy::default_constructed_unit_structs)]
+        Server::start_inner(config, ChaosHandle::default())
+    }
+
+    /// Starts a daemon with a scripted chaos plan wired into its
+    /// workers and sockets (test/benchmark harness only).
+    #[cfg(feature = "fault-inject")]
+    pub fn start_with_chaos(
+        config: ServeConfig,
+        plan: crate::chaos::ChaosPlan,
+    ) -> std::io::Result<(Server, Arc<ChaosState>)> {
+        let state = Arc::new(ChaosState::new(plan));
+        let server = Server::start_inner(config, Some(Arc::clone(&state)))?;
+        Ok((server, state))
+    }
+
+    fn start_inner(config: ServeConfig, chaos: ChaosHandle) -> std::io::Result<Server> {
+        #[cfg(not(feature = "fault-inject"))]
+        let () = chaos;
         let socket = config.socket.clone();
+        let mut took_over_stale = false;
         if socket.exists() {
-            // A live daemon answers a connect; a stale socket file
-            // (crashed daemon) refuses it and is safe to replace.
-            if UnixStream::connect(&socket).is_ok() {
-                return Err(std::io::Error::new(
-                    ErrorKind::AddrInUse,
-                    format!("{} already has a live daemon", socket.display()),
-                ));
+            // Probe the predecessor. Three outcomes: it answers a ping
+            // (live daemon — refuse to start), it accepts the connect
+            // but never answers (hung daemon — its socket is as dead
+            // as a crashed one), or the connect fails (crashed daemon
+            // left a stale file). The latter two are taken over.
+            match UnixStream::connect(&socket) {
+                Ok(probe) => {
+                    let timeout = Duration::from_millis(config.probe_timeout_ms.max(1));
+                    let _ = probe.set_read_timeout(Some(timeout));
+                    let _ = probe.set_write_timeout(Some(timeout));
+                    let mut alive = false;
+                    let mut w = &probe;
+                    if w.write_all(b"{\"op\":\"ping\"}\n")
+                        .and_then(|_| w.flush())
+                        .is_ok()
+                    {
+                        let mut line = String::new();
+                        let mut reader = BufReader::new(&probe);
+                        alive = reader.read_line(&mut line).is_ok_and(|n| n > 0);
+                    }
+                    if alive {
+                        return Err(std::io::Error::new(
+                            ErrorKind::AddrInUse,
+                            format!("{} already has a live daemon", socket.display()),
+                        ));
+                    }
+                    std::fs::remove_file(&socket)?;
+                    took_over_stale = true;
+                }
+                Err(_) => {
+                    std::fs::remove_file(&socket)?;
+                    took_over_stale = true;
+                }
             }
-            std::fs::remove_file(&socket)?;
         }
         let listener = UnixListener::bind(&socket)?;
         listener.set_nonblocking(true)?;
@@ -280,18 +464,28 @@ impl Server {
             conns: Mutex::new(Vec::new()),
             programs: Mutex::new(HashMap::new()),
             started: Instant::now(),
+            workers: Mutex::new(Vec::new()),
+            retired: Mutex::new(Vec::new()),
+            #[cfg(feature = "fault-inject")]
+            chaos,
             config,
         });
+        if took_over_stale {
+            shared.counters.stale_takeovers.inc();
+            obs::instant("serve.stale_takeover");
+        }
 
-        let workers = (0..worker_count)
-            .map(|i| {
-                let shared = Arc::clone(&shared);
-                std::thread::Builder::new()
-                    .name(format!("serve-worker-{i}"))
-                    .spawn(move || worker_loop(&shared))
-                    .expect("spawn serve worker")
-            })
-            .collect();
+        {
+            let mut slots = shared.workers.lock().unwrap_or_else(|e| e.into_inner());
+            for i in 0..worker_count {
+                let ws = Arc::new(WorkerShared::new());
+                let handle = spawn_worker(&shared, Arc::clone(&ws), i);
+                slots.push(WorkerSlot {
+                    shared: ws,
+                    handle: Some(handle),
+                });
+            }
+        }
         let accept = {
             let shared = Arc::clone(&shared);
             std::thread::Builder::new()
@@ -299,10 +493,17 @@ impl Server {
                 .spawn(move || accept_loop(listener, &shared))
                 .expect("spawn accept loop")
         };
+        let watchdog = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("serve-watchdog".into())
+                .spawn(move || watchdog_loop(&shared))
+                .expect("spawn watchdog")
+        };
         Ok(Server {
             shared,
             accept: Some(accept),
-            workers,
+            watchdog: Some(watchdog),
         })
     }
 
@@ -316,6 +517,13 @@ impl Server {
 
     pub fn engine_metrics(&self) -> EngineMetrics {
         self.shared.engine.metrics()
+    }
+
+    /// Skews the per-tenant quota clock (chaos injection only).
+    #[cfg(feature = "fault-inject")]
+    pub fn set_quota_skew_ms(&self, ms: i64) {
+        self.shared.quotas.set_skew_ms(ms);
+        obs::instant("chaos.quota_skew");
     }
 
     /// Programmatic shutdown: drain in-flight work, then stop every
@@ -332,7 +540,29 @@ impl Server {
         if let Some(h) = self.accept.take() {
             let _ = h.join();
         }
-        for h in self.workers.drain(..) {
+        if let Some(h) = self.watchdog.take() {
+            let _ = h.join();
+        }
+        let handles: Vec<JoinHandle<()>> = {
+            let mut slots = self
+                .shared
+                .workers
+                .lock()
+                .unwrap_or_else(|e| e.into_inner());
+            slots.iter_mut().filter_map(|s| s.handle.take()).collect()
+        };
+        for h in handles {
+            let _ = h.join();
+        }
+        let retired: Vec<JoinHandle<()>> = {
+            let mut r = self
+                .shared
+                .retired
+                .lock()
+                .unwrap_or_else(|e| e.into_inner());
+            r.drain(..).collect()
+        };
+        for h in retired {
             let _ = h.join();
         }
     }
@@ -351,13 +581,120 @@ fn wait_drained(shared: &Shared) {
     }
 }
 
-/// Stops the accept loop and unblocks every connection reader.
+/// Stops the accept loop, the watchdog, and every connection reader.
 fn stop_all(shared: &Shared) {
     shared.stop.store(true, Ordering::SeqCst);
     let conns = shared.conns.lock().unwrap_or_else(|e| e.into_inner());
     for conn in conns.iter() {
         // EOF the readers; pending writes still flush.
         let _ = conn.stream.shutdown(std::net::Shutdown::Read);
+    }
+}
+
+fn spawn_worker(shared: &Arc<Shared>, ws: Arc<WorkerShared>, idx: usize) -> JoinHandle<()> {
+    let shared = Arc::clone(shared);
+    std::thread::Builder::new()
+        .name(format!("serve-worker-{idx}"))
+        .spawn(move || worker_loop(&shared, &ws))
+        .expect("spawn serve worker")
+}
+
+/// The watchdog: sweeps the worker slots every `watchdog_interval_ms`,
+/// recovering from dead workers (requeue orphan + respawn) and stalled
+/// ones (supersede), and heals the engine's match pool. Runs until
+/// [`stop_all`], i.e. through the drain, so workers killed mid-drain
+/// still get their jobs requeued and finished.
+fn watchdog_loop(shared: &Arc<Shared>) {
+    let ticks = obs::counter("serve.watchdog_ticks");
+    let interval = Duration::from_millis(shared.config.watchdog_interval_ms.max(10));
+    let stall_timeout = Duration::from_millis(shared.config.stall_timeout_ms.max(1));
+    while !shared.stop.load(Ordering::SeqCst) {
+        std::thread::sleep(interval);
+        ticks.inc();
+        // Heal the engine's match pool first: a serve worker blocked
+        // on an analysis needs the match workers alive to finish.
+        shared.engine.heal();
+        let mut slots = shared.workers.lock().unwrap_or_else(|e| e.into_inner());
+        for idx in 0..slots.len() {
+            let finished = slots[idx].handle.as_ref().is_none_or(|h| h.is_finished());
+            if finished {
+                heal_dead_slot(shared, &mut slots[idx], idx);
+            } else {
+                let stalled = {
+                    let busy = slots[idx]
+                        .shared
+                        .busy
+                        .lock()
+                        .unwrap_or_else(|e| e.into_inner());
+                    busy.since.is_some_and(|s| s.elapsed() >= stall_timeout)
+                };
+                if stalled {
+                    supersede_stalled_slot(shared, &mut slots[idx], idx);
+                }
+            }
+        }
+    }
+}
+
+/// A worker thread died (or its slot was already empty). Recover its
+/// parked job, if any, to the queue front, and respawn the slot unless
+/// the daemon is draining with nothing left to do.
+fn heal_dead_slot(shared: &Arc<Shared>, slot: &mut WorkerSlot, idx: usize) {
+    let orphan = {
+        let mut busy = slot.shared.busy.lock().unwrap_or_else(|e| e.into_inner());
+        busy.since = None;
+        busy.job.take()
+    };
+    let had_orphan = orphan.is_some();
+    let should_respawn = {
+        let mut q = shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(job) = orphan {
+            // Front, not back: the orphan has already waited its turn.
+            q.jobs.push_front(job);
+            q.active -= 1;
+        }
+        let respawn = !q.draining || !q.jobs.is_empty();
+        shared.queue_cv.notify_all();
+        respawn
+    };
+    if let Some(h) = slot.handle.take() {
+        let _ = h.join();
+    }
+    if should_respawn {
+        // A worker exiting cleanly at drain time is not a death; only
+        // count (and log) respawns that replace real capacity.
+        shared.counters.workers_respawned.inc();
+        obs::instant("serve.worker_respawn");
+        let ws = Arc::new(WorkerShared::new());
+        slot.shared = Arc::clone(&ws);
+        slot.handle = Some(spawn_worker(shared, ws, idx));
+    } else if had_orphan {
+        // Unreachable in practice (orphan ⇒ queue non-empty ⇒
+        // respawn), kept for the invariant's sake.
+        shared.queue_cv.notify_all();
+    }
+}
+
+/// A worker has been busy on one job past the stall timeout. Supersede
+/// it: signal the old incarnation to exit after (still) answering its
+/// job, and install a fresh incarnation in the slot so the pool keeps
+/// its capacity. Nothing is requeued — the job is answered exactly
+/// once, by the stalled thread, whenever it wakes.
+fn supersede_stalled_slot(shared: &Arc<Shared>, slot: &mut WorkerSlot, idx: usize) {
+    slot.shared.exit.store(true, Ordering::SeqCst);
+    shared.counters.workers_stalled.inc();
+    shared.counters.workers_respawned.inc();
+    obs::instant("serve.worker_superseded");
+    let old = slot.handle.take();
+    let ws = Arc::new(WorkerShared::new());
+    slot.shared = Arc::clone(&ws);
+    slot.handle = Some(spawn_worker(shared, ws, idx));
+    if let Some(h) = old {
+        shared
+            .retired
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(h);
     }
 }
 
@@ -371,6 +708,8 @@ fn accept_loop(listener: UnixListener, shared: &Arc<Shared>) {
                     write: Mutex::new(()),
                     inflight: Mutex::new(0),
                     inflight_cv: Condvar::new(),
+                    #[cfg(feature = "fault-inject")]
+                    chaos: shared.chaos.clone(),
                 });
                 shared
                     .conns
@@ -396,11 +735,38 @@ fn reader_loop(shared: &Arc<Shared>, conn: &Arc<Conn>) {
         return;
     };
     let _ = read_half.set_nonblocking(false);
-    let reader = BufReader::new(read_half);
-    for line in reader.lines() {
-        let Ok(line) = line else { break };
+    let mut reader = BufReader::new(read_half);
+    let max_line = shared.config.max_line_bytes.max(1024);
+    loop {
+        let line = match read_bounded_line(&mut reader, max_line) {
+            Ok(LineRead::Line(line)) => line,
+            Ok(LineRead::Eof) | Err(_) => break,
+            Ok(LineRead::TooLong) => {
+                // An unbounded line is indistinguishable from an
+                // attack on daemon memory: answer with a labeled
+                // error and drop the connection rather than keep
+                // buffering.
+                shared.counters.oversized_lines.inc();
+                conn.send(&error_line(
+                    "",
+                    status::PROTOCOL_ERROR,
+                    &format!("request line exceeds {max_line} bytes; closing connection"),
+                ));
+                // The registry in `shared.conns` keeps the stream
+                // alive past this thread, so hang up explicitly: the
+                // hostile peer must see the close, not a stall.
+                let _ = conn.stream.shutdown(std::net::Shutdown::Both);
+                break;
+            }
+        };
         if line.trim().is_empty() {
             continue;
+        }
+        #[cfg(feature = "fault-inject")]
+        if let Some(chaos) = &shared.chaos {
+            if let Some(delay) = chaos.read_delay() {
+                std::thread::sleep(delay);
+            }
         }
         match parse_request(&line) {
             Err(msg) => {
@@ -467,18 +833,36 @@ fn admit(shared: &Arc<Shared>, conn: &Arc<Conn>, req: Box<AnalyzeRequest>) {
         ));
     } else {
         q.jobs.push_back(Job {
-            req,
+            req: Arc::from(req),
             conn: Arc::clone(conn),
+            enqueued: Instant::now(),
         });
         shared.queue_cv.notify_all();
     }
 }
 
-fn worker_loop(shared: &Arc<Shared>) {
+/// Finishes one job's accounting: drop the active count and wake the
+/// drain waiter if the queue just went idle.
+fn finish_job(shared: &Shared) {
+    let mut q = shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+    q.active -= 1;
+    if q.draining && q.active == 0 && q.jobs.is_empty() {
+        shared.queue_cv.notify_all();
+    }
+}
+
+fn worker_loop(shared: &Arc<Shared>, ws: &Arc<WorkerShared>) {
+    let heartbeats = obs::counter("serve.worker_heartbeats");
     loop {
+        if ws.exit.load(Ordering::SeqCst) {
+            return;
+        }
         let job = {
             let mut q = shared.queue.lock().unwrap_or_else(|e| e.into_inner());
             loop {
+                if ws.exit.load(Ordering::SeqCst) {
+                    return;
+                }
                 if let Some(job) = q.jobs.pop_front() {
                     q.active += 1;
                     break job;
@@ -489,6 +873,48 @@ fn worker_loop(shared: &Arc<Shared>) {
                 q = shared.queue_cv.wait(q).unwrap_or_else(|e| e.into_inner());
             }
         };
+        heartbeats.inc();
+        // Deadline-aware shedding: if the queue wait alone has
+        // consumed the request's deadline, nobody is waiting for the
+        // answer — shed it now instead of burning a worker on it.
+        let deadline_ms = job.req.deadline_ms.or(shared.config.default_deadline_ms);
+        if let Some(ms) = deadline_ms {
+            let waited = job.enqueued.elapsed();
+            if waited >= Duration::from_millis(ms) {
+                shared.counters.shed.inc();
+                shared.counters.overloaded.inc();
+                obs::instant("serve.shed");
+                job.conn.send(&error_line(
+                    &job.req.id,
+                    status::OVERLOADED,
+                    &format!(
+                        "shed: queued {}ms against a {ms}ms deadline",
+                        waited.as_millis()
+                    ),
+                ));
+                job.conn.release_window();
+                finish_job(shared);
+                continue;
+            }
+        }
+        // Park the job in the slot before touching it: from here until
+        // the answer is sent, a death of this thread leaves the job
+        // recoverable by the watchdog.
+        {
+            let mut busy = ws.busy.lock().unwrap_or_else(|e| e.into_inner());
+            busy.job = Some(job.clone());
+            busy.since = Some(Instant::now());
+        }
+        #[cfg(feature = "fault-inject")]
+        if let Some(chaos) = &shared.chaos {
+            match chaos.next_job_fault() {
+                // Abrupt death: the job stays parked (and the active
+                // count held) for the watchdog to recover.
+                JobChaos::Kill => return,
+                JobChaos::Stall(d) => std::thread::sleep(d),
+                JobChaos::None => {}
+            }
+        }
         // Zero worker loss: a panic anywhere in request processing is
         // contained to an `internal_error` response for that request.
         let line =
@@ -501,12 +927,13 @@ fn worker_loop(shared: &Arc<Shared>) {
                 )
             });
         job.conn.send(&line);
-        job.conn.release_window();
-        let mut q = shared.queue.lock().unwrap_or_else(|e| e.into_inner());
-        q.active -= 1;
-        if q.draining && q.active == 0 && q.jobs.is_empty() {
-            shared.queue_cv.notify_all();
+        {
+            let mut busy = ws.busy.lock().unwrap_or_else(|e| e.into_inner());
+            busy.job = None;
+            busy.since = None;
         }
+        job.conn.release_window();
+        finish_job(shared);
     }
 }
 
@@ -630,6 +1057,14 @@ fn stats_line(shared: &Shared) -> String {
     ResponseLine::new("", status::OK)
         .str("op", "stats")
         .num("uptime_ms", shared.started.elapsed().as_secs_f64() * 1e3)
+        // Client-side breaker state, visible when clients share this
+        // process's obs registry (in-process harnesses); zero
+        // otherwise.
+        .num(
+            "breaker_opens",
+            obs::counter("client.breaker_opens").get() as f64,
+        )
+        .num("breaker_open", obs::gauge("client.breaker_open").get())
         .raw("serve", &serve_json)
         .raw("engine", &engine_json)
         .finish()

@@ -1,0 +1,283 @@
+//! Fault-injection tests for the daemon's self-healing (`fault-inject`
+//! feature only). Each test scripts a deterministic [`ChaosPlan`]
+//! against a private daemon and asserts the one invariant chaos must
+//! not break: every admitted request is answered exactly once, with a
+//! labeled status — through worker deaths, stalls, torn writes, and a
+//! skewed quota clock.
+
+use obs::json::{parse, Json};
+use repro_serve::{ChaosPlan, QuotaConfig, ServeConfig, Server};
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Write};
+use std::os::unix::net::UnixStream;
+use std::path::PathBuf;
+use std::time::Duration;
+
+const FAST_SRC: &str = "float in[4];\nfloat out[4];\nvoid main() {\n  int i;\n  \
+     for (i = 0; i < 4; i++) {\n    out[i] = in[i] * 2.0 + 1.0;\n  }\n  output(out);\n}\n";
+
+fn sock(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "repro-serve-chaos-{}-{tag}.sock",
+        std::process::id()
+    ))
+}
+
+fn config(tag: &str) -> ServeConfig {
+    ServeConfig {
+        socket: sock(tag),
+        workers: 2,
+        analysis_threads: 2,
+        watchdog_interval_ms: 20,
+        ..ServeConfig::default()
+    }
+}
+
+fn analyze_line(id: &str, tenant: &str, source: &str) -> String {
+    let mut line = String::new();
+    line.push_str("{\"op\":\"analyze\",\"id\":");
+    serde::ser_str(&mut line, id);
+    line.push_str(",\"tenant\":");
+    serde::ser_str(&mut line, tenant);
+    line.push_str(",\"source\":");
+    serde::ser_str(&mut line, source);
+    line.push('}');
+    line
+}
+
+struct Client {
+    stream: UnixStream,
+    reader: BufReader<UnixStream>,
+}
+
+impl Client {
+    fn connect(server: &Server) -> Client {
+        let stream = UnixStream::connect(server.socket()).expect("connect to daemon");
+        let reader = BufReader::new(stream.try_clone().expect("clone stream"));
+        Client { stream, reader }
+    }
+
+    fn send(&mut self, line: &str) {
+        let mut s = &self.stream;
+        s.write_all(line.as_bytes()).expect("send request");
+        s.write_all(b"\n").expect("send newline");
+        s.flush().expect("flush request");
+    }
+
+    fn recv(&mut self) -> Json {
+        let mut line = String::new();
+        let n = self.reader.read_line(&mut line).expect("read response");
+        assert!(n > 0, "daemon closed the connection mid-conversation");
+        parse(line.trim_end()).expect("response parses as JSON")
+    }
+
+    fn request(&mut self, line: &str) -> Json {
+        self.send(line);
+        self.recv()
+    }
+}
+
+fn status_of(doc: &Json) -> &str {
+    doc.get("status")
+        .and_then(Json::as_str)
+        .expect("status field")
+}
+
+fn collect(client: &mut Client, n: usize) -> HashMap<String, String> {
+    (0..n)
+        .map(|_| {
+            let doc = client.recv();
+            (
+                doc.get("id")
+                    .and_then(Json::as_str)
+                    .expect("id field")
+                    .to_string(),
+                status_of(&doc).to_string(),
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn killed_workers_are_respawned_and_their_jobs_survive() {
+    // The worker popping the very first job dies abruptly with the job
+    // parked in its slot. The watchdog must requeue the orphan,
+    // respawn the slot, and the job must still be answered.
+    let (server, chaos) = Server::start_with_chaos(
+        config("kill"),
+        ChaosPlan {
+            kill_at_jobs: vec![0],
+            ..ChaosPlan::default()
+        },
+    )
+    .unwrap();
+    let mut client = Client::connect(&server);
+    for i in 0..3 {
+        client.send(&analyze_line(&format!("k{i}"), "t", FAST_SRC));
+    }
+    let statuses = collect(&mut client, 3);
+    assert_eq!(statuses.len(), 3, "every id answered exactly once");
+    assert!(
+        statuses.values().all(|s| s == "ok"),
+        "a killed worker must not surface as a request error: {statuses:?}"
+    );
+    assert_eq!(chaos.metrics().worker_kills, 1);
+    let m = server.metrics();
+    assert!(m.workers_respawned >= 1, "{m:?}");
+    assert_eq!(m.worker_lost, 0);
+    assert_eq!(m.internal_errors, 0);
+    server.shutdown();
+    server.join();
+}
+
+#[test]
+fn stalled_workers_are_superseded_and_still_answer_exactly_once() {
+    // One worker, stalled 400 ms on the first job against a 50 ms
+    // stall timeout: the watchdog supersedes it so the second job is
+    // served by a fresh worker while the first still completes on the
+    // stalled thread. Both answered, neither twice.
+    let mut cfg = config("stall");
+    cfg.workers = 1;
+    cfg.stall_timeout_ms = 50;
+    let (server, chaos) = Server::start_with_chaos(
+        cfg,
+        ChaosPlan {
+            stall_at_jobs: vec![(0, Duration::from_millis(400))],
+            ..ChaosPlan::default()
+        },
+    )
+    .unwrap();
+    let mut client = Client::connect(&server);
+    client.send(&analyze_line("s0", "t", FAST_SRC));
+    client.send(&analyze_line("s1", "t", FAST_SRC));
+    let statuses = collect(&mut client, 2);
+    assert_eq!(statuses.len(), 2);
+    assert!(statuses.values().all(|s| s == "ok"), "{statuses:?}");
+    // A ping answered next proves there is no stray third response
+    // buffered (the stalled thread did not double-answer).
+    let doc = client.request(r#"{"op":"ping"}"#);
+    assert_eq!(doc.get("op").and_then(Json::as_str), Some("ping"));
+    assert_eq!(chaos.metrics().worker_stalls, 1);
+    let m = server.metrics();
+    assert!(m.workers_stalled >= 1, "{m:?}");
+    assert!(m.workers_respawned >= 1, "{m:?}");
+    server.shutdown();
+    server.join();
+}
+
+#[test]
+fn torn_writes_still_deliver_whole_frames() {
+    // Every response goes out in 2-byte flushed pieces with sleeps
+    // between; the client's line-based reader must see intact frames.
+    let (server, chaos) = Server::start_with_chaos(
+        config("torn"),
+        ChaosPlan {
+            torn_write_every: 1,
+            torn_chunk: 2,
+            torn_delay: Duration::from_millis(1),
+            ..ChaosPlan::default()
+        },
+    )
+    .unwrap();
+    let mut client = Client::connect(&server);
+    for i in 0..3 {
+        let doc = client.request(&analyze_line(&format!("t{i}"), "t", FAST_SRC));
+        assert_eq!(status_of(&doc), "ok", "{doc:?}");
+        assert_eq!(doc.get("patterns").and_then(Json::as_f64), Some(1.0));
+    }
+    assert!(chaos.metrics().torn_writes >= 3);
+    server.shutdown();
+    server.join();
+}
+
+#[test]
+fn delayed_reads_slow_the_connection_not_the_answers() {
+    let (server, chaos) = Server::start_with_chaos(
+        config("readdelay"),
+        ChaosPlan {
+            read_delay_every: 1,
+            read_delay: Duration::from_millis(5),
+            ..ChaosPlan::default()
+        },
+    )
+    .unwrap();
+    let mut client = Client::connect(&server);
+    for i in 0..3 {
+        let doc = client.request(&analyze_line(&format!("d{i}"), "t", FAST_SRC));
+        assert_eq!(status_of(&doc), "ok", "{doc:?}");
+    }
+    assert!(chaos.metrics().read_delays >= 3);
+    server.shutdown();
+    server.join();
+}
+
+#[test]
+fn quota_clock_skew_neither_mints_tokens_nor_wedges_enforcement() {
+    let mut cfg = config("skew");
+    cfg.quota = QuotaConfig {
+        burst: 1,
+        refill_per_sec: 0.01,
+    };
+    let (server, _chaos) = Server::start_with_chaos(cfg, ChaosPlan::default()).unwrap();
+    let mut client = Client::connect(&server);
+
+    // Burn the burst at real time.
+    let doc = client.request(&analyze_line("q0", "t", FAST_SRC));
+    assert_eq!(status_of(&doc), "ok", "{doc:?}");
+    let doc = client.request(&analyze_line("q1", "t", FAST_SRC));
+    assert_eq!(status_of(&doc), "quota", "{doc:?}");
+
+    // An hour of forward skew refills — but only to the burst cap.
+    server.set_quota_skew_ms(3_600_000);
+    let doc = client.request(&analyze_line("q2", "t", FAST_SRC));
+    assert_eq!(status_of(&doc), "ok", "skew refills at most burst: {doc:?}");
+    let doc = client.request(&analyze_line("q3", "t", FAST_SRC));
+    assert_eq!(status_of(&doc), "quota", "{doc:?}");
+
+    // An hour of backward skew freezes refill; the daemon neither
+    // panics nor admits for free.
+    server.set_quota_skew_ms(-3_600_000);
+    let doc = client.request(&analyze_line("q4", "t", FAST_SRC));
+    assert_eq!(status_of(&doc), "quota", "{doc:?}");
+
+    server.set_quota_skew_ms(0);
+    let doc = client.request(&analyze_line("q5", "t", FAST_SRC));
+    assert_eq!(
+        status_of(&doc),
+        "quota",
+        "no free tokens from the round trip: {doc:?}"
+    );
+
+    let m = server.metrics();
+    assert_eq!(m.ok, 2);
+    assert_eq!(m.quota, 4);
+    server.shutdown();
+    server.join();
+}
+
+#[test]
+fn a_kill_during_drain_does_not_hang_shutdown() {
+    // The worker dies on the only queued job, then shutdown drains.
+    // The watchdog must requeue + respawn so the drain completes and
+    // the job is answered before the shutdown response.
+    let mut cfg = config("kill-drain");
+    cfg.workers = 1;
+    let (server, chaos) = Server::start_with_chaos(
+        cfg,
+        ChaosPlan {
+            kill_at_jobs: vec![0],
+            ..ChaosPlan::default()
+        },
+    )
+    .unwrap();
+    let mut client = Client::connect(&server);
+    client.send(&analyze_line("last", "t", FAST_SRC));
+    client.send(r#"{"op":"shutdown"}"#);
+    let first = client.recv();
+    assert_eq!(status_of(&first), "ok", "{first:?}");
+    assert_eq!(first.get("id").and_then(Json::as_str), Some("last"));
+    let second = client.recv();
+    assert_eq!(second.get("op").and_then(Json::as_str), Some("shutdown"));
+    assert_eq!(chaos.metrics().worker_kills, 1);
+    server.join();
+}

@@ -354,6 +354,135 @@ fn protocol_errors_are_answered_inline_and_do_not_wedge_the_daemon() {
 }
 
 #[test]
+fn deadline_consumed_in_queue_sheds_instead_of_working() {
+    // One worker pinned on a slow request; a queued request whose
+    // deadline is already spent must be answered `overloaded` without
+    // burning the worker on doomed work.
+    let mut cfg = config("shed");
+    cfg.workers = 1;
+    cfg.analysis_threads = 1;
+    let server = Server::start(cfg).unwrap();
+    let mut client = Client::connect(&server);
+    client.send(&analyze_line("plug", "t", SLOW_SRC));
+    let mut doomed = String::new();
+    doomed.push_str(
+        "{\"op\":\"analyze\",\"id\":\"doomed\",\"tenant\":\"t\",\"deadline_ms\":0,\"source\":",
+    );
+    serde::ser_str(&mut doomed, FAST_SRC);
+    doomed.push('}');
+    client.send(&doomed);
+    let statuses = collect(&mut client, 2);
+    assert_eq!(statuses["plug"], "ok", "{statuses:?}");
+    assert_eq!(statuses["doomed"], "overloaded", "{statuses:?}");
+    let m = server.metrics();
+    assert!(
+        m.shed >= 1,
+        "shed counter must record the early answer: {m:?}"
+    );
+    // Shed answers carry an explanatory message.
+    let doc = client.request(r#"{"op":"stats"}"#);
+    let serve = doc.get("serve").expect("serve section");
+    assert!(serve.get("shed").and_then(Json::as_f64).unwrap() >= 1.0);
+    server.shutdown();
+    server.join();
+}
+
+#[test]
+fn stats_report_uptime_and_resilience_counters() {
+    let server = Server::start(config("stats-resil")).unwrap();
+    let mut client = Client::connect(&server);
+    std::thread::sleep(std::time::Duration::from_millis(10));
+    let doc = client.request(r#"{"op":"stats"}"#);
+    assert_eq!(status_of(&doc), "ok");
+    assert!(doc.get("uptime_ms").and_then(Json::as_f64).unwrap() >= 10.0);
+    assert!(doc.get("breaker_opens").and_then(Json::as_f64).is_some());
+    assert!(doc.get("breaker_open").and_then(Json::as_f64).is_some());
+    let serve = doc.get("serve").expect("serve section");
+    for key in [
+        "shed",
+        "workers_respawned",
+        "workers_stalled",
+        "oversized_lines",
+        "stale_takeovers",
+    ] {
+        assert_eq!(
+            serve.get(key).and_then(Json::as_f64),
+            Some(0.0),
+            "calm daemon reports zero {key}"
+        );
+    }
+    server.shutdown();
+    server.join();
+}
+
+#[test]
+fn startup_takes_over_a_crashed_predecessors_stale_socket() {
+    // A predecessor that crashed leaves its socket file behind with
+    // nothing listening. Startup must detect the corpse and take over.
+    let path = sock("stale");
+    let _ = std::fs::remove_file(&path);
+    drop(std::os::unix::net::UnixListener::bind(&path).expect("plant stale socket"));
+    assert!(path.exists(), "stale socket file planted");
+
+    let mut cfg = config("stale");
+    cfg.probe_timeout_ms = 200;
+    let server = Server::start(cfg).expect("take over the stale socket");
+    let mut client = Client::connect(&server);
+    let doc = client.request(&analyze_line("reborn", "t", FAST_SRC));
+    assert_eq!(status_of(&doc), "ok");
+    assert_eq!(server.metrics().stale_takeovers, 1);
+    server.shutdown();
+    server.join();
+}
+
+#[test]
+fn startup_takes_over_a_hung_predecessors_socket() {
+    // A predecessor that still accepts but never answers ping (hung
+    // accept loop) is as dead as a corpse: the probe times out and the
+    // new daemon takes the address.
+    let path = sock("hung");
+    let _ = std::fs::remove_file(&path);
+    let hung = std::os::unix::net::UnixListener::bind(&path).expect("plant hung daemon");
+    let keepalive = std::thread::spawn(move || {
+        // Accept connections and hold them open without answering.
+        let mut held = Vec::new();
+        while let Ok((conn, _)) = hung.accept() {
+            held.push(conn);
+            if held.len() >= 2 {
+                break;
+            }
+        }
+    });
+
+    let mut cfg = config("hung");
+    cfg.probe_timeout_ms = 100;
+    let server = Server::start(cfg).expect("take over the hung socket");
+    let mut client = Client::connect(&server);
+    let doc = client.request(r#"{"op":"ping"}"#);
+    assert_eq!(status_of(&doc), "ok");
+    assert_eq!(server.metrics().stale_takeovers, 1);
+    server.shutdown();
+    server.join();
+    drop(keepalive); // the hung listener thread dies with the process
+}
+
+#[test]
+fn startup_refuses_to_evict_a_live_daemon() {
+    let server = Server::start(config("live")).unwrap();
+    let err = match Server::start(config("live")) {
+        Ok(_) => panic!("second daemon must refuse to start"),
+        Err(e) => e,
+    };
+    assert_eq!(err.kind(), std::io::ErrorKind::AddrInUse, "{err}");
+    // The incumbent is unharmed by the probe.
+    let mut client = Client::connect(&server);
+    let doc = client.request(&analyze_line("still-here", "t", FAST_SRC));
+    assert_eq!(status_of(&doc), "ok");
+    server.shutdown();
+    server.join();
+}
+
+#[test]
 fn bench_requests_share_the_compiled_program_and_cache() {
     let server = Server::start(config("bench")).unwrap();
     let mut client = Client::connect(&server);

@@ -1,0 +1,235 @@
+//! Protocol fuzz/property tests: the wire parser must be total (never
+//! panic) and the daemon must answer every malformed line with a
+//! labeled error — truncated JSON, garbage bytes, oversized ids,
+//! frames split across arbitrary write boundaries — without ever
+//! hanging or crashing the connection it does not have to drop.
+
+use proptest::prelude::*;
+use repro_serve::protocol::{read_bounded_line, LineRead};
+use repro_serve::{parse_request, ServeConfig, Server};
+use std::io::{BufRead, BufReader, Write};
+use std::os::unix::net::UnixStream;
+use std::path::PathBuf;
+use std::time::Duration;
+
+const FAST_SRC: &str = "float in[4];\nfloat out[4];\nvoid main() {\n  int i;\n  \
+     for (i = 0; i < 4; i++) {\n    out[i] = in[i] * 2.0 + 1.0;\n  }\n  output(out);\n}\n";
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Arbitrary printable garbage never panics the parser.
+    #[test]
+    fn parse_request_is_total_on_garbage(line in "[ -~\\n\\t]{0,300}") {
+        let _ = parse_request(&line);
+    }
+
+    /// JSON-shaped fragments — braces, quotes, colons — probe deeper
+    /// parser states than uniform garbage.
+    #[test]
+    fn parse_request_is_total_on_json_shaped_noise(
+        line in "[{}\\[\\]\",:a-z0-9 .\\\\-]{0,200}"
+    ) {
+        let _ = parse_request(&line);
+    }
+
+    /// Every truncation prefix of a valid request parses or errors,
+    /// never panics, and no strict prefix is accepted as `analyze`.
+    #[test]
+    fn truncated_requests_error_cleanly(cut in 0usize..120) {
+        let full = r#"{"op":"analyze","id":"x","tenant":"t","source":"void main() {}","budget_ms":5,"deadline_ms":100}"#;
+        let cut = cut.min(full.len().saturating_sub(1));
+        let prefix = &full[..cut];
+        if let Ok(req) = parse_request(prefix) {
+            prop_assert!(
+                !matches!(req, repro_serve::Request::Analyze(_)),
+                "strict prefix accepted as analyze: {prefix:?}"
+            );
+        }
+    }
+
+    /// Wrong-typed fields produce an error string, not a panic.
+    #[test]
+    fn wrong_typed_fields_error_cleanly(n in any::<i64>()) {
+        let line = format!(
+            "{{\"op\":\"analyze\",\"id\":{n},\"source\":{n},\"budget_ms\":\"x\",\"deadline_ms\":[{n}]}}"
+        );
+        let _ = parse_request(&line);
+    }
+
+    /// `read_bounded_line` is total over arbitrary byte soup (including
+    /// invalid UTF-8) and never yields a line beyond the cap.
+    #[test]
+    fn read_bounded_line_is_total_on_bytes(
+        bytes in prop::collection::vec(any::<u8>(), 0..300),
+        cap in 1usize..128
+    ) {
+        let mut reader = BufReader::new(&bytes[..]);
+        loop {
+            match read_bounded_line(&mut reader, cap) {
+                // Lossy decoding can widen invalid bytes into 3-byte
+                // replacement chars, but never adds characters: the
+                // char count is the bounded quantity.
+                Ok(LineRead::Line(l)) => prop_assert!(l.chars().count() <= cap),
+                Ok(LineRead::Eof) => break,
+                Ok(LineRead::TooLong) => break,
+                Err(_) => break,
+            }
+        }
+    }
+}
+
+fn sock(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "repro-serve-fuzz-{}-{tag}.sock",
+        std::process::id()
+    ))
+}
+
+fn start(tag: &str, max_line_bytes: usize) -> Server {
+    Server::start(ServeConfig {
+        socket: sock(tag),
+        workers: 2,
+        analysis_threads: 2,
+        max_line_bytes,
+        ..ServeConfig::default()
+    })
+    .expect("start daemon")
+}
+
+struct Wire {
+    stream: UnixStream,
+    reader: BufReader<UnixStream>,
+}
+
+impl Wire {
+    fn connect(server: &Server) -> Wire {
+        let stream = UnixStream::connect(server.socket()).expect("connect");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(30)))
+            .expect("read timeout");
+        let reader = BufReader::new(stream.try_clone().expect("clone"));
+        Wire { stream, reader }
+    }
+
+    fn send_bytes(&mut self, bytes: &[u8]) {
+        let mut s = &self.stream;
+        s.write_all(bytes).expect("send");
+        s.flush().expect("flush");
+    }
+
+    fn recv(&mut self) -> String {
+        let mut line = String::new();
+        let n = self.reader.read_line(&mut line).expect("read response");
+        assert!(n > 0, "daemon closed the connection unexpectedly");
+        line
+    }
+
+    /// Reads one line or None on clean EOF (connection dropped).
+    fn recv_or_eof(&mut self) -> Option<String> {
+        let mut line = String::new();
+        match self.reader.read_line(&mut line) {
+            Ok(0) => None,
+            Ok(_) => Some(line),
+            Err(e) => panic!("read failed instead of clean close: {e}"),
+        }
+    }
+}
+
+fn analyze_line(id: &str) -> String {
+    let mut line = String::new();
+    line.push_str("{\"op\":\"analyze\",\"id\":");
+    serde::ser_str(&mut line, id);
+    line.push_str(",\"tenant\":\"t\",\"source\":");
+    serde::ser_str(&mut line, FAST_SRC);
+    line.push('}');
+    line
+}
+
+#[test]
+fn garbage_lines_get_labeled_errors_and_the_connection_survives() {
+    let server = start("garbage", 64 * 1024);
+    let mut wire = Wire::connect(&server);
+    // Invalid UTF-8, truncated JSON, bare words — each answered inline.
+    let probes: [&[u8]; 4] = [
+        b"\xff\xfe{{{\n",
+        b"{\"op\":\"analyze\",\"id\":\"trunc\n",
+        b"hello daemon\n",
+        b"{\"op\":17}\n",
+    ];
+    for probe in probes {
+        wire.send_bytes(probe);
+        let answer = wire.recv();
+        assert!(
+            answer.contains("bad_request"),
+            "malformed line must be labeled bad_request: {answer:?}"
+        );
+    }
+    // The same connection still serves real work afterwards.
+    wire.send_bytes(format!("{}\n", analyze_line("after-garbage")).as_bytes());
+    let answer = wire.recv();
+    assert!(answer.contains("\"ok\""), "{answer:?}");
+    server.shutdown();
+    server.join();
+}
+
+#[test]
+fn frames_split_across_write_boundaries_reassemble() {
+    let server = start("split", 64 * 1024);
+    let mut wire = Wire::connect(&server);
+    let line = format!("{}\n", analyze_line("split-frame"));
+    // Dribble the frame out in 3-byte flushed writes with pauses: the
+    // daemon's bounded reader must reassemble one intact request.
+    for chunk in line.as_bytes().chunks(3) {
+        wire.send_bytes(chunk);
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    let answer = wire.recv();
+    assert!(answer.contains("split-frame"), "{answer:?}");
+    assert!(answer.contains("\"ok\""), "{answer:?}");
+    server.shutdown();
+    server.join();
+}
+
+#[test]
+fn oversized_lines_get_protocol_error_then_the_connection_drops() {
+    let server = start("oversize", 4096);
+    let mut victim = Wire::connect(&server);
+    // An id alone larger than the line cap: the daemon must answer
+    // protocol_error and hang up without buffering the whole line.
+    let huge = format!("{}\n", analyze_line(&"x".repeat(16 * 1024)));
+    victim.send_bytes(huge.as_bytes());
+    let answer = victim.recv();
+    assert!(
+        answer.contains("protocol_error"),
+        "oversized line must be labeled protocol_error: {answer:?}"
+    );
+    assert_eq!(
+        victim.recv_or_eof(),
+        None,
+        "the oversized connection must be dropped after the error"
+    );
+    // Other connections are unaffected.
+    let mut bystander = Wire::connect(&server);
+    bystander.send_bytes(format!("{}\n", analyze_line("bystander")).as_bytes());
+    let answer = bystander.recv();
+    assert!(answer.contains("\"ok\""), "{answer:?}");
+    assert!(server.metrics().oversized_lines >= 1);
+    server.shutdown();
+    server.join();
+}
+
+#[test]
+fn oversized_id_within_the_line_cap_is_answered_not_dropped() {
+    // A 16 KiB id fits under the default cap: it is valid protocol, so
+    // the daemon must echo it back rather than treat it as an attack.
+    let server = start("bigid", 256 * 1024);
+    let mut wire = Wire::connect(&server);
+    let id = "i".repeat(16 * 1024);
+    wire.send_bytes(format!("{}\n", analyze_line(&id)).as_bytes());
+    let answer = wire.recv();
+    assert!(answer.contains(&id), "big id echoed back");
+    assert!(answer.contains("\"ok\""), "{answer:?}");
+    server.shutdown();
+    server.join();
+}
