@@ -21,6 +21,14 @@
 //! total log-log slope of analysis time vs DDG size nor the matching
 //! phase's slope may exceed `--max-slope` (default 1.05 — superlinear
 //! extraction or matching regressions fail CI here).
+//!
+//! `--slo <report> [--max-burn <b>]` gates the SLO burn rates a load or
+//! chaos run recorded into its report's meta (`slo_short_burn`,
+//! `slo_long_burn`): both must be finite and at most `--max-burn`
+//! (default 1.0 — burning the error budget faster than it refills fails
+//! CI). `--prom <file> [required-name ...]` validates a scraped
+//! Prometheus text exposition and asserts each required metric family
+//! is present.
 
 use obs::json::{parse, Json};
 use std::process::exit;
@@ -39,6 +47,14 @@ fn main() {
         chaos_gate(&args[1..]);
         return;
     }
+    if args.first().map(String::as_str) == Some("--slo") {
+        slo_gate(&args[1..]);
+        return;
+    }
+    if args.first().map(String::as_str) == Some("--prom") {
+        prom_gate(&args[1..]);
+        return;
+    }
     let (trace_path, metrics_path) = match (args.first(), args.get(1)) {
         (Some(t), Some(m)) => (t, m),
         _ => {
@@ -46,6 +62,8 @@ fn main() {
             eprintln!("       obs_check --fig7 <BENCH_fig7.json> [--max-slope <s>]");
             eprintln!("       obs_check --serve <BENCH_serve.json> [--max-p99-ms <ms>]");
             eprintln!("       obs_check --chaos <BENCH_chaos.json> [--max-p99-ms <ms>] [--min-requests <n>]");
+            eprintln!("       obs_check --slo <report.json> [--max-burn <b>]");
+            eprintln!("       obs_check --prom <scrape.txt> [required-name ...]");
             exit(2);
         }
     };
@@ -413,9 +431,128 @@ fn chaos_gate(args: &[String]) {
         eprintln!("obs_check: {path}: p99 latency under chaos {p99:.1} ms exceeds {max_p99_ms} ms");
         exit(1);
     }
+    // The telemetry plane must have witnessed the whole run: every sent
+    // request id reconstructable from the flight recorder, and the
+    // on-demand blackbox dump non-empty.
+    if require_num("trail_complete") != 1.0 {
+        let incomplete = require_num("trail_incomplete");
+        eprintln!(
+            "obs_check: {path}: {incomplete} request ids are not reconstructable from the \
+             flight recorder — faults left gaps in the event trail"
+        );
+        exit(1);
+    }
+    let blackbox_events = require_num("blackbox_events");
+    if blackbox_events < 1.0 {
+        eprintln!("obs_check: {path}: blackbox dump is missing or empty");
+        exit(1);
+    }
+    let ids_sent = require_num("ids_sent");
     println!(
         "obs_check: OK — chaos: {requests} requests, 0 lost ({answered} answered + {skipped} \
-         breaker-skipped), {kills} kills all respawned ({respawned}), p99 {p99:.1} ms <= {max_p99_ms} ms"
+         breaker-skipped), {kills} kills all respawned ({respawned}), p99 {p99:.1} ms <= {max_p99_ms} ms, \
+         {ids_sent} request trails complete, blackbox {blackbox_events} events"
+    );
+}
+
+/// The SLO burn-rate gate: `--slo <report> [--max-burn <b>]`.
+///
+/// Reads the `slo_*` meta a load or chaos run copied out of the
+/// daemon's `stats`, and fails if either burn rate exceeds the cap. A
+/// report with zero SLO-eligible outcomes fails too: a gate that never
+/// measured anything proves nothing.
+fn slo_gate(args: &[String]) {
+    let path = args.first().unwrap_or_else(|| {
+        eprintln!("usage: obs_check --slo <report.json> [--max-burn <b>]");
+        exit(2);
+    });
+    let mut max_burn = 1.0f64;
+    if let Some(i) = args.iter().position(|a| a == "--max-burn") {
+        let v = args.get(i + 1).unwrap_or_else(|| {
+            eprintln!("missing value for --max-burn");
+            exit(2);
+        });
+        max_burn = v.parse().unwrap_or_else(|_| {
+            eprintln!("invalid value for --max-burn: got {v:?}");
+            exit(2);
+        });
+    }
+
+    let doc = parse(&read(path)).unwrap_or_else(|e| {
+        eprintln!("obs_check: {path}: {e}");
+        exit(1);
+    });
+    let meta = doc.get("meta").unwrap_or_else(|| {
+        eprintln!("obs_check: {path}: report has no \"meta\" object");
+        exit(1);
+    });
+    let require_num = |key: &str| -> f64 {
+        match meta.get(key) {
+            Some(Json::Num(n)) => *n,
+            other => {
+                eprintln!("obs_check: {path}: meta.{key} missing or non-numeric ({other:?})");
+                exit(1);
+            }
+        }
+    };
+
+    let total = require_num("slo_total");
+    if total < 1.0 {
+        eprintln!(
+            "obs_check: {path}: slo_total = {total} — the run recorded no SLO-eligible \
+             outcomes, the burn gate measured nothing"
+        );
+        exit(1);
+    }
+    let short_burn = require_num("slo_short_burn");
+    let long_burn = require_num("slo_long_burn");
+    for (name, burn) in [("short", short_burn), ("long", long_burn)] {
+        if !burn.is_finite() || burn > max_burn {
+            eprintln!(
+                "obs_check: {path}: {name}-window burn rate {burn:.3} exceeds {max_burn} — \
+                 the error budget is being consumed faster than allowed"
+            );
+            exit(1);
+        }
+    }
+    println!(
+        "obs_check: OK — slo: {total} outcomes ({} good, {} bad), short burn {short_burn:.3}, \
+         long burn {long_burn:.3} <= {max_burn}",
+        require_num("slo_good"),
+        require_num("slo_bad"),
+    );
+}
+
+/// The Prometheus scrape gate: `--prom <scrape.txt> [required-name ...]`.
+fn prom_gate(args: &[String]) {
+    let path = args.first().unwrap_or_else(|| {
+        eprintln!("usage: obs_check --prom <scrape.txt> [required-name ...]");
+        exit(2);
+    });
+    let text = read(path);
+    let summary = obs::validate_prometheus_text(&text).unwrap_or_else(|e| {
+        eprintln!("obs_check: {path}: {e}");
+        exit(1);
+    });
+    if summary.samples == 0 {
+        eprintln!("obs_check: {path}: the scrape contains no samples");
+        exit(1);
+    }
+    for want in &args[1..] {
+        if !summary.families.iter().any(|f| f == want) {
+            eprintln!(
+                "obs_check: {path}: required metric family {want:?} not in the scrape \
+                 (families: {:?})",
+                summary.families
+            );
+            exit(1);
+        }
+    }
+    println!(
+        "obs_check: OK — prometheus: {} families, {} samples, required {:?} present",
+        summary.families.len(),
+        summary.samples,
+        &args[1..]
     );
 }
 

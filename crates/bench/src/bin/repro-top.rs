@@ -1,0 +1,264 @@
+//! `repro-top`: a terminal view of a live `repro-serve` daemon, built
+//! on the telemetry plane — the `subscribe` streaming op for per-tick
+//! deltas, `stats` for quantiles and SLO burn, `prometheus` for a
+//! text-format scrape, and `blackbox` for an on-demand flight-recorder
+//! dump.
+//!
+//! ```text
+//! repro-top --socket /tmp/repro.sock --ticks 10 --interval-ms 500
+//! repro-top --socket /tmp/repro.sock --once
+//! repro-top --socket /tmp/repro.sock --scrape-prom scrape.txt
+//! repro-top --socket /tmp/repro.sock --blackbox dump.json
+//! ```
+//!
+//! It is deliberately a *raw socket* client (no `repro-serve`
+//! dependency): anything it can do, any program that can write
+//! newline-JSON to a unix socket can do.
+
+use obs::json::{parse, Json};
+use std::io::{BufRead, BufReader, Write};
+use std::os::unix::net::UnixStream;
+use std::path::PathBuf;
+use std::process::exit;
+
+struct Opts {
+    socket: PathBuf,
+    ticks: u64,
+    interval_ms: u64,
+    once: bool,
+    scrape_prom: Option<PathBuf>,
+    blackbox: Option<PathBuf>,
+    shutdown: bool,
+}
+
+fn parse_flag<T: std::str::FromStr>(flag: &str, value: Option<String>) -> T {
+    let Some(value) = value else {
+        eprintln!("{flag} needs a value");
+        exit(2);
+    };
+    value.parse().unwrap_or_else(|_| {
+        eprintln!("invalid value for {flag}: got {value:?}");
+        exit(2);
+    })
+}
+
+fn opts() -> Opts {
+    let mut o = Opts {
+        socket: PathBuf::from("repro-serve.sock"),
+        ticks: 5,
+        interval_ms: 500,
+        once: false,
+        scrape_prom: None,
+        blackbox: None,
+        shutdown: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--socket" => o.socket = parse_flag(&arg, args.next()),
+            "--ticks" => o.ticks = parse_flag(&arg, args.next()),
+            "--interval-ms" => o.interval_ms = parse_flag(&arg, args.next()),
+            "--once" => o.once = true,
+            "--scrape-prom" => o.scrape_prom = Some(parse_flag(&arg, args.next())),
+            "--blackbox" => o.blackbox = Some(parse_flag(&arg, args.next())),
+            "--shutdown" => o.shutdown = true,
+            other => {
+                eprintln!(
+                    "unknown flag {other:?}\n\
+                     usage: repro-top [--socket PATH] [--ticks N] [--interval-ms MS] [--once]\n\
+                     \x20                [--scrape-prom PATH] [--blackbox PATH] [--shutdown]"
+                );
+                exit(2);
+            }
+        }
+    }
+    o
+}
+
+/// One synchronous request/response on a fresh connection.
+fn control(socket: &PathBuf, request: &str) -> Option<Json> {
+    let stream = UnixStream::connect(socket).ok()?;
+    let mut reader = BufReader::new(stream.try_clone().ok()?);
+    let mut s = &stream;
+    s.write_all(request.as_bytes()).ok()?;
+    s.write_all(b"\n").ok()?;
+    let mut line = String::new();
+    reader.read_line(&mut line).ok()?;
+    parse(line.trim_end()).ok()
+}
+
+fn num(doc: &Json, key: &str) -> f64 {
+    doc.get(key).and_then(Json::as_f64).unwrap_or(0.0)
+}
+
+fn must(doc: Option<Json>, what: &str) -> Json {
+    doc.unwrap_or_else(|| {
+        eprintln!("repro-top: {what} request failed — is the daemon up?");
+        exit(1);
+    })
+}
+
+/// Renders one `stats` response as the summary block.
+fn print_stats(stats: &Json) {
+    let serve = stats.get("serve");
+    let s = |key: &str| serve.map_or(0.0, |d| num(d, key));
+    println!(
+        "uptime {:>8.1}s   {:>7.1} req/s   {:>7.1} ok/s   queue flight {:>6} events",
+        num(stats, "uptime_ms") / 1e3,
+        num(stats, "requests_per_s"),
+        num(stats, "ok_per_s"),
+        num(stats, "flight_recorded"),
+    );
+    println!(
+        "requests {:>8}   ok {:>8}   overloaded {:>6}   quota {:>5}   internal {:>4}   worker_lost {:>4}",
+        s("requests"),
+        s("ok"),
+        s("overloaded"),
+        s("quota"),
+        s("internal_errors"),
+        s("worker_lost"),
+    );
+    if let Some(slo) = stats.get("slo") {
+        println!(
+            "slo      target {:.3}   threshold {:.0} ms   {} good / {} bad of {}   burn short {:.3} long {:.3}",
+            num(slo, "target"),
+            num(slo, "latency_threshold_ms"),
+            num(slo, "good"),
+            num(slo, "bad"),
+            num(slo, "total"),
+            num(slo, "short_burn"),
+            num(slo, "long_burn"),
+        );
+    }
+    if let Some(Json::Arr(hists)) = stats.get("latency") {
+        for h in hists {
+            let name = h.get("name").and_then(Json::as_str).unwrap_or("?");
+            println!(
+                "lat      {:<28} n {:>7}   p50 {:>8.2} ms   p90 {:>8.2} ms   p99 {:>8.2} ms   p999 {:>8.2} ms",
+                name.strip_prefix("serve.latency.").unwrap_or(name),
+                num(h, "count"),
+                num(h, "p50_ms"),
+                num(h, "p90_ms"),
+                num(h, "p99_ms"),
+                num(h, "p999_ms"),
+            );
+        }
+    }
+}
+
+/// Follows the `subscribe` stream, printing one line per metrics tick.
+fn follow(o: &Opts) {
+    let Ok(stream) = UnixStream::connect(&o.socket) else {
+        eprintln!(
+            "repro-top: cannot connect to {} — is the daemon up?",
+            o.socket.display()
+        );
+        exit(1);
+    };
+    let mut reader = BufReader::new(stream.try_clone().expect("clone stream"));
+    let mut w = &stream;
+    let line = format!(
+        "{{\"op\":\"subscribe\",\"interval_ms\":{},\"ticks\":{}}}\n",
+        o.interval_ms, o.ticks
+    );
+    if w.write_all(line.as_bytes()).is_err() {
+        eprintln!("repro-top: subscribe write failed");
+        exit(1);
+    }
+    println!(
+        "{:>5} {:>10} {:>7} {:>8} {:>8} {:>8} {:>8} {:>10} {:>10}",
+        "tick", "uptime_s", "queue", "req/t", "ok/t", "rej/t", "err/t", "burn_5m", "burn_1h"
+    );
+    let mut line = String::new();
+    loop {
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(n) if n > 0 => {}
+            _ => return,
+        }
+        let Ok(doc) = parse(line.trim_end()) else {
+            continue;
+        };
+        match doc.get("op").and_then(Json::as_str) {
+            Some("metrics") => println!(
+                "{:>5} {:>10.1} {:>7} {:>8} {:>8} {:>8} {:>8} {:>10.3} {:>10.3}",
+                num(&doc, "tick"),
+                num(&doc, "uptime_ms") / 1e3,
+                num(&doc, "queue_depth"),
+                num(&doc, "requests_delta"),
+                num(&doc, "ok_delta"),
+                num(&doc, "rejected_delta"),
+                num(&doc, "errors_delta"),
+                num(&doc, "slo_short_burn"),
+                num(&doc, "slo_long_burn"),
+            ),
+            Some("subscribe_end") => return,
+            _ => {}
+        }
+    }
+}
+
+fn main() {
+    let o = opts();
+    let mut acted = false;
+
+    if let Some(path) = &o.scrape_prom {
+        acted = true;
+        let doc = must(
+            control(&o.socket, "{\"op\":\"prometheus\"}"),
+            "prometheus scrape",
+        );
+        let text = doc.get("text").and_then(Json::as_str).unwrap_or_else(|| {
+            eprintln!("repro-top: prometheus response carried no text");
+            exit(1);
+        });
+        std::fs::write(path, text).unwrap_or_else(|e| {
+            eprintln!("repro-top: cannot write {}: {e}", path.display());
+            exit(1);
+        });
+        println!(
+            "repro-top: scraped {} bytes of prometheus text to {}",
+            text.len(),
+            path.display()
+        );
+    }
+
+    if let Some(path) = &o.blackbox {
+        acted = true;
+        let line = format!("{{\"op\":\"blackbox\",\"path\":{:?}}}", path.display());
+        let doc = must(control(&o.socket, &line), "blackbox dump");
+        if doc.get("status").and_then(Json::as_str) != Some("ok") {
+            eprintln!(
+                "repro-top: blackbox dump refused: {}",
+                doc.get("error").and_then(Json::as_str).unwrap_or("?")
+            );
+            exit(1);
+        }
+        println!(
+            "repro-top: blackbox dumped {} of {} recorded events to {}",
+            num(&doc, "events"),
+            num(&doc, "recorded"),
+            path.display()
+        );
+    }
+
+    if o.once || (!acted && !o.shutdown) {
+        // Default mode (and --once): a stats snapshot; without --once,
+        // follow the live stream afterwards.
+        let stats = must(control(&o.socket, "{\"op\":\"stats\"}"), "stats");
+        print_stats(&stats);
+        if !o.once {
+            follow(&o);
+        }
+    }
+
+    if o.shutdown {
+        let doc = must(control(&o.socket, "{\"op\":\"shutdown\"}"), "shutdown");
+        if doc.get("status").and_then(Json::as_str) == Some("ok") {
+            println!("repro-top: daemon drained and stopped");
+        } else {
+            eprintln!("repro-top: shutdown request failed");
+            exit(1);
+        }
+    }
+}

@@ -194,6 +194,130 @@ pub fn validate_chrome_trace(doc: &str) -> Result<TraceSummary, String> {
     Ok(summary)
 }
 
+/// Renders a [`crate::MetricsSnapshot`] in Prometheus text exposition
+/// format (version 0.0.4): counters become `modernize_<name>_total`,
+/// gauges `modernize_<name>`, and histograms summary-style quantile
+/// series in seconds. Metric names are sanitized (`.` and other
+/// non-identifier bytes → `_`).
+pub fn prometheus_text(snap: &crate::MetricsSnapshot) -> String {
+    fn sanitize(name: &str) -> String {
+        let mut out: String = name
+            .chars()
+            .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+            .collect();
+        if out.starts_with(|c: char| c.is_ascii_digit()) {
+            out.insert(0, '_');
+        }
+        format!("modernize_{out}")
+    }
+    fn num(v: f64) -> String {
+        if v.is_finite() {
+            v.to_string()
+        } else {
+            "NaN".to_string()
+        }
+    }
+    let mut out = String::with_capacity(4096);
+    for c in &snap.counters {
+        let n = sanitize(&c.name);
+        out.push_str(&format!("# TYPE {n}_total counter\n"));
+        out.push_str(&format!("{n}_total {}\n", c.value));
+    }
+    for g in &snap.gauges {
+        let n = sanitize(&g.name);
+        out.push_str(&format!("# TYPE {n} gauge\n"));
+        out.push_str(&format!("{n} {}\n", num(g.value)));
+    }
+    for h in &snap.histograms {
+        let n = sanitize(&h.name);
+        out.push_str(&format!("# TYPE {n}_seconds summary\n"));
+        for (q, ms) in [
+            ("0.5", h.p50_ms),
+            ("0.9", h.p90_ms),
+            ("0.99", h.p99_ms),
+            ("0.999", h.p999_ms),
+        ] {
+            out.push_str(&format!(
+                "{n}_seconds{{quantile=\"{q}\"}} {}\n",
+                num(ms / 1e3)
+            ));
+        }
+        out.push_str(&format!("{n}_seconds_sum {}\n", num(h.sum_ms / 1e3)));
+        out.push_str(&format!("{n}_seconds_count {}\n", h.count));
+    }
+    out
+}
+
+/// What [`validate_prometheus_text`] measured.
+#[derive(Clone, Debug, Default)]
+pub struct PromSummary {
+    /// Names of the `# TYPE` family declarations, in document order.
+    pub families: Vec<String>,
+    /// Sample lines (non-comment, non-blank).
+    pub samples: usize,
+}
+
+/// Checks a Prometheus text exposition: every sample line must be
+/// `name[{labels}] value` with a valid metric name and a parseable
+/// value, and every sample's family must have a `# TYPE` declaration.
+pub fn validate_prometheus_text(doc: &str) -> Result<PromSummary, String> {
+    let mut summary = PromSummary::default();
+    let mut declared: Vec<&str> = Vec::new();
+    for (lineno, line) in doc.lines().enumerate() {
+        let line = line.trim_end();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let name = rest.split_whitespace().next().unwrap_or("");
+            if name.is_empty() {
+                return Err(format!("line {}: TYPE without a name", lineno + 1));
+            }
+            declared.push(name);
+            summary.families.push(name.to_string());
+            continue;
+        }
+        if line.starts_with('#') {
+            continue;
+        }
+        let name_end = line
+            .find(['{', ' '])
+            .ok_or_else(|| format!("line {}: no value: {line:?}", lineno + 1))?;
+        let name = &line[..name_end];
+        if name.is_empty()
+            || !name
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+            || name.starts_with(|c: char| c.is_ascii_digit())
+        {
+            return Err(format!("line {}: bad metric name {name:?}", lineno + 1));
+        }
+        let after = &line[name_end..];
+        let value = if let Some(close) = after.strip_prefix('{') {
+            let end = close
+                .find('}')
+                .ok_or_else(|| format!("line {}: unterminated labels", lineno + 1))?;
+            close[end + 1..].trim()
+        } else {
+            after.trim()
+        };
+        if value != "NaN" && value.parse::<f64>().is_err() {
+            return Err(format!("line {}: bad value {value:?}", lineno + 1));
+        }
+        if !declared
+            .iter()
+            .any(|d| name == *d || name.strip_prefix(d).is_some_and(|s| s.starts_with('_')))
+        {
+            return Err(format!(
+                "line {}: sample {name:?} has no # TYPE declaration",
+                lineno + 1
+            ));
+        }
+        summary.samples += 1;
+    }
+    Ok(summary)
+}
+
 /// Parses an [`crate::ObsReport`] metrics document and checks the
 /// required top-level keys plus the presence of each named section.
 pub fn validate_metrics_json(doc: &str, required_sections: &[&str]) -> Result<(), String> {
@@ -300,6 +424,26 @@ mod tests {
 
         assert!(validate_chrome_trace("not json").is_err());
         assert!(validate_chrome_trace("{}").is_err());
+    }
+
+    #[test]
+    fn prometheus_export_round_trips_through_the_validator() {
+        crate::counter("promtest.requests").add(7);
+        crate::gauge("promtest.depth").set(3.5);
+        crate::histogram("promtest.latency").record_ns(1_500_000);
+        let text = prometheus_text(&crate::snapshot());
+        let summary = validate_prometheus_text(&text).unwrap();
+        assert!(summary.families.len() >= 3);
+        assert!(summary.samples >= 8);
+        assert!(text.contains("modernize_promtest_requests_total 7"));
+        assert!(text.contains("modernize_promtest_depth 3.5"));
+        assert!(text.contains("modernize_promtest_latency_seconds{quantile=\"0.99\"}"));
+        assert!(text.contains("modernize_promtest_latency_seconds_count 1"));
+
+        assert!(validate_prometheus_text("9bad_name 1\n").is_err());
+        assert!(validate_prometheus_text("# TYPE x counter\nx notanumber\n").is_err());
+        assert!(validate_prometheus_text("undeclared_sample 1\n").is_err());
+        assert!(validate_prometheus_text("# TYPE x counter\nx{tenant=\"t0\" 1\n").is_err());
     }
 
     #[test]

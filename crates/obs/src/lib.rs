@@ -1,6 +1,6 @@
 //! `repro-obs` — the observability core of the reproduction pipeline.
 //!
-//! Three pieces (DESIGN.md §11):
+//! Five pieces (DESIGN.md §11, §16):
 //!
 //! - **Span tracing** ([`span`]): RAII guards record begin/end events
 //!   into thread-local buffers; a process-wide collector drains them.
@@ -8,34 +8,45 @@
 //!   ([`enabled`]), so a build with tracing off pays a few nanoseconds
 //!   per site and allocates nothing.
 //! - **Metrics registry** ([`registry`]): named counters, gauges and
-//!   histograms, snapshot into a serializable [`MetricsSnapshot`]. The
-//!   pipeline's existing metrics structs (`EngineMetrics`, `PhaseTimes`,
-//!   …) embed in an [`ObsReport`] as pre-serialized JSON sections, which
-//!   keeps this crate a leaf — everything depends on `obs`, `obs`
-//!   depends only on the vendored serde shims.
+//!   histograms (with log-bucketed p50/p90/p99/p999 quantiles),
+//!   snapshot into a serializable [`MetricsSnapshot`]. The pipeline's
+//!   existing metrics structs (`EngineMetrics`, `PhaseTimes`, …) embed
+//!   in an [`ObsReport`] as pre-serialized JSON sections, which keeps
+//!   this crate a leaf — everything depends on `obs`, `obs` depends
+//!   only on the vendored serde shims.
+//! - **Flight recorder** ([`flight`]): an always-on, bounded,
+//!   lock-striped ring of structured events stamped with request ids —
+//!   the black box a crashed or misbehaving service dumps for post-hoc
+//!   reconstruction.
+//! - **SLO tracking** ([`slo`]): sliding-window good/bad accounting
+//!   with multi-window burn rates, gated in CI.
 //! - **Exporters** ([`export`]): Chrome trace-event JSON (loadable in
-//!   Perfetto or `chrome://tracing`, worker threads as named tracks) and
-//!   a flat metrics JSON, plus validators for both used by tests and the
-//!   CI checker.
+//!   Perfetto or `chrome://tracing`, worker threads as named tracks), a
+//!   flat metrics JSON, and a Prometheus text exposition — plus
+//!   validators for all three used by tests and the CI checker.
 //!
 //! Tracing is off by default. Turn it on with [`enable`] (the bench
 //! binaries do this when `--trace-out`/`--metrics-json` is passed), run
 //! the workload, then [`take_events`] + [`export::write_chrome_trace`].
 
 pub mod export;
+pub mod flight;
 pub mod json;
 pub mod registry;
 pub mod report;
+pub mod slo;
 pub mod span;
 
 pub use export::{
-    chrome_trace_json, validate_chrome_trace, validate_metrics_json, write_chrome_trace,
-    TraceSummary,
+    chrome_trace_json, prometheus_text, validate_chrome_trace, validate_metrics_json,
+    validate_prometheus_text, write_chrome_trace, PromSummary, TraceSummary,
 };
+pub use flight::FlightEvent;
 pub use registry::{
     counter, gauge, histogram, snapshot, Counter, Gauge, Histogram, MetricsSnapshot,
 };
 pub use report::ObsReport;
+pub use slo::{SloConfig, SloSnapshot, SloTracker};
 pub use span::{
     instant, instant_args, span, span_args, take_events, ArgValue, Event, EventKind, SpanGuard,
     ThreadEvents,

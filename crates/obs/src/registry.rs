@@ -94,6 +94,35 @@ impl Histogram {
     pub fn count(&self) -> u64 {
         self.0.count.load(Ordering::Relaxed)
     }
+
+    /// Upper-bound estimate of the `q`-quantile in nanoseconds, from
+    /// the power-of-two buckets: the true value lies in
+    /// `(estimate/2, estimate]`, i.e. the estimate is within one
+    /// bucket width of exact (pinned by proptest against a sorted
+    /// reference). Returns 0 for an empty histogram.
+    pub fn quantile_ns(&self, q: f64) -> u64 {
+        let h = &self.0;
+        let count = h.count.load(Ordering::Relaxed);
+        quantile_from_buckets(&h.buckets, count, q)
+    }
+}
+
+/// Shared bucket-walk for [`Histogram::quantile_ns`] and the registry
+/// snapshot: the upper bound `2^i` of the bucket holding the rank-`⌈qN⌉`
+/// sample.
+fn quantile_from_buckets(buckets: &[AtomicU64; BUCKETS], count: u64, q: f64) -> u64 {
+    if count == 0 {
+        return 0;
+    }
+    let rank = ((q.clamp(0.0, 1.0) * count as f64).ceil() as u64).clamp(1, count);
+    let mut seen = 0u64;
+    for (i, b) in buckets.iter().enumerate() {
+        seen += b.load(Ordering::Relaxed);
+        if seen >= rank {
+            return 1u64 << i;
+        }
+    }
+    1u64 << (BUCKETS - 1)
 }
 
 #[derive(Default)]
@@ -157,7 +186,8 @@ pub struct GaugeValue {
     pub value: f64,
 }
 
-/// One histogram's snapshot. `p50_ms` is a bucket upper-bound estimate;
+/// One histogram's snapshot. The `p*_ms` quantiles are bucket
+/// upper-bound estimates (within one power-of-two bucket of exact);
 /// the other fields are exact.
 #[derive(Clone, Debug, Serialize)]
 pub struct HistogramValue {
@@ -166,6 +196,9 @@ pub struct HistogramValue {
     pub sum_ms: f64,
     pub avg_ms: f64,
     pub p50_ms: f64,
+    pub p90_ms: f64,
+    pub p99_ms: f64,
+    pub p999_ms: f64,
     pub max_ms: f64,
 }
 
@@ -200,16 +233,7 @@ pub fn snapshot() -> MetricsSnapshot {
             let sum_ns = h.0.sum_ns.load(Ordering::Relaxed);
             let max_ns = h.0.max_ns.load(Ordering::Relaxed);
             let ms = |ns: u64| ns as f64 / 1e6;
-            // p50: the upper bound of the bucket holding the median.
-            let mut seen = 0u64;
-            let mut p50_ns = 0u64;
-            for (i, b) in h.0.buckets.iter().enumerate() {
-                seen += b.load(Ordering::Relaxed);
-                if count > 0 && seen * 2 >= count {
-                    p50_ns = 1u64 << i;
-                    break;
-                }
-            }
+            let q = |q: f64| ms(quantile_from_buckets(&h.0.buckets, count, q));
             HistogramValue {
                 name: name.clone(),
                 count,
@@ -219,7 +243,10 @@ pub fn snapshot() -> MetricsSnapshot {
                 } else {
                     ms(sum_ns) / count as f64
                 },
-                p50_ms: ms(p50_ns),
+                p50_ms: q(0.5),
+                p90_ms: q(0.9),
+                p99_ms: q(0.99),
+                p999_ms: q(0.999),
                 max_ms: ms(max_ns),
             }
         })
@@ -266,5 +293,8 @@ mod tests {
         assert!((h.sum_ms - 0.4).abs() < 1e-9, "{}", h.sum_ms);
         assert!(h.max_ms >= 0.3 - 1e-9);
         assert!(h.p50_ms > 0.0);
+        assert!(h.p90_ms >= h.p50_ms && h.p99_ms >= h.p90_ms && h.p999_ms >= h.p99_ms);
+        // Upper-bound estimates: never below the exact quantile.
+        assert!(h.p999_ms >= 0.3 - 1e-9 && h.p999_ms <= 0.6 + 1e-9);
     }
 }

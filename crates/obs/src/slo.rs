@@ -1,0 +1,204 @@
+//! SLO accounting: sliding-window good/bad classification and
+//! multi-window burn rates (DESIGN.md §16).
+//!
+//! Each *valid* request outcome is classified good (answered `ok`
+//! within the latency threshold) or bad (server-fault error classes, or
+//! `ok` but over the threshold). Policy rejections — overload sheds,
+//! quota denials, malformed requests — are excluded entirely: they are
+//! the daemon *protecting* its SLO, not violating it, and counting them
+//! would let a load test that deliberately provokes admission control
+//! fail a healthy service.
+//!
+//! Burn rate follows the standard multi-window formulation: with error
+//! budget `1 - target`, `burn = bad_fraction / (1 - target)`; burn 1.0
+//! consumes the budget exactly as fast as it refills, burn > 1.0 is an
+//! incident. Production systems pair a short (5 m) and long (1 h) wall
+//! clock window; a request-count analogue (last `short_window` /
+//! `long_window` outcomes) gives the same fast-detect + slow-confirm
+//! behaviour without a clock, which keeps seeded runs deterministic.
+
+use serde::Serialize;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+/// The objective and window geometry.
+#[derive(Clone, Copy, Debug)]
+pub struct SloConfig {
+    /// Availability objective, e.g. `0.99` → 1% error budget.
+    pub target: f64,
+    /// An `ok` answer slower than this (queue wait + service) is bad.
+    pub latency_threshold_ms: f64,
+    /// Fast-detect window, in outcomes (5-minute analogue).
+    pub short_window: usize,
+    /// Slow-confirm window, in outcomes (1-hour analogue).
+    pub long_window: usize,
+}
+
+impl Default for SloConfig {
+    fn default() -> Self {
+        SloConfig {
+            target: 0.99,
+            latency_threshold_ms: 2000.0,
+            short_window: 100,
+            long_window: 1000,
+        }
+    }
+}
+
+/// Point-in-time SLO state, serialized into `stats` and bench reports.
+#[derive(Clone, Copy, Debug, Serialize)]
+pub struct SloSnapshot {
+    pub target: f64,
+    pub latency_threshold_ms: f64,
+    pub total: u64,
+    pub good: u64,
+    pub bad: u64,
+    pub short_window: u64,
+    pub long_window: u64,
+    /// Bad fraction over the last `short_window` outcomes ÷ budget.
+    pub short_burn: f64,
+    /// Bad fraction over the last `long_window` outcomes ÷ budget.
+    pub long_burn: f64,
+}
+
+/// Sliding-window good/bad tracker. `record*` is a push onto a bounded
+/// deque under one mutex — called once per answered request.
+pub struct SloTracker {
+    config: SloConfig,
+    total: AtomicU64,
+    good: AtomicU64,
+    bad: AtomicU64,
+    /// Most recent `long_window` outcomes, newest at the back.
+    window: Mutex<VecDeque<bool>>,
+}
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+impl SloTracker {
+    pub fn new(config: SloConfig) -> SloTracker {
+        let config = SloConfig {
+            target: config.target.clamp(0.0, 0.9999),
+            short_window: config.short_window.max(1),
+            long_window: config.long_window.max(config.short_window.max(1)),
+            ..config
+        };
+        SloTracker {
+            config,
+            total: AtomicU64::new(0),
+            good: AtomicU64::new(0),
+            bad: AtomicU64::new(0),
+            window: Mutex::new(VecDeque::with_capacity(config.long_window)),
+        }
+    }
+
+    pub fn config(&self) -> &SloConfig {
+        &self.config
+    }
+
+    /// Records one classified outcome.
+    pub fn record(&self, good: bool) {
+        self.total.fetch_add(1, Ordering::Relaxed);
+        if good {
+            self.good.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.bad.fetch_add(1, Ordering::Relaxed);
+        }
+        let mut w = lock(&self.window);
+        if w.len() == self.config.long_window {
+            w.pop_front();
+        }
+        w.push_back(good);
+    }
+
+    /// Classifies an answered request: good iff it succeeded *and* met
+    /// the latency threshold.
+    pub fn record_latency_ms(&self, latency_ms: f64, server_error: bool) {
+        self.record(!server_error && latency_ms <= self.config.latency_threshold_ms);
+    }
+
+    pub fn snapshot(&self) -> SloSnapshot {
+        let w = lock(&self.window);
+        let burn = |n: usize| {
+            let tail = w.len().min(n);
+            if tail == 0 {
+                return 0.0;
+            }
+            let bad = w.iter().rev().take(tail).filter(|g| !**g).count();
+            let budget = 1.0 - self.config.target;
+            (bad as f64 / tail as f64) / budget
+        };
+        SloSnapshot {
+            target: self.config.target,
+            latency_threshold_ms: self.config.latency_threshold_ms,
+            total: self.total.load(Ordering::Relaxed),
+            good: self.good.load(Ordering::Relaxed),
+            bad: self.bad.load(Ordering::Relaxed),
+            short_window: self.config.short_window as u64,
+            long_window: self.config.long_window as u64,
+            short_burn: burn(self.config.short_window),
+            long_burn: burn(self.config.long_window),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn burn_rates_scale_bad_fraction_by_budget() {
+        let t = SloTracker::new(SloConfig {
+            target: 0.9, // 10% budget
+            latency_threshold_ms: 100.0,
+            short_window: 10,
+            long_window: 100,
+        });
+        for _ in 0..95 {
+            t.record(true);
+        }
+        for _ in 0..5 {
+            t.record(false);
+        }
+        let s = t.snapshot();
+        assert_eq!((s.total, s.good, s.bad), (100, 95, 5));
+        // Short window: last 10 outcomes are 5 good + 5 bad → 50% bad ÷ 10%.
+        assert!((s.short_burn - 5.0).abs() < 1e-9, "{}", s.short_burn);
+        // Long window: 5 bad of 100 → 5% bad ÷ 10% = 0.5.
+        assert!((s.long_burn - 0.5).abs() < 1e-9, "{}", s.long_burn);
+    }
+
+    #[test]
+    fn latency_threshold_classifies_slow_ok_as_bad() {
+        let t = SloTracker::new(SloConfig::default());
+        t.record_latency_ms(10.0, false); // fast ok → good
+        t.record_latency_ms(9000.0, false); // slow ok → bad
+        t.record_latency_ms(10.0, true); // server error → bad
+        let s = t.snapshot();
+        assert_eq!((s.good, s.bad), (1, 2));
+        assert!(s.short_burn > 0.0);
+    }
+
+    #[test]
+    fn window_evicts_oldest_outcomes() {
+        let t = SloTracker::new(SloConfig {
+            target: 0.99,
+            latency_threshold_ms: 100.0,
+            short_window: 4,
+            long_window: 8,
+        });
+        for _ in 0..8 {
+            t.record(false);
+        }
+        for _ in 0..8 {
+            t.record(true);
+        }
+        let s = t.snapshot();
+        // All bad outcomes have been evicted from the long window.
+        assert_eq!(s.long_burn, 0.0);
+        assert_eq!(s.short_burn, 0.0);
+        assert_eq!(s.bad, 8, "lifetime totals keep the evicted outcomes");
+    }
+}

@@ -1,0 +1,39 @@
+//! Flight-recorder wraparound: the ring retains exactly the last
+//! `capacity()` events, oldest evicted first, with dense ordered
+//! sequence numbers. Lives in its own integration binary because the
+//! ring is process-global.
+
+#[test]
+fn wraparound_keeps_exactly_the_newest_events() {
+    assert!(
+        obs::flight::configure(160),
+        "hint must land before first use"
+    );
+    let cap = obs::flight::capacity();
+    assert_eq!(cap, 160, "160 divides the stripe count evenly");
+
+    let total = 3 * cap as u64 + 17;
+    for i in 0..total {
+        obs::flight::event("wrap", "rid", i.to_string());
+    }
+    assert_eq!(obs::flight::recorded(), total);
+
+    let snap = obs::flight::snapshot();
+    assert_eq!(snap.len(), cap, "ring is full: exactly capacity survive");
+    for (offset, e) in snap.iter().enumerate() {
+        let want = total - cap as u64 + offset as u64;
+        assert_eq!(e.seq, want, "dense, oldest-first, newest retained");
+        assert_eq!(e.detail, want.to_string(), "payload matches its seq");
+        assert_eq!(e.kind, "wrap");
+    }
+
+    // Timestamps never go backwards along the seq order (same monotonic
+    // clock as spans).
+    for pair in snap.windows(2) {
+        assert!(pair[0].ts_ns <= pair[1].ts_ns);
+    }
+
+    // A later configure() is a no-op once the ring exists.
+    assert!(!obs::flight::configure(8));
+    assert_eq!(obs::flight::capacity(), cap);
+}

@@ -1,0 +1,73 @@
+//! Property tests pinning the log-bucketed quantile estimator against
+//! an exact sorted reference: the estimate is the upper bound of the
+//! power-of-two bucket holding the true quantile, so it is never below
+//! exact and never more than one bucket width (2×) above it.
+
+use proptest::prelude::*;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Fresh histogram per case — the registry is process-global, so each
+/// case gets its own name.
+fn fresh_histogram() -> obs::Histogram {
+    static NEXT: AtomicUsize = AtomicUsize::new(0);
+    let n = NEXT.fetch_add(1, Ordering::Relaxed);
+    obs::histogram(&format!("quantile_prop.case{n}"))
+}
+
+/// The exact quantile the estimator targets: the rank-`⌈qN⌉` sample of
+/// the ascending sort.
+fn exact_quantile(sorted: &[u64], q: f64) -> u64 {
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn estimate_within_one_bucket_width_of_exact(
+        samples in prop::collection::vec(1u64..(1u64 << 40), 1..400),
+    ) {
+        let h = fresh_histogram();
+        for &ns in &samples {
+            h.record_ns(ns);
+        }
+        let mut sorted = samples.clone();
+        sorted.sort_unstable();
+        for q in [0.0, 0.5, 0.9, 0.99, 0.999, 1.0] {
+            let exact = exact_quantile(&sorted, q);
+            let est = h.quantile_ns(q);
+            prop_assert!(
+                est >= exact,
+                "q={q}: estimate {est} below exact {exact} (upper bound property)"
+            );
+            prop_assert!(
+                est <= exact.saturating_mul(2),
+                "q={q}: estimate {est} more than one bucket above exact {exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn estimate_is_monotone_in_q(
+        samples in prop::collection::vec(1u64..(1u64 << 32), 1..200),
+        qa in 0.0f64..1.0,
+        qb in 0.0f64..1.0,
+    ) {
+        let h = fresh_histogram();
+        for &ns in &samples {
+            h.record_ns(ns);
+        }
+        let (lo, hi) = if qa <= qb { (qa, qb) } else { (qb, qa) };
+        prop_assert!(h.quantile_ns(lo) <= h.quantile_ns(hi));
+    }
+}
+
+#[test]
+fn zero_samples_and_empty_histograms_are_defined() {
+    let h = fresh_histogram();
+    assert_eq!(h.quantile_ns(0.5), 0, "empty histogram");
+    h.record_ns(0);
+    // ns=0 lands in bucket 0, whose upper bound is 1 ns.
+    assert_eq!(h.quantile_ns(0.5), 1);
+}

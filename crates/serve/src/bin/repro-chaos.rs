@@ -26,13 +26,21 @@
 //! breaker_skipped` with `lost == 0` — chaos may slow or reject
 //! requests, but every request not rejected client-side gets a labeled
 //! answer, and every killed worker is respawned.
+//!
+//! The daemon runs in-process, so the process-global flight recorder
+//! holds both the server's and the resilient client's events. After
+//! the run, every request id this harness sent — including retried,
+//! shed, and breaker-skipped ones — must be reconstructable from the
+//! recorder: a non-empty trail in sequence order ending in a labeled
+//! outcome, and every injected fault class must have left its marker
+//! events (`worker_dead`, `stall_supersede`, `retry`).
 
 use obs::json::Json;
 use obs::ObsReport;
 use repro_serve::chaos::ChaosPlan;
 use repro_serve::{
-    Breakers, Client, ClientConfig, ClientError, QuotaConfig, RetryBudget, ServeConfig, Server,
-    SplitMix64,
+    Breakers, Client, ClientConfig, ClientError, QuotaConfig, RequestIds, RetryBudget, ServeConfig,
+    Server, SplitMix64,
 };
 use serde::Serialize;
 use std::collections::HashMap;
@@ -150,6 +158,8 @@ fn analyze_line(id: &str, tenant: &str, source: &str, deadline_ms: Option<u64>) 
 struct Tally {
     latencies_ms: Vec<f64>,
     by_status: HashMap<String, u64>,
+    /// Every request id this tally's thread sent (for trail checks).
+    ids: Vec<String>,
     lost: u64,
     skipped: u64,
     disconnects: u64,
@@ -183,8 +193,13 @@ fn run_client(
         tally.lost += ((me..o.requests).step_by(o.clients).count()) as u64;
         return tally;
     };
+    // Seeded, collision-checked ids; the `c{me}` prefix keeps threads
+    // globally unique and the seed keeps reruns byte-identical.
+    let mut ids = RequestIds::new(o.seed ^ (me as u64).rotate_left(17));
+    let prefix = format!("c{me}");
     for n in (me..o.requests).step_by(o.clients) {
-        let id = format!("r{n}");
+        let id = ids.next(&prefix);
+        tally.ids.push(id.clone());
         let tenant = format!("t{}", n % 4);
         let line = analyze_line(&id, &tenant, FAST_SRC, None);
         let deadline = Instant::now() + Duration::from_secs(30);
@@ -304,13 +319,15 @@ fn breaker_phase(
     if let Some(stream) = &plug_conn {
         let mut s = stream;
         for i in 0..plug_count {
-            let line = analyze_line(&format!("plug{i}"), "plug", SLOW_SRC, None);
+            let id = format!("plug{i}");
+            let line = analyze_line(&id, "plug", SLOW_SRC, None);
             if s.write_all(line.as_bytes())
                 .and_then(|_| s.write_all(b"\n"))
                 .is_err()
             {
                 break;
             }
+            tally.ids.push(id);
         }
     }
     // Give the plugs a moment to be admitted and occupy the workers.
@@ -332,6 +349,7 @@ fn breaker_phase(
     ) {
         for j in 0..12 {
             let id = format!("hot{j}");
+            tally.ids.push(id.clone());
             // The first three carry an already-consumed deadline, so
             // the daemon must shed them (`overloaded`) no matter how
             // fast the plugs drain; three consecutive sheds open the
@@ -386,12 +404,75 @@ fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
     sorted_ms[idx.min(sorted_ms.len() - 1)]
 }
 
+/// One synchronous control request on a fresh connection (used for the
+/// on-demand `blackbox` op).
+fn control(o: &Opts, request: &str) -> Option<Json> {
+    let stream = UnixStream::connect(&o.socket).ok()?;
+    let mut reader = BufReader::new(stream.try_clone().ok()?);
+    let mut s = &stream;
+    s.write_all(request.as_bytes()).ok()?;
+    s.write_all(b"\n").ok()?;
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(30)));
+    let mut line = String::new();
+    reader.read_line(&mut line).ok()?;
+    obs::json::parse(line.trim_end()).ok()
+}
+
+/// A request's trail must end in one of these: the daemon answered it,
+/// shed it, refused it at admission, or the client's breaker rejected
+/// it before it was ever sent. Anything else means the id vanished.
+const TERMINAL_KINDS: [&str; 5] = ["answer", "shed", "overloaded", "quota_deny", "breaker_skip"];
+
+/// Checks that every sent request id is reconstructable from the
+/// flight recorder with consistent ordering: a non-empty trail whose
+/// last event is a labeled outcome, every `pickup` preceded by an
+/// `enqueue`, and every `answer` preceded by a `pickup`. Returns the
+/// offending descriptions (empty = complete).
+fn verify_trails(sent: &[String]) -> Vec<String> {
+    let snap = obs::flight::snapshot();
+    let mut by_id: HashMap<&str, Vec<&obs::FlightEvent>> = HashMap::new();
+    for e in &snap {
+        // snapshot() is seq-sorted, so each per-id trail is too.
+        by_id.entry(e.request_id.as_str()).or_default().push(e);
+    }
+    let mut problems = Vec::new();
+    for id in sent {
+        let Some(trail) = by_id.get(id.as_str()) else {
+            problems.push(format!("{id}: no flight events"));
+            continue;
+        };
+        let last = trail.last().expect("trails are non-empty");
+        if !TERMINAL_KINDS.contains(&last.kind) {
+            problems.push(format!(
+                "{id}: trail ends with {:?} ({}), not a labeled outcome",
+                last.kind, last.detail
+            ));
+        }
+        let first = |kind: &str| trail.iter().position(|e| e.kind == kind);
+        if let Some(p) = first("pickup") {
+            if first("enqueue").is_none_or(|q| q > p) {
+                problems.push(format!("{id}: pickup without a preceding enqueue"));
+            }
+        }
+        if let Some(a) = first("answer") {
+            if first("pickup").is_none_or(|p| p > a) {
+                problems.push(format!("{id}: answer without a preceding pickup"));
+            }
+        }
+    }
+    problems
+}
+
 fn main() {
     let o = opts();
     if o.trace_out.is_some() {
         obs::enable();
     }
     let (plan, disconnect_every) = plan_from_seed(o.seed, o.requests as u64);
+    // Size the flight ring so nothing from this run is evicted: the
+    // trail assertions below need every event, and a request produces
+    // only a handful (enqueue/pickup/answer plus fault markers).
+    obs::flight::configure(o.requests * 16 + 4096);
     let config = ServeConfig {
         socket: o.socket.clone(),
         workers: 3,
@@ -426,6 +507,7 @@ fn main() {
     let budget = RetryBudget::new(64);
     let breakers = Breakers::new(3, Duration::from_millis(250));
     let tallies: Mutex<Vec<Tally>> = Mutex::new(Vec::new());
+    let loris_ids: Mutex<Vec<String>> = Mutex::new(Vec::new());
     let loris_ok = AtomicU64::new(0);
     let quota_skews = AtomicU64::new(0);
     let started = Instant::now();
@@ -444,9 +526,11 @@ fn main() {
         for tag in 0..2 {
             let o = &o;
             let loris_ok = &loris_ok;
+            let loris_ids = &loris_ids;
             scope.spawn(move || {
                 if slow_loris(o, tag) {
                     loris_ok.fetch_add(1, Ordering::Relaxed);
+                    loris_ids.lock().unwrap().push(format!("loris{tag}"));
                 }
             });
         }
@@ -481,6 +565,7 @@ fn main() {
 
     let mut latencies: Vec<f64> = Vec::new();
     let mut by_status: HashMap<String, u64> = HashMap::new();
+    let mut sent_ids: Vec<String> = loris_ids.into_inner().unwrap();
     let mut lost = 0u64;
     let mut disconnects = 0u64;
     let mut client_skips = 0u64;
@@ -491,6 +576,7 @@ fn main() {
         .chain(std::iter::once(breaker_tally))
     {
         latencies.extend(t.latencies_ms);
+        sent_ids.extend(t.ids);
         lost += t.lost;
         disconnects += t.disconnects;
         client_skips += t.skipped;
@@ -550,8 +636,57 @@ fn main() {
         }
     }
 
+    // On-demand blackbox dump through the wire op, next to the report.
+    let blackbox_path = o
+        .out
+        .as_ref()
+        .map(|p| format!("{}.blackbox.json", p.display()))
+        .unwrap_or_else(|| {
+            std::env::temp_dir()
+                .join(format!("repro-chaos-{}.blackbox.json", std::process::id()))
+                .display()
+                .to_string()
+        });
+    let blackbox_events = control(
+        &o,
+        &format!("{{\"op\":\"blackbox\",\"path\":{blackbox_path:?}}}"),
+    )
+    .filter(|d| d.get("status").and_then(Json::as_str) == Some("ok"))
+    .map(|d| d.get("events").and_then(Json::as_f64).unwrap_or(0.0) as u64);
+
+    // The daemon's own SLO view of the run, for the report.
+    let stats = control(&o, "{\"op\":\"stats\"}");
+    let slo_num = |key: &str| {
+        stats
+            .as_ref()
+            .and_then(|d| d.get("slo"))
+            .and_then(|s| s.get(key))
+            .and_then(Json::as_f64)
+            .unwrap_or(0.0)
+    };
+
     server.shutdown();
     server.join();
+
+    // All worker threads are joined: the flight recorder now holds the
+    // complete run. Reconstruct every sent id's trail.
+    let trail_problems = verify_trails(&sent_ids);
+    let snap = obs::flight::snapshot();
+    let kind_count = |kind: &str| snap.iter().filter(|e| e.kind == kind).count() as u64;
+    println!(
+        "  flight   {} events recorded ({} retained), {} ids checked, {} incomplete trails, blackbox {}",
+        obs::flight::recorded(),
+        snap.len(),
+        sent_ids.len(),
+        trail_problems.len(),
+        match blackbox_events {
+            Some(n) => format!("{n} events → {blackbox_path}"),
+            None => "FAILED".to_string(),
+        },
+    );
+    for p in trail_problems.iter().take(10) {
+        eprintln!("  trail    {p}");
+    }
 
     if let Some(out) = &o.out {
         let mut report = ObsReport::snapshot();
@@ -582,6 +717,19 @@ fn main() {
         report.meta_num("shed", serve.shed as f64);
         report.meta_num("breaker_opens", breakers.opens() as f64);
         report.meta_num("retries_used", budget.used() as f64);
+        report.meta_num("flight_events", obs::flight::recorded() as f64);
+        report.meta_num("blackbox_events", blackbox_events.unwrap_or(0) as f64);
+        report.meta_num("ids_sent", sent_ids.len() as f64);
+        report.meta_num("trail_incomplete", trail_problems.len() as f64);
+        report.meta_num(
+            "trail_complete",
+            if trail_problems.is_empty() { 1.0 } else { 0.0 },
+        );
+        report.meta_num("slo_short_burn", slo_num("short_burn"));
+        report.meta_num("slo_long_burn", slo_num("long_burn"));
+        report.meta_num("slo_total", slo_num("total"));
+        report.meta_num("slo_good", slo_num("good"));
+        report.meta_num("slo_bad", slo_num("bad"));
         let mut serve_json = String::new();
         serve.serialize_json(&mut serve_json);
         report.section_raw("serve", serve_json);
@@ -610,5 +758,36 @@ fn main() {
         );
         std::process::exit(1);
     }
-    println!("  verdict  zero lost requests; all killed workers respawned");
+    if !trail_problems.is_empty() {
+        eprintln!(
+            "repro-chaos: FAIL — {} of {} request ids are not reconstructable from the flight recorder",
+            trail_problems.len(),
+            sent_ids.len()
+        );
+        std::process::exit(1);
+    }
+    // Every injected fault class must have left its marker events.
+    if kind_count("worker_dead") < kills {
+        eprintln!(
+            "repro-chaos: FAIL — {kills} kills injected but only {} worker_dead events recorded",
+            kind_count("worker_dead")
+        );
+        std::process::exit(1);
+    }
+    if kind_count("stall_supersede") < serve.workers_stalled {
+        eprintln!(
+            "repro-chaos: FAIL — {} stalls healed but only {} stall_supersede events recorded",
+            serve.workers_stalled,
+            kind_count("stall_supersede")
+        );
+        std::process::exit(1);
+    }
+    if blackbox_events.unwrap_or(0) == 0 {
+        eprintln!("repro-chaos: FAIL — on-demand blackbox dump missing or empty");
+        std::process::exit(1);
+    }
+    println!(
+        "  verdict  zero lost requests; all killed workers respawned; all {} request trails reconstructable",
+        sent_ids.len()
+    );
 }

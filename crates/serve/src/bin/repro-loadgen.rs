@@ -15,9 +15,10 @@
 
 use obs::json::{parse, Json};
 use obs::ObsReport;
-use repro_serve::{unknown_bench_message, Client};
+use repro_serve::{unknown_bench_message, Client, RequestIds};
 use std::collections::HashMap;
 use std::io::{BufRead, BufReader, Write};
+use std::net::Shutdown;
 use std::os::unix::net::UnixStream;
 use std::path::PathBuf;
 use std::sync::Mutex;
@@ -32,6 +33,7 @@ struct Opts {
     benches: Vec<String>,
     out: Option<PathBuf>,
     shutdown: bool,
+    subscribe: bool,
     boot_wait_ms: u64,
 }
 
@@ -56,6 +58,7 @@ fn opts() -> Opts {
         benches: Vec::new(),
         out: None,
         shutdown: false,
+        subscribe: false,
         boot_wait_ms: 30_000,
     };
     let mut args = std::env::args().skip(1);
@@ -76,13 +79,14 @@ fn opts() -> Opts {
             }
             "--out" => o.out = Some(parse_flag(&arg, args.next())),
             "--shutdown" => o.shutdown = true,
+            "--subscribe" => o.subscribe = true,
             "--boot-wait-ms" => o.boot_wait_ms = parse_flag(&arg, args.next()),
             other => {
                 eprintln!(
                     "unknown flag {other:?}\n\
                      usage: repro-loadgen [--socket PATH] [--requests N] [--connections N]\n\
                      \x20                    [--tenants N] [--pipeline N] [--bench NAME ...]\n\
-                     \x20                    [--out PATH] [--boot-wait-ms MS] [--shutdown]"
+                     \x20                    [--out PATH] [--boot-wait-ms MS] [--subscribe] [--shutdown]"
                 );
                 std::process::exit(2);
             }
@@ -121,12 +125,14 @@ fn await_boot(o: &Opts) {
 struct Tally {
     latencies_ms: Vec<f64>,
     by_status: HashMap<String, u64>,
+    /// Per-tenant latencies of answered requests, for tenant p50/p99.
+    by_tenant: HashMap<String, Vec<f64>>,
     protocol_errors: u64,
 }
 
 /// One connection worker: pipelines its slice of the request ids,
 /// matching responses by id.
-fn run_connection(o: &Opts, indices: &[usize]) -> Tally {
+fn run_connection(o: &Opts, conn_index: usize, indices: &[usize]) -> Tally {
     let mut tally = Tally::default();
     let Ok(stream) = UnixStream::connect(&o.socket) else {
         tally.protocol_errors += indices.len() as u64;
@@ -134,20 +140,24 @@ fn run_connection(o: &Opts, indices: &[usize]) -> Tally {
     };
     let mut reader = BufReader::new(stream.try_clone().expect("clone stream"));
     let mut writer = &stream;
-    let mut outstanding: HashMap<String, Instant> = HashMap::new();
+    // Seeded per connection: ids are collision-checked, reproducible,
+    // and globally unique thanks to the `c{conn}` prefix.
+    let mut ids = RequestIds::new(0x10adc0de ^ conn_index as u64);
+    let prefix = format!("c{conn_index}");
+    let mut outstanding: HashMap<String, (String, Instant)> = HashMap::new();
     let mut next = 0usize;
 
     while next < indices.len() || !outstanding.is_empty() {
         while next < indices.len() && outstanding.len() < o.pipeline {
             let n = indices[next];
             next += 1;
-            let id = format!("r{n}");
+            let id = ids.next(&prefix);
+            let tenant = format!("t{}", n % o.tenants);
             let line = format!(
-                "{{\"op\":\"analyze\",\"id\":{id:?},\"tenant\":\"t{}\",\"bench\":{:?}}}\n",
-                n % o.tenants,
+                "{{\"op\":\"analyze\",\"request_id\":{id:?},\"tenant\":{tenant:?},\"bench\":{:?}}}\n",
                 o.benches[n % o.benches.len()],
             );
-            outstanding.insert(id, Instant::now());
+            outstanding.insert(id, (tenant, Instant::now()));
             if writer.write_all(line.as_bytes()).is_err() {
                 tally.protocol_errors += outstanding.len() as u64;
                 return tally;
@@ -169,8 +179,10 @@ fn run_connection(o: &Opts, indices: &[usize]) -> Tally {
         let id = doc.get("id").and_then(Json::as_str).unwrap_or("");
         let status = doc.get("status").and_then(Json::as_str);
         match (outstanding.remove(id), status) {
-            (Some(sent), Some(status)) => {
-                tally.latencies_ms.push(sent.elapsed().as_secs_f64() * 1e3);
+            (Some((tenant, sent)), Some(status)) => {
+                let ms = sent.elapsed().as_secs_f64() * 1e3;
+                tally.latencies_ms.push(ms);
+                tally.by_tenant.entry(tenant).or_default().push(ms);
                 *tally.by_status.entry(status.to_string()).or_default() += 1;
             }
             _ => tally.protocol_errors += 1,
@@ -185,6 +197,50 @@ fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
     }
     let idx = ((sorted_ms.len() as f64 - 1.0) * p).round() as usize;
     sorted_ms[idx.min(sorted_ms.len() - 1)]
+}
+
+/// A live metrics subscription held open for the duration of the load:
+/// a reader thread counts `metrics` ticks until the stream is shut
+/// down, exercising the streaming egress path under real traffic.
+struct Subscription {
+    stream: UnixStream,
+    reader: std::thread::JoinHandle<u64>,
+}
+
+fn start_subscription(o: &Opts) -> Option<Subscription> {
+    let stream = UnixStream::connect(&o.socket).ok()?;
+    let mut w = &stream;
+    w.write_all(b"{\"op\":\"subscribe\",\"interval_ms\":100}\n")
+        .ok()?;
+    let mut reader = BufReader::new(stream.try_clone().ok()?);
+    let handle = std::thread::spawn(move || {
+        let mut ticks = 0u64;
+        let mut line = String::new();
+        loop {
+            line.clear();
+            match reader.read_line(&mut line) {
+                Ok(n) if n > 0 => {}
+                _ => return ticks,
+            }
+            if let Ok(doc) = parse(line.trim_end()) {
+                if doc.get("op").and_then(Json::as_str) == Some("metrics") {
+                    ticks += 1;
+                }
+            }
+        }
+    });
+    Some(Subscription {
+        stream,
+        reader: handle,
+    })
+}
+
+impl Subscription {
+    /// Hangs up and returns how many metric ticks arrived.
+    fn finish(self) -> u64 {
+        let _ = self.stream.shutdown(Shutdown::Both);
+        self.reader.join().unwrap_or(0)
+    }
 }
 
 /// One synchronous control request on a fresh connection.
@@ -249,25 +305,40 @@ fn main() {
         .map(|c| (c..o.requests).step_by(o.connections).collect())
         .collect();
     let tallies: Mutex<Vec<Tally>> = Mutex::new(Vec::new());
+    let subscription = if o.subscribe {
+        let s = start_subscription(&o);
+        if s.is_none() {
+            eprintln!("repro-loadgen: could not open metrics subscription");
+        }
+        s
+    } else {
+        None
+    };
     let started = Instant::now();
     std::thread::scope(|scope| {
-        for slice in &slices {
-            scope.spawn(|| {
-                let t = run_connection(&o, slice);
+        for (c, slice) in slices.iter().enumerate() {
+            let (o, tallies) = (&o, &tallies);
+            scope.spawn(move || {
+                let t = run_connection(o, c, slice);
                 tallies.lock().unwrap().push(t);
             });
         }
     });
     let elapsed = started.elapsed();
+    let subscribe_ticks = subscription.map(Subscription::finish);
 
     let mut latencies: Vec<f64> = Vec::with_capacity(o.requests);
     let mut by_status: HashMap<String, u64> = HashMap::new();
+    let mut by_tenant: HashMap<String, Vec<f64>> = HashMap::new();
     let mut protocol_errors = 0u64;
     for t in tallies.into_inner().unwrap() {
         latencies.extend(t.latencies_ms);
         protocol_errors += t.protocol_errors;
         for (k, v) in t.by_status {
             *by_status.entry(k).or_default() += v;
+        }
+        for (k, v) in t.by_tenant {
+            by_tenant.entry(k).or_default().extend(v);
         }
     }
     latencies.sort_by(|a, b| a.partial_cmp(b).unwrap());
@@ -277,10 +348,26 @@ fn main() {
     let p99 = percentile(&latencies, 0.99);
     let throughput = answered as f64 / elapsed.as_secs_f64().max(1e-9);
 
-    // Daemon-side cache and serve counters, via the stats op.
+    // Per-tenant latency quantiles, client-side.
+    let mut tenant_stats: Vec<(String, u64, f64, f64)> = by_tenant
+        .iter_mut()
+        .map(|(tenant, ms)| {
+            ms.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            (
+                tenant.clone(),
+                ms.len() as u64,
+                percentile(ms, 0.50),
+                percentile(ms, 0.99),
+            )
+        })
+        .collect();
+    tenant_stats.sort_by(|a, b| a.0.cmp(&b.0));
+
+    // Daemon-side cache, serve, and SLO state, via the stats op.
     let stats = control(&o, "{\"op\":\"stats\"}");
     let engine = stats.as_ref().and_then(|d| d.get("engine"));
     let serve = stats.as_ref().and_then(|d| d.get("serve"));
+    let slo = stats.as_ref().and_then(|d| d.get("slo"));
     let hits = num(engine, "cache_hits");
     let misses = num(engine, "cache_misses");
     let hit_rate = if hits + misses > 0.0 {
@@ -316,6 +403,19 @@ fn main() {
         num(engine, "cache_entries"),
         num(engine, "cache_bytes"),
     );
+    for (tenant, n, t50, t99) in &tenant_stats {
+        println!("  tenant   {tenant}: {n} answered  p50 {t50:.2} ms  p99 {t99:.2} ms");
+    }
+    println!(
+        "  slo      short burn {:.3}  long burn {:.3}  (target {}, threshold {} ms)",
+        num(slo, "short_burn"),
+        num(slo, "long_burn"),
+        num(slo, "target"),
+        num(slo, "latency_threshold_ms"),
+    );
+    if let Some(ticks) = subscribe_ticks {
+        println!("  stream   {ticks} metric ticks received while loading");
+    }
 
     if let Some(out) = &o.out {
         let mut report = ObsReport::snapshot();
@@ -352,6 +452,30 @@ fn main() {
         report.meta_num("cache_evictions", evictions);
         report.meta_num("cache_entries", num(engine, "cache_entries"));
         report.meta_num("cache_bytes", num(engine, "cache_bytes"));
+        report.meta_num("slo_short_burn", num(slo, "short_burn"));
+        report.meta_num("slo_long_burn", num(slo, "long_burn"));
+        report.meta_num("slo_total", num(slo, "total"));
+        report.meta_num("slo_good", num(slo, "good"));
+        report.meta_num("slo_bad", num(slo, "bad"));
+        if let Some(ticks) = subscribe_ticks {
+            report.meta_num("subscribe_ticks", ticks as f64);
+        }
+        let tenants_json = format!(
+            "{{{}}}",
+            tenant_stats
+                .iter()
+                .map(|(tenant, n, t50, t99)| format!(
+                    "{tenant:?}:{{\"answered\":{n},\"p50_ms\":{t50:.3},\"p99_ms\":{t99:.3}}}"
+                ))
+                .collect::<Vec<_>>()
+                .join(",")
+        );
+        report.section_raw("tenants", tenants_json);
+        if let Some(doc @ Json::Obj(_)) = slo {
+            let mut json = String::new();
+            render(doc, &mut json);
+            report.section_raw("slo", json);
+        }
         if let Some(doc @ Json::Obj(_)) = serve {
             let mut json = String::new();
             render(doc, &mut json);

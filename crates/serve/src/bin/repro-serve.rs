@@ -16,7 +16,8 @@ fn usage() -> ! {
          \x20                  [--quota-burst N] [--quota-rate PER_SEC]\n\
          \x20                  [--budget-ms MS] [--deadline-ms MS] [--max-line-bytes N]\n\
          \x20                  [--watchdog-ms MS] [--stall-timeout-ms MS] [--probe-timeout-ms MS]\n\
-         \x20                  [--obs]\n\
+         \x20                  [--slo-latency-ms MS] [--slo-target F] [--flight-capacity N]\n\
+         \x20                  [--blackbox-out PATH] [--obs]\n\
          \n\
          \x20 --socket PATH        unix socket to listen on (default repro-serve.sock)\n\
          \x20 --workers N          concurrent analyses (default 2)\n\
@@ -32,6 +33,10 @@ fn usage() -> ! {
          \x20 --watchdog-ms MS     watchdog sweep interval (default 100)\n\
          \x20 --stall-timeout-ms MS  supersede a worker busy this long on one request (default 10000)\n\
          \x20 --probe-timeout-ms MS  startup wait for a predecessor daemon's ping answer (default 500)\n\
+         \x20 --slo-latency-ms MS  an ok answer slower than this counts as an SLO miss (default 2000)\n\
+         \x20 --slo-target F       availability objective in (0,1); burn = bad_frac/(1-F) (default 0.99)\n\
+         \x20 --flight-capacity N  flight-recorder ring capacity in events (default 4096)\n\
+         \x20 --blackbox-out PATH  where automatic blackbox dumps land (default SOCKET.blackbox.json)\n\
          \x20 --obs                enable span tracing (for trace_dump)"
     );
     std::process::exit(2);
@@ -71,6 +76,24 @@ fn main() {
             "--watchdog-ms" => config.watchdog_interval_ms = parse(&arg, args.next()),
             "--stall-timeout-ms" => config.stall_timeout_ms = parse(&arg, args.next()),
             "--probe-timeout-ms" => config.probe_timeout_ms = parse(&arg, args.next()),
+            "--slo-latency-ms" => config.slo.latency_threshold_ms = parse(&arg, args.next()),
+            "--slo-target" => {
+                let target: f64 = parse(&arg, args.next());
+                if !(0.0..1.0).contains(&target) {
+                    eprintln!("--slo-target must be in (0,1): got {target}");
+                    std::process::exit(2);
+                }
+                config.slo.target = target;
+            }
+            "--flight-capacity" => {
+                let capacity: usize = parse(&arg, args.next());
+                if !obs::flight::configure(capacity) {
+                    eprintln!(
+                        "repro-serve: flight recorder already sized, --flight-capacity ignored"
+                    );
+                }
+            }
+            "--blackbox-out" => config.blackbox_path = Some(parse(&arg, args.next())),
             "--obs" => obs::enable(),
             "--help" | "-h" => usage(),
             other => {

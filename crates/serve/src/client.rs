@@ -66,6 +66,42 @@ impl SplitMix64 {
     }
 }
 
+/// Seeded, collision-checked request-id generator. Every id a process
+/// sends should come from one of these: the suffix comes from a
+/// deterministic PRNG (so runs replay), the caller's prefix names the
+/// logical stream, and a per-generator set guarantees no id is handed
+/// out twice — the flight recorder and trace correlate purely on id,
+/// so a duplicate would merge two requests' histories.
+pub struct RequestIds {
+    rng: SplitMix64,
+    issued: std::collections::HashSet<String>,
+}
+
+impl RequestIds {
+    pub fn new(seed: u64) -> RequestIds {
+        RequestIds {
+            rng: SplitMix64::new(seed),
+            issued: std::collections::HashSet::new(),
+        }
+    }
+
+    /// The next unique id, `<prefix>-<8 hex digits>`. Collisions (the
+    /// suffix space is 32 bits) re-roll until fresh.
+    pub fn next(&mut self, prefix: &str) -> String {
+        loop {
+            let id = format!("{prefix}-{:08x}", self.rng.next_u64() as u32);
+            if self.issued.insert(id.clone()) {
+                return id;
+            }
+        }
+    }
+
+    /// How many ids this generator has handed out.
+    pub fn issued(&self) -> usize {
+        self.issued.len()
+    }
+}
+
 /// Client knobs. Defaults suit a local daemon: fast first retry,
 /// half-second cap, breakers that open after four consecutive
 /// capacity-style failures and probe again 250 ms later.
@@ -240,6 +276,11 @@ impl Breakers {
                     self.opens.fetch_add(1, Ordering::Relaxed);
                     obs::counter("client.breaker_opens").inc();
                     obs::gauge("client.breaker_open").add(1.0);
+                    obs::flight::event(
+                        "breaker_trip",
+                        "",
+                        format!("tenant={tenant} consecutive={}", st.consecutive),
+                    );
                 }
                 st.open_until = Some(Instant::now() + self.cooldown);
             }
@@ -386,6 +427,7 @@ impl Client {
         deadline: Instant,
     ) -> Result<Json, ClientError> {
         if !self.breakers.admit(tenant) {
+            obs::flight::event("breaker_skip", id, format!("tenant={tenant}"));
             return Err(ClientError::BreakerOpen);
         }
         let mut attempt: u32 = 0;
@@ -414,6 +456,7 @@ impl Client {
                         self.breakers.record(tenant, false);
                         return Err(ClientError::RetryBudgetExhausted);
                     }
+                    obs::flight::event("retry", id, format!("attempt={}", attempt + 1));
                     self.backoff(attempt, deadline);
                     attempt += 1;
                 }
@@ -523,6 +566,24 @@ mod tests {
             assert!((0.0..1.0).contains(&f));
             assert!(r.below(10) < 10);
         }
+    }
+
+    #[test]
+    fn request_ids_are_unique_and_seed_deterministic() {
+        let mut a = RequestIds::new(42);
+        let mut b = RequestIds::new(42);
+        let ids_a: Vec<String> = (0..1000).map(|_| a.next("r")).collect();
+        let ids_b: Vec<String> = (0..1000).map(|_| b.next("r")).collect();
+        assert_eq!(ids_a, ids_b, "same seed, same ids");
+        let unique: std::collections::HashSet<&String> = ids_a.iter().collect();
+        assert_eq!(unique.len(), ids_a.len(), "no duplicates");
+        assert_eq!(a.issued(), 1000);
+        assert!(ids_a[0].starts_with("r-") && ids_a[0].len() == "r-".len() + 8);
+
+        let mut c = RequestIds::new(43);
+        assert_ne!(c.next("r"), ids_a[0], "different seed, different stream");
+        // Prefixes partition the id space even within one generator.
+        assert!(c.next("hot").starts_with("hot-"));
     }
 
     #[test]

@@ -47,7 +47,11 @@ pub mod server;
 
 #[cfg(feature = "fault-inject")]
 pub use chaos::{ChaosMetrics, ChaosPlan, ChaosState};
-pub use client::{Breakers, Client, ClientConfig, ClientError, RetryBudget, SplitMix64};
-pub use protocol::{parse_request, status, AnalyzeRequest, Request, ResponseLine};
+pub use client::{
+    Breakers, Client, ClientConfig, ClientError, RequestIds, RetryBudget, SplitMix64,
+};
+pub use protocol::{
+    parse_request, status, validate_dump_path, AnalyzeRequest, Request, ResponseLine,
+};
 pub use quota::{QuotaConfig, TenantQuotas};
 pub use server::{unknown_bench_message, ServeConfig, ServeMetrics, Server};

@@ -32,6 +32,19 @@ pub enum Request {
     TraceDump {
         path: String,
     },
+    /// Dump the flight recorder (always on) to a file on the daemon
+    /// host and answer with the ring accounting.
+    Blackbox {
+        path: String,
+    },
+    /// Stream periodic newline-JSON metric deltas on this connection
+    /// until `ticks` have been sent (0 = until the client disconnects).
+    Subscribe {
+        interval_ms: u64,
+        ticks: u64,
+    },
+    /// One-shot Prometheus text exposition of the metrics registry.
+    Prometheus,
     /// Stop accepting work, drain in-flight requests, answer, exit.
     Shutdown,
     /// Liveness probe (used by the load generator to await boot).
@@ -80,10 +93,59 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
                 .ok_or("trace_dump needs a \"path\" string")?;
             Ok(Request::TraceDump { path: path.into() })
         }
+        "blackbox" => {
+            let path = doc
+                .get("path")
+                .and_then(Json::as_str)
+                .ok_or("blackbox needs a \"path\" string")?;
+            Ok(Request::Blackbox { path: path.into() })
+        }
+        "subscribe" => {
+            let num_field = |key: &str, default: u64| -> Result<u64, String> {
+                match doc.get(key) {
+                    None | Some(Json::Null) => Ok(default),
+                    Some(Json::Num(n)) if *n >= 0.0 => Ok(*n as u64),
+                    Some(other) => Err(format!(
+                        "\"{key}\" must be a non-negative number, got {other:?}"
+                    )),
+                }
+            };
+            Ok(Request::Subscribe {
+                // Floor keeps one hostile subscriber from turning the
+                // metrics stream into a busy loop.
+                interval_ms: num_field("interval_ms", 500)?.max(10),
+                ticks: num_field("ticks", 0)?,
+            })
+        }
+        "prometheus" => Ok(Request::Prometheus),
         "analyze" => parse_analyze(&doc).map(|a| Request::Analyze(Box::new(a))),
         other => Err(format!(
-            "unknown op {other:?} (expected analyze, stats, trace_dump, shutdown, or ping)"
+            "unknown op {other:?} (expected analyze, stats, trace_dump, blackbox, \
+             subscribe, prometheus, shutdown, or ping)"
         )),
+    }
+}
+
+/// Validates a daemon-side dump target (`trace_dump`/`blackbox`)
+/// *before* any io: the parent directory must exist and the path must
+/// not name a directory. Violations answer a structured `bad_request`
+/// instead of surfacing as a worker-side io failure.
+pub fn validate_dump_path(path: &str) -> Result<(), String> {
+    if path.is_empty() {
+        return Err("dump path is empty".into());
+    }
+    let p = std::path::Path::new(path);
+    if p.is_dir() {
+        return Err(format!("dump path {path:?} is a directory"));
+    }
+    match p.parent() {
+        // `Path::parent` returns `""` for bare filenames — that is the
+        // daemon's cwd, which exists.
+        Some(parent) if !parent.as_os_str().is_empty() && !parent.is_dir() => Err(format!(
+            "dump path parent {:?} does not exist",
+            parent.display()
+        )),
+        _ => Ok(()),
     }
 }
 
@@ -131,8 +193,18 @@ fn parse_analyze(doc: &Json) -> Result<AnalyzeRequest, String> {
         }
         Some(other) => return Err(format!("\"inputs\" must be an object, got {other:?}")),
     }
+    // `request_id` is the telemetry-plane spelling; `id` the original
+    // wire field. Either works; both present must agree (a mismatch is
+    // a caller bug worth failing loudly on, since the id is the only
+    // cross-layer correlation key).
+    let id = match (str_field("id")?, str_field("request_id")?) {
+        (Some(a), Some(b)) if a != b => {
+            return Err(format!("\"id\" {a:?} and \"request_id\" {b:?} disagree"))
+        }
+        (a, b) => a.or(b).unwrap_or_default(),
+    };
     Ok(AnalyzeRequest {
-        id: str_field("id")?.unwrap_or_default(),
+        id,
         tenant: str_field("tenant")?.unwrap_or_else(|| "anon".into()),
         bench,
         version: str_field("version")?.unwrap_or_else(|| "seq".into()),
@@ -385,6 +457,70 @@ mod tests {
             panic!()
         };
         assert_eq!(path, "/tmp/t.json");
+    }
+
+    #[test]
+    fn request_id_aliases_id_and_mismatches_are_rejected() {
+        let r = parse_request(r#"{"bench":"md5","request_id":"req-7"}"#).unwrap();
+        let Request::Analyze(a) = r else { panic!() };
+        assert_eq!(a.id, "req-7");
+
+        let r = parse_request(r#"{"bench":"md5","id":"x","request_id":"x"}"#).unwrap();
+        let Request::Analyze(a) = r else { panic!() };
+        assert_eq!(a.id, "x");
+
+        assert!(
+            parse_request(r#"{"bench":"md5","id":"x","request_id":"y"}"#)
+                .unwrap_err()
+                .contains("disagree")
+        );
+    }
+
+    #[test]
+    fn parses_telemetry_ops() {
+        let Ok(Request::Blackbox { path }) =
+            parse_request(r#"{"op":"blackbox","path":"/tmp/b.json"}"#)
+        else {
+            panic!()
+        };
+        assert_eq!(path, "/tmp/b.json");
+        assert!(parse_request(r#"{"op":"blackbox"}"#)
+            .unwrap_err()
+            .contains("path"));
+
+        let Ok(Request::Subscribe { interval_ms, ticks }) = parse_request(r#"{"op":"subscribe"}"#)
+        else {
+            panic!()
+        };
+        assert_eq!((interval_ms, ticks), (500, 0));
+        let Ok(Request::Subscribe { interval_ms, ticks }) =
+            parse_request(r#"{"op":"subscribe","interval_ms":1,"ticks":3}"#)
+        else {
+            panic!()
+        };
+        assert_eq!((interval_ms, ticks), (10, 3), "interval is floored");
+
+        assert!(matches!(
+            parse_request(r#"{"op":"prometheus"}"#),
+            Ok(Request::Prometheus)
+        ));
+    }
+
+    #[test]
+    fn dump_paths_are_validated_before_io() {
+        let dir = std::env::temp_dir();
+        let ok = dir.join("serve-proto-dump-ok.json");
+        assert!(validate_dump_path(ok.to_str().unwrap()).is_ok());
+        assert!(validate_dump_path("bare-filename.json").is_ok());
+
+        assert!(validate_dump_path("").unwrap_err().contains("empty"));
+        assert!(validate_dump_path(dir.to_str().unwrap())
+            .unwrap_err()
+            .contains("directory"));
+        let missing = dir.join("no-such-parent-dir/x.json");
+        assert!(validate_dump_path(missing.to_str().unwrap())
+            .unwrap_err()
+            .contains("does not exist"));
     }
 
     #[test]

@@ -94,6 +94,12 @@ pub struct ServeConfig {
     /// How long the startup probe waits for a predecessor daemon to
     /// answer a ping before declaring its socket stale.
     pub probe_timeout_ms: u64,
+    /// SLO objective and window geometry (good/bad accounting surfaces
+    /// in `stats` and the metrics stream).
+    pub slo: obs::SloConfig,
+    /// Where automatic flight-recorder dumps land (worker death, panic,
+    /// stale-socket takeover). `None` derives `<socket>.blackbox.json`.
+    pub blackbox_path: Option<PathBuf>,
 }
 
 impl Default for ServeConfig {
@@ -112,6 +118,8 @@ impl Default for ServeConfig {
             watchdog_interval_ms: 100,
             stall_timeout_ms: 10_000,
             probe_timeout_ms: 500,
+            slo: obs::SloConfig::default(),
+            blackbox_path: None,
         }
     }
 }
@@ -265,13 +273,18 @@ struct WorkerShared {
     /// current job, answer it, then exit instead of looping.
     exit: AtomicBool,
     busy: Mutex<BusyState>,
+    /// Process-unique incarnation number, stamped into flight-recorder
+    /// pickup events so a dump distinguishes the worker that died on a
+    /// request from the respawn that answered its retry.
+    incarnation: u64,
 }
 
 impl WorkerShared {
-    fn new() -> WorkerShared {
+    fn new(incarnation: u64) -> WorkerShared {
         WorkerShared {
             exit: AtomicBool::new(false),
             busy: Mutex::new(BusyState::default()),
+            incarnation,
         }
     }
 }
@@ -296,6 +309,13 @@ struct Conn {
 
 impl Conn {
     fn send(&self, line: &str) {
+        // A vanished client is not a daemon error; drop the response.
+        let _ = self.send_ok(line);
+    }
+
+    /// Like [`Conn::send`] but reports whether the write landed — the
+    /// metrics streamer uses this to stop when its subscriber is gone.
+    fn send_ok(&self, line: &str) -> bool {
         let _guard = self.write.lock().unwrap_or_else(|e| e.into_inner());
         #[cfg(feature = "fault-inject")]
         if let Some(chaos) = &self.chaos {
@@ -309,19 +329,18 @@ impl Conn {
                 let mut s = &self.stream;
                 for piece in buf.chunks(chunk) {
                     if s.write_all(piece).and_then(|_| s.flush()).is_err() {
-                        return;
+                        return false;
                     }
                     std::thread::sleep(delay);
                 }
-                return;
+                return true;
             }
         }
-        // A vanished client is not a daemon error; drop the response.
         let mut s = &self.stream;
-        let _ = s
-            .write_all(line.as_bytes())
+        s.write_all(line.as_bytes())
             .and_then(|_| s.write_all(b"\n"))
-            .and_then(|_| s.flush());
+            .and_then(|_| s.flush())
+            .is_ok()
     }
 
     fn acquire_window(&self, limit: usize) {
@@ -355,8 +374,30 @@ struct Shared {
     workers: Mutex<Vec<WorkerSlot>>,
     /// Handles of superseded workers, joined at [`Server::join`].
     retired: Mutex<Vec<JoinHandle<()>>>,
+    /// Metric-stream threads spawned by `subscribe`, joined at
+    /// [`Server::join`].
+    streamers: Mutex<Vec<JoinHandle<()>>>,
+    /// Good/bad SLO accounting for answered requests.
+    slo: obs::SloTracker,
+    /// Resolved target for automatic flight-recorder dumps.
+    blackbox_path: PathBuf,
+    /// Hands out worker incarnation numbers (process-unique).
+    next_incarnation: std::sync::atomic::AtomicU64,
     #[cfg(feature = "fault-inject")]
     chaos: ChaosHandle,
+}
+
+/// Writes the flight recorder to the configured blackbox path. Called
+/// on worker death, worker panic, stall supersede, and stale-socket
+/// takeover; failures are counted, never fatal — losing a dump must
+/// not take down the daemon that is busy surviving a fault.
+fn auto_blackbox(shared: &Shared, reason: &str) {
+    obs::flight::event("blackbox_dump", "", format!("reason={reason}"));
+    if obs::flight::write_blackbox(&shared.blackbox_path, reason).is_ok() {
+        obs::counter("serve.blackbox_dumps").inc();
+    } else {
+        obs::counter("serve.blackbox_dump_failures").inc();
+    }
 }
 
 /// A running daemon. [`Server::start`] binds and spawns the threads;
@@ -450,6 +491,10 @@ impl Server {
         } else {
             config.workers
         };
+        let blackbox_path = config
+            .blackbox_path
+            .clone()
+            .unwrap_or_else(|| PathBuf::from(format!("{}.blackbox.json", socket.display())));
         let shared = Arc::new(Shared {
             engine,
             quotas: TenantQuotas::new(config.quota),
@@ -466,6 +511,10 @@ impl Server {
             started: Instant::now(),
             workers: Mutex::new(Vec::new()),
             retired: Mutex::new(Vec::new()),
+            streamers: Mutex::new(Vec::new()),
+            slo: obs::SloTracker::new(config.slo),
+            blackbox_path,
+            next_incarnation: std::sync::atomic::AtomicU64::new(0),
             #[cfg(feature = "fault-inject")]
             chaos,
             config,
@@ -473,12 +522,18 @@ impl Server {
         if took_over_stale {
             shared.counters.stale_takeovers.inc();
             obs::instant("serve.stale_takeover");
+            obs::flight::event(
+                "takeover",
+                "",
+                format!("socket={}", shared.config.socket.display()),
+            );
+            auto_blackbox(&shared, "stale_takeover");
         }
 
         {
             let mut slots = shared.workers.lock().unwrap_or_else(|e| e.into_inner());
             for i in 0..worker_count {
-                let ws = Arc::new(WorkerShared::new());
+                let ws = Arc::new(WorkerShared::new(next_incarnation(&shared)));
                 let handle = spawn_worker(&shared, Arc::clone(&ws), i);
                 slots.push(WorkerSlot {
                     shared: ws,
@@ -565,7 +620,22 @@ impl Server {
         for h in retired {
             let _ = h.join();
         }
+        let streamers: Vec<JoinHandle<()>> = {
+            let mut s = self
+                .shared
+                .streamers
+                .lock()
+                .unwrap_or_else(|e| e.into_inner());
+            s.drain(..).collect()
+        };
+        for h in streamers {
+            let _ = h.join();
+        }
     }
+}
+
+fn next_incarnation(shared: &Shared) -> u64 {
+    shared.next_incarnation.fetch_add(1, Ordering::Relaxed)
 }
 
 fn begin_drain(shared: &Shared) {
@@ -595,7 +665,7 @@ fn spawn_worker(shared: &Arc<Shared>, ws: Arc<WorkerShared>, idx: usize) -> Join
     let shared = Arc::clone(shared);
     std::thread::Builder::new()
         .name(format!("serve-worker-{idx}"))
-        .spawn(move || worker_loop(&shared, &ws))
+        .spawn(move || worker_loop(&shared, &ws, idx))
         .expect("spawn serve worker")
 }
 
@@ -640,12 +710,17 @@ fn watchdog_loop(shared: &Arc<Shared>) {
 /// parked job, if any, to the queue front, and respawn the slot unless
 /// the daemon is draining with nothing left to do.
 fn heal_dead_slot(shared: &Arc<Shared>, slot: &mut WorkerSlot, idx: usize) {
+    let dead_incarnation = slot.shared.incarnation;
     let orphan = {
         let mut busy = slot.shared.busy.lock().unwrap_or_else(|e| e.into_inner());
         busy.since = None;
         busy.job.take()
     };
     let had_orphan = orphan.is_some();
+    let orphan_id = orphan
+        .as_ref()
+        .map(|j| j.req.id.clone())
+        .unwrap_or_default();
     let should_respawn = {
         let mut q = shared.queue.lock().unwrap_or_else(|e| e.into_inner());
         if let Some(job) = orphan {
@@ -665,9 +740,20 @@ fn heal_dead_slot(shared: &Arc<Shared>, slot: &mut WorkerSlot, idx: usize) {
         // count (and log) respawns that replace real capacity.
         shared.counters.workers_respawned.inc();
         obs::instant("serve.worker_respawn");
-        let ws = Arc::new(WorkerShared::new());
+        obs::flight::event(
+            "worker_dead",
+            &orphan_id,
+            format!("slot={idx} inc={dead_incarnation} requeued={had_orphan}"),
+        );
+        let ws = Arc::new(WorkerShared::new(next_incarnation(shared)));
+        obs::flight::event(
+            "worker_respawn",
+            &orphan_id,
+            format!("slot={idx} inc={}", ws.incarnation),
+        );
         slot.shared = Arc::clone(&ws);
         slot.handle = Some(spawn_worker(shared, ws, idx));
+        auto_blackbox(shared, "worker_death");
     } else if had_orphan {
         // Unreachable in practice (orphan ⇒ queue non-empty ⇒
         // respawn), kept for the invariant's sake.
@@ -685,8 +771,24 @@ fn supersede_stalled_slot(shared: &Arc<Shared>, slot: &mut WorkerSlot, idx: usiz
     shared.counters.workers_stalled.inc();
     shared.counters.workers_respawned.inc();
     obs::instant("serve.worker_superseded");
+    let stalled_id = {
+        let busy = slot.shared.busy.lock().unwrap_or_else(|e| e.into_inner());
+        busy.job
+            .as_ref()
+            .map(|j| j.req.id.clone())
+            .unwrap_or_default()
+    };
     let old = slot.handle.take();
-    let ws = Arc::new(WorkerShared::new());
+    let ws = Arc::new(WorkerShared::new(next_incarnation(shared)));
+    obs::flight::event(
+        "stall_supersede",
+        &stalled_id,
+        format!(
+            "slot={idx} stalled_inc={} new_inc={}",
+            slot.shared.incarnation, ws.incarnation
+        ),
+    );
+    auto_blackbox(shared, "worker_stall");
     slot.shared = Arc::clone(&ws);
     slot.handle = Some(spawn_worker(shared, ws, idx));
     if let Some(h) = old {
@@ -768,6 +870,13 @@ fn reader_loop(shared: &Arc<Shared>, conn: &Arc<Conn>) {
                 std::thread::sleep(delay);
             }
         }
+        // Per-op latency for the inline control ops (analyze latency is
+        // recorded by the worker, end to end from admission).
+        let control_timer = |op: &str| {
+            let h = obs::histogram(&format!("serve.latency.op.{op}"));
+            let t0 = Instant::now();
+            move || h.record(t0.elapsed())
+        };
         match parse_request(&line) {
             Err(msg) => {
                 shared.counters.requests.inc();
@@ -777,8 +886,29 @@ fn reader_loop(shared: &Arc<Shared>, conn: &Arc<Conn>) {
             Ok(Request::Ping) => {
                 conn.send(&ResponseLine::new("", status::OK).str("op", "ping").finish());
             }
-            Ok(Request::Stats) => conn.send(&stats_line(shared)),
-            Ok(Request::TraceDump { path }) => conn.send(&trace_dump_line(shared, &path)),
+            Ok(Request::Stats) => {
+                let done = control_timer("stats");
+                conn.send(&stats_line(shared));
+                done();
+            }
+            Ok(Request::TraceDump { path }) => {
+                let done = control_timer("trace_dump");
+                conn.send(&trace_dump_line(shared, &path));
+                done();
+            }
+            Ok(Request::Blackbox { path }) => {
+                let done = control_timer("blackbox");
+                conn.send(&blackbox_line(&path));
+                done();
+            }
+            Ok(Request::Prometheus) => {
+                let done = control_timer("prometheus");
+                conn.send(&prometheus_line(shared));
+                done();
+            }
+            Ok(Request::Subscribe { interval_ms, ticks }) => {
+                start_subscriber(shared, conn, interval_ms, ticks);
+            }
             Ok(Request::Shutdown) => {
                 begin_drain(shared);
                 wait_drained(shared);
@@ -801,6 +931,7 @@ fn admit(shared: &Arc<Shared>, conn: &Arc<Conn>, req: Box<AnalyzeRequest>) {
     shared.counters.requests.inc();
     if !shared.quotas.admit(&req.tenant) {
         shared.counters.quota.inc();
+        obs::flight::event("quota_deny", &req.id, format!("tenant={}", req.tenant));
         conn.send(&error_line(
             &req.id,
             status::QUOTA,
@@ -814,6 +945,7 @@ fn admit(shared: &Arc<Shared>, conn: &Arc<Conn>, req: Box<AnalyzeRequest>) {
         drop(q);
         conn.release_window();
         shared.counters.overloaded.inc();
+        obs::flight::event("overloaded", &req.id, "reason=draining".to_string());
         conn.send(&error_line(
             &req.id,
             status::OVERLOADED,
@@ -823,6 +955,7 @@ fn admit(shared: &Arc<Shared>, conn: &Arc<Conn>, req: Box<AnalyzeRequest>) {
         drop(q);
         conn.release_window();
         shared.counters.overloaded.inc();
+        obs::flight::event("overloaded", &req.id, "reason=queue_full".to_string());
         conn.send(&error_line(
             &req.id,
             status::OVERLOADED,
@@ -832,6 +965,11 @@ fn admit(shared: &Arc<Shared>, conn: &Arc<Conn>, req: Box<AnalyzeRequest>) {
             ),
         ));
     } else {
+        obs::flight::event(
+            "enqueue",
+            &req.id,
+            format!("tenant={} depth={}", req.tenant, q.jobs.len()),
+        );
         q.jobs.push_back(Job {
             req: Arc::from(req),
             conn: Arc::clone(conn),
@@ -851,7 +989,17 @@ fn finish_job(shared: &Shared) {
     }
 }
 
-fn worker_loop(shared: &Arc<Shared>, ws: &Arc<WorkerShared>) {
+/// Extracts the `status` label from a response line built by
+/// [`ResponseLine`] (always the second field). Used to classify the
+/// answer for flight/SLO accounting without re-parsing the JSON.
+fn response_status(line: &str) -> &str {
+    line.split_once("\"status\":\"")
+        .and_then(|(_, rest)| rest.split_once('"'))
+        .map(|(status, _)| status)
+        .unwrap_or("")
+}
+
+fn worker_loop(shared: &Arc<Shared>, ws: &Arc<WorkerShared>, idx: usize) {
     let heartbeats = obs::counter("serve.worker_heartbeats");
     loop {
         if ws.exit.load(Ordering::SeqCst) {
@@ -884,6 +1032,11 @@ fn worker_loop(shared: &Arc<Shared>, ws: &Arc<WorkerShared>) {
                 shared.counters.shed.inc();
                 shared.counters.overloaded.inc();
                 obs::instant("serve.shed");
+                obs::flight::event(
+                    "shed",
+                    &job.req.id,
+                    format!("waited_ms={} deadline_ms={ms}", waited.as_millis()),
+                );
                 job.conn.send(&error_line(
                     &job.req.id,
                     status::OVERLOADED,
@@ -897,6 +1050,15 @@ fn worker_loop(shared: &Arc<Shared>, ws: &Arc<WorkerShared>) {
                 continue;
             }
         }
+        obs::flight::event(
+            "pickup",
+            &job.req.id,
+            format!(
+                "worker={idx} inc={} wait_ms={}",
+                ws.incarnation,
+                job.enqueued.elapsed().as_millis()
+            ),
+        );
         // Park the job in the slot before touching it: from here until
         // the answer is sent, a death of this thread leaves the job
         // recoverable by the watchdog.
@@ -920,12 +1082,21 @@ fn worker_loop(shared: &Arc<Shared>, ws: &Arc<WorkerShared>) {
         let line =
             catch_unwind(AssertUnwindSafe(|| process(shared, &job.req))).unwrap_or_else(|_| {
                 shared.counters.internal_errors.inc();
+                obs::flight::event(
+                    "panic",
+                    &job.req.id,
+                    format!("worker={idx} inc={}", ws.incarnation),
+                );
+                auto_blackbox(shared, "worker_panic");
                 error_line(
                     &job.req.id,
                     status::INTERNAL_ERROR,
                     "serve worker panicked; request aborted",
                 )
             });
+        // Record before sending: a client that sees this answer and
+        // immediately asks for `stats` must find it already counted.
+        record_answer(shared, &job, &line);
         job.conn.send(&line);
         {
             let mut busy = ws.busy.lock().unwrap_or_else(|e| e.into_inner());
@@ -934,6 +1105,33 @@ fn worker_loop(shared: &Arc<Shared>, ws: &Arc<WorkerShared>) {
         }
         job.conn.release_window();
         finish_job(shared);
+    }
+}
+
+/// Post-answer accounting: end-to-end latency histograms (per op and
+/// per tenant), the flight-recorder `answer` event, and SLO
+/// classification. Policy rejections never reach here (they are
+/// answered in admission or shed before pickup); of what does, `ok` in
+/// time is good, server faults (`internal_error`, `worker_lost`) and
+/// over-threshold `ok` are bad, and request-side failures
+/// (`trace_error`, `bad_request`) are excluded from SLO accounting.
+fn record_answer(shared: &Shared, job: &Job, line: &str) {
+    let latency = job.enqueued.elapsed();
+    let latency_ms = latency.as_secs_f64() * 1e3;
+    let status_label = response_status(line);
+    obs::histogram("serve.latency.op.analyze").record(latency);
+    obs::histogram(&format!("serve.latency.tenant.{}", job.req.tenant)).record(latency);
+    obs::flight::event(
+        "answer",
+        &job.req.id,
+        format!("status={status_label} latency_ms={latency_ms:.1}"),
+    );
+    match status_label {
+        status::OK => shared.slo.record_latency_ms(latency_ms, false),
+        status::INTERNAL_ERROR | status::WORKER_LOST => {
+            shared.slo.record_latency_ms(latency_ms, true)
+        }
+        _ => {}
     }
 }
 
@@ -980,7 +1178,10 @@ pub fn unknown_bench_message(name: &str) -> String {
 
 fn process(shared: &Shared, req: &AnalyzeRequest) -> String {
     let mut span = obs::span_args("serve.request", || {
-        vec![("tenant", obs::ArgValue::Str(req.tenant.clone()))]
+        vec![
+            ("id", obs::ArgValue::Str(req.id.clone())),
+            ("tenant", obs::ArgValue::Str(req.tenant.clone())),
+        ]
     });
     let (program, input) = match resolve(shared, req) {
         Ok(pair) => pair,
@@ -1052,11 +1253,27 @@ fn stats_line(shared: &Shared) -> String {
     obs::gauge("cache.entries").set(engine.cache_entries as f64);
     let mut engine_json = String::new();
     engine.serialize_json(&mut engine_json);
+    let serve = shared.counters.snapshot();
     let mut serve_json = String::new();
-    shared.counters.snapshot().serialize_json(&mut serve_json);
+    serve.serialize_json(&mut serve_json);
+    let mut slo_json = String::new();
+    shared.slo.snapshot().serialize_json(&mut slo_json);
+    // End-to-end latency quantiles, per op and per tenant.
+    let latency: Vec<obs::registry::HistogramValue> = obs::snapshot()
+        .histograms
+        .into_iter()
+        .filter(|h| h.name.starts_with("serve.latency."))
+        .collect();
+    let mut latency_json = String::new();
+    latency.serialize_json(&mut latency_json);
+    let uptime_s = shared.started.elapsed().as_secs_f64().max(1e-9);
     ResponseLine::new("", status::OK)
         .str("op", "stats")
-        .num("uptime_ms", shared.started.elapsed().as_secs_f64() * 1e3)
+        .num("uptime_ms", uptime_s * 1e3)
+        // Uptime-normalized rates, so two stats snapshots compare
+        // without the caller doing the division.
+        .num("requests_per_s", serve.requests as f64 / uptime_s)
+        .num("ok_per_s", serve.ok as f64 / uptime_s)
         // Client-side breaker state, visible when clients share this
         // process's obs registry (in-process harnesses); zero
         // otherwise.
@@ -1065,6 +1282,9 @@ fn stats_line(shared: &Shared) -> String {
             obs::counter("client.breaker_opens").get() as f64,
         )
         .num("breaker_open", obs::gauge("client.breaker_open").get())
+        .num("flight_recorded", obs::flight::recorded() as f64)
+        .raw("slo", &slo_json)
+        .raw("latency", &latency_json)
         .raw("serve", &serve_json)
         .raw("engine", &engine_json)
         .finish()
@@ -1072,6 +1292,9 @@ fn stats_line(shared: &Shared) -> String {
 
 fn trace_dump_line(shared: &Shared, path: &str) -> String {
     let _ = shared;
+    if let Err(msg) = crate::protocol::validate_dump_path(path) {
+        return error_line("", status::BAD_REQUEST, &msg);
+    }
     if !obs::enabled() {
         return error_line(
             "",
@@ -1086,6 +1309,137 @@ fn trace_dump_line(shared: &Shared, path: &str) -> String {
             .str("path", path)
             .num("threads", threads.len() as f64)
             .finish(),
-        Err(e) => error_line("", status::INTERNAL_ERROR, &format!("{path}: {e}")),
+        // The path validated but the write still failed (permissions,
+        // disk full): a caller/host problem, answered structurally
+        // rather than counted against the daemon as an internal error.
+        Err(e) => error_line(
+            "",
+            status::BAD_REQUEST,
+            &format!("cannot write {path}: {e}"),
+        ),
     }
+}
+
+fn blackbox_line(path: &str) -> String {
+    if let Err(msg) = crate::protocol::validate_dump_path(path) {
+        return error_line("", status::BAD_REQUEST, &msg);
+    }
+    match obs::flight::write_blackbox(Path::new(path), "on_demand") {
+        Ok(()) => ResponseLine::new("", status::OK)
+            .str("op", "blackbox")
+            .str("path", path)
+            .num("events", obs::flight::snapshot().len() as f64)
+            .num("recorded", obs::flight::recorded() as f64)
+            .num("capacity", obs::flight::capacity() as f64)
+            .finish(),
+        Err(e) => error_line(
+            "",
+            status::BAD_REQUEST,
+            &format!("cannot write {path}: {e}"),
+        ),
+    }
+}
+
+fn prometheus_line(shared: &Shared) -> String {
+    // Refresh the gauges the scrape should reflect.
+    let engine = shared.engine.metrics();
+    obs::gauge("cache.bytes").set(engine.cache_bytes as f64);
+    obs::gauge("cache.entries").set(engine.cache_entries as f64);
+    let slo = shared.slo.snapshot();
+    obs::gauge("serve.slo_short_burn").set(slo.short_burn);
+    obs::gauge("serve.slo_long_burn").set(slo.long_burn);
+    let text = obs::prometheus_text(&obs::snapshot());
+    ResponseLine::new("", status::OK)
+        .str("op", "prometheus")
+        .str("content_type", "text/plain; version=0.0.4")
+        .str("text", &text)
+        .finish()
+}
+
+/// Spawns the metric-stream thread for one `subscribe` op. Stream
+/// lines share the connection write lock with responses, so they
+/// interleave whole-line atomically with any analyze traffic on the
+/// same connection; `"op":"metrics"` distinguishes them.
+fn start_subscriber(shared: &Arc<Shared>, conn: &Arc<Conn>, interval_ms: u64, ticks: u64) {
+    conn.send(
+        &ResponseLine::new("", status::OK)
+            .str("op", "subscribe")
+            .num("interval_ms", interval_ms as f64)
+            .num("ticks", ticks as f64)
+            .finish(),
+    );
+    let handle = {
+        let shared = Arc::clone(shared);
+        let conn = Arc::clone(conn);
+        std::thread::Builder::new()
+            .name("serve-metrics-stream".into())
+            .spawn(move || subscriber_loop(&shared, &conn, interval_ms, ticks))
+            .expect("spawn metrics streamer")
+    };
+    shared
+        .streamers
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .push(handle);
+}
+
+fn subscriber_loop(shared: &Shared, conn: &Conn, interval_ms: u64, ticks: u64) {
+    let interval = Duration::from_millis(interval_ms.max(10));
+    let mut prev = shared.counters.snapshot();
+    let mut tick = 0u64;
+    while !shared.stop.load(Ordering::SeqCst) && (ticks == 0 || tick < ticks) {
+        // Sleep in slices so shutdown is noticed promptly even with a
+        // long interval.
+        let wake = Instant::now() + interval;
+        loop {
+            let now = Instant::now();
+            if now >= wake || shared.stop.load(Ordering::SeqCst) {
+                break;
+            }
+            std::thread::sleep((wake - now).min(Duration::from_millis(50)));
+        }
+        if shared.stop.load(Ordering::SeqCst) {
+            return;
+        }
+        let cur = shared.counters.snapshot();
+        let slo = shared.slo.snapshot();
+        let queue_depth = {
+            let q = shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+            q.jobs.len() as f64
+        };
+        let mut serve_json = String::new();
+        cur.serialize_json(&mut serve_json);
+        let line = ResponseLine::new("", status::OK)
+            .str("op", "metrics")
+            .num("tick", tick as f64)
+            .num("uptime_ms", shared.started.elapsed().as_secs_f64() * 1e3)
+            .num("queue_depth", queue_depth)
+            .num("requests_delta", (cur.requests - prev.requests) as f64)
+            .num("ok_delta", (cur.ok - prev.ok) as f64)
+            .num(
+                "rejected_delta",
+                (cur.overloaded + cur.quota - prev.overloaded - prev.quota) as f64,
+            )
+            .num(
+                "errors_delta",
+                (cur.internal_errors + cur.worker_lost - prev.internal_errors - prev.worker_lost)
+                    as f64,
+            )
+            .num("slo_short_burn", slo.short_burn)
+            .num("slo_long_burn", slo.long_burn)
+            .raw("serve", &serve_json)
+            .finish();
+        // A failed write means the subscriber hung up: stop streaming.
+        if !conn.send_ok(&line) {
+            return;
+        }
+        prev = cur;
+        tick += 1;
+    }
+    let _ = conn.send_ok(
+        &ResponseLine::new("", status::OK)
+            .str("op", "subscribe_end")
+            .num("ticks", tick as f64)
+            .finish(),
+    );
 }

@@ -499,3 +499,212 @@ fn bench_requests_share_the_compiled_program_and_cache() {
     server.shutdown();
     server.join();
 }
+
+#[test]
+fn request_id_alias_is_accepted_and_echoed() {
+    let server = Server::start(config("reqid")).unwrap();
+    let mut client = Client::connect(&server);
+    let doc = client.request(&format!(
+        r#"{{"op":"analyze","request_id":"corr-1","tenant":"t","source":{FAST_SRC:?}}}"#
+    ));
+    assert_eq!(status_of(&doc), "ok", "{doc:?}");
+    assert_eq!(id_of(&doc), "corr-1");
+    server.shutdown();
+    server.join();
+}
+
+#[test]
+fn stats_surface_slo_latency_and_rates() {
+    let server = Server::start(config("slostats")).unwrap();
+    let mut client = Client::connect(&server);
+    for i in 0..3 {
+        let doc = client.request(&analyze_line(&format!("s{i}"), "acme", FAST_SRC));
+        assert_eq!(status_of(&doc), "ok", "{doc:?}");
+    }
+    let doc = client.request(r#"{"op":"stats"}"#);
+    assert_eq!(status_of(&doc), "ok");
+    for key in ["uptime_ms", "requests_per_s", "ok_per_s", "flight_recorded"] {
+        assert!(
+            doc.get(key).and_then(Json::as_f64).is_some(),
+            "stats missing {key}: {doc:?}"
+        );
+    }
+    assert!(doc.get("requests_per_s").and_then(Json::as_f64).unwrap() > 0.0);
+    let slo = doc.get("slo").expect("slo section");
+    assert_eq!(slo.get("total").and_then(Json::as_f64), Some(3.0));
+    assert_eq!(slo.get("bad").and_then(Json::as_f64), Some(0.0));
+    assert_eq!(slo.get("short_burn").and_then(Json::as_f64), Some(0.0));
+    assert_eq!(slo.get("long_burn").and_then(Json::as_f64), Some(0.0));
+    // Per-op and per-tenant latency quantiles from the daemon's own
+    // histograms (shared registry: filter to this server's tenant).
+    let latency = doc.get("latency").and_then(Json::as_arr).expect("latency");
+    let names: Vec<&str> = latency
+        .iter()
+        .filter_map(|h| h.get("name").and_then(Json::as_str))
+        .collect();
+    assert!(
+        names.contains(&"serve.latency.op.analyze"),
+        "latency section lacks the analyze op histogram: {names:?}"
+    );
+    assert!(
+        names.contains(&"serve.latency.tenant.acme"),
+        "latency section lacks the tenant histogram: {names:?}"
+    );
+    for h in latency {
+        if h.get("name").and_then(Json::as_str) == Some("serve.latency.tenant.acme") {
+            assert_eq!(h.get("count").and_then(Json::as_f64), Some(3.0));
+            let p50 = h.get("p50_ms").and_then(Json::as_f64).unwrap();
+            let p999 = h.get("p999_ms").and_then(Json::as_f64).unwrap();
+            assert!(p50 > 0.0 && p999 >= p50, "p50 {p50} p999 {p999}");
+        }
+    }
+    server.shutdown();
+    server.join();
+}
+
+#[test]
+fn blackbox_op_dumps_the_flight_recorder() {
+    let server = Server::start(config("blackbox")).unwrap();
+    let mut client = Client::connect(&server);
+    let doc = client.request(&analyze_line("bb1", "t", FAST_SRC));
+    assert_eq!(status_of(&doc), "ok");
+
+    let path = std::env::temp_dir().join(format!("repro-blackbox-{}.json", std::process::id()));
+    let doc = client.request(&format!(
+        r#"{{"op":"blackbox","path":{:?}}}"#,
+        path.display()
+    ));
+    assert_eq!(status_of(&doc), "ok", "{doc:?}");
+    let events = doc.get("events").and_then(Json::as_f64).expect("events");
+    assert!(events >= 3.0, "enqueue+pickup+answer at minimum: {doc:?}");
+    let dump = std::fs::read_to_string(&path).expect("dump written");
+    let parsed = parse(&dump).expect("dump parses");
+    let listed = parsed.get("events").and_then(Json::as_arr).expect("events");
+    assert_eq!(listed.len() as f64, events);
+    // The analyze request's trail is reconstructable from the dump.
+    for kind in ["enqueue", "pickup", "answer"] {
+        assert!(
+            listed.iter().any(|e| {
+                e.get("kind").and_then(Json::as_str) == Some(kind)
+                    && e.get("request_id").and_then(Json::as_str) == Some("bb1")
+            }),
+            "no {kind} event for bb1 in the dump"
+        );
+    }
+    std::fs::remove_file(&path).ok();
+    server.shutdown();
+    server.join();
+}
+
+#[test]
+fn dump_ops_refuse_bad_paths_with_structured_errors() {
+    let server = Server::start(config("badpath")).unwrap();
+    let mut client = Client::connect(&server);
+    let dir = std::env::temp_dir();
+    let missing_parent = dir.join("no-such-dir-for-sure").join("dump.json");
+    for op in ["trace_dump", "blackbox"] {
+        // Missing parent directory: a structured bad_request, not an
+        // io panic or internal_error.
+        let doc = client.request(&format!(
+            r#"{{"op":{op:?},"path":{:?}}}"#,
+            missing_parent.display()
+        ));
+        assert_eq!(status_of(&doc), "bad_request", "{op}: {doc:?}");
+        // A directory as the target: same.
+        let doc = client.request(&format!(r#"{{"op":{op:?},"path":{:?}}}"#, dir.display()));
+        assert_eq!(status_of(&doc), "bad_request", "{op}: {doc:?}");
+    }
+    // The daemon is still healthy afterwards.
+    let doc = client.request(r#"{"op":"ping"}"#);
+    assert_eq!(status_of(&doc), "ok");
+    let metrics = server.metrics();
+    assert_eq!(metrics.internal_errors, 0);
+    server.shutdown();
+    server.join();
+}
+
+#[test]
+fn subscribe_streams_metric_deltas_and_ends() {
+    let server = Server::start(config("subscribe")).unwrap();
+    let mut client = Client::connect(&server);
+    let ack = client.request(r#"{"op":"subscribe","interval_ms":20,"ticks":3}"#);
+    assert_eq!(status_of(&ack), "ok");
+    assert_eq!(
+        ack.get("op").and_then(Json::as_str),
+        Some("subscribe"),
+        "{ack:?}"
+    );
+    // Drive some load from a second connection while the stream runs.
+    let mut worker = Client::connect(&server);
+    for i in 0..2 {
+        let doc = worker.request(&analyze_line(&format!("sub{i}"), "t", FAST_SRC));
+        assert_eq!(status_of(&doc), "ok");
+    }
+    let mut ticks = 0u64;
+    loop {
+        let doc = client.recv();
+        match doc.get("op").and_then(Json::as_str) {
+            Some("metrics") => {
+                ticks += 1;
+                for key in [
+                    "tick",
+                    "uptime_ms",
+                    "queue_depth",
+                    "requests_delta",
+                    "ok_delta",
+                    "rejected_delta",
+                    "errors_delta",
+                    "slo_short_burn",
+                    "slo_long_burn",
+                ] {
+                    assert!(
+                        doc.get(key).and_then(Json::as_f64).is_some(),
+                        "metrics tick missing {key}: {doc:?}"
+                    );
+                }
+                assert!(doc.get("serve").is_some(), "tick lacks serve counters");
+            }
+            Some("subscribe_end") => break,
+            other => panic!("unexpected stream line op {other:?}: {doc:?}"),
+        }
+    }
+    assert_eq!(ticks, 3, "bounded subscription delivers exactly its ticks");
+    // The deltas across the stream must have seen the worker's load.
+    server.shutdown();
+    server.join();
+}
+
+#[test]
+fn prometheus_op_returns_a_valid_scrape() {
+    let server = Server::start(config("prom")).unwrap();
+    let mut client = Client::connect(&server);
+    let doc = client.request(&analyze_line("p1", "t", FAST_SRC));
+    assert_eq!(status_of(&doc), "ok");
+    let doc = client.request(r#"{"op":"prometheus"}"#);
+    assert_eq!(status_of(&doc), "ok", "{doc:?}");
+    assert_eq!(
+        doc.get("content_type").and_then(Json::as_str),
+        Some("text/plain; version=0.0.4")
+    );
+    let text = doc.get("text").and_then(Json::as_str).expect("text");
+    let summary = obs::validate_prometheus_text(text).expect("scrape validates");
+    assert!(summary.samples > 0);
+    assert!(
+        summary
+            .families
+            .iter()
+            .any(|f| f == "modernize_serve_requests_total"),
+        "scrape lacks the serve request counter: {:?}",
+        summary.families
+    );
+    assert!(
+        summary
+            .families
+            .iter()
+            .any(|f| f.starts_with("modernize_serve_latency_op_analyze")),
+        "scrape lacks the analyze latency summary: {:?}",
+        summary.families
+    );
+    server.shutdown();
+    server.join();
+}
