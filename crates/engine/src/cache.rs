@@ -37,6 +37,15 @@
 //! and an approximate byte footprint are counted alongside hits and
 //! misses; an evicted entry is recomputed (and re-inserted) on its next
 //! miss, byte-identical to the first computation.
+//!
+//! Entry counts bound nothing when entries vary in size — a cache of
+//! 4096 two-node chains and one of 4096 thousand-group views are orders
+//! of magnitude apart — so the table optionally takes a second, *byte*
+//! cap ([`MatchCache::capacity_bytes`]). Eviction honors whichever cap
+//! trips first: the LRU loop keeps popping until the shard is under
+//! both its entry and its byte budget. An entry bigger than a shard's
+//! whole byte budget is evicted as soon as the next insert lands (it
+//! can never fit), which only costs recomputation — never wrong data.
 
 use ddg::{Ddg, NodeId, StructuralKey};
 use discovery::models::MatchBudget;
@@ -124,6 +133,9 @@ pub struct CacheMetrics {
     pub entries: usize,
     /// Entry capacity (0 = unbounded).
     pub capacity: usize,
+    /// Byte capacity (0 = unbounded); eviction honors whichever of the
+    /// entry and byte caps trips first.
+    pub capacity_bytes: usize,
     pub hits: u64,
     pub misses: u64,
     /// Entries dropped to keep the table under capacity.
@@ -178,8 +190,16 @@ impl Shard {
     }
 
     /// Inserts an entry, then evicts least-recently-touched entries
-    /// until the shard is back under `cap`. Returns evictions performed.
-    fn insert(&mut self, key: CacheKey, entry: Option<CachedMatch>, cap: usize) -> u64 {
+    /// until the shard is back under `cap` entries *and* `byte_cap`
+    /// approximate bytes — whichever cap trips first keeps evicting.
+    /// Returns evictions performed.
+    fn insert(
+        &mut self,
+        key: CacheKey,
+        entry: Option<CachedMatch>,
+        cap: usize,
+        byte_cap: usize,
+    ) -> u64 {
         self.clock += 1;
         let bytes = approx_bytes(&key, &entry);
         let key = Arc::new(key);
@@ -197,7 +217,7 @@ impl Shard {
         }
         self.recency.push_back((key, self.clock));
         let mut evicted = 0;
-        while self.map.len() > cap {
+        while (self.map.len() > cap || self.bytes > byte_cap) && !self.map.is_empty() {
             match self.recency.pop_front() {
                 Some((k, stamp)) => {
                     // Live pair (stamp matches the slot's): evict. Stale
@@ -231,6 +251,9 @@ pub struct MatchCache {
     /// Per-shard entry bound (`capacity == 0` means unbounded).
     shard_cap: usize,
     capacity: usize,
+    /// Per-shard byte bound (`capacity_bytes == 0` means unbounded).
+    shard_byte_cap: usize,
+    capacity_bytes: usize,
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
@@ -251,15 +274,39 @@ impl MatchCache {
     /// `capacity / SHARDS` (the effective total rounds down to a
     /// multiple of the shard count — never above `capacity`).
     pub fn with_capacity(enabled: bool, capacity: usize) -> MatchCache {
+        MatchCache::with_capacities(enabled, capacity, 0)
+    }
+
+    /// A cache bounded at `capacity` entries *and* `capacity_bytes`
+    /// approximate bytes (0 = unbounded, independently per cap). The
+    /// byte budget splits evenly across shards, like the entry budget;
+    /// eviction honors whichever shard-level cap trips first.
+    pub fn with_capacities(
+        enabled: bool,
+        capacity: usize,
+        capacity_bytes: usize,
+    ) -> MatchCache {
         let shards = if capacity == 0 {
             SHARDS
         } else {
             SHARDS.min(capacity)
         };
-        MatchCache::with_shards(enabled, capacity, shards)
+        MatchCache::with_shards_and_bytes(enabled, capacity, capacity_bytes, shards)
     }
 
+    /// Test-only constructor pinning the shard count so eviction order
+    /// is deterministic.
+    #[cfg(test)]
     fn with_shards(enabled: bool, capacity: usize, shards: usize) -> MatchCache {
+        MatchCache::with_shards_and_bytes(enabled, capacity, 0, shards)
+    }
+
+    fn with_shards_and_bytes(
+        enabled: bool,
+        capacity: usize,
+        capacity_bytes: usize,
+        shards: usize,
+    ) -> MatchCache {
         MatchCache {
             enabled,
             shards: (0..shards).map(|_| Mutex::new(Shard::default())).collect(),
@@ -269,6 +316,12 @@ impl MatchCache {
                 capacity / shards
             },
             capacity,
+            shard_byte_cap: if capacity_bytes == 0 {
+                usize::MAX
+            } else {
+                capacity_bytes / shards
+            },
+            capacity_bytes,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
@@ -349,8 +402,10 @@ impl MatchCache {
         // An unencodable pattern (a detail node outside the group view;
         // never produced by the current models) is simply not cached.
         if let Some(entry) = entry {
-            let cap = self.shard_cap;
-            let evicted = self.shard_for(&pending.key).insert(pending.key, entry, cap);
+            let (cap, byte_cap) = (self.shard_cap, self.shard_byte_cap);
+            let evicted = self
+                .shard_for(&pending.key)
+                .insert(pending.key, entry, cap, byte_cap);
             if evicted > 0 {
                 self.evictions.fetch_add(evicted, Ordering::Relaxed);
                 obs::counter("cache.evictions").add(evicted);
@@ -373,6 +428,11 @@ impl MatchCache {
     /// Entry capacity (0 = unbounded).
     pub fn capacity(&self) -> usize {
         self.capacity
+    }
+
+    /// Byte capacity (0 = unbounded).
+    pub fn capacity_bytes(&self) -> usize {
+        self.capacity_bytes
     }
 
     pub fn poison_recoveries(&self) -> u64 {
@@ -407,6 +467,7 @@ impl MatchCache {
         CacheMetrics {
             entries: self.entries(),
             capacity: self.capacity,
+            capacity_bytes: self.capacity_bytes,
             hits: self.hits(),
             misses: self.misses(),
             evictions: self.evictions(),
@@ -865,6 +926,79 @@ mod tests {
         assert_eq!(m.evictions, 1);
         assert_eq!(m.approx_bytes, big);
         assert_eq!(m.capacity, 1);
+    }
+
+    /// Approximate footprint of one cached `chain(n, ..)` entry,
+    /// measured through an unbounded single-shard cache.
+    fn unit_bytes(n: usize) -> usize {
+        let cache = MatchCache::with_shards(true, 0, 1);
+        let (g, sub) = chain(n, 0, "fadd");
+        miss_and_fill(&cache, &g, &sub);
+        cache.approx_bytes() as usize
+    }
+
+    #[test]
+    fn byte_cap_alone_bounds_the_footprint() {
+        // Entry cap unbounded; byte budget fits two same-shape entries.
+        // (Same chain length, same label length → same key size.)
+        let unit = unit_bytes(3);
+        let cache = MatchCache::with_shards_and_bytes(true, 0, 2 * unit, 1);
+        assert_eq!(cache.capacity(), 0);
+        assert_eq!(cache.capacity_bytes(), 2 * unit);
+        for label in ["fadd", "fmul", "fsub"] {
+            let (g, sub) = chain(3, 0, label);
+            miss_and_fill(&cache, &g, &sub);
+        }
+        assert_eq!(cache.entries(), 2, "third insert must evict by bytes");
+        assert_eq!(cache.evictions(), 1);
+        assert!(cache.approx_bytes() as usize <= 2 * unit);
+        // LRU order: the first-inserted shape is the one gone.
+        let (g, sub) = chain(3, 0, "fadd");
+        assert!(matches!(probe_of(&cache, &g, &sub), Probe::Miss(_)));
+        let (g, sub) = chain(3, 0, "fsub");
+        assert!(matches!(probe_of(&cache, &g, &sub), Probe::Hit(_)));
+        let m = cache.metrics();
+        assert_eq!(m.capacity_bytes, 2 * unit);
+        assert_eq!(m.entries, 2);
+    }
+
+    #[test]
+    fn whichever_cap_trips_first_wins() {
+        // Byte budget generous, entry cap of 1: entries evict first.
+        let unit = unit_bytes(3);
+        let by_entries = MatchCache::with_shards_and_bytes(true, 1, 100 * unit, 1);
+        let (g1, sub1) = chain(3, 0, "fadd");
+        let (g2, sub2) = chain(3, 0, "fmul");
+        miss_and_fill(&by_entries, &g1, &sub1);
+        miss_and_fill(&by_entries, &g2, &sub2);
+        assert_eq!(by_entries.entries(), 1);
+        assert_eq!(by_entries.evictions(), 1);
+
+        // Entry cap generous, byte budget of one entry: bytes evict
+        // first, holding entries below the entry cap.
+        let by_bytes = MatchCache::with_shards_and_bytes(true, 100, unit, 1);
+        miss_and_fill(&by_bytes, &g1, &sub1);
+        miss_and_fill(&by_bytes, &g2, &sub2);
+        assert_eq!(by_bytes.entries(), 1);
+        assert_eq!(by_bytes.evictions(), 1);
+        assert!(by_bytes.approx_bytes() as usize <= unit);
+    }
+
+    #[test]
+    fn entry_larger_than_the_byte_budget_is_not_retained() {
+        // A budget smaller than any single entry: the table caches
+        // nothing, but every probe/fulfil cycle still works (the match
+        // is simply recomputed each time).
+        let cache = MatchCache::with_shards_and_bytes(true, 0, 8, 1);
+        let (g, sub) = chain(4, 0, "fadd");
+        miss_and_fill(&cache, &g, &sub);
+        assert_eq!(cache.entries(), 0);
+        assert_eq!(cache.approx_bytes(), 0);
+        let Probe::Miss(p) = probe_of(&cache, &g, &sub) else {
+            panic!("oversized entry must not be resident")
+        };
+        cache.fulfil(p, &sub, &match_subddg(&g, &sub, &MatchBudget::default()));
+        assert_eq!(cache.entries(), 0);
     }
 
     #[test]

@@ -184,6 +184,9 @@ pub struct EngineMetrics {
     pub cache_entries: usize,
     /// Cache entry capacity (0 = unbounded).
     pub cache_capacity: usize,
+    /// Cache byte capacity (0 = unbounded); whichever of the entry and
+    /// byte caps trips first drives eviction.
+    pub cache_capacity_bytes: usize,
     pub cache_hits: u64,
     pub cache_misses: u64,
     /// Entries evicted to keep the cache under capacity.
@@ -232,6 +235,11 @@ pub struct EngineConfig {
     /// engines — the serving daemon, or repeated large batches — hold a
     /// bounded footprint.
     pub cache_capacity: usize,
+    /// Match-cache *byte* bound (0 = unbounded, the default): entries
+    /// vary in size, so deployments that must bound resident memory —
+    /// not just entry count — set this and eviction honors whichever
+    /// cap trips first.
+    pub cache_capacity_bytes: usize,
     /// Bound of the result channel; a full channel backpressures the
     /// coordinators.
     pub results_capacity: usize,
@@ -244,6 +252,7 @@ impl Default for EngineConfig {
             max_concurrent_requests: 0,
             use_cache: true,
             cache_capacity: cache::DEFAULT_CACHE_CAPACITY,
+            cache_capacity_bytes: 0,
             results_capacity: 16,
         }
     }
@@ -279,9 +288,10 @@ impl Engine {
     pub fn new(config: EngineConfig) -> Engine {
         Engine {
             pool: Arc::new(WorkPool::new(config.effective_workers())),
-            cache: Arc::new(MatchCache::with_capacity(
+            cache: Arc::new(MatchCache::with_capacities(
                 config.use_cache,
                 config.cache_capacity,
+                config.cache_capacity_bytes,
             )),
             completed: Arc::new(AtomicU64::new(0)),
             degraded: Arc::new(AtomicU64::new(0)),
@@ -418,6 +428,7 @@ impl Engine {
             requests_completed: self.completed.load(Ordering::Relaxed),
             cache_entries: self.cache.entries(),
             cache_capacity: self.cache.capacity(),
+            cache_capacity_bytes: self.cache.capacity_bytes(),
             cache_hits: self.cache.hits(),
             cache_misses: self.cache.misses(),
             cache_evictions: self.cache.evictions(),

@@ -77,6 +77,13 @@ pub struct ServeConfig {
     pub quota: QuotaConfig,
     /// Shared match-cache entry bound (0 = unbounded).
     pub cache_capacity: usize,
+    /// Shared match-cache byte bound (0 = unbounded); eviction honors
+    /// whichever of the entry and byte caps trips first.
+    pub cache_capacity_bytes: usize,
+    /// Trace-ingestion workers per analysis (DESIGN.md §17). 1 (the
+    /// default) runs the sequential machine; ≥ 2 shards the tracer,
+    /// byte-identical output either way.
+    pub trace_workers: usize,
     /// Default per-sub-DDG match budget when the request names none.
     pub default_budget_ms: u64,
     /// Default whole-request deadline when the request names none.
@@ -112,6 +119,8 @@ impl Default for ServeConfig {
             conn_window: 8,
             quota: QuotaConfig::default(),
             cache_capacity: repro_engine::cache::DEFAULT_CACHE_CAPACITY,
+            cache_capacity_bytes: 0,
+            trace_workers: 1,
             default_budget_ms: 60_000,
             default_deadline_ms: Some(10_000),
             max_line_bytes: 256 * 1024,
@@ -484,6 +493,7 @@ impl Server {
             max_concurrent_requests: 1,
             use_cache: true,
             cache_capacity: config.cache_capacity,
+            cache_capacity_bytes: config.cache_capacity_bytes,
             ..EngineConfig::default()
         });
         let worker_count = if config.workers == 0 {
@@ -1190,6 +1200,7 @@ fn process(shared: &Shared, req: &AnalyzeRequest) -> String {
             return error_line(&req.id, status::BAD_REQUEST, &msg);
         }
     };
+    let input = input.with_trace_workers(shared.config.trace_workers.max(1));
     let mut config = discovery::FinderConfig {
         budget: discovery::MatchBudget {
             time: Duration::from_millis(req.budget_ms.unwrap_or(shared.config.default_budget_ms)),

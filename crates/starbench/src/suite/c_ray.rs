@@ -194,6 +194,7 @@ pub static BENCH: Benchmark = Benchmark {
     // Paper Table 2: 7 objects, 8×4 pixels.
     analysis_input: || input(8, 4, 7, 2),
     scaled_input: |f| input(8 * f, 4, 7, 2),
+    scaled_input_nproc: |f, np| input(8 * f, 4, 7, np as i64),
     verify,
 };
 

@@ -204,6 +204,7 @@ pub static BENCH: Benchmark = Benchmark {
     // Paper Table 2: 8 points, 2 dims, 2 clusters.
     analysis_input: || input(8, 2, 2, 2),
     scaled_input: |f| input(8 * f, 2, 2, 2),
+    scaled_input_nproc: |f, np| input(8 * f, 2, 2, np as i64),
     verify,
 };
 

@@ -103,6 +103,7 @@ pub static BENCH: Benchmark = Benchmark {
     // Paper Table 2: 4 buffers, 2×2 B each.
     analysis_input: || input(4, 4, 2),
     scaled_input: |f| input(4 * f, 4, 2),
+    scaled_input_nproc: |f, np| input(4 * f, 4, np as i64),
     verify,
 };
 

@@ -42,6 +42,11 @@ pub struct Benchmark {
     /// Builds an input scaled by a factor ≥ 1 (the Fig. 7 size series;
     /// factor 1 equals the analysis input).
     pub scaled_input: fn(usize) -> RunConfig,
+    /// Like `scaled_input`, with an explicit simulated thread count for
+    /// the Pthreads version (the trace-scaling series runs ×16 inputs
+    /// at 8 workers). Callers pick factors where the work divides
+    /// evenly across `nproc`, as the legacy chunking assumes.
+    pub scaled_input_nproc: fn(usize, usize) -> RunConfig,
     /// Checks a finished run against a plain-Rust oracle.
     pub verify: fn(&trace::RunResult) -> Result<(), String>,
 }

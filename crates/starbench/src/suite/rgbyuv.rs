@@ -124,6 +124,7 @@ pub static BENCH: Benchmark = Benchmark {
     // Paper Table 2: 4×4 pixels for analysis.
     analysis_input: || input(16, 2),
     scaled_input: |f| input(16 * f, 2),
+    scaled_input_nproc: |f, np| input(16 * f, np as i64),
     verify,
 };
 

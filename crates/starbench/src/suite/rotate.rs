@@ -146,6 +146,10 @@ pub static BENCH: Benchmark = Benchmark {
         let side = 4 * (f as f64).sqrt().ceil() as usize;
         input(side, side, 2)
     },
+    scaled_input_nproc: |f, np| {
+        let side = 4 * (f as f64).sqrt().ceil() as usize;
+        input(side, side, np as i64)
+    },
     verify,
 };
 

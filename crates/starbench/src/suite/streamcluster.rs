@@ -379,6 +379,7 @@ pub static BENCH: Benchmark = Benchmark {
     // Paper Table 2: 4 points, 2 dims, 2 clusters.
     analysis_input: || input(4, 2),
     scaled_input: |f| input(4 * f, 2),
+    scaled_input_nproc: |f, np| input(4 * f, np as i64),
     verify,
 };
 

@@ -1,0 +1,63 @@
+//! Parallel-tracer parity over the full benchmark suite: every
+//! Starbench benchmark, both versions, at 1, 2, and 8 trace workers,
+//! must produce the byte-identical DDG, arrays, return value, and step
+//! count the sequential machine produces — and still satisfy each
+//! benchmark's plain-Rust oracle.
+
+use starbench::suite::{all_benchmarks, Version};
+
+#[test]
+fn all_benchmarks_replay_byte_identically_at_any_worker_count() {
+    for b in all_benchmarks() {
+        for v in Version::BOTH {
+            let p = b.program(v);
+            let cfg = (b.analysis_input)();
+            let seq = trace::run(&p, &cfg)
+                .unwrap_or_else(|e| panic!("{} {} seq: {e}", b.name, v.name()));
+            for workers in [1usize, 2, 8] {
+                let par = trace::run(&p, &cfg.clone().with_trace_workers(workers))
+                    .unwrap_or_else(|e| {
+                        panic!("{} {} at {workers} workers: {e}", b.name, v.name())
+                    });
+                assert_eq!(
+                    seq.ddg,
+                    par.ddg,
+                    "{} {} DDG diverges at {workers} workers",
+                    b.name,
+                    v.name()
+                );
+                assert_eq!(seq.arrays, par.arrays, "{} {}", b.name, v.name());
+                assert_eq!(seq.return_value, par.return_value);
+                assert_eq!(
+                    seq.steps,
+                    par.steps,
+                    "{} {} step count diverges at {workers} workers",
+                    b.name,
+                    v.name()
+                );
+                (b.verify)(&par).unwrap_or_else(|e| {
+                    panic!("{} {} oracle at {workers} workers: {e}", b.name, v.name())
+                });
+            }
+        }
+    }
+}
+
+#[test]
+fn pthreads_at_eight_simulated_threads_replays_byte_identically() {
+    // The trace-scaling configuration: more simulated threads than the
+    // analysis default, so segment count, stripe traffic, and barrier
+    // fan-out all grow. (×4 input keeps every benchmark's chunking
+    // divisible by 8 and the run affordable.)
+    for b in all_benchmarks() {
+        let p = b.program(Version::Pthreads);
+        let cfg = (b.scaled_input_nproc)(4, 8);
+        let seq =
+            trace::run(&p, &cfg).unwrap_or_else(|e| panic!("{} seq nproc=8: {e}", b.name));
+        let par = trace::run(&p, &cfg.clone().with_trace_workers(8))
+            .unwrap_or_else(|e| panic!("{} par nproc=8: {e}", b.name));
+        assert_eq!(seq.ddg, par.ddg, "{} DDG diverges at nproc=8", b.name);
+        assert_eq!(seq.arrays, par.arrays, "{}", b.name);
+        assert_eq!(seq.steps, par.steps, "{}", b.name);
+    }
+}

@@ -18,9 +18,13 @@
 
 pub mod bytecode;
 pub mod compile;
+mod exec;
 pub mod machine;
+mod par;
 pub mod run;
+mod segment;
 pub mod shadow;
+mod stripe;
 
 pub use compile::compile_program;
 pub use machine::MachineError;

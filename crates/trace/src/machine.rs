@@ -11,11 +11,16 @@
 //! paired with the DDG node that defined it; executing an operation creates
 //! a node labeled with the operation, the executing thread, and the current
 //! dynamic loop scope, and adds def-use arcs from its operands.
+//!
+//! Instruction semantics live in [`crate::exec`], shared with the parallel
+//! tracer; this module owns the scheduler and the synchronization
+//! instructions, which the shared interpreter returns unexecuted.
 
-use crate::bytecode::{CompiledProgram, Inst};
+use crate::bytecode::{CompiledProgram, Inst, Pos};
+use crate::exec::{self, Env, StepOut, ThreadCtx, TraceOp};
 use crate::shadow::{ShadowMemory, Taint};
 use ddg::{DdgBuilder, LabelId, NodeId, ScopeEntry};
-use repro_ir::{BinOp, FnId, Intrinsic, Program, UnOp, Value};
+use repro_ir::{BinOp, Intrinsic, Program, UnOp, Value};
 use std::collections::HashSet;
 use std::time::Instant;
 
@@ -46,14 +51,7 @@ impl std::fmt::Display for MachineError {
 impl std::error::Error for MachineError {}
 
 /// A value paired with its provenance.
-type Slot = (Value, Taint);
-
-struct Frame {
-    func: FnId,
-    pc: usize,
-    slots: Vec<Slot>,
-    stack: Vec<Slot>,
-}
+type Slot = exec::Slot<NodeId>;
 
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 enum Status {
@@ -68,8 +66,7 @@ enum Status {
 }
 
 struct Thread {
-    frames: Vec<Frame>,
-    scope: Vec<ScopeEntry>,
+    ctx: ThreadCtx<NodeId>,
     status: Status,
 }
 
@@ -78,15 +75,13 @@ struct BarrierState {
     waiting: usize,
 }
 
-/// The machine. Construct through [`crate::run()`].
-pub struct Machine<'a> {
+/// The sequential driver's interpreter environment: global memory, shadow
+/// memory, and direct-to-builder tracing with final [`NodeId`]s.
+pub(crate) struct SeqEnv<'a> {
     program: &'a Program,
     code: &'a CompiledProgram,
     pub(crate) globals: Vec<Vec<Value>>,
     shadow: ShadowMemory,
-    threads: Vec<Thread>,
-    mutexes: Vec<Option<usize>>,
-    barriers: Vec<BarrierState>,
     tracing: bool,
     pub(crate) ddg: DdgBuilder,
     /// Interned labels for binary ops, unary ops, intrinsics.
@@ -95,17 +90,143 @@ pub struct Machine<'a> {
     intr_labels: Vec<Option<LabelId>>,
     loop_instances: Vec<u32>,
     iterator_ops: HashSet<u32>,
-    pub(crate) steps: u64,
-    limits: Limits,
-    pub(crate) entry_return: Option<Value>,
     /// Observability sampled once at construction: a run never changes
     /// its recording mode mid-flight, and the disabled path stays one
     /// branch per slice / per shadow access.
     obs_on: bool,
-    /// Scheduler slices executed (spans are per slice, not per step).
-    slices: u64,
     shadow_reads: u64,
     shadow_writes: u64,
+}
+
+impl<'a> SeqEnv<'a> {
+    fn bin_label(&mut self, op: BinOp) -> LabelId {
+        let idx = op as usize;
+        if let Some(l) = self.bin_labels[idx] {
+            return l;
+        }
+        let l = self.ddg.intern_label(op.label(), op.is_associative());
+        self.bin_labels[idx] = Some(l);
+        l
+    }
+
+    fn un_label(&mut self, op: UnOp) -> LabelId {
+        let idx = op as usize;
+        if let Some(l) = self.un_labels[idx] {
+            return l;
+        }
+        let l = self.ddg.intern_label(op.label(), false);
+        self.un_labels[idx] = Some(l);
+        l
+    }
+
+    fn intr_label(&mut self, op: Intrinsic) -> LabelId {
+        let idx = op as usize;
+        if let Some(l) = self.intr_labels[idx] {
+            return l;
+        }
+        let l = self.ddg.intern_label(op.label(), false);
+        self.intr_labels[idx] = Some(l);
+        l
+    }
+}
+
+impl<'a> Env for SeqEnv<'a> {
+    type Ref = NodeId;
+
+    fn array_len(&self, arr: usize) -> usize {
+        self.globals[arr].len()
+    }
+
+    fn array_name(&self, arr: usize) -> String {
+        self.program.globals[arr].name.clone()
+    }
+
+    fn load(&mut self, arr: usize, idx: usize) -> (Value, Taint) {
+        let v = self.globals[arr][idx];
+        let def = self.shadow.get(arr, idx);
+        if self.obs_on {
+            self.shadow_reads += 1;
+        }
+        (v, def)
+    }
+
+    fn store(&mut self, arr: usize, idx: usize, v: Value, def: Taint) {
+        self.globals[arr][idx] = v;
+        self.shadow.set(arr, idx, def);
+        if self.obs_on {
+            self.shadow_writes += 1;
+        }
+    }
+
+    fn trace_node(
+        &mut self,
+        t: usize,
+        op: TraceOp,
+        static_op: u32,
+        pos: Pos,
+        operands: &[Taint],
+        scope: &[ScopeEntry],
+    ) -> Taint {
+        if !self.tracing {
+            return Taint::Const;
+        }
+        let label = match op {
+            TraceOp::Bin(op) => self.bin_label(op),
+            TraceOp::Un(op) => self.un_label(op),
+            TraceOp::Intr(op) => self.intr_label(op),
+        };
+        let node = self.ddg.add_node(
+            label,
+            static_op,
+            pos.file,
+            pos.line,
+            pos.col,
+            t as u16,
+            scope.to_vec(),
+        );
+        for &op in operands {
+            match op {
+                Taint::Node(def) => self.ddg.add_arc(def, node),
+                Taint::Input => self.ddg.mark_reads_input(node),
+                Taint::Const => {}
+            }
+        }
+        if self.iterator_ops.contains(&static_op) {
+            self.ddg.mark_iterator(node);
+        }
+        Taint::Node(node)
+    }
+
+    fn mark_address(&mut self, n: NodeId) {
+        if self.tracing {
+            self.ddg.mark_address_use(n);
+        }
+    }
+
+    fn mark_control(&mut self, n: NodeId) {
+        if self.tracing {
+            self.ddg.mark_control_use(n);
+        }
+    }
+
+    fn loop_enter(&mut self, _t: usize, loop_id: u32) -> u32 {
+        let instance = self.loop_instances[loop_id as usize];
+        self.loop_instances[loop_id as usize] += 1;
+        instance
+    }
+}
+
+/// The machine. Construct through [`crate::run()`].
+pub struct Machine<'a> {
+    pub(crate) env: SeqEnv<'a>,
+    threads: Vec<Thread>,
+    mutexes: Vec<Option<usize>>,
+    barriers: Vec<BarrierState>,
+    pub(crate) steps: u64,
+    limits: Limits,
+    pub(crate) entry_return: Option<Value>,
+    /// Scheduler slices executed (spans are per slice, not per step).
+    slices: u64,
 }
 
 /// Number of instructions a thread runs before the scheduler rotates.
@@ -128,10 +249,22 @@ impl<'a> Machine<'a> {
             "barrier participant counts must match program barriers"
         );
         Machine {
-            program,
-            code,
-            globals,
-            shadow: ShadowMemory::new(&lens),
+            env: SeqEnv {
+                program,
+                code,
+                globals,
+                shadow: ShadowMemory::new(&lens),
+                tracing,
+                ddg: DdgBuilder::new(),
+                bin_labels: vec![None; 64],
+                un_labels: vec![None; 16],
+                intr_labels: vec![None; 16],
+                loop_instances: vec![0; program.loop_count as usize],
+                iterator_ops,
+                obs_on: obs::enabled(),
+                shadow_reads: 0,
+                shadow_writes: 0,
+            },
             threads: Vec::new(),
             mutexes: vec![None; program.n_mutexes],
             barriers: barrier_participants
@@ -141,74 +274,41 @@ impl<'a> Machine<'a> {
                     waiting: 0,
                 })
                 .collect(),
-            tracing,
-            ddg: DdgBuilder::new(),
-            bin_labels: vec![None; 64],
-            un_labels: vec![None; 16],
-            intr_labels: vec![None; 16],
-            loop_instances: vec![0; program.loop_count as usize],
-            iterator_ops,
             steps: 0,
             limits,
             entry_return: None,
-            obs_on: obs::enabled(),
             slices: 0,
-            shadow_reads: 0,
-            shadow_writes: 0,
         }
     }
 
     /// Flushes the run's counters into the metrics registry. Called once
-    /// per run by [`crate::run()`]; a no-op when recording is off.
+    /// per run by [`crate::run()`] — including on the error path, so
+    /// aborted runs (fuel, deadline, runtime faults) still report the
+    /// work they did. A no-op when recording is off.
     pub(crate) fn flush_obs(&self) {
-        if !self.obs_on {
+        if !self.env.obs_on {
             return;
         }
         obs::counter("trace.steps").add(self.steps);
         obs::counter("trace.slices").add(self.slices);
-        obs::counter("trace.shadow_reads").add(self.shadow_reads);
-        obs::counter("trace.shadow_writes").add(self.shadow_writes);
+        obs::counter("trace.shadow_reads").add(self.env.shadow_reads);
+        obs::counter("trace.shadow_writes").add(self.env.shadow_writes);
         obs::counter("trace.threads").add(self.threads.len() as u64);
-        if self.tracing {
-            obs::counter("trace.ddg_nodes").add(self.ddg.len() as u64);
-        }
-    }
-
-    fn new_frame(&self, func: FnId, args: Vec<Slot>) -> Frame {
-        let cf = self.code.function(func);
-        let irf = self.program.function(func);
-        let mut slots: Vec<Slot> = Vec::with_capacity(cf.n_slots);
-        for (i, arg) in args.into_iter().enumerate() {
-            debug_assert!(i < cf.n_params);
-            slots.push(arg);
-        }
-        // Declared locals get typed zeros; hidden bound slots get i64 zero.
-        for i in slots.len()..cf.n_slots {
-            let ty = if i < irf.slot_count() {
-                irf.slot(repro_ir::VarId(i as u32)).1
-            } else {
-                repro_ir::Type::I64
-            };
-            // Zero-initialized locals behave like constants (C statics).
-            slots.push((Value::zero(ty), Taint::Const));
-        }
-        Frame {
-            func,
-            pc: 0,
-            slots,
-            stack: Vec::new(),
+        if self.env.tracing {
+            obs::counter("trace.ddg_nodes").add(self.env.ddg.len() as u64);
         }
     }
 
     /// Starts the entry function on thread 0.
     pub(crate) fn boot(&mut self, args: Vec<Value>) {
-        let frame = self.new_frame(
-            self.code.entry,
+        let frame = exec::new_frame(
+            self.env.program,
+            self.env.code,
+            self.env.code.entry,
             args.into_iter().map(|v| (v, Taint::Input)).collect(),
         );
         self.threads.push(Thread {
-            frames: vec![frame],
-            scope: Vec::new(),
+            ctx: ThreadCtx::new(frame),
             status: Status::Runnable,
         });
     }
@@ -268,7 +368,7 @@ impl<'a> Machine<'a> {
         // One span per slice, not per step: at SLICE-instruction
         // granularity the timeline shows the scheduler's round-robin
         // interleaving without drowning the trace in events.
-        let _slice_span = if self.obs_on {
+        let _slice_span = if self.env.obs_on {
             self.slices += 1;
             Some(obs::span_args("vm.slice", || {
                 vec![("thread", obs::ArgValue::U64(t as u64))]
@@ -304,198 +404,33 @@ impl<'a> Machine<'a> {
         }
     }
 
-    /// Executes one instruction of thread `t`.
+    /// Executes one instruction of thread `t`: the shared interpreter for
+    /// ordinary instructions, this driver for synchronization.
     fn step(&mut self, t: usize) -> Result<(), MachineError> {
-        let (func, pc) = {
-            let f = self.threads[t]
-                .frames
-                .last()
-                .ok_or_else(|| self.err(t, "no frame"))?;
-            (f.func, f.pc)
-        };
-        // Cloning one instruction keeps the borrow checker out of the way;
-        // instructions are small (≤ 40 bytes).
-        let inst = self.code.function(func).code[pc].clone();
-        // Default: advance. Blocking instructions undo this.
-        self.frame_mut(t).pc += 1;
+        let program = self.env.program;
+        let code = self.env.code;
+        let th = &mut self.threads[t];
+        let out = exec::step(&mut self.env, &mut th.ctx, program, code, t)
+            .map_err(|message| MachineError { thread: t, message })?;
+        match out {
+            StepOut::Ran => Ok(()),
+            StepOut::Done(ret) => {
+                th.status = Status::Done;
+                if t == 0 {
+                    self.entry_return = ret.map(|(v, _)| v);
+                }
+                Ok(())
+            }
+            StepOut::Sync(inst) => self.sync_step(t, inst),
+        }
+    }
 
+    /// Executes one synchronization instruction. The pc advances here
+    /// (the shared interpreter returned without touching state);
+    /// blocking instructions undo the advance to retry on wake-up.
+    fn sync_step(&mut self, t: usize, inst: Inst) -> Result<(), MachineError> {
+        self.threads[t].ctx.frame_mut().pc += 1;
         match inst {
-            Inst::Const(v) => self.push(t, (v, Taint::Const)),
-            Inst::LoadVar(v) => {
-                let s = self.frame(t).slots[v.index()];
-                self.push(t, s);
-            }
-            Inst::StoreVar(v) => {
-                let s = self.pop(t)?;
-                self.frame_mut(t).slots[v.index()] = s;
-            }
-            Inst::LoadArr(a) => {
-                let (idx, it) = self.pop(t)?;
-                self.mark_address(it);
-                let i = self.check_index(t, a.index(), idx)?;
-                let v = self.globals[a.index()][i];
-                let def = self.shadow.get(a.index(), i);
-                if self.obs_on {
-                    self.shadow_reads += 1;
-                }
-                self.push(t, (v, def));
-            }
-            Inst::StoreArr(a) => {
-                let (v, vt) = self.pop(t)?;
-                let (idx, it) = self.pop(t)?;
-                self.mark_address(it);
-                let i = self.check_index(t, a.index(), idx)?;
-                self.globals[a.index()][i] = v;
-                self.shadow.set(a.index(), i, vt);
-                if self.obs_on {
-                    self.shadow_writes += 1;
-                }
-            }
-            Inst::Bin { op, id, pos } => {
-                let (b, bt) = self.pop(t)?;
-                let (a, at) = self.pop(t)?;
-                let v = eval_bin(op, a, b).map_err(|m| self.err(t, m))?;
-                let def = if self.tracing {
-                    let label = self.bin_label(op);
-                    Taint::Node(self.trace_node(t, label, id.0, pos, &[at, bt]))
-                } else {
-                    Taint::Const
-                };
-                self.push(t, (v, def));
-            }
-            Inst::Un { op, id, pos } => {
-                let (a, at) = self.pop(t)?;
-                let v = eval_un(op, a).map_err(|m| self.err(t, m))?;
-                let def = if self.tracing {
-                    let label = self.un_label(op);
-                    Taint::Node(self.trace_node(t, label, id.0, pos, &[at]))
-                } else {
-                    Taint::Const
-                };
-                self.push(t, (v, def));
-            }
-            Inst::Intr { op, id, pos } => {
-                let n = op.arity();
-                let mut args = Vec::with_capacity(n);
-                for _ in 0..n {
-                    args.push(self.pop(t)?);
-                }
-                args.reverse();
-                let v = eval_intr(op, &args).map_err(|m| self.err(t, m))?;
-                let def = if self.tracing {
-                    let label = self.intr_label(op);
-                    let taints: Vec<Taint> = args.iter().map(|&(_, ta)| ta).collect();
-                    Taint::Node(self.trace_node(t, label, id.0, pos, &taints))
-                } else {
-                    Taint::Const
-                };
-                self.push(t, (v, def));
-            }
-            Inst::Call(f) => {
-                let n = self.code.function(f).n_params;
-                let mut args = Vec::with_capacity(n);
-                for _ in 0..n {
-                    args.push(self.pop(t)?);
-                }
-                args.reverse();
-                let frame = self.new_frame(f, args);
-                self.threads[t].frames.push(frame);
-            }
-            Inst::Ret { has_value } => {
-                let ret = if has_value { Some(self.pop(t)?) } else { None };
-                self.threads[t].frames.pop();
-                if self.threads[t].frames.is_empty() {
-                    self.threads[t].status = Status::Done;
-                    if t == 0 {
-                        self.entry_return = ret.map(|(v, _)| v);
-                    }
-                } else if let Some(r) = ret {
-                    self.push(t, r);
-                }
-            }
-            Inst::Pop => {
-                self.pop(t)?;
-            }
-            Inst::Jump(target) => self.frame_mut(t).pc = target,
-            Inst::JumpIfFalse(target) => {
-                let (v, vt) = self.pop(t)?;
-                if let (true, Taint::Node(n)) = (self.tracing, vt) {
-                    self.ddg.mark_control_use(n);
-                }
-                if !v.as_bool("branch condition").map_err(|m| self.err(t, m))? {
-                    self.frame_mut(t).pc = target;
-                }
-            }
-            Inst::ForInit { var } => {
-                let (v, vt) = self.pop(t)?;
-                // Bounds computation is traversal bookkeeping: record it
-                // like an address use so simplification can strip the
-                // work-splitting arithmetic (k1 = pid * chunk, ...).
-                self.mark_address(vt);
-                self.frame_mut(t).slots[var.index()] = (v, Taint::Const);
-            }
-            Inst::StoreBound { slot } => {
-                let (v, vt) = self.pop(t)?;
-                self.mark_address(vt);
-                self.frame_mut(t).slots[slot.index()] = (v, Taint::Const);
-            }
-            Inst::LoopEnter { id } => {
-                let instance = self.loop_instances[id.index()];
-                self.loop_instances[id.index()] += 1;
-                // iter starts one-before-zero; the first head test wraps to 0.
-                self.threads[t].scope.push(ScopeEntry {
-                    loop_id: id.0,
-                    instance,
-                    iter: u32::MAX,
-                });
-            }
-            Inst::ForTest {
-                var,
-                bound,
-                step,
-                exit,
-                id,
-            } => {
-                let v = self.frame(t).slots[var.index()]
-                    .0
-                    .as_i64("loop var")
-                    .map_err(|m| self.err(t, m))?;
-                let b = self.frame(t).slots[bound.index()]
-                    .0
-                    .as_i64("loop bound")
-                    .map_err(|m| self.err(t, m))?;
-                let cont = if step > 0 { v < b } else { v > b };
-                if cont {
-                    let e = self.threads[t]
-                        .scope
-                        .last_mut()
-                        .expect("ForTest outside loop scope");
-                    debug_assert_eq!(e.loop_id, id.0);
-                    e.iter = e.iter.wrapping_add(1);
-                } else {
-                    self.frame_mut(t).pc = exit;
-                }
-            }
-            Inst::ForStep { var, step } => {
-                let slot = &mut self.frame_mut(t).slots[var.index()];
-                if let Value::I64(v) = slot.0 {
-                    *slot = (Value::I64(v + step), Taint::Const);
-                } else {
-                    return Err(self.err(t, "loop variable must be i64"));
-                }
-            }
-            Inst::WhileIter { id } => {
-                let e = self.threads[t]
-                    .scope
-                    .last_mut()
-                    .expect("WhileIter outside scope");
-                debug_assert_eq!(e.loop_id, id.0);
-                e.iter = e.iter.wrapping_add(1);
-            }
-            Inst::LoopExit { id } => {
-                let e = self.threads[t].scope.pop().expect("LoopExit without scope");
-                debug_assert_eq!(e.loop_id, id.0);
-            }
             Inst::Spawn {
                 func,
                 nargs,
@@ -506,17 +441,17 @@ impl<'a> Machine<'a> {
                     args.push(self.pop(t)?);
                 }
                 args.reverse();
-                let frame = self.new_frame(func, args);
+                let frame = exec::new_frame(self.env.program, self.env.code, func, args);
                 let tid = self.threads.len();
                 if tid > u16::MAX as usize {
                     return Err(self.err(t, "too many threads"));
                 }
                 self.threads.push(Thread {
-                    frames: vec![frame],
-                    scope: Vec::new(),
+                    ctx: ThreadCtx::new(frame),
                     status: Status::Runnable,
                 });
-                self.frame_mut(t).slots[handle.index()] = (Value::I64(tid as i64), Taint::Const);
+                self.threads[t].ctx.frame_mut().slots[handle.index()] =
+                    (Value::I64(tid as i64), Taint::Const);
             }
             Inst::Join => {
                 let (v, _) = self.pop(t)?;
@@ -526,8 +461,8 @@ impl<'a> Machine<'a> {
                 }
                 if self.threads[target].status != Status::Done {
                     // Retry: restore the handle and re-execute this Join.
-                    self.push(t, (v, Taint::Const));
-                    self.frame_mut(t).pc -= 1;
+                    self.threads[t].ctx.push((v, Taint::Const));
+                    self.threads[t].ctx.frame_mut().pc -= 1;
                     self.threads[t].status = Status::Join(target);
                 }
             }
@@ -555,7 +490,7 @@ impl<'a> Machine<'a> {
                 } else if self.mutexes[m] == Some(t) {
                     return Err(self.err(t, format!("relock of mutex {m}")));
                 } else {
-                    self.frame_mut(t).pc -= 1;
+                    self.threads[t].ctx.frame_mut().pc -= 1;
                     self.threads[t].status = Status::Lock(m);
                 }
             }
@@ -566,210 +501,31 @@ impl<'a> Machine<'a> {
                 self.mutexes[m] = None;
             }
             Inst::Output { arr } => {
-                if self.tracing {
+                if self.env.tracing {
                     let defs: Vec<NodeId> = self
+                        .env
                         .shadow
                         .array(arr.index())
                         .iter()
                         .filter_map(|t| t.node())
                         .collect();
                     for def in defs {
-                        self.ddg.mark_writes_output(def);
+                        self.env.ddg.mark_writes_output(def);
                     }
                 }
             }
+            other => unreachable!("not a synchronization instruction: {other:?}"),
         }
         Ok(())
-    }
-
-    // ---- tracing helpers ----
-
-    fn trace_node(
-        &mut self,
-        t: usize,
-        label: LabelId,
-        static_op: u32,
-        pos: crate::bytecode::Pos,
-        operands: &[Taint],
-    ) -> NodeId {
-        let scope = self.threads[t].scope.clone();
-        let node = self.ddg.add_node(
-            label, static_op, pos.file, pos.line, pos.col, t as u16, scope,
-        );
-        for &op in operands {
-            match op {
-                Taint::Node(def) => self.ddg.add_arc(def, node),
-                Taint::Input => self.ddg.mark_reads_input(node),
-                Taint::Const => {}
-            }
-        }
-        if self.iterator_ops.contains(&static_op) {
-            self.ddg.mark_iterator(node);
-        }
-        node
-    }
-
-    fn mark_address(&mut self, taint: Taint) {
-        if let (true, Taint::Node(n)) = (self.tracing, taint) {
-            self.ddg.mark_address_use(n);
-        }
-    }
-
-    fn bin_label(&mut self, op: BinOp) -> LabelId {
-        let idx = op as usize;
-        if let Some(l) = self.bin_labels[idx] {
-            return l;
-        }
-        let l = self.ddg.intern_label(op.label(), op.is_associative());
-        self.bin_labels[idx] = Some(l);
-        l
-    }
-
-    fn un_label(&mut self, op: UnOp) -> LabelId {
-        let idx = op as usize;
-        if let Some(l) = self.un_labels[idx] {
-            return l;
-        }
-        let l = self.ddg.intern_label(op.label(), false);
-        self.un_labels[idx] = Some(l);
-        l
-    }
-
-    fn intr_label(&mut self, op: Intrinsic) -> LabelId {
-        let idx = op as usize;
-        if let Some(l) = self.intr_labels[idx] {
-            return l;
-        }
-        let l = self.ddg.intern_label(op.label(), false);
-        self.intr_labels[idx] = Some(l);
-        l
     }
 
     // ---- frame/stack helpers ----
 
     #[inline]
-    fn frame(&self, t: usize) -> &Frame {
-        self.threads[t].frames.last().expect("no frame")
-    }
-
-    #[inline]
-    fn frame_mut(&mut self, t: usize) -> &mut Frame {
-        self.threads[t].frames.last_mut().expect("no frame")
-    }
-
-    #[inline]
-    fn push(&mut self, t: usize, s: Slot) {
-        self.frame_mut(t).stack.push(s);
-    }
-
-    #[inline]
     fn pop(&mut self, t: usize) -> Result<Slot, MachineError> {
-        self.frame_mut(t).stack.pop().ok_or_else(|| MachineError {
-            thread: t,
-            message: "operand stack underflow".into(),
-        })
+        self.threads[t]
+            .ctx
+            .pop()
+            .map_err(|message| MachineError { thread: t, message })
     }
-
-    fn check_index(&self, t: usize, arr: usize, idx: Value) -> Result<usize, MachineError> {
-        let i = idx.as_i64("array index").map_err(|m| self.err(t, m))?;
-        let len = self.globals[arr].len();
-        if i < 0 || i as usize >= len {
-            let name = &self.program.globals[arr].name;
-            return Err(self.err(t, format!("index {i} out of bounds for {name}[{len}]")));
-        }
-        Ok(i as usize)
-    }
-}
-
-// ---- operation semantics ----
-
-fn eval_bin(op: BinOp, a: Value, b: Value) -> Result<Value, String> {
-    use BinOp::*;
-    Ok(match op {
-        Add => Value::I64(a.as_i64("add")?.wrapping_add(b.as_i64("add")?)),
-        Sub => Value::I64(a.as_i64("sub")?.wrapping_sub(b.as_i64("sub")?)),
-        Mul => Value::I64(a.as_i64("mul")?.wrapping_mul(b.as_i64("mul")?)),
-        Div => {
-            let d = b.as_i64("div")?;
-            if d == 0 {
-                return Err("division by zero".into());
-            }
-            Value::I64(a.as_i64("div")?.wrapping_div(d))
-        }
-        Rem => {
-            let d = b.as_i64("rem")?;
-            if d == 0 {
-                return Err("remainder by zero".into());
-            }
-            Value::I64(a.as_i64("rem")?.wrapping_rem(d))
-        }
-        FAdd => Value::F64(a.as_f64("fadd")? + b.as_f64("fadd")?),
-        FSub => Value::F64(a.as_f64("fsub")? - b.as_f64("fsub")?),
-        FMul => Value::F64(a.as_f64("fmul")? * b.as_f64("fmul")?),
-        FDiv => Value::F64(a.as_f64("fdiv")? / b.as_f64("fdiv")?),
-        And => bitwise(a, b, |x, y| x & y, |x, y| x && y)?,
-        Or => bitwise(a, b, |x, y| x | y, |x, y| x || y)?,
-        Xor => bitwise(a, b, |x, y| x ^ y, |x, y| x ^ y)?,
-        Shl => Value::I64(a.as_i64("shl")?.wrapping_shl(b.as_i64("shl")? as u32)),
-        Shr => Value::I64((a.as_i64("shr")? as u64 >> (b.as_i64("shr")? as u32 & 63)) as i64),
-        Eq => Value::Bool(a.as_i64("icmp")? == b.as_i64("icmp")?),
-        Ne => Value::Bool(a.as_i64("icmp")? != b.as_i64("icmp")?),
-        Lt => Value::Bool(a.as_i64("icmp")? < b.as_i64("icmp")?),
-        Le => Value::Bool(a.as_i64("icmp")? <= b.as_i64("icmp")?),
-        Gt => Value::Bool(a.as_i64("icmp")? > b.as_i64("icmp")?),
-        Ge => Value::Bool(a.as_i64("icmp")? >= b.as_i64("icmp")?),
-        FEq => Value::Bool(a.as_f64("fcmp")? == b.as_f64("fcmp")?),
-        FNe => Value::Bool(a.as_f64("fcmp")? != b.as_f64("fcmp")?),
-        FLt => Value::Bool(a.as_f64("fcmp")? < b.as_f64("fcmp")?),
-        FLe => Value::Bool(a.as_f64("fcmp")? <= b.as_f64("fcmp")?),
-        FGt => Value::Bool(a.as_f64("fcmp")? > b.as_f64("fcmp")?),
-        FGe => Value::Bool(a.as_f64("fcmp")? >= b.as_f64("fcmp")?),
-        Min => Value::I64(a.as_i64("smin")?.min(b.as_i64("smin")?)),
-        Max => Value::I64(a.as_i64("smax")?.max(b.as_i64("smax")?)),
-        FMin => Value::F64(a.as_f64("fmin")?.min(b.as_f64("fmin")?)),
-        FMax => Value::F64(a.as_f64("fmax")?.max(b.as_f64("fmax")?)),
-    })
-}
-
-fn bitwise(
-    a: Value,
-    b: Value,
-    fi: impl Fn(i64, i64) -> i64,
-    fb: impl Fn(bool, bool) -> bool,
-) -> Result<Value, String> {
-    match (a, b) {
-        (Value::I64(x), Value::I64(y)) => Ok(Value::I64(fi(x, y))),
-        (Value::Bool(x), Value::Bool(y)) => Ok(Value::Bool(fb(x, y))),
-        _ => Err("bitwise op needs matching i64 or bool operands".into()),
-    }
-}
-
-fn eval_un(op: UnOp, a: Value) -> Result<Value, String> {
-    Ok(match op {
-        UnOp::Neg => Value::I64(-a.as_i64("neg")?),
-        UnOp::FNeg => Value::F64(-a.as_f64("fneg")?),
-        UnOp::Not => Value::Bool(!a.as_bool("not")?),
-        UnOp::IntToFloat => Value::F64(a.as_i64("sitofp")? as f64),
-        UnOp::FloatToInt => Value::I64(a.as_f64("fptosi")? as i64),
-    })
-}
-
-fn eval_intr(op: Intrinsic, args: &[Slot]) -> Result<Value, String> {
-    Ok(match op {
-        Intrinsic::Sqrt => Value::F64(args[0].0.as_f64("sqrt")?.sqrt()),
-        Intrinsic::Abs => Value::I64(args[0].0.as_i64("abs")?.abs()),
-        Intrinsic::FAbs => Value::F64(args[0].0.as_f64("fabs")?.abs()),
-        Intrinsic::Floor => Value::F64(args[0].0.as_f64("floor")?.floor()),
-        Intrinsic::Sin => Value::F64(args[0].0.as_f64("sin")?.sin()),
-        Intrinsic::Cos => Value::F64(args[0].0.as_f64("cos")?.cos()),
-        Intrinsic::Exp => Value::F64(args[0].0.as_f64("exp")?.exp()),
-        Intrinsic::Log => Value::F64(args[0].0.as_f64("log")?.ln()),
-        Intrinsic::Select => {
-            if args[0].0.as_bool("select")? {
-                args[1].0
-            } else {
-                args[2].0
-            }
-        }
-    })
 }

@@ -1,0 +1,957 @@
+//! The parallel tracer: sharded trace ingestion with a deterministic
+//! scheduler replay, byte-identical to the sequential machine.
+//!
+//! # How it works
+//!
+//! Simulated threads *free-run* on real worker threads (a shared
+//! work-stealing [`repro_pool::WorkPool`]), each executing the shared
+//! interpreter ([`crate::exec`]) against striped shared memory
+//! ([`crate::stripe`]) and appending everything it traces to a private
+//! [`crate::segment::Segment`]. A free run stops at the next
+//! synchronization instruction (spawn/join/barrier/lock/unlock/output)
+//! — the shared interpreter returns those *unexecuted* — or at
+//! completion, an error, or a fuel/deadline/abort pause.
+//!
+//! The coordinator then *replays the sequential scheduler exactly*:
+//! the same round-robin pick, the same 4096-step slices, the same
+//! blocking rules. Ordinary steps are consumed from the segments in
+//! batches; synchronization instructions are executed by the
+//! coordinator itself, one step each, with the sequential machine's
+//! exact semantics and error messages. Because a thread's free run is
+//! only dispatched *after* the synchronization that enables it has
+//! been replayed, every cross-thread read in a correctly synchronized
+//! program sees exactly the writes the sequential interleaving would
+//! have produced — segment barriers at thread create/join/barrier
+//! points make the striped shadow memory resolve def→use edges
+//! exactly as serialized.
+//!
+//! Replay yields the authoritative interleaving: the consumption
+//! windows order all traced nodes globally, so the merge assigns the
+//! same `NodeId`s, label ids, loop instance numbers, and flags the
+//! sequential tracer would, and builds the CSR arrays directly — no
+//! intermediate edge list ([`ddg::Ddg::from_csr_parts`]).
+//!
+//! # What is *not* identical
+//!
+//! - Programs with data races may observe different (but memory-safe)
+//!   values than the sequential schedule, exactly as on real hardware.
+//! - Threads never joined before the entry thread exits may run ahead
+//!   speculatively; their extra trace records are dropped at merge,
+//!   but their array writes can land (again: racy programs only).
+//! - Wall-clock deadline expiry aborts at a nondeterministic point,
+//!   same as sequentially.
+
+use crate::bytecode::{CompiledProgram, Inst};
+use crate::exec::{self, Env, StepOut, ThreadCtx, TraceOp};
+use crate::machine::{Limits, MachineError};
+use crate::segment::{LoopEvent, MarkEvent, SegNode, SegRef, SegStats, Segment};
+use crate::shadow::Taint;
+use crate::stripe::StripedMemory;
+use ddg::graph::NodeFlags;
+use ddg::{Ddg, LabelId, Node, NodeId, ScopeEntry};
+use repro_ir::{Program, Value};
+use repro_pool::WorkPool;
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::{Arc, OnceLock};
+use std::time::Instant;
+
+/// Same slice length as the sequential machine — replay must rotate
+/// threads at identical points.
+const SLICE: u64 = 4096;
+
+/// How often a free-running worker polls the abort flag and deadline.
+const POLL: u64 = 4096;
+
+/// The process-wide pool for free-run jobs. Jobs never block on other
+/// jobs, so a fixed-size pool cannot deadlock; sized for the machine
+/// but with enough threads that `--trace-workers 8` still exercises
+/// real concurrency on small hosts.
+fn pool() -> &'static WorkPool {
+    static POOL: OnceLock<WorkPool> = OnceLock::new();
+    POOL.get_or_init(|| {
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        WorkPool::new(cores.max(8))
+    })
+}
+
+/// State shared with free-run jobs.
+struct SharedCtx {
+    program: Program,
+    code: CompiledProgram,
+    stripes: StripedMemory,
+    iterator_ops: HashSet<u32>,
+    tracing: bool,
+    obs_on: bool,
+    abort: AtomicBool,
+    deadline: Option<Instant>,
+}
+
+/// Interpreter environment of a free-running worker: loads and stores
+/// go to the striped memory, traces go to the private segment.
+struct WorkerEnv<'a> {
+    shared: &'a SharedCtx,
+    seg: &'a mut Segment,
+}
+
+impl Env for WorkerEnv<'_> {
+    type Ref = SegRef;
+
+    fn array_len(&self, arr: usize) -> usize {
+        self.shared.stripes.array_len(arr)
+    }
+
+    fn array_name(&self, arr: usize) -> String {
+        self.shared.program.globals[arr].name.clone()
+    }
+
+    fn load(&mut self, arr: usize, idx: usize) -> (Value, Taint<SegRef>) {
+        let cell = self.shared.stripes.load(arr, idx, &mut self.seg.stats);
+        if self.shared.obs_on {
+            self.seg.stats.shadow_reads += 1;
+        }
+        cell
+    }
+
+    fn store(&mut self, arr: usize, idx: usize, v: Value, def: Taint<SegRef>) {
+        self.shared.stripes.store(arr, idx, v, def, &mut self.seg.stats);
+        if self.shared.obs_on {
+            self.seg.stats.shadow_writes += 1;
+        }
+    }
+
+    fn trace_node(
+        &mut self,
+        _t: usize,
+        op: TraceOp,
+        static_op: u32,
+        pos: crate::bytecode::Pos,
+        operands: &[Taint<SegRef>],
+        scope: &[ScopeEntry],
+    ) -> Taint<SegRef> {
+        if !self.shared.tracing {
+            return Taint::Const;
+        }
+        let mut ops = [SegRef::new(0, 0); 3];
+        let mut nops = 0u8;
+        let mut flags = NodeFlags::default();
+        for &o in operands {
+            match o {
+                Taint::Node(r) => {
+                    ops[nops as usize] = r;
+                    nops += 1;
+                }
+                Taint::Input => flags.insert(NodeFlags::READS_INPUT),
+                Taint::Const => {}
+            }
+        }
+        if self.shared.iterator_ops.contains(&static_op) {
+            flags.insert(NodeFlags::ITERATOR);
+        }
+        let idx = self.seg.nodes.len();
+        self.seg.nodes.push(SegNode {
+            op,
+            static_op,
+            pos,
+            ops,
+            nops,
+            flags,
+            clock: self.seg.clock,
+            scope: scope.into(),
+        });
+        Taint::Node(SegRef::new(self.seg.tid, idx))
+    }
+
+    fn mark_address(&mut self, r: SegRef) {
+        if self.shared.tracing {
+            self.seg.marks.push(MarkEvent {
+                target: r,
+                flag: NodeFlags::ADDRESS_USED,
+                clock: self.seg.clock,
+            });
+        }
+    }
+
+    fn mark_control(&mut self, r: SegRef) {
+        if self.shared.tracing {
+            self.seg.marks.push(MarkEvent {
+                target: r,
+                flag: NodeFlags::CONTROL_USED,
+                clock: self.seg.clock,
+            });
+        }
+    }
+
+    fn loop_enter(&mut self, _t: usize, loop_id: u32) -> u32 {
+        let inst = self.seg.loop_counts[loop_id as usize];
+        self.seg.loop_counts[loop_id as usize] += 1;
+        if self.shared.tracing {
+            self.seg.loop_events.push(LoopEvent {
+                loop_id,
+                local_inst: inst,
+                clock: self.seg.clock,
+            });
+        }
+        inst
+    }
+}
+
+/// Why a free run returned.
+enum JobOutcome {
+    /// Stopped at a synchronization instruction (unexecuted).
+    Sync(Inst),
+    /// The thread finished (its final `Ret` is counted in the clock).
+    Done(Option<(Value, Taint<SegRef>)>),
+    /// The *next* step would fail with this message. Speculative: the
+    /// replay raises it only if the schedule actually reaches it.
+    Error(String),
+    /// Paused (fuel allowance, deadline poll, or abort flag); the
+    /// coordinator re-dispatches on demand.
+    Pause,
+}
+
+struct JobDone {
+    tid: usize,
+    ctx: ThreadCtx<SegRef>,
+    seg: Segment,
+    outcome: JobOutcome,
+}
+
+/// Runs one simulated thread until it must synchronize or stop.
+fn free_run(
+    shared: &SharedCtx,
+    ctx: &mut ThreadCtx<SegRef>,
+    seg: &mut Segment,
+    tid: usize,
+    fuel: u64,
+) -> JobOutcome {
+    let mut env = WorkerEnv { shared, seg };
+    let mut ran: u64 = 0;
+    loop {
+        if ran % POLL == 0 {
+            if shared.abort.load(Ordering::Relaxed) {
+                return JobOutcome::Pause;
+            }
+            // Fuel and deadline only matter after real progress: a
+            // fresh dispatch must advance at least one step or the
+            // replay could spin re-dispatching forever.
+            if ran > 0 {
+                if ran >= fuel {
+                    return JobOutcome::Pause;
+                }
+                if let Some(d) = shared.deadline {
+                    if Instant::now() >= d {
+                        return JobOutcome::Pause;
+                    }
+                }
+            }
+        }
+        match exec::step(&mut env, ctx, &shared.program, &shared.code, tid) {
+            Ok(StepOut::Ran) => {
+                env.seg.clock += 1;
+                ran += 1;
+            }
+            Ok(StepOut::Done(ret)) => {
+                env.seg.clock += 1;
+                return JobOutcome::Done(ret);
+            }
+            Ok(StepOut::Sync(inst)) => return JobOutcome::Sync(inst),
+            Err(message) => return JobOutcome::Error(message),
+        }
+    }
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Status {
+    Runnable,
+    Join(usize),
+    Barrier(usize),
+    Lock(usize),
+    Done,
+}
+
+struct BarrierState {
+    participants: usize,
+    waiting: usize,
+}
+
+struct Coordinator {
+    shared: Arc<SharedCtx>,
+    limits: Limits,
+    /// In-flight speculation cap (`--trace-workers`).
+    workers: usize,
+    status: Vec<Status>,
+    /// Each thread's context and segment, absent while a job owns them.
+    parked: Vec<Option<(ThreadCtx<SegRef>, Segment)>>,
+    /// The thread's next action once its consumed steps catch up.
+    pending: Vec<Option<JobOutcome>>,
+    /// Steps of each thread consumed by the replay (ordinary + sync).
+    consumed: Vec<u64>,
+    mutexes: Vec<Option<usize>>,
+    barriers: Vec<BarrierState>,
+    steps: u64,
+    slices: u64,
+    entry_return: Option<Value>,
+    inflight: usize,
+    queue: VecDeque<usize>,
+    queued: Vec<bool>,
+    tx: Sender<JobDone>,
+    rx: Receiver<JobDone>,
+    /// Ordinary-step consumption windows `(tid, from, to)` in replay
+    /// order — the authoritative global interleaving for the merge.
+    windows: Vec<(u32, u64, u64)>,
+    /// WRITES_OUTPUT marks recorded while replaying `Output`.
+    output_marks: Vec<SegRef>,
+    obs_on: bool,
+}
+
+impl Coordinator {
+    fn err(&self, t: usize, message: impl Into<String>) -> MachineError {
+        MachineError {
+            thread: t,
+            message: message.into(),
+        }
+    }
+
+    fn avail(&self, t: usize) -> u64 {
+        match &self.parked[t] {
+            Some((_, seg)) => seg.clock - self.consumed[t],
+            None => 0,
+        }
+    }
+
+    fn spawn_thread(&mut self, ctx: ThreadCtx<SegRef>) -> usize {
+        let tid = self.status.len();
+        self.status.push(Status::Runnable);
+        self.parked.push(Some((
+            ctx,
+            Segment::new(tid, self.shared.program.loop_count as usize),
+        )));
+        self.pending.push(None);
+        self.consumed.push(0);
+        self.queued.push(false);
+        tid
+    }
+
+    fn dispatch(&mut self, t: usize) {
+        let (ctx, seg) = self.parked[t].take().expect("dispatch of absent thread");
+        debug_assert!(self.pending[t].is_none());
+        // Enough fuel that the worker can always run past the global
+        // step limit (the replay raises the exact fuel error).
+        let fuel = self.limits.max_steps.saturating_sub(self.steps) + 2;
+        let shared = self.shared.clone();
+        let tx = self.tx.clone();
+        self.inflight += 1;
+        pool().submit(Box::new(move || {
+            let mut ctx = ctx;
+            let mut seg = seg;
+            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                free_run(&shared, &mut ctx, &mut seg, t, fuel)
+            }))
+            .unwrap_or_else(|_| JobOutcome::Error("trace worker panicked".into()));
+            // The send must survive even this closure being dropped
+            // abnormally: the coordinator blocks on it.
+            let _ = tx.send(JobDone {
+                tid: t,
+                ctx,
+                seg,
+                outcome,
+            });
+        }));
+    }
+
+    /// Queues an eager (speculative) dispatch for a thread that just
+    /// became able to free-run.
+    fn enqueue(&mut self, t: usize) {
+        if !self.queued[t] {
+            self.queued[t] = true;
+            self.queue.push_back(t);
+        }
+        self.pump();
+    }
+
+    fn pump(&mut self) {
+        while self.inflight < self.workers {
+            let Some(t) = self.queue.pop_front() else {
+                break;
+            };
+            self.queued[t] = false;
+            if self.parked[t].is_some()
+                && self.pending[t].is_none()
+                && self.status[t] == Status::Runnable
+            {
+                self.dispatch(t);
+            }
+        }
+    }
+
+    fn apply(&mut self, done: JobDone) {
+        self.inflight -= 1;
+        let t = done.tid;
+        self.parked[t] = Some((done.ctx, done.seg));
+        self.pending[t] = Some(done.outcome);
+    }
+
+    /// Blocks until thread `t`'s context is back with the coordinator.
+    fn wait_for(&mut self, t: usize) -> Result<(), MachineError> {
+        while self.parked[t].is_none() {
+            match self.rx.recv() {
+                Ok(done) => {
+                    self.apply(done);
+                    self.pump();
+                }
+                Err(_) => return Err(self.err(t, "trace worker pool unavailable")),
+            }
+        }
+        Ok(())
+    }
+
+    /// Guarantees thread `t` has something to replay: unconsumed steps
+    /// or a pending sync/done/error. Pauses re-dispatch on demand.
+    fn ensure_action(&mut self, t: usize) -> Result<(), MachineError> {
+        loop {
+            self.wait_for(t)?;
+            if matches!(self.pending[t], Some(JobOutcome::Pause)) {
+                self.pending[t] = None;
+            }
+            if self.avail(t) > 0 || self.pending[t].is_some() {
+                return Ok(());
+            }
+            self.dispatch(t);
+        }
+    }
+
+    /// Retires a thread the instant its final step has been consumed —
+    /// the sequential machine flips the status *during* that step, and
+    /// the scheduler must observe it at the same point.
+    fn settle_done(&mut self, t: usize) {
+        if self.avail(t) == 0 && matches!(self.pending[t], Some(JobOutcome::Done(_))) {
+            let Some(JobOutcome::Done(ret)) = self.pending[t].take() else {
+                unreachable!()
+            };
+            self.status[t] = Status::Done;
+            if t == 0 {
+                self.entry_return = ret.map(|(v, _)| v);
+            }
+        }
+    }
+
+    fn can_run(&self, t: usize) -> bool {
+        match self.status[t] {
+            Status::Runnable => true,
+            Status::Join(target) => self.status[target] == Status::Done,
+            Status::Lock(m) => self.mutexes[m].is_none(),
+            Status::Barrier(_) | Status::Done => false,
+        }
+    }
+
+    fn run(&mut self) -> Result<(), MachineError> {
+        let mut current = 0usize;
+        loop {
+            if self.status[0] == Status::Done {
+                return Ok(());
+            }
+            let n = self.status.len();
+            let mut picked = None;
+            for off in 0..n {
+                let t = (current + off) % n;
+                if self.can_run(t) {
+                    picked = Some(t);
+                    break;
+                }
+            }
+            let Some(t) = picked else {
+                return Err(MachineError {
+                    thread: 0,
+                    message: "deadlock: no runnable thread".into(),
+                });
+            };
+            self.replay_slice(t)?;
+            current = (t + 1) % self.status.len().max(1);
+        }
+    }
+
+    fn replay_slice(&mut self, t: usize) -> Result<(), MachineError> {
+        if let Some(d) = self.limits.deadline {
+            if Instant::now() >= d {
+                return Err(self.err(t, format!("deadline exceeded after {} steps", self.steps)));
+            }
+        }
+        self.status[t] = Status::Runnable;
+        let _slice_span = if self.obs_on {
+            self.slices += 1;
+            Some(obs::span_args("vm.slice", || {
+                vec![("thread", obs::ArgValue::U64(t as u64))]
+            }))
+        } else {
+            None
+        };
+        let mut budget = SLICE;
+        while budget > 0 && self.status[t] == Status::Runnable {
+            self.ensure_action(t)?;
+            let avail = self.avail(t);
+            if avail > 0 {
+                let take = avail.min(budget);
+                if self.steps + take > self.limits.max_steps {
+                    return Err(self.err(
+                        t,
+                        format!("step limit {} exceeded", self.limits.max_steps),
+                    ));
+                }
+                if self.shared.tracing {
+                    self.windows
+                        .push((t as u32, self.consumed[t], self.consumed[t] + take));
+                }
+                self.consumed[t] += take;
+                self.steps += take;
+                budget -= take;
+                self.settle_done(t);
+                continue;
+            }
+            match self.pending[t].take().expect("ensure_action holds") {
+                JobOutcome::Sync(inst) => self.exec_sync(t, inst, &mut budget)?,
+                JobOutcome::Error(message) => return Err(MachineError { thread: t, message }),
+                JobOutcome::Done(_) => unreachable!("settled when its step was consumed"),
+                JobOutcome::Pause => unreachable!("cleared by ensure_action"),
+            }
+        }
+        Ok(())
+    }
+
+    /// Executes one synchronization instruction with the sequential
+    /// machine's exact semantics, error messages, and step accounting.
+    fn exec_sync(&mut self, t: usize, inst: Inst, budget: &mut u64) -> Result<(), MachineError> {
+        let shared = self.shared.clone();
+        self.parked[t].as_mut().unwrap().0.frame_mut().pc += 1;
+        match inst {
+            Inst::Spawn {
+                func,
+                nargs,
+                handle,
+            } => {
+                let mut args = Vec::with_capacity(nargs);
+                for _ in 0..nargs {
+                    let slot = self.parked[t]
+                        .as_mut()
+                        .unwrap()
+                        .0
+                        .pop()
+                        .map_err(|m| self.err(t, m))?;
+                    args.push(slot);
+                }
+                args.reverse();
+                let frame = exec::new_frame(&shared.program, &shared.code, func, args);
+                let tid = self.status.len();
+                if tid > u16::MAX as usize {
+                    return Err(self.err(t, "too many threads"));
+                }
+                self.parked[t].as_mut().unwrap().0.frame_mut().slots[handle.index()] =
+                    (Value::I64(tid as i64), Taint::Const);
+                let tid = self.spawn_thread(ThreadCtx::new(frame));
+                // The child's first free run can start immediately:
+                // everything it may read was written before this spawn
+                // was replayed, hence already materialized.
+                self.enqueue(tid);
+            }
+            Inst::Join => {
+                let ctx = &mut self.parked[t].as_mut().unwrap().0;
+                let (v, _) = ctx.pop().map_err(|m| self.err(t, m))?;
+                let target = v.as_i64("join handle").map_err(|m| self.err(t, m))? as usize;
+                if target >= self.status.len() {
+                    return Err(self.err(t, format!("join of unknown thread {target}")));
+                }
+                if self.status[target] != Status::Done {
+                    // Retry: restore the handle and re-execute this Join
+                    // when the target finishes (one step now, one then —
+                    // same cost as the sequential machine).
+                    let ctx = &mut self.parked[t].as_mut().unwrap().0;
+                    ctx.push((v, Taint::Const));
+                    ctx.frame_mut().pc -= 1;
+                    self.status[t] = Status::Join(target);
+                    self.pending[t] = Some(JobOutcome::Sync(Inst::Join));
+                }
+            }
+            Inst::Barrier { bar } => {
+                if bar >= self.barriers.len() {
+                    return Err(self.err(t, format!("unknown barrier {bar}")));
+                }
+                self.barriers[bar].waiting += 1;
+                if self.barriers[bar].waiting >= self.barriers[bar].participants {
+                    self.barriers[bar].waiting = 0;
+                    // Release everyone; all arrivals have been replayed,
+                    // so the released threads' next free runs see every
+                    // pre-barrier write — dispatch them eagerly.
+                    for th in 0..self.status.len() {
+                        if self.status[th] == Status::Barrier(bar) {
+                            self.status[th] = Status::Runnable;
+                            self.enqueue(th);
+                        }
+                    }
+                } else {
+                    self.status[t] = Status::Barrier(bar);
+                }
+            }
+            Inst::Lock { m } => {
+                if self.mutexes[m].is_none() {
+                    self.mutexes[m] = Some(t);
+                } else if self.mutexes[m] == Some(t) {
+                    return Err(self.err(t, format!("relock of mutex {m}")));
+                } else {
+                    let ctx = &mut self.parked[t].as_mut().unwrap().0;
+                    ctx.frame_mut().pc -= 1;
+                    self.status[t] = Status::Lock(m);
+                    self.pending[t] = Some(JobOutcome::Sync(Inst::Lock { m }));
+                }
+            }
+            Inst::Unlock { m } => {
+                if self.mutexes[m] != Some(t) {
+                    return Err(self.err(t, format!("unlock of mutex {m} not held")));
+                }
+                self.mutexes[m] = None;
+            }
+            Inst::Output { arr } => {
+                if shared.tracing {
+                    for taint in shared.stripes.snapshot_taints(arr.index()) {
+                        if let Taint::Node(r) = taint {
+                            self.output_marks.push(r);
+                        }
+                    }
+                }
+            }
+            other => unreachable!("not a synchronization instruction: {other:?}"),
+        }
+        // The synchronization instruction itself is one step.
+        self.parked[t].as_mut().unwrap().1.clock += 1;
+        self.consumed[t] += 1;
+        self.steps += 1;
+        *budget -= 1;
+        if self.steps > self.limits.max_steps {
+            return Err(self.err(
+                t,
+                format!("step limit {} exceeded", self.limits.max_steps),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Stops speculation and recovers every in-flight context.
+    fn shutdown(&mut self) {
+        self.shared.abort.store(true, Ordering::Relaxed);
+        self.queue.clear();
+        while self.inflight > 0 {
+            match self.rx.recv() {
+                Ok(done) => {
+                    self.inflight -= 1;
+                    let t = done.tid;
+                    self.parked[t] = Some((done.ctx, done.seg));
+                }
+                Err(_) => break,
+            }
+        }
+    }
+}
+
+/// What the parallel run hands back to [`crate::run()`].
+pub(crate) struct ParOutcome {
+    pub arrays: Vec<Vec<Value>>,
+    pub return_value: Option<Value>,
+    pub steps: u64,
+    pub ddg: Option<Ddg>,
+}
+
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run_parallel(
+    program: &Program,
+    code: &CompiledProgram,
+    globals: Vec<Vec<Value>>,
+    barrier_participants: &[usize],
+    tracing: bool,
+    iterator_ops: HashSet<u32>,
+    limits: Limits,
+    entry_args: Vec<Value>,
+    workers: usize,
+) -> Result<ParOutcome, MachineError> {
+    assert_eq!(
+        barrier_participants.len(),
+        program.n_barriers,
+        "barrier participant counts must match program barriers"
+    );
+    let obs_on = obs::enabled();
+    let shared = Arc::new(SharedCtx {
+        program: program.clone(),
+        code: code.clone(),
+        stripes: StripedMemory::new(globals),
+        iterator_ops,
+        tracing,
+        obs_on,
+        abort: AtomicBool::new(false),
+        deadline: limits.deadline,
+    });
+    let (tx, rx) = std::sync::mpsc::channel();
+    let mut c = Coordinator {
+        shared,
+        limits,
+        workers: workers.max(2),
+        status: Vec::new(),
+        parked: Vec::new(),
+        pending: Vec::new(),
+        consumed: Vec::new(),
+        mutexes: vec![None; program.n_mutexes],
+        barriers: barrier_participants
+            .iter()
+            .map(|&p| BarrierState {
+                participants: p,
+                waiting: 0,
+            })
+            .collect(),
+        steps: 0,
+        slices: 0,
+        entry_return: None,
+        inflight: 0,
+        queue: VecDeque::new(),
+        queued: Vec::new(),
+        tx,
+        rx,
+        windows: Vec::new(),
+        output_marks: Vec::new(),
+        obs_on,
+    };
+    let entry_frame = exec::new_frame(
+        &c.shared.program,
+        &c.shared.code,
+        c.shared.code.entry,
+        entry_args.into_iter().map(|v| (v, Taint::Input)).collect(),
+    );
+    c.spawn_thread(ThreadCtx::new(entry_frame));
+
+    let outcome = c.run();
+    c.shutdown();
+
+    let segs: Vec<Segment> = c
+        .parked
+        .iter_mut()
+        .map(|p| p.take().expect("shutdown recovered all segments").1)
+        .collect();
+    let stats = segs.iter().fold(SegStats::default(), |acc, s| SegStats {
+        shadow_reads: acc.shadow_reads + s.stats.shadow_reads,
+        shadow_writes: acc.shadow_writes + s.stats.shadow_writes,
+        stripe_locks: acc.stripe_locks + s.stats.stripe_locks,
+        stripe_contended: acc.stripe_contended + s.stats.stripe_contended,
+    });
+
+    let (ddg, merge_ms) = match (&outcome, tracing) {
+        (Ok(()), true) => {
+            let t0 = Instant::now();
+            let g = merge(
+                &segs,
+                &c.windows,
+                &c.consumed,
+                &c.output_marks,
+                program.loop_count as usize,
+            );
+            (Some(g), t0.elapsed().as_millis() as u64)
+        }
+        _ => (None, 0),
+    };
+
+    if obs_on {
+        obs::counter("trace.steps").add(c.steps);
+        obs::counter("trace.slices").add(c.slices);
+        obs::counter("trace.shadow_reads").add(stats.shadow_reads);
+        obs::counter("trace.shadow_writes").add(stats.shadow_writes);
+        obs::counter("trace.threads").add(c.status.len() as u64);
+        obs::counter("trace.segments").add(segs.len() as u64);
+        obs::counter("trace.stripe_locks").add(stats.stripe_locks);
+        obs::counter("trace.stripe_contention").add(stats.stripe_contended);
+        if tracing {
+            obs::counter("trace.merge_ms").add(merge_ms);
+            let nodes = match &ddg {
+                Some(g) => g.len() as u64,
+                // Aborted run: report what the workers traced.
+                None => segs.iter().map(|s| s.nodes.len() as u64).sum(),
+            };
+            obs::counter("trace.ddg_nodes").add(nodes);
+        }
+    }
+
+    outcome?;
+
+    // All jobs have returned their Arc clones; a send can race the
+    // closure drop by a few instructions, hence the yield loop.
+    let mut shared = c.shared;
+    let shared = loop {
+        match Arc::try_unwrap(shared) {
+            Ok(s) => break s,
+            Err(again) => {
+                shared = again;
+                std::thread::yield_now();
+            }
+        }
+    };
+
+    Ok(ParOutcome {
+        arrays: shared.stripes.into_values(),
+        return_value: c.entry_return,
+        steps: c.steps,
+        ddg,
+    })
+}
+
+/// Deterministic ordered merge: replays the consumption windows to
+/// assign global node ids, label ids, and loop instance numbers in the
+/// sequential machine's exact order, then builds the CSR adjacency
+/// directly.
+fn merge(
+    segs: &[Segment],
+    windows: &[(u32, u64, u64)],
+    consumed: &[u64],
+    output_marks: &[SegRef],
+    loop_count: usize,
+) -> Ddg {
+    let n_segs = segs.len();
+    let mut node_cur = vec![0usize; n_segs];
+    let mut loop_cur = vec![0usize; n_segs];
+    let mut global_of: Vec<Vec<u32>> = segs.iter().map(|s| vec![u32::MAX; s.nodes.len()]).collect();
+    let mut order: Vec<(u32, u32)> = Vec::new();
+    let mut loop_counts = vec![0u32; loop_count];
+    let mut inst_maps: Vec<HashMap<(u32, u32), u32>> = vec![HashMap::new(); n_segs];
+
+    for &(tid, _from, to) in windows {
+        let s = &segs[tid as usize];
+        let lc = &mut loop_cur[tid as usize];
+        while *lc < s.loop_events.len() && s.loop_events[*lc].clock < to {
+            let ev = &s.loop_events[*lc];
+            let g = loop_counts[ev.loop_id as usize];
+            loop_counts[ev.loop_id as usize] += 1;
+            inst_maps[tid as usize].insert((ev.loop_id, ev.local_inst), g);
+            *lc += 1;
+        }
+        let nc = &mut node_cur[tid as usize];
+        while *nc < s.nodes.len() && s.nodes[*nc].clock < to {
+            global_of[tid as usize][*nc] = order.len() as u32;
+            order.push((tid, *nc as u32));
+            *nc += 1;
+        }
+    }
+
+    // Labels intern in first-use order over the global node order —
+    // the same lazy order the sequential machine produces.
+    let mut labels: Vec<String> = Vec::new();
+    let mut label_assoc: Vec<bool> = Vec::new();
+    let mut label_index: HashMap<&'static str, LabelId> = HashMap::new();
+    let mut intern = |s: &'static str, assoc: bool| -> LabelId {
+        *label_index.entry(s).or_insert_with(|| {
+            let id = LabelId(labels.len() as u32);
+            labels.push(s.to_string());
+            label_assoc.push(assoc);
+            id
+        })
+    };
+
+    let n = order.len();
+    let mut nodes: Vec<Node> = Vec::with_capacity(n);
+    for &(tid, idx) in &order {
+        let sn = &segs[tid as usize].nodes[idx as usize];
+        let label = match sn.op {
+            TraceOp::Bin(op) => intern(op.label(), op.is_associative()),
+            TraceOp::Un(op) => intern(op.label(), false),
+            TraceOp::Intr(op) => intern(op.label(), false),
+        };
+        let scope: Box<[ScopeEntry]> = sn
+            .scope
+            .iter()
+            .map(|e| ScopeEntry {
+                loop_id: e.loop_id,
+                instance: inst_maps[tid as usize][&(e.loop_id, e.instance)],
+                iter: e.iter,
+            })
+            .collect();
+        nodes.push(Node {
+            label,
+            static_op: sn.static_op,
+            file: sn.pos.file,
+            line: sn.pos.line,
+            col: sn.pos.col,
+            thread: tid as u16,
+            scope,
+            flags: sn.flags,
+        });
+    }
+
+    // Marks: apply consumed events; targets that never got a global id
+    // belong to dropped speculative tails (racy programs only).
+    for (sidx, s) in segs.iter().enumerate() {
+        for ev in &s.marks {
+            if ev.clock >= consumed[sidx] {
+                break;
+            }
+            let g = global_of[ev.target.tid()][ev.target.idx()];
+            if g != u32::MAX {
+                nodes[g as usize].flags.insert(ev.flag);
+            }
+        }
+    }
+    for &r in output_marks {
+        let g = global_of[r.tid()][r.idx()];
+        if g != u32::MAX {
+            nodes[g as usize].flags.insert(NodeFlags::WRITES_OUTPUT);
+        }
+    }
+
+    // Predecessor CSR straight from the operand refs: replay order
+    // guarantees def-id < use-id, so sort+dedup per node is all the
+    // normalization `DdgBuilder::finish` would have done.
+    let mut pred_offsets: Vec<u32> = Vec::with_capacity(n + 1);
+    pred_offsets.push(0);
+    let mut pred_arcs: Vec<NodeId> = Vec::new();
+    let mut succ_counts = vec![0u32; n];
+    let mut scratch: Vec<u32> = Vec::new();
+    for (gid, &(tid, idx)) in order.iter().enumerate() {
+        let sn = &segs[tid as usize].nodes[idx as usize];
+        scratch.clear();
+        for &r in &sn.ops[..sn.nops as usize] {
+            let g = global_of[r.tid()][r.idx()];
+            if g != u32::MAX {
+                debug_assert!((g as usize) < gid, "def must precede use in replay order");
+                scratch.push(g);
+            }
+        }
+        scratch.sort_unstable();
+        scratch.dedup();
+        for &g in &scratch {
+            pred_arcs.push(NodeId(g));
+            succ_counts[g as usize] += 1;
+        }
+        pred_offsets.push(pred_arcs.len() as u32);
+    }
+
+    // Successor CSR by counting sort: filling in ascending use order
+    // keeps every list sorted, and deduped pred lists make each (def,
+    // use) pair unique.
+    let mut succ_offsets = vec![0u32; n + 1];
+    for i in 0..n {
+        succ_offsets[i + 1] = succ_offsets[i] + succ_counts[i];
+    }
+    let mut cursor: Vec<u32> = succ_offsets[..n].to_vec();
+    let mut succ_arcs = vec![NodeId(0); pred_arcs.len()];
+    for v in 0..n {
+        let window = pred_offsets[v] as usize..pred_offsets[v + 1] as usize;
+        for &u in &pred_arcs[window] {
+            succ_arcs[cursor[u.index()] as usize] = NodeId(v as u32);
+            cursor[u.index()] += 1;
+        }
+    }
+
+    Ddg::from_csr_parts(
+        labels,
+        label_assoc,
+        nodes,
+        succ_offsets,
+        succ_arcs,
+        pred_offsets,
+        pred_arcs,
+    )
+}

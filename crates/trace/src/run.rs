@@ -52,6 +52,12 @@ pub struct RunConfig {
     /// Abort the run at this wall-clock instant (request-level deadline;
     /// checked at scheduler-slice granularity).
     pub deadline: Option<Instant>,
+    /// Trace ingestion workers. `0` or `1` selects the sequential
+    /// machine; `>= 2` runs simulated threads on that many concurrent
+    /// pool workers with striped shadow memory and a segment-merged
+    /// DDG — byte-identical output for correctly synchronized programs
+    /// (see `DESIGN.md` §17).
+    pub trace_workers: usize,
     /// Injected machine faults (test harness only).
     #[cfg(feature = "fault-inject")]
     pub fault: Option<TraceFault>,
@@ -67,6 +73,7 @@ impl Default for RunConfig {
             trace: TraceMode::Full,
             max_steps: 500_000_000,
             deadline: None,
+            trace_workers: 1,
             #[cfg(feature = "fault-inject")]
             fault: None,
         }
@@ -121,6 +128,12 @@ impl RunConfig {
     /// Sets the wall-clock deadline.
     pub fn with_deadline(mut self, deadline: Instant) -> Self {
         self.deadline = Some(deadline);
+        self
+    }
+
+    /// Sets the number of parallel trace ingestion workers.
+    pub fn with_trace_workers(mut self, workers: usize) -> Self {
+        self.trace_workers = workers;
         self
     }
 }
@@ -208,6 +221,39 @@ pub fn run(program: &Program, config: &RunConfig) -> Result<RunResult, MachineEr
         #[cfg(feature = "fault-inject")]
         fault: config.fault,
     };
+
+    // Injected faults hook the sequential step loop, so fault runs
+    // always take the sequential machine regardless of worker count.
+    #[cfg(feature = "fault-inject")]
+    let fault_free = config.fault.is_none();
+    #[cfg(not(feature = "fault-inject"))]
+    let fault_free = true;
+    if config.trace_workers >= 2 && fault_free {
+        let out = crate::par::run_parallel(
+            program,
+            &code,
+            globals,
+            &participants,
+            tracing,
+            iterator_ops,
+            limits,
+            config.entry_args.clone(),
+            config.trace_workers,
+        )?;
+        let arrays = program
+            .globals
+            .iter()
+            .zip(out.arrays)
+            .map(|(g, data)| (g.name.clone(), data))
+            .collect();
+        return Ok(RunResult {
+            ddg: out.ddg,
+            arrays,
+            return_value: out.return_value,
+            steps: out.steps,
+        });
+    }
+
     let mut m = Machine::new(
         program,
         &code,
@@ -228,13 +274,13 @@ pub fn run(program: &Program, config: &RunConfig) -> Result<RunResult, MachineEr
     let arrays = program
         .globals
         .iter()
-        .zip(std::mem::take(&mut m.globals))
+        .zip(std::mem::take(&mut m.env.globals))
         .map(|(g, data)| (g.name.clone(), data))
         .collect();
     let steps = m.steps;
     let return_value = m.entry_return;
     let ddg = if tracing {
-        Some(std::mem::take(&mut m.ddg).finish())
+        Some(std::mem::take(&mut m.env.ddg).finish())
     } else {
         None
     };

@@ -1,0 +1,135 @@
+//! Per-thread trace segments for the parallel tracer.
+//!
+//! Each simulated thread appends everything it traces — nodes, def-use
+//! operands, flag marks, loop entries — to a private [`Segment`] while
+//! free-running on a pool worker. Nothing in a segment is shared or
+//! locked; cross-thread references go through [`SegRef`], a packed
+//! (thread, local-index) pair that the deterministic merge later maps
+//! to the exact [`ddg::NodeId`]s the sequential tracer would assign.
+//!
+//! Every record carries the thread-local step clock at which it was
+//! produced. The coordinator replays the sequential scheduler and only
+//! *consumes* a prefix of each thread's clock; records beyond the
+//! consumed prefix are speculation (work past the point where the
+//! sequential machine would have stopped the thread) and are dropped
+//! at merge time.
+
+use crate::bytecode::Pos;
+use crate::exec::TraceOp;
+use ddg::graph::NodeFlags;
+use ddg::ScopeEntry;
+
+/// A segment-local node reference: thread id in the top 16 bits, index
+/// within that thread's segment in the low 48. Mirrors the sequential
+/// machine's 65536-thread limit exactly.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub(crate) struct SegRef(u64);
+
+impl SegRef {
+    #[inline]
+    pub fn new(tid: usize, idx: usize) -> SegRef {
+        debug_assert!(tid <= u16::MAX as usize);
+        assert!((idx as u64) < (1 << 48), "trace segment overflow");
+        SegRef(((tid as u64) << 48) | idx as u64)
+    }
+
+    #[inline]
+    pub fn tid(self) -> usize {
+        (self.0 >> 48) as usize
+    }
+
+    #[inline]
+    pub fn idx(self) -> usize {
+        (self.0 & ((1 << 48) - 1)) as usize
+    }
+}
+
+/// One traced operation execution, segment-local.
+pub(crate) struct SegNode {
+    pub op: TraceOp,
+    pub static_op: u32,
+    pub pos: Pos,
+    /// Operand definition refs (def-use arcs after merge). At most 3
+    /// (ternary `select`); duplicates collapse at merge like the
+    /// sequential builder's `finish`.
+    pub ops: [SegRef; 3],
+    pub nops: u8,
+    /// Flags known at creation time (READS_INPUT, ITERATOR). Address,
+    /// control, and output marks arrive later as [`MarkEvent`]s.
+    pub flags: NodeFlags,
+    /// Thread-local step clock at creation.
+    pub clock: u64,
+    /// Dynamic loop scope with *thread-local* loop instance numbers;
+    /// the merge rewrites them to the global numbering.
+    pub scope: Box<[ScopeEntry]>,
+}
+
+/// A flag set on some (possibly foreign, possibly earlier) node by an
+/// instruction executed at `clock` on this segment's thread.
+pub(crate) struct MarkEvent {
+    pub target: SegRef,
+    pub flag: NodeFlags,
+    pub clock: u64,
+}
+
+/// One `LoopEnter` execution: the merge assigns global instance
+/// numbers by replaying these in consumed order.
+pub(crate) struct LoopEvent {
+    pub loop_id: u32,
+    pub local_inst: u32,
+    pub clock: u64,
+}
+
+/// Worker-local tracing statistics, aggregated at run end.
+#[derive(Default, Clone, Copy)]
+pub(crate) struct SegStats {
+    pub shadow_reads: u64,
+    pub shadow_writes: u64,
+    pub stripe_locks: u64,
+    pub stripe_contended: u64,
+}
+
+/// Everything one simulated thread records. Ownership ping-pongs
+/// between the coordinator and that thread's free-run jobs, so no
+/// synchronization is ever needed on the contents.
+pub(crate) struct Segment {
+    pub tid: usize,
+    /// Steps this thread has executed (ordinary steps bumped by the
+    /// worker, synchronization steps by the coordinator).
+    pub clock: u64,
+    pub nodes: Vec<SegNode>,
+    pub marks: Vec<MarkEvent>,
+    pub loop_events: Vec<LoopEvent>,
+    /// Thread-local instance counter per static loop.
+    pub loop_counts: Vec<u32>,
+    pub stats: SegStats,
+}
+
+impl Segment {
+    pub fn new(tid: usize, loop_count: usize) -> Segment {
+        Segment {
+            tid,
+            clock: 0,
+            nodes: Vec::new(),
+            marks: Vec::new(),
+            loop_events: Vec::new(),
+            loop_counts: vec![0; loop_count],
+            stats: SegStats::default(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn segref_packs_and_unpacks() {
+        let r = SegRef::new(7, 123_456);
+        assert_eq!(r.tid(), 7);
+        assert_eq!(r.idx(), 123_456);
+        let max = SegRef::new(u16::MAX as usize, (1 << 48) - 1);
+        assert_eq!(max.tid(), u16::MAX as usize);
+        assert_eq!(max.idx(), (1 << 48) - 1);
+    }
+}

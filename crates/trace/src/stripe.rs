@@ -1,0 +1,152 @@
+//! Striped shared memory for the parallel tracer.
+//!
+//! The sequential machine's globals and shadow memory fuse here into
+//! one structure: every cell holds its value *and* the [`SegRef`] of
+//! the node that defined it, and each array is split into fixed-size
+//! stripes, each behind its own mutex. Free-running workers touch only
+//! the stripes their slices index, so disjoint work partitions (the
+//! common legacy pattern: `from = pid * chunk`) never contend; the
+//! paper's "synchronized shadow memory" becomes per-stripe locking
+//! instead of one global lock.
+//!
+//! Contention is observable: every lock is first tried with
+//! `try_lock`, and a failure counts into the worker's
+//! [`SegStats::stripe_contended`] before falling back to a blocking
+//! lock.
+
+use crate::segment::{SegRef, SegStats};
+use crate::shadow::Taint;
+use repro_ir::Value;
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+/// Cells per stripe. Small enough that per-thread index ranges in the
+/// starbench suite land on disjoint stripes, large enough that stripe
+/// metadata stays negligible.
+pub(crate) const STRIPE_CELLS: usize = 256;
+
+type Cell = (Value, Taint<SegRef>);
+
+struct StripedArray {
+    len: usize,
+    stripes: Vec<Mutex<Vec<Cell>>>,
+}
+
+/// All global arrays, striped. Shared read-write by every worker via
+/// `Arc<SharedCtx>`; unwrapped back into plain value vectors once the
+/// run completes.
+pub(crate) struct StripedMemory {
+    arrays: Vec<StripedArray>,
+}
+
+fn recover<'a, T>(
+    r: Result<MutexGuard<'a, T>, PoisonError<MutexGuard<'a, T>>>,
+) -> MutexGuard<'a, T> {
+    // A worker panic poisons its stripe; the coordinator turns the
+    // panic into a run error, so recovering the guard only needs to be
+    // memory-safe, not semantically meaningful.
+    r.unwrap_or_else(PoisonError::into_inner)
+}
+
+impl StripedMemory {
+    /// Takes ownership of the materialized globals; every cell starts
+    /// as [`Taint::Input`], same as [`crate::shadow::ShadowMemory`].
+    pub fn new(globals: Vec<Vec<Value>>) -> StripedMemory {
+        StripedMemory {
+            arrays: globals
+                .into_iter()
+                .map(|data| {
+                    let len = data.len();
+                    let mut stripes = Vec::with_capacity(len.div_ceil(STRIPE_CELLS));
+                    let mut it = data.into_iter().peekable();
+                    while it.peek().is_some() {
+                        let chunk: Vec<Cell> = it
+                            .by_ref()
+                            .take(STRIPE_CELLS)
+                            .map(|v| (v, Taint::Input))
+                            .collect();
+                        stripes.push(Mutex::new(chunk));
+                    }
+                    StripedArray { len, stripes }
+                })
+                .collect(),
+        }
+    }
+
+    pub fn array_len(&self, arr: usize) -> usize {
+        self.arrays[arr].len
+    }
+
+    fn lock<'a>(&'a self, arr: usize, idx: usize, stats: &mut SegStats) -> MutexGuard<'a, Vec<Cell>> {
+        let m = &self.arrays[arr].stripes[idx / STRIPE_CELLS];
+        stats.stripe_locks += 1;
+        match m.try_lock() {
+            Ok(g) => g,
+            Err(std::sync::TryLockError::Poisoned(p)) => p.into_inner(),
+            Err(std::sync::TryLockError::WouldBlock) => {
+                stats.stripe_contended += 1;
+                recover(m.lock())
+            }
+        }
+    }
+
+    pub fn load(&self, arr: usize, idx: usize, stats: &mut SegStats) -> Cell {
+        self.lock(arr, idx, stats)[idx % STRIPE_CELLS]
+    }
+
+    pub fn store(&self, arr: usize, idx: usize, v: Value, def: Taint<SegRef>, stats: &mut SegStats) {
+        self.lock(arr, idx, stats)[idx % STRIPE_CELLS] = (v, def);
+    }
+
+    /// The current defining ref of every cell of `arr`, in index order
+    /// (the coordinator's `Output` scan).
+    pub fn snapshot_taints(&self, arr: usize) -> Vec<Taint<SegRef>> {
+        let a = &self.arrays[arr];
+        let mut out = Vec::with_capacity(a.len);
+        for stripe in &a.stripes {
+            out.extend(recover(stripe.lock()).iter().map(|&(_, t)| t));
+        }
+        out
+    }
+
+    /// Unwraps the final array values (run complete, no workers left).
+    pub fn into_values(self) -> Vec<Vec<Value>> {
+        self.arrays
+            .into_iter()
+            .map(|a| {
+                let mut out = Vec::with_capacity(a.len);
+                for stripe in a.stripes {
+                    let cells = recover(stripe.lock()).drain(..).collect::<Vec<_>>();
+                    out.extend(cells.into_iter().map(|(v, _)| v));
+                }
+                out
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stripes_round_trip_values_and_taints() {
+        let m = StripedMemory::new(vec![vec![Value::I64(0); 700], vec![Value::F64(1.5); 3]]);
+        assert_eq!(m.array_len(0), 700);
+        assert_eq!(m.array_len(1), 3);
+        assert_eq!(m.arrays[0].stripes.len(), 3);
+        let mut stats = SegStats::default();
+        assert_eq!(m.load(0, 699, &mut stats), (Value::I64(0), Taint::Input));
+        let r = SegRef::new(2, 5);
+        m.store(0, 699, Value::I64(42), Taint::Node(r), &mut stats);
+        assert_eq!(m.load(0, 699, &mut stats), (Value::I64(42), Taint::Node(r)));
+        assert_eq!(stats.stripe_locks, 3);
+        assert_eq!(stats.stripe_contended, 0);
+        let taints = m.snapshot_taints(0);
+        assert_eq!(taints.len(), 700);
+        assert_eq!(taints[699], Taint::Node(r));
+        assert_eq!(taints[0], Taint::Input);
+        let values = m.into_values();
+        assert_eq!(values[0][699], Value::I64(42));
+        assert_eq!(values[1], vec![Value::F64(1.5); 3]);
+    }
+}

@@ -1,0 +1,295 @@
+//! The parallel tracer must be indistinguishable from the sequential
+//! machine for correctly synchronized programs: byte-identical DDGs
+//! (same `NodeId`s, labels, scopes, flags, arcs), identical final
+//! arrays, return values, step counts — and identical errors, down to
+//! the thread attribution and message, when runs abort.
+
+use proptest::prelude::*;
+use repro_ir::Program;
+use trace::{RunConfig, TraceMode};
+
+/// Runs `p` sequentially and at 2 and 8 trace workers (plus 1, which
+/// must select the sequential path) and asserts every observable
+/// output matches bit for bit.
+fn assert_parity(p: &Program, cfg: &RunConfig) {
+    let seq = trace::run(p, cfg).expect("sequential run must succeed");
+    for workers in [1usize, 2, 8] {
+        let par = trace::run(p, &cfg.clone().with_trace_workers(workers))
+            .unwrap_or_else(|e| panic!("parallel run ({workers} workers) failed: {e}"));
+        assert_eq!(
+            seq.ddg, par.ddg,
+            "DDG mismatch at {workers} workers for {}",
+            p.name
+        );
+        assert_eq!(
+            seq.arrays, par.arrays,
+            "array mismatch at {workers} workers for {}",
+            p.name
+        );
+        assert_eq!(seq.return_value, par.return_value);
+        assert_eq!(
+            seq.steps, par.steps,
+            "step count mismatch at {workers} workers for {}",
+            p.name
+        );
+    }
+}
+
+/// Same, for runs that must fail: the error (thread and message) must
+/// be identical.
+fn assert_error_parity(p: &Program, cfg: &RunConfig) {
+    let seq = trace::run(p, cfg).expect_err("sequential run must fail");
+    for workers in [2usize, 8] {
+        let par = trace::run(p, &cfg.clone().with_trace_workers(workers))
+            .expect_err("parallel run must fail identically");
+        assert_eq!(seq, par, "error mismatch at {workers} workers for {}", p.name);
+    }
+}
+
+/// Barrier-phased partial sums with a nested reduction on thread 1 —
+/// the paper's Fig. 2 shape: cross-thread def→use arcs through the
+/// partial array must resolve to the same nodes.
+fn threaded_sum(nproc: usize) -> Program {
+    let src = format!(
+        "float data[64];\nfloat partial[{nproc}];\nfloat out[1];\nbarrier b;\n\
+         void worker(int pid, int nproc) {{\n\
+           int k; float acc = 0.0;\n\
+           for (k = pid; k < 64; k = k + nproc) {{\n\
+             data[k] = data[k] * 1.5 + (float)pid;\n\
+             acc = acc + data[k];\n\
+           }}\n\
+           partial[pid] = acc;\n\
+           barrier_wait(b);\n\
+           if (pid == 0) {{\n\
+             float total = 0.0;\n\
+             int t;\n\
+             for (t = 0; t < nproc; t++) {{ total = total + partial[t]; }}\n\
+             out[0] = total;\n\
+           }}\n\
+         }}\n\
+         void main() {{\n{spawns}\n{joins}\n  output(out);\n  output(data);\n}}\n",
+        spawns = (0..nproc)
+            .map(|t| format!("  int h{t}; h{t} = spawn worker({t}, {nproc});"))
+            .collect::<Vec<_>>()
+            .join("\n"),
+        joins = (0..nproc)
+            .map(|t| format!("  join(h{t});"))
+            .collect::<Vec<_>>()
+            .join("\n"),
+    );
+    minc::compile("tsum_par", &src).unwrap()
+}
+
+#[test]
+fn threaded_sum_is_byte_identical() {
+    for nproc in [2usize, 4] {
+        let p = threaded_sum(nproc);
+        let data: Vec<f64> = (0..64).map(|i| i as f64 * 0.25).collect();
+        let cfg = RunConfig::default()
+            .with_f64("data", &data)
+            .with_barrier_participants(nproc);
+        assert_parity(&p, &cfg);
+    }
+}
+
+#[test]
+fn mutex_counter_is_byte_identical() {
+    // Three threads contend on one lock; the replayed lock hand-off
+    // order (and hence the traced add chain) must match the
+    // round-robin schedule exactly.
+    let src = "int shared[1];\nint out[3];\nmutex m;\n\
+         void worker(int pid) {\n\
+           int i;\n\
+           for (i = 0; i < 10; i++) {\n\
+             lock(m);\n\
+             shared[0] = shared[0] + 1;\n\
+             unlock(m);\n\
+           }\n\
+           out[pid] = shared[0];\n\
+         }\n\
+         void main() {\n\
+           int h0; h0 = spawn worker(0);\n\
+           int h1; h1 = spawn worker(1);\n\
+           int h2; h2 = spawn worker(2);\n\
+           join(h0); join(h1); join(h2);\n\
+           output(out);\n\
+         }\n";
+    let p = minc::compile("mtx_par", src).unwrap();
+    assert_parity(&p, &RunConfig::default());
+}
+
+#[test]
+fn staggered_spawn_and_reverse_join_are_byte_identical() {
+    // Spawn→join→spawn again, and join in reverse order: exercises the
+    // Join retry path (blocked joiner re-executes the instruction) and
+    // thread-id assignment across waves.
+    let src = "int out[4];\n\
+         void worker(int pid) {\n\
+           int i; int acc = 0;\n\
+           for (i = 0; i <= pid * 7; i++) { acc = acc + i; }\n\
+           out[pid] = acc;\n\
+         }\n\
+         void main() {\n\
+           int h0; h0 = spawn worker(0);\n\
+           join(h0);\n\
+           int h1; h1 = spawn worker(1);\n\
+           int h2; h2 = spawn worker(2);\n\
+           int h3; h3 = spawn worker(3);\n\
+           join(h3); join(h2); join(h1);\n\
+           output(out);\n\
+         }\n";
+    let p = minc::compile("stagger_par", src).unwrap();
+    assert_parity(&p, &RunConfig::default());
+}
+
+#[test]
+fn untraced_runs_match_too() {
+    let p = threaded_sum(4);
+    let data: Vec<f64> = (0..64).map(|i| (i % 7) as f64).collect();
+    let mut cfg = RunConfig::default()
+        .with_f64("data", &data)
+        .with_barrier_participants(4);
+    cfg.trace = TraceMode::Off;
+    assert_parity(&p, &cfg);
+}
+
+#[test]
+fn fuel_errors_are_identical() {
+    let p = threaded_sum(2);
+    let cfg = RunConfig::default()
+        .with_barrier_participants(2)
+        .with_max_steps(200);
+    assert_error_parity(&p, &cfg);
+}
+
+#[test]
+fn runtime_errors_are_identical() {
+    // Worker 1 writes out of bounds partway through its loop; the
+    // error must surface at the same replay point with the same
+    // attribution, and speculative errors past the entry thread's
+    // completion must never surface.
+    let src = "int out[8];\n\
+         void worker(int pid) {\n\
+           int i;\n\
+           for (i = 0; i < 6; i++) { out[i * (pid + 1)] = pid; }\n\
+         }\n\
+         void main() {\n\
+           int h0; h0 = spawn worker(0);\n\
+           int h1; h1 = spawn worker(1);\n\
+           join(h0); join(h1);\n\
+           output(out);\n\
+         }\n";
+    let p = minc::compile("oob_par", src).unwrap();
+    assert_error_parity(&p, &RunConfig::default());
+}
+
+#[test]
+fn deadlock_is_identical() {
+    // Two workers park on a 3-participant barrier main never reaches.
+    let src = "int out[1];\nbarrier b;\n\
+         void worker(int pid) { barrier_wait(b); out[0] = pid; }\n\
+         void main() {\n\
+           int h0; h0 = spawn worker(0);\n\
+           int h1; h1 = spawn worker(1);\n\
+           join(h0); join(h1);\n\
+           output(out);\n\
+         }\n";
+    let p = minc::compile("dead_par", src).unwrap();
+    let cfg = RunConfig::default().with_barrier_participants(3);
+    assert_error_parity(&p, &cfg);
+}
+
+/// Randomized thread programs: every combination of worker count,
+/// chunk split, lock section, and barrier phase must replay to the
+/// sequential machine's exact outputs.
+#[derive(Debug, Clone)]
+struct ThreadProgram {
+    nproc: usize,
+    len: usize,
+    iters: Vec<usize>,
+    use_lock: bool,
+    use_barrier: bool,
+    reverse_join: bool,
+}
+
+fn thread_program_strategy() -> impl Strategy<Value = ThreadProgram> {
+    (1usize..4, 8usize..40, any::<bool>(), any::<bool>(), any::<bool>())
+        .prop_flat_map(|(nproc, len, use_lock, use_barrier, reverse_join)| {
+            prop::collection::vec(1usize..12, nproc).prop_map(move |iters| ThreadProgram {
+                nproc,
+                len,
+                iters,
+                use_lock,
+                use_barrier,
+                reverse_join,
+            })
+        })
+}
+
+fn render(tp: &ThreadProgram) -> Program {
+    let ThreadProgram {
+        nproc,
+        len,
+        iters,
+        use_lock,
+        use_barrier,
+        reverse_join,
+    } = tp;
+    let mut src = String::new();
+    src.push_str(&format!(
+        "int data[{len}];\nint shared[1];\nint out[{nproc}];\nmutex m;\nbarrier b;\n"
+    ));
+    // Each worker gets its own function so per-thread work is skewed:
+    // segments of very different lengths stress the window merge.
+    for (pid, reps) in iters.iter().enumerate() {
+        src.push_str(&format!(
+            "void worker{pid}(int nproc) {{\n\
+               int r; int k; int acc = 0;\n\
+               for (r = 0; r < {reps}; r++) {{\n\
+                 for (k = {pid}; k < {len}; k = k + nproc) {{\n\
+                   data[k] = data[k] + r + {pid};\n\
+                   acc = acc + data[k];\n\
+                 }}\n\
+               }}\n"
+        ));
+        if *use_lock {
+            src.push_str("  lock(m);\n  shared[0] = shared[0] + acc;\n  unlock(m);\n");
+        }
+        if *use_barrier {
+            src.push_str(&format!("  barrier_wait(b);\n  acc = acc + shared[0] * {pid};\n"));
+        }
+        src.push_str(&format!("  out[{pid}] = acc;\n}}\n"));
+    }
+    src.push_str("void main() {\n");
+    for pid in 0..*nproc {
+        src.push_str(&format!("  int h{pid}; h{pid} = spawn worker{pid}({nproc});\n"));
+    }
+    let order: Vec<usize> = if *reverse_join {
+        (0..*nproc).rev().collect()
+    } else {
+        (0..*nproc).collect()
+    };
+    for pid in order {
+        src.push_str(&format!("  join(h{pid});\n"));
+    }
+    src.push_str("  output(out);\n  output(data);\n}\n");
+    minc::compile("prop_par", &src).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn randomized_thread_programs_replay_byte_identically(tp in thread_program_strategy()) {
+        let p = render(&tp);
+        let cfg = RunConfig::default().with_barrier_participants(tp.nproc);
+        let seq = trace::run(&p, &cfg).expect("sequential run");
+        for workers in [2usize, 8] {
+            let par = trace::run(&p, &cfg.clone().with_trace_workers(workers)).expect("parallel run");
+            prop_assert_eq!(&seq.ddg, &par.ddg);
+            prop_assert_eq!(&seq.arrays, &par.arrays);
+            prop_assert_eq!(seq.return_value, par.return_value);
+            prop_assert_eq!(seq.steps, par.steps);
+        }
+    }
+}
