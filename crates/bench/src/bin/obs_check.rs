@@ -54,6 +54,10 @@ fn main() {
         trace_gate(&args[1..]);
         return;
     }
+    if args.first().map(String::as_str) == Some("--incr") {
+        incr_gate(&args[1..]);
+        return;
+    }
     if args.first().map(String::as_str) == Some("--serve") {
         serve_gate(&args[1..]);
         return;
@@ -77,6 +81,9 @@ fn main() {
             eprintln!("       obs_check --fig7 <BENCH_fig7.json> [--max-slope <s>]");
             eprintln!(
                 "       obs_check --trace <BENCH_fig7.json> [--max-slope <s>] [--min-speedup <x>]"
+            );
+            eprintln!(
+                "       obs_check --incr <BENCH_incr.json> [--min-speedup <x>] [--min-hit-rate <r>]"
             );
             eprintln!("       obs_check --serve <BENCH_serve.json> [--max-p99-ms <ms>]");
             eprintln!("       obs_check --chaos <BENCH_chaos.json> [--max-p99-ms <ms>] [--min-requests <n>]");
@@ -338,6 +345,105 @@ fn trace_gate(args: &[String]) {
              (recorded on a single-core host, {speedup:.2}x observed)"
         );
     }
+}
+
+/// The incremental-analysis gate: `--incr <BENCH_incr.json>
+/// [--min-speedup <x>] [--min-hit-rate <r>]`.
+///
+/// Gates the query layer's reuse promises (DESIGN.md §18) on the
+/// `repro-incr` report: replaying a one-loop constant edit against a
+/// warmed store must be at least `--min-speedup` (default 5) times
+/// faster than the same edit cold, the warm full-corpus trace-stage
+/// hit rate must reach `--min-hit-rate` (default 0.8), every edit
+/// replay must have come from a find-stage hit (not a silently-fast
+/// fresh analysis), and replayed results must be byte-identical to
+/// their cold baselines (`parity_mismatches` = 0).
+fn incr_gate(args: &[String]) {
+    let path = args.first().unwrap_or_else(|| {
+        eprintln!(
+            "usage: obs_check --incr <BENCH_incr.json> [--min-speedup <x>] [--min-hit-rate <r>]"
+        );
+        exit(2);
+    });
+    let flag_val = |name: &str, default: f64| -> f64 {
+        match args.iter().position(|a| a == name) {
+            None => default,
+            Some(i) => {
+                let v = args.get(i + 1).unwrap_or_else(|| {
+                    eprintln!("missing value for {name}");
+                    exit(2);
+                });
+                v.parse().unwrap_or_else(|_| {
+                    eprintln!("invalid value for {name}: got {v:?}");
+                    exit(2);
+                })
+            }
+        }
+    };
+    let min_speedup = flag_val("--min-speedup", 5.0);
+    let min_hit_rate = flag_val("--min-hit-rate", 0.8);
+
+    let doc = parse(&read(path)).unwrap_or_else(|e| {
+        eprintln!("obs_check: {path}: {e}");
+        exit(1);
+    });
+    let meta = doc.get("meta").unwrap_or_else(|| {
+        eprintln!("obs_check: {path}: report has no \"meta\" object");
+        exit(1);
+    });
+    let require_num = |key: &str| -> f64 {
+        match meta.get(key) {
+            Some(Json::Num(n)) => *n,
+            other => {
+                eprintln!("obs_check: {path}: meta.{key} missing or non-numeric ({other:?})");
+                exit(1);
+            }
+        }
+    };
+
+    let mismatches = require_num("parity_mismatches");
+    if mismatches != 0.0 {
+        eprintln!(
+            "obs_check: {path}: {mismatches:.0} parity mismatches — a replayed result \
+             differed from the cold analysis; the memo layer is returning wrong answers"
+        );
+        exit(1);
+    }
+    let hit_rate = require_num("warm_hit_rate");
+    if !hit_rate.is_finite() || hit_rate < min_hit_rate {
+        eprintln!(
+            "obs_check: {path}: warm corpus trace-stage hit rate {:.0}% is below {:.0}% — \
+             repeated requests are not being answered from the store",
+            100.0 * hit_rate,
+            100.0 * min_hit_rate,
+        );
+        exit(1);
+    }
+    let find_hits = require_num("edit_find_hits");
+    let repeats = require_num("edit_repeats");
+    if find_hits < repeats {
+        eprintln!(
+            "obs_check: {path}: only {find_hits:.0}/{repeats:.0} edit replays hit the find \
+             stage — edited programs are being fully re-analyzed"
+        );
+        exit(1);
+    }
+    let speedup = require_num("speedup_edit");
+    if !speedup.is_finite() || speedup < min_speedup {
+        eprintln!(
+            "obs_check: {path}: one-loop-edit speedup {speedup:.2}x is below {min_speedup}x \
+             (cold {:.1} ms vs warm {:.1} ms) — incremental replay is not paying for itself",
+            require_num("edit_cold_ms"),
+            require_num("edit_warm_ms"),
+        );
+        exit(1);
+    }
+    println!(
+        "obs_check: OK — incr: edit speedup {speedup:.2}x >= {min_speedup}x, warm hit rate \
+         {:.0}% >= {:.0}%, {find_hits:.0}/{repeats:.0} find-stage replays, 0 parity mismatches",
+        100.0 * hit_rate,
+        100.0 * min_hit_rate,
+    );
 }
 
 /// The serving load gate: `--serve <report> [--max-p99-ms <ms>]`.

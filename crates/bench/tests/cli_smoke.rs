@@ -351,10 +351,7 @@ fn obs_check_trace_gate_skips_the_speedup_check_on_one_core() {
     );
     assert_eq!(out.status.code(), Some(0), "stderr: {}", stderr(&out));
     let stdout = String::from_utf8_lossy(&out.stdout).into_owned();
-    assert!(
-        stdout.contains("speedup check skipped"),
-        "stdout: {stdout}"
-    );
+    assert!(stdout.contains("speedup check skipped"), "stdout: {stdout}");
 }
 
 #[test]

@@ -20,17 +20,32 @@
 //! - finished [`AnalysisResult`]s stream to the caller over a bounded
 //!   channel in completion order, with per-phase wall times and
 //!   cache/pool counters for the evaluation harness (Fig. 7, Table 3).
+//!
+//! The match cache is the top layer of the content-addressed
+//! [`repro_query::QueryDb`] (DESIGN.md §18). [`Engine::new`] builds a
+//! *match-only* DB — batch workloads behave exactly as before — while
+//! [`Engine::with_query`] accepts a shared *full* DB whose trace,
+//! sub-DDG, and find stages let repeated or lightly-edited requests
+//! skip whole phases of the pipeline.
 
-pub mod cache;
 #[cfg(feature = "fault-inject")]
 pub mod fault;
 pub mod pool;
 
-use cache::{MatchCache, Probe};
+/// The match cache's original home; PR 10 moved it into `repro-query`
+/// as the query layer's match stage. Re-exported here so existing
+/// `repro_engine::cache::...` paths keep resolving.
+pub use repro_query::match_cache as cache;
+
 use cp::CancelToken;
 use discovery::models::{match_subddg_full, MatchOutcome};
 use discovery::{FinderConfig, FinderResult, FrontEnd, SubDdg};
 use pool::{PoolMetrics, WorkPool};
+use repro_query::match_cache::{MatchCache, Probe};
+use repro_query::{
+    find_key, fingerprint_finder_config, fingerprint_input, subddg_key, trace_key, ExecEntry,
+    FindArtifact, QueryDb, StageKind, TraceArtifact,
+};
 use std::collections::VecDeque;
 use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -138,6 +153,17 @@ pub struct RequestMetrics {
     /// The finder result is best-so-far rather than a full fixpoint (see
     /// [`FinderResult::degraded`]); always false for failed requests.
     pub degraded: bool,
+    /// The whole analysis (trace *and* find) was replayed from the
+    /// query layer — no interpretation, no matching.
+    pub query_analyze_hit: bool,
+    /// The find phase was replayed from the query layer (the trace ran,
+    /// but its DDG hashed to a known finder result).
+    pub query_find_hit: bool,
+    /// The re-trace itself was skipped: an untraced fingerprint run
+    /// resolved the edited program to a cached DDG identity (exec
+    /// stage), and the find phase replayed from there. Implies
+    /// `query_find_hit`.
+    pub query_exec_hit: bool,
 }
 
 // Durations serialize as fractional milliseconds; the derive cannot see
@@ -169,6 +195,15 @@ impl serde::Serialize for RequestMetrics {
         out.push(',');
         serde::ser_key(out, "degraded");
         self.degraded.serialize_json(out);
+        out.push(',');
+        serde::ser_key(out, "query_analyze_hit");
+        self.query_analyze_hit.serialize_json(out);
+        out.push(',');
+        serde::ser_key(out, "query_find_hit");
+        self.query_find_hit.serialize_json(out);
+        out.push(',');
+        serde::ser_key(out, "query_exec_hit");
+        self.query_exec_hit.serialize_json(out);
         out.push('}');
     }
 }
@@ -271,11 +306,12 @@ impl EngineConfig {
 }
 
 /// The batch analysis engine. One engine owns one worker pool and one
-/// match cache; batches submitted to it share both.
+/// query DB (at minimum its match stage); batches submitted to it
+/// share both.
 pub struct Engine {
     config: EngineConfig,
     pool: Arc<WorkPool>,
-    cache: Arc<MatchCache>,
+    db: Arc<QueryDb>,
     completed: Arc<AtomicU64>,
     degraded: Arc<AtomicU64>,
     failed: Arc<AtomicU64>,
@@ -285,14 +321,28 @@ pub struct Engine {
 }
 
 impl Engine {
+    /// A match-only engine: exactly the pre-incremental behavior. The
+    /// pipeline stages stay off so batch metrics (cache hits on
+    /// repeated programs, per-request trace times) are undisturbed.
     pub fn new(config: EngineConfig) -> Engine {
+        let db = Arc::new(QueryDb::match_only(
+            config.use_cache,
+            config.cache_capacity,
+            config.cache_capacity_bytes,
+        ));
+        Engine::with_query(config, db)
+    }
+
+    /// An engine sharing a caller-owned query DB. With a *full* DB
+    /// (`QueryDb::full`), repeated inputs replay their trace and find
+    /// phases instead of recomputing them; the daemon and the
+    /// incremental bench construct their engines this way. The DB's own
+    /// match-stage settings win over the corresponding
+    /// [`EngineConfig`] fields.
+    pub fn with_query(config: EngineConfig, db: Arc<QueryDb>) -> Engine {
         Engine {
             pool: Arc::new(WorkPool::new(config.effective_workers())),
-            cache: Arc::new(MatchCache::with_capacities(
-                config.use_cache,
-                config.cache_capacity,
-                config.cache_capacity_bytes,
-            )),
+            db,
             completed: Arc::new(AtomicU64::new(0)),
             degraded: Arc::new(AtomicU64::new(0)),
             failed: Arc::new(AtomicU64::new(0)),
@@ -301,6 +351,12 @@ impl Engine {
             #[cfg(feature = "fault-inject")]
             fault_plan: None,
         }
+    }
+
+    /// The engine's query DB (shared with the daemon for persistence
+    /// and stats).
+    pub fn query_db(&self) -> &Arc<QueryDb> {
+        &self.db
     }
 
     /// An engine with a deterministic fault-injection plan (test
@@ -333,7 +389,7 @@ impl Engine {
                 let queue = Arc::clone(&queue);
                 let tx: SyncSender<AnalysisResult> = tx.clone();
                 let pool = Arc::clone(&self.pool);
-                let cache = Arc::clone(&self.cache);
+                let db = Arc::clone(&self.db);
                 let completed = Arc::clone(&self.completed);
                 let degraded = Arc::clone(&self.degraded);
                 let failed = Arc::clone(&self.failed);
@@ -352,9 +408,9 @@ impl Engine {
                             .pop_front();
                         let Some((index, req)) = next else { break };
                         #[cfg(feature = "fault-inject")]
-                        let result = run_request(&pool, &cache, index, req, plan.as_deref());
+                        let result = run_request(&pool, &db, index, req, plan.as_deref());
                         #[cfg(not(feature = "fault-inject"))]
-                        let result = run_request(&pool, &cache, index, req);
+                        let result = run_request(&pool, &db, index, req);
                         note_result(&completed, &degraded, &failed, &faults, &result);
                         if tx.send(result).is_err() {
                             break; // receiver dropped: abandon the batch
@@ -384,9 +440,9 @@ impl Engine {
     /// [`analyze_batch`]: Engine::analyze_batch
     pub fn analyze_one(&self, req: AnalysisRequest) -> AnalysisResult {
         #[cfg(feature = "fault-inject")]
-        let result = run_request(&self.pool, &self.cache, 0, req, self.fault_plan.as_deref());
+        let result = run_request(&self.pool, &self.db, 0, req, self.fault_plan.as_deref());
         #[cfg(not(feature = "fault-inject"))]
-        let result = run_request(&self.pool, &self.cache, 0, req);
+        let result = run_request(&self.pool, &self.db, 0, req);
         note_result(
             &self.completed,
             &self.degraded,
@@ -420,24 +476,25 @@ impl Engine {
             jobs_panicked,
             workers_respawned,
         } = self.pool.metrics();
+        let cache = self.db.match_cache();
         EngineMetrics {
             workers: self.pool.worker_count(),
             jobs_executed,
             jobs_stolen,
             peak_queue_depth,
             requests_completed: self.completed.load(Ordering::Relaxed),
-            cache_entries: self.cache.entries(),
-            cache_capacity: self.cache.capacity(),
-            cache_capacity_bytes: self.cache.capacity_bytes(),
-            cache_hits: self.cache.hits(),
-            cache_misses: self.cache.misses(),
-            cache_evictions: self.cache.evictions(),
-            cache_bytes: self.cache.approx_bytes(),
+            cache_entries: cache.entries(),
+            cache_capacity: cache.capacity(),
+            cache_capacity_bytes: cache.capacity_bytes(),
+            cache_hits: cache.hits(),
+            cache_misses: cache.misses(),
+            cache_evictions: cache.evictions(),
+            cache_bytes: cache.approx_bytes(),
             jobs_panicked,
             match_faults: self.faults.load(Ordering::Relaxed),
             requests_degraded: self.degraded.load(Ordering::Relaxed),
             requests_failed: self.failed.load(Ordering::Relaxed),
-            cache_poison_recoveries: self.cache.poison_recoveries(),
+            cache_poison_recoveries: cache.poison_recoveries(),
             workers_respawned,
         }
     }
@@ -499,13 +556,29 @@ enum JobReply {
     Fault,
 }
 
+/// The query-layer keys one request resolves to, computed up front
+/// when the DB is full (`None` in match-only engines). Holding them in
+/// one place keeps the hit/miss/put sites in [`run_request`] honest
+/// about using the *same* keys.
+struct QueryKeys {
+    trace_key: repro_ir::ContentHash,
+    config_fp: repro_ir::ContentHash,
+    program_fp: repro_ir::ContentHash,
+}
+
 /// Traces and analyzes one request, fanning match jobs out to `pool`.
 /// The request's deadline (when configured) is anchored *here*, before
 /// tracing, so it covers the whole request: trace, finder iterations,
 /// and every match search.
+///
+/// With a full query DB the request walks the memo chain top-down:
+/// a `trace` hit whose DDG fingerprint also has a `find` hit replays
+/// the entire analysis; a fresh trace whose DDG hashes to a known
+/// finder result skips matching; otherwise sub-DDG extraction and the
+/// match stage each memoize what they can.
 fn run_request(
     pool: &Arc<WorkPool>,
-    cache: &Arc<MatchCache>,
+    db: &Arc<QueryDb>,
     index: usize,
     req: AnalysisRequest,
     #[cfg(feature = "fault-inject")] plan: Option<&FaultPlan>,
@@ -521,6 +594,36 @@ fn run_request(
         Some(d) => CancelToken::with_deadline(d),
         None => CancelToken::new(),
     };
+    let cache: &MatchCache = db.match_cache();
+
+    // Content-address the request. Only complete, deadline-free-at-cache
+    // artifacts are ever stored, so a hit is always safe to replay.
+    let keys = db.is_full().then(|| {
+        let program_fp = repro_ir::fingerprint_program(&req.program);
+        QueryKeys {
+            trace_key: trace_key(program_fp, fingerprint_input(&req.input)),
+            config_fp: fingerprint_finder_config(&req.config),
+            program_fp,
+        }
+    });
+    if let Some(keys) = &keys {
+        if let Some(traced) = db.trace_get(keys.trace_key) {
+            if let Some(found) = db.find_get(find_key(traced.ddg_fp, keys.config_fp)) {
+                metrics.query_analyze_hit = true;
+                metrics.query_find_hit = true;
+                req_span.arg("result", obs::ArgValue::Static("query-hit"));
+                return AnalysisResult {
+                    id: req.id,
+                    index,
+                    outcome: Ok(Analysis {
+                        result: found.to_result(),
+                        run: traced.to_run_result(),
+                    }),
+                    metrics,
+                };
+            }
+        }
+    }
 
     let t0 = Instant::now();
     let mut input = req.input.clone();
@@ -532,6 +635,68 @@ fn run_request(
     if let Some(f) = plan.and_then(|p| p.trace_fault_for(&req.id)) {
         input.fault = Some(f);
     }
+
+    // Exec-fingerprint probe: when the exec stage holds *any* entries,
+    // spend an untraced run (~5x cheaper than tracing) hashing the
+    // executed instruction/address stream. Equal streams produce
+    // byte-identical DDGs, so a fingerprint hit re-keys an *edited*
+    // program — a trace-stage miss — to its cached DDG identity, and a
+    // find hit on that identity replays the whole analysis without ever
+    // tracing. Any miss falls through to the normal traced run. The
+    // probe is skipped while the exec index is empty (a cold DB never
+    // pays for it) and under injected trace faults (the fault must
+    // surface through the real run).
+    if let Some(keys) = &keys {
+        #[cfg(feature = "fault-inject")]
+        let probe_safe = input.fault.is_none();
+        #[cfg(not(feature = "fault-inject"))]
+        let probe_safe = true;
+        if db.exec_len() > 0 && probe_safe {
+            let mut probe_input = input.clone();
+            probe_input.trace = trace::TraceMode::Off;
+            probe_input.exec_fingerprint = true;
+            if let Ok(probe_run) = trace::run(&req.program, &probe_input) {
+                if let Some(entry) = probe_run
+                    .exec_fp
+                    .and_then(|fp| db.exec_get(repro_ir::ContentHash(fp)))
+                {
+                    let fkey = find_key(entry.ddg_fp, keys.config_fp);
+                    if let Some(found) = db.find_get(fkey) {
+                        db.trace_put(
+                            keys.trace_key,
+                            TraceArtifact::from_run(
+                                &probe_run,
+                                entry.ddg_fp,
+                                entry.ddg_nodes as usize,
+                            ),
+                        );
+                        db.record_dep(keys.program_fp, StageKind::Trace, keys.trace_key);
+                        db.record_dep(keys.trace_key, StageKind::Find, fkey);
+                        metrics.query_find_hit = true;
+                        metrics.query_exec_hit = true;
+                        metrics.trace_time = t0.elapsed();
+                        req_span.arg("result", obs::ArgValue::Static("query-exec-hit"));
+                        return AnalysisResult {
+                            id: req.id,
+                            index,
+                            outcome: Ok(Analysis {
+                                result: found.to_result(),
+                                run: probe_run,
+                            }),
+                            metrics,
+                        };
+                    }
+                }
+            }
+        }
+        // Record the fingerprint on full runs so future edits can probe
+        // against it — but not at the cost of forcing a parallel trace
+        // sequential.
+        if input.trace_workers < 2 {
+            input.exec_fingerprint = true;
+        }
+    }
+
     let run = trace::run(&req.program, &input);
     metrics.trace_time = t0.elapsed();
 
@@ -550,6 +715,45 @@ fn run_request(
     };
     let ddg = run.ddg.take().expect("tracing was enabled");
 
+    // Memoize the fresh trace and try the find stage: an edited program
+    // often re-traces to a byte-identical DDG (e.g. a constant change —
+    // DDG nodes carry no runtime values), and then the whole find phase
+    // replays from its fingerprint.
+    let mut find_stage = None;
+    if let Some(keys) = &keys {
+        let ddg_fp = repro_query::fingerprint_ddg(&ddg);
+        db.trace_put(
+            keys.trace_key,
+            TraceArtifact::from_run(&run, ddg_fp, ddg.len()),
+        );
+        db.record_dep(keys.program_fp, StageKind::Trace, keys.trace_key);
+        if let Some(exec_fp) = run.exec_fp {
+            db.exec_put(
+                repro_ir::ContentHash(exec_fp),
+                ExecEntry {
+                    ddg_fp,
+                    ddg_nodes: ddg.len() as u64,
+                },
+            );
+        }
+        let fkey = find_key(ddg_fp, keys.config_fp);
+        db.record_dep(keys.trace_key, StageKind::Find, fkey);
+        if let Some(found) = db.find_get(fkey) {
+            metrics.query_find_hit = true;
+            req_span.arg("result", obs::ArgValue::Static("query-find-hit"));
+            return AnalysisResult {
+                id: req.id,
+                index,
+                outcome: Ok(Analysis {
+                    result: found.to_result(),
+                    run,
+                }),
+                metrics,
+            };
+        }
+        find_stage = Some((ddg_fp, fkey));
+    }
+
     let t0 = Instant::now();
     // Front-end: simplify on this coordinator, then fan the per-sub-DDG
     // extraction tasks out as pool jobs so they interleave with match
@@ -561,9 +765,23 @@ fn run_request(
     let tasks = fe.take_tasks();
     let n_tasks = tasks.len();
     let mut extracted: Vec<Option<Vec<SubDdg>>> = (0..n_tasks).map(|_| None).collect();
+    // Sub-DDG stage: extraction is pure in (simplified graph, task
+    // index), and the simplified graph is pure in (DDG, simplify flag),
+    // so each task's pool slice is keyed off the DDG fingerprint.
+    let skeys: Vec<Option<repro_ir::ContentHash>> = (0..n_tasks)
+        .map(|i| find_stage.map(|(ddg_fp, _)| subddg_key(ddg_fp, req.config.enable_simplify, i)))
+        .collect();
     {
         let (tx, rx) = mpsc::channel::<(usize, Vec<SubDdg>)>();
+        let mut submitted = 0usize;
         for (i, task) in tasks.into_iter().enumerate() {
+            if let Some(skey) = skeys[i] {
+                if let Some(cached) = db.subddg_get(skey) {
+                    extracted[i] = Some((*cached).clone());
+                    continue;
+                }
+            }
+            submitted += 1;
             let g = fe.graph_arc();
             let tx = tx.clone();
             pool.submit(Box::new(move || {
@@ -573,9 +791,15 @@ fn run_request(
             }));
         }
         drop(tx);
-        for got in 0..n_tasks {
+        for got in 0..submitted {
             match rx.recv() {
-                Ok((i, subs)) => extracted[i] = Some(subs),
+                Ok((i, subs)) => {
+                    if let (Some(skey), Some(keys)) = (skeys[i], &keys) {
+                        db.subddg_put(skey, Arc::new(subs.clone()));
+                        db.record_dep(keys.trace_key, StageKind::SubDdg, skey);
+                    }
+                    extracted[i] = Some(subs);
+                }
                 Err(_) => {
                     metrics.deadline_hit = cancel.is_expired();
                     req_span.arg("result", obs::ArgValue::Static("worker-lost"));
@@ -583,7 +807,7 @@ fn run_request(
                         id: req.id,
                         index,
                         outcome: Err(EngineError::WorkerLost {
-                            missing: n_tasks - got,
+                            missing: submitted - got,
                         }),
                         metrics,
                     };
@@ -634,7 +858,7 @@ fn run_request(
                 }
             };
             let g = state.graph_arc();
-            let cache = Arc::clone(cache);
+            let job_db = Arc::clone(db);
             let tx = tx.clone();
             #[cfg(feature = "fault-inject")]
             let injected = plan.map_or(fault::JobFault::default(), |p| {
@@ -662,7 +886,9 @@ fn run_request(
                         // enter the cache.
                         if let Some(pending) = pending {
                             if !outcome.exhausted {
-                                cache.fulfil(pending, &job.sub, &outcome.pattern);
+                                job_db
+                                    .match_cache()
+                                    .fulfil(pending, &job.sub, &outcome.pattern);
                             }
                         }
                         JobReply::Done(outcome)
@@ -710,6 +936,13 @@ fn run_request(
     }
 
     let result = state.finish();
+    // Only a complete fixpoint is worth remembering: a degraded or
+    // deadline-cut result replayed later would silently under-report.
+    if let Some((_, fkey)) = find_stage {
+        if !result.degraded && !result.cancelled {
+            db.find_put(fkey, FindArtifact::from_result(&result));
+        }
+    }
     metrics.find_time = t0.elapsed();
     metrics.matches_exhausted = result.matches_exhausted as u64;
     metrics.deadline_hit = result.cancelled;

@@ -27,6 +27,7 @@
 pub mod builder;
 pub mod display;
 pub mod expr;
+pub mod fingerprint;
 pub mod func;
 pub mod ids;
 pub mod iter_rec;
@@ -39,6 +40,10 @@ pub mod visit;
 
 pub use builder::{FnBuilder, ProgramBuilder};
 pub use expr::Expr;
+pub use fingerprint::{
+    fingerprint_function, fingerprint_program, fingerprint_serialized, fingerprint_str,
+    ContentHash, ContentHasher,
+};
 pub use func::{Function, GlobalArray, Param, Program};
 pub use ids::{ArrId, FnId, LoopId, OpId, VarId};
 pub use iter_rec::IteratorInfo;

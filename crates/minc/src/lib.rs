@@ -40,7 +40,7 @@ pub mod lower;
 pub mod parser;
 
 pub use lexer::{LexError, Token, TokenKind};
-pub use lower::{lower, CompileError};
+pub use lower::{lower, lower_with_cache, CachedFnIr, CompileError, FnIrCache};
 pub use parser::parse;
 
 /// Compiles one translation unit into an IR program.
@@ -53,6 +53,19 @@ pub fn compile(name: &str, source: &str) -> Result<repro_ir::Program, CompileErr
 pub fn compile_files(
     program_name: &str,
     files: &[(&str, &str)],
+) -> Result<repro_ir::Program, CompileError> {
+    compile_files_with_cache(program_name, files, None)
+}
+
+/// [`compile_files`] with a per-function IR memo: functions whose
+/// source (and pass-1 environment, and id-counter bases) are unchanged
+/// since a previous compile replay their lowered IR instead of being
+/// type-checked and lowered again. The resulting program is identical
+/// to an uncached compile (`lower_with_cache` documents the key).
+pub fn compile_files_with_cache(
+    program_name: &str,
+    files: &[(&str, &str)],
+    cache: Option<&dyn FnIrCache>,
 ) -> Result<repro_ir::Program, CompileError> {
     let mut units = Vec::new();
     for (file_idx, (file_name, source)) in files.iter().enumerate() {
@@ -73,5 +86,5 @@ pub fn compile_files(
             unit,
         ));
     }
-    lower::lower(program_name, &units)
+    lower::lower_with_cache(program_name, &units, cache)
 }

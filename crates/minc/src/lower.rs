@@ -10,10 +10,29 @@
 
 use crate::ast::{Bin, Expr as AExpr, FunDef, Item, Pos, Stmt as AStmt, Ty, Un, Unit};
 use repro_ir::{
-    ArrId, BinOp, Expr, FnId, Function, GlobalArray, Intrinsic, Loc, LoopId, OpId, Param, Program,
-    Stmt, Type, UnOp, VarId,
+    ArrId, BinOp, ContentHash, ContentHasher, Expr, FnId, Function, GlobalArray, Intrinsic, Loc,
+    LoopId, OpId, Param, Program, Stmt, Type, UnOp, VarId,
 };
 use std::collections::HashMap;
+
+/// One memoized per-function lowering: the lowered function plus how
+/// many op/loop ids it consumed, so a cache hit can advance the
+/// program-global counters exactly as the real lowering would have.
+#[derive(Clone, Debug)]
+pub struct CachedFnIr {
+    pub func: Function,
+    pub ops_used: u32,
+    pub loops_used: u32,
+}
+
+/// Per-function IR memo store, implemented by the query layer (minc
+/// cannot depend on it). Keys are content hashes over (program
+/// environment, function source, op/loop id bases) — see
+/// [`lower_with_cache`] for what the key covers and why.
+pub trait FnIrCache {
+    fn get(&self, key: ContentHash) -> Option<CachedFnIr>;
+    fn put(&self, key: ContentHash, value: CachedFnIr);
+}
 
 /// A semantic (type/resolution) error.
 #[derive(Clone, Debug, PartialEq)]
@@ -44,6 +63,25 @@ fn ty_to_ir(t: Ty) -> Type {
 pub fn lower(
     program_name: &str,
     units: &[(u16, String, String, Unit)],
+) -> Result<Program, CompileError> {
+    lower_with_cache(program_name, units, None)
+}
+
+/// [`lower`] with an optional per-function IR memo.
+///
+/// The cache key for a function covers everything its lowering reads:
+/// the program environment from pass 1 (globals, sync objects, and the
+/// full function signature table — name resolution and ids), the
+/// function's own AST (via its canonical `Debug` form), its file
+/// index, and the `OpId`/`LoopId` counter bases at the point it is
+/// lowered. Including the bases means an edit to an *earlier* function
+/// that changes how many ids it consumes correctly invalidates every
+/// later function — id numbering is program-global, so those functions
+/// genuinely lower differently.
+pub fn lower_with_cache(
+    program_name: &str,
+    units: &[(u16, String, String, Unit)],
+    cache: Option<&dyn FnIrCache>,
 ) -> Result<Program, CompileError> {
     let mut lw = Lowerer::default();
 
@@ -115,12 +153,37 @@ pub fn lower(
         });
     }
 
-    // Pass 2: lower every function, in declaration order.
+    // Pass 2: lower every function, in declaration order. With a memo
+    // attached, each function is keyed by (environment, AST, id bases)
+    // and either replayed from the memo (advancing the id counters by
+    // the recorded consumption) or lowered for real and recorded.
+    let env_fp = cache.map(|_| lw.env_fingerprint());
     let mut functions: Vec<Option<Function>> = vec![None; lw.fn_order.len()];
     for (file, _name, _src, unit) in units {
         for item in &unit.items {
             if let Item::Fun(f) = item {
+                let key = env_fp.map(|env| fn_ir_key(env, *file, f, lw.next_op, lw.next_loop));
+                if let (Some(cache), Some(key)) = (cache, key) {
+                    if let Some(hit) = cache.get(key) {
+                        lw.next_op += hit.ops_used;
+                        lw.next_loop += hit.loops_used;
+                        let idx = hit.func.id.index();
+                        functions[idx] = Some(hit.func);
+                        continue;
+                    }
+                }
+                let (op_base, loop_base) = (lw.next_op, lw.next_loop);
                 let lowered = lw.lower_fn(*file, f)?;
+                if let (Some(cache), Some(key)) = (cache, key) {
+                    cache.put(
+                        key,
+                        CachedFnIr {
+                            func: lowered.clone(),
+                            ops_used: lw.next_op - op_base,
+                            loops_used: lw.next_loop - loop_base,
+                        },
+                    );
+                }
                 let idx = lowered.id.index();
                 functions[idx] = Some(lowered);
             }
@@ -163,7 +226,57 @@ struct Lowerer {
     next_loop: u32,
 }
 
+/// The memo key for one function: environment fingerprint ⊕ file
+/// index ⊕ id bases ⊕ the function's canonical AST form.
+fn fn_ir_key(env: ContentHash, file: u16, f: &FunDef, op_base: u32, loop_base: u32) -> ContentHash {
+    let mut h = ContentHasher::new();
+    h.write_u64((env.0 >> 64) as u64);
+    h.write_u64(env.0 as u64);
+    h.write_u32(file as u32);
+    h.write_u32(op_base);
+    h.write_u32(loop_base);
+    // The AST types derive `Debug` deterministically (field order,
+    // no addresses), which makes the debug form a canonical byte
+    // encoding of the parse tree — including positions, so moved
+    // code re-lowers (Locs differ) rather than replaying stale ones.
+    h.write_str(&format!("{f:?}"));
+    h.finish()
+}
+
 impl Lowerer {
+    /// Fingerprints the pass-1 environment a function lowering reads:
+    /// global arrays, sync objects, and the signature table. Maps are
+    /// hashed in sorted-name order — `HashMap` iteration order must
+    /// never leak into a content hash.
+    fn env_fingerprint(&self) -> ContentHash {
+        let mut h = ContentHasher::new();
+        for g in &self.globals {
+            h.write_str(&g.name);
+            h.write_u32(g.id.0);
+            h.write_str(&format!("{:?}", g.elem));
+            h.write_u64(g.len as u64);
+        }
+        let mut mutexes: Vec<_> = self.mutexes.iter().collect();
+        mutexes.sort();
+        for (name, id) in mutexes {
+            h.write_str(name);
+            h.write_u64(*id as u64);
+        }
+        let mut barriers: Vec<_> = self.barriers.iter().collect();
+        barriers.sort();
+        for (name, id) in barriers {
+            h.write_str(name);
+            h.write_u64(*id as u64);
+        }
+        for name in &self.fn_order {
+            let (id, params, ret) = &self.fns[name];
+            h.write_str(name);
+            h.write_u32(id.0);
+            h.write_str(&format!("{params:?}{ret:?}"));
+        }
+        h.finish()
+    }
+
     fn fresh_op(&mut self) -> OpId {
         let id = OpId(self.next_op);
         self.next_op += 1;

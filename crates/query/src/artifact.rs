@@ -1,0 +1,168 @@
+//! Cached stage outputs: what a trace or a finder run leaves behind,
+//! in a form that can be replayed as if the stage had run.
+//!
+//! Both artifacts deliberately exclude wall-clock facts (phase times,
+//! deadlines, degradation): only *complete* results are cached, and a
+//! replayed result reports zero phase times — the time genuinely was
+//! not spent. Parity over the semantic payload is what
+//! [`crate::pattern_signature`] checks.
+
+use discovery::{FinderResult, Found, SimplifyStats};
+use repro_ir::{ContentHash, Value};
+use std::collections::HashMap;
+use trace::RunResult;
+
+/// What a traced run leaves behind, minus the DDG itself (which is
+/// re-identified by `ddg_fp` and whose downstream products live in the
+/// sub-DDG and find stages). Keyed by `program_fp ⊕ input_fp`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TraceArtifact {
+    /// Content hash of the traced DDG — the key prefix of the find
+    /// stage, and the link the dependency tracker records.
+    pub ddg_fp: ContentHash,
+    /// Node count of the traced DDG (reporting only).
+    pub ddg_nodes: u64,
+    /// Executed instruction count.
+    pub steps: u64,
+    /// Entry function's return value.
+    pub return_value: Option<Value>,
+    /// Final global-array contents, sorted by name (canonical order —
+    /// `HashMap` iteration must not leak into the artifact).
+    pub arrays: Vec<(String, Vec<Value>)>,
+}
+
+impl TraceArtifact {
+    pub fn from_run(run: &RunResult, ddg_fp: ContentHash, ddg_nodes: usize) -> TraceArtifact {
+        let mut arrays: Vec<(String, Vec<Value>)> = run
+            .arrays
+            .iter()
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect();
+        arrays.sort_by(|a, b| a.0.cmp(&b.0));
+        TraceArtifact {
+            ddg_fp,
+            ddg_nodes: ddg_nodes as u64,
+            steps: run.steps,
+            return_value: run.return_value,
+            arrays,
+        }
+    }
+
+    /// Reconstructs the run result a full query hit hands back. The
+    /// DDG is `None` — exactly what the engine's normal path leaves
+    /// after taking the graph for analysis.
+    pub fn to_run_result(&self) -> RunResult {
+        RunResult {
+            ddg: None,
+            arrays: self
+                .arrays
+                .iter()
+                .map(|(k, v)| (k.clone(), v.clone()))
+                .collect::<HashMap<_, _>>(),
+            return_value: self.return_value,
+            steps: self.steps,
+            exec_fp: None,
+        }
+    }
+
+    /// Approximate resident bytes (store accounting).
+    pub fn approx_bytes(&self) -> usize {
+        64 + self
+            .arrays
+            .iter()
+            .map(|(k, v)| 48 + k.len() + 16 * v.len())
+            .sum::<usize>()
+    }
+}
+
+/// The exec-stage entry: which DDG an execution fingerprint
+/// corresponds to. Keyed by the fingerprint itself
+/// ([`trace::RunResult::exec_fp`]) — the streaming digest over the
+/// executed instruction/address stream, which fully determines the
+/// DDG. This is the edge that makes *edited* programs incremental: a
+/// constant edit changes the program hash (trace-stage miss) but not
+/// the execution stream, so a cheap untraced fingerprint run re-keys
+/// the request to the cached DDG and the find stage replays.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ExecEntry {
+    /// Content hash of the DDG this execution produces under tracing.
+    pub ddg_fp: ContentHash,
+    /// Node count of that DDG (reporting only).
+    pub ddg_nodes: u64,
+}
+
+/// What a complete (non-degraded, non-cancelled) finder run leaves
+/// behind. Keyed by `ddg_fp ⊕ config_fp`.
+#[derive(Clone, Debug)]
+pub struct FindArtifact {
+    pub found: Vec<Found>,
+    pub ddg_size: u64,
+    pub simplified_size: u64,
+    pub simplify_stats: SimplifyStats,
+    pub iterations: u64,
+    pub subddgs_matched: u64,
+}
+
+impl FindArtifact {
+    /// Captures a finished result. The caller must have checked that
+    /// the run was complete (`!degraded && !cancelled`) — a best-so-far
+    /// result must never be replayed as definitive.
+    pub fn from_result(r: &FinderResult) -> FindArtifact {
+        FindArtifact {
+            found: r.found.clone(),
+            ddg_size: r.ddg_size as u64,
+            simplified_size: r.simplified_size as u64,
+            simplify_stats: r.simplify_stats,
+            iterations: r.iterations as u64,
+            subddgs_matched: r.subddgs_matched as u64,
+        }
+    }
+
+    /// Replays the result. Phase times are zero (no time was spent) and
+    /// the completeness flags are clean by construction.
+    pub fn to_result(&self) -> FinderResult {
+        FinderResult {
+            found: self.found.clone(),
+            ddg_size: self.ddg_size as usize,
+            simplified_size: self.simplified_size as usize,
+            simplify_stats: self.simplify_stats,
+            iterations: self.iterations as usize,
+            subddgs_matched: self.subddgs_matched as usize,
+            phase_times: Default::default(),
+            degraded: false,
+            cancelled: false,
+            matches_exhausted: 0,
+            match_faults: 0,
+        }
+    }
+
+    /// Approximate resident bytes (store accounting).
+    pub fn approx_bytes(&self) -> usize {
+        64 + self
+            .found
+            .iter()
+            .map(|f| {
+                let p = &f.pattern;
+                let detail = match &p.detail {
+                    discovery::patterns::Detail::None => 0,
+                    discovery::patterns::Detail::Map { components } => {
+                        components.iter().map(|c| 24 + 4 * c.len()).sum::<usize>()
+                    }
+                    discovery::patterns::Detail::Linear { chain } => 4 * chain.len(),
+                    discovery::patterns::Detail::Tiled {
+                        partials,
+                        final_chain,
+                    } => {
+                        partials.iter().map(|c| 24 + 4 * c.len()).sum::<usize>()
+                            + 4 * final_chain.len()
+                    }
+                };
+                128 + p.nodes.capacity() / 8
+                    + p.op_labels.iter().map(|l| 24 + l.len()).sum::<usize>()
+                    + 8 * p.lines.len()
+                    + 4 * p.loops.len()
+                    + detail
+            })
+            .sum::<usize>()
+    }
+}

@@ -122,7 +122,7 @@ pub struct PendingEntry {
 const SHARDS: usize = 16;
 
 /// Default entry capacity when the caller does not size the cache
-/// ([`crate::EngineConfig::cache_capacity`] defaults to this): large
+/// (the engine's `cache_capacity` config defaults to this): large
 /// enough that a full starbench batch never evicts, small enough that a
 /// resident daemon's footprint stays bounded.
 pub const DEFAULT_CACHE_CAPACITY: usize = 4096;
@@ -281,11 +281,7 @@ impl MatchCache {
     /// approximate bytes (0 = unbounded, independently per cap). The
     /// byte budget splits evenly across shards, like the entry budget;
     /// eviction honors whichever shard-level cap trips first.
-    pub fn with_capacities(
-        enabled: bool,
-        capacity: usize,
-        capacity_bytes: usize,
-    ) -> MatchCache {
+    pub fn with_capacities(enabled: bool, capacity: usize, capacity_bytes: usize) -> MatchCache {
         let shards = if capacity == 0 {
             SHARDS
         } else {

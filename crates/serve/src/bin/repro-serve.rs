@@ -18,7 +18,7 @@ fn usage() -> ! {
          \x20                  [--budget-ms MS] [--deadline-ms MS] [--max-line-bytes N]\n\
          \x20                  [--watchdog-ms MS] [--stall-timeout-ms MS] [--probe-timeout-ms MS]\n\
          \x20                  [--slo-latency-ms MS] [--slo-target F] [--flight-capacity N]\n\
-         \x20                  [--blackbox-out PATH] [--obs]\n\
+         \x20                  [--blackbox-out PATH] [--cache-dir DIR] [--obs]\n\
          \n\
          \x20 --socket PATH        unix socket to listen on (default repro-serve.sock)\n\
          \x20 --workers N          concurrent analyses (default 2)\n\
@@ -42,6 +42,8 @@ fn usage() -> ! {
          \x20 --slo-target F       availability objective in (0,1); burn = bad_frac/(1-F) (default 0.99)\n\
          \x20 --flight-capacity N  flight-recorder ring capacity in events (default 4096)\n\
          \x20 --blackbox-out PATH  where automatic blackbox dumps land (default SOCKET.blackbox.json)\n\
+         \x20 --cache-dir DIR      persistent query cache: loaded at startup, rewritten on\n\
+         \x20                      clean shutdown (default: memory-only)\n\
          \x20 --obs                enable span tracing (for trace_dump)"
     );
     std::process::exit(2);
@@ -101,6 +103,7 @@ fn main() {
                 }
             }
             "--blackbox-out" => config.blackbox_path = Some(parse(&arg, args.next())),
+            "--cache-dir" => config.cache_dir = Some(parse(&arg, args.next())),
             "--obs" => obs::enable(),
             "--help" | "-h" => usage(),
             other => {

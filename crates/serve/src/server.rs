@@ -44,6 +44,8 @@ use std::time::{Duration, Instant};
 
 use obs::Counter;
 use repro_engine::{AnalysisRequest, Engine, EngineConfig, EngineError, EngineMetrics};
+use repro_ir::ContentHasher;
+use repro_query::{LoadReport, QueryConfig, QueryDb};
 use serde::Serialize;
 
 use crate::protocol::{
@@ -107,6 +109,11 @@ pub struct ServeConfig {
     /// Where automatic flight-recorder dumps land (worker death, panic,
     /// stale-socket takeover). `None` derives `<socket>.blackbox.json`.
     pub blackbox_path: Option<PathBuf>,
+    /// Directory for the persistent query cache (DESIGN.md §18):
+    /// segments are loaded at startup — so a restarted daemon answers
+    /// repeated requests as query hits — and rewritten on clean
+    /// shutdown. `None` (the default) keeps the cache memory-only.
+    pub cache_dir: Option<PathBuf>,
 }
 
 impl Default for ServeConfig {
@@ -129,6 +136,7 @@ impl Default for ServeConfig {
             probe_timeout_ms: 500,
             slo: obs::SloConfig::default(),
             blackbox_path: None,
+            cache_dir: None,
         }
     }
 }
@@ -158,6 +166,9 @@ pub struct ServeMetrics {
     pub oversized_lines: u64,
     /// Stale predecessor sockets taken over at startup.
     pub stale_takeovers: u64,
+    /// Analyze requests answered by another in-flight request's
+    /// computation (single-flight coalescing).
+    pub coalesced: u64,
 }
 
 /// One serve counter: a per-server count plus the process-global
@@ -203,6 +214,7 @@ struct Counters {
     workers_stalled: Stat,
     oversized_lines: Stat,
     stale_takeovers: Stat,
+    coalesced: Stat,
 }
 
 impl Counters {
@@ -223,6 +235,7 @@ impl Counters {
             workers_stalled: Stat::new("serve.workers_stalled"),
             oversized_lines: Stat::new("serve.oversized_lines"),
             stale_takeovers: Stat::new("serve.stale_takeovers"),
+            coalesced: Stat::new("serve.coalesced"),
         }
     }
 
@@ -243,6 +256,7 @@ impl Counters {
             workers_stalled: self.workers_stalled.get(),
             oversized_lines: self.oversized_lines.get(),
             stale_takeovers: self.stale_takeovers.get(),
+            coalesced: self.coalesced.get(),
         }
     }
 }
@@ -367,9 +381,28 @@ impl Conn {
     }
 }
 
+/// One analyze computation in flight, for single-flight coalescing.
+/// `leader` is the request `Arc` of the job actually computing; any
+/// *identical* request picked up meanwhile parks itself in `followers`
+/// and is answered from the leader's outcome. The `Arc` identity also
+/// resolves the recovered-leader case: a watchdog-requeued leader job
+/// is ptr-equal to `leader`, so its replacement worker computes
+/// instead of waiting on a thread that no longer exists.
+struct Inflight {
+    leader: Arc<AnalyzeRequest>,
+    followers: Vec<Job>,
+}
+
 struct Shared {
     config: ServeConfig,
     engine: Engine,
+    /// The engine's query DB (shared handle, for persistence + stats).
+    db: Arc<QueryDb>,
+    /// What loading `cache_dir` found at startup, surfaced in `stats`.
+    cache_load: Option<LoadReport>,
+    /// Single-flight table: canonical analyze fingerprint → in-flight
+    /// computation.
+    inflight: Mutex<HashMap<u128, Inflight>>,
     queue: Mutex<QueueState>,
     queue_cv: Condvar,
     quotas: TenantQuotas,
@@ -484,18 +517,46 @@ impl Server {
         let listener = UnixListener::bind(&socket)?;
         listener.set_nonblocking(true)?;
 
-        let engine = Engine::new(EngineConfig {
-            workers: if config.analysis_threads == 0 {
-                2
-            } else {
-                config.analysis_threads
-            },
-            max_concurrent_requests: 1,
-            use_cache: true,
-            cache_capacity: config.cache_capacity,
-            cache_capacity_bytes: config.cache_capacity_bytes,
-            ..EngineConfig::default()
+        // The daemon always runs the full query DB: a resident process
+        // is exactly the workload the trace/sub-DDG/find stages pay off
+        // for (repeated and lightly-edited requests). Its match stage
+        // keeps the configured caps.
+        let db = Arc::new(QueryDb::full(QueryConfig {
+            match_enabled: true,
+            match_capacity: config.cache_capacity,
+            match_capacity_bytes: config.cache_capacity_bytes,
+            ..QueryConfig::default()
+        }));
+        let cache_load = config.cache_dir.as_deref().map(|dir| {
+            let report = repro_query::load_dir(&db, dir);
+            obs::counter("serve.cache_records_loaded").add(report.records_loaded as u64);
+            obs::counter("serve.cache_corrupt_records").add(report.corrupt_records as u64);
+            obs::counter("serve.cache_version_skips").add(report.version_mismatches as u64);
+            obs::flight::event(
+                "cache_load",
+                "",
+                format!(
+                    "records={} corrupt={} version_skips={}",
+                    report.records_loaded, report.corrupt_records, report.version_mismatches
+                ),
+            );
+            report
         });
+        let engine = Engine::with_query(
+            EngineConfig {
+                workers: if config.analysis_threads == 0 {
+                    2
+                } else {
+                    config.analysis_threads
+                },
+                max_concurrent_requests: 1,
+                use_cache: true,
+                cache_capacity: config.cache_capacity,
+                cache_capacity_bytes: config.cache_capacity_bytes,
+                ..EngineConfig::default()
+            },
+            Arc::clone(&db),
+        );
         let worker_count = if config.workers == 0 {
             2
         } else {
@@ -507,6 +568,9 @@ impl Server {
             .unwrap_or_else(|| PathBuf::from(format!("{}.blackbox.json", socket.display())));
         let shared = Arc::new(Shared {
             engine,
+            db,
+            cache_load,
+            inflight: Mutex::new(HashMap::new()),
             quotas: TenantQuotas::new(config.quota),
             counters: Counters::new(),
             queue: Mutex::new(QueueState {
@@ -662,7 +726,24 @@ fn wait_drained(shared: &Shared) {
 }
 
 /// Stops the accept loop, the watchdog, and every connection reader.
+/// A clean stop is also when the persistent query cache is rewritten:
+/// the drain has completed, so the stores are quiescent.
 fn stop_all(shared: &Shared) {
+    if let Some(dir) = shared.config.cache_dir.as_deref() {
+        match repro_query::save_dir(&shared.db, dir) {
+            Ok(saved) => obs::flight::event(
+                "cache_save",
+                "",
+                format!("trace={} find={}", saved.trace_records, saved.find_records),
+            ),
+            // Persistence is an optimization; failing to write it must
+            // never block a shutdown.
+            Err(e) => {
+                obs::counter("serve.cache_save_failures").inc();
+                obs::flight::event("cache_save_failed", "", e.to_string());
+            }
+        }
+    }
     shared.stop.store(true, Ordering::SeqCst);
     let conns = shared.conns.lock().unwrap_or_else(|e| e.into_inner());
     for conn in conns.iter() {
@@ -1069,6 +1150,42 @@ fn worker_loop(shared: &Arc<Shared>, ws: &Arc<WorkerShared>, idx: usize) {
                 job.enqueued.elapsed().as_millis()
             ),
         );
+        // Single-flight coalescing: if an identical computation is
+        // already in flight, attach this job as a follower — it will be
+        // answered from the leader's outcome — and free this worker for
+        // other work. A requeued job that *is* the recorded leader (the
+        // watchdog recovered it from a dead worker, `Arc` identity)
+        // must compute, not wait on a thread that no longer exists.
+        let flight_key = analyze_fingerprint(&job.req);
+        let leads = {
+            let mut infl = shared.inflight.lock().unwrap_or_else(|e| e.into_inner());
+            match infl.get_mut(&flight_key) {
+                Some(entry) if !Arc::ptr_eq(&entry.leader, &job.req) => {
+                    entry.followers.push(job.clone());
+                    false
+                }
+                Some(_) => true,
+                None => {
+                    infl.insert(
+                        flight_key,
+                        Inflight {
+                            leader: Arc::clone(&job.req),
+                            followers: Vec::new(),
+                        },
+                    );
+                    true
+                }
+            }
+        };
+        if !leads {
+            shared.counters.coalesced.inc();
+            obs::instant("serve.coalesce");
+            obs::flight::event("coalesce", &job.req.id, format!("worker={idx}"));
+            // The follower's connection window stays held until the
+            // leader sends its answer; only the queue slot is returned.
+            finish_job(shared);
+            continue;
+        }
         // Park the job in the slot before touching it: from here until
         // the answer is sent, a death of this thread leaves the job
         // recoverable by the watchdog.
@@ -1088,26 +1205,39 @@ fn worker_loop(shared: &Arc<Shared>, ws: &Arc<WorkerShared>, idx: usize) {
             }
         }
         // Zero worker loss: a panic anywhere in request processing is
-        // contained to an `internal_error` response for that request.
-        let line =
-            catch_unwind(AssertUnwindSafe(|| process(shared, &job.req))).unwrap_or_else(|_| {
-                shared.counters.internal_errors.inc();
+        // contained to an `internal_error` response for that request
+        // (and its followers).
+        let computed =
+            catch_unwind(AssertUnwindSafe(|| compute(shared, &job.req))).unwrap_or_else(|_| {
                 obs::flight::event(
                     "panic",
                     &job.req.id,
                     format!("worker={idx} inc={}", ws.incarnation),
                 );
                 auto_blackbox(shared, "worker_panic");
-                error_line(
-                    &job.req.id,
-                    status::INTERNAL_ERROR,
-                    "serve worker panicked; request aborted",
-                )
+                Computed::Panicked
             });
         // Record before sending: a client that sees this answer and
         // immediately asks for `stats` must find it already counted.
+        let line = render_answer(shared, &job.req.id, &computed, false);
         record_answer(shared, &job, &line);
+        // Retire the in-flight entry *before* sending the leader's
+        // answer: once a client holds that answer, an identical
+        // follow-up must start fresh — and be a query-store hit — not
+        // attach to a computation that already finished.
+        let followers = {
+            let mut infl = shared.inflight.lock().unwrap_or_else(|e| e.into_inner());
+            infl.remove(&flight_key)
+                .map(|e| e.followers)
+                .unwrap_or_default()
+        };
         job.conn.send(&line);
+        for fjob in followers {
+            let fline = render_answer(shared, &fjob.req.id, &computed, true);
+            record_answer(shared, &fjob, &fline);
+            fjob.conn.send(&fline);
+            fjob.conn.release_window();
+        }
         {
             let mut busy = ws.busy.lock().unwrap_or_else(|e| e.into_inner());
             busy.job = None;
@@ -1172,7 +1302,24 @@ fn resolve(
         Ok((program, (bench.analysis_input)()))
     } else {
         let source = req.source.as_deref().unwrap_or_default();
-        let program = minc::compile("inline", source).map_err(|e| format!("minc: {e}"))?;
+        // Compiled-program reuse: inline sources are content-addressed
+        // into the query DB's program stage, and a recompile (cache
+        // miss) still reuses every unchanged function's IR through the
+        // fn-IR stage.
+        let key = repro_query::fingerprint_source("inline", &[("inline", source)]);
+        let program = match shared.db.program_get(key) {
+            Some(p) => (*p).clone(),
+            None => {
+                let p = minc::compile_files_with_cache(
+                    "inline",
+                    &[("inline", source)],
+                    shared.db.fn_ir_cache(),
+                )
+                .map_err(|e| format!("minc: {e}"))?;
+                shared.db.program_put(key, Arc::new(p.clone()));
+                p
+            }
+        };
         let mut input = trace::RunConfig::default();
         for (name, data) in &req.inputs {
             input = input.with_f64(name, data);
@@ -1186,7 +1333,49 @@ pub fn unknown_bench_message(name: &str) -> String {
     starbench::unknown_benchmark_message(name)
 }
 
-fn process(shared: &Shared, req: &AnalyzeRequest) -> String {
+/// The canonical fingerprint of what an analyze request *computes* —
+/// program selection, inputs, and effective budgets, but not the
+/// request id or tenant. Two requests with equal fingerprints produce
+/// identical analyses, which is what makes single-flight coalescing
+/// sound.
+fn analyze_fingerprint(req: &AnalyzeRequest) -> u128 {
+    let mut h = ContentHasher::new();
+    h.write_u32(req.bench.is_some() as u32);
+    h.write_str(req.bench.as_deref().unwrap_or(""));
+    h.write_str(&req.version);
+    h.write_u32(req.source.is_some() as u32);
+    h.write_str(req.source.as_deref().unwrap_or(""));
+    h.write_u64(req.inputs.len() as u64);
+    for (name, data) in &req.inputs {
+        h.write_str(name);
+        h.write_u64(data.len() as u64);
+        for v in data {
+            h.write_f64(*v);
+        }
+    }
+    // Budgets change what a deadline-bound analysis can report, so they
+    // are part of the computation's identity.
+    h.write_u64(req.budget_ms.map_or(u64::MAX, |v| v));
+    h.write_u64(req.deadline_ms.map_or(u64::MAX, |v| v));
+    h.finish().0
+}
+
+/// What one leader computation produced, in a form every waiter
+/// (leader and coalesced followers) can be answered from.
+enum Computed {
+    /// The request never reached the engine (unknown bench, compile
+    /// error, ...).
+    BadRequest(String),
+    /// The engine answered (successfully or not).
+    Done(Box<repro_engine::AnalysisResult>),
+    /// The serve worker panicked mid-computation.
+    Panicked,
+}
+
+/// Runs one analyze request through the engine. No response counters
+/// here — [`render_answer`] counts per *answered* request, so coalesced
+/// followers are accounted like any other.
+fn compute(shared: &Shared, req: &AnalyzeRequest) -> Computed {
     let mut span = obs::span_args("serve.request", || {
         vec![
             ("id", obs::ArgValue::Str(req.id.clone())),
@@ -1195,10 +1384,7 @@ fn process(shared: &Shared, req: &AnalyzeRequest) -> String {
     });
     let (program, input) = match resolve(shared, req) {
         Ok(pair) => pair,
-        Err(msg) => {
-            shared.counters.bad_requests.inc();
-            return error_line(&req.id, status::BAD_REQUEST, &msg);
-        }
+        Err(msg) => return Computed::BadRequest(msg),
     };
     let input = input.with_trace_workers(shared.config.trace_workers.max(1));
     let mut config = discovery::FinderConfig {
@@ -1217,44 +1403,72 @@ fn process(shared: &Shared, req: &AnalyzeRequest) -> String {
         input,
         config,
     });
-    match &result.outcome {
-        Ok(analysis) => {
-            shared.counters.ok.inc();
-            let f = &analysis.result;
-            if f.degraded {
-                shared.counters.degraded.inc();
-            }
-            let kinds: Vec<&str> = f
-                .found
-                .iter()
-                .filter(|p| p.reported)
-                .map(|p| p.pattern.kind.short())
-                .collect();
-            span.arg("patterns", obs::ArgValue::U64(kinds.len() as u64));
-            ResponseLine::new(&req.id, status::OK)
-                .num("patterns", kinds.len() as f64)
-                .strs("kinds", &kinds)
-                .num("iterations", f.iterations as f64)
-                .num("ddg_size", f.ddg_size as f64)
-                .bool("degraded", f.degraded)
-                .num("trace_ms", result.metrics.trace_time.as_secs_f64() * 1e3)
-                .num("find_ms", result.metrics.find_time.as_secs_f64() * 1e3)
-                .num("cache_hits", result.metrics.cache_hits as f64)
-                .num("cache_misses", result.metrics.cache_misses as f64)
-                .finish()
+    if let Ok(analysis) = &result.outcome {
+        span.arg(
+            "patterns",
+            obs::ArgValue::U64(analysis.result.reported().count() as u64),
+        );
+    }
+    Computed::Done(Box::new(result))
+}
+
+/// Renders (and counts) the response for one waiter of a computation.
+/// `coalesced` marks followers answered from another request's work.
+fn render_answer(shared: &Shared, req_id: &str, computed: &Computed, coalesced: bool) -> String {
+    match computed {
+        Computed::BadRequest(msg) => {
+            shared.counters.bad_requests.inc();
+            error_line(req_id, status::BAD_REQUEST, msg)
         }
-        Err(EngineError::Trace(e)) => {
-            shared.counters.trace_errors.inc();
-            error_line(&req.id, status::TRACE_ERROR, &e.to_string())
-        }
-        Err(EngineError::WorkerLost { missing }) => {
-            shared.counters.worker_lost.inc();
+        Computed::Panicked => {
+            shared.counters.internal_errors.inc();
             error_line(
-                &req.id,
-                status::WORKER_LOST,
-                &format!("match workers lost with {missing} outcomes missing"),
+                req_id,
+                status::INTERNAL_ERROR,
+                "serve worker panicked; request aborted",
             )
         }
+        Computed::Done(result) => match &result.outcome {
+            Ok(analysis) => {
+                shared.counters.ok.inc();
+                let f = &analysis.result;
+                if f.degraded {
+                    shared.counters.degraded.inc();
+                }
+                let kinds: Vec<&str> = f
+                    .found
+                    .iter()
+                    .filter(|p| p.reported)
+                    .map(|p| p.pattern.kind.short())
+                    .collect();
+                let m = &result.metrics;
+                ResponseLine::new(req_id, status::OK)
+                    .num("patterns", kinds.len() as f64)
+                    .strs("kinds", &kinds)
+                    .num("iterations", f.iterations as f64)
+                    .num("ddg_size", f.ddg_size as f64)
+                    .bool("degraded", f.degraded)
+                    .num("trace_ms", m.trace_time.as_secs_f64() * 1e3)
+                    .num("find_ms", m.find_time.as_secs_f64() * 1e3)
+                    .num("cache_hits", m.cache_hits as f64)
+                    .num("cache_misses", m.cache_misses as f64)
+                    .bool("query_hit", m.query_analyze_hit || m.query_find_hit)
+                    .bool("coalesced", coalesced)
+                    .finish()
+            }
+            Err(EngineError::Trace(e)) => {
+                shared.counters.trace_errors.inc();
+                error_line(req_id, status::TRACE_ERROR, &e.to_string())
+            }
+            Err(EngineError::WorkerLost { missing }) => {
+                shared.counters.worker_lost.inc();
+                error_line(
+                    req_id,
+                    status::WORKER_LOST,
+                    &format!("match workers lost with {missing} outcomes missing"),
+                )
+            }
+        },
     }
 }
 
@@ -1269,6 +1483,15 @@ fn stats_line(shared: &Shared) -> String {
     serve.serialize_json(&mut serve_json);
     let mut slo_json = String::new();
     shared.slo.snapshot().serialize_json(&mut slo_json);
+    // Query-layer stage stores (hit/miss/eviction per stage) and what
+    // the persistent cache load found at startup.
+    let mut query_json = String::new();
+    shared.db.stats().serialize_json(&mut query_json);
+    let mut cache_load_json = String::new();
+    shared
+        .cache_load
+        .unwrap_or_default()
+        .serialize_json(&mut cache_load_json);
     // End-to-end latency quantiles, per op and per tenant.
     let latency: Vec<obs::registry::HistogramValue> = obs::snapshot()
         .histograms
@@ -1298,6 +1521,8 @@ fn stats_line(shared: &Shared) -> String {
         .raw("latency", &latency_json)
         .raw("serve", &serve_json)
         .raw("engine", &engine_json)
+        .raw("query", &query_json)
+        .raw("cache_load", &cache_load_json)
         .finish()
 }
 

@@ -118,8 +118,10 @@ fn analyze_stats_and_shutdown_round_trip() {
         assert_eq!(id_of(&doc), format!("r{i}"));
         assert_eq!(doc.get("patterns").and_then(Json::as_f64), Some(1.0));
         assert_eq!(doc.get("degraded"), Some(&Json::Bool(false)));
+        // Identical repeats are answered out of the query store.
+        assert_eq!(doc.get("query_hit"), Some(&Json::Bool(i > 0)), "{doc:?}");
     }
-    // The repeats hit the shared cache.
+    // The repeats hit the shared query store above the match cache.
     let doc = client.request(r#"{"op":"stats"}"#);
     assert_eq!(status_of(&doc), "ok");
     let serve = doc.get("serve").expect("serve section");
@@ -127,8 +129,14 @@ fn analyze_stats_and_shutdown_round_trip() {
     assert_eq!(serve.get("ok").and_then(Json::as_f64), Some(3.0));
     assert_eq!(serve.get("worker_lost").and_then(Json::as_f64), Some(0.0));
     let engine = doc.get("engine").expect("engine section");
-    assert!(engine.get("cache_hits").and_then(Json::as_f64).unwrap() > 0.0);
     assert!(engine.get("cache_capacity").and_then(Json::as_f64).unwrap() > 0.0);
+    let query = doc.get("query").expect("query section");
+    assert_eq!(query.get("full"), Some(&Json::Bool(true)));
+    let trace = query.get("trace").expect("trace stage");
+    assert!(
+        trace.get("hits").and_then(Json::as_f64).unwrap() >= 2.0,
+        "repeat requests must be trace-stage hits: {query:?}"
+    );
 
     let doc = client.request(r#"{"op":"shutdown"}"#);
     assert_eq!(status_of(&doc), "ok");
@@ -492,9 +500,10 @@ fn bench_requests_share_the_compiled_program_and_cache() {
         ));
         assert_eq!(status_of(&doc), "ok", "{doc:?}");
         assert!(doc.get("patterns").and_then(Json::as_f64).unwrap() >= 1.0);
+        // Identical repeats never recompute: they replay from the query store.
+        assert_eq!(doc.get("query_hit"), Some(&Json::Bool(i > 0)), "{doc:?}");
     }
     let em = server.engine_metrics();
-    assert!(em.cache_hits > 0, "repeat bench requests must hit: {em:?}");
     assert_eq!(em.cache_evictions, 0);
     server.shutdown();
     server.join();
@@ -704,6 +713,83 @@ fn prometheus_op_returns_a_valid_scrape() {
             .any(|f| f.starts_with("modernize_serve_latency_op_analyze")),
         "scrape lacks the analyze latency summary: {:?}",
         summary.families
+    );
+    server.shutdown();
+    server.join();
+}
+
+#[test]
+fn restart_with_populated_cache_serves_first_repeat_as_query_hit() {
+    let dir = std::env::temp_dir().join(format!("repro-serve-cache-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // First life: populate the store, then shut down cleanly — the
+    // clean stop rewrites the persistent segments.
+    let mut cfg = config("restart-a");
+    cfg.cache_dir = Some(dir.clone());
+    let server = Server::start(cfg).unwrap();
+    let mut client = Client::connect(&server);
+    let doc = client.request(&analyze_line("warm", "t", FAST_SRC));
+    assert_eq!(status_of(&doc), "ok", "{doc:?}");
+    assert_eq!(doc.get("query_hit"), Some(&Json::Bool(false)), "{doc:?}");
+    let doc = client.request(r#"{"op":"shutdown"}"#);
+    assert_eq!(status_of(&doc), "ok");
+    server.join();
+
+    // Second life: the very first repeated request must replay from
+    // the reloaded store, never re-tracing.
+    let mut cfg = config("restart-b");
+    cfg.cache_dir = Some(dir.clone());
+    let server = Server::start(cfg).unwrap();
+    let mut client = Client::connect(&server);
+    let doc = client.request(&analyze_line("replay", "t", FAST_SRC));
+    assert_eq!(status_of(&doc), "ok", "{doc:?}");
+    assert_eq!(
+        doc.get("query_hit"),
+        Some(&Json::Bool(true)),
+        "first repeat after restart must be a query hit: {doc:?}"
+    );
+    let doc = client.request(r#"{"op":"stats"}"#);
+    let load = doc.get("cache_load").expect("cache_load section");
+    assert!(
+        load.get("records_loaded").and_then(Json::as_f64).unwrap() >= 2.0,
+        "restart must reload the trace and find segments: {load:?}"
+    );
+    assert_eq!(
+        load.get("corrupt_records").and_then(Json::as_f64),
+        Some(0.0)
+    );
+    server.shutdown();
+    server.join();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn concurrent_identical_requests_coalesce_into_one_computation() {
+    let server = Server::start(config("coalesce")).unwrap();
+    let mut a = Client::connect(&server);
+    let mut b = Client::connect(&server);
+
+    // The leader starts a slow analysis; the identical follower lands
+    // while it is in flight and must share the computation rather than
+    // recompute (or queue behind it in the store — the coalesce path is
+    // what the counter proves).
+    a.send(&analyze_line("leader", "t", SLOW_SRC));
+    b.send(&analyze_line("follower", "t", SLOW_SRC));
+    let ra = a.recv();
+    let rb = b.recv();
+    assert_eq!(status_of(&ra), "ok", "{ra:?}");
+    assert_eq!(status_of(&rb), "ok", "{rb:?}");
+    assert_eq!(id_of(&ra), "leader");
+    assert_eq!(id_of(&rb), "follower");
+    // Both see the same analysis.
+    assert_eq!(ra.get("patterns"), rb.get("patterns"));
+
+    let doc = a.request(r#"{"op":"stats"}"#);
+    let serve = doc.get("serve").expect("serve section");
+    assert!(
+        serve.get("coalesced").and_then(Json::as_f64).unwrap() >= 1.0,
+        "identical in-flight requests must coalesce: {serve:?}"
     );
     server.shutdown();
     server.join();

@@ -12,11 +12,11 @@ fn all_benchmarks_replay_byte_identically_at_any_worker_count() {
         for v in Version::BOTH {
             let p = b.program(v);
             let cfg = (b.analysis_input)();
-            let seq = trace::run(&p, &cfg)
-                .unwrap_or_else(|e| panic!("{} {} seq: {e}", b.name, v.name()));
+            let seq =
+                trace::run(&p, &cfg).unwrap_or_else(|e| panic!("{} {} seq: {e}", b.name, v.name()));
             for workers in [1usize, 2, 8] {
-                let par = trace::run(&p, &cfg.clone().with_trace_workers(workers))
-                    .unwrap_or_else(|e| {
+                let par =
+                    trace::run(&p, &cfg.clone().with_trace_workers(workers)).unwrap_or_else(|e| {
                         panic!("{} {} at {workers} workers: {e}", b.name, v.name())
                     });
                 assert_eq!(
@@ -52,8 +52,7 @@ fn pthreads_at_eight_simulated_threads_replays_byte_identically() {
     for b in all_benchmarks() {
         let p = b.program(Version::Pthreads);
         let cfg = (b.scaled_input_nproc)(4, 8);
-        let seq =
-            trace::run(&p, &cfg).unwrap_or_else(|e| panic!("{} seq nproc=8: {e}", b.name));
+        let seq = trace::run(&p, &cfg).unwrap_or_else(|e| panic!("{} seq nproc=8: {e}", b.name));
         let par = trace::run(&p, &cfg.clone().with_trace_workers(8))
             .unwrap_or_else(|e| panic!("{} par nproc=8: {e}", b.name));
         assert_eq!(seq.ddg, par.ddg, "{} DDG diverges at nproc=8", b.name);

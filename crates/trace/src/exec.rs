@@ -123,6 +123,12 @@ pub(crate) trait Env {
     /// A loop body was entered: returns this activation's dynamic
     /// instance number for the static loop.
     fn loop_enter(&mut self, t: usize, loop_id: u32) -> u32;
+    /// An instruction dispatch (execution fingerprinting hook; see
+    /// [`crate::fp`]). Called before the sync early-return, so every
+    /// dispatch — including a retried blocking instruction — lands in
+    /// the stream. Default: no-op, fully inlined away.
+    #[inline]
+    fn fp_step(&mut self, _t: usize, _func: usize, _pc: usize) {}
 }
 
 /// Allocates a frame with parameters bound and locals zero-initialized
@@ -180,6 +186,7 @@ pub(crate) fn step<E: Env>(
         let f = ctx.frames.last().ok_or_else(|| "no frame".to_string())?;
         (f.func, f.pc)
     };
+    env.fp_step(t, func.index(), pc);
     // Cloning one instruction keeps the borrow checker out of the way;
     // instructions are small (≤ 40 bytes).
     let inst = code.function(func).code[pc].clone();
@@ -426,7 +433,10 @@ pub(crate) fn eval_un(op: UnOp, a: Value) -> Result<Value, String> {
     })
 }
 
-pub(crate) fn eval_intr<R: Copy>(op: Intrinsic, args: &[(Value, Taint<R>)]) -> Result<Value, String> {
+pub(crate) fn eval_intr<R: Copy>(
+    op: Intrinsic,
+    args: &[(Value, Taint<R>)],
+) -> Result<Value, String> {
     Ok(match op {
         Intrinsic::Sqrt => Value::F64(args[0].0.as_f64("sqrt")?.sqrt()),
         Intrinsic::Abs => Value::I64(args[0].0.as_i64("abs")?.abs()),

@@ -19,6 +19,7 @@
 pub mod bytecode;
 pub mod compile;
 mod exec;
+mod fp;
 pub mod machine;
 mod par;
 pub mod run;

@@ -90,6 +90,8 @@ pub(crate) struct SeqEnv<'a> {
     intr_labels: Vec<Option<LabelId>>,
     loop_instances: Vec<u32>,
     iterator_ops: HashSet<u32>,
+    /// Execution fingerprinting (see [`crate::fp`]), when requested.
+    pub(crate) fp: Option<crate::fp::FpState>,
     /// Observability sampled once at construction: a run never changes
     /// its recording mode mid-flight, and the disabled path stays one
     /// branch per slice / per shadow access.
@@ -142,6 +144,9 @@ impl<'a> Env for SeqEnv<'a> {
     }
 
     fn load(&mut self, arr: usize, idx: usize) -> (Value, Taint) {
+        if let Some(fp) = &mut self.fp {
+            fp.addr(arr, idx);
+        }
         let v = self.globals[arr][idx];
         let def = self.shadow.get(arr, idx);
         if self.obs_on {
@@ -151,6 +156,9 @@ impl<'a> Env for SeqEnv<'a> {
     }
 
     fn store(&mut self, arr: usize, idx: usize, v: Value, def: Taint) {
+        if let Some(fp) = &mut self.fp {
+            fp.addr(arr, idx);
+        }
         self.globals[arr][idx] = v;
         self.shadow.set(arr, idx, def);
         if self.obs_on {
@@ -214,6 +222,13 @@ impl<'a> Env for SeqEnv<'a> {
         self.loop_instances[loop_id as usize] += 1;
         instance
     }
+
+    #[inline]
+    fn fp_step(&mut self, t: usize, func: usize, pc: usize) {
+        if let Some(fp) = &mut self.fp {
+            fp.step(t, func, pc);
+        }
+    }
 }
 
 /// The machine. Construct through [`crate::run()`].
@@ -233,6 +248,7 @@ pub struct Machine<'a> {
 const SLICE: u64 = 4096;
 
 impl<'a> Machine<'a> {
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn new(
         program: &'a Program,
         code: &'a CompiledProgram,
@@ -240,6 +256,7 @@ impl<'a> Machine<'a> {
         barrier_participants: &[usize],
         tracing: bool,
         iterator_ops: HashSet<u32>,
+        fp: Option<crate::fp::FpState>,
         limits: Limits,
     ) -> Self {
         let lens: Vec<usize> = globals.iter().map(|g| g.len()).collect();
@@ -261,6 +278,7 @@ impl<'a> Machine<'a> {
                 intr_labels: vec![None; 16],
                 loop_instances: vec![0; program.loop_count as usize],
                 iterator_ops,
+                fp,
                 obs_on: obs::enabled(),
                 shadow_reads: 0,
                 shadow_writes: 0,

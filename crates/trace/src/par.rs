@@ -117,7 +117,9 @@ impl Env for WorkerEnv<'_> {
     }
 
     fn store(&mut self, arr: usize, idx: usize, v: Value, def: Taint<SegRef>) {
-        self.shared.stripes.store(arr, idx, v, def, &mut self.seg.stats);
+        self.shared
+            .stripes
+            .store(arr, idx, v, def, &mut self.seg.stats);
         if self.shared.obs_on {
             self.seg.stats.shadow_writes += 1;
         }
@@ -231,7 +233,7 @@ fn free_run(
     let mut env = WorkerEnv { shared, seg };
     let mut ran: u64 = 0;
     loop {
-        if ran % POLL == 0 {
+        if ran.is_multiple_of(POLL) {
             if shared.abort.load(Ordering::Relaxed) {
                 return JobOutcome::Pause;
             }
@@ -496,10 +498,9 @@ impl Coordinator {
             if avail > 0 {
                 let take = avail.min(budget);
                 if self.steps + take > self.limits.max_steps {
-                    return Err(self.err(
-                        t,
-                        format!("step limit {} exceeded", self.limits.max_steps),
-                    ));
+                    return Err(
+                        self.err(t, format!("step limit {} exceeded", self.limits.max_steps))
+                    );
                 }
                 if self.shared.tracing {
                     self.windows
@@ -629,10 +630,7 @@ impl Coordinator {
         self.steps += 1;
         *budget -= 1;
         if self.steps > self.limits.max_steps {
-            return Err(self.err(
-                t,
-                format!("step limit {} exceeded", self.limits.max_steps),
-            ));
+            return Err(self.err(t, format!("step limit {} exceeded", self.limits.max_steps)));
         }
         Ok(())
     }

@@ -58,6 +58,15 @@ pub struct RunConfig {
     /// DDG — byte-identical output for correctly synchronized programs
     /// (see `DESIGN.md` §17).
     pub trace_workers: usize,
+    /// Compute an execution fingerprint (see [`crate::fp`]): a streaming
+    /// digest over the executed instruction/address stream that
+    /// identifies the DDG the run would produce under [`TraceMode::Full`]
+    /// — equal fingerprints imply byte-identical DDGs. Combined with
+    /// `TraceMode::Off` this is the incremental layer's cheap probe: it
+    /// skips all shadow-taint and DDG construction yet still yields the
+    /// DDG's identity. Forces the sequential machine (the parallel
+    /// tracer's segment streams are not in schedule order).
+    pub exec_fingerprint: bool,
     /// Injected machine faults (test harness only).
     #[cfg(feature = "fault-inject")]
     pub fault: Option<TraceFault>,
@@ -74,6 +83,7 @@ impl Default for RunConfig {
             max_steps: 500_000_000,
             deadline: None,
             trace_workers: 1,
+            exec_fingerprint: false,
             #[cfg(feature = "fault-inject")]
             fault: None,
         }
@@ -136,6 +146,12 @@ impl RunConfig {
         self.trace_workers = workers;
         self
     }
+
+    /// Requests an execution fingerprint alongside the run.
+    pub fn with_exec_fingerprint(mut self, on: bool) -> Self {
+        self.exec_fingerprint = on;
+        self
+    }
 }
 
 /// Result of a program execution.
@@ -149,6 +165,9 @@ pub struct RunResult {
     pub return_value: Option<Value>,
     /// Executed instruction count.
     pub steps: u64,
+    /// The execution fingerprint, when requested (sequential runs with
+    /// [`RunConfig::exec_fingerprint`] set).
+    pub exec_fp: Option<u128>,
 }
 
 impl RunResult {
@@ -205,7 +224,10 @@ pub fn run(program: &Program, config: &RunConfig) -> Result<RunResult, MachineEr
     };
 
     let tracing = config.trace == TraceMode::Full;
-    let iterator_ops = if tracing {
+    // The fingerprint seeds over the iterator-op classification (it
+    // lands in DDG node flags), so fingerprinted untraced runs need the
+    // analysis too.
+    let iterator_ops: std::collections::HashSet<u32> = if tracing || config.exec_fingerprint {
         repro_ir::iter_rec::analyze(program)
             .iterator_ops
             .into_iter()
@@ -214,6 +236,9 @@ pub fn run(program: &Program, config: &RunConfig) -> Result<RunResult, MachineEr
     } else {
         Default::default()
     };
+    let fp = config
+        .exec_fingerprint
+        .then(|| crate::fp::FpState::new(&code, &iterator_ops));
 
     let limits = Limits {
         max_steps: config.max_steps,
@@ -228,7 +253,9 @@ pub fn run(program: &Program, config: &RunConfig) -> Result<RunResult, MachineEr
     let fault_free = config.fault.is_none();
     #[cfg(not(feature = "fault-inject"))]
     let fault_free = true;
-    if config.trace_workers >= 2 && fault_free {
+    // Fingerprinting folds the schedule-order instruction stream, which
+    // only the sequential machine materializes.
+    if config.trace_workers >= 2 && fault_free && !config.exec_fingerprint {
         let out = crate::par::run_parallel(
             program,
             &code,
@@ -251,6 +278,7 @@ pub fn run(program: &Program, config: &RunConfig) -> Result<RunResult, MachineEr
             arrays,
             return_value: out.return_value,
             steps: out.steps,
+            exec_fp: None,
         });
     }
 
@@ -261,6 +289,7 @@ pub fn run(program: &Program, config: &RunConfig) -> Result<RunResult, MachineEr
         &participants,
         tracing,
         iterator_ops,
+        fp,
         limits,
     );
     m.boot(config.entry_args.clone());
@@ -279,6 +308,7 @@ pub fn run(program: &Program, config: &RunConfig) -> Result<RunResult, MachineEr
         .collect();
     let steps = m.steps;
     let return_value = m.entry_return;
+    let exec_fp = m.env.fp.as_ref().map(|f| f.finish());
     let ddg = if tracing {
         Some(std::mem::take(&mut m.env.ddg).finish())
     } else {
@@ -289,6 +319,7 @@ pub fn run(program: &Program, config: &RunConfig) -> Result<RunResult, MachineEr
         arrays,
         return_value,
         steps,
+        exec_fp,
     })
 }
 
@@ -516,6 +547,103 @@ mod tests {
         let r = run(&p, &cfg).unwrap();
         assert!(r.ddg.is_none());
         assert_eq!(r.f64s("out"), vec![8.0]);
+    }
+
+    /// A small program with a scale constant, a comparison, and a
+    /// data-dependent store — enough surface for fingerprint edits.
+    fn fp_program(scale: &str, op: &str, n: &str) -> Program {
+        let src = format!(
+            "float in[8];\nfloat out[8];\nvoid main() {{\n  int i;\n  \
+             for (i = 0; i < {n}; i = i + 1) {{\n    \
+             out[i] = in[i] {op} {scale};\n  }}\n  output(out);\n}}\n"
+        );
+        minc::compile("fp", &src).unwrap()
+    }
+
+    fn fp_of(p: &Program, trace: TraceMode) -> (u128, RunResult) {
+        let mut cfg = RunConfig::default()
+            .with_f64("in", &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0])
+            .with_exec_fingerprint(true);
+        cfg.trace = trace;
+        let r = run(p, &cfg).unwrap();
+        (r.exec_fp.expect("fingerprint requested"), r)
+    }
+
+    #[test]
+    fn exec_fingerprint_ignores_constant_values_but_not_shape() {
+        let base = fp_program("0.95", "*", "8");
+        let (fp_base, r_base) = fp_of(&base, TraceMode::Off);
+        assert_eq!(r_base.f64s("out")[1], 1.9);
+
+        // Same-shape constant edit: identical instruction and address
+        // streams, so the DDG identity — the fingerprint — is unchanged
+        // even though every output value differs.
+        let edited = fp_program("0.85", "*", "8");
+        let (fp_edit, r_edit) = fp_of(&edited, TraceMode::Off);
+        assert_eq!(fp_base, fp_edit);
+        assert_ne!(r_base.f64s("out"), r_edit.f64s("out"));
+
+        // Operation edit: different node labels, different fingerprint.
+        let (fp_op, _) = fp_of(&fp_program("0.95", "+", "8"), TraceMode::Off);
+        assert_ne!(fp_base, fp_op);
+
+        // Trip-count edit: same per-iteration stream, fewer iterations.
+        let (fp_n, _) = fp_of(&fp_program("0.95", "*", "4"), TraceMode::Off);
+        assert_ne!(fp_base, fp_n);
+    }
+
+    #[test]
+    fn exec_fingerprint_is_trace_mode_independent() {
+        // The engine records fingerprints during full traced runs and
+        // probes with untraced ones; both fold the same stream.
+        let p = fp_program("0.95", "*", "8");
+        let (fp_off, r_off) = fp_of(&p, TraceMode::Off);
+        let (fp_full, r_full) = fp_of(&p, TraceMode::Full);
+        assert_eq!(fp_off, fp_full);
+        assert!(r_off.ddg.is_none());
+        assert!(r_full.ddg.is_some());
+        assert_eq!(r_off.f64s("out"), r_full.f64s("out"));
+    }
+
+    #[test]
+    fn exec_fingerprint_sees_data_dependent_addresses() {
+        // out[(int) in[i]] = 1.0 — the address stream depends on input
+        // *values*, so changing the data must change the fingerprint
+        // even though the source text is identical.
+        let src = "float in[4];\nfloat out[8];\nvoid main() {\n  int i;\n  \
+                   for (i = 0; i < 4; i = i + 1) {\n    \
+                   out[(int) in[i]] = 1.0;\n  }\n  output(out);\n}\n";
+        let p = minc::compile("scatter", src).unwrap();
+        let fp_for = |data: &[f64]| {
+            let cfg = RunConfig::default()
+                .with_f64("in", data)
+                .with_exec_fingerprint(true);
+            run(&p, &cfg).unwrap().exec_fp.unwrap()
+        };
+        assert_eq!(fp_for(&[0.0, 1.0, 2.0, 3.0]), fp_for(&[0.0, 1.0, 2.0, 3.0]));
+        assert_ne!(fp_for(&[0.0, 1.0, 2.0, 3.0]), fp_for(&[3.0, 2.0, 1.0, 0.0]));
+    }
+
+    #[test]
+    fn exec_fingerprint_covers_threaded_programs() {
+        let p = threaded_sum_program(2);
+        let mk = |data: &[f64]| {
+            let cfg = RunConfig::default()
+                .with_f64("in", data)
+                .with_barrier_participants(2)
+                .with_exec_fingerprint(true)
+                // Forced back to the sequential machine: the parallel
+                // tracer cannot fold a schedule-ordered stream.
+                .with_trace_workers(4);
+            let r = run(&p, &cfg).unwrap();
+            (r.exec_fp.unwrap(), r.f64s("out"))
+        };
+        let (fp_a, out_a) = mk(&[1.0; 8]);
+        let (fp_b, out_b) = mk(&[2.0; 8]);
+        assert_eq!(out_a, vec![8.0]);
+        assert_eq!(out_b, vec![16.0]);
+        // Same addresses touched, same stream — values don't matter.
+        assert_eq!(fp_a, fp_b);
     }
 
     #[test]

@@ -76,7 +76,12 @@ impl StripedMemory {
         self.arrays[arr].len
     }
 
-    fn lock<'a>(&'a self, arr: usize, idx: usize, stats: &mut SegStats) -> MutexGuard<'a, Vec<Cell>> {
+    fn lock<'a>(
+        &'a self,
+        arr: usize,
+        idx: usize,
+        stats: &mut SegStats,
+    ) -> MutexGuard<'a, Vec<Cell>> {
         let m = &self.arrays[arr].stripes[idx / STRIPE_CELLS];
         stats.stripe_locks += 1;
         match m.try_lock() {
@@ -93,7 +98,14 @@ impl StripedMemory {
         self.lock(arr, idx, stats)[idx % STRIPE_CELLS]
     }
 
-    pub fn store(&self, arr: usize, idx: usize, v: Value, def: Taint<SegRef>, stats: &mut SegStats) {
+    pub fn store(
+        &self,
+        arr: usize,
+        idx: usize,
+        v: Value,
+        def: Taint<SegRef>,
+        stats: &mut SegStats,
+    ) {
         self.lock(arr, idx, stats)[idx % STRIPE_CELLS] = (v, def);
     }
 

@@ -42,7 +42,11 @@ fn assert_error_parity(p: &Program, cfg: &RunConfig) {
     for workers in [2usize, 8] {
         let par = trace::run(p, &cfg.clone().with_trace_workers(workers))
             .expect_err("parallel run must fail identically");
-        assert_eq!(seq, par, "error mismatch at {workers} workers for {}", p.name);
+        assert_eq!(
+            seq, par,
+            "error mismatch at {workers} workers for {}",
+            p.name
+        );
     }
 }
 
@@ -213,7 +217,13 @@ struct ThreadProgram {
 }
 
 fn thread_program_strategy() -> impl Strategy<Value = ThreadProgram> {
-    (1usize..4, 8usize..40, any::<bool>(), any::<bool>(), any::<bool>())
+    (
+        1usize..4,
+        8usize..40,
+        any::<bool>(),
+        any::<bool>(),
+        any::<bool>(),
+    )
         .prop_flat_map(|(nproc, len, use_lock, use_barrier, reverse_join)| {
             prop::collection::vec(1usize..12, nproc).prop_map(move |iters| ThreadProgram {
                 nproc,
@@ -256,13 +266,17 @@ fn render(tp: &ThreadProgram) -> Program {
             src.push_str("  lock(m);\n  shared[0] = shared[0] + acc;\n  unlock(m);\n");
         }
         if *use_barrier {
-            src.push_str(&format!("  barrier_wait(b);\n  acc = acc + shared[0] * {pid};\n"));
+            src.push_str(&format!(
+                "  barrier_wait(b);\n  acc = acc + shared[0] * {pid};\n"
+            ));
         }
         src.push_str(&format!("  out[{pid}] = acc;\n}}\n"));
     }
     src.push_str("void main() {\n");
     for pid in 0..*nproc {
-        src.push_str(&format!("  int h{pid}; h{pid} = spawn worker{pid}({nproc});\n"));
+        src.push_str(&format!(
+            "  int h{pid}; h{pid} = spawn worker{pid}({nproc});\n"
+        ));
     }
     let order: Vec<usize> = if *reverse_join {
         (0..*nproc).rev().collect()
